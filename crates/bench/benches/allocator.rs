@@ -1,0 +1,40 @@
+//! End-to-end controller decision latency: the full per-tick path (demand
+//! estimate → queue model → allocation solve) for both backends, plus
+//! deferral-profile queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diffserve_bench::{prepare_runtime_small, CascadeId};
+use diffserve_core::{solve_exhaustive, solve_proteus, AllocatorInputs};
+
+fn bench_allocator(c: &mut Criterion) {
+    let runtime = prepare_runtime_small(CascadeId::One);
+    let thresholds: Vec<f64> = (0..51).map(|i| 0.9 * i as f64 / 50.0).collect();
+    let batches = [1usize, 2, 4, 8, 16];
+    let mk = |demand: f64| AllocatorInputs {
+        demand_qps: demand,
+        queue_delay_light: 0.1,
+        queue_delay_heavy: 0.4,
+        slo: 5.0,
+        total_workers: 16,
+        deferral: &runtime.deferral,
+        light: *runtime.spec.light.latency(),
+        heavy: *runtime.spec.heavy.latency(),
+        discriminator_latency: 0.01,
+        batch_sizes: &batches,
+        thresholds: &thresholds,
+    };
+    c.bench_function("controller_tick_exhaustive", |b| {
+        let inputs = mk(18.0);
+        b.iter(|| solve_exhaustive(std::hint::black_box(&inputs)).expect("feasible"))
+    });
+    c.bench_function("controller_tick_proteus", |b| {
+        let inputs = mk(18.0);
+        b.iter(|| solve_proteus(std::hint::black_box(&inputs)).expect("feasible"))
+    });
+    c.bench_function("deferral_profile_lookup", |b| {
+        b.iter(|| runtime.deferral.fraction_deferred(std::hint::black_box(0.63)))
+    });
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! §5 extension experiment: three-stage cascades.
+//!
+//! The paper sketches longer pipelines ("applying a discriminator after
+//! each model, with ... multiple confidence thresholds"). This experiment
+//! builds the SDXS → SD-Turbo → SDv1.5 pipeline and compares its
+//! quality/latency Pareto frontier against the paper's two-stage Cascade 1:
+//! the extra stage should widen the frontier at the low-latency end
+//! (cheap first-pass) without losing the quality ceiling.
+
+use diffserve_bench::{f2, f3, prepare_runtime, write_csv, CascadeId, Table};
+use diffserve_imagegen::{evaluate_cascade, sdxs, FeatureSpec, Pipeline, RoutingRule};
+
+fn main() {
+    let runtime = prepare_runtime(CascadeId::One);
+    let spec = FeatureSpec::default();
+    let first_stage = sdxs(spec);
+    let pipeline = Pipeline::new(
+        vec![&first_stage, &runtime.spec.light, &runtime.spec.heavy],
+        &runtime.discriminator,
+    );
+
+    println!("== 3-stage pipeline: sdxs -> sd-turbo -> sd-v1.5 ==");
+    let grid = [0.0, 0.2, 0.4, 0.6, 0.8, 0.9];
+    let frontier = pipeline.pareto_frontier(&runtime.dataset, &grid);
+    let mut t = Table::new(&["t1", "t2", "latency_s", "fid", "stage_mix"]);
+    let mut rows = Vec::new();
+    for (thresholds, e) in &frontier {
+        let mix = e
+            .stage_fractions
+            .iter()
+            .map(|f| format!("{f:.2}"))
+            .collect::<Vec<_>>()
+            .join("/");
+        t.row(vec![
+            f2(thresholds[0]),
+            f2(thresholds[1]),
+            f2(e.mean_latency),
+            f2(e.fid),
+            mix.clone(),
+        ]);
+        rows.push(vec![
+            "pipeline3".into(),
+            f2(thresholds[0]),
+            f2(thresholds[1]),
+            f3(e.mean_latency),
+            f3(e.fid),
+            mix,
+        ]);
+    }
+    t.print();
+
+    println!("\n== 2-stage reference (Cascade 1 frontier) ==");
+    let rule = RoutingRule::Discriminator(&runtime.discriminator);
+    let mut t2 = Table::new(&["t", "latency_s", "fid"]);
+    let mut best2: Vec<(f64, f64)> = Vec::new();
+    for i in 0..=10 {
+        let thr = i as f64 / 10.0;
+        let e = evaluate_cascade(
+            &runtime.dataset,
+            &runtime.spec.light,
+            &runtime.spec.heavy,
+            &rule,
+            thr,
+        );
+        t2.row(vec![f2(thr), f2(e.mean_latency), f2(e.fid)]);
+        best2.push((e.mean_latency, e.fid));
+        rows.push(vec![
+            "cascade2stage".into(),
+            f2(thr),
+            String::new(),
+            f3(e.mean_latency),
+            f3(e.fid),
+            String::new(),
+        ]);
+    }
+    t2.print();
+
+    // Verdict: at the 2-stage cascade's cheapest useful point, does the
+    // 3-stage pipeline offer a cheaper point of comparable quality?
+    let cheapest3 = frontier.first().map(|(_, e)| e.mean_latency).unwrap_or(0.0);
+    let cheapest2 = best2.first().map(|(l, _)| *l).unwrap_or(0.0);
+    println!(
+        "\ncheapest pipeline point {:.3}s vs cheapest cascade point {:.3}s; \
+         best pipeline FID {:.2} vs best cascade FID {:.2}",
+        cheapest3,
+        cheapest2,
+        frontier.iter().map(|(_, e)| e.fid).fold(f64::INFINITY, f64::min),
+        best2.iter().map(|(_, f)| *f).fold(f64::INFINITY, f64::min),
+    );
+    let path = write_csv(
+        "ext_pipeline",
+        &["series", "t1", "t2", "latency_s", "fid", "stage_mix"],
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,77 @@
+//! §5 extension experiment: the "Predictive Router" open question.
+//!
+//! The paper asks whether routing from the query text *before* any
+//! generation could beat the post-hoc discriminator cascade. This
+//! experiment measures both sides of the trade on Cascade 1: the predictive
+//! router saves the light-stage latency on deferred queries but routes on
+//! strictly less information.
+
+use diffserve_bench::{f2, f3, prepare_runtime, write_csv, CascadeId, Table};
+use diffserve_imagegen::{
+    evaluate_cascade, evaluate_predictive, PredictiveConfig, PredictiveRouter, RoutingRule,
+};
+
+fn main() {
+    let runtime = prepare_runtime(CascadeId::One);
+    let router = PredictiveRouter::train(
+        &runtime.dataset,
+        &runtime.spec.light,
+        PredictiveConfig::default(),
+    );
+
+    println!("== §5 open question: predictive (text-only) vs post-hoc (discriminator) routing ==");
+    let mut t = Table::new(&[
+        "threshold",
+        "pred_defer",
+        "pred_latency",
+        "pred_fid",
+        "disc_latency",
+        "disc_fid",
+    ]);
+    let mut rows = Vec::new();
+    let rule = RoutingRule::Discriminator(&runtime.discriminator);
+    for i in 0..=10 {
+        let thr = i as f64 / 10.0;
+        let pred = evaluate_predictive(
+            &runtime.dataset,
+            &runtime.spec.light,
+            &runtime.spec.heavy,
+            &router,
+            thr,
+        );
+        let disc = evaluate_cascade(
+            &runtime.dataset,
+            &runtime.spec.light,
+            &runtime.spec.heavy,
+            &rule,
+            thr,
+        );
+        t.row(vec![
+            f2(thr),
+            f3(pred.heavy_fraction),
+            f2(pred.mean_latency),
+            f2(pred.fid),
+            f2(disc.mean_latency),
+            f2(disc.fid),
+        ]);
+        rows.push(vec![
+            f2(thr),
+            f3(pred.heavy_fraction),
+            f3(pred.mean_latency),
+            f3(pred.fid),
+            f3(disc.mean_latency),
+            f3(disc.fid),
+        ]);
+    }
+    t.print();
+
+    println!("\nReading: at matched thresholds the discriminator wins on FID (it sees");
+    println!("the actual image), while the predictive router wins on latency (deferred");
+    println!("queries skip the light stage entirely) — quantifying the paper's trade-off.");
+    let path = write_csv(
+        "ext_predictive",
+        &["threshold", "pred_defer", "pred_latency", "pred_fid", "disc_latency", "disc_fid"],
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}

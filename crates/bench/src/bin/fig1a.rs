@@ -1,0 +1,175 @@
+//! Figure 1a: FID vs. mean inference latency for independent model variants
+//! and for cascades routed by Random / PickScore / CLIPScore / Discriminator,
+//! on two light/heavy pairs (SD-Turbo+SDv1.5 and SDXS+SDv1.5).
+//!
+//! Paper claims to reproduce (shape): PickScore- and CLIPScore-routed
+//! cascades are no better than random routing; the discriminator-routed
+//! cascade dominates; FID worsens again at the all-heavy end of the curve.
+
+use diffserve_bench::{f2, f3, prepare_runtime, write_csv, CascadeId, Table};
+use diffserve_imagegen::{
+    evaluate_cascade, evaluate_single_model, fig1a_variants, ClipScorer, FeatureSpec, PickScorer,
+    RoutingRule,
+};
+use diffserve_simkit::stats::Welford;
+
+fn main() {
+    let spec = FeatureSpec::default();
+    let mut rows = Vec::new();
+
+    println!("== Fig 1a: independent model variants (FID vs batch-1 latency) ==");
+    let runtime1 = prepare_runtime(CascadeId::One);
+    let mut t = Table::new(&["variant", "latency_s", "fid"]);
+    for m in fig1a_variants(spec) {
+        let e = evaluate_single_model(&runtime1.dataset, &m);
+        t.row(vec![m.name().to_string(), f2(e.mean_latency), f2(e.fid)]);
+        rows.push(vec![
+            "variants".into(),
+            m.name().to_string(),
+            f3(e.mean_latency),
+            f3(e.fid),
+            "0".into(),
+        ]);
+    }
+    t.print();
+
+    for id in [CascadeId::One, CascadeId::Two] {
+        let runtime = prepare_runtime(id);
+        let light = &runtime.spec.light;
+        let heavy = &runtime.spec.heavy;
+        let dataset = &runtime.dataset;
+        println!(
+            "\n== Fig 1a cascade: H={} L={} ==",
+            heavy.name(),
+            light.name()
+        );
+        let mut t = Table::new(&["rule", "threshold", "deferral", "latency_s", "fid"]);
+
+        // Discriminator-routed cascade across the threshold sweep.
+        let rule = RoutingRule::Discriminator(&runtime.discriminator);
+        for i in 0..=10 {
+            let thr = i as f64 / 10.0;
+            let e = evaluate_cascade(dataset, light, heavy, &rule, thr);
+            t.row(vec![
+                "discriminator".into(),
+                f2(thr),
+                f3(e.deferral_fraction),
+                f2(e.mean_latency),
+                f2(e.fid),
+            ]);
+            rows.push(vec![
+                format!("{}-disc", id.name()),
+                f2(thr),
+                f3(e.mean_latency),
+                f3(e.fid),
+                f3(e.deferral_fraction),
+            ]);
+        }
+
+        // PickScore / CLIPScore: thresholds swept over observed score
+        // quantiles so the deferral fraction covers [0, 1].
+        for (name, scores) in [
+            ("pickscore", score_quantiles(dataset, light, &PickScorer::default())),
+            ("clipscore", clip_quantiles(dataset, light, &ClipScorer::default())),
+        ] {
+            for (q, thr) in scores {
+                let rule = match name {
+                    "pickscore" => RoutingRule::PickScore(PickScorer::default()),
+                    _ => RoutingRule::ClipScore(ClipScorer::default()),
+                };
+                let e = evaluate_cascade(dataset, light, heavy, &rule, thr);
+                t.row(vec![
+                    name.into(),
+                    format!("q{q:.1}"),
+                    f3(e.deferral_fraction),
+                    f2(e.mean_latency),
+                    f2(e.fid),
+                ]);
+                rows.push(vec![
+                    format!("{}-{name}", id.name()),
+                    f3(thr),
+                    f3(e.mean_latency),
+                    f3(e.fid),
+                    f3(e.deferral_fraction),
+                ]);
+            }
+        }
+
+        // Random routing: 20 repetitions per deferral probability, with the
+        // std-dev band the paper shades.
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            let mut fid_acc = Welford::new();
+            let mut lat_acc = Welford::new();
+            for rep in 0..20u64 {
+                let rule = RoutingRule::Random { seed: 1000 + rep };
+                let e = evaluate_cascade(dataset, light, heavy, &rule, p);
+                fid_acc.push(e.fid);
+                lat_acc.push(e.mean_latency);
+            }
+            t.row(vec![
+                "random".into(),
+                f2(p),
+                f2(p),
+                f2(lat_acc.mean()),
+                format!("{:.2}±{:.2}", fid_acc.mean(), fid_acc.std()),
+            ]);
+            rows.push(vec![
+                format!("{}-random", id.name()),
+                f2(p),
+                f3(lat_acc.mean()),
+                f3(fid_acc.mean()),
+                f2(p),
+            ]);
+        }
+        t.print();
+    }
+
+    let path = write_csv(
+        "fig1a",
+        &["series", "threshold", "latency_s", "fid", "deferral"],
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}
+
+/// Threshold values at deciles of the observed light-output PickScores.
+fn score_quantiles(
+    dataset: &diffserve_imagegen::PromptDataset,
+    light: &diffserve_imagegen::DiffusionModel,
+    scorer: &PickScorer,
+) -> Vec<(f64, f64)> {
+    let mut scores: Vec<f64> = dataset
+        .prompts()
+        .iter()
+        .map(|p| scorer.score(p, &light.generate(p)))
+        .collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    (0..=10)
+        .map(|i| {
+            let q = i as f64 / 10.0;
+            let idx = ((scores.len() - 1) as f64 * q) as usize;
+            (q, scores[idx])
+        })
+        .collect()
+}
+
+fn clip_quantiles(
+    dataset: &diffserve_imagegen::PromptDataset,
+    light: &diffserve_imagegen::DiffusionModel,
+    scorer: &ClipScorer,
+) -> Vec<(f64, f64)> {
+    let mut scores: Vec<f64> = dataset
+        .prompts()
+        .iter()
+        .map(|p| scorer.score(p, &light.generate(p)))
+        .collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    (0..=10)
+        .map(|i| {
+            let q = i as f64 / 10.0;
+            let idx = ((scores.len() - 1) as f64 * q) as usize;
+            (q, scores[idx])
+        })
+        .collect()
+}

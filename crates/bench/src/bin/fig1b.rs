@@ -1,0 +1,68 @@
+//! Figure 1b: CDFs of the per-prompt image-quality difference between the
+//! lightweight and heavyweight model, measured by PickScore (top panels)
+//! and by discriminator confidence (bottom panels), for both 512px pairs.
+//!
+//! Paper claim to reproduce: for 20–40% of queries the lightweight model's
+//! output is as good as or better than the heavyweight model's ("easy
+//! queries" — the mass at or below zero).
+
+use diffserve_bench::{f3, prepare_runtime, write_csv, CascadeId, Table};
+use diffserve_imagegen::{easy_query_fraction, quality_differences, PickScorer};
+
+fn main() {
+    let mut rows = Vec::new();
+    for id in [CascadeId::One, CascadeId::Two] {
+        let runtime = prepare_runtime(id);
+        let light = &runtime.spec.light;
+        let heavy = &runtime.spec.heavy;
+        let dataset = &runtime.dataset;
+        println!(
+            "\n== Fig 1b: H={} L={} ==",
+            heavy.name(),
+            light.name()
+        );
+
+        // Top panel: PickScore difference (heavy − light), same prompt.
+        let pick = PickScorer::default();
+        let pick_diffs = quality_differences(dataset, light, heavy, |p, img| pick.score(p, img));
+        // Bottom panel: confidence difference.
+        let disc = &runtime.discriminator;
+        let conf_diffs =
+            quality_differences(dataset, light, heavy, |_, img| disc.confidence(&img.features));
+
+        let mut t = Table::new(&["metric", "p10", "p25", "p50", "p75", "p90", "frac<=0"]);
+        for (name, diffs) in [("pickscore_diff", &pick_diffs), ("confidence_diff", &conf_diffs)] {
+            let mut sorted = diffs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite diffs"));
+            let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+            let frac_le0 =
+                sorted.iter().filter(|&&d| d <= 0.0).count() as f64 / sorted.len() as f64;
+            t.row(vec![
+                name.into(),
+                f3(q(0.10)),
+                f3(q(0.25)),
+                f3(q(0.50)),
+                f3(q(0.75)),
+                f3(q(0.90)),
+                f3(frac_le0),
+            ]);
+            // Full 21-point CDF for the plot.
+            for i in 0..=20 {
+                let p = i as f64 / 20.0;
+                rows.push(vec![
+                    format!("{}-{name}", id.name()),
+                    f3(p),
+                    f3(q(p)),
+                ]);
+            }
+        }
+        t.print();
+        let easy = easy_query_fraction(dataset, light, heavy);
+        println!(
+            "latent easy-query fraction (light >= heavy quality): {:.3}  [paper: 20-40%]",
+            easy
+        );
+    }
+    let path = write_csv("fig1b", &["series", "cdf_p", "difference"], &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,99 @@
+//! Figure 1c: FID vs. serving throughput for every configuration of a
+//! 10-GPU cluster serving Cascade 1 (threshold × batch sizes × placement),
+//! with the Pareto frontier highlighted.
+//!
+//! Paper claim to reproduce: ~9K configurations; only the Pareto frontier
+//! matters for allocation, and it spans a wide quality/throughput range.
+
+use diffserve_bench::{f2, prepare_runtime, write_csv, CascadeId, Table};
+use diffserve_imagegen::{evaluate_cascade, RoutingRule};
+
+fn main() {
+    let runtime = prepare_runtime(CascadeId::One);
+    let light = &runtime.spec.light;
+    let heavy = &runtime.spec.heavy;
+    let workers = 10usize;
+    let batches = [1usize, 2, 4, 8, 16];
+    let disc_lat = runtime.discriminator.latency().as_secs_f64();
+
+    // Precompute the FID-vs-threshold curve once (21 thresholds); each
+    // configuration then reads its FID from its threshold.
+    let rule = RoutingRule::Discriminator(&runtime.discriminator);
+    let mut fid_at = Vec::new();
+    for i in 0..=20 {
+        let t = i as f64 / 20.0;
+        let e = evaluate_cascade(&runtime.dataset, light, heavy, &rule, t);
+        fid_at.push((t, e.fid, e.deferral_fraction));
+    }
+
+    let mut points: Vec<(f64, f64)> = Vec::new(); // (throughput, fid)
+    let mut rows = Vec::new();
+    let mut count = 0usize;
+    for &(t, fid, f) in &fid_at {
+        for &b1 in &batches {
+            for &b2 in &batches {
+                for x1 in 1..workers {
+                    let x2 = workers - x1;
+                    count += 1;
+                    let t1 = b1 as f64
+                        / (light.latency().exec_latency(b1).as_secs_f64()
+                            + disc_lat * b1 as f64);
+                    let t2 = b2 as f64 / heavy.latency().exec_latency(b2).as_secs_f64();
+                    let light_cap = x1 as f64 * t1;
+                    let heavy_cap = x2 as f64 * t2;
+                    // System throughput: light stage must pass everything;
+                    // heavy stage must absorb the deferred fraction.
+                    let tp = if f > 0.0 {
+                        light_cap.min(heavy_cap / f)
+                    } else {
+                        light_cap
+                    };
+                    points.push((tp, fid));
+                    rows.push(vec![
+                        format!("{t:.2}"),
+                        b1.to_string(),
+                        b2.to_string(),
+                        x1.to_string(),
+                        x2.to_string(),
+                        format!("{tp:.2}"),
+                        format!("{fid:.3}"),
+                    ]);
+                }
+            }
+        }
+    }
+    println!("enumerated {count} configurations (paper: ~9K)");
+
+    // Pareto frontier: maximize throughput, minimize FID.
+    let mut frontier: Vec<(f64, f64)> = Vec::new();
+    let mut sorted = points.clone();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite throughput"));
+    let mut best_fid = f64::INFINITY;
+    for (tp, fid) in sorted {
+        if fid < best_fid - 1e-9 {
+            best_fid = fid;
+            frontier.push((tp, fid));
+        }
+    }
+    frontier.reverse();
+
+    let mut t = Table::new(&["throughput_qps", "fid", "on_frontier"]);
+    for &(tp, fid) in &frontier {
+        t.row(vec![f2(tp), f2(fid), "yes".into()]);
+    }
+    t.print();
+    println!(
+        "frontier spans {:.1}..{:.1} QPS and FID {:.2}..{:.2}",
+        frontier.first().map(|p| p.0).unwrap_or(0.0),
+        frontier.last().map(|p| p.0).unwrap_or(0.0),
+        frontier.iter().map(|p| p.1).fold(f64::INFINITY, f64::min),
+        frontier.iter().map(|p| p.1).fold(0.0f64, f64::max),
+    );
+
+    let path = write_csv(
+        "fig1c",
+        &["threshold", "b1", "b2", "x1", "x2", "throughput_qps", "fid"],
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,75 @@
+//! Figure 4: FID vs. SLO-violation trade-off under static synthetic traces
+//! at low / medium / high load, Cascade 1 on 16 workers.
+//!
+//! Paper claims to reproduce (shape): DiffServe traces the Pareto-optimal
+//! (lower-left) curve; Clipper-Light has near-zero violations but the worst
+//! FID; Clipper-Heavy has the best *model* but 45–74% violations under
+//! load; Proteus sits in between. Dynamic systems sweep the
+//! over-provisioning factor to trace their curves; DiffServe-Static equals
+//! DiffServe under static demand (single point, paper §4.2).
+
+use diffserve_bench::{f2, f3, prepare_runtime, write_csv, CascadeId, Table};
+use diffserve_core::{run_trace, Policy, RunSettings, SystemConfig};
+use diffserve_simkit::time::SimDuration;
+use diffserve_trace::Trace;
+
+fn main() {
+    let runtime = prepare_runtime(CascadeId::One);
+    let config = SystemConfig::default(); // 16 workers, SLO 5 s
+    let loads = [("low", 8.0), ("medium", 16.0), ("high", 24.0)];
+    let lambdas = [1.0, 1.05, 1.2, 1.5, 2.0, 3.0];
+    let mut rows = Vec::new();
+
+    for (label, qps) in loads {
+        println!("\n== Fig 4: {label} load ({qps} QPS, static) ==");
+        let trace = Trace::constant(qps, SimDuration::from_secs(120)).expect("valid trace");
+        let mut t = Table::new(&["policy", "lambda", "slo_violation", "fid"]);
+
+        for policy in [Policy::ClipperLight, Policy::ClipperHeavy] {
+            let settings = RunSettings::new(policy, qps);
+            let r = run_trace(&runtime, &config, &settings, &trace);
+            t.row(vec![
+                policy.name().into(),
+                "-".into(),
+                f3(r.violation_ratio),
+                f2(r.fid),
+            ]);
+            rows.push(vec![
+                label.into(),
+                policy.name().into(),
+                "1.0".into(),
+                f3(r.violation_ratio),
+                f3(r.fid),
+            ]);
+        }
+        for policy in [Policy::Proteus, Policy::DiffServe] {
+            for &lambda in &lambdas {
+                let mut config = config.clone();
+                config.over_provision = lambda;
+                let settings = RunSettings::new(policy, qps);
+                let r = run_trace(&runtime, &config, &settings, &trace);
+                t.row(vec![
+                    policy.name().into(),
+                    f2(lambda),
+                    f3(r.violation_ratio),
+                    f2(r.fid),
+                ]);
+                rows.push(vec![
+                    label.into(),
+                    policy.name().into(),
+                    f2(lambda),
+                    f3(r.violation_ratio),
+                    f3(r.fid),
+                ]);
+            }
+        }
+        t.print();
+    }
+
+    let path = write_csv(
+        "fig4",
+        &["load", "policy", "lambda", "slo_violation", "fid"],
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

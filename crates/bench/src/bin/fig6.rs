@@ -1,0 +1,95 @@
+//! Figure 6: testbed results for Cascades 2 and 3 — average FID and average
+//! SLO-violation bars for all five policies — plus the simulator-vs-testbed
+//! validation the paper reports alongside (§4.3: average gap of 0.56% FID
+//! and 1.1% SLO violations).
+//!
+//! The "testbed" here is the thread-and-channel cluster runtime
+//! (`diffserve-cluster`) with wall-clock execution at 1/100 time scale.
+
+use diffserve_bench::{f2, f3, prepare_runtime, write_csv, CascadeId, Table};
+use diffserve_cluster::{run_cluster, ClusterConfig};
+use diffserve_core::{run_trace, Policy, RunSettings, SystemConfig};
+use diffserve_simkit::time::SimDuration;
+use diffserve_trace::{synthesize_azure_trace, AzureTraceConfig};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (id, min_qps, max_qps, slo) in [
+        (CascadeId::Two, 4.0, 32.0, 5u64),
+        (CascadeId::Three, 1.0, 8.0, 15u64),
+    ] {
+        let runtime = prepare_runtime(id);
+        let system = SystemConfig {
+            slo: SimDuration::from_secs(slo),
+            ..Default::default()
+        };
+        let trace = synthesize_azure_trace(&AzureTraceConfig {
+            min_qps,
+            max_qps,
+            ..Default::default()
+        })
+        .expect("valid trace");
+
+        println!(
+            "\n== Fig 6: cascade {} ({}->{} QPS, SLO {}s) ==",
+            id.name(),
+            min_qps,
+            max_qps,
+            slo
+        );
+        let mut t = Table::new(&[
+            "policy",
+            "testbed_fid",
+            "testbed_viol",
+            "sim_fid",
+            "sim_viol",
+            "fid_gap_%",
+            "viol_gap_pp",
+        ]);
+        let cluster_cfg = ClusterConfig {
+            system: system.clone(),
+            time_scale: 0.05,
+        };
+
+        let mut fid_gaps = Vec::new();
+        let mut viol_gaps = Vec::new();
+        for policy in Policy::all() {
+            let settings = RunSettings::new(policy, max_qps);
+            let testbed = run_cluster(&runtime, &cluster_cfg, &settings, &trace);
+            let sim = run_trace(&runtime, &system, &settings, &trace);
+            let fid_gap = 100.0 * (testbed.fid - sim.fid).abs() / sim.fid;
+            let viol_gap = (testbed.violation_ratio - sim.violation_ratio).abs();
+            fid_gaps.push(fid_gap);
+            viol_gaps.push(viol_gap);
+            t.row(vec![
+                policy.name().into(),
+                f2(testbed.fid),
+                f3(testbed.violation_ratio),
+                f2(sim.fid),
+                f3(sim.violation_ratio),
+                f2(fid_gap),
+                f3(viol_gap),
+            ]);
+            rows.push(vec![
+                id.name().into(),
+                policy.name().into(),
+                f3(testbed.fid),
+                f3(testbed.violation_ratio),
+                f3(sim.fid),
+                f3(sim.violation_ratio),
+            ]);
+        }
+        t.print();
+        println!(
+            "simulator-vs-testbed gap: avg FID {:.2}% (paper 0.56%), avg SLO {:.3} (paper 0.011)",
+            fid_gaps.iter().sum::<f64>() / fid_gaps.len() as f64,
+            viol_gaps.iter().sum::<f64>() / viol_gaps.len() as f64,
+        );
+    }
+    let path = write_csv(
+        "fig6",
+        &["cascade", "policy", "testbed_fid", "testbed_viol", "sim_fid", "sim_viol"],
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,80 @@
+//! Figure 7: discriminator design ablation — ResNet-34 w/ ground truth,
+//! ViT-B16 w/ ground truth, EfficientNet w/ heavy outputs as "real"
+//! ("w Fake"), and EfficientNet w/ ground truth (the paper's choice) — as
+//! FID-vs-latency curves on both 512px cascades.
+//!
+//! Paper claim to reproduce: EfficientNet trained on ground-truth images
+//! achieves the lowest FID at every latency budget.
+
+use diffserve_bench::{f2, f3, write_csv, CascadeId, Table, DATASET_SIZE, EXPERIMENT_SEED};
+use diffserve_core::CascadeRuntime;
+use diffserve_imagegen::{
+    evaluate_cascade, DiscArch, DiscriminatorConfig, RealClass, RoutingRule,
+};
+
+fn main() {
+    let variants: [(&str, DiscArch, RealClass); 4] = [
+        ("resnet_w_gt", DiscArch::ResNet34, RealClass::GroundTruth),
+        ("vit_w_gt", DiscArch::ViTB16, RealClass::GroundTruth),
+        ("effnet_w_fake", DiscArch::EfficientNetV2, RealClass::HeavyOutputs),
+        ("effnet_w_gt", DiscArch::EfficientNetV2, RealClass::GroundTruth),
+    ];
+
+    let mut rows = Vec::new();
+    for id in [CascadeId::One, CascadeId::Two] {
+        println!("\n== Fig 7: cascade {} ==", id.name());
+        let mut t = Table::new(&["discriminator", "threshold", "latency_s", "fid", "auc_area"]);
+        for (name, arch, real_class) in variants {
+            let runtime = CascadeRuntime::prepare(
+                id.spec(),
+                DATASET_SIZE,
+                EXPERIMENT_SEED,
+                DiscriminatorConfig {
+                    arch,
+                    real_class,
+                    ..Default::default()
+                },
+            );
+            let rule = RoutingRule::Discriminator(&runtime.discriminator);
+            let mut area = 0.0; // rough area under the FID-latency curve (lower = better)
+            let mut prev: Option<(f64, f64)> = None;
+            for i in 0..=10 {
+                let thr = i as f64 / 10.0;
+                let e = evaluate_cascade(
+                    &runtime.dataset,
+                    &runtime.spec.light,
+                    &runtime.spec.heavy,
+                    &rule,
+                    thr,
+                );
+                if let Some((pl, pf)) = prev {
+                    area += 0.5 * (e.fid + pf) * (e.mean_latency - pl);
+                }
+                prev = Some((e.mean_latency, e.fid));
+                t.row(vec![
+                    name.into(),
+                    f2(thr),
+                    f2(e.mean_latency),
+                    f2(e.fid),
+                    String::new(),
+                ]);
+                rows.push(vec![
+                    format!("{}-{}", id.name(), name),
+                    f2(thr),
+                    f3(e.mean_latency),
+                    f3(e.fid),
+                ]);
+            }
+            t.row(vec![
+                name.into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                f2(area),
+            ]);
+        }
+        t.print();
+    }
+    let path = write_csv("fig7", &["series", "threshold", "latency_s", "fid"], &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,19 @@
+//! Table 1: taxonomy of DiffServe and the baselines — allocation
+//! (static/dynamic) × query-awareness.
+
+use diffserve_bench::{write_csv, Table};
+use diffserve_core::Policy;
+
+fn main() {
+    let mut t = Table::new(&["Approach", "Allocation", "Query-aware"]);
+    let mut rows = Vec::new();
+    for p in Policy::all() {
+        let allocation = if p.is_dynamic() { "Dynamic" } else { "Static" };
+        let aware = if p.is_query_aware() { "Yes" } else { "No" };
+        t.row(vec![p.name().into(), allocation.into(), aware.into()]);
+        rows.push(vec![p.name().into(), allocation.into(), aware.into()]);
+    }
+    t.print();
+    let path = write_csv("table1", &["approach", "allocation", "query_aware"], &rows);
+    println!("\nwrote {}", path.display());
+}

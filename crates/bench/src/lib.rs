@@ -1,0 +1,222 @@
+//! # diffserve-bench
+//!
+//! Experiment harness for the DiffServe reproduction: one binary per table
+//! and figure of the paper (run with
+//! `cargo run -p diffserve-bench --release --bin figN`), plus Criterion
+//! benches for the performance claims (`cargo bench -p diffserve-bench`).
+//!
+//! Binaries write their series as CSV under `results/` and print the same
+//! rows to stdout; `EXPERIMENTS.md` records paper-vs-measured for each.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+use diffserve_core::CascadeRuntime;
+use diffserve_imagegen::{
+    cascade1, cascade2, cascade3, CascadeSpec, DiscriminatorConfig, FeatureSpec,
+};
+
+/// Standard seed shared by all experiments for reproducibility.
+pub const EXPERIMENT_SEED: u64 = 20250509;
+
+/// Number of prompts in the standard evaluation datasets (the paper uses
+/// the first 5K text–image pairs).
+pub const DATASET_SIZE: usize = 5000;
+
+/// Directory where experiment CSVs are written.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes rows as CSV under `results/{name}.csv` and returns the path.
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiments should fail loudly.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    path
+}
+
+/// A minimal fixed-width table printer for experiment stdout.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: &[String]| {
+            let joined: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            println!("| {} |", joined.join(" | "));
+        };
+        line(&self.headers);
+        println!(
+            "|{}|",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for r in &self.rows {
+            line(r);
+        }
+    }
+
+    /// The rows, for CSV reuse.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+}
+
+/// Which paper cascade to prepare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CascadeId {
+    /// SD-Turbo → SDv1.5 (MS-COCO, SLO 5 s).
+    One,
+    /// SDXS → SDv1.5 (MS-COCO, SLO 5 s).
+    Two,
+    /// SDXL-Lightning → SDXL (DiffusionDB, SLO 15 s).
+    Three,
+}
+
+impl CascadeId {
+    /// The cascade spec with default feature geometry.
+    pub fn spec(self) -> CascadeSpec {
+        let fs = FeatureSpec::default();
+        match self {
+            CascadeId::One => cascade1(fs),
+            CascadeId::Two => cascade2(fs),
+            CascadeId::Three => cascade3(fs),
+        }
+    }
+
+    /// Artifact-style short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CascadeId::One => "sdturbo",
+            CascadeId::Two => "sdxs",
+            CascadeId::Three => "sdxlltn",
+        }
+    }
+}
+
+/// Prepares a full cascade runtime at standard experiment scale
+/// (5K prompts, 1K-prompt discriminator training set).
+pub fn prepare_runtime(id: CascadeId) -> CascadeRuntime {
+    CascadeRuntime::prepare(
+        id.spec(),
+        DATASET_SIZE,
+        EXPERIMENT_SEED,
+        DiscriminatorConfig::default(),
+    )
+}
+
+/// Prepares a reduced-scale runtime for fast iteration (used by the
+/// Criterion benches so they spend their time on the system under test,
+/// not on setup).
+pub fn prepare_runtime_small(id: CascadeId) -> CascadeRuntime {
+    CascadeRuntime::prepare(
+        id.spec(),
+        1500,
+        EXPERIMENT_SEED,
+        DiscriminatorConfig {
+            train_prompts: 500,
+            epochs: 10,
+            ..Default::default()
+        },
+    )
+}
+
+/// Formats a float with 2 decimals (experiment table convention).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows().len(), 1);
+        t.print(); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn cascade_ids_map_to_specs() {
+        assert_eq!(CascadeId::One.spec().name, "sdturbo");
+        assert_eq!(CascadeId::Two.spec().name, "sdxs");
+        assert_eq!(CascadeId::Three.spec().name, "sdxlltn");
+        assert_eq!(CascadeId::Three.name(), "sdxlltn");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f3(0.1234), "0.123");
+    }
+}

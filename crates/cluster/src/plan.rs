@@ -1,0 +1,111 @@
+//! The shared serving plan updated by the controller and read by workers.
+
+use diffserve_core::ModelTier;
+
+/// A snapshot of the controller's decisions: worker tier assignments, batch
+/// sizes, and the cascade threshold. Workers read the current plan at every
+/// batch boundary; the controller swaps in new plans atomically behind a
+/// lock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingPlan {
+    /// Tier each worker should host.
+    pub tiers: Vec<ModelTier>,
+    /// Light-stage batch size.
+    pub light_batch: usize,
+    /// Heavy-stage batch size.
+    pub heavy_batch: usize,
+    /// Cascade confidence threshold.
+    pub threshold: f64,
+}
+
+impl ServingPlan {
+    /// A bootstrap plan: half the fleet per tier, batch 1, mid threshold.
+    pub fn bootstrap(num_workers: usize) -> Self {
+        ServingPlan {
+            tiers: (0..num_workers)
+                .map(|i| {
+                    if i < num_workers / 2 {
+                        ModelTier::Light
+                    } else {
+                        ModelTier::Heavy
+                    }
+                })
+                .collect(),
+            light_batch: 1,
+            heavy_batch: 1,
+            threshold: 0.5,
+        }
+    }
+
+    /// Batch size for a tier.
+    pub fn batch_for(&self, tier: ModelTier) -> usize {
+        match tier {
+            ModelTier::Light => self.light_batch,
+            ModelTier::Heavy => self.heavy_batch,
+        }
+    }
+
+    /// Worker indices currently assigned to a tier.
+    pub fn workers_of(&self, tier: ModelTier) -> Vec<usize> {
+        self.tiers
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == tier)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Re-derives tier assignments from target counts, switching as few
+    /// workers as possible (stable assignment).
+    pub fn retarget(&mut self, light_workers: usize, heavy_workers: usize) {
+        let n = self.tiers.len();
+        let spare = n.saturating_sub(light_workers + heavy_workers);
+        let target_light = (light_workers + spare).min(n);
+        let mut current_light = self.tiers.iter().filter(|&&t| t == ModelTier::Light).count();
+        // Flip workers one at a time until the count matches.
+        for i in 0..n {
+            if current_light == target_light {
+                break;
+            }
+            if current_light < target_light && self.tiers[i] == ModelTier::Heavy {
+                self.tiers[i] = ModelTier::Light;
+                current_light += 1;
+            } else if current_light > target_light && self.tiers[i] == ModelTier::Light {
+                self.tiers[i] = ModelTier::Heavy;
+                current_light -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_splits_fleet() {
+        let p = ServingPlan::bootstrap(8);
+        assert_eq!(p.workers_of(ModelTier::Light).len(), 4);
+        assert_eq!(p.workers_of(ModelTier::Heavy).len(), 4);
+        assert_eq!(p.batch_for(ModelTier::Light), 1);
+    }
+
+    #[test]
+    fn retarget_minimizes_switches() {
+        let mut p = ServingPlan::bootstrap(8);
+        p.retarget(6, 2);
+        assert_eq!(p.workers_of(ModelTier::Light).len(), 6);
+        // The original 4 light workers must not have flipped.
+        for i in 0..4 {
+            assert_eq!(p.tiers[i], ModelTier::Light);
+        }
+    }
+
+    #[test]
+    fn retarget_assigns_spare_to_light() {
+        let mut p = ServingPlan::bootstrap(8);
+        p.retarget(2, 2); // 4 spare → light
+        assert_eq!(p.workers_of(ModelTier::Light).len(), 6);
+        assert_eq!(p.workers_of(ModelTier::Heavy).len(), 2);
+    }
+}

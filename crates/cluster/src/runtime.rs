@@ -1,0 +1,665 @@
+//! The thread-based testbed runtime.
+//!
+//! The paper validates its simulator against a 16×A100 cluster where the
+//! controller, load balancer, and workers are separate processes talking
+//! over gRPC (§4.1). This module reproduces that architecture at
+//! thread-and-channel scale: a client thread replays the trace, worker
+//! threads batch and "execute" queries by sleeping the profiled latency
+//! (scaled by [`ClusterConfig::time_scale`]), escalations travel over
+//! channels, and a controller thread re-solves the allocation periodically.
+//! The Fig. 6 experiment compares its measurements with the simulator's —
+//! the paper reports a 0.56% FID / 1.1% SLO-violation gap between the two.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use diffserve_core::{
+    overload_fallback, solve_exhaustive, solve_proteus, AllocatorInputs, CascadeRuntime,
+    CompletedResponse, ModelTier, Policy, QueryId, RunReport, RunSettings, SystemConfig,
+};
+use diffserve_metrics::{SloTracker, WindowedSeries};
+use diffserve_simkit::prelude::*;
+use diffserve_trace::{poisson_arrivals, DemandEstimator, Trace};
+use parking_lot::RwLock;
+use rand::Rng;
+
+use crate::plan::ServingPlan;
+
+/// Cluster-runtime configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// The shared system configuration (workers, SLO, controller settings).
+    pub system: SystemConfig,
+    /// Wall-clock seconds per simulated second. `0.02` runs a 350 s trace
+    /// in 7 s while keeping all latency ratios intact.
+    pub time_scale: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            system: SystemConfig::default(),
+            time_scale: 0.02,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    qid: u64,
+    arrival: f64,  // sim seconds
+    deadline: f64, // sim seconds
+}
+
+struct Shared {
+    plan: RwLock<ServingPlan>,
+    depths: Vec<AtomicUsize>,
+    arrivals_since_tick: AtomicU64,
+    heavy_since_tick: AtomicU64,
+    shutdown: AtomicBool,
+    start: Instant,
+    scale: f64,
+}
+
+impl Shared {
+    fn sim_now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() / self.scale
+    }
+
+    fn sleep_sim(&self, sim_secs: f64) {
+        if sim_secs > 0.0 {
+            thread::sleep(Duration::from_secs_f64(sim_secs * self.scale));
+        }
+    }
+
+    /// JSQ among workers currently assigned to `tier`.
+    fn pick_worker(&self, tier: ModelTier) -> usize {
+        let plan = self.plan.read();
+        let mut best: Option<(usize, usize)> = None;
+        for (i, &t) in plan.tiers.iter().enumerate() {
+            if t != tier {
+                continue;
+            }
+            let d = self.depths[i].load(Ordering::Relaxed);
+            if best.map_or(true, |(bd, _)| d < bd) {
+                best = Some((d, i));
+            }
+        }
+        match best {
+            Some((_, i)) => i,
+            // No worker currently on that tier (mid-reconfiguration):
+            // fall back to the globally least-loaded worker.
+            None => {
+                let mut idx = 0;
+                let mut min = usize::MAX;
+                for (i, d) in self.depths.iter().enumerate() {
+                    let v = d.load(Ordering::Relaxed);
+                    if v < min {
+                        min = v;
+                        idx = i;
+                    }
+                }
+                idx
+            }
+        }
+    }
+}
+
+enum Outcome {
+    Completed(CompletedResponse),
+    Dropped { arrival: f64, at: f64 },
+}
+
+/// Runs one policy on the thread-based cluster and reports the same
+/// metrics as the simulator.
+///
+/// Supports every policy in Table 1. The run blocks the calling thread for
+/// roughly `trace.duration × time_scale` wall-clock time plus a drain
+/// period.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `time_scale` is not positive.
+pub fn run_cluster(
+    runtime: &CascadeRuntime,
+    config: &ClusterConfig,
+    settings: &RunSettings,
+    trace: &Trace,
+) -> RunReport {
+    config.system.validate().expect("valid system config");
+    assert!(
+        config.time_scale > 0.0 && config.time_scale.is_finite(),
+        "time scale must be positive"
+    );
+    let sys = &config.system;
+    let n = sys.num_workers;
+
+    // Arrival stream, identical to the simulator's generation.
+    let mut arrival_rng = seeded_rng(derive_seed(sys.seed, 0xA881));
+    let arrivals = poisson_arrivals(trace, &mut arrival_rng);
+
+    let shared = Arc::new(Shared {
+        plan: RwLock::new(bootstrap_plan(runtime, sys, settings, trace)),
+        depths: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+        arrivals_since_tick: AtomicU64::new(0),
+        heavy_since_tick: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+        start: Instant::now(),
+        scale: config.time_scale,
+    });
+
+    let (job_txs, job_rxs): (Vec<Sender<Job>>, Vec<Receiver<Job>>) =
+        (0..n).map(|_| unbounded()).unzip();
+    let job_txs = Arc::new(job_txs);
+    let (done_tx, done_rx) = unbounded::<Outcome>();
+
+    // --- Worker threads -------------------------------------------------
+    let mut handles = Vec::new();
+    for (wid, rx) in job_rxs.into_iter().enumerate() {
+        let shared = Arc::clone(&shared);
+        let txs = Arc::clone(&job_txs);
+        let done = done_tx.clone();
+        let rt = runtime.clone();
+        let uses_cascade = settings.policy.uses_cascade();
+        let drop_misses = sys.drop_predicted_misses;
+        let switch_delay = sys.model_switch_delay.as_secs_f64();
+        handles.push(thread::spawn(move || {
+            worker_loop(
+                wid,
+                &shared,
+                &rx,
+                &txs,
+                &done,
+                &rt,
+                uses_cascade,
+                drop_misses,
+                switch_delay,
+            );
+        }));
+    }
+    drop(done_tx);
+
+    // --- Controller thread ------------------------------------------------
+    let controller = {
+        let shared = Arc::clone(&shared);
+        let rt = runtime.clone();
+        let sys = sys.clone();
+        let settings = settings.clone();
+        thread::spawn(move || controller_loop(&shared, &rt, &sys, &settings))
+    };
+
+    // --- Client (this thread replays the trace) ---------------------------
+    let slo_secs = sys.slo.as_secs_f64();
+    let mut route_rng = seeded_rng(derive_seed(sys.seed, 0x20C7));
+    let mut demand_track = WindowedSeries::new(sys.metrics_window);
+    for (i, t) in arrivals.iter().enumerate() {
+        let at = t.as_secs_f64();
+        let now = shared.sim_now();
+        if at > now {
+            shared.sleep_sim(at - now);
+        }
+        let now = shared.sim_now();
+        demand_track.push(SimTime::from_secs_f64(at), 1.0);
+        shared.arrivals_since_tick.fetch_add(1, Ordering::Relaxed);
+        let tier = match settings.policy {
+            Policy::ClipperLight => ModelTier::Light,
+            Policy::ClipperHeavy => ModelTier::Heavy,
+            Policy::Proteus => {
+                let frac = shared.plan.read().threshold; // Proteus reuses slot
+                if route_rng.gen_range(0.0..1.0) < frac {
+                    shared.heavy_since_tick.fetch_add(1, Ordering::Relaxed);
+                    ModelTier::Heavy
+                } else {
+                    ModelTier::Light
+                }
+            }
+            _ => ModelTier::Light,
+        };
+        let w = shared.pick_worker(tier);
+        shared.depths[w].fetch_add(1, Ordering::Relaxed);
+        job_txs[w]
+            .send(Job {
+                qid: i as u64,
+                arrival: now,
+                deadline: now + slo_secs,
+            })
+            .expect("worker channels outlive the client");
+    }
+
+    // Drain, then shut down.
+    shared.sleep_sim(4.0 * slo_secs);
+    shared.shutdown.store(true, Ordering::SeqCst);
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+    controller.join().expect("controller thread panicked");
+
+    // --- Collect ----------------------------------------------------------
+    let mut slo_tracker = SloTracker::new(sys.slo);
+    let mut responses = Vec::new();
+    while let Ok(outcome) = done_rx.try_recv() {
+        match outcome {
+            Outcome::Completed(r) => {
+                slo_tracker.record_completion(r.arrival, r.completion);
+                responses.push(r);
+            }
+            Outcome::Dropped { arrival, at } => {
+                slo_tracker.record_drop(
+                    SimTime::from_secs_f64(arrival),
+                    SimTime::from_secs_f64(at),
+                );
+            }
+        }
+    }
+    let total = arrivals.len() as u64;
+    // Jobs stuck in closed channels at shutdown count as drops.
+    let accounted = slo_tracker.total();
+    for _ in accounted..total {
+        let end = shared.sim_now();
+        slo_tracker.record_drop(SimTime::from_secs_f64(end), SimTime::from_secs_f64(end));
+    }
+
+    RunReport::assemble(
+        settings.policy,
+        total,
+        &slo_tracker,
+        &responses,
+        &runtime.reference,
+        sys.metrics_window,
+        demand_track
+            .window_rates()
+            .into_iter()
+            .map(|(t, v)| (t.as_secs_f64(), v))
+            .collect(),
+        Vec::new(), // threshold series tracked only by the controller
+    )
+}
+
+fn bootstrap_plan(
+    runtime: &CascadeRuntime,
+    sys: &SystemConfig,
+    settings: &RunSettings,
+    trace: &Trace,
+) -> ServingPlan {
+    let mut plan = ServingPlan::bootstrap(sys.num_workers);
+    match settings.policy {
+        Policy::ClipperLight => {
+            plan.tiers = vec![ModelTier::Light; sys.num_workers];
+            plan.light_batch = clipper_batch(runtime, sys, ModelTier::Light, true);
+        }
+        Policy::ClipperHeavy => {
+            plan.tiers = vec![ModelTier::Heavy; sys.num_workers];
+            plan.heavy_batch = clipper_batch(runtime, sys, ModelTier::Heavy, false);
+        }
+        Policy::DiffServeStatic => {
+            let demand = settings.peak_demand_hint.max(trace.max_qps()) * sys.over_provision;
+            apply_solved(&mut plan, runtime, sys, settings, demand, 0.0, 0.0);
+        }
+        Policy::DiffServe | Policy::Proteus => {
+            apply_solved(&mut plan, runtime, sys, settings, 1.0, 0.0, 0.0);
+        }
+    }
+    plan
+}
+
+fn clipper_batch(
+    runtime: &CascadeRuntime,
+    sys: &SystemConfig,
+    tier: ModelTier,
+    with_disc: bool,
+) -> usize {
+    let budget = sys.slo.as_secs_f64() / 2.0;
+    let lat = |b: usize| -> f64 {
+        let model = match tier {
+            ModelTier::Light => &runtime.spec.light,
+            ModelTier::Heavy => &runtime.spec.heavy,
+        };
+        let disc = if with_disc {
+            runtime.discriminator.latency().as_secs_f64() * b as f64
+        } else {
+            0.0
+        };
+        model.latency().exec_latency(b).as_secs_f64() + disc
+    };
+    sys.batch_sizes
+        .iter()
+        .copied()
+        .filter(|&b| lat(b) <= budget)
+        .max()
+        .unwrap_or(1)
+}
+
+fn apply_solved(
+    plan: &mut ServingPlan,
+    runtime: &CascadeRuntime,
+    sys: &SystemConfig,
+    settings: &RunSettings,
+    demand: f64,
+    q1: f64,
+    q2: f64,
+) {
+    let thresholds = match settings.knobs.static_threshold {
+        Some(t) => vec![t],
+        None => sys.threshold_grid(),
+    };
+    let inputs = AllocatorInputs {
+        demand_qps: demand,
+        queue_delay_light: q1,
+        queue_delay_heavy: q2,
+        slo: sys.slo.as_secs_f64(),
+        total_workers: sys.num_workers,
+        deferral: &runtime.deferral,
+        light: *runtime.spec.light.latency(),
+        heavy: *runtime.spec.heavy.latency(),
+        discriminator_latency: if settings.policy.uses_cascade() {
+            runtime.discriminator.latency().as_secs_f64()
+        } else {
+            0.0
+        },
+        batch_sizes: &sys.batch_sizes,
+        thresholds: &thresholds,
+    };
+    match settings.policy {
+        Policy::Proteus => {
+            if let Some((alloc, frac)) = solve_proteus(&inputs) {
+                plan.retarget(alloc.light_workers, alloc.heavy_workers);
+                plan.light_batch = alloc.light_batch;
+                plan.heavy_batch = alloc.heavy_batch;
+                plan.threshold = frac; // heavy fraction rides in this slot
+            }
+        }
+        _ => {
+            let alloc = solve_exhaustive(&inputs).unwrap_or_else(|| overload_fallback(&inputs));
+            plan.retarget(alloc.light_workers, alloc.heavy_workers);
+            plan.light_batch = alloc.light_batch;
+            plan.heavy_batch = alloc.heavy_batch;
+            plan.threshold = alloc.threshold;
+        }
+    }
+}
+
+fn controller_loop(
+    shared: &Shared,
+    runtime: &CascadeRuntime,
+    sys: &SystemConfig,
+    settings: &RunSettings,
+) {
+    if !settings.policy.is_dynamic() {
+        return; // Static policies never re-plan.
+    }
+    let interval = sys.control_interval.as_secs_f64();
+    let mut demand = DemandEstimator::new(sys.ewma_alpha, sys.over_provision);
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        shared.sleep_sim(interval);
+        let arrived = shared.arrivals_since_tick.swap(0, Ordering::Relaxed);
+        let heavy = shared.heavy_since_tick.swap(0, Ordering::Relaxed);
+        demand.observe(arrived, sys.control_interval);
+        let d = demand.provisioned_estimate().max(0.5);
+
+        // Little's-law queue estimates from live channel depths.
+        let plan_snapshot = shared.plan.read().clone();
+        let mut light_q = 0usize;
+        let mut heavy_q = 0usize;
+        for (i, &t) in plan_snapshot.tiers.iter().enumerate() {
+            let depth = shared.depths[i].load(Ordering::Relaxed);
+            match t {
+                ModelTier::Light => light_q += depth,
+                ModelTier::Heavy => heavy_q += depth,
+            }
+        }
+        let heavy_rate = (heavy as f64 / interval).max(0.05);
+        let q1 = light_q as f64 / d.max(0.05);
+        let q2 = heavy_q as f64 / heavy_rate;
+
+        let mut plan = plan_snapshot;
+        apply_solved(&mut plan, runtime, sys, settings, d, q1, q2);
+        *shared.plan.write() = plan;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    wid: usize,
+    shared: &Shared,
+    rx: &Receiver<Job>,
+    txs: &[Sender<Job>],
+    done: &Sender<Outcome>,
+    runtime: &CascadeRuntime,
+    uses_cascade: bool,
+    drop_misses: bool,
+    switch_delay: f64,
+) {
+    let mut current_tier = shared.plan.read().tiers[wid];
+    loop {
+        // Follow the plan: switch models if reassigned.
+        let desired = shared.plan.read().tiers[wid];
+        if desired != current_tier {
+            shared.sleep_sim(switch_delay);
+            current_tier = desired;
+        }
+        let bmax = shared.plan.read().batch_for(current_tier).max(1);
+
+        // Collect a batch: block briefly for the first job, then take
+        // whatever else is queued (Clipper-style no-wait batching). The
+        // poll must be fine relative to *simulated* time or idle polling
+        // inflates queueing delays for sub-100ms models like SDXS.
+        let poll = Duration::from_secs_f64((0.02 * shared.scale).max(0.0002));
+        let first = match rx.recv_timeout(poll) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) && rx.is_empty() {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        shared.depths[wid].fetch_sub(1, Ordering::Relaxed);
+        let mut batch = vec![first];
+        while batch.len() < bmax {
+            match rx.try_recv() {
+                Ok(job) => {
+                    shared.depths[wid].fetch_sub(1, Ordering::Relaxed);
+                    batch.push(job);
+                }
+                Err(_) => break,
+            }
+        }
+
+        // Drop-front policy.
+        if drop_misses {
+            let now = shared.sim_now();
+            let exec = stage_latency(runtime, current_tier, batch.len(), uses_cascade);
+            batch.retain(|job| {
+                if now + exec > job.deadline {
+                    let _ = done.send(Outcome::Dropped {
+                        arrival: job.arrival,
+                        at: now,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            if batch.is_empty() {
+                continue;
+            }
+        }
+
+        // "Execute" the batch.
+        let exec = stage_latency(runtime, current_tier, batch.len(), uses_cascade);
+        shared.sleep_sim(exec);
+        let now = shared.sim_now();
+        let threshold = shared.plan.read().threshold;
+
+        for job in batch {
+            let prompt = *runtime.dataset.prompt_cyclic(job.qid);
+            match current_tier {
+                ModelTier::Light => {
+                    let image = runtime.spec.light.generate(&prompt);
+                    if uses_cascade {
+                        let conf = runtime.discriminator.confidence(&image.features);
+                        if conf >= threshold {
+                            let _ = done.send(Outcome::Completed(make_response(
+                                job,
+                                image,
+                                ModelTier::Light,
+                                Some(conf),
+                                now,
+                            )));
+                        } else {
+                            shared.heavy_since_tick.fetch_add(1, Ordering::Relaxed);
+                            let target = shared.pick_worker(ModelTier::Heavy);
+                            shared.depths[target].fetch_add(1, Ordering::Relaxed);
+                            let _ = txs[target].send(job);
+                        }
+                    } else {
+                        let _ = done.send(Outcome::Completed(make_response(
+                            job,
+                            image,
+                            ModelTier::Light,
+                            None,
+                            now,
+                        )));
+                    }
+                }
+                ModelTier::Heavy => {
+                    let image = runtime.spec.heavy.generate(&prompt);
+                    let _ = done.send(Outcome::Completed(make_response(
+                        job,
+                        image,
+                        ModelTier::Heavy,
+                        None,
+                        now,
+                    )));
+                }
+            }
+        }
+    }
+}
+
+fn stage_latency(
+    runtime: &CascadeRuntime,
+    tier: ModelTier,
+    batch: usize,
+    uses_cascade: bool,
+) -> f64 {
+    match tier {
+        ModelTier::Light => {
+            let base = runtime.spec.light.latency().exec_latency(batch).as_secs_f64();
+            if uses_cascade {
+                base + runtime.discriminator.latency().as_secs_f64() * batch as f64
+            } else {
+                base
+            }
+        }
+        ModelTier::Heavy => runtime.spec.heavy.latency().exec_latency(batch).as_secs_f64(),
+    }
+}
+
+fn make_response(
+    job: Job,
+    image: diffserve_imagegen::GeneratedImage,
+    tier: ModelTier,
+    confidence: Option<f64>,
+    now: f64,
+) -> CompletedResponse {
+    CompletedResponse {
+        id: QueryId(job.qid),
+        arrival: SimTime::from_secs_f64(job.arrival),
+        completion: SimTime::from_secs_f64(now),
+        features: image.features,
+        quality: image.quality,
+        tier,
+        confidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffserve_imagegen::{cascade1, DiscriminatorConfig, FeatureSpec};
+    use diffserve_simkit::time::SimDuration;
+    use std::sync::OnceLock;
+
+    fn test_runtime() -> &'static CascadeRuntime {
+        static RT: OnceLock<CascadeRuntime> = OnceLock::new();
+        RT.get_or_init(|| {
+            CascadeRuntime::prepare(
+                cascade1(FeatureSpec::default()),
+                1200,
+                77,
+                DiscriminatorConfig {
+                    train_prompts: 400,
+                    epochs: 8,
+                    ..Default::default()
+                },
+            )
+        })
+    }
+
+    fn quick_config() -> ClusterConfig {
+        ClusterConfig {
+            system: SystemConfig {
+                num_workers: 8,
+                metrics_window: SimDuration::from_secs(10),
+                ..Default::default()
+            },
+            // Debug builds execute the (real) discriminator inference ~50x
+            // slower, which eats into scaled wall-clock budgets; slow the
+            // clock down accordingly so timing fidelity is preserved.
+            time_scale: if cfg!(debug_assertions) { 0.05 } else { 0.01 },
+        }
+    }
+
+    fn short_trace(qps: f64) -> Trace {
+        Trace::constant(qps, SimDuration::from_secs(40)).unwrap()
+    }
+
+    #[test]
+    fn cluster_serves_and_accounts_for_all_queries() {
+        let cfg = quick_config();
+        let report = run_cluster(
+            test_runtime(),
+            &cfg,
+            &RunSettings::new(Policy::DiffServe, 8.0),
+            &short_trace(5.0),
+        );
+        assert!(report.total_queries > 100);
+        assert_eq!(report.completed + report.dropped, report.total_queries);
+        assert!(report.fid.is_finite());
+        // At modest load the cluster should mostly meet the SLO.
+        assert!(report.violation_ratio < 0.35, "viol {}", report.violation_ratio);
+    }
+
+    #[test]
+    fn clipper_light_on_cluster_has_no_violations() {
+        let cfg = quick_config();
+        let report = run_cluster(
+            test_runtime(),
+            &cfg,
+            &RunSettings::new(Policy::ClipperLight, 8.0),
+            &short_trace(5.0),
+        );
+        assert!(report.violation_ratio < 0.05, "viol {}", report.violation_ratio);
+        assert_eq!(report.heavy_fraction, 0.0);
+    }
+
+    #[test]
+    fn cluster_matches_simulator_shape() {
+        // The fig6 validation in miniature: simulator and testbed should
+        // agree on coarse metrics for the same workload.
+        let cfg = quick_config();
+        let settings = RunSettings::new(Policy::DiffServe, 8.0);
+        let trace = short_trace(5.0);
+        let cluster = run_cluster(test_runtime(), &cfg, &settings, &trace);
+        let sim = diffserve_core::run_trace(test_runtime(), &cfg.system, &settings, &trace);
+        let fid_gap = (cluster.fid - sim.fid).abs() / sim.fid;
+        assert!(fid_gap < 0.25, "fid gap {fid_gap}: {} vs {}", cluster.fid, sim.fid);
+        let viol_gap = (cluster.violation_ratio - sim.violation_ratio).abs();
+        assert!(viol_gap < 0.3, "violation gap {viol_gap}");
+    }
+}

@@ -1,0 +1,506 @@
+//! The resource manager (paper §3.3).
+//!
+//! Given the demand estimate, queue-delay estimates, and the deferral
+//! profile `f(t)`, the allocator picks the confidence threshold `t`, worker
+//! counts `x₁/x₂`, and batch sizes `b₁/b₂` that maximize `t` subject to the
+//! paper's constraints:
+//!
+//! * throughput: `x₁·T₁(b₁) ≥ D` (Eq. 2) and `x₂·T₂(b₂) ≥ D·f(t)` (Eq. 3)
+//! * capacity: `x₁ + x₂ ≤ S` (Eq. 4)
+//! * latency: `e(b₁) + q₁ + e(b₂) + q₂ ≤ SLO` (Eq. 1)
+//!
+//! Two interchangeable solvers are provided: the MILP formulation solved
+//! with `diffserve-milp` (the paper uses Gurobi), and an exhaustive search
+//! over the configuration grid (the paper notes ~9K configurations for its
+//! setting). Property tests assert they find the same optimal threshold.
+
+use diffserve_imagegen::{DeferralProfile, LatencyProfile};
+use diffserve_milp::{solve_milp, Direction, MilpOptions, Problem, Sense, VarKind};
+
+/// Inputs to one allocation decision.
+#[derive(Debug, Clone)]
+pub struct AllocatorInputs<'a> {
+    /// Over-provisioned demand estimate `λD` in QPS.
+    pub demand_qps: f64,
+    /// Estimated queuing delay ahead of the light stage, seconds.
+    pub queue_delay_light: f64,
+    /// Estimated queuing delay ahead of the heavy stage, seconds.
+    pub queue_delay_heavy: f64,
+    /// Latency SLO in seconds.
+    pub slo: f64,
+    /// Total workers `S`.
+    pub total_workers: usize,
+    /// Deferral profile `f(t)`.
+    pub deferral: &'a DeferralProfile,
+    /// Light-model execution profile.
+    pub light: LatencyProfile,
+    /// Heavy-model execution profile.
+    pub heavy: LatencyProfile,
+    /// Per-image discriminator latency in seconds (added to the light stage).
+    pub discriminator_latency: f64,
+    /// Candidate batch sizes.
+    pub batch_sizes: &'a [usize],
+    /// Candidate confidence thresholds (ascending).
+    pub thresholds: &'a [f64],
+}
+
+/// One allocation decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Confidence threshold `t`.
+    pub threshold: f64,
+    /// Workers hosting the light model (with discriminator).
+    pub light_workers: usize,
+    /// Workers hosting the heavy model.
+    pub heavy_workers: usize,
+    /// Light-stage batch size.
+    pub light_batch: usize,
+    /// Heavy-stage batch size.
+    pub heavy_batch: usize,
+    /// `true` if every constraint was satisfiable; `false` if this is the
+    /// best-effort overload fallback.
+    pub feasible: bool,
+}
+
+impl Allocation {
+    /// Fraction of queries this allocation defers to the heavy model.
+    pub fn deferral_fraction(&self, deferral: &DeferralProfile) -> f64 {
+        deferral.fraction_deferred(self.threshold)
+    }
+}
+
+/// Effective light-stage execution latency: model + discriminator scoring
+/// for the whole batch.
+fn light_stage_latency(inputs: &AllocatorInputs<'_>, b: usize) -> f64 {
+    inputs.light.exec_latency(b).as_secs_f64() + inputs.discriminator_latency * b as f64
+}
+
+/// Light-stage throughput including discriminator overhead.
+fn light_stage_throughput(inputs: &AllocatorInputs<'_>, b: usize) -> f64 {
+    b as f64 / light_stage_latency(inputs, b)
+}
+
+/// Exhaustive solver: scans every `(b₁, b₂)` pair, gives all spare workers
+/// to the heavy tier (the objective only rewards a higher threshold), and
+/// reads the largest feasible threshold off the deferral profile.
+///
+/// Returns `None` when no configuration satisfies the constraints — the
+/// caller then falls back to [`overload_fallback`].
+pub fn solve_exhaustive(inputs: &AllocatorInputs<'_>) -> Option<Allocation> {
+    let d = inputs.demand_qps.max(1e-9);
+    let s = inputs.total_workers;
+    let mut best: Option<Allocation> = None;
+
+    for &b1 in inputs.batch_sizes {
+        let t1 = light_stage_throughput(inputs, b1);
+        let x1_min = (d / t1).ceil().max(1.0) as usize;
+        if x1_min + 1 > s {
+            continue; // Need at least one heavy worker too.
+        }
+        for &b2 in inputs.batch_sizes {
+            // Latency constraint (Eq. 1): worst case traverses both stages.
+            let latency = light_stage_latency(inputs, b1)
+                + inputs.queue_delay_light
+                + inputs.heavy.exec_latency(b2).as_secs_f64()
+                + inputs.queue_delay_heavy;
+            if latency > inputs.slo {
+                continue;
+            }
+            let x2 = s - x1_min;
+            let t2 = inputs.heavy.throughput(b2);
+            let max_fraction = ((x2 as f64 * t2) / d).min(1.0);
+            // Largest grid threshold with f(t) within heavy capacity.
+            let mut t_star = None;
+            for &t in inputs.thresholds.iter().rev() {
+                if inputs.deferral.fraction_deferred(t) <= max_fraction + 1e-12 {
+                    t_star = Some(t);
+                    break;
+                }
+            }
+            let Some(threshold) = t_star else { continue };
+            let candidate = Allocation {
+                threshold,
+                light_workers: x1_min,
+                heavy_workers: x2,
+                light_batch: b1,
+                heavy_batch: b2,
+                feasible: true,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    threshold > b.threshold + 1e-12
+                        // Tie-break: smaller batches → lower latency slack.
+                        || ((threshold - b.threshold).abs() <= 1e-12
+                            && (candidate.light_batch, candidate.heavy_batch)
+                                < (b.light_batch, b.heavy_batch))
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
+/// MILP solver for the same problem (paper Eq. 5), built on
+/// `diffserve-milp`.
+///
+/// Formulation: binary selectors `y_j` (light batch), `v_k` (heavy batch),
+/// `z_l` (threshold level); integer worker counts `w1_j`, `w2_k` active only
+/// under their selected batch size. The products in Eqs. 2–3 linearize
+/// because throughput coefficients are constants per batch size.
+///
+/// Returns `None` if the MILP is infeasible.
+pub fn solve_milp_allocation(inputs: &AllocatorInputs<'_>) -> Option<Allocation> {
+    let d = inputs.demand_qps.max(1e-9);
+    let s = inputs.total_workers as f64;
+    let nb = inputs.batch_sizes.len();
+    let nt = inputs.thresholds.len();
+
+    let mut p = Problem::new(Direction::Maximize);
+    let y: Vec<_> = (0..nb).map(|j| p.add_binary(format!("y{j}"))).collect();
+    let v: Vec<_> = (0..nb).map(|k| p.add_binary(format!("v{k}"))).collect();
+    let z: Vec<_> = (0..nt).map(|l| p.add_binary(format!("z{l}"))).collect();
+    let w1: Vec<_> = (0..nb)
+        .map(|j| p.add_var(format!("w1_{j}"), VarKind::Integer, 0.0, s))
+        .collect();
+    let w2: Vec<_> = (0..nb)
+        .map(|k| p.add_var(format!("w2_{k}"), VarKind::Integer, 0.0, s))
+        .collect();
+
+    // Exactly one batch size per tier, one threshold level.
+    let ones = |vars: &[diffserve_milp::VarId]| -> Vec<(diffserve_milp::VarId, f64)> {
+        vars.iter().map(|&id| (id, 1.0)).collect()
+    };
+    p.add_constraint("one-light-batch", &ones(&y), Sense::Eq, 1.0);
+    p.add_constraint("one-heavy-batch", &ones(&v), Sense::Eq, 1.0);
+    p.add_constraint("one-threshold", &ones(&z), Sense::Eq, 1.0);
+
+    // Workers only under the selected batch size: w1_j ≤ S·y_j.
+    for j in 0..nb {
+        p.add_constraint(
+            format!("light-active-{j}"),
+            &[(w1[j], 1.0), (y[j], -s)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint(
+            format!("heavy-active-{j}"),
+            &[(w2[j], 1.0), (v[j], -s)],
+            Sense::Le,
+            0.0,
+        );
+    }
+
+    // Eq. 2: Σ_j T1(B_j)·w1_j ≥ D.
+    let light_tp: Vec<(diffserve_milp::VarId, f64)> = (0..nb)
+        .map(|j| (w1[j], light_stage_throughput(inputs, inputs.batch_sizes[j])))
+        .collect();
+    p.add_constraint("light-throughput", &light_tp, Sense::Ge, d);
+
+    // Eq. 3: Σ_k T2(B_k)·w2_k − D·Σ_l f(t_l)·z_l ≥ 0.
+    let mut heavy_tp: Vec<(diffserve_milp::VarId, f64)> = (0..nb)
+        .map(|k| (w2[k], inputs.heavy.throughput(inputs.batch_sizes[k])))
+        .collect();
+    for l in 0..nt {
+        heavy_tp.push((
+            z[l],
+            -d * inputs.deferral.fraction_deferred(inputs.thresholds[l]),
+        ));
+    }
+    p.add_constraint("heavy-throughput", &heavy_tp, Sense::Ge, 0.0);
+
+    // Eq. 4: Σ w1 + Σ w2 ≤ S.
+    let mut cap = ones(&w1);
+    cap.extend(ones(&w2));
+    p.add_constraint("capacity", &cap, Sense::Le, s);
+    // At least one worker per tier so routed queries always have a host.
+    p.add_constraint("light-nonempty", &ones(&w1), Sense::Ge, 1.0);
+    p.add_constraint("heavy-nonempty", &ones(&w2), Sense::Ge, 1.0);
+
+    // Eq. 1: Σ_j e1(B_j)·y_j + Σ_k e2(B_k)·v_k ≤ SLO − q1 − q2. An infinite
+    // SLO (the AIMD ablation, where reactive batching owns latency) waives
+    // the constraint.
+    let lat_budget = inputs.slo - inputs.queue_delay_light - inputs.queue_delay_heavy;
+    if lat_budget.is_finite() {
+        let mut lat: Vec<(diffserve_milp::VarId, f64)> = (0..nb)
+            .map(|j| (y[j], light_stage_latency(inputs, inputs.batch_sizes[j])))
+            .collect();
+        for k in 0..nb {
+            lat.push((v[k], inputs.heavy.exec_latency(inputs.batch_sizes[k]).as_secs_f64()));
+        }
+        p.add_constraint("latency", &lat, Sense::Le, lat_budget);
+    }
+
+    // Objective (Eq. 5): maximize the threshold. Tiny lexicographic
+    // penalties make the optimum unique and identical to the exhaustive
+    // solver's tie-breaking (smaller batches first, then minimal light
+    // workers with the remainder on the heavy tier). The penalty scales are
+    // far below the threshold grid spacing, so they can never trade away
+    // objective value.
+    let mut obj: Vec<(diffserve_milp::VarId, f64)> = (0..nt)
+        .map(|l| (z[l], inputs.thresholds[l]))
+        .collect();
+    for j in 0..nb {
+        obj.push((y[j], -1e-4 * j as f64));
+        obj.push((v[j], -1e-5 * j as f64));
+    }
+    for j in 0..nb {
+        obj.push((w1[j], -1e-6));
+        obj.push((w2[j], 1e-7));
+    }
+    p.set_objective(&obj);
+
+    let sol = solve_milp(&p, &MilpOptions::default()).ok()?;
+    let pick = |vars: &[diffserve_milp::VarId]| -> usize {
+        vars.iter()
+            .position(|&id| sol.values[id.index()] > 0.5)
+            .expect("exactly-one constraint guarantees a selection")
+    };
+    let j = pick(&y);
+    let k = pick(&v);
+    let l = pick(&z);
+    let light_workers: usize = (0..nb).map(|i| sol.values[w1[i].index()] as usize).sum();
+    let heavy_workers: usize = (0..nb).map(|i| sol.values[w2[i].index()] as usize).sum();
+    Some(Allocation {
+        threshold: inputs.thresholds[l],
+        light_workers,
+        heavy_workers,
+        light_batch: inputs.batch_sizes[j],
+        heavy_batch: inputs.batch_sizes[k],
+        feasible: true,
+    })
+}
+
+/// Best-effort allocation under overload: threshold 0 (everything stays on
+/// the light model), throughput-maximizing batch size, one heavy worker kept
+/// so stragglers still have a host. The drop policy sheds what this cannot
+/// serve.
+pub fn overload_fallback(inputs: &AllocatorInputs<'_>) -> Allocation {
+    let best_b = |profile: &LatencyProfile| {
+        inputs
+            .batch_sizes
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                profile
+                    .throughput(a)
+                    .partial_cmp(&profile.throughput(b))
+                    .expect("finite throughputs")
+            })
+            .expect("non-empty batch sizes")
+    };
+    let light_batch = best_b(&inputs.light);
+    let heavy_batch = best_b(&inputs.heavy);
+    let heavy_workers = 1.min(inputs.total_workers.saturating_sub(1));
+    Allocation {
+        threshold: 0.0,
+        light_workers: inputs.total_workers - heavy_workers,
+        heavy_workers,
+        light_batch,
+        heavy_batch,
+        feasible: false,
+    }
+}
+
+/// Proteus allocation (query-agnostic model scaling): maximize the fraction
+/// `p` of queries routed to the heavy model, subject to per-branch
+/// throughput and latency constraints. Queries route *directly* to one
+/// model — there is no cascade, so each branch only pays its own latency.
+pub fn solve_proteus(inputs: &AllocatorInputs<'_>) -> Option<(Allocation, f64)> {
+    let d = inputs.demand_qps.max(1e-9);
+    let s = inputs.total_workers;
+    let mut best: Option<(Allocation, f64)> = None;
+
+    for &b1 in inputs.batch_sizes {
+        let lat1 = inputs.light.exec_latency(b1).as_secs_f64() + inputs.queue_delay_light;
+        if lat1 > inputs.slo {
+            continue;
+        }
+        for &b2 in inputs.batch_sizes {
+            let lat2 = inputs.heavy.exec_latency(b2).as_secs_f64() + inputs.queue_delay_heavy;
+            if lat2 > inputs.slo {
+                continue;
+            }
+            let t1 = inputs.light.throughput(b1);
+            let t2 = inputs.heavy.throughput(b2);
+            // Scan heavy fractions on a fine grid.
+            for pi in (0..=100).rev() {
+                let frac = pi as f64 / 100.0;
+                let x2 = ((d * frac) / t2).ceil() as usize;
+                let x1 = ((d * (1.0 - frac)) / t1).ceil().max(1.0) as usize;
+                if x1 + x2 <= s && x2 >= 1 {
+                    let candidate = (
+                        Allocation {
+                            threshold: frac, // reused as the heavy fraction
+                            light_workers: x1.max(1),
+                            heavy_workers: x2.max(1),
+                            light_batch: b1,
+                            heavy_batch: b2,
+                            feasible: true,
+                        },
+                        frac,
+                    );
+                    let better = best.as_ref().map_or(true, |(_, bf)| frac > *bf);
+                    if better {
+                        best = Some(candidate);
+                    }
+                    break; // fractions below `frac` are worse for this (b1, b2)
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffserve_imagegen::DeferralProfile;
+
+    fn uniform_profile() -> DeferralProfile {
+        // Calibrated confidences are uniform by construction.
+        DeferralProfile::from_confidences((0..1000).map(|i| i as f64 / 1000.0).collect())
+    }
+
+    fn cascade1_inputs<'a>(
+        deferral: &'a DeferralProfile,
+        batches: &'a [usize],
+        thresholds: &'a [f64],
+        demand: f64,
+    ) -> AllocatorInputs<'a> {
+        AllocatorInputs {
+            demand_qps: demand,
+            queue_delay_light: 0.2,
+            queue_delay_heavy: 0.5,
+            slo: 5.0,
+            total_workers: 16,
+            deferral,
+            light: LatencyProfile::new(0.10, 0.55),
+            heavy: LatencyProfile::new(1.78, 0.12),
+            discriminator_latency: 0.01,
+            batch_sizes: batches,
+            thresholds,
+        }
+    }
+
+    fn grid(n: usize, cap: f64) -> Vec<f64> {
+        (0..n).map(|i| cap * i as f64 / (n - 1) as f64).collect()
+    }
+
+    #[test]
+    fn exhaustive_finds_feasible_allocation() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(51, 0.9);
+        let inputs = cascade1_inputs(&deferral, &batches, &thresholds, 10.0);
+        let a = solve_exhaustive(&inputs).expect("feasible at 10 qps");
+        assert!(a.feasible);
+        assert!(a.light_workers >= 1 && a.heavy_workers >= 1);
+        assert!(a.light_workers + a.heavy_workers <= 16);
+        assert!(a.threshold > 0.0);
+        // Heavy capacity must cover the deferred fraction.
+        let f = deferral.fraction_deferred(a.threshold);
+        let heavy_capacity = a.heavy_workers as f64 * inputs.heavy.throughput(a.heavy_batch);
+        assert!(heavy_capacity >= 10.0 * f - 1e-9);
+    }
+
+    #[test]
+    fn milp_matches_exhaustive_threshold() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(26, 0.9);
+        for demand in [2.0, 6.0, 12.0, 20.0, 30.0] {
+            let inputs = cascade1_inputs(&deferral, &batches, &thresholds, demand);
+            let ex = solve_exhaustive(&inputs);
+            let milp = solve_milp_allocation(&inputs);
+            match (ex, milp) {
+                (Some(e), Some(m)) => {
+                    assert!(
+                        (e.threshold - m.threshold).abs() < 1e-9,
+                        "demand {demand}: exhaustive t={} vs milp t={}",
+                        e.threshold,
+                        m.threshold
+                    );
+                }
+                (None, None) => {}
+                (e, m) => panic!("solver disagreement at demand {demand}: {e:?} vs {m:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn higher_demand_lowers_threshold() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(51, 0.9);
+        let low = solve_exhaustive(&cascade1_inputs(&deferral, &batches, &thresholds, 4.0))
+            .expect("low demand feasible");
+        let high = solve_exhaustive(&cascade1_inputs(&deferral, &batches, &thresholds, 28.0))
+            .expect("high demand feasible");
+        assert!(
+            low.threshold >= high.threshold,
+            "threshold should not increase with demand: {} vs {}",
+            low.threshold,
+            high.threshold
+        );
+    }
+
+    #[test]
+    fn infeasible_demand_returns_none_and_fallback_works() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(11, 0.9);
+        // 16 workers cannot serve 500 qps through the light stage.
+        let inputs = cascade1_inputs(&deferral, &batches, &thresholds, 500.0);
+        assert!(solve_exhaustive(&inputs).is_none());
+        assert!(solve_milp_allocation(&inputs).is_none());
+        let fb = overload_fallback(&inputs);
+        assert!(!fb.feasible);
+        assert_eq!(fb.threshold, 0.0);
+        assert_eq!(fb.light_workers + fb.heavy_workers, 16);
+        assert!(fb.heavy_workers >= 1);
+    }
+
+    #[test]
+    fn tight_slo_forces_small_batches() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(11, 0.9);
+        let mut inputs = cascade1_inputs(&deferral, &batches, &thresholds, 6.0);
+        inputs.slo = 2.5; // e2(2) = 1.78·(0.12+0.88·2) = 3.35 > budget
+        inputs.queue_delay_light = 0.0;
+        inputs.queue_delay_heavy = 0.0;
+        let a = solve_exhaustive(&inputs).expect("feasible with b2 = 1");
+        assert_eq!(a.heavy_batch, 1);
+    }
+
+    #[test]
+    fn proteus_prefers_heavy_at_low_demand() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8];
+        let thresholds = grid(11, 0.9);
+        let low = solve_proteus(&cascade1_inputs(&deferral, &batches, &thresholds, 2.0))
+            .expect("feasible");
+        let high = solve_proteus(&cascade1_inputs(&deferral, &batches, &thresholds, 25.0))
+            .expect("feasible");
+        assert!(low.1 > high.1, "heavy fraction should fall with demand");
+        assert!(low.1 > 0.8, "ample capacity should go mostly heavy: {}", low.1);
+    }
+
+    #[test]
+    fn allocation_deferral_fraction_reads_profile() {
+        let deferral = uniform_profile();
+        let a = Allocation {
+            threshold: 0.4,
+            light_workers: 2,
+            heavy_workers: 2,
+            light_batch: 4,
+            heavy_batch: 2,
+            feasible: true,
+        };
+        assert!((a.deferral_fraction(&deferral) - 0.4).abs() < 0.01);
+    }
+}

@@ -1,0 +1,168 @@
+//! System configuration.
+
+use diffserve_simkit::time::SimDuration;
+
+/// Cluster and controller configuration for a serving run.
+///
+/// Defaults follow the paper's testbed: 16 workers, 5 s SLO (Cascade 1),
+/// over-provisioning factor λ = 1.05, periodic control loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Total number of GPU workers `S`.
+    pub num_workers: usize,
+    /// Latency SLO.
+    pub slo: SimDuration,
+    /// How often the controller re-solves the allocation.
+    pub control_interval: SimDuration,
+    /// Batch sizes the allocator may choose from.
+    pub batch_sizes: Vec<usize>,
+    /// Number of points in the confidence-threshold grid.
+    pub threshold_grid_steps: usize,
+    /// Upper cap on the confidence threshold. Calibrated confidences are
+    /// uniform on the lightweight-output distribution, so a cap of `c`
+    /// always keeps the top `1 − c` most-real-looking lightweight outputs —
+    /// excluding the degenerate all-heavy routing whose FID is *worse* than
+    /// a high-threshold blend (paper §2.2: FID rises again as every query
+    /// goes heavy).
+    pub max_threshold: f64,
+    /// Over-provisioning factor λ applied to the demand estimate (§3.3).
+    pub over_provision: f64,
+    /// EWMA smoothing factor for demand estimation.
+    pub ewma_alpha: f64,
+    /// Latency to swap the model hosted by a worker (weights load).
+    pub model_switch_delay: SimDuration,
+    /// Whether workers preemptively drop queries predicted to miss their
+    /// deadline (counted as SLO violations, §4.1).
+    pub drop_predicted_misses: bool,
+    /// Window for time-series metrics (FID over time, violations over time).
+    pub metrics_window: SimDuration,
+    /// Base RNG seed for the run.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            num_workers: 16,
+            slo: SimDuration::from_secs(5),
+            control_interval: SimDuration::from_secs(2),
+            batch_sizes: vec![1, 2, 4, 8, 16],
+            threshold_grid_steps: 51,
+            max_threshold: 0.9,
+            over_provision: 1.05,
+            ewma_alpha: 0.6,
+            model_switch_delay: SimDuration::from_secs(1),
+            drop_predicted_misses: true,
+            metrics_window: SimDuration::from_secs(20),
+            seed: 0xD1FF,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Validates invariants the simulator relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_workers < 2 {
+            return Err(ConfigError::new("need at least 2 workers (one per tier)"));
+        }
+        if self.batch_sizes.is_empty() || self.batch_sizes.contains(&0) {
+            return Err(ConfigError::new("batch sizes must be non-empty and positive"));
+        }
+        if self.threshold_grid_steps < 2 {
+            return Err(ConfigError::new("threshold grid needs at least 2 steps"));
+        }
+        if !(0.0..=1.0).contains(&self.max_threshold) {
+            return Err(ConfigError::new("max threshold must lie in [0, 1]"));
+        }
+        if self.over_provision < 1.0 {
+            return Err(ConfigError::new("over-provisioning factor must be >= 1"));
+        }
+        if !(0.0 < self.ewma_alpha && self.ewma_alpha <= 1.0) {
+            return Err(ConfigError::new("EWMA alpha must lie in (0, 1]"));
+        }
+        if self.control_interval.is_zero() || self.metrics_window.is_zero() {
+            return Err(ConfigError::new("control interval and metrics window must be positive"));
+        }
+        Ok(())
+    }
+
+    /// The candidate threshold grid `[0, max_threshold]`.
+    pub fn threshold_grid(&self) -> Vec<f64> {
+        let n = self.threshold_grid_steps;
+        (0..n)
+            .map(|i| self.max_threshold * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+}
+
+/// An invalid [`SystemConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: &'static str,
+}
+
+impl ConfigError {
+    fn new(message: &'static str) -> Self {
+        ConfigError { message }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid system config: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(SystemConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let base = SystemConfig::default();
+        let cases: Vec<(&str, SystemConfig)> = vec![
+            ("workers", SystemConfig { num_workers: 1, ..base.clone() }),
+            ("batches", SystemConfig { batch_sizes: vec![], ..base.clone() }),
+            ("zero batch", SystemConfig { batch_sizes: vec![0], ..base.clone() }),
+            ("grid", SystemConfig { threshold_grid_steps: 1, ..base.clone() }),
+            ("cap", SystemConfig { max_threshold: 1.5, ..base.clone() }),
+            ("lambda", SystemConfig { over_provision: 0.5, ..base.clone() }),
+            ("alpha", SystemConfig { ewma_alpha: 0.0, ..base.clone() }),
+        ];
+        for (what, cfg) in cases {
+            assert!(cfg.validate().is_err(), "{what} should be rejected");
+        }
+    }
+
+    #[test]
+    fn threshold_grid_spans_cap() {
+        let cfg = SystemConfig {
+            threshold_grid_steps: 10,
+            max_threshold: 0.9,
+            ..Default::default()
+        };
+        let g = cfg.threshold_grid();
+        assert_eq!(g.len(), 10);
+        assert_eq!(g[0], 0.0);
+        assert!((g[9] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = SystemConfig { num_workers: 0, ..Default::default() }
+            .validate()
+            .unwrap_err();
+        assert!(format!("{err}").contains("workers"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Heterogeneous-cluster allocation (paper §5, "Scalability of DiffServe").
+//!
+//! The paper notes that deploying DiffServe on mixed GPU fleets needs "a
+//! slightly more complex MILP formulation ... to account for different
+//! server classes and model runtimes on each class", with no fundamental
+//! limitation. This module implements that extension: worker classes with
+//! per-class speed factors, and an allocator that assigns each class's
+//! workers to a tier while maximizing the confidence threshold under the
+//! same Eq. 1–4 constraints.
+
+use diffserve_imagegen::{DeferralProfile, LatencyProfile};
+
+/// A homogeneous group of workers within a heterogeneous cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerClass {
+    /// Display name (e.g. `"A100"`, `"V100"`).
+    pub name: String,
+    /// Number of workers of this class.
+    pub count: usize,
+    /// Relative execution speed (1.0 = the profile's reference GPU; 0.5 =
+    /// half as fast, so execution latencies double).
+    pub speed: f64,
+}
+
+impl WorkerClass {
+    /// Creates a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `count > 0` and `speed > 0`.
+    pub fn new(name: impl Into<String>, count: usize, speed: f64) -> Self {
+        assert!(count > 0, "class needs at least one worker");
+        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive");
+        WorkerClass {
+            name: name.into(),
+            count,
+            speed,
+        }
+    }
+
+    /// Execution latency of `profile` at batch `b` on this class.
+    pub fn exec_latency_secs(&self, profile: &LatencyProfile, b: usize) -> f64 {
+        profile.exec_latency(b).as_secs_f64() / self.speed
+    }
+
+    /// Throughput of `profile` at batch `b` on this class.
+    pub fn throughput(&self, profile: &LatencyProfile, b: usize) -> f64 {
+        b as f64 / self.exec_latency_secs(profile, b)
+    }
+}
+
+/// Inputs to a heterogeneous allocation decision.
+#[derive(Debug, Clone)]
+pub struct HeteroInputs<'a> {
+    /// Over-provisioned demand estimate (QPS).
+    pub demand_qps: f64,
+    /// Latency SLO in seconds.
+    pub slo: f64,
+    /// Queuing-delay estimates for the light and heavy stages.
+    pub queue_delays: (f64, f64),
+    /// Worker classes in the cluster.
+    pub classes: &'a [WorkerClass],
+    /// Deferral profile `f(t)`.
+    pub deferral: &'a DeferralProfile,
+    /// Light-model execution profile (reference GPU).
+    pub light: LatencyProfile,
+    /// Heavy-model execution profile (reference GPU).
+    pub heavy: LatencyProfile,
+    /// Per-image discriminator latency on the reference GPU.
+    pub discriminator_latency: f64,
+    /// Candidate batch sizes.
+    pub batch_sizes: &'a [usize],
+    /// Candidate thresholds (ascending).
+    pub thresholds: &'a [f64],
+}
+
+/// A heterogeneous allocation: per-class worker counts per tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroAllocation {
+    /// Confidence threshold.
+    pub threshold: f64,
+    /// `light_per_class[c]` workers of class `c` host the light model.
+    pub light_per_class: Vec<usize>,
+    /// `heavy_per_class[c]` workers of class `c` host the heavy model.
+    pub heavy_per_class: Vec<usize>,
+    /// Light-stage batch size.
+    pub light_batch: usize,
+    /// Heavy-stage batch size.
+    pub heavy_batch: usize,
+}
+
+impl HeteroAllocation {
+    /// Total light workers across classes.
+    pub fn light_workers(&self) -> usize {
+        self.light_per_class.iter().sum()
+    }
+
+    /// Total heavy workers across classes.
+    pub fn heavy_workers(&self) -> usize {
+        self.heavy_per_class.iter().sum()
+    }
+}
+
+/// Solves the heterogeneous allocation by scanning batch pairs and, for
+/// each, assigning classes to tiers to maximize the feasible threshold.
+///
+/// Strategy per `(b₁, b₂)`: heavier (faster) classes are the scarce
+/// resource for the heavy tier, so classes are considered fastest-first for
+/// the heavy side after the light tier takes the *slowest* workers that
+/// still satisfy demand — fast GPUs waste the least time on the light
+/// model's fixed overheads.
+///
+/// Returns `None` when no configuration satisfies the constraints.
+pub fn solve_heterogeneous(inputs: &HeteroInputs<'_>) -> Option<HeteroAllocation> {
+    let d = inputs.demand_qps.max(1e-9);
+    let nc = inputs.classes.len();
+    if nc == 0 {
+        return None;
+    }
+    // Class order: slowest first (light tier consumes from the front,
+    // heavy capacity accumulates from the back).
+    let mut order: Vec<usize> = (0..nc).collect();
+    order.sort_by(|&a, &b| {
+        inputs.classes[a]
+            .speed
+            .partial_cmp(&inputs.classes[b].speed)
+            .expect("finite speeds")
+    });
+
+    let disc = inputs.discriminator_latency;
+    let mut best: Option<HeteroAllocation> = None;
+
+    for &b1 in inputs.batch_sizes {
+        for &b2 in inputs.batch_sizes {
+            // Latency constraint uses the *slowest class that might host*
+            // each tier — conservative, as the paper's per-class runtime
+            // accounting would be.
+            let slowest = order[0];
+            let lat = inputs.classes[slowest].exec_latency_secs(&inputs.light, b1)
+                + disc * b1 as f64
+                + inputs.classes[slowest].exec_latency_secs(&inputs.heavy, b2)
+                + inputs.queue_delays.0
+                + inputs.queue_delays.1;
+            if lat > inputs.slo {
+                continue;
+            }
+
+            // Assign light workers slowest-first until demand is covered.
+            let mut light_per_class = vec![0usize; nc];
+            let mut covered = 0.0;
+            'outer: for &c in &order {
+                for _ in 0..inputs.classes[c].count {
+                    if covered >= d {
+                        break 'outer;
+                    }
+                    let per = {
+                        let e = inputs.classes[c].exec_latency_secs(&inputs.light, b1)
+                            + disc * b1 as f64 / inputs.classes[c].speed;
+                        b1 as f64 / e
+                    };
+                    light_per_class[c] += 1;
+                    covered += per;
+                }
+            }
+            if covered < d {
+                continue; // Even the whole cluster cannot host the light stage.
+            }
+            // Everything else goes heavy.
+            let mut heavy_per_class = vec![0usize; nc];
+            let mut heavy_capacity = 0.0;
+            for c in 0..nc {
+                let spare = inputs.classes[c].count - light_per_class[c];
+                heavy_per_class[c] = spare;
+                heavy_capacity += spare as f64 * inputs.classes[c].throughput(&inputs.heavy, b2);
+            }
+            if heavy_per_class.iter().sum::<usize>() == 0 {
+                continue; // Escalations need at least one host.
+            }
+            let max_fraction = (heavy_capacity / d).min(1.0);
+            let mut t_star = None;
+            for &t in inputs.thresholds.iter().rev() {
+                if inputs.deferral.fraction_deferred(t) <= max_fraction + 1e-12 {
+                    t_star = Some(t);
+                    break;
+                }
+            }
+            let Some(threshold) = t_star else { continue };
+            let candidate = HeteroAllocation {
+                threshold,
+                light_per_class,
+                heavy_per_class,
+                light_batch: b1,
+                heavy_batch: b2,
+            };
+            let better = best
+                .as_ref()
+                .map_or(true, |b| threshold > b.threshold + 1e-12);
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffserve_imagegen::DeferralProfile;
+
+    fn uniform() -> DeferralProfile {
+        DeferralProfile::from_confidences((0..1000).map(|i| i as f64 / 1000.0).collect())
+    }
+
+    fn grid() -> Vec<f64> {
+        (0..46).map(|i| 0.9 * i as f64 / 45.0).collect()
+    }
+
+    fn inputs<'a>(
+        classes: &'a [WorkerClass],
+        deferral: &'a DeferralProfile,
+        thresholds: &'a [f64],
+        batches: &'a [usize],
+        demand: f64,
+    ) -> HeteroInputs<'a> {
+        HeteroInputs {
+            demand_qps: demand,
+            slo: 5.0,
+            queue_delays: (0.2, 0.5),
+            classes,
+            deferral,
+            light: LatencyProfile::new(0.10, 0.55),
+            heavy: LatencyProfile::new(1.78, 0.12),
+            discriminator_latency: 0.01,
+            batch_sizes: batches,
+            thresholds,
+        }
+    }
+
+    #[test]
+    fn homogeneous_reduces_to_flat_allocation() {
+        let classes = [WorkerClass::new("A100", 16, 1.0)];
+        let deferral = uniform();
+        let thresholds = grid();
+        let batches = [1usize, 2, 4, 8, 16];
+        let a = solve_heterogeneous(&inputs(&classes, &deferral, &thresholds, &batches, 10.0))
+            .expect("feasible");
+        assert_eq!(a.light_workers() + a.heavy_workers(), 16);
+        assert!(a.threshold > 0.0);
+    }
+
+    #[test]
+    fn mixed_fleet_beats_slow_only_fleet() {
+        let deferral = uniform();
+        let thresholds = grid();
+        let batches = [1usize, 2, 4, 8, 16];
+        let slow_only = [WorkerClass::new("V100", 16, 0.5)];
+        let mixed = [
+            WorkerClass::new("V100", 8, 0.5),
+            WorkerClass::new("A100", 8, 1.0),
+        ];
+        let slow = solve_heterogeneous(&inputs(&slow_only, &deferral, &thresholds, &batches, 8.0))
+            .expect("feasible");
+        let mix = solve_heterogeneous(&inputs(&mixed, &deferral, &thresholds, &batches, 8.0))
+            .expect("feasible");
+        assert!(
+            mix.threshold >= slow.threshold,
+            "mixed fleet should sustain at least the slow fleet's threshold: {} vs {}",
+            mix.threshold,
+            slow.threshold
+        );
+    }
+
+    #[test]
+    fn light_tier_prefers_slow_workers() {
+        // Fast GPUs should end up on the heavy tier where their speed buys
+        // the most deferral capacity.
+        let classes = [
+            WorkerClass::new("V100", 8, 0.5),
+            WorkerClass::new("A100", 8, 1.0),
+        ];
+        let deferral = uniform();
+        let thresholds = grid();
+        let batches = [1usize, 2, 4, 8, 16];
+        let a = solve_heterogeneous(&inputs(&classes, &deferral, &thresholds, &batches, 6.0))
+            .expect("feasible");
+        // All A100s should serve heavy; V100s cover the light stage.
+        assert_eq!(a.heavy_per_class[1], 8, "A100s belong on the heavy tier: {a:?}");
+        assert!(a.light_per_class[0] >= 1);
+    }
+
+    #[test]
+    fn infeasible_when_demand_exceeds_cluster() {
+        let classes = [WorkerClass::new("T4", 2, 0.25)];
+        let deferral = uniform();
+        let thresholds = grid();
+        let batches = [1usize, 2, 4];
+        assert!(
+            solve_heterogeneous(&inputs(&classes, &deferral, &thresholds, &batches, 500.0))
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn class_speed_scales_latency() {
+        let slow = WorkerClass::new("V100", 1, 0.5);
+        let profile = LatencyProfile::new(1.0, 0.0);
+        assert!((slow.exec_latency_secs(&profile, 1) - 2.0).abs() < 1e-12);
+        assert!((slow.throughput(&profile, 2) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn rejects_zero_speed() {
+        let _ = WorkerClass::new("broken", 1, 0.0);
+    }
+}

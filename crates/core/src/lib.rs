@@ -1,0 +1,89 @@
+//! # diffserve-core
+//!
+//! The DiffServe serving system (MLSys 2025): query-aware model scaling for
+//! text-to-image diffusion serving.
+//!
+//! The system follows the paper's architecture (Fig. 2): a load balancer
+//! routes every query to a worker hosting the lightweight model and the
+//! discriminator; outputs whose calibrated confidence clears the threshold
+//! return immediately, the rest escalate to heavyweight workers. A
+//! controller periodically re-solves a MILP (§3.3) that jointly picks the
+//! confidence threshold, per-tier worker counts, and batch sizes to
+//! maximize response quality subject to throughput and SLO constraints.
+//!
+//! Modules:
+//!
+//! * [`query`] — queries, responses, model tiers.
+//! * [`config`] — cluster/controller configuration.
+//! * [`policy`] — DiffServe and the Table 1 baselines (Clipper-Light/Heavy,
+//!   Proteus, DiffServe-Static) plus the Fig. 8 allocator ablations.
+//! * [`allocator`] — the resource manager: MILP formulation (via
+//!   `diffserve-milp`), an exhaustive grid solver, the Proteus allocator,
+//!   and the overload fallback.
+//! * [`hetero`] — the §5 heterogeneous-cluster extension (worker classes
+//!   with per-class speeds).
+//! * [`runtime`] — offline-prepared artifacts (dataset, discriminator,
+//!   deferral profile, FID reference).
+//! * [`sim`] — the end-to-end discrete-event serving simulator.
+//! * [`report`] — run reports consumed by the experiment harness.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use diffserve_core::prelude::*;
+//! use diffserve_imagegen::{cascade1, DiscriminatorConfig, FeatureSpec};
+//! use diffserve_trace::Trace;
+//! use diffserve_simkit::time::SimDuration;
+//!
+//! let runtime = CascadeRuntime::prepare(
+//!     cascade1(FeatureSpec::default()),
+//!     2000,
+//!     42,
+//!     DiscriminatorConfig::default(),
+//! );
+//! let config = SystemConfig::default();
+//! let trace = Trace::constant(8.0, SimDuration::from_secs(120))?;
+//! let report = run_trace(
+//!     &runtime,
+//!     &config,
+//!     &RunSettings::new(Policy::DiffServe, 8.0),
+//!     &trace,
+//! );
+//! println!("{}", report.summary());
+//! # Ok::<(), diffserve_trace::TraceError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod allocator;
+pub mod config;
+pub mod hetero;
+pub mod policy;
+pub mod query;
+pub mod report;
+pub mod runtime;
+pub mod sim;
+
+pub use allocator::{
+    overload_fallback, solve_exhaustive, solve_milp_allocation, solve_proteus, Allocation,
+    AllocatorInputs,
+};
+pub use config::{ConfigError, SystemConfig};
+pub use hetero::{solve_heterogeneous, HeteroAllocation, HeteroInputs, WorkerClass};
+pub use policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
+pub use query::{CompletedResponse, ModelTier, Query, QueryId};
+pub use report::RunReport;
+pub use runtime::CascadeRuntime;
+pub use sim::{run_trace, AllocatorBackend, RunSettings};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::allocator::{Allocation, AllocatorInputs};
+    pub use crate::config::SystemConfig;
+    pub use crate::policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
+    pub use crate::query::{CompletedResponse, ModelTier, Query, QueryId};
+    pub use crate::report::RunReport;
+    pub use crate::runtime::CascadeRuntime;
+    pub use crate::sim::{run_trace, AllocatorBackend, RunSettings};
+}

@@ -1,0 +1,100 @@
+//! Queries and responses flowing through the serving system.
+
+use diffserve_imagegen::Prompt;
+use diffserve_simkit::time::SimTime;
+
+/// Identifier of a query within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+/// Which cascade member produced the final response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelTier {
+    /// The lightweight diffusion model.
+    Light,
+    /// The heavyweight diffusion model.
+    Heavy,
+}
+
+impl ModelTier {
+    /// The other tier.
+    pub fn other(self) -> ModelTier {
+        match self {
+            ModelTier::Light => ModelTier::Heavy,
+            ModelTier::Heavy => ModelTier::Light,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelTier::Light => "light",
+            ModelTier::Heavy => "heavy",
+        }
+    }
+}
+
+/// A query in flight: a prompt plus its arrival time and deadline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    /// Unique id within the run.
+    pub id: QueryId,
+    /// The text prompt (synthetic stand-in).
+    pub prompt: Prompt,
+    /// When the query entered the system.
+    pub arrival: SimTime,
+    /// Hard latency deadline (`arrival + SLO`).
+    pub deadline: SimTime,
+}
+
+/// A completed response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedResponse {
+    /// The query this answers.
+    pub id: QueryId,
+    /// Arrival time of the query.
+    pub arrival: SimTime,
+    /// Completion time.
+    pub completion: SimTime,
+    /// Feature vector of the returned image (for FID).
+    pub features: Vec<f64>,
+    /// Latent quality of the returned image.
+    pub quality: f64,
+    /// Which model produced the response.
+    pub tier: ModelTier,
+    /// Discriminator confidence of the light output, when one was scored.
+    pub confidence: Option<f64>,
+}
+
+impl CompletedResponse {
+    /// End-to-end latency in seconds.
+    pub fn latency_secs(&self) -> f64 {
+        self.completion.saturating_since(self.arrival).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_other_flips() {
+        assert_eq!(ModelTier::Light.other(), ModelTier::Heavy);
+        assert_eq!(ModelTier::Heavy.other(), ModelTier::Light);
+        assert_eq!(ModelTier::Light.name(), "light");
+    }
+
+    #[test]
+    fn latency_computation() {
+        let r = CompletedResponse {
+            id: QueryId(1),
+            arrival: SimTime::from_secs(10),
+            completion: SimTime::from_secs(12),
+            features: vec![],
+            quality: 0.5,
+            tier: ModelTier::Heavy,
+            confidence: Some(0.3),
+        };
+        assert!((r.latency_secs() - 2.0).abs() < 1e-12);
+    }
+}

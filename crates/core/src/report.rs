@@ -1,0 +1,192 @@
+//! Run reports: the measurements every experiment consumes.
+
+use diffserve_linalg::Mat;
+use diffserve_metrics::{frechet_distance, GaussianStats, SloTracker};
+use diffserve_simkit::time::SimDuration;
+
+use crate::policy::Policy;
+use crate::query::{CompletedResponse, ModelTier};
+
+/// Aggregate and time-series results of one serving run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The policy that produced this run.
+    pub policy: Policy,
+    /// Queries that entered the system.
+    pub total_queries: u64,
+    /// Queries completed (on time or late).
+    pub completed: u64,
+    /// Queries preemptively dropped.
+    pub dropped: u64,
+    /// Queries completed after their deadline.
+    pub late: u64,
+    /// Overall SLO violation ratio (late + dropped over total).
+    pub violation_ratio: f64,
+    /// Mean completion latency in seconds.
+    pub mean_latency: f64,
+    /// FID of all completed responses against the reference set.
+    pub fid: f64,
+    /// Windowed FID over time: `(window start seconds, fid)`. Windows with
+    /// too few responses are omitted.
+    pub fid_series: Vec<(f64, f64)>,
+    /// Windowed SLO violation ratio over time.
+    pub violation_series: Vec<(f64, f64)>,
+    /// Windowed observed demand (QPS) over time.
+    pub demand_series: Vec<(f64, f64)>,
+    /// Confidence threshold chosen by the controller over time.
+    pub threshold_series: Vec<(f64, f64)>,
+    /// Mean of the windowed FID series (the paper's "Avg FID" bars).
+    pub mean_windowed_fid: f64,
+    /// Fraction of completed responses served by the heavy model.
+    pub heavy_fraction: f64,
+}
+
+/// FID of a set of completed responses against the reference Gaussian;
+/// `NaN` with fewer than two responses.
+pub fn fid_of_responses(
+    responses: &[CompletedResponse],
+    reference: &GaussianStats,
+    ridge: f64,
+) -> f64 {
+    if responses.len() < 2 {
+        return f64::NAN;
+    }
+    let rows: Vec<&[f64]> = responses.iter().map(|r| r.features.as_slice()).collect();
+    let m = Mat::from_rows(&rows);
+    match GaussianStats::fit(&m, ridge) {
+        Ok(g) => frechet_distance(&g, reference).unwrap_or(f64::NAN),
+        Err(_) => f64::NAN,
+    }
+}
+
+/// Windowed FID over completion time. Windows with fewer than
+/// `min_samples` responses are omitted (their covariance would be noise).
+pub fn windowed_fid(
+    responses: &[CompletedResponse],
+    reference: &GaussianStats,
+    window: SimDuration,
+    min_samples: usize,
+) -> Vec<(f64, f64)> {
+    if responses.is_empty() {
+        return Vec::new();
+    }
+    let end = responses
+        .iter()
+        .map(|r| r.completion)
+        .max()
+        .expect("non-empty responses");
+    let nwin = (end.as_micros() / window.as_micros() + 1) as usize;
+    let mut buckets: Vec<Vec<&CompletedResponse>> = vec![Vec::new(); nwin];
+    for r in responses {
+        let w = (r.completion.as_micros() / window.as_micros()) as usize;
+        buckets[w].push(r);
+    }
+    let mut series = Vec::new();
+    for (w, bucket) in buckets.iter().enumerate() {
+        if bucket.len() < min_samples.max(2) {
+            continue;
+        }
+        let rows: Vec<&[f64]> = bucket.iter().map(|r| r.features.as_slice()).collect();
+        let m = Mat::from_rows(&rows);
+        if let Ok(g) = GaussianStats::fit(&m, 1e-3) {
+            if let Ok(d) = frechet_distance(&g, reference) {
+                series.push((w as f64 * window.as_secs_f64(), d));
+            }
+        }
+    }
+    series
+}
+
+impl RunReport {
+    /// Assembles a report from raw run observations. Shared by the
+    /// discrete-event simulator and the thread-based cluster runtime so the
+    /// two are compared on identical accounting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        policy: Policy,
+        total_queries: u64,
+        slo: &SloTracker,
+        responses: &[CompletedResponse],
+        reference: &GaussianStats,
+        window: SimDuration,
+        demand_series: Vec<(f64, f64)>,
+        threshold_series: Vec<(f64, f64)>,
+    ) -> RunReport {
+        let fid = fid_of_responses(responses, reference, 1e-6);
+        let fid_series = windowed_fid(responses, reference, window, 24);
+        let mean_windowed_fid = if fid_series.is_empty() {
+            fid
+        } else {
+            fid_series.iter().map(|(_, f)| f).sum::<f64>() / fid_series.len() as f64
+        };
+        let heavy_count = responses.iter().filter(|r| r.tier == ModelTier::Heavy).count();
+        let violation_series = slo
+            .windowed_violation_ratio(window)
+            .into_iter()
+            .map(|(t, v)| (t.as_secs_f64(), v))
+            .collect();
+        RunReport {
+            policy,
+            total_queries,
+            completed: slo.on_time() + slo.late(),
+            dropped: slo.dropped(),
+            late: slo.late(),
+            violation_ratio: slo.violation_ratio(),
+            mean_latency: slo.mean_latency(),
+            fid,
+            fid_series,
+            violation_series,
+            demand_series,
+            threshold_series,
+            mean_windowed_fid,
+            heavy_fraction: if responses.is_empty() {
+                0.0
+            } else {
+                heavy_count as f64 / responses.len() as f64
+            },
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<18} queries={:<6} fid={:<6.2} slo_viol={:<6.3} mean_lat={:<5.2}s heavy={:<5.3} dropped={}",
+            self.policy.name(),
+            self.total_queries,
+            self.fid,
+            self.violation_ratio,
+            self.mean_latency,
+            self.heavy_fraction,
+            self.dropped,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_contains_key_numbers() {
+        let r = RunReport {
+            policy: Policy::DiffServe,
+            total_queries: 100,
+            completed: 95,
+            dropped: 5,
+            late: 2,
+            violation_ratio: 0.07,
+            mean_latency: 1.5,
+            fid: 17.25,
+            fid_series: vec![],
+            violation_series: vec![],
+            demand_series: vec![],
+            threshold_series: vec![],
+            mean_windowed_fid: 17.0,
+            heavy_fraction: 0.6,
+        };
+        let s = r.summary();
+        assert!(s.contains("DiffServe"));
+        assert!(s.contains("17.25"));
+        assert!(s.contains("0.070"));
+    }
+}

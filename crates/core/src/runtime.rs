@@ -1,0 +1,133 @@
+//! Prepared cascade artifacts shared across simulation runs.
+
+use diffserve_imagegen::{
+    CascadeSpec, DeferralProfile, Discriminator, DiscriminatorConfig, PromptDataset,
+};
+use diffserve_metrics::GaussianStats;
+use diffserve_simkit::rng::derive_seed;
+
+/// Everything a serving run needs that is prepared *offline* in the paper:
+/// the prompt dataset, the trained discriminator, the profiled deferral
+/// curve `f(t)`, and the FID reference Gaussian.
+#[derive(Debug, Clone)]
+pub struct CascadeRuntime {
+    /// The light/heavy pairing with latency and SLO metadata.
+    pub spec: CascadeSpec,
+    /// Synthetic prompt dataset (queries + FID reference features).
+    pub dataset: PromptDataset,
+    /// Trained cascade discriminator.
+    pub discriminator: Discriminator,
+    /// Offline-profiled deferral curve `f(t)` (updated online by the
+    /// controller).
+    pub deferral: DeferralProfile,
+    /// Gaussian fit of the FID reference set, reused by every window.
+    pub reference: GaussianStats,
+}
+
+impl CascadeRuntime {
+    /// Prepares a cascade: synthesizes the dataset, trains the
+    /// discriminator, and profiles `f(t)` on prompts held out from
+    /// discriminator training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dataset_size` is too small to hold both the
+    /// discriminator training set and a held-out profiling set.
+    pub fn prepare(
+        spec: CascadeSpec,
+        dataset_size: usize,
+        seed: u64,
+        disc_config: DiscriminatorConfig,
+    ) -> Self {
+        assert!(
+            dataset_size > disc_config.train_prompts + 64,
+            "dataset of {dataset_size} leaves no held-out prompts after {} training prompts",
+            disc_config.train_prompts
+        );
+        let feature_spec = *spec.light.spec();
+        let dataset = PromptDataset::synthesize(
+            spec.dataset,
+            dataset_size,
+            derive_seed(seed, 0xDA7A),
+            feature_spec,
+        );
+        let discriminator =
+            Discriminator::train(&dataset, &spec.light, &spec.heavy, disc_config);
+
+        // Profile f(t) on held-out prompts, exactly like the paper's offline
+        // initialization.
+        let held_out = &dataset.prompts()[disc_config.train_prompts..];
+        let confidences: Vec<f64> = held_out
+            .iter()
+            .map(|p| discriminator.confidence(&spec.light.generate(p).features))
+            .collect();
+        let deferral = DeferralProfile::from_confidences(confidences);
+
+        let reference = GaussianStats::fit(dataset.real_features(), 1e-6)
+            .expect("reference set has enough samples");
+
+        CascadeRuntime {
+            spec,
+            dataset,
+            discriminator,
+            deferral,
+            reference,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffserve_imagegen::{cascade1, FeatureSpec};
+
+    fn quick_runtime() -> CascadeRuntime {
+        CascadeRuntime::prepare(
+            cascade1(FeatureSpec::default()),
+            1000,
+            7,
+            DiscriminatorConfig {
+                train_prompts: 400,
+                epochs: 10,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn deferral_profile_is_roughly_uniform() {
+        // Calibrated confidences are near-uniform, so f(t) ≈ t.
+        let rt = quick_runtime();
+        for t in [0.2, 0.5, 0.8] {
+            let f = rt.deferral.fraction_deferred(t);
+            assert!((f - t).abs() < 0.15, "f({t}) = {f}, expected ≈ {t}");
+        }
+    }
+
+    #[test]
+    fn profiling_uses_held_out_prompts() {
+        let rt = quick_runtime();
+        assert_eq!(rt.deferral.sample_count(), 600);
+    }
+
+    #[test]
+    fn reference_dimensions_match() {
+        let rt = quick_runtime();
+        assert_eq!(rt.reference.dim(), diffserve_imagegen::features::DIM);
+    }
+
+    #[test]
+    #[should_panic(expected = "held-out")]
+    fn undersized_dataset_panics() {
+        let _ = CascadeRuntime::prepare(
+            cascade1(FeatureSpec::default()),
+            400,
+            7,
+            DiscriminatorConfig {
+                train_prompts: 400,
+                epochs: 2,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,974 @@
+//! The end-to-end discrete-event serving simulator.
+//!
+//! This is the reproduction of the paper's primary evaluation vehicle: an
+//! event-driven simulator of the DiffServe architecture (Fig. 2) — load
+//! balancer, per-worker queues with batching, the light→heavy cascade with
+//! discriminator gating, and the periodic controller that re-solves the
+//! resource allocation. All five policies of Table 1 and the Fig. 8
+//! ablations run through this one simulator.
+
+use std::collections::VecDeque;
+
+use diffserve_imagegen::GeneratedImage;
+use diffserve_metrics::{SloTracker, WindowedSeries};
+use diffserve_simkit::prelude::*;
+use diffserve_trace::{poisson_arrivals, DemandEstimator, Trace};
+use rand::Rng;
+
+use crate::allocator::{
+    overload_fallback, solve_exhaustive, solve_milp_allocation, solve_proteus, Allocation,
+    AllocatorInputs,
+};
+use crate::config::SystemConfig;
+use crate::policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
+use crate::query::{CompletedResponse, ModelTier, QueryId};
+use crate::report::RunReport;
+use crate::runtime::CascadeRuntime;
+
+/// Which allocator implementation the controller invokes.
+///
+/// The two are property-tested to choose the same threshold; `Milp` is the
+/// paper's method (Gurobi in the original), `Exhaustive` scans the
+/// configuration grid directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocatorBackend {
+    /// Branch & bound MILP via `diffserve-milp`.
+    Milp,
+    /// Configuration-grid scan.
+    Exhaustive,
+}
+
+/// Per-run settings beyond the static [`SystemConfig`].
+#[derive(Debug, Clone)]
+pub struct RunSettings {
+    /// The serving policy.
+    pub policy: Policy,
+    /// Resource-allocation ablations (Fig. 8); default = full DiffServe.
+    pub knobs: AblationKnobs,
+    /// Allocator implementation.
+    pub backend: AllocatorBackend,
+    /// Expected peak demand in QPS — static policies provision for this
+    /// (the paper's DiffServe-Static is "provisioned for peak").
+    pub peak_demand_hint: f64,
+}
+
+impl RunSettings {
+    /// Settings for a policy with defaults (exhaustive allocator backend,
+    /// no ablations) and the given peak-demand hint.
+    pub fn new(policy: Policy, peak_demand_hint: f64) -> Self {
+        RunSettings {
+            policy,
+            knobs: AblationKnobs::default(),
+            backend: AllocatorBackend::Exhaustive,
+            peak_demand_hint,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    Arrival(u64),
+    BatchDone(usize),
+    ControlTick,
+}
+
+#[derive(Debug, Clone)]
+struct Worker {
+    tier: ModelTier,
+    pending_tier: Option<ModelTier>,
+    batch_max: usize,
+    queue: VecDeque<u64>,
+    busy: bool,
+    in_flight: Vec<u64>,
+}
+
+impl Worker {
+    fn target_tier(&self) -> ModelTier {
+        self.pending_tier.unwrap_or(self.tier)
+    }
+
+    fn load(&self) -> usize {
+        self.queue.len() + self.in_flight.len()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueryRec {
+    arrival: SimTime,
+    deadline: SimTime,
+    finished: bool,
+}
+
+struct ServingSim<'a> {
+    config: &'a SystemConfig,
+    settings: &'a RunSettings,
+    runtime: &'a CascadeRuntime,
+    workers: Vec<Worker>,
+    queries: Vec<QueryRec>,
+    threshold: f64,
+    proteus_heavy_fraction: f64,
+    // Metrics.
+    slo: SloTracker,
+    responses: Vec<CompletedResponse>,
+    demand: DemandEstimator,
+    arrivals_since_tick: u64,
+    heavy_arrivals_since_tick: u64,
+    violations_since_tick_light: u64,
+    violations_since_tick_heavy: u64,
+    threshold_series: WindowedSeries,
+    arrival_series: WindowedSeries,
+    // AIMD state.
+    aimd_light_batch: usize,
+    aimd_heavy_batch: usize,
+    rng: rand::rngs::StdRng,
+    total_arrivals: u64,
+}
+
+impl<'a> ServingSim<'a> {
+    fn new(config: &'a SystemConfig, settings: &'a RunSettings, runtime: &'a CascadeRuntime) -> Self {
+        config.validate().expect("valid system config");
+        // Bootstrap: half the fleet per tier until the first control tick
+        // (static policies overwrite this immediately below).
+        let workers = (0..config.num_workers)
+            .map(|i| Worker {
+                tier: if i < config.num_workers / 2 {
+                    ModelTier::Light
+                } else {
+                    ModelTier::Heavy
+                },
+                pending_tier: None,
+                batch_max: 1,
+                queue: VecDeque::new(),
+                busy: false,
+                in_flight: Vec::new(),
+            })
+            .collect();
+        let mut sim = ServingSim {
+            config,
+            settings,
+            runtime,
+            workers,
+            queries: Vec::new(),
+            threshold: 0.5,
+            proteus_heavy_fraction: 0.5,
+            slo: SloTracker::new(config.slo),
+            responses: Vec::new(),
+            demand: DemandEstimator::new(config.ewma_alpha, config.over_provision),
+            arrivals_since_tick: 0,
+            heavy_arrivals_since_tick: 0,
+            violations_since_tick_light: 0,
+            violations_since_tick_heavy: 0,
+            threshold_series: WindowedSeries::new(config.metrics_window),
+            arrival_series: WindowedSeries::new(config.metrics_window),
+            aimd_light_batch: 1,
+            aimd_heavy_batch: 1,
+            rng: seeded_rng(derive_seed(config.seed, 0x51A7)),
+            total_arrivals: 0,
+        };
+        sim.bootstrap_allocation();
+        sim
+    }
+
+    /// Largest batch size whose execution fits half the SLO — the static
+    /// batch rule used for the Clipper baselines.
+    fn clipper_batch(&self, tier: ModelTier) -> usize {
+        let budget = self.config.slo.as_secs_f64() / 2.0;
+        self.config
+            .batch_sizes
+            .iter()
+            .copied()
+            .filter(|&b| self.stage_latency(tier, b) <= budget)
+            .max()
+            .unwrap_or(1)
+    }
+
+    fn stage_latency(&self, tier: ModelTier, batch: usize) -> f64 {
+        match tier {
+            ModelTier::Light => {
+                let base = self
+                    .runtime
+                    .spec
+                    .light
+                    .latency()
+                    .exec_latency(batch)
+                    .as_secs_f64();
+                if self.settings.policy.uses_cascade() {
+                    base + self.runtime.discriminator.latency().as_secs_f64() * batch as f64
+                } else {
+                    base
+                }
+            }
+            ModelTier::Heavy => self
+                .runtime
+                .spec
+                .heavy
+                .latency()
+                .exec_latency(batch)
+                .as_secs_f64(),
+        }
+    }
+
+    fn allocator_inputs<'b>(
+        &self,
+        demand: f64,
+        queue_delay_light: f64,
+        queue_delay_heavy: f64,
+        thresholds: &'b [f64],
+        batches: &'b [usize],
+    ) -> AllocatorInputs<'b>
+    where
+        'a: 'b,
+    {
+        AllocatorInputs {
+            demand_qps: demand,
+            queue_delay_light,
+            queue_delay_heavy,
+            slo: self.config.slo.as_secs_f64(),
+            total_workers: self.config.num_workers,
+            deferral: &self.runtime.deferral,
+            light: *self.runtime.spec.light.latency(),
+            heavy: *self.runtime.spec.heavy.latency(),
+            discriminator_latency: if self.settings.policy.uses_cascade() {
+                self.runtime.discriminator.latency().as_secs_f64()
+            } else {
+                0.0
+            },
+            batch_sizes: batches,
+            thresholds,
+        }
+    }
+
+    fn solve(&self, inputs: &AllocatorInputs<'_>) -> Allocation {
+        let solved = match self.settings.backend {
+            AllocatorBackend::Milp => solve_milp_allocation(inputs),
+            AllocatorBackend::Exhaustive => solve_exhaustive(inputs),
+        };
+        solved.unwrap_or_else(|| overload_fallback(inputs))
+    }
+
+    /// Initial allocation before any demand has been observed.
+    fn bootstrap_allocation(&mut self) {
+        let thresholds = self.threshold_grid();
+        let batches = self.config.batch_sizes.clone();
+        match self.settings.policy {
+            Policy::ClipperLight => {
+                let b = self.clipper_batch(ModelTier::Light);
+                for w in &mut self.workers {
+                    w.tier = ModelTier::Light;
+                    w.batch_max = b;
+                }
+            }
+            Policy::ClipperHeavy => {
+                let b = self.clipper_batch(ModelTier::Heavy);
+                for w in &mut self.workers {
+                    w.tier = ModelTier::Heavy;
+                    w.batch_max = b;
+                }
+            }
+            Policy::DiffServeStatic => {
+                // Provisioned for the anticipated peak (no over-provisioning
+                // headroom and no runtime adaptation — §4.1: "provisioned to
+                // accommodate maximum anticipated demand"), with the
+                // threshold fixed thereafter.
+                let demand = self.settings.peak_demand_hint;
+                let inputs = self.allocator_inputs(demand, 0.0, 0.0, &thresholds, &batches);
+                let alloc = self.solve(&inputs);
+                self.apply_allocation_instant(&alloc);
+            }
+            Policy::DiffServe => {
+                let inputs = self.allocator_inputs(1.0, 0.0, 0.0, &thresholds, &batches);
+                let alloc = self.solve(&inputs);
+                self.apply_allocation_instant(&alloc);
+            }
+            Policy::Proteus => {
+                let inputs = self.allocator_inputs(1.0, 0.0, 0.0, &thresholds, &batches);
+                if let Some((alloc, frac)) = solve_proteus(&inputs) {
+                    self.proteus_heavy_fraction = frac;
+                    self.apply_allocation_instant(&alloc);
+                }
+            }
+        }
+    }
+
+    fn threshold_grid(&self) -> Vec<f64> {
+        match (self.settings.policy, self.settings.knobs.static_threshold) {
+            (_, Some(t)) => vec![t],
+            _ => self.config.threshold_grid(),
+        }
+    }
+
+    /// Applies an allocation immediately (bootstrap: no switch delay).
+    fn apply_allocation_instant(&mut self, alloc: &Allocation) {
+        self.threshold = alloc.threshold;
+        let spare = self
+            .config
+            .num_workers
+            .saturating_sub(alloc.light_workers + alloc.heavy_workers);
+        let target_light = alloc.light_workers + spare;
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            w.tier = if i < target_light {
+                ModelTier::Light
+            } else {
+                ModelTier::Heavy
+            };
+            w.pending_tier = None;
+            w.batch_max = match w.tier {
+                ModelTier::Light => alloc.light_batch,
+                ModelTier::Heavy => alloc.heavy_batch,
+            };
+        }
+    }
+
+    /// Applies an allocation at runtime: batch sizes update immediately,
+    /// tier changes go through the model-switch protocol (idle workers
+    /// switch now and pay the load delay; busy ones switch at their next
+    /// batch boundary).
+    fn apply_allocation(
+        &mut self,
+        alloc: &Allocation,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) {
+        self.threshold = alloc.threshold;
+        let spare = self
+            .config
+            .num_workers
+            .saturating_sub(alloc.light_workers + alloc.heavy_workers);
+        let target_light = alloc.light_workers + spare;
+
+        for w in &mut self.workers {
+            let b = match w.target_tier() {
+                ModelTier::Light => alloc.light_batch,
+                ModelTier::Heavy => alloc.heavy_batch,
+            };
+            w.batch_max = b.max(1);
+        }
+
+        let current_light = self
+            .workers
+            .iter()
+            .filter(|w| w.target_tier() == ModelTier::Light)
+            .count();
+
+        let (from, to, count) = if current_light > target_light {
+            (ModelTier::Light, ModelTier::Heavy, current_light - target_light)
+        } else {
+            (ModelTier::Heavy, ModelTier::Light, target_light - current_light)
+        };
+        if count == 0 {
+            return;
+        }
+        // Switch the least-loaded workers of the donor tier.
+        let mut candidates: Vec<usize> = (0..self.workers.len())
+            .filter(|&i| self.workers[i].target_tier() == from)
+            .collect();
+        candidates.sort_by_key(|&i| self.workers[i].load());
+        let switching: Vec<usize> = candidates.into_iter().take(count).collect();
+
+        for idx in switching {
+            // Re-route queued queries: they were bound for the donor tier.
+            let orphans: Vec<u64> = self.workers[idx].queue.drain(..).collect();
+            self.workers[idx].pending_tier = Some(to);
+            self.workers[idx].batch_max = match to {
+                ModelTier::Light => alloc.light_batch.max(1),
+                ModelTier::Heavy => alloc.heavy_batch.max(1),
+            };
+            for q in orphans {
+                self.route_to_tier(from, q, now, queue);
+            }
+            if !self.workers[idx].busy {
+                self.begin_switch(idx, now, queue);
+            }
+        }
+    }
+
+    fn begin_switch(&mut self, idx: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+        debug_assert!(!self.workers[idx].busy);
+        self.workers[idx].busy = true;
+        debug_assert!(self.workers[idx].in_flight.is_empty());
+        queue.push(now + self.config.model_switch_delay, Event::BatchDone(idx));
+    }
+
+    /// Join-shortest-queue routing to the pool of a tier. Prefers workers
+    /// already running the tier; falls back to ones switching toward it.
+    fn route_to_tier(
+        &mut self,
+        tier: ModelTier,
+        qidx: u64,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let pick = |sim: &ServingSim<'_>, pred: &dyn Fn(&Worker) -> bool| -> Option<usize> {
+            (0..sim.workers.len())
+                .filter(|&i| pred(&sim.workers[i]))
+                .min_by_key(|&i| (sim.workers[i].load(), i))
+        };
+        let chosen = pick(self, &|w| w.tier == tier && w.pending_tier.is_none())
+            .or_else(|| pick(self, &|w| w.target_tier() == tier))
+            .or_else(|| pick(self, &|_| true))
+            .expect("at least one worker exists");
+        self.workers[chosen].queue.push_back(qidx);
+        self.try_start(chosen, now, queue);
+    }
+
+    fn try_start(&mut self, idx: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+        if self.workers[idx].busy {
+            return;
+        }
+        if self.workers[idx].pending_tier.is_some() {
+            self.begin_switch(idx, now, queue);
+            return;
+        }
+        if self.workers[idx].queue.is_empty() {
+            return;
+        }
+        let tier = self.workers[idx].tier;
+        let bmax = self.workers[idx].batch_max;
+
+        // Drop-front policy: shed queries that cannot finish this stage in
+        // time (counted as SLO violations, §4.1).
+        if self.config.drop_predicted_misses {
+            loop {
+                let Some(&front) = self.workers[idx].queue.front() else {
+                    break;
+                };
+                let b_est = self.workers[idx].queue.len().min(bmax);
+                let eta = now + SimDuration::from_secs_f64(self.stage_latency(tier, b_est));
+                let rec = self.queries[front as usize];
+                if eta > rec.deadline {
+                    self.workers[idx].queue.pop_front();
+                    self.queries[front as usize].finished = true;
+                    self.slo.record_drop(rec.arrival, now);
+                    match tier {
+                        ModelTier::Light => self.violations_since_tick_light += 1,
+                        ModelTier::Heavy => self.violations_since_tick_heavy += 1,
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.workers[idx].queue.is_empty() {
+            return;
+        }
+        let take = self.workers[idx].queue.len().min(bmax);
+        let batch: Vec<u64> = self.workers[idx].queue.drain(..take).collect();
+        let dur = SimDuration::from_secs_f64(self.stage_latency(tier, batch.len()));
+        self.workers[idx].busy = true;
+        self.workers[idx].in_flight = batch;
+        queue.push(now + dur, Event::BatchDone(idx));
+    }
+
+    fn complete(
+        &mut self,
+        qidx: u64,
+        image: GeneratedImage,
+        tier: ModelTier,
+        confidence: Option<f64>,
+        now: SimTime,
+    ) {
+        let rec = self.queries[qidx as usize];
+        self.queries[qidx as usize].finished = true;
+        let outcome = self.slo.record_completion(rec.arrival, now);
+        if outcome.is_violation() {
+            match tier {
+                ModelTier::Light => self.violations_since_tick_light += 1,
+                ModelTier::Heavy => self.violations_since_tick_heavy += 1,
+            }
+        }
+        self.responses.push(CompletedResponse {
+            id: QueryId(qidx),
+            arrival: rec.arrival,
+            completion: now,
+            features: image.features,
+            quality: image.quality,
+            tier,
+            confidence,
+        });
+    }
+
+    fn handle_arrival(&mut self, qidx: u64, now: SimTime, queue: &mut EventQueue<Event>) {
+        debug_assert_eq!(qidx as usize, self.queries.len());
+        self.queries.push(QueryRec {
+            arrival: now,
+            deadline: now + self.config.slo,
+            finished: false,
+        });
+        self.total_arrivals += 1;
+        self.arrivals_since_tick += 1;
+        self.arrival_series.push(now, 1.0);
+
+        let tier = match self.settings.policy {
+            Policy::ClipperLight => ModelTier::Light,
+            Policy::ClipperHeavy => ModelTier::Heavy,
+            Policy::Proteus => {
+                if self.rng.gen_range(0.0..1.0) < self.proteus_heavy_fraction {
+                    self.heavy_arrivals_since_tick += 1;
+                    ModelTier::Heavy
+                } else {
+                    ModelTier::Light
+                }
+            }
+            Policy::DiffServeStatic | Policy::DiffServe => ModelTier::Light,
+        };
+        self.route_to_tier(tier, qidx, now, queue);
+    }
+
+    fn handle_batch_done(&mut self, idx: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+        self.workers[idx].busy = false;
+        let batch = std::mem::take(&mut self.workers[idx].in_flight);
+        if batch.is_empty() {
+            // Model switch finished.
+            if let Some(t) = self.workers[idx].pending_tier.take() {
+                self.workers[idx].tier = t;
+            }
+            self.try_start(idx, now, queue);
+            return;
+        }
+        let tier = self.workers[idx].tier;
+        for qidx in batch {
+            let prompt = *self.runtime.dataset.prompt_cyclic(qidx);
+            match tier {
+                ModelTier::Light => {
+                    let image = self.runtime.spec.light.generate(&prompt);
+                    if self.settings.policy.uses_cascade() {
+                        let conf = self.runtime.discriminator.confidence(&image.features);
+                        if conf >= self.threshold {
+                            self.complete(qidx, image, ModelTier::Light, Some(conf), now);
+                        } else {
+                            self.heavy_arrivals_since_tick += 1;
+                            self.route_to_tier(ModelTier::Heavy, qidx, now, queue);
+                        }
+                    } else {
+                        self.complete(qidx, image, ModelTier::Light, None, now);
+                    }
+                }
+                ModelTier::Heavy => {
+                    let image = self.runtime.spec.heavy.generate(&prompt);
+                    self.complete(qidx, image, ModelTier::Heavy, None, now);
+                }
+            }
+        }
+        self.try_start(idx, now, queue);
+    }
+
+    fn handle_control_tick(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        let interval = self.config.control_interval;
+        self.demand.observe(self.arrivals_since_tick, interval);
+        let demand = self.demand.provisioned_estimate().max(0.5);
+
+        // Queuing-delay estimates (Little's law or the Fig. 8 heuristic).
+        let light_queue: usize = self
+            .workers
+            .iter()
+            .filter(|w| w.target_tier() == ModelTier::Light)
+            .map(|w| w.queue.len())
+            .sum();
+        let heavy_queue: usize = self
+            .workers
+            .iter()
+            .filter(|w| w.target_tier() == ModelTier::Heavy)
+            .map(|w| w.queue.len())
+            .sum();
+        let heavy_rate =
+            (self.heavy_arrivals_since_tick as f64 / interval.as_secs_f64()).max(0.05);
+        let light_rate = demand.max(0.05);
+        let (q1, q2) = match self.settings.knobs.queue_model {
+            QueueModel::LittlesLaw => (
+                light_queue as f64 / light_rate,
+                heavy_queue as f64 / heavy_rate,
+            ),
+            QueueModel::TwiceExecution => {
+                let b1 = self.current_batch(ModelTier::Light);
+                let b2 = self.current_batch(ModelTier::Heavy);
+                (
+                    2.0 * self.stage_latency(ModelTier::Light, b1),
+                    2.0 * self.stage_latency(ModelTier::Heavy, b2),
+                )
+            }
+        };
+
+        // AIMD batch adaptation (Fig. 8 ablation).
+        if self.settings.knobs.batch_policy == BatchPolicy::Aimd {
+            let max_b = self
+                .config
+                .batch_sizes
+                .iter()
+                .copied()
+                .max()
+                .expect("non-empty");
+            self.aimd_light_batch = aimd_step(
+                self.aimd_light_batch,
+                self.violations_since_tick_light > 0,
+                max_b,
+            );
+            self.aimd_heavy_batch = aimd_step(
+                self.aimd_heavy_batch,
+                self.violations_since_tick_heavy > 0,
+                max_b,
+            );
+        }
+        self.arrivals_since_tick = 0;
+        self.heavy_arrivals_since_tick = 0;
+        self.violations_since_tick_light = 0;
+        self.violations_since_tick_heavy = 0;
+
+        let thresholds = self.threshold_grid();
+        let batches: Vec<usize> = match self.settings.knobs.batch_policy {
+            BatchPolicy::Milp => self.config.batch_sizes.clone(),
+            // AIMD owns the batch choice; the planner sees only the current
+            // AIMD operating points, so capacity planning reacts a step
+            // behind the oscillation — the paper's "reactive signal" flaw.
+            BatchPolicy::Aimd => {
+                let mut b = vec![self.aimd_light_batch, self.aimd_heavy_batch];
+                b.dedup();
+                b
+            }
+        };
+
+        match self.settings.policy {
+            Policy::DiffServe => {
+                let mut inputs = self.allocator_inputs(demand, q1, q2, &thresholds, &batches);
+                if self.settings.knobs.batch_policy == BatchPolicy::Aimd {
+                    // AIMD owns latency reactively (halve on timeout); the
+                    // planner only sizes throughput at the current AIMD
+                    // operating points. This is the paper's ablation: the
+                    // latency constraint leaves the optimization and SLO
+                    // violations become the (lagging) control signal.
+                    inputs.slo = f64::INFINITY;
+                }
+                let mut alloc = self.solve(&inputs);
+                if self.settings.knobs.batch_policy == BatchPolicy::Aimd {
+                    alloc.light_batch = self.aimd_light_batch;
+                    alloc.heavy_batch = self.aimd_heavy_batch;
+                }
+                self.apply_allocation(&alloc, now, queue);
+            }
+            Policy::Proteus => {
+                let inputs = self.allocator_inputs(demand, q1, q2, &thresholds, &batches);
+                if let Some((alloc, frac)) = solve_proteus(&inputs) {
+                    self.proteus_heavy_fraction = frac;
+                    self.apply_allocation(&alloc, now, queue);
+                } else {
+                    // Overload: send everything to the light pool.
+                    self.proteus_heavy_fraction = 0.0;
+                    let fb = overload_fallback(&inputs);
+                    self.apply_allocation(&fb, now, queue);
+                }
+            }
+            // Static policies never re-allocate.
+            Policy::ClipperLight | Policy::ClipperHeavy | Policy::DiffServeStatic => {}
+        }
+        self.threshold_series.push(now, self.threshold);
+        queue.push(now + interval, Event::ControlTick);
+    }
+
+    fn current_batch(&self, tier: ModelTier) -> usize {
+        self.workers
+            .iter()
+            .find(|w| w.target_tier() == tier)
+            .map(|w| w.batch_max)
+            .unwrap_or(1)
+    }
+}
+
+fn aimd_step(current: usize, violated: bool, max_b: usize) -> usize {
+    if violated {
+        (current / 2).max(1)
+    } else {
+        (current + 1).min(max_b)
+    }
+}
+
+impl Actor<Event> for ServingSim<'_> {
+    fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::Arrival(qidx) => self.handle_arrival(qidx, now, queue),
+            Event::BatchDone(idx) => self.handle_batch_done(idx, now, queue),
+            Event::ControlTick => self.handle_control_tick(now, queue),
+        }
+    }
+}
+
+/// Runs one policy against a demand trace and reports the paper's metrics.
+///
+/// Arrivals are Poisson within each trace bin, seeded from
+/// `config.seed` — identical across policies so comparisons are paired.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_trace(
+    runtime: &CascadeRuntime,
+    config: &SystemConfig,
+    settings: &RunSettings,
+    trace: &Trace,
+) -> RunReport {
+    let mut arrival_rng = seeded_rng(derive_seed(config.seed, 0xA881));
+    let arrivals = poisson_arrivals(trace, &mut arrival_rng);
+
+    let sim_state = ServingSim::new(config, settings, runtime);
+    let mut sim = Simulation::new(sim_state);
+    for (i, &t) in arrivals.iter().enumerate() {
+        sim.schedule(t, Event::Arrival(i as u64));
+    }
+    sim.schedule(SimTime::ZERO + config.control_interval, Event::ControlTick);
+
+    // Horizon: trace end plus a drain period of 4 SLOs.
+    let horizon = SimTime::ZERO + trace.duration() + config.slo * 4;
+    sim.run_until_with_budget(horizon, 50_000_000);
+
+    let mut state = sim.into_actor();
+    // Anything still in the system at the horizon violated its deadline
+    // long ago (drain period exceeds the SLO).
+    for i in 0..state.queries.len() {
+        if !state.queries[i].finished {
+            let rec = state.queries[i];
+            state.slo.record_drop(rec.arrival, horizon);
+            state.queries[i].finished = true;
+        }
+    }
+    build_report(state, horizon)
+}
+
+fn build_report(state: ServingSim<'_>, _horizon: SimTime) -> RunReport {
+    let to_secs =
+        |v: Vec<(SimTime, f64)>| -> Vec<(f64, f64)> {
+            v.into_iter().map(|(t, x)| (t.as_secs_f64(), x)).collect()
+        };
+    RunReport::assemble(
+        state.settings.policy,
+        state.total_arrivals,
+        &state.slo,
+        &state.responses,
+        &state.runtime.reference,
+        state.config.metrics_window,
+        to_secs(state.arrival_series.window_rates()),
+        to_secs(state.threshold_series.window_means()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use diffserve_imagegen::{cascade1, DiscriminatorConfig, FeatureSpec};
+    use diffserve_simkit::time::SimDuration;
+    use std::sync::OnceLock;
+
+    /// Shared runtime: discriminator training is the slow part, do it once.
+    fn test_runtime() -> &'static CascadeRuntime {
+        static RT: OnceLock<CascadeRuntime> = OnceLock::new();
+        RT.get_or_init(|| {
+            CascadeRuntime::prepare(
+                cascade1(FeatureSpec::default()),
+                1500,
+                99,
+                DiscriminatorConfig {
+                    train_prompts: 500,
+                    epochs: 10,
+                    ..Default::default()
+                },
+            )
+        })
+    }
+
+    fn small_config() -> SystemConfig {
+        SystemConfig {
+            num_workers: 8,
+            metrics_window: SimDuration::from_secs(10),
+            ..Default::default()
+        }
+    }
+
+    fn flat_trace(qps: f64, secs: u64) -> Trace {
+        Trace::constant(qps, SimDuration::from_secs(secs)).unwrap()
+    }
+
+    #[test]
+    fn all_queries_accounted_for() {
+        let cfg = small_config();
+        for policy in Policy::all() {
+            let settings = RunSettings::new(policy, 8.0);
+            let report = run_trace(test_runtime(), &cfg, &settings, &flat_trace(4.0, 40));
+            assert_eq!(
+                report.completed + report.dropped,
+                report.total_queries,
+                "{}: completed {} + dropped {} != total {}",
+                policy.name(),
+                report.completed,
+                report.dropped,
+                report.total_queries
+            );
+            assert!(report.total_queries > 50, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn clipper_light_is_fast_but_low_quality() {
+        let cfg = small_config();
+        let light = run_trace(
+            test_runtime(),
+            &cfg,
+            &RunSettings::new(Policy::ClipperLight, 8.0),
+            &flat_trace(4.0, 40),
+        );
+        let heavy = run_trace(
+            test_runtime(),
+            &cfg,
+            &RunSettings::new(Policy::ClipperHeavy, 8.0),
+            &flat_trace(4.0, 40),
+        );
+        // Light: everything on time, poor FID. Heavy: better FID.
+        assert!(light.violation_ratio < 0.02, "light viol {}", light.violation_ratio);
+        assert!(light.fid > heavy.fid, "light fid {} vs heavy {}", light.fid, heavy.fid);
+        assert!(light.mean_latency < heavy.mean_latency);
+        assert_eq!(light.heavy_fraction, 0.0);
+        assert_eq!(heavy.heavy_fraction, 1.0);
+    }
+
+    #[test]
+    fn clipper_heavy_collapses_under_load() {
+        let cfg = small_config();
+        // 8 workers of SDv1.5 at b=1: ~4.5 QPS capacity; demand 12 ⇒ overload.
+        let report = run_trace(
+            test_runtime(),
+            &cfg,
+            &RunSettings::new(Policy::ClipperHeavy, 12.0),
+            &flat_trace(12.0, 60),
+        );
+        assert!(
+            report.violation_ratio > 0.4,
+            "expected heavy overload, got {}",
+            report.violation_ratio
+        );
+    }
+
+    #[test]
+    fn diffserve_beats_proteus_on_quality_at_matched_violations() {
+        let cfg = small_config();
+        let ds = run_trace(
+            test_runtime(),
+            &cfg,
+            &RunSettings::new(Policy::DiffServe, 10.0),
+            &flat_trace(6.0, 60),
+        );
+        let pr = run_trace(
+            test_runtime(),
+            &cfg,
+            &RunSettings::new(Policy::Proteus, 10.0),
+            &flat_trace(6.0, 60),
+        );
+        assert!(
+            ds.fid < pr.fid,
+            "DiffServe fid {} should beat Proteus fid {}",
+            ds.fid,
+            pr.fid
+        );
+        assert!(ds.violation_ratio < 0.2, "ds violations {}", ds.violation_ratio);
+    }
+
+    #[test]
+    fn diffserve_keeps_violations_low_under_pressure() {
+        let cfg = small_config();
+        let report = run_trace(
+            test_runtime(),
+            &cfg,
+            &RunSettings::new(Policy::DiffServe, 25.0),
+            &flat_trace(25.0, 60),
+        );
+        assert!(
+            report.violation_ratio < 0.25,
+            "violations {}",
+            report.violation_ratio
+        );
+        // Under pressure most traffic stays light.
+        assert!(report.heavy_fraction < 0.5, "heavy {}", report.heavy_fraction);
+    }
+
+    #[test]
+    fn threshold_falls_as_demand_rises() {
+        let cfg = small_config();
+        let low = run_trace(
+            test_runtime(),
+            &cfg,
+            &RunSettings::new(Policy::DiffServe, 20.0),
+            &flat_trace(2.0, 60),
+        );
+        let high = run_trace(
+            test_runtime(),
+            &cfg,
+            &RunSettings::new(Policy::DiffServe, 20.0),
+            &flat_trace(18.0, 60),
+        );
+        let mean_t = |r: &RunReport| {
+            let s: f64 = r.threshold_series.iter().map(|(_, t)| t).sum();
+            s / r.threshold_series.len() as f64
+        };
+        assert!(
+            mean_t(&low) > mean_t(&high),
+            "threshold should fall with demand: {} vs {}",
+            mean_t(&low),
+            mean_t(&high)
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = small_config();
+        let settings = RunSettings::new(Policy::DiffServe, 8.0);
+        let a = run_trace(test_runtime(), &cfg, &settings, &flat_trace(5.0, 30));
+        let b = run_trace(test_runtime(), &cfg, &settings, &flat_trace(5.0, 30));
+        assert_eq!(a.total_queries, b.total_queries);
+        assert_eq!(a.violation_ratio, b.violation_ratio);
+        assert_eq!(a.fid.to_bits(), b.fid.to_bits());
+    }
+
+    #[test]
+    fn milp_backend_agrees_with_exhaustive_on_outcome() {
+        let cfg = small_config();
+        let mut settings = RunSettings::new(Policy::DiffServe, 8.0);
+        settings.backend = AllocatorBackend::Milp;
+        let milp = run_trace(test_runtime(), &cfg, &settings, &flat_trace(5.0, 30));
+        settings.backend = AllocatorBackend::Exhaustive;
+        let ex = run_trace(test_runtime(), &cfg, &settings, &flat_trace(5.0, 30));
+        // Same optimization problem ⇒ same threshold trajectory and close
+        // system metrics (worker identity may differ).
+        assert_eq!(milp.threshold_series.len(), ex.threshold_series.len());
+        for (a, b) in milp.threshold_series.iter().zip(&ex.threshold_series) {
+            assert!((a.1 - b.1).abs() < 0.05, "thresholds diverged: {a:?} vs {b:?}");
+        }
+        assert!((milp.violation_ratio - ex.violation_ratio).abs() < 0.1);
+    }
+
+    #[test]
+    fn static_threshold_ablation_pins_threshold() {
+        let cfg = small_config();
+        let mut settings = RunSettings::new(Policy::DiffServe, 8.0);
+        settings.knobs = AblationKnobs::static_threshold(0.45);
+        let report = run_trace(test_runtime(), &cfg, &settings, &flat_trace(4.0, 30));
+        for &(_, t) in &report.threshold_series {
+            assert!((t - 0.45).abs() < 1e-9, "threshold moved to {t}");
+        }
+    }
+
+    #[test]
+    fn report_series_are_populated() {
+        let cfg = small_config();
+        let report = run_trace(
+            test_runtime(),
+            &cfg,
+            &RunSettings::new(Policy::DiffServe, 8.0),
+            &flat_trace(6.0, 60),
+        );
+        assert!(!report.fid_series.is_empty());
+        assert!(!report.violation_series.is_empty());
+        assert!(!report.demand_series.is_empty());
+        assert!(!report.threshold_series.is_empty());
+        assert!(report.fid.is_finite());
+        assert!(report.mean_windowed_fid.is_finite());
+        // Demand series should hover near the offered 6 QPS.
+        let mid = report.demand_series[report.demand_series.len() / 2].1;
+        assert!((mid - 6.0).abs() < 3.0, "demand series off: {mid}");
+    }
+}

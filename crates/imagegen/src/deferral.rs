@@ -1,0 +1,193 @@
+//! The deferral profile `f(t)`.
+//!
+//! `f(t)` is the fraction of queries whose discriminator confidence falls
+//! below threshold `t` — i.e. the fraction deferred to the heavyweight
+//! model. The resource allocator's heavy-side throughput constraint is
+//! `x₂·T₂(b₂) ≥ D·f(t)` (paper Eq. 3). The paper initializes `f` by offline
+//! profiling and keeps updating it online; [`DeferralProfile`] implements
+//! both: build it from a calibration set, refresh it from runtime samples.
+
+/// Empirical deferral profile built from confidence samples.
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_imagegen::DeferralProfile;
+///
+/// let profile = DeferralProfile::from_confidences(vec![0.1, 0.4, 0.6, 0.9]);
+/// assert_eq!(profile.fraction_deferred(0.0), 0.0);
+/// assert_eq!(profile.fraction_deferred(0.5), 0.5);
+/// assert_eq!(profile.fraction_deferred(1.1), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeferralProfile {
+    /// Confidence samples, ascending.
+    sorted: Vec<f64>,
+}
+
+impl DeferralProfile {
+    /// Builds a profile from confidence samples (NaNs discarded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no finite samples remain.
+    pub fn from_confidences(mut confidences: Vec<f64>) -> Self {
+        confidences.retain(|c| c.is_finite());
+        assert!(
+            !confidences.is_empty(),
+            "deferral profile needs at least one confidence sample"
+        );
+        confidences.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+        DeferralProfile { sorted: confidences }
+    }
+
+    /// Number of samples backing the profile.
+    pub fn sample_count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Fraction of queries deferred at threshold `t`: `P(confidence < t)`.
+    ///
+    /// Monotone non-decreasing in `t`; 0 at `t ≤ min`, 1 at `t > max`.
+    pub fn fraction_deferred(&self, t: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&c| c < t);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Largest threshold whose deferral fraction does not exceed
+    /// `max_fraction` — the inverse used when capacity bounds the heavy
+    /// side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_fraction` is outside `[0, 1]`.
+    pub fn threshold_for_fraction(&self, max_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&max_fraction),
+            "fraction must lie in [0, 1], got {max_fraction}"
+        );
+        let n = self.sorted.len();
+        let allowed = (max_fraction * n as f64).floor() as usize;
+        if allowed >= n {
+            return 1.0;
+        }
+        // Deferring `allowed` queries means the threshold sits at the
+        // `allowed`-th order statistic (everything strictly below defers).
+        self.sorted[allowed]
+    }
+
+    /// Evenly spaced candidate thresholds (inclusive of 0 and 1) for the
+    /// MILP's threshold discretization.
+    pub fn threshold_grid(steps: usize) -> Vec<f64> {
+        assert!(steps >= 2, "grid needs at least two points");
+        (0..steps)
+            .map(|i| i as f64 / (steps - 1) as f64)
+            .collect()
+    }
+
+    /// Merges fresh runtime samples into the profile, keeping at most
+    /// `cap` most-recent-biased samples (reservoir-free decimation).
+    pub fn absorb(&mut self, fresh: &[f64], cap: usize) {
+        for &c in fresh {
+            if c.is_finite() {
+                self.sorted.push(c);
+            }
+        }
+        self.sorted
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        if self.sorted.len() > cap && cap > 0 {
+            // Decimate uniformly to preserve the distribution shape.
+            let stride = self.sorted.len() as f64 / cap as f64;
+            let decimated: Vec<f64> = (0..cap)
+                .map(|i| self.sorted[(i as f64 * stride) as usize])
+                .collect();
+            self.sorted = decimated;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fraction_is_monotone_and_bounded() {
+        let p = DeferralProfile::from_confidences(vec![0.2, 0.5, 0.8]);
+        assert_eq!(p.fraction_deferred(0.0), 0.0);
+        assert!((p.fraction_deferred(0.3) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((p.fraction_deferred(0.6) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.fraction_deferred(2.0), 1.0);
+    }
+
+    #[test]
+    fn threshold_inverse_respects_capacity() {
+        let p = DeferralProfile::from_confidences((0..100).map(|i| i as f64 / 100.0).collect());
+        // Allow at most 30% deferral.
+        let t = p.threshold_for_fraction(0.30);
+        assert!(p.fraction_deferred(t) <= 0.30 + 1e-12);
+        // And the next-larger threshold would exceed it.
+        assert!(p.fraction_deferred(t + 0.011) > 0.30);
+    }
+
+    #[test]
+    fn full_capacity_allows_threshold_one() {
+        let p = DeferralProfile::from_confidences(vec![0.1, 0.9]);
+        assert_eq!(p.threshold_for_fraction(1.0), 1.0);
+    }
+
+    #[test]
+    fn zero_capacity_blocks_all_deferral() {
+        let p = DeferralProfile::from_confidences(vec![0.3, 0.6, 0.9]);
+        let t = p.threshold_for_fraction(0.0);
+        assert_eq!(p.fraction_deferred(t), 0.0);
+    }
+
+    #[test]
+    fn grid_spans_unit_interval() {
+        let g = DeferralProfile::threshold_grid(51);
+        assert_eq!(g.len(), 51);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(*g.last().unwrap(), 1.0);
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn absorb_keeps_distribution_shape() {
+        let mut p = DeferralProfile::from_confidences((0..1000).map(|i| i as f64 / 1000.0).collect());
+        p.absorb(&[0.5; 100], 500);
+        assert!(p.sample_count() <= 500);
+        // Median should remain near 0.5.
+        let mid = p.fraction_deferred(0.5);
+        assert!((mid - 0.5).abs() < 0.1, "median drifted: {mid}");
+    }
+
+    #[test]
+    fn nan_samples_are_dropped() {
+        let p = DeferralProfile::from_confidences(vec![f64::NAN, 0.5, f64::NAN]);
+        assert_eq!(p.sample_count(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn inverse_is_consistent(samples in proptest::collection::vec(0.0f64..1.0, 10..200),
+                                 frac in 0.0f64..1.0) {
+            let p = DeferralProfile::from_confidences(samples);
+            let t = p.threshold_for_fraction(frac);
+            prop_assert!(p.fraction_deferred(t) <= frac + 1e-12);
+        }
+
+        #[test]
+        fn monotone_in_threshold(samples in proptest::collection::vec(0.0f64..1.0, 10..200)) {
+            let p = DeferralProfile::from_confidences(samples);
+            let mut last = 0.0;
+            for i in 0..=20 {
+                let f = p.fraction_deferred(i as f64 / 20.0);
+                prop_assert!(f >= last - 1e-12);
+                last = f;
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Multi-stage cascades (paper §5, "Scalability of DiffServe").
+//!
+//! The paper sketches the extension to longer pipelines: "applying a
+//! discriminator after each model, with adjustments to the MILP formulation
+//! to include multiple confidence thresholds as optimization variables."
+//! This module implements the offline evaluation of an N-stage cascade:
+//! every query starts at stage 0 (the lightest model); after each stage the
+//! discriminator scores the output and the query either returns or
+//! escalates to the next, heavier stage.
+
+use diffserve_linalg::Mat;
+use diffserve_metrics::fid_score;
+
+use crate::discriminator::Discriminator;
+use crate::model::DiffusionModel;
+use crate::prompt::PromptDataset;
+
+/// An N-stage cascade: models ordered light → heavy, with a shared
+/// discriminator gating every stage but the last.
+#[derive(Debug, Clone)]
+pub struct Pipeline<'a> {
+    stages: Vec<&'a DiffusionModel>,
+    discriminator: &'a Discriminator,
+}
+
+/// Result of evaluating a pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineEval {
+    /// FID of the blended responses against the dataset reference.
+    pub fid: f64,
+    /// Fraction of queries resolved at each stage (sums to 1).
+    pub stage_fractions: Vec<f64>,
+    /// Mean per-query generation latency (batch 1, discriminator included
+    /// for every gated stage the query visited).
+    pub mean_latency: f64,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Creates a pipeline from models ordered lightest to heaviest.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two stages (use the plain model evaluation
+    /// for a single stage).
+    pub fn new(stages: Vec<&'a DiffusionModel>, discriminator: &'a Discriminator) -> Self {
+        assert!(stages.len() >= 2, "a pipeline needs at least two stages");
+        Pipeline {
+            stages,
+            discriminator,
+        }
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Evaluates the pipeline at per-gate thresholds (`thresholds.len()`
+    /// must be `num_stages() - 1`; gate `i` keeps stage-`i` outputs whose
+    /// confidence is at least `thresholds[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a threshold-count mismatch.
+    pub fn evaluate(&self, dataset: &PromptDataset, thresholds: &[f64]) -> PipelineEval {
+        assert_eq!(
+            thresholds.len(),
+            self.stages.len() - 1,
+            "need one threshold per gated stage"
+        );
+        let disc_lat = self.discriminator.latency().as_secs_f64();
+        let mut features: Vec<Vec<f64>> = Vec::with_capacity(dataset.len());
+        let mut stage_counts = vec![0usize; self.stages.len()];
+        let mut latency_sum = 0.0;
+
+        for prompt in dataset.prompts() {
+            let mut resolved = None;
+            for (i, model) in self.stages.iter().enumerate() {
+                let img = model.generate(prompt);
+                latency_sum += model.latency().exec_latency(1).as_secs_f64();
+                let last = i + 1 == self.stages.len();
+                if last {
+                    resolved = Some((i, img));
+                    break;
+                }
+                latency_sum += disc_lat;
+                let conf = self.discriminator.confidence(&img.features);
+                if conf >= thresholds[i] {
+                    resolved = Some((i, img));
+                    break;
+                }
+            }
+            let (stage, img) = resolved.expect("last stage always resolves");
+            stage_counts[stage] += 1;
+            features.push(img.features);
+        }
+
+        let refs: Vec<&[f64]> = features.iter().map(|f| f.as_slice()).collect();
+        let fid = fid_score(&Mat::from_rows(&refs), dataset.real_features(), 1e-6)
+            .expect("well-conditioned features");
+        let n = dataset.len() as f64;
+        PipelineEval {
+            fid,
+            stage_fractions: stage_counts.iter().map(|&c| c as f64 / n).collect(),
+            mean_latency: latency_sum / n,
+        }
+    }
+
+    /// Sweeps a grid of thresholds per gate and returns the configurations
+    /// on the FID/latency Pareto frontier, each as
+    /// `(thresholds, PipelineEval)`.
+    pub fn pareto_frontier(
+        &self,
+        dataset: &PromptDataset,
+        grid: &[f64],
+    ) -> Vec<(Vec<f64>, PipelineEval)> {
+        let gates = self.stages.len() - 1;
+        let mut all: Vec<(Vec<f64>, PipelineEval)> = Vec::new();
+        let mut idx = vec![0usize; gates];
+        loop {
+            let thresholds: Vec<f64> = idx.iter().map(|&i| grid[i]).collect();
+            let eval = self.evaluate(dataset, &thresholds);
+            all.push((thresholds, eval));
+            // Odometer increment.
+            let mut g = 0;
+            loop {
+                if g == gates {
+                    break;
+                }
+                idx[g] += 1;
+                if idx[g] < grid.len() {
+                    break;
+                }
+                idx[g] = 0;
+                g += 1;
+            }
+            if g == gates {
+                break;
+            }
+        }
+        // Pareto: minimize (latency, fid).
+        all.sort_by(|a, b| {
+            a.1.mean_latency
+                .partial_cmp(&b.1.mean_latency)
+                .expect("finite latency")
+        });
+        let mut frontier: Vec<(Vec<f64>, PipelineEval)> = Vec::new();
+        let mut best_fid = f64::INFINITY;
+        for (t, e) in all {
+            if e.fid < best_fid - 1e-9 {
+                best_fid = e.fid;
+                frontier.push((t, e));
+            }
+        }
+        frontier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discriminator::{Discriminator, DiscriminatorConfig};
+    use crate::features::FeatureSpec;
+    use crate::prompt::{DatasetKind, PromptDataset};
+    use crate::zoo::{sd_turbo, sd_v15, sdxs};
+    use std::sync::OnceLock;
+
+    struct Fixture {
+        dataset: PromptDataset,
+        light: crate::model::DiffusionModel,
+        mid: crate::model::DiffusionModel,
+        heavy: crate::model::DiffusionModel,
+        disc: Discriminator,
+    }
+
+    fn fixture() -> &'static Fixture {
+        static F: OnceLock<Fixture> = OnceLock::new();
+        F.get_or_init(|| {
+            let spec = FeatureSpec::default();
+            let dataset = PromptDataset::synthesize(DatasetKind::MsCoco, 1200, 31, spec);
+            let light = sdxs(spec);
+            let mid = sd_turbo(spec);
+            let heavy = sd_v15(spec);
+            let disc = Discriminator::train(
+                &dataset,
+                &light,
+                &heavy,
+                DiscriminatorConfig {
+                    train_prompts: 400,
+                    epochs: 10,
+                    ..Default::default()
+                },
+            );
+            Fixture {
+                dataset,
+                light,
+                mid,
+                heavy,
+                disc,
+            }
+        })
+    }
+
+    #[test]
+    fn stage_fractions_sum_to_one() {
+        let f = fixture();
+        let p = Pipeline::new(vec![&f.light, &f.mid, &f.heavy], &f.disc);
+        let e = p.evaluate(&f.dataset, &[0.5, 0.5]);
+        let total: f64 = e.stage_fractions.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(e.stage_fractions.len(), 3);
+    }
+
+    #[test]
+    fn zero_thresholds_resolve_everything_at_stage_zero() {
+        let f = fixture();
+        let p = Pipeline::new(vec![&f.light, &f.mid, &f.heavy], &f.disc);
+        let e = p.evaluate(&f.dataset, &[0.0, 0.0]);
+        assert_eq!(e.stage_fractions[0], 1.0);
+        // Latency = lightest model + one discriminator pass.
+        let expected =
+            f.light.latency().exec_latency(1).as_secs_f64() + f.disc.latency().as_secs_f64();
+        assert!((e.mean_latency - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_thresholds_push_everything_to_the_last_stage() {
+        let f = fixture();
+        let p = Pipeline::new(vec![&f.light, &f.mid, &f.heavy], &f.disc);
+        let e = p.evaluate(&f.dataset, &[1.01, 1.01]);
+        assert_eq!(*e.stage_fractions.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn three_stage_beats_all_heavy_and_all_light() {
+        let f = fixture();
+        let p = Pipeline::new(vec![&f.light, &f.mid, &f.heavy], &f.disc);
+        let all_light = p.evaluate(&f.dataset, &[0.0, 0.0]);
+        let all_heavy = p.evaluate(&f.dataset, &[1.01, 1.01]);
+        let blended = p.evaluate(&f.dataset, &[0.6, 0.6]);
+        assert!(blended.fid < all_light.fid, "{} vs {}", blended.fid, all_light.fid);
+        assert!(blended.fid < all_heavy.fid, "{} vs {}", blended.fid, all_heavy.fid);
+        assert!(blended.mean_latency < all_heavy.mean_latency);
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let f = fixture();
+        let p = Pipeline::new(vec![&f.light, &f.mid, &f.heavy], &f.disc);
+        let grid = [0.0, 0.3, 0.6, 0.9];
+        let frontier = p.pareto_frontier(&f.dataset, &grid);
+        assert!(!frontier.is_empty());
+        for w in frontier.windows(2) {
+            assert!(w[0].1.mean_latency <= w[1].1.mean_latency);
+            assert!(w[0].1.fid >= w[1].1.fid);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one threshold per gated stage")]
+    fn wrong_threshold_count_panics() {
+        let f = fixture();
+        let p = Pipeline::new(vec![&f.light, &f.heavy], &f.disc);
+        let _ = p.evaluate(&f.dataset, &[0.5, 0.5]);
+    }
+}

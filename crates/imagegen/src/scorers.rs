@@ -1,0 +1,201 @@
+//! Simulated quality scorers: PickScore and CLIPScore.
+//!
+//! The paper (§2.1, Fig. 1a) shows that cascades routed by PickScore or
+//! CLIPScore thresholds perform *no better than random*, because:
+//!
+//! * **PickScore** compares images *for the same prompt*; its absolute value
+//!   carries a strong prompt-level component, so one global threshold
+//!   conflates prompt style with image quality.
+//! * **CLIPScore** measures text–image alignment, which is nearly identical
+//!   across model variants and "does not consistently reflect the image's
+//!   perceptual quality".
+//!
+//! These scorers reproduce exactly those failure modes over the synthetic
+//! substrate: both carry the prompt's `style_bias`, PickScore adds heavy
+//! per-image noise, and CLIPScore's dependence on true quality is weak.
+
+use diffserve_simkit::rng::{derive_seed, seeded_rng, Normal, Sampler};
+
+use crate::model::GeneratedImage;
+use crate::prompt::Prompt;
+
+/// Simulated PickScore: prompt-relative preference score.
+///
+/// Within one prompt, differences of PickScores still rank the two models'
+/// outputs reasonably (used in Fig. 1b); across prompts, the style component
+/// dominates, defeating a global routing threshold (Fig. 1a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PickScorer {
+    /// Weight of the latent image quality.
+    pub quality_weight: f64,
+    /// Weight of the prompt's style bias (shared by both models).
+    pub style_weight: f64,
+    /// Weight of prompt difficulty: elaborate/artistic prompts attract
+    /// higher preference scores regardless of rendering quality, so a
+    /// global threshold *adversely* keeps exactly the hard prompts on the
+    /// light model — this is what pushes PickScore routing below random in
+    /// Fig. 1a.
+    pub difficulty_weight: f64,
+    /// Per-image noise std.
+    pub noise_std: f64,
+}
+
+impl Default for PickScorer {
+    fn default() -> Self {
+        PickScorer {
+            quality_weight: 0.45,
+            style_weight: 0.6,
+            difficulty_weight: 3.0,
+            noise_std: 0.18,
+        }
+    }
+}
+
+impl PickScorer {
+    /// Scores an image for a prompt. Deterministic per (prompt, image).
+    pub fn score(&self, prompt: &Prompt, image: &GeneratedImage) -> f64 {
+        let noise = deterministic_noise(prompt, image, 0x91CC, self.noise_std);
+        self.quality_weight * image.quality
+            + self.style_weight * prompt.style_bias
+            + self.difficulty_weight * prompt.difficulty
+            + noise
+    }
+}
+
+/// Simulated CLIPScore: text–image alignment.
+///
+/// Alignment is dominated by the prompt itself; the model's rendering
+/// quality contributes only weakly, so CLIPScore barely separates light
+/// from heavy outputs — matching the paper's observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClipScorer {
+    /// Weight of the latent image quality (small by design).
+    pub quality_weight: f64,
+    /// Weight of the prompt's intrinsic alignment level.
+    pub style_weight: f64,
+    /// Weight of prompt difficulty (detailed prompts align more tokens, so
+    /// CLIP alignment creeps up with prompt elaborateness).
+    pub difficulty_weight: f64,
+    /// Per-image noise std.
+    pub noise_std: f64,
+}
+
+impl Default for ClipScorer {
+    fn default() -> Self {
+        ClipScorer {
+            quality_weight: 0.06,
+            style_weight: 0.5,
+            difficulty_weight: 1.4,
+            noise_std: 0.10,
+        }
+    }
+}
+
+impl ClipScorer {
+    /// Scores an image for a prompt. Deterministic per (prompt, image).
+    pub fn score(&self, prompt: &Prompt, image: &GeneratedImage) -> f64 {
+        let noise = deterministic_noise(prompt, image, 0xC11F, self.noise_std);
+        self.quality_weight * image.quality
+            + self.style_weight * prompt.style_bias
+            + self.difficulty_weight * prompt.difficulty
+            + noise
+    }
+}
+
+/// Deterministic per-(prompt, image, scorer) Gaussian noise: hashes the
+/// image's quality bits into the stream so the same image always gets the
+/// same score.
+fn deterministic_noise(prompt: &Prompt, image: &GeneratedImage, tag: u64, std: f64) -> f64 {
+    let stream = derive_seed(prompt.seed, tag ^ image.quality.to_bits());
+    let mut rng = seeded_rng(stream);
+    Normal::standard().draw(&mut rng) * std
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSpec;
+    use crate::prompt::{DatasetKind, PromptDataset};
+    use crate::zoo::{sd_turbo, sd_v15};
+
+    fn corr(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+
+    #[test]
+    fn scores_are_deterministic() {
+        let spec = FeatureSpec::default();
+        let d = PromptDataset::synthesize(DatasetKind::MsCoco, 10, 1, spec);
+        let m = sd_turbo(spec);
+        let p = &d.prompts()[0];
+        let img = m.generate(p);
+        let pick = PickScorer::default();
+        assert_eq!(pick.score(p, &img), pick.score(p, &img));
+    }
+
+    #[test]
+    fn pickscore_difference_ranks_within_prompt() {
+        // Fig. 1b uses PickScore *differences* on the same prompt; the
+        // difference cancels the style bias and should correlate with the
+        // true quality gap.
+        let spec = FeatureSpec::default();
+        let d = PromptDataset::synthesize(DatasetKind::MsCoco, 500, 2, spec);
+        let light = sd_turbo(spec);
+        let heavy = sd_v15(spec);
+        let pick = PickScorer::default();
+        let mut score_diffs = Vec::new();
+        let mut quality_diffs = Vec::new();
+        for p in d.prompts() {
+            let li = light.generate(p);
+            let hi = heavy.generate(p);
+            score_diffs.push(pick.score(p, &hi) - pick.score(p, &li));
+            quality_diffs.push(hi.quality - li.quality);
+        }
+        assert!(corr(&score_diffs, &quality_diffs) > 0.3);
+    }
+
+    #[test]
+    fn absolute_pickscore_is_dominated_by_style() {
+        // Across prompts the style component should dwarf the quality
+        // component, defeating a single global threshold.
+        let spec = FeatureSpec::default();
+        let d = PromptDataset::synthesize(DatasetKind::MsCoco, 500, 3, spec);
+        let light = sd_turbo(spec);
+        let pick = PickScorer::default();
+        let mut scores = Vec::new();
+        let mut styles = Vec::new();
+        let mut qualities = Vec::new();
+        for p in d.prompts() {
+            let img = light.generate(p);
+            scores.push(pick.score(p, &img));
+            styles.push(p.style_bias);
+            qualities.push(img.quality);
+        }
+        assert!(corr(&scores, &styles) > corr(&scores, &qualities));
+    }
+
+    #[test]
+    fn clipscore_barely_separates_models() {
+        let spec = FeatureSpec::default();
+        let d = PromptDataset::synthesize(DatasetKind::MsCoco, 500, 4, spec);
+        let light = sd_turbo(spec);
+        let heavy = sd_v15(spec);
+        let clip = ClipScorer::default();
+        let mean = |m: &crate::model::DiffusionModel| {
+            d.prompts()
+                .iter()
+                .map(|p| clip.score(p, &m.generate(p)))
+                .sum::<f64>()
+                / d.len() as f64
+        };
+        let gap = (mean(&heavy) - mean(&light)).abs();
+        // "CLIP scores of different model variants can be very close" (§2.1).
+        assert!(gap < 0.05, "clip score gap {gap}");
+    }
+}

@@ -1,0 +1,457 @@
+//! Matrix decompositions: Cholesky, LU solve, Jacobi eigendecomposition,
+//! and the PSD matrix square root needed by the Fréchet distance.
+
+use crate::matrix::Mat;
+
+/// Error from a failed decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompError {
+    /// The input must be square.
+    NotSquare,
+    /// The input must be symmetric.
+    NotSymmetric,
+    /// Cholesky found a non-positive pivot: the matrix is not positive
+    /// definite.
+    NotPositiveDefinite,
+    /// LU elimination hit a (near-)zero pivot: the matrix is singular.
+    Singular,
+    /// Jacobi sweeps failed to converge within the iteration budget.
+    NoConvergence,
+}
+
+impl std::fmt::Display for DecompError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            DecompError::NotSquare => "matrix is not square",
+            DecompError::NotSymmetric => "matrix is not symmetric",
+            DecompError::NotPositiveDefinite => "matrix is not positive definite",
+            DecompError::Singular => "matrix is singular",
+            DecompError::NoConvergence => "eigendecomposition did not converge",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for DecompError {}
+
+/// Cholesky factorization of a symmetric positive-definite matrix.
+///
+/// Returns the lower-triangular `L` with `A = L Lᵀ`.
+///
+/// # Errors
+///
+/// Returns [`DecompError::NotSquare`] or [`DecompError::NotPositiveDefinite`].
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_linalg::{cholesky, Mat};
+///
+/// let a = Mat::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let l = cholesky(&a)?;
+/// let reconstructed = l.matmul(&l.transpose());
+/// assert!(a.max_abs_diff(&reconstructed) < 1e-12);
+/// # Ok::<(), diffserve_linalg::DecompError>(())
+/// ```
+pub fn cholesky(a: &Mat) -> Result<Mat, DecompError> {
+    if !a.is_square() {
+        return Err(DecompError::NotSquare);
+    }
+    let n = a.rows();
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(DecompError::NotPositiveDefinite);
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` by LU decomposition with partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`DecompError::NotSquare`] or [`DecompError::Singular`].
+///
+/// # Panics
+///
+/// Panics if `b.len()` does not match the matrix dimension.
+pub fn lu_solve(a: &Mat, b: &[f64]) -> Result<Vec<f64>, DecompError> {
+    if !a.is_square() {
+        return Err(DecompError::NotSquare);
+    }
+    let n = a.rows();
+    assert_eq!(b.len(), n, "rhs length must match matrix dimension");
+    let mut lu = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot_row = col;
+        let mut best = lu[(col, col)].abs();
+        for r in (col + 1)..n {
+            let v = lu[(r, col)].abs();
+            if v > best {
+                best = v;
+                pivot_row = r;
+            }
+        }
+        if best < 1e-12 {
+            return Err(DecompError::Singular);
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = lu[(col, j)];
+                lu[(col, j)] = lu[(pivot_row, j)];
+                lu[(pivot_row, j)] = tmp;
+            }
+            perm.swap(col, pivot_row);
+            x.swap(col, pivot_row);
+        }
+        for r in (col + 1)..n {
+            let factor = lu[(r, col)] / lu[(col, col)];
+            lu[(r, col)] = factor;
+            for j in (col + 1)..n {
+                let upd = factor * lu[(col, j)];
+                lu[(r, j)] -= upd;
+            }
+            x[r] -= factor * x[col];
+        }
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for j in (i + 1)..n {
+            sum -= lu[(i, j)] * x[j];
+        }
+        x[i] = sum / lu[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Result of a symmetric eigendecomposition: `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors stored as matrix columns, ordered to match
+    /// [`SymEigen::values`].
+    pub vectors: Mat,
+}
+
+/// Jacobi eigendecomposition of a symmetric matrix.
+///
+/// # Errors
+///
+/// Returns [`DecompError::NotSquare`], [`DecompError::NotSymmetric`], or
+/// [`DecompError::NoConvergence`] if the off-diagonal mass does not vanish
+/// within 100 sweeps (never observed for the ≤64×64 matrices this workspace
+/// uses).
+pub fn sym_eigen(a: &Mat) -> Result<SymEigen, DecompError> {
+    if !a.is_square() {
+        return Err(DecompError::NotSquare);
+    }
+    let scale = a.frobenius_norm().max(1.0);
+    if !a.is_symmetric(1e-8 * scale) {
+        return Err(DecompError::NotSymmetric);
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    m.symmetrize();
+    let mut v = Mat::identity(n);
+
+    const MAX_SWEEPS: usize = 100;
+    for _ in 0..MAX_SWEEPS {
+        // Off-diagonal Frobenius mass.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-12 * scale {
+            let mut pairs: Vec<(f64, usize)> =
+                (0..n).map(|i| (m[(i, i)], i)).collect();
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite eigenvalues"));
+            let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let vectors = Mat::from_fn(n, n, |r, c| v[(r, pairs[c].1)]);
+            return Ok(SymEigen { values, vectors });
+        }
+        // One cyclic sweep of Jacobi rotations.
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(DecompError::NoConvergence)
+}
+
+/// Square root of a symmetric positive semi-definite matrix.
+///
+/// Computed as `V diag(√max(λ, 0)) Vᵀ`; tiny negative eigenvalues from
+/// floating-point noise are clamped to zero, which is the standard practice
+/// in FID implementations.
+///
+/// # Errors
+///
+/// Propagates eigendecomposition failures.
+pub fn sqrtm_psd(a: &Mat) -> Result<Mat, DecompError> {
+    let eig = sym_eigen(a)?;
+    let sqrt_vals: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+    let d = Mat::from_diag(&sqrt_vals);
+    let vt = eig.vectors.transpose();
+    Ok(eig.vectors.matmul(&d).matmul(&vt))
+}
+
+/// Determinant via LU with partial pivoting (0.0 for singular matrices).
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn determinant(a: &Mat) -> f64 {
+    assert!(a.is_square(), "determinant requires a square matrix");
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut det = 1.0;
+    for col in 0..n {
+        let mut pivot_row = col;
+        let mut best = lu[(col, col)].abs();
+        for r in (col + 1)..n {
+            let v = lu[(r, col)].abs();
+            if v > best {
+                best = v;
+                pivot_row = r;
+            }
+        }
+        if best < 1e-300 {
+            return 0.0;
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = lu[(col, j)];
+                lu[(col, j)] = lu[(pivot_row, j)];
+                lu[(pivot_row, j)] = tmp;
+            }
+            det = -det;
+        }
+        det *= lu[(col, col)];
+        for r in (col + 1)..n {
+            let factor = lu[(r, col)] / lu[(col, col)];
+            for j in (col + 1)..n {
+                let upd = factor * lu[(col, j)];
+                lu[(r, j)] -= upd;
+            }
+        }
+    }
+    det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn random_spd(n: usize, seed: u64) -> Mat {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let b = Mat::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        // BᵀB + n·I is symmetric positive definite.
+        let mut spd = b.transpose().matmul(&b);
+        for i in 0..n {
+            spd[(i, i)] += n as f64;
+        }
+        spd
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = random_spd(6, 1);
+        let l = cholesky(&a).unwrap();
+        let r = l.matmul(&l.transpose());
+        assert!(a.max_abs_diff(&r) < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(cholesky(&a), Err(DecompError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        assert_eq!(cholesky(&Mat::zeros(2, 3)), Err(DecompError::NotSquare));
+    }
+
+    #[test]
+    fn lu_solve_known_system() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = lu_solve(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_solve_requires_pivoting() {
+        // Zero on the initial pivot position forces a row swap.
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = lu_solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn lu_solve_detects_singular() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(lu_solve(&a, &[1.0, 2.0]), Err(DecompError::Singular));
+    }
+
+    #[test]
+    fn eigen_diagonal_matrix() {
+        let a = Mat::from_diag(&[3.0, 1.0, 2.0]);
+        let eig = sym_eigen(&a).unwrap();
+        assert!((eig.values[0] - 1.0).abs() < 1e-10);
+        assert!((eig.values[1] - 2.0).abs() < 1e-10);
+        assert!((eig.values[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let a = random_spd(8, 2);
+        let eig = sym_eigen(&a).unwrap();
+        let d = Mat::from_diag(&eig.values);
+        let r = eig.vectors.matmul(&d).matmul(&eig.vectors.transpose());
+        assert!(a.max_abs_diff(&r) < 1e-8);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_spd(7, 3);
+        let eig = sym_eigen(&a).unwrap();
+        let vtv = eig.vectors.transpose().matmul(&eig.vectors);
+        assert!(vtv.max_abs_diff(&Mat::identity(7)) < 1e-9);
+    }
+
+    #[test]
+    fn eigen_rejects_asymmetric() {
+        let a = Mat::from_rows(&[&[1.0, 5.0], &[0.0, 1.0]]);
+        assert_eq!(sym_eigen(&a).unwrap_err(), DecompError::NotSymmetric);
+    }
+
+    #[test]
+    fn sqrtm_squares_back() {
+        let a = random_spd(6, 4);
+        let s = sqrtm_psd(&a).unwrap();
+        let r = s.matmul(&s);
+        assert!(a.max_abs_diff(&r) < 1e-8);
+        assert!(s.is_symmetric(1e-8));
+    }
+
+    #[test]
+    fn sqrtm_identity() {
+        let s = sqrtm_psd(&Mat::identity(4)).unwrap();
+        assert!(s.max_abs_diff(&Mat::identity(4)) < 1e-10);
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((determinant(&a) + 2.0).abs() < 1e-12);
+        assert_eq!(determinant(&Mat::identity(5)), 1.0);
+        let singular = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(determinant(&singular), 0.0);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            DecompError::NotSquare,
+            DecompError::NotSymmetric,
+            DecompError::NotPositiveDefinite,
+            DecompError::Singular,
+            DecompError::NoConvergence,
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn cholesky_roundtrip_random(seed in 0u64..500, n in 2usize..8) {
+            let a = random_spd(n, seed);
+            let l = cholesky(&a).unwrap();
+            let r = l.matmul(&l.transpose());
+            prop_assert!(a.max_abs_diff(&r) < 1e-8);
+        }
+
+        #[test]
+        fn lu_solve_residual_small(seed in 0u64..500, n in 2usize..8) {
+            let a = random_spd(n, seed);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+            let x = lu_solve(&a, &b).unwrap();
+            let ax = a.matvec(&x);
+            for i in 0..n {
+                prop_assert!((ax[i] - b[i]).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn sqrtm_random_spd(seed in 0u64..200, n in 2usize..8) {
+            let a = random_spd(n, seed);
+            let s = sqrtm_psd(&a).unwrap();
+            prop_assert!(a.max_abs_diff(&s.matmul(&s)) < 1e-7);
+        }
+
+        #[test]
+        fn eigen_trace_equals_sum(seed in 0u64..200, n in 2usize..8) {
+            let a = random_spd(n, seed);
+            let eig = sym_eigen(&a).unwrap();
+            let sum: f64 = eig.values.iter().sum();
+            prop_assert!((sum - a.trace()).abs() < 1e-8);
+        }
+    }
+}

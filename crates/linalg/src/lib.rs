@@ -1,0 +1,32 @@
+//! # diffserve-linalg
+//!
+//! Small dense linear algebra for the DiffServe reproduction.
+//!
+//! The paper's evaluation metric (Fréchet Inception Distance) needs means,
+//! covariances, and a positive-semi-definite matrix square root; the
+//! discriminator substrate needs matrix products; and the MILP solver uses
+//! dense elimination. This crate implements exactly that surface from
+//! scratch — [`Mat`] plus [`cholesky`], [`lu_solve`], [`sym_eigen`]
+//! (cyclic Jacobi), [`sqrtm_psd`], and [`determinant`] — because no external
+//! linear-algebra crate is sanctioned for this workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! use diffserve_linalg::{sqrtm_psd, Mat};
+//!
+//! let a = Mat::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+//! let s = sqrtm_psd(&a)?;
+//! assert!((s[(0, 0)] - 2.0).abs() < 1e-10);
+//! assert!((s[(1, 1)] - 3.0).abs() < 1e-10);
+//! # Ok::<(), diffserve_linalg::DecompError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod decomp;
+pub mod matrix;
+
+pub use decomp::{cholesky, determinant, lu_solve, sqrtm_psd, sym_eigen, DecompError, SymEigen};
+pub use matrix::Mat;

@@ -1,0 +1,468 @@
+//! Dense row-major matrices over `f64`.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense row-major matrix of `f64`.
+///
+/// Sized for the workloads in this workspace: feature covariances (≤ 64×64),
+/// simplex tableaus (hundreds of columns), and tiny MLP weights. All
+/// operations are plain loops — clarity over BLAS.
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_linalg::Mat;
+///
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Mat::identity(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c, a);
+/// assert_eq!(c[(1, 0)], 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows × cols` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "from_rows requires non-empty rows");
+        let mut m = Mat::zeros(rows.len(), cols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "row {i} has inconsistent length");
+            m.data[i * cols..(i + 1) * cols].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Creates a square diagonal matrix from `diag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diag` is empty.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let mut m = Mat::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Entry-wise scaling.
+    pub fn scale(&self, s: f64) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Sum of diagonal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry-wise difference with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` if `self` is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Symmetrizes in place: `A ← (A + Aᵀ)/2`. Useful after accumulating
+    /// floating-point asymmetries in covariance estimates.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg;
+            }
+        }
+    }
+
+    /// Raw data in row-major order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data in row-major order.
+    ///
+    /// Intended for optimizers that update parameter matrices as flat
+    /// vectors; the dimensions cannot change through this view.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Mat {
+    type Output = Mat;
+    fn add(self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add dims");
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub for &Mat {
+    type Output = Mat;
+    fn sub(self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub dims");
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl Mul<f64> for &Mat {
+    type Output = Mat;
+    fn mul(self, rhs: f64) -> Mat {
+        self.scale(rhs)
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:10.4}", self[(i, j)])?;
+                if j + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            writeln!(f, "{}]", if self.cols > 8 { ", ..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Statistics over a data matrix whose rows are observations.
+impl Mat {
+    /// Column means of a data matrix (rows = samples).
+    pub fn column_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (j, m) in means.iter_mut().enumerate() {
+                *m += self[(i, j)];
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows as f64;
+        }
+        means
+    }
+
+    /// Sample covariance (denominator `n - 1`) of a data matrix
+    /// (rows = samples, cols = features).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer than two samples.
+    pub fn covariance(&self) -> Mat {
+        assert!(self.rows >= 2, "covariance requires at least two samples");
+        let means = self.column_means();
+        let mut cov = Mat::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            for a in 0..self.cols {
+                let da = self[(i, a)] - means[a];
+                for b in a..self.cols {
+                    cov[(a, b)] += da * (self[(i, b)] - means[b]);
+                }
+            }
+        }
+        let denom = (self.rows - 1) as f64;
+        for a in 0..self.cols {
+            for b in a..self.cols {
+                cov[(a, b)] /= denom;
+                cov[(b, a)] = cov[(a, b)];
+            }
+        }
+        cov
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let i3 = Mat::identity(3);
+        assert_eq!(a.matmul(&i3), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = vec![5.0, 6.0];
+        assert_eq!(a.matvec(&v), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn trace_and_norm() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert_eq!(a.trace(), 7.0);
+        assert_eq!(a.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Mat::from_rows(&[&[1.0, 2.0]]);
+        let b = Mat::from_rows(&[&[3.0, 5.0]]);
+        assert_eq!(&a + &b, Mat::from_rows(&[&[4.0, 7.0]]));
+        assert_eq!(&b - &a, Mat::from_rows(&[&[2.0, 3.0]]));
+        assert_eq!(&a * 2.0, Mat::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let mut a = Mat::from_rows(&[&[1.0, 2.0], &[2.0 + 1e-12, 1.0]]);
+        assert!(a.is_symmetric(1e-9));
+        assert!(!Mat::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).is_symmetric(1e-9));
+        a.symmetrize();
+        assert_eq!(a[(0, 1)], a[(1, 0)]);
+    }
+
+    #[test]
+    fn covariance_of_known_data() {
+        // Two perfectly correlated features.
+        let d = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let c = d.covariance();
+        assert!((c[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((c[(0, 1)] - 2.0).abs() < 1e-12);
+        assert!((c[(1, 1)] - 4.0).abs() < 1e-12);
+        assert!(c.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn column_means() {
+        let d = Mat::from_rows(&[&[1.0, 10.0], &[3.0, 30.0]]);
+        assert_eq!(d.column_means(), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn from_diag_places_entries() {
+        let d = Mat::from_diag(&[1.0, 2.0]);
+        assert_eq!(d[(0, 0)], 1.0);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Mat::identity(2)).is_empty());
+    }
+}

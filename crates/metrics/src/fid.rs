@@ -1,0 +1,295 @@
+//! Fréchet Inception Distance over feature sets.
+//!
+//! The paper scores system response quality with FID (§2.1, §4.1): fit a
+//! Gaussian to the features of generated images and to the features of real
+//! images, then compute the Fréchet distance
+//!
+//! ```text
+//! FID = ‖μ₁ − μ₂‖² + tr(Σ₁ + Σ₂ − 2·(Σ₁Σ₂)^{1/2})
+//! ```
+//!
+//! In the original pipeline the features come from InceptionV3; in this
+//! reproduction they come from the synthetic image substrate
+//! (`diffserve-imagegen`), and the distance itself is computed exactly, via
+//! the symmetric reformulation `tr((Σ₁Σ₂)^{1/2}) = Σᵢ √λᵢ(S Σ₂ S)` with
+//! `S = Σ₁^{1/2}`.
+
+use diffserve_linalg::{sqrtm_psd, sym_eigen, DecompError, Mat};
+
+/// Errors from FID computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FidError {
+    /// Need at least two samples to fit a covariance.
+    TooFewSamples {
+        /// Number of samples provided.
+        got: usize,
+    },
+    /// Feature dimensionality differs between the two sets.
+    DimensionMismatch {
+        /// Dimension of the first set.
+        a: usize,
+        /// Dimension of the second set.
+        b: usize,
+    },
+    /// An eigendecomposition failed (numerically hostile covariance).
+    Numerical(DecompError),
+}
+
+impl std::fmt::Display for FidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FidError::TooFewSamples { got } => {
+                write!(f, "need at least 2 samples to fit a gaussian, got {got}")
+            }
+            FidError::DimensionMismatch { a, b } => {
+                write!(f, "feature dimensions differ: {a} vs {b}")
+            }
+            FidError::Numerical(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FidError {}
+
+impl From<DecompError> for FidError {
+    fn from(e: DecompError) -> Self {
+        FidError::Numerical(e)
+    }
+}
+
+/// Gaussian summary (mean + covariance) of a feature set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianStats {
+    mean: Vec<f64>,
+    cov: Mat,
+}
+
+impl GaussianStats {
+    /// Fits a Gaussian to a data matrix (rows = samples, cols = features),
+    /// adding `ridge · I` to the covariance for numerical stability.
+    ///
+    /// Standard FID implementations regularize exactly this way when sample
+    /// counts per window are small.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FidError::TooFewSamples`] with fewer than two rows.
+    pub fn fit(features: &Mat, ridge: f64) -> Result<Self, FidError> {
+        if features.rows() < 2 {
+            return Err(FidError::TooFewSamples {
+                got: features.rows(),
+            });
+        }
+        let mean = features.column_means();
+        let mut cov = features.covariance();
+        for i in 0..cov.rows() {
+            cov[(i, i)] += ridge;
+        }
+        Ok(GaussianStats { mean, cov })
+    }
+
+    /// Builds stats directly from a known mean and covariance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the covariance is not square or its size differs from the
+    /// mean length.
+    pub fn from_moments(mean: Vec<f64>, cov: Mat) -> Self {
+        assert!(cov.is_square(), "covariance must be square");
+        assert_eq!(mean.len(), cov.rows(), "mean/covariance size mismatch");
+        GaussianStats { mean, cov }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The covariance matrix.
+    pub fn cov(&self) -> &Mat {
+        &self.cov
+    }
+}
+
+/// Exact Fréchet distance between two Gaussians.
+///
+/// # Errors
+///
+/// Returns [`FidError::DimensionMismatch`] or a numerical failure from the
+/// eigendecomposition.
+pub fn frechet_distance(a: &GaussianStats, b: &GaussianStats) -> Result<f64, FidError> {
+    if a.dim() != b.dim() {
+        return Err(FidError::DimensionMismatch {
+            a: a.dim(),
+            b: b.dim(),
+        });
+    }
+    let mean_term: f64 = a
+        .mean
+        .iter()
+        .zip(&b.mean)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
+
+    // tr((Σa Σb)^{1/2}) through the symmetric product S Σb S, S = Σa^{1/2}.
+    let s = sqrtm_psd(&a.cov)?;
+    let mut inner = s.matmul(&b.cov).matmul(&s);
+    inner.symmetrize();
+    let eig = sym_eigen(&inner)?;
+    let tr_sqrt: f64 = eig.values.iter().map(|&l| l.max(0.0).sqrt()).sum();
+
+    let fid = mean_term + a.cov.trace() + b.cov.trace() - 2.0 * tr_sqrt;
+    // Clamp tiny negative round-off; FID is non-negative by construction.
+    Ok(fid.max(0.0))
+}
+
+/// Convenience: fit Gaussians to two feature matrices and return their FID.
+///
+/// # Errors
+///
+/// Propagates fitting and numerical errors.
+pub fn fid_score(generated: &Mat, reference: &Mat, ridge: f64) -> Result<f64, FidError> {
+    let a = GaussianStats::fit(generated, ridge)?;
+    let b = GaussianStats::fit(reference, ridge)?;
+    frechet_distance(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_samples(
+        n: usize,
+        mean: &[f64],
+        scale: f64,
+        seed: u64,
+    ) -> Mat {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let d = mean.len();
+        Mat::from_fn(n, d, |_, j| {
+            // Sum of 12 uniforms ≈ normal (Irwin–Hall), good enough here.
+            let z: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
+            mean[j] + scale * z
+        })
+    }
+
+    #[test]
+    fn identical_gaussians_have_zero_fid() {
+        let a = GaussianStats::from_moments(vec![1.0, -2.0], Mat::identity(2));
+        let b = a.clone();
+        let d = frechet_distance(&a, &b).unwrap();
+        assert!(d.abs() < 1e-9, "d={d}");
+    }
+
+    #[test]
+    fn mean_shift_equals_squared_distance() {
+        // Equal covariances: FID reduces to ‖Δμ‖².
+        let a = GaussianStats::from_moments(vec![0.0, 0.0], Mat::identity(2));
+        let b = GaussianStats::from_moments(vec![3.0, 4.0], Mat::identity(2));
+        let d = frechet_distance(&a, &b).unwrap();
+        assert!((d - 25.0).abs() < 1e-9, "d={d}");
+    }
+
+    #[test]
+    fn diagonal_covariance_closed_form() {
+        // For diagonal Σ, FID = Σ(√σ1 − √σ2)² + ‖Δμ‖².
+        let a = GaussianStats::from_moments(vec![0.0], Mat::from_diag(&[4.0]));
+        let b = GaussianStats::from_moments(vec![0.0], Mat::from_diag(&[1.0]));
+        let d = frechet_distance(&a, &b).unwrap();
+        assert!((d - 1.0).abs() < 1e-9, "d={d}"); // (2-1)^2
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let a = GaussianStats::from_moments(
+            vec![0.5, -1.0],
+            Mat::from_rows(&[&[2.0, 0.3], &[0.3, 1.0]]),
+        );
+        let b = GaussianStats::from_moments(
+            vec![-0.5, 0.2],
+            Mat::from_rows(&[&[1.5, -0.2], &[-0.2, 0.8]]),
+        );
+        let d1 = frechet_distance(&a, &b).unwrap();
+        let d2 = frechet_distance(&b, &a).unwrap();
+        assert!((d1 - d2).abs() < 1e-8);
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    fn sampled_fid_close_to_population() {
+        let x = gaussian_samples(4000, &[0.0, 0.0, 0.0], 1.0, 1);
+        let y = gaussian_samples(4000, &[1.0, 0.0, 0.0], 1.0, 2);
+        let d = fid_score(&x, &y, 1e-6).unwrap();
+        // Population FID = 1.0 (pure mean shift); sampling noise allowed.
+        assert!((d - 1.0).abs() < 0.15, "d={d}");
+    }
+
+    #[test]
+    fn same_distribution_fid_near_zero() {
+        let x = gaussian_samples(4000, &[0.0, 1.0], 1.0, 3);
+        let y = gaussian_samples(4000, &[0.0, 1.0], 1.0, 4);
+        let d = fid_score(&x, &y, 1e-6).unwrap();
+        assert!(d < 0.05, "d={d}");
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let x = Mat::from_rows(&[&[1.0, 2.0]]);
+        assert!(matches!(
+            GaussianStats::fit(&x, 0.0),
+            Err(FidError::TooFewSamples { got: 1 })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = GaussianStats::from_moments(vec![0.0], Mat::identity(1));
+        let b = GaussianStats::from_moments(vec![0.0, 0.0], Mat::identity(2));
+        assert!(matches!(
+            frechet_distance(&a, &b),
+            Err(FidError::DimensionMismatch { a: 1, b: 2 })
+        ));
+    }
+
+    #[test]
+    fn ridge_stabilizes_degenerate_covariance() {
+        // Perfectly collinear samples make the covariance singular; ridge
+        // keeps the computation finite.
+        let x = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let y = Mat::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0]]);
+        let d = fid_score(&x, &y, 1e-4).unwrap();
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            FidError::TooFewSamples { got: 0 },
+            FidError::DimensionMismatch { a: 1, b: 2 },
+            FidError::Numerical(DecompError::NoConvergence),
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn fid_nonnegative_and_symmetric(seed_a in 0u64..100, seed_b in 100u64..200) {
+            let x = gaussian_samples(64, &[0.3, -0.5], 1.2, seed_a);
+            let y = gaussian_samples(64, &[-0.1, 0.4], 0.8, seed_b);
+            let d1 = fid_score(&x, &y, 1e-6).unwrap();
+            let d2 = fid_score(&y, &x, 1e-6).unwrap();
+            prop_assert!(d1 >= 0.0);
+            prop_assert!((d1 - d2).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Windowed time series for experiment plots.
+
+use diffserve_simkit::time::{SimDuration, SimTime};
+
+/// Accumulates timestamped scalar samples and aggregates them per window.
+///
+/// Used for the paper's time-series panels (demand, FID, threshold over
+/// time — Figs. 5 and 8).
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_metrics::WindowedSeries;
+/// use diffserve_simkit::time::{SimDuration, SimTime};
+///
+/// let mut s = WindowedSeries::new(SimDuration::from_secs(10));
+/// s.push(SimTime::from_secs(1), 2.0);
+/// s.push(SimTime::from_secs(2), 4.0);
+/// s.push(SimTime::from_secs(15), 8.0);
+/// let means = s.window_means();
+/// assert_eq!(means.len(), 2);
+/// assert_eq!(means[0].1, 3.0);
+/// assert_eq!(means[1].1, 8.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedSeries {
+    window: SimDuration,
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl WindowedSeries {
+    /// Creates a series with the given aggregation window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        WindowedSeries {
+            window,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Adds one sample. NaN samples are ignored.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.samples.push((t, value));
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The aggregation window.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Raw samples in insertion order.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    fn fold_windows<A: Clone>(
+        &self,
+        init: A,
+        mut fold: impl FnMut(&mut A, f64),
+    ) -> Vec<(SimTime, A)> {
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        let end = self
+            .samples
+            .iter()
+            .map(|(t, _)| *t)
+            .max()
+            .expect("non-empty samples");
+        let n = (end.as_micros() / self.window.as_micros() + 1) as usize;
+        let mut accs = vec![init; n];
+        for &(t, v) in &self.samples {
+            let idx = (t.as_micros() / self.window.as_micros()) as usize;
+            fold(&mut accs[idx], v);
+        }
+        accs.into_iter()
+            .enumerate()
+            .map(|(i, a)| (SimTime::ZERO + self.window * i as u64, a))
+            .collect()
+    }
+
+    /// Per-window means (empty windows report 0).
+    pub fn window_means(&self) -> Vec<(SimTime, f64)> {
+        self.fold_windows((0.0f64, 0u64), |acc, v| {
+            acc.0 += v;
+            acc.1 += 1;
+        })
+        .into_iter()
+        .map(|(t, (sum, n))| (t, if n == 0 { 0.0 } else { sum / n as f64 }))
+        .collect()
+    }
+
+    /// Per-window sums.
+    pub fn window_sums(&self) -> Vec<(SimTime, f64)> {
+        self.fold_windows(0.0f64, |acc, v| *acc += v)
+    }
+
+    /// Per-window sample counts.
+    pub fn window_counts(&self) -> Vec<(SimTime, u64)> {
+        self.fold_windows(0u64, |acc, _| *acc += 1)
+    }
+
+    /// Per-window rates: count divided by window length in seconds
+    /// (e.g. arrivals → QPS).
+    pub fn window_rates(&self) -> Vec<(SimTime, f64)> {
+        let secs = self.window.as_secs_f64();
+        self.window_counts()
+            .into_iter()
+            .map(|(t, c)| (t, c as f64 / secs))
+            .collect()
+    }
+
+    /// Mean over all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|(_, v)| v).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn means_and_sums_per_window() {
+        let mut s = WindowedSeries::new(SimDuration::from_secs(5));
+        s.push(secs(0), 1.0);
+        s.push(secs(4), 3.0);
+        s.push(secs(5), 10.0);
+        assert_eq!(s.window_means(), vec![(secs(0), 2.0), (secs(5), 10.0)]);
+        assert_eq!(s.window_sums(), vec![(secs(0), 4.0), (secs(5), 10.0)]);
+        assert_eq!(s.window_counts(), vec![(secs(0), 2), (secs(5), 1)]);
+    }
+
+    #[test]
+    fn rates_divide_by_window() {
+        let mut s = WindowedSeries::new(SimDuration::from_secs(2));
+        for i in 0..10 {
+            s.push(SimTime::from_millis(i * 100), 1.0);
+        }
+        let rates = s.window_rates();
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].1, 5.0); // 10 samples over 2s
+    }
+
+    #[test]
+    fn empty_and_nan_handling() {
+        let mut s = WindowedSeries::new(SimDuration::from_secs(1));
+        assert!(s.is_empty());
+        assert!(s.window_means().is_empty());
+        assert_eq!(s.mean(), 0.0);
+        s.push(secs(0), f64::NAN);
+        assert!(s.is_empty());
+        s.push(secs(0), 2.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn gap_windows_report_zero_mean() {
+        let mut s = WindowedSeries::new(SimDuration::from_secs(1));
+        s.push(secs(0), 5.0);
+        s.push(secs(2), 7.0);
+        let means = s.window_means();
+        assert_eq!(means.len(), 3);
+        assert_eq!(means[1].1, 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! SLO accounting.
+//!
+//! The paper's second system metric is the *SLO violation ratio*: "the
+//! proportion of queries that fail to meet the SLO latency requirement or
+//! are preemptively dropped by the system when they are predicted to miss
+//! the deadline" (§4.1). [`SloTracker`] implements exactly that accounting.
+
+use diffserve_simkit::time::{SimDuration, SimTime};
+
+/// Outcome of one query for SLO purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Completed within its deadline.
+    OnTime,
+    /// Completed after its deadline.
+    Late,
+    /// Preemptively dropped (predicted to miss, or shed under overload).
+    Dropped,
+}
+
+impl QueryOutcome {
+    /// Whether this outcome counts as an SLO violation.
+    pub fn is_violation(self) -> bool {
+        !matches!(self, QueryOutcome::OnTime)
+    }
+}
+
+/// Records per-query outcomes and reports violation statistics.
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_metrics::{QueryOutcome, SloTracker};
+/// use diffserve_simkit::time::{SimDuration, SimTime};
+///
+/// let mut slo = SloTracker::new(SimDuration::from_secs(5));
+/// let arrival = SimTime::ZERO;
+/// slo.record_completion(arrival, SimTime::from_secs(2)); // on time
+/// slo.record_completion(arrival, SimTime::from_secs(9)); // late
+/// slo.record_drop(arrival, SimTime::from_secs(1));
+/// assert_eq!(slo.total(), 3);
+/// assert!((slo.violation_ratio() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    slo: SimDuration,
+    events: Vec<(SimTime, QueryOutcome)>,
+    on_time: u64,
+    late: u64,
+    dropped: u64,
+    latency_sum: f64,
+    latency_count: u64,
+}
+
+impl SloTracker {
+    /// Creates a tracker for the given latency SLO.
+    pub fn new(slo: SimDuration) -> Self {
+        SloTracker {
+            slo,
+            events: Vec::new(),
+            on_time: 0,
+            late: 0,
+            dropped: 0,
+            latency_sum: 0.0,
+            latency_count: 0,
+        }
+    }
+
+    /// The configured SLO.
+    pub fn slo(&self) -> SimDuration {
+        self.slo
+    }
+
+    /// Records a completed query; classifies it against the SLO.
+    /// Returns the outcome.
+    pub fn record_completion(&mut self, arrival: SimTime, finish: SimTime) -> QueryOutcome {
+        let latency = finish.saturating_since(arrival);
+        self.latency_sum += latency.as_secs_f64();
+        self.latency_count += 1;
+        let outcome = if latency <= self.slo {
+            self.on_time += 1;
+            QueryOutcome::OnTime
+        } else {
+            self.late += 1;
+            QueryOutcome::Late
+        };
+        self.events.push((finish, outcome));
+        outcome
+    }
+
+    /// Records a preemptive drop at time `at`.
+    pub fn record_drop(&mut self, _arrival: SimTime, at: SimTime) {
+        self.dropped += 1;
+        self.events.push((at, QueryOutcome::Dropped));
+    }
+
+    /// Total queries accounted (completions + drops).
+    pub fn total(&self) -> u64 {
+        self.on_time + self.late + self.dropped
+    }
+
+    /// Queries that met the SLO.
+    pub fn on_time(&self) -> u64 {
+        self.on_time
+    }
+
+    /// Completed-but-late queries.
+    pub fn late(&self) -> u64 {
+        self.late
+    }
+
+    /// Dropped queries.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Overall violation ratio (0.0 when nothing has been recorded).
+    pub fn violation_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.late + self.dropped) as f64 / total as f64
+        }
+    }
+
+    /// Mean completion latency in seconds (drops excluded).
+    pub fn mean_latency(&self) -> f64 {
+        if self.latency_count == 0 {
+            0.0
+        } else {
+            self.latency_sum / self.latency_count as f64
+        }
+    }
+
+    /// Violation ratio per time window, for time-series plots (paper
+    /// Figs. 5 and 8). Windows with no events report 0.
+    pub fn windowed_violation_ratio(&self, window: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!window.is_zero(), "window must be positive");
+        if self.events.is_empty() {
+            return Vec::new();
+        }
+        let end = self
+            .events
+            .iter()
+            .map(|(t, _)| *t)
+            .max()
+            .expect("non-empty events");
+        let num_windows = end.as_micros() / window.as_micros() + 1;
+        let mut totals = vec![0u64; num_windows as usize];
+        let mut violations = vec![0u64; num_windows as usize];
+        for &(t, outcome) in &self.events {
+            let idx = (t.as_micros() / window.as_micros()) as usize;
+            totals[idx] += 1;
+            if outcome.is_violation() {
+                violations[idx] += 1;
+            }
+        }
+        (0..num_windows as usize)
+            .map(|i| {
+                let start = SimTime::ZERO + window * i as u64;
+                let ratio = if totals[i] == 0 {
+                    0.0
+                } else {
+                    violations[i] as f64 / totals[i] as f64
+                };
+                (start, ratio)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn classifies_on_time_and_late() {
+        let mut s = SloTracker::new(SimDuration::from_secs(5));
+        assert_eq!(s.record_completion(t(0.0), t(5.0)), QueryOutcome::OnTime);
+        assert_eq!(s.record_completion(t(0.0), t(5.1)), QueryOutcome::Late);
+        assert_eq!(s.on_time(), 1);
+        assert_eq!(s.late(), 1);
+    }
+
+    #[test]
+    fn drops_count_as_violations() {
+        let mut s = SloTracker::new(SimDuration::from_secs(5));
+        s.record_drop(t(0.0), t(0.5));
+        s.record_completion(t(0.0), t(1.0));
+        assert_eq!(s.dropped(), 1);
+        assert!((s.violation_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero() {
+        let s = SloTracker::new(SimDuration::from_secs(1));
+        assert_eq!(s.violation_ratio(), 0.0);
+        assert_eq!(s.mean_latency(), 0.0);
+        assert_eq!(s.total(), 0);
+        assert!(s.windowed_violation_ratio(SimDuration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn mean_latency_excludes_drops() {
+        let mut s = SloTracker::new(SimDuration::from_secs(10));
+        s.record_completion(t(0.0), t(2.0));
+        s.record_completion(t(1.0), t(5.0));
+        s.record_drop(t(0.0), t(0.1));
+        assert!((s.mean_latency() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_ratio_buckets_by_completion_time() {
+        let mut s = SloTracker::new(SimDuration::from_secs(1));
+        // Window 0: one on-time.
+        s.record_completion(t(0.0), t(0.5));
+        // Window 1: one late (latency 1.4 > 1).
+        s.record_completion(t(0.1), t(1.5));
+        // Window 3: one drop.
+        s.record_drop(t(3.0), t(3.2));
+        let w = s.windowed_violation_ratio(SimDuration::from_secs(1));
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].1, 0.0);
+        assert_eq!(w[1].1, 1.0);
+        assert_eq!(w[2].1, 0.0); // empty window
+        assert_eq!(w[3].1, 1.0);
+    }
+
+    #[test]
+    fn outcome_violation_flags() {
+        assert!(!QueryOutcome::OnTime.is_violation());
+        assert!(QueryOutcome::Late.is_violation());
+        assert!(QueryOutcome::Dropped.is_violation());
+    }
+}

@@ -1,0 +1,466 @@
+//! Branch & bound over the simplex LP relaxation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::problem::{Direction, Problem};
+use crate::simplex::{solve_lp_with_bounds, LpSolution, SolveError};
+
+/// Tolerance within which an LP value counts as integral.
+pub const INT_TOL: f64 = 1e-6;
+
+/// Options controlling the branch & bound search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MilpOptions {
+    /// Maximum number of B&B nodes to expand before giving up.
+    pub node_limit: usize,
+    /// Absolute optimality gap at which a node is pruned against the
+    /// incumbent.
+    pub gap: f64,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        MilpOptions {
+            node_limit: 100_000,
+            gap: 1e-9,
+        }
+    }
+}
+
+/// Result of a MILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpSolution {
+    /// Objective value at the best integral point found.
+    pub objective: f64,
+    /// Variable values (integer variables are exactly integral).
+    pub values: Vec<f64>,
+    /// Number of branch & bound nodes expanded.
+    pub nodes: usize,
+    /// `true` when the search completed (solution proved optimal); `false`
+    /// when the node limit stopped the search with an incumbent in hand.
+    pub proved_optimal: bool,
+}
+
+#[derive(Debug)]
+struct Node {
+    /// LP relaxation bound, normalized so larger is better.
+    score: f64,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    relaxation: LpSolution,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Solves a mixed-integer linear program by best-first branch & bound.
+///
+/// Integer variables must have finite bounds (true for every model in this
+/// workspace: worker counts are bounded by cluster size, selectors are
+/// binary).
+///
+/// # Errors
+///
+/// Returns [`SolveError::Infeasible`] when no integral point exists,
+/// [`SolveError::Unbounded`] if the relaxation is unbounded, and
+/// [`SolveError::IterationLimit`] if the node limit is hit before any
+/// incumbent is found.
+///
+/// # Examples
+///
+/// A tiny knapsack: two items of values 5 and 4 with weights 3 and 2 and
+/// capacity 4 — only one item fits, take the value-5 one.
+///
+/// ```
+/// use diffserve_milp::{solve_milp, Direction, MilpOptions, Problem, Sense};
+///
+/// let mut p = Problem::new(Direction::Maximize);
+/// let a = p.add_binary("a");
+/// let b = p.add_binary("b");
+/// p.add_constraint("cap", &[(a, 3.0), (b, 2.0)], Sense::Le, 4.0);
+/// p.set_objective(&[(a, 5.0), (b, 4.0)]);
+/// let sol = solve_milp(&p, &MilpOptions::default())?;
+/// assert_eq!(sol.objective, 5.0);
+/// # Ok::<(), diffserve_milp::SolveError>(())
+/// ```
+pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<MilpSolution, SolveError> {
+    let int_vars = problem.integer_vars();
+    let maximize = problem.direction() == Direction::Maximize;
+    let norm = |obj: f64| if maximize { obj } else { -obj };
+
+    let root_lower = problem.lower_bounds();
+    let root_upper = problem.upper_bounds();
+    for &v in &int_vars {
+        assert!(
+            root_lower[v.index()].is_finite() && root_upper[v.index()].is_finite(),
+            "integer variable {} must have finite bounds",
+            problem.var_name(v)
+        );
+    }
+
+    let root_relax = solve_lp_with_bounds(problem, &root_lower, &root_upper)?;
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        score: norm(root_relax.objective),
+        lower: root_lower,
+        upper: root_upper,
+        relaxation: root_relax,
+    });
+
+    let mut incumbent: Option<MilpSolution> = None;
+    let mut nodes = 0usize;
+
+    while let Some(node) = heap.pop() {
+        if nodes >= options.node_limit {
+            return match incumbent {
+                Some(mut s) => {
+                    s.nodes = nodes;
+                    s.proved_optimal = false;
+                    Ok(s)
+                }
+                None => Err(SolveError::IterationLimit),
+            };
+        }
+        nodes += 1;
+
+        // Prune against the incumbent.
+        if let Some(best) = &incumbent {
+            if node.score <= norm(best.objective) + options.gap {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch_var = None;
+        let mut best_frac = INT_TOL;
+        for &v in &int_vars {
+            let x = node.relaxation.values[v.index()];
+            let frac = (x - x.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some(v);
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integral: snap and record as incumbent if better.
+                let mut values = node.relaxation.values.clone();
+                for &v in &int_vars {
+                    values[v.index()] = values[v.index()].round();
+                }
+                let obj = node.relaxation.objective;
+                let better = incumbent
+                    .as_ref()
+                    .map_or(true, |b| norm(obj) > norm(b.objective) + options.gap);
+                if better {
+                    incumbent = Some(MilpSolution {
+                        objective: obj,
+                        values,
+                        nodes,
+                        proved_optimal: true,
+                    });
+                }
+            }
+            Some(v) => {
+                let x = node.relaxation.values[v.index()];
+                let floor = x.floor();
+                // Down branch: x <= floor.
+                {
+                    let mut upper = node.upper.clone();
+                    upper[v.index()] = floor;
+                    if node.lower[v.index()] <= floor {
+                        push_child(problem, &node.lower, &upper, norm, &incumbent, options, &mut heap);
+                    }
+                }
+                // Up branch: x >= floor + 1.
+                {
+                    let mut lower = node.lower.clone();
+                    lower[v.index()] = floor + 1.0;
+                    if lower[v.index()] <= node.upper[v.index()] {
+                        push_child(problem, &lower, &node.upper, norm, &incumbent, options, &mut heap);
+                    }
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some(mut s) => {
+            s.nodes = nodes;
+            Ok(s)
+        }
+        None => Err(SolveError::Infeasible),
+    }
+}
+
+fn push_child(
+    problem: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+    norm: impl Fn(f64) -> f64,
+    incumbent: &Option<MilpSolution>,
+    options: &MilpOptions,
+    heap: &mut BinaryHeap<Node>,
+) {
+    match solve_lp_with_bounds(problem, lower, upper) {
+        Ok(relaxation) => {
+            let score = norm(relaxation.objective);
+            if let Some(best) = incumbent {
+                if score <= norm(best.objective) + options.gap {
+                    return; // Bound: can't beat the incumbent.
+                }
+            }
+            heap.push(Node {
+                score,
+                lower: lower.to_vec(),
+                upper: upper.to_vec(),
+                relaxation,
+            });
+        }
+        Err(SolveError::Infeasible) => {}
+        // Unbounded/iteration-limit children are dropped; the root solve
+        // already screened for unboundedness.
+        Err(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Sense, VarKind};
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 6b + 4c st 5a + 4b + 3c <= 9, binaries.
+        // Best: a + b (weight 9, value 16).
+        let mut p = Problem::new(Direction::Maximize);
+        let a = p.add_binary("a");
+        let b = p.add_binary("b");
+        let c = p.add_binary("c");
+        p.add_constraint("w", &[(a, 5.0), (b, 4.0), (c, 3.0)], Sense::Le, 9.0);
+        p.set_objective(&[(a, 10.0), (b, 6.0), (c, 4.0)]);
+        let s = solve_milp(&p, &MilpOptions::default()).unwrap();
+        assert!((s.objective - 16.0).abs() < 1e-6);
+        assert_eq!(s.values[0], 1.0);
+        assert_eq!(s.values[1], 1.0);
+        assert_eq!(s.values[2], 0.0);
+        assert!(s.proved_optimal);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x st 2x <= 7 → LP gives 3.5, MILP must give 3.
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", VarKind::Integer, 0.0, 100.0);
+        p.add_constraint("c", &[(x, 2.0)], Sense::Le, 7.0);
+        p.set_objective(&[(x, 1.0)]);
+        let s = solve_milp(&p, &MilpOptions::default()).unwrap();
+        assert_eq!(s.objective, 3.0);
+    }
+
+    #[test]
+    fn minimization_with_integers() {
+        // min 3x + 5y st x + y >= 4, integers → try (4,0)=12, (0,4)=20, (1,3)=18...
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", VarKind::Integer, 0.0, 10.0);
+        let y = p.add_var("y", VarKind::Integer, 0.0, 10.0);
+        p.add_constraint("c", &[(x, 1.0), (y, 1.0)], Sense::Ge, 4.0);
+        p.set_objective(&[(x, 3.0), (y, 5.0)]);
+        let s = solve_milp(&p, &MilpOptions::default()).unwrap();
+        assert_eq!(s.objective, 12.0);
+        assert_eq!(s.values[0], 4.0);
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // max 2x + y, x integer ≤ 2.5 constraint-wise, y continuous ≤ 0.75.
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", VarKind::Integer, 0.0, 10.0);
+        let y = p.add_var("y", VarKind::Continuous, 0.0, 0.75);
+        p.add_constraint("c", &[(x, 1.0)], Sense::Le, 2.5);
+        p.set_objective(&[(x, 2.0), (y, 1.0)]);
+        let s = solve_milp(&p, &MilpOptions::default()).unwrap();
+        assert!((s.objective - 4.75).abs() < 1e-6);
+        assert_eq!(s.values[0], 2.0);
+        assert!((s.values[1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 0.4 <= x <= 0.6 with x integer: no integral point.
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", VarKind::Integer, 0.0, 1.0);
+        p.add_constraint("lo", &[(x, 1.0)], Sense::Ge, 0.4);
+        p.add_constraint("hi", &[(x, 1.0)], Sense::Le, 0.6);
+        p.set_objective(&[(x, 1.0)]);
+        assert_eq!(
+            solve_milp(&p, &MilpOptions::default()),
+            Err(SolveError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn selector_pattern_like_allocator() {
+        // Exactly-one selector over three options with different payoffs and
+        // capacity usage — the shape the DiffServe allocator relies on.
+        let mut p = Problem::new(Direction::Maximize);
+        let z: Vec<_> = (0..3).map(|i| p.add_binary(format!("z{i}"))).collect();
+        p.add_constraint(
+            "one",
+            &[(z[0], 1.0), (z[1], 1.0), (z[2], 1.0)],
+            Sense::Eq,
+            1.0,
+        );
+        // Option payoffs 0.2, 0.5, 0.9; capacity costs 1, 3, 10; budget 5.
+        p.add_constraint(
+            "budget",
+            &[(z[0], 1.0), (z[1], 3.0), (z[2], 10.0)],
+            Sense::Le,
+            5.0,
+        );
+        p.set_objective(&[(z[0], 0.2), (z[1], 0.5), (z[2], 0.9)]);
+        let s = solve_milp(&p, &MilpOptions::default()).unwrap();
+        assert!((s.objective - 0.5).abs() < 1e-6);
+        assert_eq!(s.values[1], 1.0);
+    }
+
+    #[test]
+    fn node_limit_reports_incumbent_or_error() {
+        let mut p = Problem::new(Direction::Maximize);
+        let vars: Vec<_> = (0..12).map(|i| p.add_binary(format!("b{i}"))).collect();
+        let weights: Vec<f64> = (0..12).map(|i| 3.0 + (i as f64 % 5.0)).collect();
+        let terms: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
+        p.add_constraint("cap", &terms, Sense::Le, 20.0);
+        let obj: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + (i as f64) * 0.618 % 3.0))
+            .collect();
+        p.set_objective(&obj);
+        let opts = MilpOptions {
+            node_limit: 3,
+            ..Default::default()
+        };
+        match solve_milp(&p, &opts) {
+            Ok(s) => assert!(!s.proved_optimal || s.nodes <= 3),
+            Err(SolveError::IterationLimit) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    /// Exhaustive reference solver for small pure-integer programs.
+    fn brute_force(p: &Problem) -> Option<f64> {
+        let ints = p.integer_vars();
+        assert_eq!(ints.len(), p.num_vars(), "brute force wants pure IP");
+        let lowers = p.lower_bounds();
+        let uppers = p.upper_bounds();
+        let mut best: Option<f64> = None;
+        let mut assign = lowers.clone();
+        fn rec(
+            p: &Problem,
+            idx: usize,
+            assign: &mut Vec<f64>,
+            lowers: &[f64],
+            uppers: &[f64],
+            best: &mut Option<f64>,
+        ) {
+            if idx == assign.len() {
+                for c in &p.constraints {
+                    let lhs: f64 = c.terms.iter().map(|(v, a)| a * assign[v.index()]).sum();
+                    let ok = match c.sense {
+                        Sense::Le => lhs <= c.rhs + 1e-9,
+                        Sense::Ge => lhs >= c.rhs - 1e-9,
+                        Sense::Eq => (lhs - c.rhs).abs() < 1e-9,
+                    };
+                    if !ok {
+                        return;
+                    }
+                }
+                let obj: f64 = p
+                    .objective
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| c * assign[i])
+                    .sum();
+                let better = match (p.direction(), *best) {
+                    (_, None) => true,
+                    (Direction::Maximize, Some(b)) => obj > b,
+                    (Direction::Minimize, Some(b)) => obj < b,
+                };
+                if better {
+                    *best = Some(obj);
+                }
+                return;
+            }
+            let mut v = lowers[idx];
+            while v <= uppers[idx] + 1e-9 {
+                assign[idx] = v;
+                rec(p, idx + 1, assign, lowers, uppers, best);
+                v += 1.0;
+            }
+        }
+        rec(p, 0, &mut assign, &lowers, &uppers, &mut best);
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_ips() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2025);
+        for trial in 0..40 {
+            let n = rng.gen_range(2..5usize);
+            let m = rng.gen_range(1..4usize);
+            let dir = if rng.gen_bool(0.5) {
+                Direction::Maximize
+            } else {
+                Direction::Minimize
+            };
+            let mut p = Problem::new(dir);
+            let vars: Vec<_> = (0..n)
+                .map(|i| p.add_var(format!("x{i}"), VarKind::Integer, 0.0, 4.0))
+                .collect();
+            for c in 0..m {
+                let terms: Vec<_> = vars
+                    .iter()
+                    .map(|&v| (v, rng.gen_range(-3..=3) as f64))
+                    .collect();
+                // Keep rhs positive with a Le sense so the origin stays
+                // feasible and the IP is never infeasible.
+                p.add_constraint(format!("c{c}"), &terms, Sense::Le, rng.gen_range(1..10) as f64);
+            }
+            let obj: Vec<_> = vars
+                .iter()
+                .map(|&v| (v, rng.gen_range(-5..=5) as f64))
+                .collect();
+            p.set_objective(&obj);
+
+            let reference = brute_force(&p).expect("origin is feasible");
+            let milp = solve_milp(&p, &MilpOptions::default())
+                .unwrap_or_else(|e| panic!("trial {trial}: solver failed: {e}\n{p}"));
+            assert!(
+                (milp.objective - reference).abs() < 1e-6,
+                "trial {trial}: milp={} brute={}\n{p}",
+                milp.objective,
+                reference
+            );
+        }
+    }
+}

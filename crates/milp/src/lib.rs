@@ -1,0 +1,43 @@
+//! # diffserve-milp
+//!
+//! A from-scratch linear and mixed-integer linear programming solver.
+//!
+//! The DiffServe paper formulates its resource-allocation problem as a MILP
+//! and solves it with Gurobi (§3.3, §4.5). Gurobi is proprietary, so this
+//! crate provides the substitute substrate: a dense two-phase primal simplex
+//! ([`solve_lp`]) and a best-first branch & bound ([`solve_milp`]) over it,
+//! behind a small modelling API ([`Problem`]).
+//!
+//! The DiffServe allocation instances are tiny by MILP standards (tens of
+//! integer variables, tens of constraints), and the paper reports ~10 ms
+//! solve times on Gurobi; the `milp_solver` Criterion bench in
+//! `diffserve-bench` verifies this solver lands in the same regime.
+//!
+//! # Examples
+//!
+//! ```
+//! use diffserve_milp::{solve_milp, Direction, MilpOptions, Problem, Sense, VarKind};
+//!
+//! // Allocate 4 servers between two models; each light server handles 10
+//! // QPS, each heavy server 2 QPS; need 20 light-QPS and 4 heavy-QPS.
+//! let mut p = Problem::new(Direction::Minimize);
+//! let x1 = p.add_var("light", VarKind::Integer, 0.0, 4.0);
+//! let x2 = p.add_var("heavy", VarKind::Integer, 0.0, 4.0);
+//! p.add_constraint("light-demand", &[(x1, 10.0)], Sense::Ge, 20.0);
+//! p.add_constraint("heavy-demand", &[(x2, 2.0)], Sense::Ge, 4.0);
+//! p.set_objective(&[(x1, 1.0), (x2, 1.0)]);
+//! let sol = solve_milp(&p, &MilpOptions::default())?;
+//! assert_eq!(sol.values, vec![2.0, 2.0]);
+//! # Ok::<(), diffserve_milp::SolveError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod branch;
+pub mod problem;
+pub mod simplex;
+
+pub use branch::{solve_milp, MilpOptions, MilpSolution, INT_TOL};
+pub use problem::{Direction, Problem, Sense, VarId, VarKind};
+pub use simplex::{solve_lp, solve_lp_with_bounds, LpSolution, SolveError, TOL};

@@ -1,0 +1,589 @@
+//! Two-phase primal simplex over a dense tableau.
+//!
+//! The solver handles general bounds by substitution: finite lower bounds are
+//! shifted to zero, free variables are split into positive/negative parts,
+//! and finite upper bounds become explicit row constraints. Bland's rule is
+//! used for both the entering and leaving variable, which guarantees
+//! termination (no cycling) at the cost of a few extra pivots — irrelevant at
+//! the problem sizes the DiffServe allocator produces (≲ 200 columns).
+
+use crate::problem::{Direction, Problem, Sense};
+
+/// Numerical tolerance used throughout the solver.
+pub const TOL: f64 = 1e-9;
+
+/// Why the solver could not return an optimum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// No point satisfies all constraints and bounds.
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// Iteration limit hit (indicates a numerically hostile instance).
+    IterationLimit,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SolveError::Infeasible => "problem is infeasible",
+            SolveError::Unbounded => "problem is unbounded",
+            SolveError::IterationLimit => "simplex iteration limit exceeded",
+        })
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value in the problem's original direction.
+    pub objective: f64,
+    /// Optimal value of each variable, indexed by [`VarId::index`].
+    ///
+    /// [`VarId::index`]: crate::problem::VarId::index
+    pub values: Vec<f64>,
+}
+
+/// Solves the LP relaxation of `problem` (integrality ignored).
+///
+/// # Errors
+///
+/// Returns [`SolveError::Infeasible`] or [`SolveError::Unbounded`] as
+/// appropriate, and [`SolveError::IterationLimit`] on pathological inputs.
+pub fn solve_lp(problem: &Problem) -> Result<LpSolution, SolveError> {
+    solve_lp_with_bounds(problem, &problem.lower_bounds(), &problem.upper_bounds())
+}
+
+/// Solves the LP relaxation with overridden variable bounds.
+///
+/// Branch & bound uses this to solve node relaxations without rebuilding the
+/// [`Problem`].
+///
+/// # Errors
+///
+/// See [`solve_lp`].
+///
+/// # Panics
+///
+/// Panics if the bound vectors do not match the number of variables or if
+/// any pair is inverted.
+pub fn solve_lp_with_bounds(
+    problem: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+) -> Result<LpSolution, SolveError> {
+    let n = problem.num_vars();
+    assert_eq!(lower.len(), n, "lower bounds length mismatch");
+    assert_eq!(upper.len(), n, "upper bounds length mismatch");
+    for j in 0..n {
+        assert!(
+            lower[j] <= upper[j] + TOL,
+            "inverted bounds for variable {j}: [{}, {}]",
+            lower[j],
+            upper[j]
+        );
+        if lower[j] > upper[j] {
+            // Equal-within-tolerance but numerically inverted: clamp.
+            return solve_lp_with_bounds(
+                problem,
+                &lower.iter().zip(upper).map(|(l, u)| l.min(*u)).collect::<Vec<_>>(),
+                upper,
+            );
+        }
+    }
+
+    // --- Substitution into standard form -------------------------------
+    // Each original var x_j maps to one of:
+    //   Shifted { col }:        x = lower + x',          x' >= 0
+    //   Split { pos, neg }:     x = x+ - x-,             x+, x- >= 0
+    #[derive(Clone, Copy)]
+    enum VarMap {
+        Shifted { col: usize },
+        Split { pos: usize, neg: usize },
+    }
+
+    let mut mapping = Vec::with_capacity(n);
+    let mut num_cols = 0usize;
+    for j in 0..n {
+        if lower[j].is_finite() {
+            mapping.push(VarMap::Shifted { col: num_cols });
+            num_cols += 1;
+        } else {
+            mapping.push(VarMap::Split {
+                pos: num_cols,
+                neg: num_cols + 1,
+            });
+            num_cols += 2;
+        }
+    }
+
+    // Rows: original constraints (rhs adjusted by lower-bound shifts) plus
+    // upper-bound rows x' <= u - l for finite upper bounds.
+    struct Row {
+        coeffs: Vec<(usize, f64)>, // (column, coefficient)
+        sense: Sense,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    for c in &problem.constraints {
+        let mut rhs = c.rhs;
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(c.terms.len() + 1);
+        for &(v, a) in &c.terms {
+            match mapping[v.0] {
+                VarMap::Shifted { col } => {
+                    rhs -= a * lower[v.0];
+                    coeffs.push((col, a));
+                }
+                VarMap::Split { pos, neg } => {
+                    coeffs.push((pos, a));
+                    coeffs.push((neg, -a));
+                }
+            }
+        }
+        rows.push(Row {
+            coeffs,
+            sense: c.sense,
+            rhs,
+        });
+    }
+    for j in 0..n {
+        if upper[j].is_finite() {
+            match mapping[j] {
+                VarMap::Shifted { col } => {
+                    let ub = upper[j] - lower[j];
+                    rows.push(Row {
+                        coeffs: vec![(col, 1.0)],
+                        sense: Sense::Le,
+                        rhs: ub.max(0.0),
+                    });
+                }
+                VarMap::Split { pos, neg } => {
+                    rows.push(Row {
+                        coeffs: vec![(pos, 1.0), (neg, -1.0)],
+                        sense: Sense::Le,
+                        rhs: upper[j],
+                    });
+                }
+            }
+        }
+    }
+
+    // Objective in minimization form over the substituted columns.
+    let sign = match problem.direction {
+        Direction::Minimize => 1.0,
+        Direction::Maximize => -1.0,
+    };
+    let mut cost = vec![0.0; num_cols];
+    let mut obj_shift = 0.0; // constant from lower-bound shifts
+    for j in 0..n {
+        let c = problem.objective[j] * sign;
+        if c == 0.0 {
+            continue;
+        }
+        match mapping[j] {
+            VarMap::Shifted { col } => {
+                cost[col] = c;
+                obj_shift += c * lower[j];
+            }
+            VarMap::Split { pos, neg } => {
+                cost[pos] = c;
+                cost[neg] = -c;
+            }
+        }
+    }
+
+    // --- Build tableau with slacks/artificials --------------------------
+    let m = rows.len();
+    // Normalize rhs >= 0 by flipping rows.
+    let mut senses = Vec::with_capacity(m);
+    for row in &mut rows {
+        if row.rhs < 0.0 {
+            row.rhs = -row.rhs;
+            for c in &mut row.coeffs {
+                c.1 = -c.1;
+            }
+            row.sense = match row.sense {
+                Sense::Le => Sense::Ge,
+                Sense::Ge => Sense::Le,
+                Sense::Eq => Sense::Eq,
+            };
+        }
+        senses.push(row.sense);
+    }
+    let num_slack = senses
+        .iter()
+        .filter(|s| matches!(s, Sense::Le | Sense::Ge))
+        .count();
+    let num_art = senses
+        .iter()
+        .filter(|s| matches!(s, Sense::Ge | Sense::Eq))
+        .count();
+    let total = num_cols + num_slack + num_art;
+
+    // Dense tableau: m rows × (total + 1) columns, rhs last.
+    let mut t = vec![vec![0.0; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut is_artificial = vec![false; total];
+    {
+        let mut slack_at = num_cols;
+        let mut art_at = num_cols + num_slack;
+        for (i, row) in rows.iter().enumerate() {
+            for &(col, a) in &row.coeffs {
+                t[i][col] += a;
+            }
+            t[i][total] = row.rhs;
+            match row.sense {
+                Sense::Le => {
+                    t[i][slack_at] = 1.0;
+                    basis[i] = slack_at;
+                    slack_at += 1;
+                }
+                Sense::Ge => {
+                    t[i][slack_at] = -1.0;
+                    slack_at += 1;
+                    t[i][art_at] = 1.0;
+                    is_artificial[art_at] = true;
+                    basis[i] = art_at;
+                    art_at += 1;
+                }
+                Sense::Eq => {
+                    t[i][art_at] = 1.0;
+                    is_artificial[art_at] = true;
+                    basis[i] = art_at;
+                    art_at += 1;
+                }
+            }
+        }
+    }
+
+    let max_iters = 50 * (m + total + 10);
+
+    // --- Phase 1: minimize sum of artificials ---------------------------
+    if num_art > 0 {
+        let mut phase1_cost = vec![0.0; total];
+        for (j, flag) in is_artificial.iter().enumerate() {
+            if *flag {
+                phase1_cost[j] = 1.0;
+            }
+        }
+        run_simplex(&mut t, &mut basis, &phase1_cost, max_iters, Some(&is_artificial))?;
+        let obj1: f64 = basis
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| phase1_cost[b] * t[i][total])
+            .sum();
+        if obj1 > 1e-7 {
+            return Err(SolveError::Infeasible);
+        }
+        // Pivot remaining artificials (at zero level) out of the basis.
+        for i in 0..m {
+            if is_artificial[basis[i]] {
+                let mut pivoted = false;
+                for j in 0..total {
+                    if !is_artificial[j] && t[i][j].abs() > 1e-7 {
+                        pivot(&mut t, &mut basis, i, j);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    // Redundant row: zero it so it can never constrain.
+                    for v in t[i].iter_mut() {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Phase 2: minimize original cost (artificials barred) -----------
+    let mut phase2_cost = vec![0.0; total];
+    phase2_cost[..num_cols].copy_from_slice(&cost);
+    run_simplex(&mut t, &mut basis, &phase2_cost, max_iters, Some(&is_artificial))?;
+
+    // --- Extract solution ------------------------------------------------
+    let mut col_values = vec![0.0; total];
+    for i in 0..m {
+        if basis[i] != usize::MAX {
+            col_values[basis[i]] = t[i][total];
+        }
+    }
+    let mut values = vec![0.0; n];
+    for j in 0..n {
+        values[j] = match mapping[j] {
+            VarMap::Shifted { col } => lower[j] + col_values[col],
+            VarMap::Split { pos, neg } => col_values[pos] - col_values[neg],
+        };
+        // Snap to bounds against round-off.
+        if values[j] < lower[j] {
+            values[j] = lower[j];
+        }
+        if values[j] > upper[j] {
+            values[j] = upper[j];
+        }
+    }
+    let raw_obj: f64 = (0..num_cols).map(|c| phase2_cost[c] * col_values[c]).sum();
+    let objective = (raw_obj + obj_shift) * sign;
+    Ok(LpSolution { objective, values })
+}
+
+/// Runs minimizing simplex iterations on the tableau until optimality.
+///
+/// `barred` columns (phase-1 artificials during phase 2) are never chosen as
+/// entering variables.
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    max_iters: usize,
+    barred: Option<&[bool]>,
+) -> Result<(), SolveError> {
+    let m = t.len();
+    let total = cost.len();
+    let rhs_col = total;
+
+    // Dantzig's rule (most negative reduced cost) converges in far fewer
+    // pivots but can cycle on degenerate problems; Bland's rule (first
+    // improving index) terminates always but stalls. Standard practice:
+    // start with Dantzig and fall back to Bland once the iteration count
+    // suggests degeneracy.
+    let bland_after = 10 * (m + total + 10);
+
+    for iter in 0..max_iters {
+        let use_bland = iter >= bland_after;
+        // Reduced costs: r_j = c_j - c_B' T[:,j].
+        let mut entering = None;
+        let mut most_negative = -TOL;
+        for j in 0..total {
+            if let Some(bar) = barred {
+                // During phase 2 the artificial columns stay barred; during
+                // phase 1 they carry cost 1 and may re-enter freely, so only
+                // bar them when their cost is zero (phase 2).
+                if bar[j] && cost[j] == 0.0 {
+                    continue;
+                }
+            }
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut r = cost[j];
+            for i in 0..m {
+                let cb = if basis[i] == usize::MAX { 0.0 } else { cost[basis[i]] };
+                if cb != 0.0 {
+                    r -= cb * t[i][j];
+                }
+            }
+            if r < most_negative {
+                entering = Some(j);
+                if use_bland {
+                    break; // Bland: first improving index.
+                }
+                most_negative = r; // Dantzig: keep scanning for the best.
+            }
+        }
+        let Some(e) = entering else {
+            return Ok(());
+        };
+
+        // Ratio test (Bland ties: smallest basis index).
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][e] > TOL {
+                let ratio = t[i][rhs_col] / t[i][e];
+                let better = ratio < best_ratio - TOL
+                    || (ratio < best_ratio + TOL
+                        && leave.map_or(true, |l| basis[i] < basis[l]));
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(l) = leave else {
+            return Err(SolveError::Unbounded);
+        };
+        pivot(t, basis, l, e);
+    }
+    Err(SolveError::IterationLimit)
+}
+
+/// Pivots the tableau on `(row, col)`.
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let m = t.len();
+    let width = t[row].len();
+    let p = t[row][col];
+    debug_assert!(p.abs() > 1e-12, "pivot on (near-)zero element");
+    for v in t[row].iter_mut() {
+        *v /= p;
+    }
+    for i in 0..m {
+        if i == row {
+            continue;
+        }
+        let factor = t[i][col];
+        if factor == 0.0 {
+            continue;
+        }
+        for j in 0..width {
+            let delta = factor * t[row][j];
+            t[i][j] -= delta;
+        }
+        t[i][col] = 0.0; // exact zero against round-off
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Direction, Problem, Sense, VarKind};
+
+    fn cont(p: &mut Problem, name: &str) -> crate::problem::VarId {
+        p.add_var(name, VarKind::Continuous, 0.0, f64::INFINITY)
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 2y st x+y<=4, x+3y<=6 → (4,0), obj 12.
+        let mut p = Problem::new(Direction::Maximize);
+        let x = cont(&mut p, "x");
+        let y = cont(&mut p, "y");
+        p.add_constraint("c1", &[(x, 1.0), (y, 1.0)], Sense::Le, 4.0);
+        p.add_constraint("c2", &[(x, 1.0), (y, 3.0)], Sense::Le, 6.0);
+        p.set_objective(&[(x, 3.0), (y, 2.0)]);
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 12.0).abs() < 1e-8);
+        assert!((s.values[0] - 4.0).abs() < 1e-8);
+        assert!(s.values[1].abs() < 1e-8);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y st x + y >= 10, x <= 6 → x=6, y=4, obj 24.
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", VarKind::Continuous, 0.0, 6.0);
+        let y = cont(&mut p, "y");
+        p.add_constraint("demand", &[(x, 1.0), (y, 1.0)], Sense::Ge, 10.0);
+        p.set_objective(&[(x, 2.0), (y, 3.0)]);
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 24.0).abs() < 1e-8);
+        assert!((s.values[0] - 6.0).abs() < 1e-8);
+        assert!((s.values[1] - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // max x + y st x + 2y = 4, x <= 2 → x=2, y=1, obj 3.
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", VarKind::Continuous, 0.0, 2.0);
+        let y = cont(&mut p, "y");
+        p.add_constraint("eq", &[(x, 1.0), (y, 2.0)], Sense::Eq, 4.0);
+        p.set_objective(&[(x, 1.0), (y, 1.0)]);
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", VarKind::Continuous, 0.0, 1.0);
+        p.add_constraint("impossible", &[(x, 1.0)], Sense::Ge, 5.0);
+        p.set_objective(&[(x, 1.0)]);
+        assert_eq!(solve_lp(&p), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = cont(&mut p, "x");
+        p.set_objective(&[(x, 1.0)]);
+        assert_eq!(solve_lp(&p), Err(SolveError::Unbounded));
+    }
+
+    #[test]
+    fn bounded_by_upper_bound_only() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", VarKind::Continuous, 0.0, 7.5);
+        p.set_objective(&[(x, 2.0)]);
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 15.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // min x + y with x >= 3, y >= 2, x + y >= 8 → obj 8.
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", VarKind::Continuous, 3.0, f64::INFINITY);
+        let y = p.add_var("y", VarKind::Continuous, 2.0, f64::INFINITY);
+        p.add_constraint("c", &[(x, 1.0), (y, 1.0)], Sense::Ge, 8.0);
+        p.set_objective(&[(x, 1.0), (y, 1.0)]);
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 8.0).abs() < 1e-8);
+        assert!(s.values[0] >= 3.0 - 1e-9);
+        assert!(s.values[1] >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min |ish|: minimize y st y >= x - 4, y >= 4 - x with x free → any x
+        // near 4 gives y = 0.
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", VarKind::Continuous, f64::NEG_INFINITY, f64::INFINITY);
+        let y = cont(&mut p, "y");
+        p.add_constraint("a", &[(y, 1.0), (x, -1.0)], Sense::Ge, -4.0);
+        p.add_constraint("b", &[(y, 1.0), (x, 1.0)], Sense::Ge, 4.0);
+        p.set_objective(&[(y, 1.0)]);
+        let s = solve_lp(&p).unwrap();
+        assert!(s.objective.abs() < 1e-8);
+        assert!((s.values[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_rows_normalize() {
+        // x - y <= -2 with x,y in [0,10]; max x → x = 8 when y = 10.
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", VarKind::Continuous, 0.0, 10.0);
+        let y = p.add_var("y", VarKind::Continuous, 0.0, 10.0);
+        p.add_constraint("gap", &[(x, 1.0), (y, -1.0)], Sense::Le, -2.0);
+        p.set_objective(&[(x, 1.0)]);
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 8.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints intersecting at the optimum.
+        let mut p = Problem::new(Direction::Maximize);
+        let x = cont(&mut p, "x");
+        let y = cont(&mut p, "y");
+        p.add_constraint("a", &[(x, 1.0), (y, 1.0)], Sense::Le, 1.0);
+        p.add_constraint("b", &[(x, 2.0), (y, 2.0)], Sense::Le, 2.0);
+        p.add_constraint("c", &[(x, 1.0)], Sense::Le, 1.0);
+        p.add_constraint("d", &[(y, 1.0)], Sense::Le, 1.0);
+        p.set_objective(&[(x, 1.0), (y, 1.0)]);
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fixed_variable_via_equal_bounds() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", VarKind::Continuous, 2.5, 2.5);
+        let y = p.add_var("y", VarKind::Continuous, 0.0, 10.0);
+        p.add_constraint("c", &[(x, 1.0), (y, 1.0)], Sense::Le, 5.0);
+        p.set_objective(&[(y, 1.0)]);
+        let s = solve_lp(&p).unwrap();
+        assert!((s.values[0] - 2.5).abs() < 1e-9);
+        assert!((s.objective - 2.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(format!("{}", SolveError::Infeasible), "problem is infeasible");
+        assert_eq!(format!("{}", SolveError::Unbounded), "problem is unbounded");
+    }
+}

@@ -1,0 +1,43 @@
+//! # diffserve-nn
+//!
+//! A minimal neural-network substrate: dense layers, ReLU/softmax,
+//! cross-entropy, SGD/Adam, and a training loop.
+//!
+//! The DiffServe paper's discriminator is an EfficientNet-V2 trained to
+//! classify images as *real* (ground-truth photographs) or *fake*
+//! (diffusion-model outputs); its softmax confidence gates the light→heavy
+//! cascade (paper §3.2). In this reproduction the image substrate emits
+//! feature vectors rather than pixels, so the discriminator is an [`Mlp`]
+//! trained on those features with the exact same objective and the same
+//! confidence-thresholding downstream. Architecture ablations (ResNet-34,
+//! ViT-B16, EfficientNet trained on fake positives — paper Fig. 7) map to
+//! different capacities and training sets in `diffserve-imagegen`.
+//!
+//! # Examples
+//!
+//! ```
+//! use diffserve_nn::{Adam, Mlp, TrainConfig, accuracy};
+//! use diffserve_linalg::Mat;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut clf = Mlp::new(&[2, 12, 2], &mut rng);
+//! let x = Mat::from_rows(&[&[2.0, 2.0], &[-2.0, -2.0], &[2.2, 1.8], &[-1.9, -2.1]]);
+//! let y = [0usize, 1, 0, 1];
+//! let mut opt = Adam::new(0.05);
+//! clf.fit(&x, &y, &mut opt, &TrainConfig::default(), &mut rng);
+//! assert_eq!(accuracy(&clf.predict(&x), &y), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod layer;
+pub mod loss;
+pub mod model;
+pub mod optim;
+
+pub use layer::{relu, relu_backward, softmax, Dense};
+pub use loss::{mse, softmax_cross_entropy};
+pub use model::{accuracy, auc, EpochStats, Mlp, TrainConfig};
+pub use optim::{Adam, Optimizer, Sgd};

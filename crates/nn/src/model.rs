@@ -1,0 +1,377 @@
+//! Multi-layer perceptron classifier with a built-in training loop.
+
+use diffserve_linalg::Mat;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::layer::{relu, relu_backward, softmax, Dense};
+use crate::loss::softmax_cross_entropy;
+use crate::optim::Optimizer;
+
+/// A feed-forward classifier: dense layers with ReLU between them and a
+/// linear logit head.
+///
+/// This is the substrate behind the DiffServe discriminator: the paper uses
+/// EfficientNet-V2 on pixels; the reproduction trains an MLP on the synthetic
+/// image features that stand in for pixels (see `diffserve-imagegen`).
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_nn::{Adam, Mlp, TrainConfig};
+/// use diffserve_linalg::Mat;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut model = Mlp::new(&[2, 8, 2], &mut rng);
+/// // Learn y = x0 > x1 from a handful of points.
+/// let x = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.9, 0.1], &[0.2, 0.8]]);
+/// let y = [0usize, 1, 0, 1];
+/// let mut opt = Adam::new(0.05);
+/// model.fit(&x, &y, &mut opt, &TrainConfig { epochs: 200, batch_size: 4, shuffle: true }, &mut rng);
+/// assert_eq!(model.predict(&x), vec![0, 1, 0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+/// Training-loop hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Whether to reshuffle the data each epoch.
+    pub shuffle: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 64,
+            shuffle: true,
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Mean training loss over the epoch's batches.
+    pub loss: f64,
+    /// Training accuracy measured after the epoch.
+    pub accuracy: f64,
+}
+
+impl Mlp {
+    /// Creates an MLP from layer widths, e.g. `&[16, 32, 2]` for a
+    /// 16-feature input, one hidden layer of 32, and 2 output classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given or any width is zero.
+    pub fn new<R: Rng + ?Sized>(widths: &[usize], rng: &mut R) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Number of dense layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.inputs() * l.outputs() + l.outputs())
+            .sum()
+    }
+
+    /// Forward pass returning logits for a batch `(n × in)`.
+    pub fn logits(&self, x: &Mat) -> Mat {
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < self.layers.len() {
+                h = relu(&h);
+            }
+        }
+        h
+    }
+
+    /// Class probabilities (softmax of the logits).
+    pub fn predict_proba(&self, x: &Mat) -> Mat {
+        softmax(&self.logits(x))
+    }
+
+    /// Hard class predictions (argmax).
+    pub fn predict(&self, x: &Mat) -> Vec<usize> {
+        let p = self.logits(x);
+        (0..p.rows())
+            .map(|i| {
+                let row = p.row(i);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(j, _)| j)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+
+    /// One forward+backward pass on a batch, applying the optimizer.
+    /// Returns the batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes or labels are inconsistent.
+    pub fn train_batch(
+        &mut self,
+        x: &Mat,
+        labels: &[usize],
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        // Forward, caching layer inputs (post-activation) and pre-activations.
+        let mut inputs: Vec<Mat> = Vec::with_capacity(self.layers.len());
+        let mut pre_acts: Vec<Mat> = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            inputs.push(h.clone());
+            let z = layer.forward(&h);
+            pre_acts.push(z.clone());
+            h = if i + 1 < self.layers.len() { relu(&z) } else { z };
+        }
+        let (loss, mut d_out) = softmax_cross_entropy(&h, labels);
+
+        // Backward.
+        for i in (0..self.layers.len()).rev() {
+            let (d_x, d_w, d_b) = self.layers[i].backward(&inputs[i], &d_out);
+            let (w, b) = self.layers[i].params_mut();
+            // Two optimizer slots per layer: weights then biases.
+            optimizer.update(2 * i, w.as_mut_slice(), d_w.as_slice());
+            optimizer.update(2 * i + 1, b, &d_b);
+            if i > 0 {
+                d_out = relu_backward(&pre_acts[i - 1], &d_x);
+            }
+        }
+        loss
+    }
+
+    /// Trains for `config.epochs` passes and returns per-epoch stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the number of rows of `x` or
+    /// the batch size is zero.
+    pub fn fit<R: Rng + ?Sized>(
+        &mut self,
+        x: &Mat,
+        labels: &[usize],
+        optimizer: &mut dyn Optimizer,
+        config: &TrainConfig,
+        rng: &mut R,
+    ) -> Vec<EpochStats> {
+        assert_eq!(x.rows(), labels.len(), "one label per sample required");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let n = x.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut history = Vec::with_capacity(config.epochs);
+
+        for _ in 0..config.epochs {
+            if config.shuffle {
+                order.shuffle(rng);
+            }
+            let mut loss_sum = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(config.batch_size) {
+                let bx = Mat::from_fn(chunk.len(), x.cols(), |i, j| x[(chunk[i], j)]);
+                let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                loss_sum += self.train_batch(&bx, &by, optimizer);
+                batches += 1;
+            }
+            history.push(EpochStats {
+                loss: loss_sum / batches.max(1) as f64,
+                accuracy: accuracy(&self.predict(x), labels),
+            });
+        }
+        history
+    }
+}
+
+/// Fraction of predictions matching the labels.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths or are empty.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "accuracy of empty set is undefined");
+    let hits = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    hits as f64 / predictions.len() as f64
+}
+
+/// Area under the ROC curve for binary scores via the rank-sum statistic.
+///
+/// `scores[i]` is the model's score for the positive class;
+/// `labels[i]` is `true` for positives. Ties receive half credit.
+/// Returns 0.5 when either class is absent.
+pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let mut pairs: Vec<(f64, bool)> = scores.iter().cloned().zip(labels.iter().cloned()).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank-sum with average ranks over ties.
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i;
+        while j + 1 < pairs.len() && pairs[j + 1].0 == pairs[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for p in &pairs[i..=j] {
+            if p.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::SeedableRng;
+
+    fn two_gaussians(n: usize, seed: u64) -> (Mat, Vec<usize>) {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(2 * n);
+        let mut labels = Vec::with_capacity(2 * n);
+        for _ in 0..n {
+            rows.push(vec![
+                rng.gen_range(-1.0..1.0) + 2.0,
+                rng.gen_range(-1.0..1.0) + 2.0,
+            ]);
+            labels.push(0);
+            rows.push(vec![
+                rng.gen_range(-1.0..1.0) - 2.0,
+                rng.gen_range(-1.0..1.0) - 2.0,
+            ]);
+            labels.push(1);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Mat::from_rows(&refs), labels)
+    }
+
+    #[test]
+    fn learns_separable_gaussians() {
+        let (x, y) = two_gaussians(100, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut model = Mlp::new(&[2, 16, 2], &mut rng);
+        let mut opt = Adam::new(0.02);
+        let history = model.fit(
+            &x,
+            &y,
+            &mut opt,
+            &TrainConfig {
+                epochs: 40,
+                batch_size: 32,
+                shuffle: true,
+            },
+            &mut rng,
+        );
+        let final_acc = history.last().unwrap().accuracy;
+        assert!(final_acc > 0.98, "accuracy={final_acc}");
+        // Loss should broadly decrease.
+        assert!(history.last().unwrap().loss < history[0].loss);
+    }
+
+    #[test]
+    fn xor_requires_hidden_layer() {
+        let x = Mat::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = [0usize, 1, 1, 0];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut model = Mlp::new(&[2, 8, 2], &mut rng);
+        let mut opt = Adam::new(0.05);
+        model.fit(
+            &x,
+            &y,
+            &mut opt,
+            &TrainConfig {
+                epochs: 600,
+                batch_size: 4,
+                shuffle: false,
+            },
+            &mut rng,
+        );
+        assert_eq!(model.predict(&x), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let model = Mlp::new(&[3, 5, 4], &mut rng);
+        let x = Mat::from_rows(&[&[0.1, -0.2, 0.3]]);
+        let p = model.predict_proba(&x);
+        let sum: f64 = p.row(0).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(p.cols(), 4);
+    }
+
+    #[test]
+    fn num_params_counts_weights_and_biases() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let model = Mlp::new(&[4, 8, 2], &mut rng);
+        assert_eq!(model.num_layers(), 2);
+        assert_eq!(model.num_params(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let labels = [true, true, false, false];
+        assert_eq!(auc(&[0.9, 0.8, 0.2, 0.1], &labels), 1.0);
+        assert_eq!(auc(&[0.1, 0.2, 0.8, 0.9], &labels), 0.0);
+        // All-tied scores → 0.5 by symmetry.
+        assert_eq!(auc(&[0.5, 0.5, 0.5, 0.5], &labels), 0.5);
+        // Degenerate single-class input.
+        assert_eq!(auc(&[0.5, 0.6], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (x, y) = two_gaussians(30, 8);
+        let run = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut model = Mlp::new(&[2, 8, 2], &mut rng);
+            let mut opt = Adam::new(0.02);
+            model.fit(&x, &y, &mut opt, &TrainConfig::default(), &mut rng);
+            model.predict_proba(&x)[(0, 0)]
+        };
+        assert_eq!(run(42).to_bits(), run(42).to_bits());
+    }
+}

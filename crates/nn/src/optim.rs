@@ -1,0 +1,202 @@
+//! Gradient-descent optimizers.
+
+use std::collections::HashMap;
+
+/// A first-order optimizer updating flat parameter slices.
+///
+/// Parameters are identified by a caller-assigned `slot` so that stateful
+/// optimizers (momentum, Adam moments) can keep per-parameter buffers.
+pub trait Optimizer {
+    /// Applies one update to `param` given `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `param` and `grad` lengths differ, or if a
+    /// slot changes size between calls.
+    fn update(&mut self, slot: usize, param: &mut [f64], grad: &[f64]);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: HashMap<usize, Vec<f64>>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and momentum coefficient
+    /// `momentum` (0 disables momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must lie in [0, 1), got {momentum}"
+        );
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn update(&mut self, slot: usize, param: &mut [f64], grad: &[f64]) {
+        assert_eq!(param.len(), grad.len(), "param/grad length mismatch");
+        if self.momentum == 0.0 {
+            for (p, g) in param.iter_mut().zip(grad) {
+                *p -= self.lr * g;
+            }
+            return;
+        }
+        let v = self
+            .velocity
+            .entry(slot)
+            .or_insert_with(|| vec![0.0; param.len()]);
+        assert_eq!(v.len(), param.len(), "slot {slot} changed size");
+        for ((p, g), vel) in param.iter_mut().zip(grad).zip(v.iter_mut()) {
+            *vel = self.momentum * *vel - self.lr * g;
+            *p += *vel;
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias-corrected moment estimates.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    state: HashMap<usize, AdamSlot>,
+}
+
+#[derive(Debug, Clone)]
+struct AdamSlot {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with the standard defaults `beta1 = 0.9`,
+    /// `beta2 = 0.999`, `eps = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_params(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates Adam with explicit hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range hyperparameters.
+    pub fn with_params(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1), "beta1 must lie in [0, 1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must lie in [0, 1)");
+        assert!(eps > 0.0, "eps must be positive");
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            state: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn update(&mut self, slot: usize, param: &mut [f64], grad: &[f64]) {
+        assert_eq!(param.len(), grad.len(), "param/grad length mismatch");
+        let s = self.state.entry(slot).or_insert_with(|| AdamSlot {
+            m: vec![0.0; param.len()],
+            v: vec![0.0; param.len()],
+            t: 0,
+        });
+        assert_eq!(s.m.len(), param.len(), "slot {slot} changed size");
+        s.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(s.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(s.t as i32);
+        for i in 0..param.len() {
+            s.m[i] = self.beta1 * s.m[i] + (1.0 - self.beta1) * grad[i];
+            s.v[i] = self.beta2 * s.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let m_hat = s.m[i] / bc1;
+            let v_hat = s.v[i] / bc2;
+            param[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizing f(x) = (x - 3)^2 should converge near 3.
+    fn descend(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut x = [0.0f64];
+        for _ in 0..steps {
+            let grad = [2.0 * (x[0] - 3.0)];
+            opt.update(0, &mut x, &grad);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let x = descend(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-6, "x={x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        let x = descend(&mut opt, 400);
+        assert!((x - 3.0).abs() < 1e-4, "x={x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let x = descend(&mut opt, 500);
+        assert!((x - 3.0).abs() < 1e-3, "x={x}");
+    }
+
+    #[test]
+    fn slots_have_independent_state() {
+        let mut opt = Adam::new(0.1);
+        let mut a = [0.0f64];
+        let mut b = [10.0f64];
+        for _ in 0..300 {
+            let ga = [2.0 * (a[0] - 1.0)];
+            opt.update(0, &mut a, &ga);
+            let gb = [2.0 * (b[0] - 5.0)];
+            opt.update(1, &mut b, &gb);
+        }
+        assert!((a[0] - 1.0).abs() < 1e-2);
+        assert!((b[0] - 5.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_bad_lr() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_grad() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut x = [0.0f64, 1.0];
+        opt.update(0, &mut x, &[1.0]);
+    }
+}

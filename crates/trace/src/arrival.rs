@@ -1,0 +1,137 @@
+//! Arrival-time generation from demand traces.
+
+use diffserve_simkit::rng::{Exponential, Sampler};
+use diffserve_simkit::time::{SimDuration, SimTime};
+use rand::Rng;
+
+use crate::trace::Trace;
+
+/// Generates Poisson arrival times driven by a (piecewise-constant) trace.
+///
+/// Within each trace bin arrivals form a homogeneous Poisson process at that
+/// bin's rate, which is exactly how the DiffServe artifact replays its
+/// per-second trace files.
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_trace::{poisson_arrivals, Trace};
+/// use diffserve_simkit::time::SimDuration;
+/// use diffserve_simkit::rng::seeded_rng;
+///
+/// let trace = Trace::constant(100.0, SimDuration::from_secs(10))?;
+/// let mut rng = seeded_rng(1);
+/// let arrivals = poisson_arrivals(&trace, &mut rng);
+/// // ~1000 queries expected over 10s at 100 QPS.
+/// assert!((800..1200).contains(&arrivals.len()));
+/// # Ok::<(), diffserve_trace::TraceError>(())
+/// ```
+pub fn poisson_arrivals<R: Rng + ?Sized>(trace: &Trace, rng: &mut R) -> Vec<SimTime> {
+    let mut arrivals = Vec::with_capacity(trace.expected_queries() as usize + 16);
+    let bin_width = trace.bin_width();
+    for (i, &qps) in trace.bins().iter().enumerate() {
+        if qps <= 0.0 {
+            continue;
+        }
+        let bin_start = SimTime::ZERO + bin_width * i as u64;
+        let bin_end = bin_start + bin_width;
+        let exp = Exponential::new(qps).expect("trace rates validated positive");
+        let mut t = bin_start;
+        loop {
+            t += SimDuration::from_secs_f64(exp.draw(rng));
+            if t >= bin_end {
+                break;
+            }
+            arrivals.push(t);
+        }
+    }
+    arrivals
+}
+
+/// Generates perfectly paced (deterministic) arrivals from a trace.
+///
+/// Each bin with rate `q` produces `round(q · bin_seconds)` arrivals evenly
+/// spaced across the bin. Useful for tests that need exact query counts.
+pub fn paced_arrivals(trace: &Trace) -> Vec<SimTime> {
+    let mut arrivals = Vec::new();
+    let bin_width = trace.bin_width();
+    for (i, &qps) in trace.bins().iter().enumerate() {
+        let count = (qps * bin_width.as_secs_f64()).round() as u64;
+        if count == 0 {
+            continue;
+        }
+        let bin_start = SimTime::ZERO + bin_width * i as u64;
+        let gap = bin_width / count;
+        for k in 0..count {
+            arrivals.push(bin_start + gap * k);
+        }
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+    use diffserve_simkit::rng::seeded_rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn poisson_count_close_to_expectation() {
+        let trace = Trace::constant(50.0, SimDuration::from_secs(100)).unwrap();
+        let mut rng = seeded_rng(3);
+        let arrivals = poisson_arrivals(&trace, &mut rng);
+        let expected = 5000.0;
+        let got = arrivals.len() as f64;
+        // Poisson sd ≈ 70; allow 5 sigma.
+        assert!((got - expected).abs() < 350.0, "got {got}");
+    }
+
+    #[test]
+    fn poisson_is_sorted_and_in_range() {
+        let trace =
+            Trace::from_qps(vec![10.0, 0.0, 30.0], SimDuration::from_secs(1)).unwrap();
+        let mut rng = seeded_rng(4);
+        let arrivals = poisson_arrivals(&trace, &mut rng);
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // No arrivals in the zero-rate middle second.
+        for t in &arrivals {
+            let s = t.as_secs_f64();
+            assert!(!(1.0..2.0).contains(&s), "arrival at {s} inside silent bin");
+            assert!(s < 3.0);
+        }
+    }
+
+    #[test]
+    fn poisson_deterministic_per_seed() {
+        let trace = Trace::constant(20.0, SimDuration::from_secs(5)).unwrap();
+        let a = poisson_arrivals(&trace, &mut seeded_rng(9));
+        let b = poisson_arrivals(&trace, &mut seeded_rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paced_counts_are_exact() {
+        let trace =
+            Trace::from_qps(vec![4.0, 6.0], SimDuration::from_secs(1)).unwrap();
+        let arrivals = paced_arrivals(&trace);
+        assert_eq!(arrivals.len(), 10);
+        assert_eq!(arrivals[0], SimTime::ZERO);
+        // Second bin starts exactly at t=1s.
+        assert_eq!(arrivals[4], SimTime::from_secs(1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn paced_matches_expected_queries(qps in 1.0f64..50.0, bins in 1usize..20) {
+            let trace = Trace::from_qps(vec![qps; bins], SimDuration::from_secs(1)).unwrap();
+            let arrivals = paced_arrivals(&trace);
+            let expected = (qps.round() as usize) * bins;
+            prop_assert_eq!(arrivals.len(), expected);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Bursty arrival processes.
+//!
+//! The paper's robustness discussion (§4.3) concerns demand that shifts
+//! abruptly; production traces (the Twitter stream the paper cites, Azure
+//! Functions) carry bursts on top of the diurnal shape. This module
+//! provides a Markov-modulated Poisson process (MMPP): arrivals alternate
+//! between a *calm* and a *burst* regime with exponentially distributed
+//! sojourn times, multiplying the base trace rate during bursts.
+
+use diffserve_simkit::rng::{Exponential, Sampler};
+use diffserve_simkit::time::{SimDuration, SimTime};
+use rand::Rng;
+
+use crate::trace::Trace;
+
+/// Configuration of the two-state MMPP burst overlay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstConfig {
+    /// Rate multiplier while in the burst state (≥ 1).
+    pub burst_multiplier: f64,
+    /// Mean sojourn time in the calm state.
+    pub mean_calm: SimDuration,
+    /// Mean sojourn time in the burst state.
+    pub mean_burst: SimDuration,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        BurstConfig {
+            burst_multiplier: 2.5,
+            mean_calm: SimDuration::from_secs(40),
+            mean_burst: SimDuration::from_secs(8),
+        }
+    }
+}
+
+impl BurstConfig {
+    /// Long-run fraction of time spent in the burst state.
+    pub fn burst_time_fraction(&self) -> f64 {
+        let b = self.mean_burst.as_secs_f64();
+        let c = self.mean_calm.as_secs_f64();
+        b / (b + c)
+    }
+
+    /// Long-run average rate multiplier applied to the base trace.
+    pub fn mean_multiplier(&self) -> f64 {
+        let p = self.burst_time_fraction();
+        1.0 + p * (self.burst_multiplier - 1.0)
+    }
+}
+
+/// Generates Poisson arrivals from `trace` with an MMPP burst overlay.
+///
+/// Deterministic for a given RNG state; the regime path and the arrivals
+/// share the provided RNG.
+///
+/// # Panics
+///
+/// Panics if `burst_multiplier < 1` or either sojourn time is zero.
+pub fn bursty_arrivals<R: Rng + ?Sized>(
+    trace: &Trace,
+    config: &BurstConfig,
+    rng: &mut R,
+) -> Vec<SimTime> {
+    assert!(
+        config.burst_multiplier >= 1.0 && config.burst_multiplier.is_finite(),
+        "burst multiplier must be >= 1"
+    );
+    assert!(
+        !config.mean_calm.is_zero() && !config.mean_burst.is_zero(),
+        "sojourn times must be positive"
+    );
+
+    // Build the regime path over the trace duration.
+    let horizon = trace.duration();
+    let calm_exp = Exponential::new(1.0 / config.mean_calm.as_secs_f64())
+        .expect("positive sojourn rate");
+    let burst_exp = Exponential::new(1.0 / config.mean_burst.as_secs_f64())
+        .expect("positive sojourn rate");
+    let mut switches: Vec<(SimTime, bool)> = Vec::new(); // (time, now_bursting)
+    let mut t = SimTime::ZERO;
+    let mut bursting = false;
+    while t < SimTime::ZERO + horizon {
+        let sojourn = if bursting {
+            burst_exp.draw(rng)
+        } else {
+            calm_exp.draw(rng)
+        };
+        t += SimDuration::from_secs_f64(sojourn);
+        bursting = !bursting;
+        switches.push((t, bursting));
+    }
+
+    let in_burst = |at: SimTime| -> bool {
+        // State before the first switch is calm.
+        match switches.partition_point(|&(s, _)| s <= at) {
+            0 => false,
+            i => switches[i - 1].1,
+        }
+    };
+
+    // Thinning-free generation: sample at the burst-boosted rate per bin,
+    // then keep calm-period arrivals with probability 1/multiplier.
+    let mut arrivals = Vec::new();
+    let bin = trace.bin_width();
+    for (i, &qps) in trace.bins().iter().enumerate() {
+        if qps <= 0.0 {
+            continue;
+        }
+        let boosted = qps * config.burst_multiplier;
+        let exp = Exponential::new(boosted).expect("positive rate");
+        let start = SimTime::ZERO + bin * i as u64;
+        let end = start + bin;
+        let mut at = start;
+        loop {
+            at += SimDuration::from_secs_f64(exp.draw(rng));
+            if at >= end {
+                break;
+            }
+            let keep = if in_burst(at) {
+                true
+            } else {
+                rng.gen_range(0.0..1.0) < 1.0 / config.burst_multiplier
+            };
+            if keep {
+                arrivals.push(at);
+            }
+        }
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffserve_simkit::rng::seeded_rng;
+
+    #[test]
+    fn burst_fraction_math() {
+        let c = BurstConfig {
+            burst_multiplier: 3.0,
+            mean_calm: SimDuration::from_secs(30),
+            mean_burst: SimDuration::from_secs(10),
+        };
+        assert!((c.burst_time_fraction() - 0.25).abs() < 1e-12);
+        assert!((c.mean_multiplier() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_rate_scales_with_mean_multiplier() {
+        let trace = Trace::constant(20.0, SimDuration::from_secs(400)).unwrap();
+        let config = BurstConfig::default();
+        let arrivals = bursty_arrivals(&trace, &config, &mut seeded_rng(5));
+        let expected = 20.0 * config.mean_multiplier() * 400.0;
+        let got = arrivals.len() as f64;
+        // Regime randomness makes this noisy; 25% tolerance.
+        assert!(
+            (got - expected).abs() < 0.25 * expected,
+            "got {got}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_within_horizon() {
+        let trace = Trace::constant(10.0, SimDuration::from_secs(60)).unwrap();
+        let arrivals = bursty_arrivals(&trace, &BurstConfig::default(), &mut seeded_rng(6));
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(arrivals
+            .iter()
+            .all(|&t| t < SimTime::ZERO + trace.duration()));
+    }
+
+    #[test]
+    fn unit_multiplier_reduces_to_poisson_rate() {
+        let trace = Trace::constant(15.0, SimDuration::from_secs(200)).unwrap();
+        let config = BurstConfig {
+            burst_multiplier: 1.0,
+            ..Default::default()
+        };
+        let arrivals = bursty_arrivals(&trace, &config, &mut seeded_rng(7));
+        let expected = 15.0 * 200.0;
+        let got = arrivals.len() as f64;
+        assert!((got - expected).abs() < 0.1 * expected, "got {got}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let trace = Trace::constant(10.0, SimDuration::from_secs(30)).unwrap();
+        let a = bursty_arrivals(&trace, &BurstConfig::default(), &mut seeded_rng(9));
+        let b = bursty_arrivals(&trace, &BurstConfig::default(), &mut seeded_rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier")]
+    fn rejects_submultiplier() {
+        let trace = Trace::constant(1.0, SimDuration::from_secs(1)).unwrap();
+        let config = BurstConfig {
+            burst_multiplier: 0.5,
+            ..Default::default()
+        };
+        let _ = bursty_arrivals(&trace, &config, &mut seeded_rng(1));
+    }
+}

@@ -1,0 +1,110 @@
+//! Demand estimation for the controller.
+//!
+//! The DiffServe controller estimates incoming demand `D` with an
+//! exponentially weighted moving average over demand history and then
+//! over-provisions by a factor `λ` (1.05 by default) before handing the
+//! estimate to the MILP (paper §3.3).
+
+use diffserve_simkit::stats::Ewma;
+use diffserve_simkit::time::SimDuration;
+
+/// EWMA-smoothed demand estimator with over-provisioning.
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_trace::DemandEstimator;
+/// use diffserve_simkit::time::SimDuration;
+///
+/// let mut d = DemandEstimator::new(0.4, 1.05);
+/// d.observe(20, SimDuration::from_secs(2)); // 10 QPS window
+/// assert!((d.estimate() - 10.0).abs() < 1e-9);
+/// assert!((d.provisioned_estimate() - 10.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DemandEstimator {
+    ewma: Ewma,
+    over_provision: f64,
+}
+
+impl DemandEstimator {
+    /// Creates an estimator with EWMA factor `alpha` and over-provisioning
+    /// factor `over_provision` (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or `over_provision < 1`.
+    pub fn new(alpha: f64, over_provision: f64) -> Self {
+        assert!(
+            over_provision >= 1.0 && over_provision.is_finite(),
+            "over-provisioning factor must be >= 1, got {over_provision}"
+        );
+        DemandEstimator {
+            ewma: Ewma::new(alpha).expect("alpha must lie in (0, 1]"),
+            over_provision,
+        }
+    }
+
+    /// Feeds one observation window: `arrivals` queries seen over `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn observe(&mut self, arrivals: u64, window: SimDuration) {
+        assert!(!window.is_zero(), "observation window must be positive");
+        let qps = arrivals as f64 / window.as_secs_f64();
+        self.ewma.update(qps);
+    }
+
+    /// Current smoothed demand estimate in QPS (0 before any observation).
+    pub fn estimate(&self) -> f64 {
+        self.ewma.value_or(0.0)
+    }
+
+    /// Demand estimate multiplied by the over-provisioning factor — the `λD`
+    /// the allocator plans for.
+    pub fn provisioned_estimate(&self) -> f64 {
+        self.estimate() * self.over_provision
+    }
+
+    /// The configured over-provisioning factor.
+    pub fn over_provision(&self) -> f64 {
+        self.over_provision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooths_demand_spikes() {
+        let mut d = DemandEstimator::new(0.5, 1.0);
+        let w = SimDuration::from_secs(1);
+        d.observe(10, w);
+        d.observe(30, w);
+        // EWMA(0.5): 0.5*30 + 0.5*10 = 20.
+        assert!((d.estimate() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_provisioning_multiplies() {
+        let mut d = DemandEstimator::new(1.0, 1.05);
+        d.observe(100, SimDuration::from_secs(1));
+        assert!((d.provisioned_estimate() - 105.0).abs() < 1e-9);
+        assert_eq!(d.over_provision(), 1.05);
+    }
+
+    #[test]
+    fn zero_before_observations() {
+        let d = DemandEstimator::new(0.3, 1.05);
+        assert_eq!(d.estimate(), 0.0);
+        assert_eq!(d.provisioned_estimate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-provisioning")]
+    fn rejects_under_provisioning() {
+        let _ = DemandEstimator::new(0.5, 0.9);
+    }
+}

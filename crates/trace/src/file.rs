@@ -1,0 +1,123 @@
+//! Trace file I/O in the DiffServe artifact's format.
+//!
+//! The artifact ships traces as plain text, one QPS value per second per
+//! line, named `trace_{A}to{B}qps.txt`. This module reads and writes that
+//! format.
+
+use std::io::{BufRead, Write};
+
+use diffserve_simkit::time::SimDuration;
+
+use crate::trace::{Trace, TraceError};
+
+/// Parses a trace from the artifact's one-rate-per-line text format.
+///
+/// Blank lines and lines starting with `#` are skipped.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] with the offending line number, or the
+/// usual construction errors for invalid rates.
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_trace::read_trace;
+///
+/// let text = "# demo trace\n4.0\n8.5\n\n16\n";
+/// let trace = read_trace(text.as_bytes())?;
+/// assert_eq!(trace.bins(), &[4.0, 8.5, 16.0]);
+/// # Ok::<(), diffserve_trace::TraceError>(())
+/// ```
+pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, TraceError> {
+    let mut bins = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|_| TraceError::Parse {
+            line: idx + 1,
+            content: "<io error>".to_string(),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let value: f64 = trimmed.parse().map_err(|_| TraceError::Parse {
+            line: idx + 1,
+            content: trimmed.to_string(),
+        })?;
+        bins.push(value);
+    }
+    Trace::from_qps(bins, SimDuration::from_secs(1))
+}
+
+/// Writes a trace in the artifact's text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# diffserve trace: {} bins of {}s, {:.1}..{:.1} qps",
+        trace.len(),
+        trace.bin_width().as_secs_f64(),
+        trace.min_qps(),
+        trace.max_qps()
+    )?;
+    for &qps in trace.bins() {
+        writeln!(writer, "{qps}")?;
+    }
+    Ok(())
+}
+
+/// Conventional artifact file name for a trace, e.g. `trace_4to32qps.txt`.
+pub fn trace_file_name(trace: &Trace) -> String {
+    format!(
+        "trace_{}to{}qps.txt",
+        trace.min_qps().round() as i64,
+        trace.max_qps().round() as i64
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let trace = Trace::from_qps(vec![4.0, 8.0, 32.0], SimDuration::from_secs(1)).unwrap();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\n1.5\n# middle\n2.5\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.bins(), &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn reports_parse_error_line() {
+        let text = "1.0\nnot-a-number\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceError::Parse { line, content }) => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "not-a-number");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_file_is_error() {
+        assert_eq!(read_trace("# only comments\n".as_bytes()), Err(TraceError::Empty));
+    }
+
+    #[test]
+    fn file_name_convention() {
+        let t = Trace::from_qps(vec![4.0, 32.0], SimDuration::from_secs(1)).unwrap();
+        assert_eq!(trace_file_name(&t), "trace_4to32qps.txt");
+    }
+}

@@ -1,0 +1,56 @@
+//! Capacity planning: sweep cluster size × SLO and print the provisioning
+//! table an operator would use to size a DiffServe deployment for a target
+//! demand — which cluster sizes hold violations under 5% and what quality
+//! each buys.
+//!
+//! Run with: `cargo run --release --example capacity_planner`
+
+use diffserve::prelude::*;
+
+fn main() {
+    let runtime = CascadeRuntime::prepare(
+        cascade1(FeatureSpec::default()),
+        2000,
+        11,
+        DiscriminatorConfig::default(),
+    );
+    let demand_qps = 14.0;
+    let trace = Trace::constant(demand_qps, SimDuration::from_secs(90)).expect("valid trace");
+    println!("Capacity plan for a steady {demand_qps} QPS workload (Cascade 1)\n");
+    println!(
+        "{:<9} {:<7} {:>8} {:>10} {:>9} {:>8}",
+        "workers", "slo_s", "FID", "SLO-viol", "heavy%", "verdict"
+    );
+
+    for workers in [4usize, 8, 12, 16, 24] {
+        for slo_s in [3u64, 5, 8] {
+            let config = SystemConfig {
+                num_workers: workers,
+                slo: SimDuration::from_secs(slo_s),
+                ..Default::default()
+            };
+            let report = run_trace(
+                &runtime,
+                &config,
+                &RunSettings::new(Policy::DiffServe, demand_qps),
+                &trace,
+            );
+            let verdict = if report.violation_ratio < 0.05 {
+                "OK"
+            } else {
+                "undersized"
+            };
+            println!(
+                "{:<9} {:<7} {:>8.2} {:>10.3} {:>8.1}% {:>10}",
+                workers,
+                slo_s,
+                report.fid,
+                report.violation_ratio,
+                report.heavy_fraction * 100.0,
+                verdict
+            );
+        }
+    }
+    println!("\nReading: more workers buy lower FID (more heavy capacity raises the");
+    println!("threshold); tighter SLOs force smaller batches and lower thresholds.");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: prepare Cascade 1, serve a short Poisson workload with the
+//! full DiffServe policy, and print the paper's two headline metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use diffserve::prelude::*;
+
+fn main() {
+    println!("Preparing Cascade 1 (SD-Turbo -> SDv1.5): dataset + discriminator...");
+    let runtime = CascadeRuntime::prepare(
+        cascade1(FeatureSpec::default()),
+        2000,
+        42,
+        DiscriminatorConfig::default(),
+    );
+    println!(
+        "  discriminator: {} ({} params-class), train accuracy {:.3}",
+        runtime.discriminator.config().arch.name(),
+        runtime.discriminator.latency(),
+        runtime.discriminator.train_accuracy()
+    );
+
+    let trace = Trace::constant(10.0, SimDuration::from_secs(120)).expect("valid trace");
+    println!(
+        "Serving {:.0} QPS for {:.0}s on {} workers (SLO {})...",
+        trace.mean_qps(),
+        trace.duration().as_secs_f64(),
+        SystemConfig::default().num_workers,
+        SystemConfig::default().slo,
+    );
+
+    let report = run_trace(
+        &runtime,
+        &SystemConfig::default(),
+        &RunSettings::new(Policy::DiffServe, trace.max_qps()),
+        &trace,
+    );
+
+    println!("\n{}", report.summary());
+    println!(
+        "  responses: {} light / {} heavy ({}% deferred)",
+        ((1.0 - report.heavy_fraction) * report.completed as f64) as u64,
+        (report.heavy_fraction * report.completed as f64) as u64,
+        (report.heavy_fraction * 100.0) as u64,
+    );
+    println!("  FID (quality, lower = better): {:.2}", report.fid);
+    println!("  SLO violation ratio:           {:.3}", report.violation_ratio);
+    println!("  mean latency:                  {:.2}s", report.mean_latency);
+}

@@ -1,0 +1,93 @@
+//! # DiffServe — query-aware model scaling for diffusion serving
+//!
+//! A from-scratch Rust reproduction of **"DiffServe: Efficiently Serving
+//! Text-to-Image Diffusion Models with Query-Aware Model Scaling"**
+//! (MLSys 2025).
+//!
+//! DiffServe serves text-to-image queries through a *cascade*: a fast,
+//! lightweight diffusion model renders every query first; a learned
+//! discriminator scores each output's realism; outputs that clear a
+//! confidence threshold are returned immediately, and only the rest pay for
+//! the heavyweight model. A controller re-solves a MILP every few seconds
+//! to pick the threshold, worker split, and batch sizes that maximize
+//! response quality under throughput and latency-SLO constraints.
+//!
+//! This crate is the workspace facade — it re-exports every subsystem:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`simkit`] | discrete-event engine, seeded distributions, online stats |
+//! | [`linalg`] | dense matrices, eigendecomposition, PSD matrix sqrt |
+//! | [`nn`] | MLP substrate for the discriminator |
+//! | [`milp`] | LP (simplex) + MILP (branch & bound) solver |
+//! | [`workload`] | traces, Poisson arrivals, Azure-style diurnal curves |
+//! | [`imagegen`] | synthetic diffusion-model zoo + discriminator + scorers |
+//! | [`metrics`] | exact Fréchet distance (FID), SLO accounting |
+//! | [`serving`] | the serving system: cascade, workers, controller, policies |
+//! | [`cluster`] | thread-based testbed runtime |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use diffserve::prelude::*;
+//!
+//! // Prepare Cascade 1 (SD-Turbo → SDv1.5): synthesize the dataset, train
+//! // the discriminator, profile the deferral curve f(t).
+//! let runtime = CascadeRuntime::prepare(
+//!     cascade1(FeatureSpec::default()),
+//!     5000,
+//!     42,
+//!     DiscriminatorConfig::default(),
+//! );
+//!
+//! // Serve a diurnal trace with the full DiffServe policy on 16 workers.
+//! let trace = synthesize_azure_trace(&AzureTraceConfig::default())?;
+//! let report = run_trace(
+//!     &runtime,
+//!     &SystemConfig::default(),
+//!     &RunSettings::new(Policy::DiffServe, trace.max_qps()),
+//!     &trace,
+//! );
+//! println!("{}", report.summary());
+//! # Ok::<(), diffserve::workload::TraceError>(())
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and the substitutions made for
+//! GPU-bound components, and `EXPERIMENTS.md` for paper-vs-measured results
+//! of every table and figure.
+
+#![warn(missing_docs)]
+
+pub use diffserve_cluster as cluster;
+pub use diffserve_core as serving;
+pub use diffserve_imagegen as imagegen;
+pub use diffserve_linalg as linalg;
+pub use diffserve_metrics as metrics;
+pub use diffserve_milp as milp;
+pub use diffserve_nn as nn;
+pub use diffserve_simkit as simkit;
+pub use diffserve_trace as workload;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use diffserve_cluster::{run_cluster, ClusterConfig};
+    pub use diffserve_core::prelude::*;
+    pub use diffserve_imagegen::prelude::*;
+    pub use diffserve_metrics::{fid_score, GaussianStats, SloTracker};
+    pub use diffserve_simkit::prelude::*;
+    pub use diffserve_trace::{
+        poisson_arrivals, synthesize_azure_trace, AzureTraceConfig, DemandEstimator, Trace,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let spec = FeatureSpec::default();
+        let c = cascade1(spec);
+        assert_eq!(c.name, "sdturbo");
+        assert!(SystemConfig::default().validate().is_ok());
+    }
+}

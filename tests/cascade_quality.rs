@@ -1,0 +1,140 @@
+//! Integration tests of the cascade-quality claims that motivate the paper
+//! (§2): easy-query share, discriminator superiority over metric-based and
+//! random routing, and the FID dip below all-heavy serving.
+
+use diffserve::imagegen::{
+    cascade1, cascade2, easy_query_fraction, evaluate_cascade, evaluate_single_model,
+    DatasetKind, DiscriminatorConfig, FeatureSpec, PromptDataset, RoutingRule,
+};
+use diffserve::serving::CascadeRuntime;
+use std::sync::OnceLock;
+
+fn runtime() -> &'static CascadeRuntime {
+    static RT: OnceLock<CascadeRuntime> = OnceLock::new();
+    RT.get_or_init(|| {
+        CascadeRuntime::prepare(
+            cascade1(FeatureSpec::default()),
+            3000,
+            555,
+            DiscriminatorConfig {
+                train_prompts: 800,
+                epochs: 15,
+                ..Default::default()
+            },
+        )
+    })
+}
+
+#[test]
+fn easy_query_share_is_in_paper_band_for_both_pairs() {
+    let spec = FeatureSpec::default();
+    let dataset = PromptDataset::synthesize(DatasetKind::MsCoco, 4000, 9, spec);
+    for c in [cascade1(spec), cascade2(spec)] {
+        let frac = easy_query_fraction(&dataset, &c.light, &c.heavy);
+        assert!(
+            (0.15..=0.45).contains(&frac),
+            "{}: easy fraction {frac} outside 20-40% band (±5pp tolerance)",
+            c.name
+        );
+    }
+}
+
+#[test]
+fn discriminator_routing_dominates_random_across_the_sweep() {
+    let rt = runtime();
+    let rule = RoutingRule::Discriminator(&rt.discriminator);
+    for defer_target in [0.3, 0.5, 0.7] {
+        // Discriminator threshold ≈ calibrated deferral target.
+        let disc = evaluate_cascade(&rt.dataset, &rt.spec.light, &rt.spec.heavy, &rule, defer_target);
+        let random = evaluate_cascade(
+            &rt.dataset,
+            &rt.spec.light,
+            &rt.spec.heavy,
+            &RoutingRule::Random { seed: 99 },
+            disc.deferral_fraction,
+        );
+        assert!(
+            disc.fid < random.fid,
+            "at deferral {:.2}: discriminator {:.2} must beat random {:.2}",
+            disc.deferral_fraction,
+            disc.fid,
+            random.fid
+        );
+    }
+}
+
+#[test]
+fn blended_cascade_beats_all_heavy_fid() {
+    let rt = runtime();
+    let rule = RoutingRule::Discriminator(&rt.discriminator);
+    let all_heavy = evaluate_single_model(&rt.dataset, &rt.spec.heavy);
+    let best = (1..10)
+        .map(|i| {
+            evaluate_cascade(
+                &rt.dataset,
+                &rt.spec.light,
+                &rt.spec.heavy,
+                &rule,
+                i as f64 / 10.0,
+            )
+            .fid
+        })
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best < all_heavy.fid,
+        "best blend {best:.2} must beat all-heavy {:.2} (paper §2.2)",
+        all_heavy.fid
+    );
+}
+
+#[test]
+fn fid_latency_curve_is_u_shaped() {
+    // FID falls as deferral rises, dips, then worsens at the all-heavy end.
+    let rt = runtime();
+    let rule = RoutingRule::Discriminator(&rt.discriminator);
+    let fids: Vec<f64> = (0..=10)
+        .map(|i| {
+            evaluate_cascade(
+                &rt.dataset,
+                &rt.spec.light,
+                &rt.spec.heavy,
+                &rule,
+                i as f64 / 10.0,
+            )
+            .fid
+        })
+        .collect();
+    let min_idx = fids
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    assert!(min_idx > 0, "minimum must not be all-light");
+    assert!(min_idx < 10, "minimum must not be all-heavy (U-shape)");
+    assert!(fids[0] > fids[min_idx] + 1.0, "left arm of the U missing");
+    // All-heavy uses threshold > max confidence.
+    let all_heavy = evaluate_cascade(&rt.dataset, &rt.spec.light, &rt.spec.heavy, &rule, 1.01);
+    assert!(all_heavy.fid > fids[min_idx] + 0.5, "right arm of the U missing");
+}
+
+#[test]
+fn fig1a_variant_fids_are_ordered_as_in_the_paper() {
+    let rt = runtime();
+    let spec = FeatureSpec::default();
+    let fid_of = |m: &diffserve::imagegen::DiffusionModel| {
+        evaluate_single_model(&rt.dataset, m).fid
+    };
+    let sdxs = fid_of(&diffserve::imagegen::sdxs(spec));
+    let sdturbo = fid_of(&diffserve::imagegen::sd_turbo(spec));
+    let sdv15 = fid_of(&diffserve::imagegen::sd_v15(spec));
+    assert!(sdxs > sdturbo, "SDXS ({sdxs:.1}) must be worse than SD-Turbo ({sdturbo:.1})");
+    assert!(sdturbo > sdv15, "SD-Turbo ({sdturbo:.1}) must be worse than SDv1.5 ({sdv15:.1})");
+    // Paper band: FIDs between ~16 and ~27 for the 512px family.
+    for (name, fid) in [("sdxs", sdxs), ("sd-turbo", sdturbo), ("sd-v1.5", sdv15)] {
+        assert!(
+            (12.0..=32.0).contains(&fid),
+            "{name} FID {fid:.1} far outside the paper's range"
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! The paper's §4.3 validation: the discrete-event simulator and the
+//! (thread-based) testbed must agree on system-level metrics for the same
+//! workload. The paper reports 0.56% FID and 1.1-point SLO-violation gaps;
+//! this wall-clock miniature allows looser tolerances but the same check.
+
+use diffserve::prelude::*;
+use diffserve_simkit::time::SimDuration;
+use std::sync::OnceLock;
+
+fn runtime() -> &'static CascadeRuntime {
+    static RT: OnceLock<CascadeRuntime> = OnceLock::new();
+    RT.get_or_init(|| {
+        CascadeRuntime::prepare(
+            cascade1(FeatureSpec::default()),
+            1500,
+            2024,
+            DiscriminatorConfig {
+                train_prompts: 500,
+                epochs: 10,
+                ..Default::default()
+            },
+        )
+    })
+}
+
+#[test]
+fn simulator_and_cluster_agree_for_diffserve() {
+    let system = SystemConfig {
+        num_workers: 8,
+        ..Default::default()
+    };
+    let trace = Trace::constant(5.0, SimDuration::from_secs(50)).unwrap();
+    let settings = RunSettings::new(Policy::DiffServe, 5.0);
+
+    let sim = run_trace(runtime(), &system, &settings, &trace);
+    let testbed = run_cluster(
+        runtime(),
+        &ClusterConfig {
+            system: system.clone(),
+            time_scale: if cfg!(debug_assertions) { 0.05 } else { 0.01 },
+        },
+        &settings,
+        &trace,
+    );
+
+    assert!(sim.total_queries > 100);
+    assert!(testbed.total_queries == sim.total_queries, "same arrival stream");
+    let fid_gap = (testbed.fid - sim.fid).abs() / sim.fid;
+    assert!(
+        fid_gap < 0.25,
+        "FID gap {fid_gap:.3}: sim {:.2} vs testbed {:.2}",
+        sim.fid,
+        testbed.fid
+    );
+    let viol_gap = (testbed.violation_ratio - sim.violation_ratio).abs();
+    assert!(viol_gap < 0.30, "violation gap {viol_gap:.3}");
+}
+
+#[test]
+fn simulator_and_cluster_agree_for_clipper_light() {
+    let system = SystemConfig {
+        num_workers: 8,
+        ..Default::default()
+    };
+    let trace = Trace::constant(6.0, SimDuration::from_secs(40)).unwrap();
+    let settings = RunSettings::new(Policy::ClipperLight, 6.0);
+    let sim = run_trace(runtime(), &system, &settings, &trace);
+    let testbed = run_cluster(
+        runtime(),
+        &ClusterConfig {
+            system,
+            time_scale: if cfg!(debug_assertions) { 0.05 } else { 0.01 },
+        },
+        &settings,
+        &trace,
+    );
+    // Light-only serving is overload-free: both should report ~0 violations
+    // and identical quality (same images, same prompts).
+    assert!(sim.violation_ratio < 0.02);
+    assert!(testbed.violation_ratio < 0.05);
+    let fid_gap = (testbed.fid - sim.fid).abs() / sim.fid;
+    assert!(fid_gap < 0.10, "fid gap {fid_gap}");
+}

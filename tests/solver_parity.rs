@@ -1,0 +1,136 @@
+//! Property tests: the MILP allocator and the exhaustive grid allocator are
+//! interchangeable — same optimal threshold on randomized inputs — and the
+//! allocator respects its own constraints.
+
+use diffserve::imagegen::{DeferralProfile, LatencyProfile};
+use diffserve::serving::{solve_exhaustive, solve_milp_allocation, AllocatorInputs};
+use proptest::prelude::*;
+
+fn uniform_deferral() -> DeferralProfile {
+    DeferralProfile::from_confidences((0..500).map(|i| i as f64 / 500.0).collect())
+}
+
+fn thresholds(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.9 * i as f64 / (n - 1) as f64).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn milp_and_exhaustive_agree(
+        demand in 1.0f64..40.0,
+        workers in 4usize..24,
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..2.0,
+        slo in 3.0f64..10.0,
+    ) {
+        let deferral = uniform_deferral();
+        let grid = thresholds(19);
+        let batches = [1usize, 2, 4, 8, 16];
+        let inputs = AllocatorInputs {
+            demand_qps: demand,
+            queue_delay_light: q1,
+            queue_delay_heavy: q2,
+            slo,
+            total_workers: workers,
+            deferral: &deferral,
+            light: LatencyProfile::new(0.10, 0.55),
+            heavy: LatencyProfile::new(1.78, 0.12),
+            discriminator_latency: 0.01,
+            batch_sizes: &batches,
+            thresholds: &grid,
+        };
+        let ex = solve_exhaustive(&inputs);
+        let milp = solve_milp_allocation(&inputs);
+        match (ex, milp) {
+            (Some(e), Some(m)) => {
+                prop_assert!(
+                    (e.threshold - m.threshold).abs() < 1e-9,
+                    "thresholds differ: exhaustive {} vs milp {}",
+                    e.threshold, m.threshold
+                );
+                prop_assert_eq!(e.light_batch, m.light_batch);
+                prop_assert_eq!(e.heavy_batch, m.heavy_batch);
+            }
+            (None, None) => {}
+            (e, m) => prop_assert!(false, "feasibility disagreement: {:?} vs {:?}", e, m),
+        }
+    }
+
+    #[test]
+    fn allocations_satisfy_their_constraints(
+        demand in 1.0f64..30.0,
+        workers in 4usize..20,
+    ) {
+        let deferral = uniform_deferral();
+        let grid = thresholds(19);
+        let batches = [1usize, 2, 4, 8, 16];
+        let inputs = AllocatorInputs {
+            demand_qps: demand,
+            queue_delay_light: 0.1,
+            queue_delay_heavy: 0.3,
+            slo: 5.0,
+            total_workers: workers,
+            deferral: &deferral,
+            light: LatencyProfile::new(0.10, 0.55),
+            heavy: LatencyProfile::new(1.78, 0.12),
+            discriminator_latency: 0.01,
+            batch_sizes: &batches,
+            thresholds: &grid,
+        };
+        if let Some(a) = solve_exhaustive(&inputs) {
+            // Eq. 4: capacity.
+            prop_assert!(a.light_workers + a.heavy_workers <= workers);
+            prop_assert!(a.light_workers >= 1 && a.heavy_workers >= 1);
+            // Eq. 2: light throughput covers demand.
+            let disc = 0.01;
+            let light_lat = inputs.light.exec_latency(a.light_batch).as_secs_f64()
+                + disc * a.light_batch as f64;
+            let t1 = a.light_batch as f64 / light_lat;
+            prop_assert!(a.light_workers as f64 * t1 >= demand - 1e-9);
+            // Eq. 3: heavy throughput covers the deferred fraction.
+            let f = deferral.fraction_deferred(a.threshold);
+            let t2 = inputs.heavy.throughput(a.heavy_batch);
+            prop_assert!(a.heavy_workers as f64 * t2 >= demand * f - 1e-9);
+            // Eq. 1: latency budget.
+            let lat = light_lat
+                + inputs.queue_delay_light
+                + inputs.heavy.exec_latency(a.heavy_batch).as_secs_f64()
+                + inputs.queue_delay_heavy;
+            prop_assert!(lat <= inputs.slo + 1e-9);
+        }
+    }
+
+    #[test]
+    fn threshold_monotone_in_workers(
+        demand in 2.0f64..20.0,
+        base_workers in 4usize..12,
+    ) {
+        let deferral = uniform_deferral();
+        let grid = thresholds(19);
+        let batches = [1usize, 2, 4, 8, 16];
+        let mk = |w: usize| AllocatorInputs {
+            demand_qps: demand,
+            queue_delay_light: 0.1,
+            queue_delay_heavy: 0.3,
+            slo: 5.0,
+            total_workers: w,
+            deferral: &deferral,
+            light: LatencyProfile::new(0.10, 0.55),
+            heavy: LatencyProfile::new(1.78, 0.12),
+            discriminator_latency: 0.01,
+            batch_sizes: &batches,
+            thresholds: &grid,
+        };
+        let small = solve_exhaustive(&mk(base_workers));
+        let large = solve_exhaustive(&mk(base_workers * 2));
+        if let (Some(s), Some(l)) = (small, large) {
+            prop_assert!(
+                l.threshold >= s.threshold - 1e-9,
+                "more workers should never lower the optimal threshold: {} -> {}",
+                s.threshold, l.threshold
+            );
+        }
+    }
+}
