@@ -32,7 +32,11 @@ fn bench_allocator(c: &mut Criterion) {
         b.iter(|| solve_proteus(std::hint::black_box(&inputs)).expect("feasible"))
     });
     c.bench_function("deferral_profile_lookup", |b| {
-        b.iter(|| runtime.deferral.fraction_deferred(std::hint::black_box(0.63)))
+        b.iter(|| {
+            runtime
+                .deferral
+                .fraction_deferred(std::hint::black_box(0.63))
+        })
     });
 }
 

@@ -107,7 +107,13 @@ fn main() {
     println!("fast GPUs land on the heavy tier where their speed buys deferral capacity.");
     let path = write_csv(
         "ext_hetero",
-        &["demand_qps", "fleet", "threshold", "light_workers", "heavy_workers"],
+        &[
+            "demand_qps",
+            "fleet",
+            "threshold",
+            "light_workers",
+            "heavy_workers",
+        ],
         &rows,
     );
     println!("wrote {}", path.display());

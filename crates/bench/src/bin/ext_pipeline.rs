@@ -84,7 +84,10 @@ fn main() {
          best pipeline FID {:.2} vs best cascade FID {:.2}",
         cheapest3,
         cheapest2,
-        frontier.iter().map(|(_, e)| e.fid).fold(f64::INFINITY, f64::min),
+        frontier
+            .iter()
+            .map(|(_, e)| e.fid)
+            .fold(f64::INFINITY, f64::min),
         best2.iter().map(|(_, f)| *f).fold(f64::INFINITY, f64::min),
     );
     let path = write_csv(

@@ -70,7 +70,14 @@ fn main() {
     println!("queries skip the light stage entirely) — quantifying the paper's trade-off.");
     let path = write_csv(
         "ext_predictive",
-        &["threshold", "pred_defer", "pred_latency", "pred_fid", "disc_latency", "disc_fid"],
+        &[
+            "threshold",
+            "pred_defer",
+            "pred_latency",
+            "pred_fid",
+            "disc_latency",
+            "disc_fid",
+        ],
         &rows,
     );
     println!("wrote {}", path.display());

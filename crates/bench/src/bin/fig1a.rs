@@ -69,8 +69,14 @@ fn main() {
         // PickScore / CLIPScore: thresholds swept over observed score
         // quantiles so the deferral fraction covers [0, 1].
         for (name, scores) in [
-            ("pickscore", score_quantiles(dataset, light, &PickScorer::default())),
-            ("clipscore", clip_quantiles(dataset, light, &ClipScorer::default())),
+            (
+                "pickscore",
+                score_quantiles(dataset, light, &PickScorer::default()),
+            ),
+            (
+                "clipscore",
+                clip_quantiles(dataset, light, &ClipScorer::default()),
+            ),
         ] {
             for (q, thr) in scores {
                 let rule = match name {

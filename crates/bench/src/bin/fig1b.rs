@@ -16,22 +16,22 @@ fn main() {
         let light = &runtime.spec.light;
         let heavy = &runtime.spec.heavy;
         let dataset = &runtime.dataset;
-        println!(
-            "\n== Fig 1b: H={} L={} ==",
-            heavy.name(),
-            light.name()
-        );
+        println!("\n== Fig 1b: H={} L={} ==", heavy.name(), light.name());
 
         // Top panel: PickScore difference (heavy − light), same prompt.
         let pick = PickScorer::default();
         let pick_diffs = quality_differences(dataset, light, heavy, |p, img| pick.score(p, img));
         // Bottom panel: confidence difference.
         let disc = &runtime.discriminator;
-        let conf_diffs =
-            quality_differences(dataset, light, heavy, |_, img| disc.confidence(&img.features));
+        let conf_diffs = quality_differences(dataset, light, heavy, |_, img| {
+            disc.confidence(&img.features)
+        });
 
         let mut t = Table::new(&["metric", "p10", "p25", "p50", "p75", "p90", "frac<=0"]);
-        for (name, diffs) in [("pickscore_diff", &pick_diffs), ("confidence_diff", &conf_diffs)] {
+        for (name, diffs) in [
+            ("pickscore_diff", &pick_diffs),
+            ("confidence_diff", &conf_diffs),
+        ] {
             let mut sorted = diffs.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite diffs"));
             let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
@@ -49,11 +49,7 @@ fn main() {
             // Full 21-point CDF for the plot.
             for i in 0..=20 {
                 let p = i as f64 / 20.0;
-                rows.push(vec![
-                    format!("{}-{name}", id.name()),
-                    f3(p),
-                    f3(q(p)),
-                ]);
+                rows.push(vec![format!("{}-{name}", id.name()), f3(p), f3(q(p))]);
             }
         }
         t.print();

@@ -36,8 +36,7 @@ fn main() {
                     let x2 = workers - x1;
                     count += 1;
                     let t1 = b1 as f64
-                        / (light.latency().exec_latency(b1).as_secs_f64()
-                            + disc_lat * b1 as f64);
+                        / (light.latency().exec_latency(b1).as_secs_f64() + disc_lat * b1 as f64);
                     let t2 = b2 as f64 / heavy.latency().exec_latency(b2).as_secs_f64();
                     let light_cap = x1 as f64 * t1;
                     let heavy_cap = x2 as f64 * t2;

@@ -73,13 +73,23 @@ fn main() {
             rows.push(vec![policy.name().into(), "fid".into(), f2(*t), f3(*f)]);
         }
         for (t, v) in &r.violation_series {
-            rows.push(vec![policy.name().into(), "violation".into(), f2(*t), f3(*v)]);
+            rows.push(vec![
+                policy.name().into(),
+                "violation".into(),
+                f2(*t),
+                f3(*v),
+            ]);
         }
         for (t, d) in &r.demand_series {
             rows.push(vec![policy.name().into(), "demand".into(), f2(*t), f3(*d)]);
         }
         for (t, th) in &r.threshold_series {
-            rows.push(vec![policy.name().into(), "threshold".into(), f2(*t), f3(*th)]);
+            rows.push(vec![
+                policy.name().into(),
+                "threshold".into(),
+                f2(*t),
+                f3(*th),
+            ]);
         }
     }
 

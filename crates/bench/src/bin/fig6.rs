@@ -88,7 +88,14 @@ fn main() {
     }
     let path = write_csv(
         "fig6",
-        &["cascade", "policy", "testbed_fid", "testbed_viol", "sim_fid", "sim_viol"],
+        &[
+            "cascade",
+            "policy",
+            "testbed_fid",
+            "testbed_viol",
+            "sim_fid",
+            "sim_viol",
+        ],
         &rows,
     );
     println!("\nwrote {}", path.display());

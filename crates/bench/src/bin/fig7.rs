@@ -8,16 +8,22 @@
 
 use diffserve_bench::{f2, f3, write_csv, CascadeId, Table, DATASET_SIZE, EXPERIMENT_SEED};
 use diffserve_core::CascadeRuntime;
-use diffserve_imagegen::{
-    evaluate_cascade, DiscArch, DiscriminatorConfig, RealClass, RoutingRule,
-};
+use diffserve_imagegen::{evaluate_cascade, DiscArch, DiscriminatorConfig, RealClass, RoutingRule};
 
 fn main() {
     let variants: [(&str, DiscArch, RealClass); 4] = [
         ("resnet_w_gt", DiscArch::ResNet34, RealClass::GroundTruth),
         ("vit_w_gt", DiscArch::ViTB16, RealClass::GroundTruth),
-        ("effnet_w_fake", DiscArch::EfficientNetV2, RealClass::HeavyOutputs),
-        ("effnet_w_gt", DiscArch::EfficientNetV2, RealClass::GroundTruth),
+        (
+            "effnet_w_fake",
+            DiscArch::EfficientNetV2,
+            RealClass::HeavyOutputs,
+        ),
+        (
+            "effnet_w_gt",
+            DiscArch::EfficientNetV2,
+            RealClass::GroundTruth,
+        ),
     ];
 
     let mut rows = Vec::new();

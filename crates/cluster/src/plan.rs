@@ -61,7 +61,11 @@ impl ServingPlan {
         let n = self.tiers.len();
         let spare = n.saturating_sub(light_workers + heavy_workers);
         let target_light = (light_workers + spare).min(n);
-        let mut current_light = self.tiers.iter().filter(|&&t| t == ModelTier::Light).count();
+        let mut current_light = self
+            .tiers
+            .iter()
+            .filter(|&&t| t == ModelTier::Light)
+            .count();
         // Flip workers one at a time until the count matches.
         for i in 0..n {
             if current_light == target_light {

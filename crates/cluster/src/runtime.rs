@@ -84,7 +84,7 @@ impl Shared {
                 continue;
             }
             let d = self.depths[i].load(Ordering::Relaxed);
-            if best.map_or(true, |(bd, _)| d < bd) {
+            if best.is_none_or(|(bd, _)| d < bd) {
                 best = Some((d, i));
             }
         }
@@ -247,10 +247,8 @@ pub fn run_cluster(
                 responses.push(r);
             }
             Outcome::Dropped { arrival, at } => {
-                slo_tracker.record_drop(
-                    SimTime::from_secs_f64(arrival),
-                    SimTime::from_secs_f64(at),
-                );
+                slo_tracker
+                    .record_drop(SimTime::from_secs_f64(arrival), SimTime::from_secs_f64(at));
             }
         }
     }
@@ -549,14 +547,24 @@ fn stage_latency(
 ) -> f64 {
     match tier {
         ModelTier::Light => {
-            let base = runtime.spec.light.latency().exec_latency(batch).as_secs_f64();
+            let base = runtime
+                .spec
+                .light
+                .latency()
+                .exec_latency(batch)
+                .as_secs_f64();
             if uses_cascade {
                 base + runtime.discriminator.latency().as_secs_f64() * batch as f64
             } else {
                 base
             }
         }
-        ModelTier::Heavy => runtime.spec.heavy.latency().exec_latency(batch).as_secs_f64(),
+        ModelTier::Heavy => runtime
+            .spec
+            .heavy
+            .latency()
+            .exec_latency(batch)
+            .as_secs_f64(),
     }
 }
 
@@ -632,7 +640,11 @@ mod tests {
         assert_eq!(report.completed + report.dropped, report.total_queries);
         assert!(report.fid.is_finite());
         // At modest load the cluster should mostly meet the SLO.
-        assert!(report.violation_ratio < 0.35, "viol {}", report.violation_ratio);
+        assert!(
+            report.violation_ratio < 0.35,
+            "viol {}",
+            report.violation_ratio
+        );
     }
 
     #[test]
@@ -644,7 +656,11 @@ mod tests {
             &RunSettings::new(Policy::ClipperLight, 8.0),
             &short_trace(5.0),
         );
-        assert!(report.violation_ratio < 0.05, "viol {}", report.violation_ratio);
+        assert!(
+            report.violation_ratio < 0.05,
+            "viol {}",
+            report.violation_ratio
+        );
         assert_eq!(report.heavy_fraction, 0.0);
     }
 
@@ -658,7 +674,12 @@ mod tests {
         let cluster = run_cluster(test_runtime(), &cfg, &settings, &trace);
         let sim = diffserve_core::run_trace(test_runtime(), &cfg.system, &settings, &trace);
         let fid_gap = (cluster.fid - sim.fid).abs() / sim.fid;
-        assert!(fid_gap < 0.25, "fid gap {fid_gap}: {} vs {}", cluster.fid, sim.fid);
+        assert!(
+            fid_gap < 0.25,
+            "fid gap {fid_gap}: {} vs {}",
+            cluster.fid,
+            sim.fid
+        );
         let viol_gap = (cluster.violation_ratio - sim.violation_ratio).abs();
         assert!(viol_gap < 0.3, "violation gap {viol_gap}");
     }

@@ -204,11 +204,8 @@ pub fn solve_milp_allocation(inputs: &AllocatorInputs<'_>) -> Option<Allocation>
     let mut heavy_tp: Vec<(diffserve_milp::VarId, f64)> = (0..nb)
         .map(|k| (w2[k], inputs.heavy.throughput(inputs.batch_sizes[k])))
         .collect();
-    for l in 0..nt {
-        heavy_tp.push((
-            z[l],
-            -d * inputs.deferral.fraction_deferred(inputs.thresholds[l]),
-        ));
+    for (&z_l, &t_l) in z.iter().zip(inputs.thresholds.iter()) {
+        heavy_tp.push((z_l, -d * inputs.deferral.fraction_deferred(t_l)));
     }
     p.add_constraint("heavy-throughput", &heavy_tp, Sense::Ge, 0.0);
 
@@ -228,8 +225,8 @@ pub fn solve_milp_allocation(inputs: &AllocatorInputs<'_>) -> Option<Allocation>
         let mut lat: Vec<(diffserve_milp::VarId, f64)> = (0..nb)
             .map(|j| (y[j], light_stage_latency(inputs, inputs.batch_sizes[j])))
             .collect();
-        for k in 0..nb {
-            lat.push((v[k], inputs.heavy.exec_latency(inputs.batch_sizes[k]).as_secs_f64()));
+        for (&v_k, &b_k) in v.iter().zip(inputs.batch_sizes.iter()) {
+            lat.push((v_k, inputs.heavy.exec_latency(b_k).as_secs_f64()));
         }
         p.add_constraint("latency", &lat, Sense::Le, lat_budget);
     }
@@ -240,9 +237,8 @@ pub fn solve_milp_allocation(inputs: &AllocatorInputs<'_>) -> Option<Allocation>
     // workers with the remainder on the heavy tier). The penalty scales are
     // far below the threshold grid spacing, so they can never trade away
     // objective value.
-    let mut obj: Vec<(diffserve_milp::VarId, f64)> = (0..nt)
-        .map(|l| (z[l], inputs.thresholds[l]))
-        .collect();
+    let mut obj: Vec<(diffserve_milp::VarId, f64)> =
+        (0..nt).map(|l| (z[l], inputs.thresholds[l])).collect();
     for j in 0..nb {
         obj.push((y[j], -1e-4 * j as f64));
         obj.push((v[j], -1e-5 * j as f64));
@@ -343,7 +339,7 @@ pub fn solve_proteus(inputs: &AllocatorInputs<'_>) -> Option<(Allocation, f64)> 
                         },
                         frac,
                     );
-                    let better = best.as_ref().map_or(true, |(_, bf)| frac > *bf);
+                    let better = best.as_ref().is_none_or(|(_, bf)| frac > *bf);
                     if better {
                         best = Some(candidate);
                     }
@@ -487,7 +483,11 @@ mod tests {
         let high = solve_proteus(&cascade1_inputs(&deferral, &batches, &thresholds, 25.0))
             .expect("feasible");
         assert!(low.1 > high.1, "heavy fraction should fall with demand");
-        assert!(low.1 > 0.8, "ample capacity should go mostly heavy: {}", low.1);
+        assert!(
+            low.1 > 0.8,
+            "ample capacity should go mostly heavy: {}",
+            low.1
+        );
     }
 
     #[test]

@@ -70,7 +70,9 @@ impl SystemConfig {
             return Err(ConfigError::new("need at least 2 workers (one per tier)"));
         }
         if self.batch_sizes.is_empty() || self.batch_sizes.contains(&0) {
-            return Err(ConfigError::new("batch sizes must be non-empty and positive"));
+            return Err(ConfigError::new(
+                "batch sizes must be non-empty and positive",
+            ));
         }
         if self.threshold_grid_steps < 2 {
             return Err(ConfigError::new("threshold grid needs at least 2 steps"));
@@ -85,7 +87,9 @@ impl SystemConfig {
             return Err(ConfigError::new("EWMA alpha must lie in (0, 1]"));
         }
         if self.control_interval.is_zero() || self.metrics_window.is_zero() {
-            return Err(ConfigError::new("control interval and metrics window must be positive"));
+            return Err(ConfigError::new(
+                "control interval and metrics window must be positive",
+            ));
         }
         Ok(())
     }
@@ -132,13 +136,55 @@ mod tests {
     fn rejects_bad_configs() {
         let base = SystemConfig::default();
         let cases: Vec<(&str, SystemConfig)> = vec![
-            ("workers", SystemConfig { num_workers: 1, ..base.clone() }),
-            ("batches", SystemConfig { batch_sizes: vec![], ..base.clone() }),
-            ("zero batch", SystemConfig { batch_sizes: vec![0], ..base.clone() }),
-            ("grid", SystemConfig { threshold_grid_steps: 1, ..base.clone() }),
-            ("cap", SystemConfig { max_threshold: 1.5, ..base.clone() }),
-            ("lambda", SystemConfig { over_provision: 0.5, ..base.clone() }),
-            ("alpha", SystemConfig { ewma_alpha: 0.0, ..base.clone() }),
+            (
+                "workers",
+                SystemConfig {
+                    num_workers: 1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "batches",
+                SystemConfig {
+                    batch_sizes: vec![],
+                    ..base.clone()
+                },
+            ),
+            (
+                "zero batch",
+                SystemConfig {
+                    batch_sizes: vec![0],
+                    ..base.clone()
+                },
+            ),
+            (
+                "grid",
+                SystemConfig {
+                    threshold_grid_steps: 1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "cap",
+                SystemConfig {
+                    max_threshold: 1.5,
+                    ..base.clone()
+                },
+            ),
+            (
+                "lambda",
+                SystemConfig {
+                    over_provision: 0.5,
+                    ..base.clone()
+                },
+            ),
+            (
+                "alpha",
+                SystemConfig {
+                    ewma_alpha: 0.0,
+                    ..base.clone()
+                },
+            ),
         ];
         for (what, cfg) in cases {
             assert!(cfg.validate().is_err(), "{what} should be rejected");
@@ -160,9 +206,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let err = SystemConfig { num_workers: 0, ..Default::default() }
-            .validate()
-            .unwrap_err();
+        let err = SystemConfig {
+            num_workers: 0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
         assert!(format!("{err}").contains("workers"));
     }
 }

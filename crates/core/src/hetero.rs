@@ -194,7 +194,7 @@ pub fn solve_heterogeneous(inputs: &HeteroInputs<'_>) -> Option<HeteroAllocation
             };
             let better = best
                 .as_ref()
-                .map_or(true, |b| threshold > b.threshold + 1e-12);
+                .is_none_or(|b| threshold > b.threshold + 1e-12);
             if better {
                 best = Some(candidate);
             }
@@ -285,7 +285,10 @@ mod tests {
         let a = solve_heterogeneous(&inputs(&classes, &deferral, &thresholds, &batches, 6.0))
             .expect("feasible");
         // All A100s should serve heavy; V100s cover the light stage.
-        assert_eq!(a.heavy_per_class[1], 8, "A100s belong on the heavy tier: {a:?}");
+        assert_eq!(
+            a.heavy_per_class[1], 8,
+            "A100s belong on the heavy tier: {a:?}"
+        );
         assert!(a.light_per_class[0] >= 1);
     }
 

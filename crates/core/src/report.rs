@@ -119,7 +119,10 @@ impl RunReport {
         } else {
             fid_series.iter().map(|(_, f)| f).sum::<f64>() / fid_series.len() as f64
         };
-        let heavy_count = responses.iter().filter(|r| r.tier == ModelTier::Heavy).count();
+        let heavy_count = responses
+            .iter()
+            .filter(|r| r.tier == ModelTier::Heavy)
+            .count();
         let violation_series = slo
             .windowed_violation_ratio(window)
             .into_iter()

@@ -51,8 +51,7 @@ impl CascadeRuntime {
             derive_seed(seed, 0xDA7A),
             feature_spec,
         );
-        let discriminator =
-            Discriminator::train(&dataset, &spec.light, &spec.heavy, disc_config);
+        let discriminator = Discriminator::train(&dataset, &spec.light, &spec.heavy, disc_config);
 
         // Profile f(t) on held-out prompts, exactly like the paper's offline
         // initialization.

@@ -125,7 +125,11 @@ struct ServingSim<'a> {
 }
 
 impl<'a> ServingSim<'a> {
-    fn new(config: &'a SystemConfig, settings: &'a RunSettings, runtime: &'a CascadeRuntime) -> Self {
+    fn new(
+        config: &'a SystemConfig,
+        settings: &'a RunSettings,
+        runtime: &'a CascadeRuntime,
+    ) -> Self {
         config.validate().expect("valid system config");
         // Bootstrap: half the fleet per tier until the first control tick
         // (static policies overwrite this immediately below).
@@ -351,9 +355,17 @@ impl<'a> ServingSim<'a> {
             .count();
 
         let (from, to, count) = if current_light > target_light {
-            (ModelTier::Light, ModelTier::Heavy, current_light - target_light)
+            (
+                ModelTier::Light,
+                ModelTier::Heavy,
+                current_light - target_light,
+            )
         } else {
-            (ModelTier::Heavy, ModelTier::Light, target_light - current_light)
+            (
+                ModelTier::Heavy,
+                ModelTier::Light,
+                target_light - current_light,
+            )
         };
         if count == 0 {
             return;
@@ -428,10 +440,7 @@ impl<'a> ServingSim<'a> {
         // Drop-front policy: shed queries that cannot finish this stage in
         // time (counted as SLO violations, §4.1).
         if self.config.drop_predicted_misses {
-            loop {
-                let Some(&front) = self.workers[idx].queue.front() else {
-                    break;
-                };
+            while let Some(&front) = self.workers[idx].queue.front() {
                 let b_est = self.workers[idx].queue.len().min(bmax);
                 let eta = now + SimDuration::from_secs_f64(self.stage_latency(tier, b_est));
                 let rec = self.queries[front as usize];
@@ -570,8 +579,7 @@ impl<'a> ServingSim<'a> {
             .filter(|w| w.target_tier() == ModelTier::Heavy)
             .map(|w| w.queue.len())
             .sum();
-        let heavy_rate =
-            (self.heavy_arrivals_since_tick as f64 / interval.as_secs_f64()).max(0.05);
+        let heavy_rate = (self.heavy_arrivals_since_tick as f64 / interval.as_secs_f64()).max(0.05);
         let light_rate = demand.max(0.05);
         let (q1, q2) = match self.settings.knobs.queue_model {
             QueueModel::LittlesLaw => (
@@ -732,10 +740,9 @@ pub fn run_trace(
 }
 
 fn build_report(state: ServingSim<'_>, _horizon: SimTime) -> RunReport {
-    let to_secs =
-        |v: Vec<(SimTime, f64)>| -> Vec<(f64, f64)> {
-            v.into_iter().map(|(t, x)| (t.as_secs_f64(), x)).collect()
-        };
+    let to_secs = |v: Vec<(SimTime, f64)>| -> Vec<(f64, f64)> {
+        v.into_iter().map(|(t, x)| (t.as_secs_f64(), x)).collect()
+    };
     RunReport::assemble(
         state.settings.policy,
         state.total_arrivals,
@@ -820,8 +827,17 @@ mod tests {
             &flat_trace(4.0, 40),
         );
         // Light: everything on time, poor FID. Heavy: better FID.
-        assert!(light.violation_ratio < 0.02, "light viol {}", light.violation_ratio);
-        assert!(light.fid > heavy.fid, "light fid {} vs heavy {}", light.fid, heavy.fid);
+        assert!(
+            light.violation_ratio < 0.02,
+            "light viol {}",
+            light.violation_ratio
+        );
+        assert!(
+            light.fid > heavy.fid,
+            "light fid {} vs heavy {}",
+            light.fid,
+            heavy.fid
+        );
         assert!(light.mean_latency < heavy.mean_latency);
         assert_eq!(light.heavy_fraction, 0.0);
         assert_eq!(heavy.heavy_fraction, 1.0);
@@ -865,7 +881,11 @@ mod tests {
             ds.fid,
             pr.fid
         );
-        assert!(ds.violation_ratio < 0.2, "ds violations {}", ds.violation_ratio);
+        assert!(
+            ds.violation_ratio < 0.2,
+            "ds violations {}",
+            ds.violation_ratio
+        );
     }
 
     #[test]
@@ -883,7 +903,11 @@ mod tests {
             report.violation_ratio
         );
         // Under pressure most traffic stays light.
-        assert!(report.heavy_fraction < 0.5, "heavy {}", report.heavy_fraction);
+        assert!(
+            report.heavy_fraction < 0.5,
+            "heavy {}",
+            report.heavy_fraction
+        );
     }
 
     #[test]
@@ -936,7 +960,10 @@ mod tests {
         // system metrics (worker identity may differ).
         assert_eq!(milp.threshold_series.len(), ex.threshold_series.len());
         for (a, b) in milp.threshold_series.iter().zip(&ex.threshold_series) {
-            assert!((a.1 - b.1).abs() < 0.05, "thresholds diverged: {a:?} vs {b:?}");
+            assert!(
+                (a.1 - b.1).abs() < 0.05,
+                "thresholds diverged: {a:?} vs {b:?}"
+            );
         }
         assert!((milp.violation_ratio - ex.violation_ratio).abs() < 0.1);
     }

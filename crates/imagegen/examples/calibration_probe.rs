@@ -8,18 +8,37 @@ fn main() {
     println!("== Fig1a variants (FID @ batch-1 latency) ==");
     for m in fig1a_variants(spec) {
         let e = evaluate_single_model(&dataset, &m);
-        println!("{:20} lat={:5.2}s FID={:6.2}", m.name(), e.mean_latency, e.fid);
+        println!(
+            "{:20} lat={:5.2}s FID={:6.2}",
+            m.name(),
+            e.mean_latency,
+            e.fid
+        );
     }
     let c = cascade1(spec);
-    println!("easy fraction c1: {:.3}", easy_query_fraction(&dataset, &c.light, &c.heavy));
+    println!(
+        "easy fraction c1: {:.3}",
+        easy_query_fraction(&dataset, &c.light, &c.heavy)
+    );
     let c2 = cascade2(spec);
-    println!("easy fraction c2: {:.3}", easy_query_fraction(&dataset, &c2.light, &c2.heavy));
+    println!(
+        "easy fraction c2: {:.3}",
+        easy_query_fraction(&dataset, &c2.light, &c2.heavy)
+    );
     let ddb = PromptDataset::synthesize(DatasetKind::DiffusionDb, 3000, 43, spec);
     let c3 = cascade3(spec);
-    println!("easy fraction c3: {:.3}", easy_query_fraction(&ddb, &c3.light, &c3.heavy));
+    println!(
+        "easy fraction c3: {:.3}",
+        easy_query_fraction(&ddb, &c3.light, &c3.heavy)
+    );
     for m in [&c3.light, &c3.heavy] {
         let e = evaluate_single_model(&ddb, m);
-        println!("{:20} lat={:5.2}s FID={:6.2}", m.name(), e.mean_latency, e.fid);
+        println!(
+            "{:20} lat={:5.2}s FID={:6.2}",
+            m.name(),
+            e.mean_latency,
+            e.fid
+        );
     }
     println!("== Cascade 1 discriminator sweep ==");
     let disc = Discriminator::train(&dataset, &c.light, &c.heavy, DiscriminatorConfig::default());
@@ -28,12 +47,24 @@ fn main() {
     for i in 0..=10 {
         let t = i as f64 / 10.0;
         let e = evaluate_cascade(&dataset, &c.light, &c.heavy, &rule, t);
-        println!("t={:4.2} defer={:5.3} lat={:5.2} FID={:6.2}", t, e.deferral_fraction, e.mean_latency, e.fid);
+        println!(
+            "t={:4.2} defer={:5.3} lat={:5.2} FID={:6.2}",
+            t, e.deferral_fraction, e.mean_latency, e.fid
+        );
     }
     println!("== Random sweep ==");
     for i in [2, 5, 8] {
         let t = i as f64 / 10.0;
-        let e = evaluate_cascade(&dataset, &c.light, &c.heavy, &RoutingRule::Random{seed: 7}, t);
-        println!("p={:4.2} defer={:5.3} FID={:6.2}", t, e.deferral_fraction, e.fid);
+        let e = evaluate_cascade(
+            &dataset,
+            &c.light,
+            &c.heavy,
+            &RoutingRule::Random { seed: 7 },
+            t,
+        );
+        println!(
+            "p={:4.2} defer={:5.3} FID={:6.2}",
+            t, e.deferral_fraction, e.fid
+        );
     }
 }

@@ -73,9 +73,7 @@ pub fn evaluate_cascade(
     for prompt in prompts {
         let light_img = light.generate(prompt);
         let keep_light = match rule {
-            RoutingRule::Discriminator(disc) => {
-                disc.confidence(&light_img.features) >= threshold
-            }
+            RoutingRule::Discriminator(disc) => disc.confidence(&light_img.features) >= threshold,
             RoutingRule::PickScore(s) => s.score(prompt, &light_img) >= threshold,
             RoutingRule::ClipScore(s) => s.score(prompt, &light_img) >= threshold,
             RoutingRule::Random { .. } => {
@@ -248,8 +246,13 @@ mod tests {
         let eval_d = evaluate_cascade(&dataset, &light, &heavy, &disc_rule, 0.5);
         // Random routing with matching deferral fraction.
         let rand_rule = RoutingRule::Random { seed: 77 };
-        let eval_r =
-            evaluate_cascade(&dataset, &light, &heavy, &rand_rule, eval_d.deferral_fraction);
+        let eval_r = evaluate_cascade(
+            &dataset,
+            &light,
+            &heavy,
+            &rand_rule,
+            eval_d.deferral_fraction,
+        );
         assert!(
             (eval_d.deferral_fraction - eval_r.deferral_fraction).abs() < 0.05,
             "deferral fractions must be comparable"

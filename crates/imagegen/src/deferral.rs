@@ -38,7 +38,9 @@ impl DeferralProfile {
             "deferral profile needs at least one confidence sample"
         );
         confidences.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
-        DeferralProfile { sorted: confidences }
+        DeferralProfile {
+            sorted: confidences,
+        }
     }
 
     /// Number of samples backing the profile.
@@ -80,9 +82,7 @@ impl DeferralProfile {
     /// MILP's threshold discretization.
     pub fn threshold_grid(steps: usize) -> Vec<f64> {
         assert!(steps >= 2, "grid needs at least two points");
-        (0..steps)
-            .map(|i| i as f64 / (steps - 1) as f64)
-            .collect()
+        (0..steps).map(|i| i as f64 / (steps - 1) as f64).collect()
     }
 
     /// Merges fresh runtime samples into the profile, keeping at most
@@ -154,7 +154,8 @@ mod tests {
 
     #[test]
     fn absorb_keeps_distribution_shape() {
-        let mut p = DeferralProfile::from_confidences((0..1000).map(|i| i as f64 / 1000.0).collect());
+        let mut p =
+            DeferralProfile::from_confidences((0..1000).map(|i| i as f64 / 1000.0).collect());
         p.absorb(&[0.5; 100], 500);
         assert!(p.sample_count() <= 500);
         // Median should remain near 0.5.

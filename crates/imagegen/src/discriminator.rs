@@ -162,7 +162,10 @@ impl Discriminator {
         heavy: &DiffusionModel,
         config: DiscriminatorConfig,
     ) -> Self {
-        assert!(config.train_prompts > 0, "need at least one training prompt");
+        assert!(
+            config.train_prompts > 0,
+            "need at least one training prompt"
+        );
         assert!(
             config.train_prompts <= dataset.len(),
             "train_prompts {} exceeds dataset size {}",
@@ -423,7 +426,10 @@ mod tests {
 
     #[test]
     fn architectures_have_paper_latencies() {
-        assert_eq!(DiscArch::EfficientNetV2.latency(), SimDuration::from_millis(10));
+        assert_eq!(
+            DiscArch::EfficientNetV2.latency(),
+            SimDuration::from_millis(10)
+        );
         assert_eq!(DiscArch::ResNet34.latency(), SimDuration::from_millis(2));
         assert_eq!(DiscArch::ViTB16.latency(), SimDuration::from_millis(5));
         assert!(!DiscArch::EfficientNetV2.name().is_empty());

@@ -99,8 +99,16 @@ impl FeatureSpec {
         let mut rng = seeded_rng(seed);
         let normal = Normal::standard();
         Mat::from_fn(n, DIM, |_, j| {
-            let sigma = if j == ARTIFACT_AXIS { self.artifact_noise } else { 1.0 };
-            let mu = if SHARED_AXES.contains(&j) { shared_offset } else { 0.0 };
+            let sigma = if j == ARTIFACT_AXIS {
+                self.artifact_noise
+            } else {
+                1.0
+            };
+            let mu = if SHARED_AXES.contains(&j) {
+                shared_offset
+            } else {
+                0.0
+            };
             (mu + normal.draw(&mut rng) * sigma) * self.feature_scale
         })
     }
@@ -130,7 +138,11 @@ mod tests {
         let cov = m.covariance();
         for i in 0..DIM {
             let var = cov[(i, i)];
-            let sigma = if i == ARTIFACT_AXIS { spec.artifact_noise } else { 1.0 };
+            let sigma = if i == ARTIFACT_AXIS {
+                spec.artifact_noise
+            } else {
+                1.0
+            };
             let expected = (spec.feature_scale * sigma).powi(2);
             assert!(
                 (var - expected).abs() < 0.15 * expected,

@@ -51,8 +51,8 @@ pub mod scorers;
 pub mod zoo;
 
 pub use cascade::{
-    easy_query_fraction, evaluate_cascade, evaluate_single_model, quality_differences,
-    CascadeEval, RoutingRule,
+    easy_query_fraction, evaluate_cascade, evaluate_single_model, quality_differences, CascadeEval,
+    RoutingRule,
 };
 pub use deferral::DeferralProfile;
 pub use discriminator::{DiscArch, Discriminator, DiscriminatorConfig, RealClass};

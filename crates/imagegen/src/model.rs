@@ -118,7 +118,9 @@ impl DiffusionModel {
         // Stable per-model stream tag derived from the name bytes.
         let seed_tag = name
             .bytes()
-            .fold(0xCAFE_F00Du64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64))
+            .fold(0xCAFE_F00Du64, |acc, b| {
+                acc.wrapping_mul(131).wrapping_add(b as u64)
+            })
             .wrapping_add(steps as u64);
         DiffusionModel {
             name,

@@ -238,8 +238,18 @@ mod tests {
         let all_light = p.evaluate(&f.dataset, &[0.0, 0.0]);
         let all_heavy = p.evaluate(&f.dataset, &[1.01, 1.01]);
         let blended = p.evaluate(&f.dataset, &[0.6, 0.6]);
-        assert!(blended.fid < all_light.fid, "{} vs {}", blended.fid, all_light.fid);
-        assert!(blended.fid < all_heavy.fid, "{} vs {}", blended.fid, all_heavy.fid);
+        assert!(
+            blended.fid < all_light.fid,
+            "{} vs {}",
+            blended.fid,
+            all_light.fid
+        );
+        assert!(
+            blended.fid < all_heavy.fid,
+            "{} vs {}",
+            blended.fid,
+            all_heavy.fid
+        );
         assert!(blended.mean_latency < all_heavy.mean_latency);
     }
 

@@ -83,7 +83,11 @@ impl PredictiveRouter {
     /// # Panics
     ///
     /// Panics if the dataset is smaller than the training-prompt request.
-    pub fn train(dataset: &PromptDataset, light: &DiffusionModel, config: PredictiveConfig) -> Self {
+    pub fn train(
+        dataset: &PromptDataset,
+        light: &DiffusionModel,
+        config: PredictiveConfig,
+    ) -> Self {
         assert!(
             config.train_prompts <= dataset.len(),
             "train_prompts exceeds dataset size"

@@ -207,7 +207,11 @@ mod tests {
     #[test]
     fn style_bias_varies_across_prompts() {
         let d = PromptDataset::synthesize(DatasetKind::MsCoco, 200, 5, FeatureSpec::default());
-        let min = d.prompts().iter().map(|p| p.style_bias).fold(f64::INFINITY, f64::min);
+        let min = d
+            .prompts()
+            .iter()
+            .map(|p| p.style_bias)
+            .fold(f64::INFINITY, f64::min);
         let max = d
             .prompts()
             .iter()

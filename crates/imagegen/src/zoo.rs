@@ -247,8 +247,7 @@ mod tests {
         // lower expected error on a mean-difficulty prompt.
         let spec = FeatureSpec::default();
         let variants = fig1a_variants(spec);
-        let err =
-            |m: &DiffusionModel| 1.0 - m.quality_profile().expected_quality(0.33);
+        let err = |m: &DiffusionModel| 1.0 - m.quality_profile().expected_quality(0.33);
         // SDXS is the worst, SDv1.5 the best of the 512px family.
         let sdxs_err = err(&variants[0]);
         let sdv15_err = err(&variants[5]);

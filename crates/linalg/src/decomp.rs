@@ -182,8 +182,7 @@ pub fn sym_eigen(a: &Mat) -> Result<SymEigen, DecompError> {
             }
         }
         if off.sqrt() <= 1e-12 * scale {
-            let mut pairs: Vec<(f64, usize)> =
-                (0..n).map(|i| (m[(i, i)], i)).collect();
+            let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
             pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite eigenvalues"));
             let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
             let vectors = Mat::from_fn(n, n, |r, c| v[(r, pairs[c].1)]);

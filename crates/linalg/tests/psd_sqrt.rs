@@ -1,0 +1,94 @@
+//! PSD matrix square-root round-trips. `sqrtm_psd` sits on the FID critical
+//! path (`diffserve-metrics` computes tr((Σ₁Σ₂)^½) through it), so the
+//! square-root of known PSD matrices must reconstruct exactly and the
+//! round-trip sqrt(A)·sqrt(A) must hold to tight tolerance.
+
+use diffserve_linalg::{sqrtm_psd, sym_eigen, Mat};
+
+#[test]
+fn sqrt_of_diagonal_is_elementwise() {
+    let a = Mat::from_diag(&[4.0, 9.0, 0.25, 0.0]);
+    let s = sqrtm_psd(&a).expect("diagonal PSD");
+    for (i, want) in [2.0, 3.0, 0.5, 0.0].into_iter().enumerate() {
+        assert!((s[(i, i)] - want).abs() < 1e-12, "entry {i}: {}", s[(i, i)]);
+    }
+    assert!(
+        s.max_abs_diff(&s.transpose()) < 1e-12,
+        "sqrt must stay symmetric"
+    );
+}
+
+#[test]
+fn known_2x2_root_is_recovered() {
+    // A = B·B for B = [[2, 1], [1, 3]]; the principal root of A is B itself.
+    let b = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+    let a = b.matmul(&b);
+    let s = sqrtm_psd(&a).expect("SPD input");
+    assert!(
+        s.max_abs_diff(&b) < 1e-10,
+        "expected the principal root, diff {}",
+        s.max_abs_diff(&b)
+    );
+}
+
+#[test]
+fn round_trip_reconstructs_structured_psd_matrices() {
+    // Gram matrices X·Xᵀ are PSD by construction, including rank-deficient
+    // ones (more rows than columns ⇒ rank ≤ cols).
+    let factors = [
+        Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]),
+        Mat::from_rows(&[&[0.5, -1.5, 2.5], &[1.0, 0.0, -1.0], &[2.0, 2.0, 2.0]]),
+        Mat::from_rows(&[&[1e-3, 0.0], &[0.0, 1e3], &[1.0, 1.0]]),
+    ];
+    for (k, x) in factors.iter().enumerate() {
+        let mut a = x.matmul(&x.transpose());
+        a.symmetrize();
+        let s = sqrtm_psd(&a).expect("Gram matrix is PSD");
+        let rt = s.matmul(&s);
+        let scale = a.frobenius_norm().max(1.0);
+        assert!(
+            a.max_abs_diff(&rt) < 1e-8 * scale,
+            "factor {k}: round-trip diff {}",
+            a.max_abs_diff(&rt)
+        );
+        // The principal root must itself be PSD: symmetric with
+        // non-negative spectrum.
+        assert!(s.is_symmetric(1e-9));
+        let eig = sym_eigen(&s).expect("symmetric root");
+        assert!(
+            eig.values.iter().all(|&l| l > -1e-8 * scale),
+            "factor {k}: negative root eigenvalue {:?}",
+            eig.values
+        );
+    }
+}
+
+#[test]
+fn sqrt_commutes_with_spectral_scaling() {
+    // sqrt(c²·A) = c·sqrt(A) for c ≥ 0.
+    let x = Mat::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+    let mut a = x.matmul(&x.transpose());
+    a.symmetrize();
+    let s = sqrtm_psd(&a).expect("PSD");
+    let scaled = sqrtm_psd(&a.scale(9.0)).expect("PSD");
+    assert!(
+        scaled.max_abs_diff(&s.scale(3.0)) < 1e-9,
+        "diff {}",
+        scaled.max_abs_diff(&s.scale(3.0))
+    );
+}
+
+#[test]
+fn negative_eigenvalues_are_clamped_to_zero() {
+    // Eigenvalues ±1: the documented contract clamps the negative branch
+    // (standard FID practice), leaving the root of the projection onto the
+    // positive eigenspace: ½·[[1, 1], [1, 1]].
+    let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+    let s = sqrtm_psd(&a).expect("clamped root");
+    let want = Mat::from_rows(&[&[0.5, 0.5], &[0.5, 0.5]]);
+    assert!(
+        s.max_abs_diff(&want) < 1e-10,
+        "diff {}",
+        s.max_abs_diff(&want)
+    );
+}

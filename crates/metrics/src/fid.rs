@@ -165,12 +165,7 @@ mod tests {
     use proptest::prelude::*;
     use rand::{Rng, SeedableRng};
 
-    fn gaussian_samples(
-        n: usize,
-        mean: &[f64],
-        scale: f64,
-        seed: u64,
-    ) -> Mat {
+    fn gaussian_samples(n: usize, mean: &[f64], scale: f64, seed: u64) -> Mat {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let d = mean.len();
         Mat::from_fn(n, d, |_, j| {

@@ -202,7 +202,9 @@ mod tests {
         assert_eq!(s.violation_ratio(), 0.0);
         assert_eq!(s.mean_latency(), 0.0);
         assert_eq!(s.total(), 0);
-        assert!(s.windowed_violation_ratio(SimDuration::from_secs(1)).is_empty());
+        assert!(s
+            .windowed_violation_ratio(SimDuration::from_secs(1))
+            .is_empty());
     }
 
     #[test]

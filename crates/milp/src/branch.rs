@@ -169,7 +169,7 @@ pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<MilpSoluti
                 let obj = node.relaxation.objective;
                 let better = incumbent
                     .as_ref()
-                    .map_or(true, |b| norm(obj) > norm(b.objective) + options.gap);
+                    .is_none_or(|b| norm(obj) > norm(b.objective) + options.gap);
                 if better {
                     incumbent = Some(MilpSolution {
                         objective: obj,
@@ -187,7 +187,15 @@ pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<MilpSoluti
                     let mut upper = node.upper.clone();
                     upper[v.index()] = floor;
                     if node.lower[v.index()] <= floor {
-                        push_child(problem, &node.lower, &upper, norm, &incumbent, options, &mut heap);
+                        push_child(
+                            problem,
+                            &node.lower,
+                            &upper,
+                            norm,
+                            &incumbent,
+                            options,
+                            &mut heap,
+                        );
                     }
                 }
                 // Up branch: x >= floor + 1.
@@ -195,7 +203,15 @@ pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<MilpSoluti
                     let mut lower = node.lower.clone();
                     lower[v.index()] = floor + 1.0;
                     if lower[v.index()] <= node.upper[v.index()] {
-                        push_child(problem, &lower, &node.upper, norm, &incumbent, options, &mut heap);
+                        push_child(
+                            problem,
+                            &lower,
+                            &node.upper,
+                            norm,
+                            &incumbent,
+                            options,
+                            &mut heap,
+                        );
                     }
                 }
             }
@@ -444,7 +460,12 @@ mod tests {
                     .collect();
                 // Keep rhs positive with a Le sense so the origin stays
                 // feasible and the IP is never infeasible.
-                p.add_constraint(format!("c{c}"), &terms, Sense::Le, rng.gen_range(1..10) as f64);
+                p.add_constraint(
+                    format!("c{c}"),
+                    &terms,
+                    Sense::Le,
+                    rng.gen_range(1..10) as f64,
+                );
             }
             let obj: Vec<_> = vars
                 .iter()

@@ -127,7 +127,10 @@ impl Problem {
         upper: f64,
     ) -> VarId {
         assert!(!lower.is_nan() && !upper.is_nan(), "bounds must not be NaN");
-        assert!(lower <= upper, "lower bound {lower} exceeds upper bound {upper}");
+        assert!(
+            lower <= upper,
+            "lower bound {lower} exceeds upper bound {upper}"
+        );
         let id = VarId(self.vars.len());
         self.vars.push(Variable {
             name: name.into(),

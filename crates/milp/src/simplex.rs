@@ -88,7 +88,11 @@ pub fn solve_lp_with_bounds(
             // Equal-within-tolerance but numerically inverted: clamp.
             return solve_lp_with_bounds(
                 problem,
-                &lower.iter().zip(upper).map(|(l, u)| l.min(*u)).collect::<Vec<_>>(),
+                &lower
+                    .iter()
+                    .zip(upper)
+                    .map(|(l, u)| l.min(*u))
+                    .collect::<Vec<_>>(),
                 upper,
             );
         }
@@ -106,8 +110,8 @@ pub fn solve_lp_with_bounds(
 
     let mut mapping = Vec::with_capacity(n);
     let mut num_cols = 0usize;
-    for j in 0..n {
-        if lower[j].is_finite() {
+    for &lo in lower.iter().take(n) {
+        if lo.is_finite() {
             mapping.push(VarMap::Shifted { col: num_cols });
             num_cols += 1;
         } else {
@@ -269,7 +273,13 @@ pub fn solve_lp_with_bounds(
                 phase1_cost[j] = 1.0;
             }
         }
-        run_simplex(&mut t, &mut basis, &phase1_cost, max_iters, Some(&is_artificial))?;
+        run_simplex(
+            &mut t,
+            &mut basis,
+            &phase1_cost,
+            max_iters,
+            Some(&is_artificial),
+        )?;
         let obj1: f64 = basis
             .iter()
             .enumerate()
@@ -302,7 +312,13 @@ pub fn solve_lp_with_bounds(
     // --- Phase 2: minimize original cost (artificials barred) -----------
     let mut phase2_cost = vec![0.0; total];
     phase2_cost[..num_cols].copy_from_slice(&cost);
-    run_simplex(&mut t, &mut basis, &phase2_cost, max_iters, Some(&is_artificial))?;
+    run_simplex(
+        &mut t,
+        &mut basis,
+        &phase2_cost,
+        max_iters,
+        Some(&is_artificial),
+    )?;
 
     // --- Extract solution ------------------------------------------------
     let mut col_values = vec![0.0; total];
@@ -371,7 +387,11 @@ fn run_simplex(
             }
             let mut r = cost[j];
             for i in 0..m {
-                let cb = if basis[i] == usize::MAX { 0.0 } else { cost[basis[i]] };
+                let cb = if basis[i] == usize::MAX {
+                    0.0
+                } else {
+                    cost[basis[i]]
+                };
                 if cb != 0.0 {
                     r -= cb * t[i][j];
                 }
@@ -395,8 +415,7 @@ fn run_simplex(
             if t[i][e] > TOL {
                 let ratio = t[i][rhs_col] / t[i][e];
                 let better = ratio < best_ratio - TOL
-                    || (ratio < best_ratio + TOL
-                        && leave.map_or(true, |l| basis[i] < basis[l]));
+                    || (ratio < best_ratio + TOL && leave.is_none_or(|l| basis[i] < basis[l]));
                 if better {
                     best_ratio = ratio;
                     leave = Some(i);
@@ -413,26 +432,28 @@ fn run_simplex(
 
 /// Pivots the tableau on `(row, col)`.
 fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
-    let m = t.len();
     let width = t[row].len();
     let p = t[row][col];
     debug_assert!(p.abs() > 1e-12, "pivot on (near-)zero element");
     for v in t[row].iter_mut() {
         *v /= p;
     }
-    for i in 0..m {
+    // Snapshot the (normalized) pivot row so eliminating the other rows can
+    // borrow them mutably.
+    let pivot_row = t[row].clone();
+    for (i, other) in t.iter_mut().enumerate() {
         if i == row {
             continue;
         }
-        let factor = t[i][col];
+        let factor = other[col];
         if factor == 0.0 {
             continue;
         }
-        for j in 0..width {
-            let delta = factor * t[row][j];
-            t[i][j] -= delta;
+        debug_assert_eq!(other.len(), width);
+        for (cell, &p_j) in other.iter_mut().zip(pivot_row.iter()) {
+            *cell -= factor * p_j;
         }
-        t[i][col] = 0.0; // exact zero against round-off
+        other[col] = 0.0; // exact zero against round-off
     }
     basis[row] = col;
 }
@@ -583,7 +604,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(format!("{}", SolveError::Infeasible), "problem is infeasible");
+        assert_eq!(
+            format!("{}", SolveError::Infeasible),
+            "problem is infeasible"
+        );
         assert_eq!(format!("{}", SolveError::Unbounded), "problem is unbounded");
     }
 }

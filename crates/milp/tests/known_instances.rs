@@ -1,0 +1,136 @@
+//! Hand-checkable solver instances: simplex optimality on small LPs whose
+//! optima are known analytically, and branch & bound integrality/optimality
+//! on small IPs. These pin down the substrate that `tests/solver_parity.rs`
+//! and the allocation MILP build on.
+
+use diffserve_milp::{
+    solve_lp, solve_milp, Direction, MilpOptions, Problem, Sense, VarKind, INT_TOL,
+};
+
+/// max 3x + 5y  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  (the classic
+/// Wyndor Glass problem; optimum 36 at (2, 6)).
+#[test]
+fn simplex_solves_wyndor_glass() {
+    let mut p = Problem::new(Direction::Maximize);
+    let x = p.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY);
+    let y = p.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY);
+    p.add_constraint("plant1", &[(x, 1.0)], Sense::Le, 4.0);
+    p.add_constraint("plant2", &[(y, 2.0)], Sense::Le, 12.0);
+    p.add_constraint("plant3", &[(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+    p.set_objective(&[(x, 3.0), (y, 5.0)]);
+    let sol = solve_lp(&p).expect("feasible and bounded");
+    assert!(
+        (sol.objective - 36.0).abs() < 1e-9,
+        "objective {}",
+        sol.objective
+    );
+    assert!((sol.values[0] - 2.0).abs() < 1e-9);
+    assert!((sol.values[1] - 6.0).abs() < 1e-9);
+}
+
+/// min 2x + 3y  s.t.  x + y ≥ 10, x ≥ 2, y ≥ 3  (optimum 23 at (7, 3):
+/// push everything onto the cheaper variable).
+#[test]
+fn simplex_solves_minimization_with_lower_bounds() {
+    let mut p = Problem::new(Direction::Minimize);
+    let x = p.add_var("x", VarKind::Continuous, 2.0, f64::INFINITY);
+    let y = p.add_var("y", VarKind::Continuous, 3.0, f64::INFINITY);
+    p.add_constraint("cover", &[(x, 1.0), (y, 1.0)], Sense::Ge, 10.0);
+    p.set_objective(&[(x, 2.0), (y, 3.0)]);
+    let sol = solve_lp(&p).expect("feasible and bounded");
+    assert!(
+        (sol.objective - 23.0).abs() < 1e-9,
+        "objective {}",
+        sol.objective
+    );
+    assert!((sol.values[0] - 7.0).abs() < 1e-9);
+    assert!((sol.values[1] - 3.0).abs() < 1e-9);
+}
+
+/// A degenerate-vertex LP (multiple optimal bases): simplex must still
+/// report the unique optimal value.
+#[test]
+fn simplex_handles_alternative_optima() {
+    // max x + y s.t. x + y ≤ 5, x ≤ 5, y ≤ 5: every point on the facet
+    // x + y = 5 is optimal with value 5.
+    let mut p = Problem::new(Direction::Maximize);
+    let x = p.add_var("x", VarKind::Continuous, 0.0, 5.0);
+    let y = p.add_var("y", VarKind::Continuous, 0.0, 5.0);
+    p.add_constraint("facet", &[(x, 1.0), (y, 1.0)], Sense::Le, 5.0);
+    p.set_objective(&[(x, 1.0), (y, 1.0)]);
+    let sol = solve_lp(&p).expect("feasible and bounded");
+    assert!((sol.objective - 5.0).abs() < 1e-9);
+    assert!((sol.values[0] + sol.values[1] - 5.0).abs() < 1e-9);
+}
+
+/// Knapsack where LP rounding is wrong: max 8a + 11b + 6c + 4d with
+/// weights 5,7,4,3 and capacity 14. LP relaxation takes a fractional item;
+/// the integer optimum is {b, c, d} = 21, not the rounded-LP {a, b} = 19.
+#[test]
+fn branch_and_bound_beats_lp_rounding_on_knapsack() {
+    let mut p = Problem::new(Direction::Maximize);
+    let a = p.add_binary("a");
+    let b = p.add_binary("b");
+    let c = p.add_binary("c");
+    let d = p.add_binary("d");
+    p.add_constraint(
+        "capacity",
+        &[(a, 5.0), (b, 7.0), (c, 4.0), (d, 3.0)],
+        Sense::Le,
+        14.0,
+    );
+    p.set_objective(&[(a, 8.0), (b, 11.0), (c, 6.0), (d, 4.0)]);
+
+    let lp = solve_lp(&p).expect("relaxation solves");
+    let milp = solve_milp(&p, &MilpOptions::default()).expect("ip solves");
+
+    assert!(
+        (milp.objective - 21.0).abs() < 1e-9,
+        "objective {}",
+        milp.objective
+    );
+    assert_eq!(milp.values, vec![0.0, 1.0, 1.0, 1.0]);
+    // The relaxation is a strict upper bound here, so plain rounding of the
+    // LP vertex cannot be what branch & bound returned.
+    assert!(lp.objective > milp.objective + 0.5);
+}
+
+/// Every integer-kind variable in a MILP solution must be integral to
+/// within `INT_TOL`, including when mixed with continuous variables.
+#[test]
+fn branch_and_bound_solutions_are_integral() {
+    let mut p = Problem::new(Direction::Minimize);
+    let servers = p.add_var("servers", VarKind::Integer, 0.0, 50.0);
+    let spill = p.add_var("spill", VarKind::Continuous, 0.0, f64::INFINITY);
+    // Each server covers 7.3 QPS of the 95-QPS demand; spill is a penalized
+    // continuous slack, so the optimum sits at a fractional LP vertex.
+    p.add_constraint("demand", &[(servers, 7.3), (spill, 1.0)], Sense::Ge, 95.0);
+    p.set_objective(&[(servers, 10.0), (spill, 3.0)]);
+    let sol = solve_milp(&p, &MilpOptions::default()).expect("feasible");
+    let s = sol.values[0];
+    assert!(
+        (s - s.round()).abs() <= INT_TOL,
+        "non-integral server count {s}"
+    );
+    // Cost comparison around the demand point: 13 servers cover 94.9 QPS,
+    // leaving 0.1 spill (cost 130.3); 12 servers need 7.4 spill (142.2) and
+    // 14 servers cost 140 outright.
+    assert!((s - 13.0).abs() <= INT_TOL, "servers {s}");
+    assert!(
+        (sol.objective - 130.3).abs() < 1e-6,
+        "objective {}",
+        sol.objective
+    );
+}
+
+/// An IP whose relaxation is feasible but whose integer lattice is not:
+/// 2x = 1 with x integer in [0, 1].
+#[test]
+fn branch_and_bound_detects_integer_infeasibility() {
+    let mut p = Problem::new(Direction::Minimize);
+    let x = p.add_var("x", VarKind::Integer, 0.0, 1.0);
+    p.add_constraint("odd", &[(x, 2.0)], Sense::Eq, 1.0);
+    p.set_objective(&[(x, 1.0)]);
+    assert!(solve_lp(&p).is_ok(), "relaxation admits x = 0.5");
+    assert!(solve_milp(&p, &MilpOptions::default()).is_err());
+}

@@ -1,9 +1,7 @@
 //! Optimality property tests: the branch & bound optimum must dominate any
 //! feasible point, and the LP relaxation must bound the MILP optimum.
 
-use diffserve_milp::{
-    solve_lp, solve_milp, Direction, MilpOptions, Problem, Sense, VarKind,
-};
+use diffserve_milp::{solve_lp, solve_milp, Direction, MilpOptions, Problem, Sense, VarKind};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
@@ -46,9 +44,9 @@ fn random_tracked_ip(seed: u64) -> TrackedIp {
 
 impl TrackedIp {
     fn feasible(&self, x: &[f64]) -> bool {
-        self.constraints
-            .iter()
-            .all(|(coeffs, rhs)| coeffs.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() <= rhs + 1e-9)
+        self.constraints.iter().all(|(coeffs, rhs)| {
+            coeffs.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() <= rhs + 1e-9
+        })
     }
 
     fn value(&self, x: &[f64]) -> f64 {

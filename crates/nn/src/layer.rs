@@ -19,12 +19,17 @@ impl Dense {
     ///
     /// Panics if either dimension is zero.
     pub fn new<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
-        assert!(inputs > 0 && outputs > 0, "layer dimensions must be positive");
+        assert!(
+            inputs > 0 && outputs > 0,
+            "layer dimensions must be positive"
+        );
         let std = (2.0 / inputs as f64).sqrt();
         // Box–Muller-free init: uniform scaled to match He variance closely
         // enough for these shallow nets, kept dependency-free.
         let half_width = std * 3.0f64.sqrt();
-        let w = Mat::from_fn(inputs, outputs, |_, _| rng.gen_range(-half_width..half_width));
+        let w = Mat::from_fn(inputs, outputs, |_, _| {
+            rng.gen_range(-half_width..half_width)
+        });
         Dense {
             w,
             b: vec![0.0; outputs],

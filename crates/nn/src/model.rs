@@ -133,12 +133,7 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if shapes or labels are inconsistent.
-    pub fn train_batch(
-        &mut self,
-        x: &Mat,
-        labels: &[usize],
-        optimizer: &mut dyn Optimizer,
-    ) -> f64 {
+    pub fn train_batch(&mut self, x: &Mat, labels: &[usize], optimizer: &mut dyn Optimizer) -> f64 {
         // Forward, caching layer inputs (post-activation) and pre-activations.
         let mut inputs: Vec<Mat> = Vec::with_capacity(self.layers.len());
         let mut pre_acts: Vec<Mat> = Vec::with_capacity(self.layers.len());
@@ -147,7 +142,11 @@ impl Mlp {
             inputs.push(h.clone());
             let z = layer.forward(&h);
             pre_acts.push(z.clone());
-            h = if i + 1 < self.layers.len() { relu(&z) } else { z };
+            h = if i + 1 < self.layers.len() {
+                relu(&z)
+            } else {
+                z
+            };
         }
         let (loss, mut d_out) = softmax_cross_entropy(&h, labels);
 
@@ -213,7 +212,10 @@ impl Mlp {
 /// Panics if the two slices have different lengths or are empty.
 pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
-    assert!(!predictions.is_empty(), "accuracy of empty set is undefined");
+    assert!(
+        !predictions.is_empty(),
+        "accuracy of empty set is undefined"
+    );
     let hits = predictions
         .iter()
         .zip(labels)

@@ -31,8 +31,7 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 /// (arrival process, model noise, discriminator init, ...) from one
 /// experiment seed. Based on SplitMix64 mixing.
 pub fn derive_seed(parent: u64, stream: u64) -> u64 {
-    let mut z = parent
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = parent.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -114,7 +113,7 @@ impl Normal {
     ///
     /// Returns an error if `mean` is not finite or `std` is negative/NaN.
     pub fn new(mean: f64, std: f64) -> Result<Self, DistributionError> {
-        if !mean.is_finite() || !(std.is_finite() && std >= 0.0) {
+        if !(mean.is_finite() && std.is_finite() && std >= 0.0) {
             return Err(DistributionError::new(format!(
                 "normal requires finite mean and non-negative std, got ({mean}, {std})"
             )));

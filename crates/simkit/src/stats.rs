@@ -75,9 +75,7 @@ impl Welford {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         *self = Welford { n, mean, m2 };
     }
 }
@@ -196,7 +194,10 @@ impl Quantiles {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.data.is_empty() {
             return None;
         }

@@ -89,8 +89,7 @@ mod tests {
 
     #[test]
     fn poisson_is_sorted_and_in_range() {
-        let trace =
-            Trace::from_qps(vec![10.0, 0.0, 30.0], SimDuration::from_secs(1)).unwrap();
+        let trace = Trace::from_qps(vec![10.0, 0.0, 30.0], SimDuration::from_secs(1)).unwrap();
         let mut rng = seeded_rng(4);
         let arrivals = poisson_arrivals(&trace, &mut rng);
         for w in arrivals.windows(2) {
@@ -114,8 +113,7 @@ mod tests {
 
     #[test]
     fn paced_counts_are_exact() {
-        let trace =
-            Trace::from_qps(vec![4.0, 6.0], SimDuration::from_secs(1)).unwrap();
+        let trace = Trace::from_qps(vec![4.0, 6.0], SimDuration::from_secs(1)).unwrap();
         let arrivals = paced_arrivals(&trace);
         assert_eq!(arrivals.len(), 10);
         assert_eq!(arrivals[0], SimTime::ZERO);

@@ -73,10 +73,10 @@ pub fn bursty_arrivals<R: Rng + ?Sized>(
 
     // Build the regime path over the trace duration.
     let horizon = trace.duration();
-    let calm_exp = Exponential::new(1.0 / config.mean_calm.as_secs_f64())
-        .expect("positive sojourn rate");
-    let burst_exp = Exponential::new(1.0 / config.mean_burst.as_secs_f64())
-        .expect("positive sojourn rate");
+    let calm_exp =
+        Exponential::new(1.0 / config.mean_calm.as_secs_f64()).expect("positive sojourn rate");
+    let burst_exp =
+        Exponential::new(1.0 / config.mean_burst.as_secs_f64()).expect("positive sojourn rate");
     let mut switches: Vec<(SimTime, bool)> = Vec::new(); // (time, now_bursting)
     let mut t = SimTime::ZERO;
     let mut bursting = false;

@@ -112,7 +112,10 @@ mod tests {
 
     #[test]
     fn empty_file_is_error() {
-        assert_eq!(read_trace("# only comments\n".as_bytes()), Err(TraceError::Empty));
+        assert_eq!(
+            read_trace("# only comments\n".as_bytes()),
+            Err(TraceError::Empty)
+        );
     }
 
     #[test]

@@ -238,10 +238,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        assert_eq!(
-            Trace::from_qps(vec![], secs(1)),
-            Err(TraceError::Empty)
-        );
+        assert_eq!(Trace::from_qps(vec![], secs(1)), Err(TraceError::Empty));
         assert_eq!(
             Trace::from_qps(vec![1.0], SimDuration::ZERO),
             Err(TraceError::ZeroBinWidth)
@@ -258,7 +255,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = TraceError::InvalidRate { bin: 3, value: -1.0 };
+        let e = TraceError::InvalidRate {
+            bin: 3,
+            value: -1.0,
+        };
         assert!(format!("{e}").contains("bin 3"));
     }
 }

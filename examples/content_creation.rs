@@ -19,7 +19,11 @@ fn main() {
     let config = SystemConfig::default();
 
     let mut rows = Vec::new();
-    for policy in [Policy::ClipperLight, Policy::ClipperHeavy, Policy::DiffServe] {
+    for policy in [
+        Policy::ClipperLight,
+        Policy::ClipperHeavy,
+        Policy::DiffServe,
+    ] {
         let report = run_trace(
             &runtime,
             &config,
@@ -29,7 +33,10 @@ fn main() {
         rows.push(report);
     }
 
-    println!("\n{:<16} {:>8} {:>10} {:>10} {:>9}", "policy", "FID", "SLO-viol", "dropped", "heavy%");
+    println!(
+        "\n{:<16} {:>8} {:>10} {:>10} {:>9}",
+        "policy", "FID", "SLO-viol", "dropped", "heavy%"
+    );
     for r in &rows {
         println!(
             "{:<16} {:>8.2} {:>10.3} {:>10} {:>8.1}%",

@@ -33,7 +33,10 @@ fn main() {
         trace.max_qps()
     );
     let scale = 0.05;
-    println!("time scale {scale}: this takes ~{:.0}s of wall clock...\n", trace.duration().as_secs_f64() * scale + 4.0 * system.slo.as_secs_f64() * scale);
+    println!(
+        "time scale {scale}: this takes ~{:.0}s of wall clock...\n",
+        trace.duration().as_secs_f64() * scale + 4.0 * system.slo.as_secs_f64() * scale
+    );
 
     let cluster_cfg = ClusterConfig {
         system: system.clone(),

@@ -44,6 +44,12 @@ fn main() {
         (report.heavy_fraction * 100.0) as u64,
     );
     println!("  FID (quality, lower = better): {:.2}", report.fid);
-    println!("  SLO violation ratio:           {:.3}", report.violation_ratio);
-    println!("  mean latency:                  {:.2}s", report.mean_latency);
+    println!(
+        "  SLO violation ratio:           {:.3}",
+        report.violation_ratio
+    );
+    println!(
+        "  mean latency:                  {:.2}s",
+        report.mean_latency
+    );
 }

@@ -16,7 +16,11 @@ fn main() {
     let cascade = cascade1(spec);
     let dataset = PromptDataset::synthesize(DatasetKind::MsCoco, 4000, 3, spec);
 
-    for arch in [DiscArch::EfficientNetV2, DiscArch::ResNet34, DiscArch::ViTB16] {
+    for arch in [
+        DiscArch::EfficientNetV2,
+        DiscArch::ResNet34,
+        DiscArch::ViTB16,
+    ] {
         let config = DiscriminatorConfig {
             arch,
             real_class: RealClass::GroundTruth,

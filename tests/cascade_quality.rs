@@ -3,8 +3,8 @@
 //! random routing, and the FID dip below all-heavy serving.
 
 use diffserve::imagegen::{
-    cascade1, cascade2, easy_query_fraction, evaluate_cascade, evaluate_single_model,
-    DatasetKind, DiscriminatorConfig, FeatureSpec, PromptDataset, RoutingRule,
+    cascade1, cascade2, easy_query_fraction, evaluate_cascade, evaluate_single_model, DatasetKind,
+    DiscriminatorConfig, FeatureSpec, PromptDataset, RoutingRule,
 };
 use diffserve::serving::CascadeRuntime;
 use std::sync::OnceLock;
@@ -45,7 +45,13 @@ fn discriminator_routing_dominates_random_across_the_sweep() {
     let rule = RoutingRule::Discriminator(&rt.discriminator);
     for defer_target in [0.3, 0.5, 0.7] {
         // Discriminator threshold ≈ calibrated deferral target.
-        let disc = evaluate_cascade(&rt.dataset, &rt.spec.light, &rt.spec.heavy, &rule, defer_target);
+        let disc = evaluate_cascade(
+            &rt.dataset,
+            &rt.spec.light,
+            &rt.spec.heavy,
+            &rule,
+            defer_target,
+        );
         let random = evaluate_cascade(
             &rt.dataset,
             &rt.spec.light,
@@ -115,21 +121,29 @@ fn fid_latency_curve_is_u_shaped() {
     assert!(fids[0] > fids[min_idx] + 1.0, "left arm of the U missing");
     // All-heavy uses threshold > max confidence.
     let all_heavy = evaluate_cascade(&rt.dataset, &rt.spec.light, &rt.spec.heavy, &rule, 1.01);
-    assert!(all_heavy.fid > fids[min_idx] + 0.5, "right arm of the U missing");
+    assert!(
+        all_heavy.fid > fids[min_idx] + 0.5,
+        "right arm of the U missing"
+    );
 }
 
 #[test]
 fn fig1a_variant_fids_are_ordered_as_in_the_paper() {
     let rt = runtime();
     let spec = FeatureSpec::default();
-    let fid_of = |m: &diffserve::imagegen::DiffusionModel| {
-        evaluate_single_model(&rt.dataset, m).fid
-    };
+    let fid_of =
+        |m: &diffserve::imagegen::DiffusionModel| evaluate_single_model(&rt.dataset, m).fid;
     let sdxs = fid_of(&diffserve::imagegen::sdxs(spec));
     let sdturbo = fid_of(&diffserve::imagegen::sd_turbo(spec));
     let sdv15 = fid_of(&diffserve::imagegen::sd_v15(spec));
-    assert!(sdxs > sdturbo, "SDXS ({sdxs:.1}) must be worse than SD-Turbo ({sdturbo:.1})");
-    assert!(sdturbo > sdv15, "SD-Turbo ({sdturbo:.1}) must be worse than SDv1.5 ({sdv15:.1})");
+    assert!(
+        sdxs > sdturbo,
+        "SDXS ({sdxs:.1}) must be worse than SD-Turbo ({sdturbo:.1})"
+    );
+    assert!(
+        sdturbo > sdv15,
+        "SD-Turbo ({sdturbo:.1}) must be worse than SDv1.5 ({sdv15:.1})"
+    );
     // Paper band: FIDs between ~16 and ~27 for the 512px family.
     for (name, fid) in [("sdxs", sdxs), ("sd-turbo", sdturbo), ("sd-v1.5", sdv15)] {
         assert!(

@@ -40,7 +40,10 @@ fn runtime_preparation_is_deterministic() {
 fn different_seeds_differ() {
     let a = prepare(42);
     let b = prepare(43);
-    assert_ne!(a.dataset.prompts()[0].difficulty, b.dataset.prompts()[0].difficulty);
+    assert_ne!(
+        a.dataset.prompts()[0].difficulty,
+        b.dataset.prompts()[0].difficulty
+    );
 }
 
 #[test]

@@ -84,9 +84,15 @@ fn paper_orderings_hold_on_dynamic_trace() {
     let ds = run(Policy::DiffServe);
 
     // Fig. 5 orderings.
-    assert!(light.fid > ds.fid, "DiffServe must beat Clipper-Light on FID");
+    assert!(
+        light.fid > ds.fid,
+        "DiffServe must beat Clipper-Light on FID"
+    );
     assert!(proteus.fid > ds.fid, "DiffServe must beat Proteus on FID");
-    assert!(ds_static.fid >= ds.fid - 0.3, "DiffServe ~>= static variant");
+    assert!(
+        ds_static.fid >= ds.fid - 0.3,
+        "DiffServe ~>= static variant"
+    );
     assert!(
         heavy.violation_ratio > 10.0 * ds.violation_ratio.max(0.01),
         "Clipper-Heavy must suffer far more violations ({} vs {})",

@@ -44,7 +44,10 @@ fn simulator_and_cluster_agree_for_diffserve() {
     );
 
     assert!(sim.total_queries > 100);
-    assert!(testbed.total_queries == sim.total_queries, "same arrival stream");
+    assert!(
+        testbed.total_queries == sim.total_queries,
+        "same arrival stream"
+    );
     let fid_gap = (testbed.fid - sim.fid).abs() / sim.fid;
     assert!(
         fid_gap < 0.25,

@@ -1,0 +1,294 @@
+//! An unbounded MPMC channel built on `Mutex<VecDeque>` + `Condvar`.
+//!
+//! API-compatible with `crossbeam::channel` for the operations this
+//! workspace uses: [`unbounded`], [`Sender::send`], [`Receiver::recv`],
+//! [`Receiver::recv_timeout`], [`Receiver::try_recv`], and
+//! [`Receiver::is_empty`]. Disconnection is tracked by live sender/receiver
+//! counts, matching crossbeam's semantics (receives drain buffered messages
+//! before reporting disconnection).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        available: Condvar::new(),
+    });
+    (Sender(Arc::clone(&inner)), Receiver(inner))
+}
+
+/// The sending half of a channel.
+pub struct Sender<T>(Arc<Inner<T>>);
+
+/// The receiving half of a channel.
+pub struct Receiver<T>(Arc<Inner<T>>);
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the unsent message.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// All senders disconnected and the channel is drained.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// All senders disconnected and the channel is drained.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// All senders disconnected and the channel is drained.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on receive"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+impl std::error::Error for RecvTimeoutError {}
+impl std::error::Error for TryRecvError {}
+
+impl<T> Sender<T> {
+    /// Enqueues a message, failing if every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.0.state.lock().unwrap();
+        if state.receivers == 0 {
+            return Err(SendError(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.0.available.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().unwrap().senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            self.0.available.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking until one arrives or all senders drop.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.0.state.lock().unwrap();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            state = self.0.available.wait(state).unwrap();
+        }
+    }
+
+    /// Receives a message, blocking for at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.0.state.lock().unwrap();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (s, wait) = self
+                .0
+                .available
+                .wait_timeout(state, deadline - now)
+                .unwrap();
+            state = s;
+            if wait.timed_out() && state.queue.is_empty() {
+                return if state.senders == 0 {
+                    Err(RecvTimeoutError::Disconnected)
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                };
+            }
+        }
+    }
+
+    /// Receives a message if one is already queued.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.0.state.lock().unwrap();
+        match state.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Whether the channel currently holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.0.state.lock().unwrap().queue.is_empty()
+    }
+
+    /// Number of currently queued messages.
+    pub fn len(&self) -> usize {
+        self.0.state.lock().unwrap().queue.len()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().unwrap().receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.0.state.lock().unwrap().receivers -= 1;
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn sends_and_receives_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 100);
+        for i in 0..100 {
+            assert_eq!(rx.try_recv().unwrap(), i);
+        }
+        assert!(rx.is_empty());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn timeout_then_delivery_across_threads() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let handle = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(7u32).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(7));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn disconnection_is_reported_after_drain() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1u8).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError::Disconnected));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(5u8).is_err());
+    }
+}

@@ -1,0 +1,4 @@
+//! Offline stand-in for the subset of the `crossbeam` API this workspace
+//! uses: multi-producer channels with timeout-aware receives.
+
+pub mod channel;

@@ -1,0 +1,125 @@
+//! Offline stand-in for the subset of the `parking_lot` API this workspace
+//! uses: [`RwLock`] and [`Mutex`] with non-poisoning, guard-returning
+//! `lock`/`read`/`write`, implemented over `std::sync`.
+
+use std::fmt;
+
+/// Reader–writer lock whose `read`/`write` return guards directly (a
+/// poisoned std lock is recovered transparently, matching parking_lot's
+/// no-poisoning semantics).
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Shared read guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Exclusive write guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Mutual-exclusion lock whose `lock` returns the guard directly.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// Guard for [`Mutex`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_read_write() {
+        let lock = RwLock::new(1u32);
+        assert_eq!(*lock.read(), 1);
+        *lock.write() = 2;
+        assert_eq!(*lock.read(), 2);
+        assert_eq!(lock.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_lock() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+}
