@@ -58,16 +58,48 @@ impl ServingPlan {
     /// Re-derives tier assignments from target counts, switching as few
     /// workers as possible (stable assignment).
     pub fn retarget(&mut self, light_workers: usize, heavy_workers: usize) {
-        let n = self.tiers.len();
+        self.retarget_masked(light_workers, heavy_workers, &[]);
+    }
+
+    /// Like [`ServingPlan::retarget`], but only counts and reassigns workers
+    /// whose `excluded` flag is unset — used under scenario-driven worker
+    /// churn so a failed worker's slot neither satisfies nor distorts the
+    /// allocation. `excluded` may be shorter than the fleet; missing entries
+    /// mean "not excluded".
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diffserve_cluster::ServingPlan;
+    /// use diffserve_core::ModelTier;
+    ///
+    /// let mut plan = ServingPlan::bootstrap(4); // 2 light, 2 heavy
+    /// // Worker 3 is down: rebalance the 3 alive workers to 1 light / 2 heavy.
+    /// plan.retarget_masked(1, 2, &[false, false, false, true]);
+    /// let alive_light = plan
+    ///     .workers_of(ModelTier::Light)
+    ///     .into_iter()
+    ///     .filter(|&i| i != 3)
+    ///     .count();
+    /// assert_eq!(alive_light, 1);
+    /// ```
+    pub fn retarget_masked(
+        &mut self,
+        light_workers: usize,
+        heavy_workers: usize,
+        excluded: &[bool],
+    ) {
+        let is_excluded = |i: usize| excluded.get(i).copied().unwrap_or(false);
+        let avail: Vec<usize> = (0..self.tiers.len()).filter(|&i| !is_excluded(i)).collect();
+        let n = avail.len();
         let spare = n.saturating_sub(light_workers + heavy_workers);
         let target_light = (light_workers + spare).min(n);
-        let mut current_light = self
-            .tiers
+        let mut current_light = avail
             .iter()
-            .filter(|&&t| t == ModelTier::Light)
+            .filter(|&&i| self.tiers[i] == ModelTier::Light)
             .count();
         // Flip workers one at a time until the count matches.
-        for i in 0..n {
+        for &i in &avail {
             if current_light == target_light {
                 break;
             }
@@ -103,6 +135,22 @@ mod tests {
         for i in 0..4 {
             assert_eq!(p.tiers[i], ModelTier::Light);
         }
+    }
+
+    #[test]
+    fn retarget_masked_ignores_failed_workers() {
+        let mut p = ServingPlan::bootstrap(8); // 0..4 light, 4..8 heavy
+        let mut excluded = vec![false; 8];
+        excluded[6] = true;
+        excluded[7] = true;
+        p.retarget_masked(4, 2, &excluded);
+        let alive_light = (0..6).filter(|&i| p.tiers[i] == ModelTier::Light).count();
+        let alive_heavy = (0..6).filter(|&i| p.tiers[i] == ModelTier::Heavy).count();
+        assert_eq!(alive_light, 4);
+        assert_eq!(alive_heavy, 2);
+        // Excluded workers were not touched.
+        assert_eq!(p.tiers[6], ModelTier::Heavy);
+        assert_eq!(p.tiers[7], ModelTier::Heavy);
     }
 
     #[test]

@@ -22,7 +22,9 @@ use diffserve_core::{
 };
 use diffserve_metrics::{SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
-use diffserve_trace::{poisson_arrivals, DemandEstimator, Trace};
+use diffserve_trace::{
+    poisson_arrivals, CapacityEvent, DemandEstimator, Scenario, ScenarioEvent, Trace,
+};
 use parking_lot::RwLock;
 use rand::Rng;
 
@@ -62,6 +64,11 @@ struct Shared {
     shutdown: AtomicBool,
     start: Instant,
     scale: f64,
+    /// Scenario fail-stop flags, one per worker.
+    failed: Vec<AtomicBool>,
+    /// Active prompt-difficulty offset (f64 bits), set by the scenario
+    /// thread and read by workers at generation time.
+    difficulty_bits: AtomicU64,
 }
 
 impl Shared {
@@ -75,12 +82,32 @@ impl Shared {
         }
     }
 
-    /// JSQ among workers currently assigned to `tier`.
+    fn is_failed(&self, i: usize) -> bool {
+        self.failed[i].load(Ordering::Relaxed)
+    }
+
+    fn difficulty_delta(&self) -> f64 {
+        f64::from_bits(self.difficulty_bits.load(Ordering::Relaxed))
+    }
+
+    /// Whether any alive worker is assigned the heavy model — when churn
+    /// wipes the heavy pool out, escalations would bounce between light
+    /// workers forever (generation is deterministic), so callers serve the
+    /// light output instead.
+    fn has_alive_heavy(&self) -> bool {
+        let plan = self.plan.read();
+        plan.tiers
+            .iter()
+            .enumerate()
+            .any(|(i, &t)| t == ModelTier::Heavy && !self.is_failed(i))
+    }
+
+    /// JSQ among alive workers currently assigned to `tier`.
     fn pick_worker(&self, tier: ModelTier) -> usize {
         let plan = self.plan.read();
         let mut best: Option<(usize, usize)> = None;
         for (i, &t) in plan.tiers.iter().enumerate() {
-            if t != tier {
+            if t != tier || self.is_failed(i) {
                 continue;
             }
             let d = self.depths[i].load(Ordering::Relaxed);
@@ -90,18 +117,23 @@ impl Shared {
         }
         match best {
             Some((_, i)) => i,
-            // No worker currently on that tier (mid-reconfiguration):
-            // fall back to the globally least-loaded worker.
+            // No alive worker currently on that tier (mid-reconfiguration
+            // or tier wiped out by churn): fall back to the least-loaded
+            // alive worker. Scenario validation guarantees one exists.
             None => {
-                let mut idx = 0;
+                let mut idx = usize::MAX;
                 let mut min = usize::MAX;
                 for (i, d) in self.depths.iter().enumerate() {
+                    if self.is_failed(i) {
+                        continue;
+                    }
                     let v = d.load(Ordering::Relaxed);
                     if v < min {
                         min = v;
                         idx = i;
                     }
                 }
+                assert_ne!(idx, usize::MAX, "at least one worker must be alive");
                 idx
             }
         }
@@ -118,7 +150,8 @@ enum Outcome {
 ///
 /// Supports every policy in Table 1. The run blocks the calling thread for
 /// roughly `trace.duration × time_scale` wall-clock time plus a drain
-/// period.
+/// period. Equivalent to [`run_cluster_scenario`] with a perturbation-free
+/// scenario.
 ///
 /// # Panics
 ///
@@ -129,6 +162,36 @@ pub fn run_cluster(
     settings: &RunSettings,
     trace: &Trace,
 ) -> RunReport {
+    run_cluster_scenario(
+        runtime,
+        config,
+        settings,
+        &Scenario::new("trace", trace.clone()),
+    )
+}
+
+/// Runs one policy on the thread-based cluster under a [`Scenario`] — the
+/// parity path to `diffserve_core::run_scenario`, so one `Scenario` value
+/// drives both the discrete-event simulator and this testbed.
+///
+/// Demand perturbations are baked into the replayed arrival stream;
+/// worker churn and difficulty shifts are applied live by a scenario thread
+/// (failed workers re-route their queues and idle until recovery, paying
+/// the model load delay when they rejoin). One parity caveat: failure
+/// granularity here is the batch boundary — a worker already executing a
+/// batch delivers it before going down, while the simulator's fail-stop
+/// kills in-flight work instantly and retries it elsewhere.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, `time_scale` is not positive, or
+/// the scenario fails [`Scenario::validate`] for this worker count.
+pub fn run_cluster_scenario(
+    runtime: &CascadeRuntime,
+    config: &ClusterConfig,
+    settings: &RunSettings,
+    scenario: &Scenario,
+) -> RunReport {
     config.system.validate().expect("valid system config");
     assert!(
         config.time_scale > 0.0 && config.time_scale.is_finite(),
@@ -136,6 +199,11 @@ pub fn run_cluster(
     );
     let sys = &config.system;
     let n = sys.num_workers;
+    scenario
+        .validate(n)
+        .expect("valid scenario for this worker pool");
+    let trace = scenario.effective_trace();
+    let trace = &trace;
 
     // Arrival stream, identical to the simulator's generation.
     let mut arrival_rng = seeded_rng(derive_seed(sys.seed, 0xA881));
@@ -149,6 +217,8 @@ pub fn run_cluster(
         shutdown: AtomicBool::new(false),
         start: Instant::now(),
         scale: config.time_scale,
+        failed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        difficulty_bits: AtomicU64::new(0.0f64.to_bits()),
     });
 
     let (job_txs, job_rxs): (Vec<Sender<Job>>, Vec<Receiver<Job>>) =
@@ -189,6 +259,13 @@ pub fn run_cluster(
         let sys = sys.clone();
         let settings = settings.clone();
         thread::spawn(move || controller_loop(&shared, &rt, &sys, &settings))
+    };
+
+    // --- Scenario thread (worker churn, difficulty shifts) ----------------
+    let scenario_thread = {
+        let shared = Arc::clone(&shared);
+        let actions = scenario.timeline();
+        thread::spawn(move || scenario_loop(&shared, &actions))
     };
 
     // --- Client (this thread replays the trace) ---------------------------
@@ -236,6 +313,7 @@ pub fn run_cluster(
         h.join().expect("worker thread panicked");
     }
     controller.join().expect("controller thread panicked");
+    scenario_thread.join().expect("scenario thread panicked");
 
     // --- Collect ----------------------------------------------------------
     let mut slo_tracker = SloTracker::new(sys.slo);
@@ -294,10 +372,30 @@ fn bootstrap_plan(
         }
         Policy::DiffServeStatic => {
             let demand = settings.peak_demand_hint.max(trace.max_qps()) * sys.over_provision;
-            apply_solved(&mut plan, runtime, sys, settings, demand, 0.0, 0.0);
+            apply_solved(
+                &mut plan,
+                runtime,
+                sys,
+                settings,
+                demand,
+                0.0,
+                0.0,
+                sys.num_workers,
+                &[],
+            );
         }
         Policy::DiffServe | Policy::Proteus => {
-            apply_solved(&mut plan, runtime, sys, settings, 1.0, 0.0, 0.0);
+            apply_solved(
+                &mut plan,
+                runtime,
+                sys,
+                settings,
+                1.0,
+                0.0,
+                0.0,
+                sys.num_workers,
+                &[],
+            );
         }
     }
     plan
@@ -330,6 +428,7 @@ fn clipper_batch(
         .unwrap_or(1)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_solved(
     plan: &mut ServingPlan,
     runtime: &CascadeRuntime,
@@ -338,6 +437,8 @@ fn apply_solved(
     demand: f64,
     q1: f64,
     q2: f64,
+    total_workers: usize,
+    excluded: &[bool],
 ) {
     let thresholds = match settings.knobs.static_threshold {
         Some(t) => vec![t],
@@ -348,7 +449,7 @@ fn apply_solved(
         queue_delay_light: q1,
         queue_delay_heavy: q2,
         slo: sys.slo.as_secs_f64(),
-        total_workers: sys.num_workers,
+        total_workers,
         deferral: &runtime.deferral,
         light: *runtime.spec.light.latency(),
         heavy: *runtime.spec.heavy.latency(),
@@ -363,7 +464,7 @@ fn apply_solved(
     match settings.policy {
         Policy::Proteus => {
             if let Some((alloc, frac)) = solve_proteus(&inputs) {
-                plan.retarget(alloc.light_workers, alloc.heavy_workers);
+                plan.retarget_masked(alloc.light_workers, alloc.heavy_workers, excluded);
                 plan.light_batch = alloc.light_batch;
                 plan.heavy_batch = alloc.heavy_batch;
                 plan.threshold = frac; // heavy fraction rides in this slot
@@ -371,10 +472,63 @@ fn apply_solved(
         }
         _ => {
             let alloc = solve_exhaustive(&inputs).unwrap_or_else(|| overload_fallback(&inputs));
-            plan.retarget(alloc.light_workers, alloc.heavy_workers);
+            plan.retarget_masked(alloc.light_workers, alloc.heavy_workers, excluded);
             plan.light_batch = alloc.light_batch;
             plan.heavy_batch = alloc.heavy_batch;
             plan.threshold = alloc.threshold;
+        }
+    }
+}
+
+/// Applies the scenario's timed actions against live shared state: fail
+/// flags (highest-indexed alive workers fail, lowest-indexed failed workers
+/// recover — mirroring the simulator) and the difficulty offset. Sleeps in
+/// short slices so shutdown (or a perturbation scheduled past the trace
+/// end) never wedges the run at join time.
+fn scenario_loop(shared: &Shared, actions: &[(SimTime, ScenarioEvent)]) {
+    for &(at, action) in actions {
+        let at = at.as_secs_f64();
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = shared.sim_now();
+            if at <= now {
+                break;
+            }
+            shared.sleep_sim((at - now).min(1.0));
+        }
+        let n = shared.failed.len();
+        match action {
+            ScenarioEvent::Capacity(CapacityEvent::Fail(count)) => {
+                let mut remaining = count;
+                for i in (0..n).rev() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    if !shared.is_failed(i) {
+                        shared.failed[i].store(true, Ordering::SeqCst);
+                        remaining -= 1;
+                    }
+                }
+            }
+            ScenarioEvent::Capacity(CapacityEvent::Recover(count)) => {
+                let mut remaining = count;
+                for flag in &shared.failed {
+                    if remaining == 0 {
+                        break;
+                    }
+                    if flag.load(Ordering::SeqCst) {
+                        flag.store(false, Ordering::SeqCst);
+                        remaining -= 1;
+                    }
+                }
+            }
+            ScenarioEvent::Difficulty(delta) => {
+                shared
+                    .difficulty_bits
+                    .store(delta.to_bits(), Ordering::SeqCst);
+            }
         }
     }
 }
@@ -397,11 +551,18 @@ fn controller_loop(
         demand.observe(arrived, sys.control_interval);
         let d = demand.provisioned_estimate().max(0.5);
 
-        // Little's-law queue estimates from live channel depths.
+        // Little's-law queue estimates from live channel depths (alive
+        // workers only — failed workers drain their queues elsewhere).
         let plan_snapshot = shared.plan.read().clone();
+        let excluded: Vec<bool> = (0..plan_snapshot.tiers.len())
+            .map(|i| shared.is_failed(i))
+            .collect();
         let mut light_q = 0usize;
         let mut heavy_q = 0usize;
         for (i, &t) in plan_snapshot.tiers.iter().enumerate() {
+            if excluded[i] {
+                continue;
+            }
             let depth = shared.depths[i].load(Ordering::Relaxed);
             match t {
                 ModelTier::Light => light_q += depth,
@@ -413,7 +574,12 @@ fn controller_loop(
         let q2 = heavy_q as f64 / heavy_rate;
 
         let mut plan = plan_snapshot;
-        apply_solved(&mut plan, runtime, sys, settings, d, q1, q2);
+        // Derive the pool size from the same snapshot as the mask so the
+        // solver and retarget never disagree mid-churn.
+        let alive = excluded.iter().filter(|&&e| !e).count();
+        apply_solved(
+            &mut plan, runtime, sys, settings, d, q1, q2, alive, &excluded,
+        );
         *shared.plan.write() = plan;
     }
 }
@@ -431,7 +597,32 @@ fn worker_loop(
     switch_delay: f64,
 ) {
     let mut current_tier = shared.plan.read().tiers[wid];
+    let mut was_failed = false;
+    let poll = Duration::from_secs_f64((0.02 * shared.scale).max(0.0002));
     loop {
+        // Scenario fail-stop: re-route anything queued here to surviving
+        // workers and idle until recovery (or shutdown).
+        if shared.failed[wid].load(Ordering::SeqCst) {
+            was_failed = true;
+            while let Ok(job) = rx.try_recv() {
+                shared.depths[wid].fetch_sub(1, Ordering::Relaxed);
+                let target = shared.pick_worker(current_tier);
+                shared.depths[target].fetch_add(1, Ordering::Relaxed);
+                let _ = txs[target].send(job);
+            }
+            if shared.shutdown.load(Ordering::SeqCst) && rx.is_empty() {
+                return;
+            }
+            thread::sleep(poll);
+            continue;
+        }
+        if was_failed {
+            // Rejoining the pool: reload model weights before serving.
+            was_failed = false;
+            shared.sleep_sim(switch_delay);
+            current_tier = shared.plan.read().tiers[wid];
+        }
+
         // Follow the plan: switch models if reassigned.
         let desired = shared.plan.read().tiers[wid];
         if desired != current_tier {
@@ -444,7 +635,6 @@ fn worker_loop(
         // whatever else is queued (Clipper-style no-wait batching). The
         // poll must be fine relative to *simulated* time or idle polling
         // inflates queueing delays for sub-100ms models like SDXS.
-        let poll = Duration::from_secs_f64((0.02 * shared.scale).max(0.0002));
         let first = match rx.recv_timeout(poll) {
             Ok(job) => job,
             Err(RecvTimeoutError::Timeout) => {
@@ -494,13 +684,16 @@ fn worker_loop(
         let threshold = shared.plan.read().threshold;
 
         for job in batch {
-            let prompt = *runtime.dataset.prompt_cyclic(job.qid);
+            let prompt = runtime
+                .dataset
+                .prompt_cyclic(job.qid)
+                .harder(shared.difficulty_delta());
             match current_tier {
                 ModelTier::Light => {
                     let image = runtime.spec.light.generate(&prompt);
                     if uses_cascade {
                         let conf = runtime.discriminator.confidence(&image.features);
-                        if conf >= threshold {
+                        if conf >= threshold || !shared.has_alive_heavy() {
                             let _ = done.send(Outcome::Completed(make_response(
                                 job,
                                 image,

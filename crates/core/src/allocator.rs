@@ -491,6 +491,118 @@ mod tests {
     }
 
     #[test]
+    fn fallback_picks_throughput_maximizing_batches() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(11, 0.9);
+        let inputs = cascade1_inputs(&deferral, &batches, &thresholds, 500.0);
+        let fb = overload_fallback(&inputs);
+        // The fallback maximizes shed-free throughput per tier: for both
+        // profiles (affine latency, overhead < 1) throughput is increasing
+        // in batch size, so it must pick the largest candidate.
+        let best = |p: &LatencyProfile| {
+            batches
+                .iter()
+                .copied()
+                .max_by(|&a, &b| p.throughput(a).partial_cmp(&p.throughput(b)).unwrap())
+                .unwrap()
+        };
+        assert_eq!(fb.light_batch, best(&inputs.light));
+        assert_eq!(fb.heavy_batch, best(&inputs.heavy));
+        assert_eq!(fb.light_batch, 16);
+    }
+
+    #[test]
+    fn fallback_keeps_exactly_one_heavy_straggler_host() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 4];
+        let thresholds = grid(5, 0.9);
+        for workers in [2usize, 3, 16] {
+            let mut inputs = cascade1_inputs(&deferral, &batches, &thresholds, 100.0);
+            inputs.total_workers = workers;
+            let fb = overload_fallback(&inputs);
+            assert_eq!(fb.heavy_workers, 1, "workers={workers}");
+            assert_eq!(fb.light_workers, workers - 1, "workers={workers}");
+            assert!(!fb.feasible);
+            assert_eq!(fb.threshold, 0.0);
+        }
+        // Degenerate single-worker pool: everything goes light.
+        let mut inputs = cascade1_inputs(&deferral, &batches, &thresholds, 100.0);
+        inputs.total_workers = 1;
+        let fb = overload_fallback(&inputs);
+        assert_eq!((fb.light_workers, fb.heavy_workers), (1, 0));
+    }
+
+    #[test]
+    fn proteus_allocation_satisfies_its_constraints() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(11, 0.9);
+        for demand in [2.0, 8.0, 16.0, 28.0] {
+            let inputs = cascade1_inputs(&deferral, &batches, &thresholds, demand);
+            let (a, frac) = solve_proteus(&inputs).expect("feasible demand");
+            // Worker budget.
+            assert!(a.light_workers + a.heavy_workers <= inputs.total_workers);
+            assert!(a.light_workers >= 1 && a.heavy_workers >= 1);
+            // Per-branch throughput: each branch must cover its share.
+            let light_cap = a.light_workers as f64 * inputs.light.throughput(a.light_batch);
+            let heavy_cap = a.heavy_workers as f64 * inputs.heavy.throughput(a.heavy_batch);
+            assert!(
+                light_cap >= demand * (1.0 - frac) - 1e-9,
+                "demand {demand}: light {light_cap} < {}",
+                demand * (1.0 - frac)
+            );
+            assert!(
+                heavy_cap >= demand * frac - 1e-9,
+                "demand {demand}: heavy {heavy_cap} < {}",
+                demand * frac
+            );
+            // Per-branch latency (no cascade: each branch pays only itself).
+            assert!(
+                inputs.light.exec_latency(a.light_batch).as_secs_f64() + inputs.queue_delay_light
+                    <= inputs.slo
+            );
+            assert!(
+                inputs.heavy.exec_latency(a.heavy_batch).as_secs_f64() + inputs.queue_delay_heavy
+                    <= inputs.slo
+            );
+        }
+    }
+
+    #[test]
+    fn proteus_infeasible_when_slo_unreachable() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4];
+        let thresholds = grid(5, 0.9);
+        let mut inputs = cascade1_inputs(&deferral, &batches, &thresholds, 4.0);
+        // Heavier queue delays than the SLO on both branches: no batch fits.
+        inputs.slo = 1.0;
+        inputs.queue_delay_light = 2.0;
+        inputs.queue_delay_heavy = 2.0;
+        assert!(solve_proteus(&inputs).is_none());
+    }
+
+    #[test]
+    fn proteus_fraction_is_monotone_in_capacity() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(11, 0.9);
+        let mut fracs = Vec::new();
+        for workers in [4usize, 8, 16, 32] {
+            let mut inputs = cascade1_inputs(&deferral, &batches, &thresholds, 10.0);
+            inputs.total_workers = workers;
+            let (_, frac) = solve_proteus(&inputs).expect("feasible");
+            fracs.push(frac);
+        }
+        for w in fracs.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "more workers should not lower the heavy share: {fracs:?}"
+            );
+        }
+    }
+
+    #[test]
     fn allocation_deferral_fraction_reads_profile() {
         let deferral = uniform_profile();
         let a = Allocation {

@@ -75,7 +75,7 @@ pub use policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
 pub use query::{CompletedResponse, ModelTier, Query, QueryId};
 pub use report::RunReport;
 pub use runtime::CascadeRuntime;
-pub use sim::{run_trace, AllocatorBackend, RunSettings};
+pub use sim::{run_scenario, run_trace, AllocatorBackend, RunSettings};
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -85,5 +85,5 @@ pub mod prelude {
     pub use crate::query::{CompletedResponse, ModelTier, Query, QueryId};
     pub use crate::report::RunReport;
     pub use crate::runtime::CascadeRuntime;
-    pub use crate::sim::{run_trace, AllocatorBackend, RunSettings};
+    pub use crate::sim::{run_scenario, run_trace, AllocatorBackend, RunSettings};
 }

@@ -150,6 +150,54 @@ impl RunReport {
         }
     }
 
+    /// Seconds after a perturbation at `event_time` until the windowed SLO
+    /// violation ratio first returns to at most `target` — the scenario
+    /// harness's recovery-time metric. Returns `None` if no window at or
+    /// after `event_time` recovers (or the series is empty).
+    ///
+    /// Windows are keyed by their start time, so the result is quantized to
+    /// the run's `metrics_window`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diffserve_core::{Policy, RunReport};
+    ///
+    /// let mut report = RunReport::empty(Policy::DiffServe);
+    /// report.violation_series = vec![(0.0, 0.0), (20.0, 0.5), (40.0, 0.3), (60.0, 0.05)];
+    /// // Perturbation at t=20s; the system is back under 10% violations at t=60s.
+    /// assert_eq!(report.recovery_time_after(20.0, 0.1), Some(40.0));
+    /// assert_eq!(report.recovery_time_after(20.0, 0.01), None);
+    /// ```
+    pub fn recovery_time_after(&self, event_time: f64, target: f64) -> Option<f64> {
+        self.violation_series
+            .iter()
+            .filter(|&&(t, _)| t >= event_time)
+            .find(|&&(_, v)| v <= target)
+            .map(|&(t, _)| t - event_time)
+    }
+
+    /// An all-zero report for `policy` — a starting point for tests and
+    /// doctests that fill in specific fields.
+    pub fn empty(policy: Policy) -> RunReport {
+        RunReport {
+            policy,
+            total_queries: 0,
+            completed: 0,
+            dropped: 0,
+            late: 0,
+            violation_ratio: 0.0,
+            mean_latency: 0.0,
+            fid: f64::NAN,
+            fid_series: Vec::new(),
+            violation_series: Vec::new(),
+            demand_series: Vec::new(),
+            threshold_series: Vec::new(),
+            mean_windowed_fid: f64::NAN,
+            heavy_fraction: 0.0,
+        }
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(

@@ -33,6 +33,25 @@ impl CascadeRuntime {
     ///
     /// Panics if `dataset_size` is too small to hold both the
     /// discriminator training set and a held-out profiling set.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diffserve_core::CascadeRuntime;
+    /// use diffserve_imagegen::{cascade1, DiscriminatorConfig, FeatureSpec};
+    ///
+    /// // Reduced scale so the doctest trains in milliseconds; experiments
+    /// // use 5000 prompts and the default discriminator config.
+    /// let runtime = CascadeRuntime::prepare(
+    ///     cascade1(FeatureSpec::default()),
+    ///     200,
+    ///     7,
+    ///     DiscriminatorConfig { train_prompts: 100, epochs: 2, ..Default::default() },
+    /// );
+    /// // f(t) is profiled on the held-out prompts only.
+    /// assert_eq!(runtime.deferral.sample_count(), 100);
+    /// assert!(runtime.deferral.fraction_deferred(1.1) >= 1.0);
+    /// ```
     pub fn prepare(
         spec: CascadeSpec,
         dataset_size: usize,

@@ -6,13 +6,23 @@
 //! discriminator gating, and the periodic controller that re-solves the
 //! resource allocation. All five policies of Table 1 and the Fig. 8
 //! ablations run through this one simulator.
+//!
+//! Two run paths share the loop: [`run_trace`] replays a plain demand
+//! trace, and [`run_scenario`] additionally injects a [`Scenario`]'s
+//! perturbations — fail-stop
+//! worker churn (with in-flight work retried elsewhere and the controller
+//! re-solving against the shrunken pool), flash crowds and demand shocks
+//! (baked into the arrival stream), and prompt-difficulty shifts (which
+//! raise the cascade's deferral rate at constant QPS).
 
 use std::collections::VecDeque;
 
-use diffserve_imagegen::GeneratedImage;
+use diffserve_imagegen::{GeneratedImage, Prompt};
 use diffserve_metrics::{SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
-use diffserve_trace::{poisson_arrivals, DemandEstimator, Trace};
+use diffserve_trace::{
+    poisson_arrivals, CapacityEvent, DemandEstimator, Scenario, ScenarioEvent, Trace,
+};
 use rand::Rng;
 
 use crate::allocator::{
@@ -68,8 +78,17 @@ impl RunSettings {
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Event {
     Arrival(u64),
-    BatchDone(usize),
+    /// Batch completion (or model-switch completion) on a worker. The epoch
+    /// tags the worker incarnation that scheduled it: a fail-stop bumps the
+    /// worker's epoch, so completions scheduled before the failure arrive
+    /// stale and are discarded.
+    BatchDone {
+        worker: usize,
+        epoch: u64,
+    },
     ControlTick,
+    /// The `i`-th scheduled scenario action fires.
+    Scenario(usize),
 }
 
 #[derive(Debug, Clone)]
@@ -80,6 +99,12 @@ struct Worker {
     queue: VecDeque<u64>,
     busy: bool,
     in_flight: Vec<u64>,
+    /// Fail-stopped: receives no work and emits no completions until a
+    /// scenario recovery.
+    failed: bool,
+    /// Incarnation counter; bumped on failure so in-flight [`Event::BatchDone`]
+    /// events from before the crash are recognized as stale.
+    epoch: u64,
 }
 
 impl Worker {
@@ -107,6 +132,9 @@ struct ServingSim<'a> {
     queries: Vec<QueryRec>,
     threshold: f64,
     proteus_heavy_fraction: f64,
+    // Scenario state.
+    actions: Vec<(SimTime, ScenarioEvent)>,
+    difficulty_delta: f64,
     // Metrics.
     slo: SloTracker,
     responses: Vec<CompletedResponse>,
@@ -129,6 +157,7 @@ impl<'a> ServingSim<'a> {
         config: &'a SystemConfig,
         settings: &'a RunSettings,
         runtime: &'a CascadeRuntime,
+        actions: Vec<(SimTime, ScenarioEvent)>,
     ) -> Self {
         config.validate().expect("valid system config");
         // Bootstrap: half the fleet per tier until the first control tick
@@ -145,6 +174,8 @@ impl<'a> ServingSim<'a> {
                 queue: VecDeque::new(),
                 busy: false,
                 in_flight: Vec::new(),
+                failed: false,
+                epoch: 0,
             })
             .collect();
         let mut sim = ServingSim {
@@ -155,6 +186,8 @@ impl<'a> ServingSim<'a> {
             queries: Vec::new(),
             threshold: 0.5,
             proteus_heavy_fraction: 0.5,
+            actions,
+            difficulty_delta: 0.0,
             slo: SloTracker::new(config.slo),
             responses: Vec::new(),
             demand: DemandEstimator::new(config.ewma_alpha, config.over_provision),
@@ -228,7 +261,7 @@ impl<'a> ServingSim<'a> {
             queue_delay_light,
             queue_delay_heavy,
             slo: self.config.slo.as_secs_f64(),
-            total_workers: self.config.num_workers,
+            total_workers: self.alive_count(),
             deferral: &self.runtime.deferral,
             light: *self.runtime.spec.light.latency(),
             heavy: *self.runtime.spec.heavy.latency(),
@@ -301,16 +334,33 @@ impl<'a> ServingSim<'a> {
         }
     }
 
+    /// Workers currently alive (not fail-stopped).
+    fn alive_count(&self) -> usize {
+        self.workers.iter().filter(|w| !w.failed).count()
+    }
+
+    /// Whether any alive worker hosts (or is switching to) the heavy model.
+    fn has_alive_heavy(&self) -> bool {
+        self.workers
+            .iter()
+            .any(|w| !w.failed && w.target_tier() == ModelTier::Heavy)
+    }
+
     /// Applies an allocation immediately (bootstrap: no switch delay).
+    /// Failed workers are skipped — tiers are assigned positionally across
+    /// the alive fleet only.
     fn apply_allocation_instant(&mut self, alloc: &Allocation) {
         self.threshold = alloc.threshold;
         let spare = self
-            .config
-            .num_workers
+            .alive_count()
             .saturating_sub(alloc.light_workers + alloc.heavy_workers);
         let target_light = alloc.light_workers + spare;
-        for (i, w) in self.workers.iter_mut().enumerate() {
-            w.tier = if i < target_light {
+        let mut pos = 0;
+        for w in self.workers.iter_mut() {
+            if w.failed {
+                continue;
+            }
+            w.tier = if pos < target_light {
                 ModelTier::Light
             } else {
                 ModelTier::Heavy
@@ -320,6 +370,7 @@ impl<'a> ServingSim<'a> {
                 ModelTier::Light => alloc.light_batch,
                 ModelTier::Heavy => alloc.heavy_batch,
             };
+            pos += 1;
         }
     }
 
@@ -335,12 +386,11 @@ impl<'a> ServingSim<'a> {
     ) {
         self.threshold = alloc.threshold;
         let spare = self
-            .config
-            .num_workers
+            .alive_count()
             .saturating_sub(alloc.light_workers + alloc.heavy_workers);
         let target_light = alloc.light_workers + spare;
 
-        for w in &mut self.workers {
+        for w in self.workers.iter_mut().filter(|w| !w.failed) {
             let b = match w.target_tier() {
                 ModelTier::Light => alloc.light_batch,
                 ModelTier::Heavy => alloc.heavy_batch,
@@ -351,7 +401,7 @@ impl<'a> ServingSim<'a> {
         let current_light = self
             .workers
             .iter()
-            .filter(|w| w.target_tier() == ModelTier::Light)
+            .filter(|w| !w.failed && w.target_tier() == ModelTier::Light)
             .count();
 
         let (from, to, count) = if current_light > target_light {
@@ -372,7 +422,7 @@ impl<'a> ServingSim<'a> {
         }
         // Switch the least-loaded workers of the donor tier.
         let mut candidates: Vec<usize> = (0..self.workers.len())
-            .filter(|&i| self.workers[i].target_tier() == from)
+            .filter(|&i| !self.workers[i].failed && self.workers[i].target_tier() == from)
             .collect();
         candidates.sort_by_key(|&i| self.workers[i].load());
         let switching: Vec<usize> = candidates.into_iter().take(count).collect();
@@ -398,11 +448,18 @@ impl<'a> ServingSim<'a> {
         debug_assert!(!self.workers[idx].busy);
         self.workers[idx].busy = true;
         debug_assert!(self.workers[idx].in_flight.is_empty());
-        queue.push(now + self.config.model_switch_delay, Event::BatchDone(idx));
+        queue.push(
+            now + self.config.model_switch_delay,
+            Event::BatchDone {
+                worker: idx,
+                epoch: self.workers[idx].epoch,
+            },
+        );
     }
 
-    /// Join-shortest-queue routing to the pool of a tier. Prefers workers
-    /// already running the tier; falls back to ones switching toward it.
+    /// Join-shortest-queue routing to the pool of a tier. Prefers alive
+    /// workers already running the tier; falls back to ones switching toward
+    /// it, then to any alive worker.
     fn route_to_tier(
         &mut self,
         tier: ModelTier,
@@ -412,19 +469,19 @@ impl<'a> ServingSim<'a> {
     ) {
         let pick = |sim: &ServingSim<'_>, pred: &dyn Fn(&Worker) -> bool| -> Option<usize> {
             (0..sim.workers.len())
-                .filter(|&i| pred(&sim.workers[i]))
+                .filter(|&i| !sim.workers[i].failed && pred(&sim.workers[i]))
                 .min_by_key(|&i| (sim.workers[i].load(), i))
         };
         let chosen = pick(self, &|w| w.tier == tier && w.pending_tier.is_none())
             .or_else(|| pick(self, &|w| w.target_tier() == tier))
             .or_else(|| pick(self, &|_| true))
-            .expect("at least one worker exists");
+            .expect("scenario validation keeps at least one worker alive");
         self.workers[chosen].queue.push_back(qidx);
         self.try_start(chosen, now, queue);
     }
 
     fn try_start(&mut self, idx: usize, now: SimTime, queue: &mut EventQueue<Event>) {
-        if self.workers[idx].busy {
+        if self.workers[idx].busy || self.workers[idx].failed {
             return;
         }
         if self.workers[idx].pending_tier.is_some() {
@@ -465,7 +522,13 @@ impl<'a> ServingSim<'a> {
         let dur = SimDuration::from_secs_f64(self.stage_latency(tier, batch.len()));
         self.workers[idx].busy = true;
         self.workers[idx].in_flight = batch;
-        queue.push(now + dur, Event::BatchDone(idx));
+        queue.push(
+            now + dur,
+            Event::BatchDone {
+                worker: idx,
+                epoch: self.workers[idx].epoch,
+            },
+        );
     }
 
     fn complete(
@@ -523,7 +586,27 @@ impl<'a> ServingSim<'a> {
         self.route_to_tier(tier, qidx, now, queue);
     }
 
-    fn handle_batch_done(&mut self, idx: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+    /// The prompt served for query `qidx`, with any active scenario
+    /// difficulty shift applied.
+    fn served_prompt(&self, qidx: u64) -> Prompt {
+        self.runtime
+            .dataset
+            .prompt_cyclic(qidx)
+            .harder(self.difficulty_delta)
+    }
+
+    fn handle_batch_done(
+        &mut self,
+        idx: usize,
+        epoch: u64,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if self.workers[idx].epoch != epoch {
+            // Stale completion from an incarnation that fail-stopped; its
+            // in-flight work was already re-routed by the failure handler.
+            return;
+        }
         self.workers[idx].busy = false;
         let batch = std::mem::take(&mut self.workers[idx].in_flight);
         if batch.is_empty() {
@@ -536,13 +619,18 @@ impl<'a> ServingSim<'a> {
         }
         let tier = self.workers[idx].tier;
         for qidx in batch {
-            let prompt = *self.runtime.dataset.prompt_cyclic(qidx);
+            let prompt = self.served_prompt(qidx);
             match tier {
                 ModelTier::Light => {
                     let image = self.runtime.spec.light.generate(&prompt);
                     if self.settings.policy.uses_cascade() {
                         let conf = self.runtime.discriminator.confidence(&image.features);
-                        if conf >= self.threshold {
+                        // With the heavy pool wiped out by churn, an
+                        // escalation would land back on a light worker,
+                        // deterministically regenerate the same image, and
+                        // bounce forever — degrade gracefully by serving
+                        // the light output instead.
+                        if conf >= self.threshold || !self.has_alive_heavy() {
                             self.complete(qidx, image, ModelTier::Light, Some(conf), now);
                         } else {
                             self.heavy_arrivals_since_tick += 1;
@@ -561,6 +649,66 @@ impl<'a> ServingSim<'a> {
         self.try_start(idx, now, queue);
     }
 
+    /// A scenario fail-stop: the `count` highest-indexed alive workers go
+    /// down. Their queued *and* in-flight queries are retried on surviving
+    /// workers of the same tier (fail-stop loses batch progress), and stale
+    /// completions are fenced off by the epoch bump.
+    fn handle_fail(&mut self, count: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+        let victims: Vec<usize> = (0..self.workers.len())
+            .rev()
+            .filter(|&i| !self.workers[i].failed)
+            .take(count)
+            .collect();
+        let mut orphans: Vec<(ModelTier, u64)> = Vec::new();
+        for idx in victims {
+            let w = &mut self.workers[idx];
+            w.failed = true;
+            w.epoch += 1;
+            w.busy = false;
+            let tier = w.target_tier();
+            w.pending_tier = None;
+            for q in w.queue.drain(..) {
+                orphans.push((tier, q));
+            }
+            for q in w.in_flight.drain(..) {
+                orphans.push((tier, q));
+            }
+        }
+        for (tier, q) in orphans {
+            if !self.queries[q as usize].finished {
+                self.route_to_tier(tier, q, now, queue);
+            }
+        }
+    }
+
+    /// A scenario recovery: the `count` lowest-indexed failed workers come
+    /// back, paying the model load delay before they can serve (the same
+    /// switch protocol a reassigned worker follows).
+    fn handle_recover(&mut self, count: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+        let returning: Vec<usize> = (0..self.workers.len())
+            .filter(|&i| self.workers[i].failed)
+            .take(count)
+            .collect();
+        for idx in returning {
+            let w = &mut self.workers[idx];
+            w.failed = false;
+            w.busy = false;
+            w.epoch += 1;
+            w.pending_tier = Some(w.tier);
+            self.begin_switch(idx, now, queue);
+        }
+    }
+
+    fn handle_scenario(&mut self, i: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+        match self.actions[i].1 {
+            ScenarioEvent::Capacity(CapacityEvent::Fail(n)) => self.handle_fail(n, now, queue),
+            ScenarioEvent::Capacity(CapacityEvent::Recover(n)) => {
+                self.handle_recover(n, now, queue)
+            }
+            ScenarioEvent::Difficulty(delta) => self.difficulty_delta = delta,
+        }
+    }
+
     fn handle_control_tick(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
         let interval = self.config.control_interval;
         self.demand.observe(self.arrivals_since_tick, interval);
@@ -570,13 +718,13 @@ impl<'a> ServingSim<'a> {
         let light_queue: usize = self
             .workers
             .iter()
-            .filter(|w| w.target_tier() == ModelTier::Light)
+            .filter(|w| !w.failed && w.target_tier() == ModelTier::Light)
             .map(|w| w.queue.len())
             .sum();
         let heavy_queue: usize = self
             .workers
             .iter()
-            .filter(|w| w.target_tier() == ModelTier::Heavy)
+            .filter(|w| !w.failed && w.target_tier() == ModelTier::Heavy)
             .map(|w| w.queue.len())
             .sum();
         let heavy_rate = (self.heavy_arrivals_since_tick as f64 / interval.as_secs_f64()).max(0.05);
@@ -674,7 +822,7 @@ impl<'a> ServingSim<'a> {
     fn current_batch(&self, tier: ModelTier) -> usize {
         self.workers
             .iter()
-            .find(|w| w.target_tier() == tier)
+            .find(|w| !w.failed && w.target_tier() == tier)
             .map(|w| w.batch_max)
             .unwrap_or(1)
     }
@@ -692,8 +840,9 @@ impl Actor<Event> for ServingSim<'_> {
     fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
         match event {
             Event::Arrival(qidx) => self.handle_arrival(qidx, now, queue),
-            Event::BatchDone(idx) => self.handle_batch_done(idx, now, queue),
+            Event::BatchDone { worker, epoch } => self.handle_batch_done(worker, epoch, now, queue),
             Event::ControlTick => self.handle_control_tick(now, queue),
+            Event::Scenario(i) => self.handle_scenario(i, now, queue),
         }
     }
 }
@@ -702,23 +851,91 @@ impl Actor<Event> for ServingSim<'_> {
 ///
 /// Arrivals are Poisson within each trace bin, seeded from
 /// `config.seed` — identical across policies so comparisons are paired.
+/// Equivalent to [`run_scenario`] with a perturbation-free scenario.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_core::prelude::*;
+/// use diffserve_imagegen::{cascade1, DiscriminatorConfig, FeatureSpec};
+/// use diffserve_simkit::time::SimDuration;
+/// use diffserve_trace::Trace;
+///
+/// // Tiny runtime so the doctest stays fast.
+/// let runtime = CascadeRuntime::prepare(
+///     cascade1(FeatureSpec::default()),
+///     200,
+///     7,
+///     DiscriminatorConfig { train_prompts: 100, epochs: 2, ..Default::default() },
+/// );
+/// let config = SystemConfig { num_workers: 4, ..Default::default() };
+/// let trace = Trace::constant(2.0, SimDuration::from_secs(10))?;
+/// let report = run_trace(
+///     &runtime,
+///     &config,
+///     &RunSettings::new(Policy::ClipperLight, 2.0),
+///     &trace,
+/// );
+/// assert_eq!(report.completed + report.dropped, report.total_queries);
+/// # Ok::<(), diffserve_trace::TraceError>(())
+/// ```
 pub fn run_trace(
     runtime: &CascadeRuntime,
     config: &SystemConfig,
     settings: &RunSettings,
     trace: &Trace,
 ) -> RunReport {
+    run_driven(runtime, config, settings, trace, Vec::new())
+}
+
+/// Runs one policy against a [`Scenario`]: the base trace with its demand
+/// perturbations baked in, plus worker churn and difficulty shifts injected
+/// into the event loop at their scheduled times.
+///
+/// The thread-based testbed exposes the parity path
+/// `diffserve_cluster::run_cluster_scenario`, so one `Scenario` value drives
+/// both implementations.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or
+/// [`Scenario::validate`](diffserve_trace::Scenario::validate) rejects the
+/// scenario for this worker count.
+pub fn run_scenario(
+    runtime: &CascadeRuntime,
+    config: &SystemConfig,
+    settings: &RunSettings,
+    scenario: &Scenario,
+) -> RunReport {
+    scenario
+        .validate(config.num_workers)
+        .expect("valid scenario for this worker pool");
+    let trace = scenario.effective_trace();
+    run_driven(runtime, config, settings, &trace, scenario.timeline())
+}
+
+fn run_driven(
+    runtime: &CascadeRuntime,
+    config: &SystemConfig,
+    settings: &RunSettings,
+    trace: &Trace,
+    actions: Vec<(SimTime, ScenarioEvent)>,
+) -> RunReport {
     let mut arrival_rng = seeded_rng(derive_seed(config.seed, 0xA881));
     let arrivals = poisson_arrivals(trace, &mut arrival_rng);
 
-    let sim_state = ServingSim::new(config, settings, runtime);
+    let action_times: Vec<SimTime> = actions.iter().map(|&(at, _)| at).collect();
+    let sim_state = ServingSim::new(config, settings, runtime, actions);
     let mut sim = Simulation::new(sim_state);
     for (i, &t) in arrivals.iter().enumerate() {
         sim.schedule(t, Event::Arrival(i as u64));
+    }
+    for (i, &at) in action_times.iter().enumerate() {
+        sim.schedule(at, Event::Scenario(i));
     }
     sim.schedule(SimTime::ZERO + config.control_interval, Event::ControlTick);
 
@@ -739,9 +956,15 @@ pub fn run_trace(
     build_report(state, horizon)
 }
 
-fn build_report(state: ServingSim<'_>, _horizon: SimTime) -> RunReport {
+fn build_report(state: ServingSim<'_>, horizon: SimTime) -> RunReport {
+    // Series windows are keyed by window *start*, so anything at or past the
+    // horizon is a partial artifact of the drain period — truncate it.
+    let h = horizon.as_secs_f64();
     let to_secs = |v: Vec<(SimTime, f64)>| -> Vec<(f64, f64)> {
-        v.into_iter().map(|(t, x)| (t.as_secs_f64(), x)).collect()
+        v.into_iter()
+            .map(|(t, x)| (t.as_secs_f64(), x))
+            .filter(|&(t, _)| t < h)
+            .collect()
     };
     RunReport::assemble(
         state.settings.policy,
@@ -977,6 +1200,161 @@ mod tests {
         for &(_, t) in &report.threshold_series {
             assert!((t - 0.45).abs() < 1e-9, "threshold moved to {t}");
         }
+    }
+
+    #[test]
+    fn steady_scenario_matches_run_trace_bitwise() {
+        let cfg = small_config();
+        let settings = RunSettings::new(Policy::DiffServe, 8.0);
+        let trace = flat_trace(5.0, 30);
+        let plain = run_trace(test_runtime(), &cfg, &settings, &trace);
+        let scenario = Scenario::new("steady", trace);
+        let via_scenario = run_scenario(test_runtime(), &cfg, &settings, &scenario);
+        assert_eq!(plain.total_queries, via_scenario.total_queries);
+        assert_eq!(plain.violation_ratio, via_scenario.violation_ratio);
+        assert_eq!(plain.fid.to_bits(), via_scenario.fid.to_bits());
+    }
+
+    #[test]
+    fn worker_failure_conserves_queries() {
+        let cfg = small_config();
+        let scenario = Scenario::new("failover", flat_trace(5.0, 60))
+            .worker_fail(SimTime::from_secs(20), 2)
+            .worker_recover(SimTime::from_secs(40), 2);
+        for policy in Policy::all() {
+            let settings = RunSettings::new(policy, 8.0);
+            let report = run_scenario(test_runtime(), &cfg, &settings, &scenario);
+            assert_eq!(
+                report.completed + report.dropped,
+                report.total_queries,
+                "{}: leaked queries under churn",
+                policy.name()
+            );
+            assert!(report.total_queries > 100, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn failure_degrades_service_and_recovery_restores_it() {
+        let cfg = small_config();
+        let settings = RunSettings::new(Policy::DiffServe, 10.0);
+        let steady = run_scenario(
+            test_runtime(),
+            &cfg,
+            &settings,
+            &Scenario::new("steady", flat_trace(6.0, 90)),
+        );
+        let churn = run_scenario(
+            test_runtime(),
+            &cfg,
+            &settings,
+            &Scenario::new("churn", flat_trace(6.0, 90))
+                .worker_fail(SimTime::from_secs(30), 3)
+                .worker_recover(SimTime::from_secs(60), 3),
+        );
+        // Losing 3 of 8 workers mid-run cannot improve violations.
+        assert!(
+            churn.violation_ratio >= steady.violation_ratio,
+            "churn {} vs steady {}",
+            churn.violation_ratio,
+            steady.violation_ratio
+        );
+        // But the controller re-solves and keeps the run from collapsing.
+        assert!(
+            churn.violation_ratio < 0.5,
+            "no graceful degradation: {}",
+            churn.violation_ratio
+        );
+    }
+
+    #[test]
+    fn difficulty_shift_raises_deferrals() {
+        let cfg = small_config();
+        let settings = RunSettings::new(Policy::DiffServe, 8.0);
+        let steady = run_scenario(
+            test_runtime(),
+            &cfg,
+            &settings,
+            &Scenario::new("steady", flat_trace(3.0, 60)),
+        );
+        let hard = run_scenario(
+            test_runtime(),
+            &cfg,
+            &settings,
+            &Scenario::new("hard", flat_trace(3.0, 60))
+                .difficulty_shift(SimTime::from_secs(10), 0.35),
+        );
+        // Harder prompts look less real to the discriminator, so more of
+        // the stream escalates to the heavy model.
+        assert!(
+            hard.heavy_fraction > steady.heavy_fraction,
+            "hard {} vs steady {}",
+            hard.heavy_fraction,
+            steady.heavy_fraction
+        );
+    }
+
+    #[test]
+    fn flash_crowd_grows_the_arrival_stream() {
+        let cfg = small_config();
+        let settings = RunSettings::new(Policy::DiffServe, 16.0);
+        let base = flat_trace(4.0, 60);
+        let steady = run_scenario(
+            test_runtime(),
+            &cfg,
+            &settings,
+            &Scenario::new("steady", base.clone()),
+        );
+        let crowd = run_scenario(
+            test_runtime(),
+            &cfg,
+            &settings,
+            &Scenario::new("crowd", base).flash_crowd(
+                SimTime::from_secs(20),
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(15),
+                3.0,
+            ),
+        );
+        assert!(
+            crowd.total_queries as f64 > steady.total_queries as f64 * 1.2,
+            "crowd {} vs steady {}",
+            crowd.total_queries,
+            steady.total_queries
+        );
+        assert_eq!(crowd.completed + crowd.dropped, crowd.total_queries);
+    }
+
+    #[test]
+    fn heavy_pool_wipeout_degrades_to_light_service() {
+        // At 18 QPS the allocator keeps ~3 light / 5 heavy workers; failing
+        // the 5 highest-indexed (the heavy pool) must not send escalations
+        // ping-ponging between light workers — they complete as light.
+        let cfg = small_config();
+        let settings = RunSettings::new(Policy::DiffServe, 18.0);
+        let scenario =
+            Scenario::new("wipeout", flat_trace(18.0, 40)).worker_fail(SimTime::from_secs(20), 5);
+        let report = run_scenario(test_runtime(), &cfg, &settings, &scenario);
+        assert_eq!(report.completed + report.dropped, report.total_queries);
+        assert!(
+            report.violation_ratio < 0.5,
+            "wipeout should degrade quality, not deadlines: {}",
+            report.violation_ratio
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "valid scenario")]
+    fn scenario_exhausting_the_pool_panics() {
+        let cfg = small_config();
+        let scenario =
+            Scenario::new("bad", flat_trace(2.0, 20)).worker_fail(SimTime::from_secs(5), 7);
+        let _ = run_scenario(
+            test_runtime(),
+            &cfg,
+            &RunSettings::new(Policy::DiffServe, 4.0),
+            &scenario,
+        );
     }
 
     #[test]

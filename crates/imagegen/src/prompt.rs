@@ -28,6 +28,28 @@ pub struct Prompt {
     pub seed: u64,
 }
 
+impl Prompt {
+    /// This prompt with its latent difficulty offset by `delta`, clamped to
+    /// `[0, 1]`. Scenario difficulty shifts (a harder prompt mix arriving at
+    /// runtime) are modeled by offsetting every served prompt; generation
+    /// noise and identity (`id`, `seed`) are unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diffserve_imagegen::Prompt;
+    ///
+    /// let p = Prompt { id: 0, difficulty: 0.9, style_bias: 0.0, seed: 1 };
+    /// assert_eq!(p.harder(0.3).difficulty, 1.0); // clamped
+    /// assert!((p.harder(-0.5).difficulty - 0.4).abs() < 1e-12);
+    /// assert_eq!(p.harder(0.0), p);
+    /// ```
+    pub fn harder(mut self, delta: f64) -> Prompt {
+        self.difficulty = (self.difficulty + delta).clamp(0.0, 1.0);
+        self
+    }
+}
+
 /// Which reference dataset a synthetic prompt set mimics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetKind {

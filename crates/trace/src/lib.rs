@@ -30,6 +30,7 @@ pub mod azure;
 pub mod burst;
 pub mod demand;
 pub mod file;
+pub mod scenario;
 mod trace;
 
 pub use arrival::{paced_arrivals, poisson_arrivals};
@@ -37,4 +38,7 @@ pub use azure::{synthesize_azure_trace, AzureTraceConfig};
 pub use burst::{bursty_arrivals, BurstConfig};
 pub use demand::DemandEstimator;
 pub use file::{read_trace, trace_file_name, write_trace};
+pub use scenario::{
+    standard_scenarios, CapacityEvent, Perturbation, Scenario, ScenarioError, ScenarioEvent,
+};
 pub use trace::{Trace, TraceError};

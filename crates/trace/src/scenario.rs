@@ -1,0 +1,668 @@
+//! Scenarios: a base demand trace composed with timed perturbations.
+//!
+//! The paper evaluates DiffServe on smoothly varying demand (the Azure
+//! Functions trace, §4.1), but a production serving system also faces
+//! *capacity churn* (GPU workers failing and rejoining), *flash crowds*
+//! (multiplicative demand spikes with steep ramps), *demand shocks*
+//! (persistent level shifts), and *difficulty shifts* (the prompt-hardness
+//! mix changing, which raises the cascade's deferral rate even at constant
+//! QPS). A [`Scenario`] describes all of these declaratively so that the
+//! discrete-event simulator (`diffserve_core::run_scenario`) and the
+//! thread-based testbed (`diffserve_cluster::run_cluster_scenario`) can
+//! replay exactly the same stress from one value.
+//!
+//! Demand-side perturbations ([`Perturbation::FlashCrowd`],
+//! [`Perturbation::DemandShift`]) are *baked into the arrival stream* via
+//! [`Scenario::effective_trace`]; capacity and difficulty perturbations are
+//! exposed as timed schedules ([`Scenario::capacity_events`],
+//! [`Scenario::difficulty_events`]) that the run paths inject into their
+//! event loops.
+//!
+//! # Examples
+//!
+//! ```
+//! use diffserve_trace::{Scenario, Trace};
+//! use diffserve_simkit::time::{SimDuration, SimTime};
+//!
+//! let base = Trace::constant(6.0, SimDuration::from_secs(120))?;
+//! let scenario = Scenario::new("failover", base)
+//!     .worker_fail(SimTime::from_secs(40), 2)
+//!     .worker_recover(SimTime::from_secs(80), 2);
+//! scenario.validate(8)?;
+//! assert_eq!(scenario.capacity_events().len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use diffserve_simkit::time::{SimDuration, SimTime};
+
+use crate::trace::Trace;
+
+/// One timed perturbation applied on top of a scenario's base trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Perturbation {
+    /// `count` workers fail-stop at `at`: their queued and in-flight work is
+    /// retried elsewhere and the controller must re-solve against the
+    /// shrunken pool.
+    WorkerFail {
+        /// Failure instant.
+        at: SimTime,
+        /// Number of workers that fail (highest-indexed alive workers).
+        count: usize,
+    },
+    /// `count` previously failed workers rejoin at `at`, paying the model
+    /// load delay before serving again.
+    WorkerRecover {
+        /// Recovery instant.
+        at: SimTime,
+        /// Number of workers that rejoin (lowest-indexed failed workers).
+        count: usize,
+    },
+    /// A multiplicative rate spike: demand ramps from ×1 to ×`factor` over
+    /// `ramp`, holds at ×`factor` for `hold`, then ramps back down over
+    /// `ramp`.
+    FlashCrowd {
+        /// Start of the up-ramp.
+        start: SimTime,
+        /// Up- and down-ramp duration (zero = step).
+        ramp: SimDuration,
+        /// Duration at full amplitude.
+        hold: SimDuration,
+        /// Peak demand multiplier (> 0; > 1 for a crowd, < 1 for an outage
+        /// of an upstream traffic source).
+        factor: f64,
+    },
+    /// A persistent demand level change: every rate from `at` onward is
+    /// multiplied by `factor`.
+    DemandShift {
+        /// Shift instant.
+        at: SimTime,
+        /// Demand multiplier applied from `at` to the trace end.
+        factor: f64,
+    },
+    /// The prompt-hardness mix changes: from `at` onward every prompt's
+    /// latent difficulty is offset by `delta` (clamped to `[0, 1]`). Harder
+    /// prompts lower discriminator confidence, raising the cascade's
+    /// deferral rate (paper Eq. 3's `f(t)` shifts up) at constant QPS.
+    DifficultyShift {
+        /// Shift instant.
+        at: SimTime,
+        /// Difficulty offset in `[-1, 1]` active from `at` (replaces any
+        /// earlier offset; it does not stack).
+        delta: f64,
+    },
+}
+
+impl Perturbation {
+    /// The instant this perturbation begins to act.
+    pub fn onset(&self) -> SimTime {
+        match *self {
+            Perturbation::WorkerFail { at, .. }
+            | Perturbation::WorkerRecover { at, .. }
+            | Perturbation::DemandShift { at, .. }
+            | Perturbation::DifficultyShift { at, .. } => at,
+            Perturbation::FlashCrowd { start, .. } => start,
+        }
+    }
+
+    /// Short human-readable kind name (used in experiment tables).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Perturbation::WorkerFail { .. } => "worker-fail",
+            Perturbation::WorkerRecover { .. } => "worker-recover",
+            Perturbation::FlashCrowd { .. } => "flash-crowd",
+            Perturbation::DemandShift { .. } => "demand-shift",
+            Perturbation::DifficultyShift { .. } => "difficulty-shift",
+        }
+    }
+}
+
+/// A capacity event derived from the worker-churn perturbations, in the
+/// form the run paths inject into their event loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityEvent {
+    /// This many workers fail-stop.
+    Fail(usize),
+    /// This many failed workers rejoin.
+    Recover(usize),
+}
+
+/// One lowered scenario event, ready for injection into a run path's event
+/// loop (demand perturbations are not lowered — they live in
+/// [`Scenario::effective_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioEvent {
+    /// Worker churn.
+    Capacity(CapacityEvent),
+    /// The active prompt-difficulty offset becomes this value.
+    Difficulty(f64),
+}
+
+/// An invalid [`Scenario`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A demand multiplier was non-positive or non-finite.
+    InvalidFactor {
+        /// The offending multiplier.
+        factor: f64,
+    },
+    /// A difficulty offset fell outside `[-1, 1]` or was non-finite.
+    InvalidDelta {
+        /// The offending offset.
+        delta: f64,
+    },
+    /// A churn perturbation named zero workers.
+    ZeroWorkers,
+    /// At some instant the surviving pool would drop below two workers
+    /// (the serving system needs one worker per tier).
+    PoolExhausted {
+        /// When the pool would become too small.
+        at: SimTime,
+        /// Workers that would remain alive.
+        alive: usize,
+    },
+    /// A recovery names more workers than are currently failed.
+    RecoverWithoutFailure {
+        /// When the invalid recovery fires.
+        at: SimTime,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::InvalidFactor { factor } => {
+                write!(f, "demand multiplier must be positive, got {factor}")
+            }
+            ScenarioError::InvalidDelta { delta } => {
+                write!(f, "difficulty offset must lie in [-1, 1], got {delta}")
+            }
+            ScenarioError::ZeroWorkers => {
+                write!(f, "worker churn must name at least one worker")
+            }
+            ScenarioError::PoolExhausted { at, alive } => write!(
+                f,
+                "at {at} only {alive} workers would remain (need at least 2, one per tier)"
+            ),
+            ScenarioError::RecoverWithoutFailure { at } => {
+                write!(f, "recovery at {at} names more workers than have failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A named stress scenario: a base demand trace plus timed perturbations.
+///
+/// Build one with [`Scenario::new`] and the chained perturbation methods,
+/// then hand the *same value* to `diffserve_core::run_scenario` and
+/// `diffserve_cluster::run_cluster_scenario` — both replay the identical
+/// arrival stream, capacity churn, and difficulty schedule.
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_trace::{Scenario, Trace};
+/// use diffserve_simkit::time::{SimDuration, SimTime};
+///
+/// let base = Trace::constant(4.0, SimDuration::from_secs(100))?;
+/// let s = Scenario::new("flash", base)
+///     .flash_crowd(
+///         SimTime::from_secs(30),
+///         SimDuration::from_secs(10),
+///         SimDuration::from_secs(20),
+///         3.0,
+///     );
+/// let eff = s.effective_trace();
+/// // Before the crowd the rate is the base rate; at full amplitude it is 3x.
+/// assert_eq!(eff.qps_at(SimTime::from_secs(10)), 4.0);
+/// assert_eq!(eff.qps_at(SimTime::from_secs(50)), 12.0);
+/// # Ok::<(), diffserve_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: String,
+    base: Trace,
+    perturbations: Vec<Perturbation>,
+}
+
+impl Scenario {
+    /// Creates a scenario with no perturbations (replays `base` unchanged).
+    pub fn new(name: impl Into<String>, base: Trace) -> Self {
+        Scenario {
+            name: name.into(),
+            base,
+            perturbations: Vec::new(),
+        }
+    }
+
+    /// Scenario name (used in reports and experiment tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The unperturbed base trace.
+    pub fn base(&self) -> &Trace {
+        &self.base
+    }
+
+    /// All perturbations, in insertion order.
+    pub fn perturbations(&self) -> &[Perturbation] {
+        &self.perturbations
+    }
+
+    /// Onset times of every perturbation (seconds), sorted ascending —
+    /// what recovery-time measurements anchor to.
+    pub fn perturbation_onsets(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .perturbations
+            .iter()
+            .map(|p| p.onset().as_secs_f64())
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite onsets"));
+        v
+    }
+
+    /// Appends an arbitrary perturbation.
+    pub fn with(mut self, p: Perturbation) -> Self {
+        self.perturbations.push(p);
+        self
+    }
+
+    /// `count` workers fail-stop at `at`.
+    pub fn worker_fail(self, at: SimTime, count: usize) -> Self {
+        self.with(Perturbation::WorkerFail { at, count })
+    }
+
+    /// `count` failed workers rejoin at `at`.
+    pub fn worker_recover(self, at: SimTime, count: usize) -> Self {
+        self.with(Perturbation::WorkerRecover { at, count })
+    }
+
+    /// A flash crowd: ramp to ×`factor` over `ramp`, hold for `hold`, ramp
+    /// back down over `ramp`.
+    pub fn flash_crowd(
+        self,
+        start: SimTime,
+        ramp: SimDuration,
+        hold: SimDuration,
+        factor: f64,
+    ) -> Self {
+        self.with(Perturbation::FlashCrowd {
+            start,
+            ramp,
+            hold,
+            factor,
+        })
+    }
+
+    /// A persistent ×`factor` demand shift from `at` onward.
+    pub fn demand_shift(self, at: SimTime, factor: f64) -> Self {
+        self.with(Perturbation::DemandShift { at, factor })
+    }
+
+    /// A prompt-difficulty offset of `delta` active from `at` onward.
+    pub fn difficulty_shift(self, at: SimTime, delta: f64) -> Self {
+        self.with(Perturbation::DifficultyShift { at, delta })
+    }
+
+    /// Checks the scenario against a worker pool of `num_workers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: non-positive demand factors,
+    /// out-of-range difficulty offsets, zero-worker churn, recoveries that
+    /// exceed the failed count, or churn that would leave fewer than two
+    /// workers alive at any instant.
+    pub fn validate(&self, num_workers: usize) -> Result<(), ScenarioError> {
+        for p in &self.perturbations {
+            match *p {
+                Perturbation::FlashCrowd { factor, .. }
+                | Perturbation::DemandShift { factor, .. } => {
+                    if !factor.is_finite() || factor <= 0.0 {
+                        return Err(ScenarioError::InvalidFactor { factor });
+                    }
+                }
+                Perturbation::DifficultyShift { delta, .. } => {
+                    if !delta.is_finite() || !(-1.0..=1.0).contains(&delta) {
+                        return Err(ScenarioError::InvalidDelta { delta });
+                    }
+                }
+                Perturbation::WorkerFail { count, .. }
+                | Perturbation::WorkerRecover { count, .. } => {
+                    if count == 0 {
+                        return Err(ScenarioError::ZeroWorkers);
+                    }
+                }
+            }
+        }
+        // Walk the capacity timeline tracking the failed count.
+        let mut failed = 0usize;
+        for (at, ev) in self.capacity_events() {
+            match ev {
+                CapacityEvent::Fail(n) => {
+                    failed += n;
+                    let alive = num_workers.saturating_sub(failed);
+                    if alive < 2 {
+                        return Err(ScenarioError::PoolExhausted { at, alive });
+                    }
+                }
+                CapacityEvent::Recover(n) => {
+                    if n > failed {
+                        return Err(ScenarioError::RecoverWithoutFailure { at });
+                    }
+                    failed -= n;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The demand multiplier active at time `t`: the product of every
+    /// [`Perturbation::FlashCrowd`] envelope and [`Perturbation::DemandShift`]
+    /// factor covering `t`.
+    pub fn demand_multiplier(&self, t: SimTime) -> f64 {
+        let mut m = 1.0;
+        for p in &self.perturbations {
+            match *p {
+                Perturbation::FlashCrowd {
+                    start,
+                    ramp,
+                    hold,
+                    factor,
+                } => {
+                    if t < start {
+                        continue;
+                    }
+                    let dt = t.saturating_since(start).as_secs_f64();
+                    let ramp_s = ramp.as_secs_f64();
+                    let hold_s = hold.as_secs_f64();
+                    let envelope = if dt < ramp_s {
+                        1.0 + (factor - 1.0) * dt / ramp_s
+                    } else if dt < ramp_s + hold_s {
+                        factor
+                    } else if dt < 2.0 * ramp_s + hold_s {
+                        factor - (factor - 1.0) * (dt - ramp_s - hold_s) / ramp_s
+                    } else {
+                        1.0
+                    };
+                    m *= envelope;
+                }
+                Perturbation::DemandShift { at, factor } if t >= at => m *= factor,
+                _ => {}
+            }
+        }
+        m
+    }
+
+    /// The base trace with every demand perturbation baked in, evaluated at
+    /// bin midpoints. This is the trace the run paths draw arrivals from, so
+    /// the simulator and the testbed see the identical offered load.
+    pub fn effective_trace(&self) -> Trace {
+        let bw = self.base.bin_width();
+        let half = SimDuration::from_secs_f64(bw.as_secs_f64() / 2.0);
+        let bins: Vec<f64> = self
+            .base
+            .bins()
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let mid = SimTime::ZERO + bw * i as u64 + half;
+                q * self.demand_multiplier(mid)
+            })
+            .collect();
+        Trace::from_qps(bins, bw).expect("base trace valid, multipliers positive")
+    }
+
+    /// Worker-churn events sorted by time (ties keep insertion order).
+    pub fn capacity_events(&self) -> Vec<(SimTime, CapacityEvent)> {
+        let mut events: Vec<(SimTime, CapacityEvent)> = self
+            .perturbations
+            .iter()
+            .filter_map(|p| match *p {
+                Perturbation::WorkerFail { at, count } => Some((at, CapacityEvent::Fail(count))),
+                Perturbation::WorkerRecover { at, count } => {
+                    Some((at, CapacityEvent::Recover(count)))
+                }
+                _ => None,
+            })
+            .collect();
+        events.sort_by_key(|&(at, _)| at);
+        events
+    }
+
+    /// The full lowered event timeline (capacity churn + difficulty
+    /// offsets) sorted by time — what both run paths inject into their
+    /// event loops so they replay identical perturbations.
+    pub fn timeline(&self) -> Vec<(SimTime, ScenarioEvent)> {
+        let mut events: Vec<(SimTime, ScenarioEvent)> = self
+            .capacity_events()
+            .into_iter()
+            .map(|(at, ev)| (at, ScenarioEvent::Capacity(ev)))
+            .collect();
+        events.extend(
+            self.difficulty_events()
+                .into_iter()
+                .map(|(at, d)| (at, ScenarioEvent::Difficulty(d))),
+        );
+        events.sort_by_key(|&(at, _)| at);
+        events
+    }
+
+    /// Difficulty-offset events sorted by time: `(at, delta)` means the
+    /// active offset becomes `delta` at `at` (later events replace earlier
+    /// ones; offsets do not stack).
+    pub fn difficulty_events(&self) -> Vec<(SimTime, f64)> {
+        let mut events: Vec<(SimTime, f64)> = self
+            .perturbations
+            .iter()
+            .filter_map(|p| match *p {
+                Perturbation::DifficultyShift { at, delta } => Some((at, delta)),
+                _ => None,
+            })
+            .collect();
+        events.sort_by_key(|&(at, _)| at);
+        events
+    }
+}
+
+/// The standard named scenario library used by the `scenarios` bench binary
+/// and the stress-test suite: perturbation times are placed at fractions of
+/// the base trace so any base works.
+///
+/// Returns six scenarios: `steady` (control), `flash-crowd` (×2.5 spike),
+/// `worker-failure` (2 workers fail then recover), `double-failure` (two
+/// staggered 2-worker failures, no recovery), `demand-shock` (persistent
+/// ×1.8 shift), and `hard-prompts` (difficulty +0.25).
+///
+/// # Panics
+///
+/// Panics if `num_workers < 6` (the churn scenarios fail 4 workers and must
+/// leave at least two alive).
+pub fn standard_scenarios(base: &Trace, num_workers: usize) -> Vec<Scenario> {
+    assert!(
+        num_workers >= 6,
+        "standard scenarios fail up to 4 workers; need >= 6, got {num_workers}"
+    );
+    let dur = base.duration().as_secs_f64();
+    let at = |frac: f64| SimTime::from_secs_f64(dur * frac);
+    let secs = |frac: f64| SimDuration::from_secs_f64(dur * frac);
+    let scenarios = vec![
+        Scenario::new("steady", base.clone()),
+        Scenario::new("flash-crowd", base.clone()).flash_crowd(
+            at(0.35),
+            secs(0.05),
+            secs(0.2),
+            2.5,
+        ),
+        Scenario::new("worker-failure", base.clone())
+            .worker_fail(at(0.3), 2)
+            .worker_recover(at(0.65), 2),
+        Scenario::new("double-failure", base.clone())
+            .worker_fail(at(0.3), 2)
+            .worker_fail(at(0.5), 2),
+        Scenario::new("demand-shock", base.clone()).demand_shift(at(0.5), 1.8),
+        Scenario::new("hard-prompts", base.clone()).difficulty_shift(at(0.35), 0.25),
+    ];
+    for s in &scenarios {
+        s.validate(num_workers)
+            .expect("library scenarios are valid");
+    }
+    scenarios
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(n: u64) -> SimDuration {
+        SimDuration::from_secs(n)
+    }
+
+    fn base() -> Trace {
+        Trace::constant(4.0, secs(100)).unwrap()
+    }
+
+    #[test]
+    fn steady_scenario_replays_base_unchanged() {
+        let s = Scenario::new("steady", base());
+        assert_eq!(s.effective_trace(), base());
+        assert!(s.capacity_events().is_empty());
+        assert!(s.difficulty_events().is_empty());
+        assert_eq!(s.name(), "steady");
+    }
+
+    #[test]
+    fn flash_crowd_envelope_ramps_and_returns() {
+        let s = Scenario::new("flash", base()).flash_crowd(
+            SimTime::from_secs(30),
+            secs(10),
+            secs(20),
+            3.0,
+        );
+        assert_eq!(s.demand_multiplier(SimTime::from_secs(29)), 1.0);
+        // Mid-ramp: halfway to 3x.
+        assert!((s.demand_multiplier(SimTime::from_secs(35)) - 2.0).abs() < 1e-9);
+        assert_eq!(s.demand_multiplier(SimTime::from_secs(45)), 3.0);
+        // Mid-down-ramp.
+        assert!((s.demand_multiplier(SimTime::from_secs(65)) - 2.0).abs() < 1e-9);
+        assert_eq!(s.demand_multiplier(SimTime::from_secs(75)), 1.0);
+    }
+
+    #[test]
+    fn zero_ramp_is_a_step() {
+        let s = Scenario::new("step", base()).flash_crowd(
+            SimTime::from_secs(50),
+            SimDuration::ZERO,
+            secs(10),
+            2.0,
+        );
+        assert_eq!(s.demand_multiplier(SimTime::from_secs(49)), 1.0);
+        assert_eq!(s.demand_multiplier(SimTime::from_secs(55)), 2.0);
+        assert_eq!(s.demand_multiplier(SimTime::from_secs(61)), 1.0);
+    }
+
+    #[test]
+    fn demand_shift_is_persistent() {
+        let s = Scenario::new("shock", base()).demand_shift(SimTime::from_secs(50), 1.5);
+        let eff = s.effective_trace();
+        assert_eq!(eff.qps_at(SimTime::from_secs(10)), 4.0);
+        assert_eq!(eff.qps_at(SimTime::from_secs(99)), 6.0);
+        // Expected queries grow by exactly the shifted half.
+        let expected = 4.0 * 50.0 + 6.0 * 50.0;
+        assert!((eff.expected_queries() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perturbations_compose_multiplicatively() {
+        let s = Scenario::new("both", base())
+            .demand_shift(SimTime::from_secs(20), 2.0)
+            .flash_crowd(SimTime::from_secs(40), SimDuration::ZERO, secs(10), 3.0);
+        assert_eq!(s.demand_multiplier(SimTime::from_secs(45)), 6.0);
+    }
+
+    #[test]
+    fn capacity_events_sorted_by_time() {
+        let s = Scenario::new("churn", base())
+            .worker_recover(SimTime::from_secs(80), 1)
+            .worker_fail(SimTime::from_secs(20), 1);
+        let ev = s.capacity_events();
+        assert_eq!(
+            ev,
+            vec![
+                (SimTime::from_secs(20), CapacityEvent::Fail(1)),
+                (SimTime::from_secs(80), CapacityEvent::Recover(1)),
+            ]
+        );
+        assert_eq!(s.perturbation_onsets(), vec![20.0, 80.0]);
+    }
+
+    #[test]
+    fn validate_rejects_pool_exhaustion() {
+        let s = Scenario::new("bad", base()).worker_fail(SimTime::from_secs(10), 7);
+        assert!(matches!(
+            s.validate(8),
+            Err(ScenarioError::PoolExhausted { alive: 1, .. })
+        ));
+        // The same churn is fine on a bigger pool.
+        assert!(s.validate(16).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_recover_without_failure() {
+        let s = Scenario::new("bad", base()).worker_recover(SimTime::from_secs(10), 1);
+        assert!(matches!(
+            s.validate(8),
+            Err(ScenarioError::RecoverWithoutFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        let s = Scenario::new("bad", base()).demand_shift(SimTime::from_secs(1), 0.0);
+        assert!(matches!(
+            s.validate(8),
+            Err(ScenarioError::InvalidFactor { .. })
+        ));
+        let s = Scenario::new("bad", base()).difficulty_shift(SimTime::from_secs(1), 1.5);
+        assert!(matches!(
+            s.validate(8),
+            Err(ScenarioError::InvalidDelta { .. })
+        ));
+        let s = Scenario::new("bad", base()).worker_fail(SimTime::from_secs(1), 0);
+        assert_eq!(s.validate(8), Err(ScenarioError::ZeroWorkers));
+    }
+
+    #[test]
+    fn difficulty_events_replace_not_stack() {
+        let s = Scenario::new("hard", base())
+            .difficulty_shift(SimTime::from_secs(60), 0.1)
+            .difficulty_shift(SimTime::from_secs(30), 0.3);
+        assert_eq!(
+            s.difficulty_events(),
+            vec![(SimTime::from_secs(30), 0.3), (SimTime::from_secs(60), 0.1)]
+        );
+    }
+
+    #[test]
+    fn standard_library_is_valid_and_named() {
+        let scenarios = standard_scenarios(&base(), 8);
+        assert_eq!(scenarios.len(), 6);
+        let names: Vec<&str> = scenarios.iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"worker-failure"));
+        assert!(names.contains(&"flash-crowd"));
+        for s in &scenarios {
+            assert!(s.validate(8).is_ok(), "{} invalid", s.name());
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ScenarioError::PoolExhausted {
+            at: SimTime::from_secs(5),
+            alive: 1,
+        };
+        assert!(format!("{e}").contains("1 workers"));
+        assert!(format!("{}", ScenarioError::ZeroWorkers).contains("at least one"));
+    }
+}

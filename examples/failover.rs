@@ -1,0 +1,91 @@
+//! Failover walkthrough: one [`Scenario`] with a mid-run worker failure is
+//! replayed through **both** implementations — the discrete-event simulator
+//! and the thread-based cluster testbed — from the same value, then the
+//! adaptive DiffServe policy is compared against the peak-provisioned
+//! static baseline under the identical churn.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example failover
+//! ```
+
+use diffserve::prelude::*;
+use diffserve_simkit::time::{SimDuration, SimTime};
+
+fn main() {
+    println!("preparing cascade 1 (SD-Turbo -> SDv1.5)...");
+    let runtime = CascadeRuntime::prepare(
+        cascade1(FeatureSpec::default()),
+        1500,
+        2024,
+        DiscriminatorConfig {
+            train_prompts: 500,
+            epochs: 10,
+            ..Default::default()
+        },
+    );
+    let system = SystemConfig {
+        num_workers: 8,
+        ..Default::default()
+    };
+
+    // 6 QPS for 150 s; two of eight workers fail-stop at t=50s and rejoin
+    // at t=125s after reloading their model.
+    let base = Trace::constant(6.0, SimDuration::from_secs(150)).expect("valid trace");
+    let scenario = Scenario::new("worker-failure", base)
+        .worker_fail(SimTime::from_secs(50), 2)
+        .worker_recover(SimTime::from_secs(125), 2);
+    scenario
+        .validate(system.num_workers)
+        .expect("scenario fits the pool");
+
+    println!(
+        "scenario '{}': {} perturbations, ~{:.0} queries offered\n",
+        scenario.name(),
+        scenario.perturbations().len(),
+        scenario.effective_trace().expected_queries()
+    );
+
+    // --- Same scenario, both implementations (DiffServe policy) -----------
+    let settings = RunSettings::new(Policy::DiffServe, 6.0);
+    let sim = run_scenario(&runtime, &system, &settings, &scenario);
+    println!("simulator      : {}", sim.summary());
+
+    let testbed = run_cluster_scenario(
+        &runtime,
+        &ClusterConfig {
+            system: system.clone(),
+            time_scale: 0.02,
+        },
+        &settings,
+        &scenario,
+    );
+    println!("cluster testbed: {}", testbed.summary());
+
+    // --- Adaptive vs static under the identical churn ----------------------
+    let static_report = run_scenario(
+        &runtime,
+        &system,
+        &RunSettings::new(Policy::DiffServeStatic, 6.0),
+        &scenario,
+    );
+    println!("static baseline: {}", static_report.summary());
+
+    let onset = scenario.perturbation_onsets()[0];
+    let fmt_recovery = |r: &RunReport| match r.recovery_time_after(onset, 0.10) {
+        Some(s) => format!("{s:.0}s"),
+        None => "never".into(),
+    };
+    println!(
+        "\nafter the failure at t={onset:.0}s: DiffServe back under 10% violations in {}, \
+         static baseline in {}",
+        fmt_recovery(&sim),
+        fmt_recovery(&static_report),
+    );
+    println!(
+        "violation ratio: DiffServe {:.3} vs static {:.3} — re-solving against the \
+         degraded pool sheds deferrals instead of deadlines",
+        sim.violation_ratio, static_report.violation_ratio
+    );
+}

@@ -70,13 +70,14 @@ pub use diffserve_trace as workload;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use diffserve_cluster::{run_cluster, ClusterConfig};
+    pub use diffserve_cluster::{run_cluster, run_cluster_scenario, ClusterConfig};
     pub use diffserve_core::prelude::*;
     pub use diffserve_imagegen::prelude::*;
     pub use diffserve_metrics::{fid_score, GaussianStats, SloTracker};
     pub use diffserve_simkit::prelude::*;
     pub use diffserve_trace::{
-        poisson_arrivals, synthesize_azure_trace, AzureTraceConfig, DemandEstimator, Trace,
+        poisson_arrivals, standard_scenarios, synthesize_azure_trace, AzureTraceConfig,
+        DemandEstimator, Perturbation, Scenario, Trace,
     };
 }
 

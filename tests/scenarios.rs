@@ -1,0 +1,159 @@
+//! Stress-scenario integration suite: one [`Scenario`] value drives both
+//! the discrete-event simulator and the thread-based testbed, and DiffServe
+//! must degrade gracefully under capacity churn — the regime where
+//! query-aware adaptation should beat static provisioning.
+
+use diffserve::prelude::*;
+use diffserve_simkit::time::{SimDuration, SimTime};
+use std::sync::OnceLock;
+
+fn runtime() -> &'static CascadeRuntime {
+    static RT: OnceLock<CascadeRuntime> = OnceLock::new();
+    RT.get_or_init(|| {
+        CascadeRuntime::prepare(
+            cascade1(FeatureSpec::default()),
+            1500,
+            2024,
+            DiscriminatorConfig {
+                train_prompts: 500,
+                epochs: 10,
+                ..Default::default()
+            },
+        )
+    })
+}
+
+fn system() -> SystemConfig {
+    SystemConfig {
+        num_workers: 8,
+        ..Default::default()
+    }
+}
+
+/// The named mid-run failure scenario shared by the parity and
+/// graceful-degradation tests: two of eight workers fail-stop a third of
+/// the way in and rejoin much later.
+fn failover_scenario(secs: u64) -> Scenario {
+    let base = Trace::constant(6.0, SimDuration::from_secs(secs)).unwrap();
+    Scenario::new("worker-failure", base)
+        .worker_fail(SimTime::from_secs(secs / 3), 2)
+        .worker_recover(SimTime::from_secs(secs * 5 / 6), 2)
+}
+
+#[test]
+fn diffserve_beats_static_baseline_under_worker_failure() {
+    let sys = system();
+    let scenario = failover_scenario(150);
+    let dynamic = run_scenario(
+        runtime(),
+        &sys,
+        &RunSettings::new(Policy::DiffServe, 6.0),
+        &scenario,
+    );
+    let static_ = run_scenario(
+        runtime(),
+        &sys,
+        &RunSettings::new(Policy::DiffServeStatic, 6.0),
+        &scenario,
+    );
+    // The static baseline is provisioned for peak on the *full* fleet and
+    // never re-solves; after a 2x worker failure its fixed threshold keeps
+    // deferring more than the surviving heavy pool can serve. DiffServe's
+    // controller re-solves against the shrunken pool and sheds deferrals
+    // instead of deadlines.
+    assert!(
+        dynamic.violation_ratio < static_.violation_ratio,
+        "DiffServe {} should beat static {} under 2x worker failure",
+        dynamic.violation_ratio,
+        static_.violation_ratio
+    );
+    assert!(
+        dynamic.violation_ratio < 0.15,
+        "DiffServe should degrade gracefully, got {}",
+        dynamic.violation_ratio
+    );
+}
+
+#[test]
+fn one_scenario_value_drives_simulator_and_cluster() {
+    let sys = system();
+    let scenario = failover_scenario(60);
+    let settings = RunSettings::new(Policy::DiffServe, 6.0);
+
+    let sim = run_scenario(runtime(), &sys, &settings, &scenario);
+    let testbed = run_cluster_scenario(
+        runtime(),
+        &ClusterConfig {
+            system: sys.clone(),
+            time_scale: if cfg!(debug_assertions) { 0.05 } else { 0.01 },
+        },
+        &settings,
+        &scenario,
+    );
+
+    // Identical arrival streams (both draw from the scenario's effective
+    // trace with the same seed).
+    assert_eq!(sim.total_queries, testbed.total_queries);
+    assert!(sim.total_queries > 150);
+    assert_eq!(testbed.completed + testbed.dropped, testbed.total_queries);
+
+    // Coarse agreement on quality and violations despite churn (the fig6
+    // validation tolerance, loosened for the stressed regime).
+    let fid_gap = (testbed.fid - sim.fid).abs() / sim.fid;
+    assert!(
+        fid_gap < 0.3,
+        "FID gap {fid_gap:.3}: sim {:.2} vs testbed {:.2}",
+        sim.fid,
+        testbed.fid
+    );
+    let viol_gap = (testbed.violation_ratio - sim.violation_ratio).abs();
+    assert!(viol_gap < 0.35, "violation gap {viol_gap:.3}");
+}
+
+#[test]
+fn standard_library_runs_end_to_end_for_diffserve() {
+    let sys = system();
+    let base = Trace::constant(5.0, SimDuration::from_secs(60)).unwrap();
+    for scenario in standard_scenarios(&base, sys.num_workers) {
+        let report = run_scenario(
+            runtime(),
+            &sys,
+            &RunSettings::new(Policy::DiffServe, 14.0),
+            &scenario,
+        );
+        assert_eq!(
+            report.completed + report.dropped,
+            report.total_queries,
+            "{} leaked queries",
+            scenario.name()
+        );
+        assert!(report.fid.is_finite(), "{} lost FID", scenario.name());
+    }
+}
+
+#[test]
+fn recovery_time_is_measurable_after_flash_crowd() {
+    let sys = system();
+    let base = Trace::constant(4.0, SimDuration::from_secs(120)).unwrap();
+    let scenario = Scenario::new("crowd", base).flash_crowd(
+        SimTime::from_secs(40),
+        SimDuration::from_secs(5),
+        SimDuration::from_secs(20),
+        4.0,
+    );
+    let report = run_scenario(
+        runtime(),
+        &sys,
+        &RunSettings::new(Policy::DiffServe, 16.0),
+        &scenario,
+    );
+    // The spike ends by t = 70s; violations must return to near-zero within
+    // the run, and the recovery metric must see it.
+    let onset = scenario.perturbation_onsets()[0];
+    let recovery = report.recovery_time_after(onset, 0.1);
+    assert!(
+        recovery.is_some(),
+        "never recovered: {:?}",
+        report.violation_series
+    );
+}
