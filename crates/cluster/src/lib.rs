@@ -40,4 +40,6 @@ pub mod plan;
 pub mod runtime;
 
 pub use plan::ServingPlan;
-pub use runtime::{run_cluster, run_cluster_scenario, ClusterConfig};
+pub use runtime::{
+    run_cluster, run_cluster_scenario, ClusterBackend, ClusterConfig, ClusterSessionExt,
+};

@@ -3,12 +3,19 @@
 //! The paper validates its simulator against a 16×A100 cluster where the
 //! controller, load balancer, and workers are separate processes talking
 //! over gRPC (§4.1). This module reproduces that architecture at
-//! thread-and-channel scale: a client thread replays the trace, worker
-//! threads batch and "execute" queries by sleeping the profiled latency
-//! (scaled by [`ClusterConfig::time_scale`]), escalations travel over
-//! channels, and a controller thread re-solves the allocation periodically.
-//! The Fig. 6 experiment compares its measurements with the simulator's —
-//! the paper reports a 0.56% FID / 1.1% SLO-violation gap between the two.
+//! thread-and-channel scale: worker threads batch and "execute" queries by
+//! sleeping the profiled latency (scaled by [`ClusterConfig::time_scale`]),
+//! escalations travel over channels, and a controller thread re-solves the
+//! allocation periodically. The Fig. 6 experiment compares its measurements
+//! with the simulator's — the paper reports a 0.56% FID / 1.1%
+//! SLO-violation gap between the two.
+//!
+//! The testbed is the second engine behind the unified session API:
+//! [`ClusterBackend`] implements [`ServingBackend`], and
+//! [`ClusterSessionExt::build_cluster`] plugs it into the
+//! [`SessionBuilder`] fluent path.
+//! The batch entry points [`run_cluster`] / [`run_cluster_scenario`] are
+//! thin wrappers over such a session.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -16,14 +23,20 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use diffserve_core::serve::{
+    drain_outcomes, rolling_fid_estimate, BuildError, QueryOutcome, QuerySpec, QueryTicket,
+    ServingBackend, ServingSession, SessionBuilder, SessionSnapshot, SessionSpec,
+};
 use diffserve_core::{
     overload_fallback, solve_exhaustive, solve_proteus, AllocatorInputs, CascadeRuntime,
-    CompletedResponse, ModelTier, Policy, QueryId, RunReport, RunSettings, SystemConfig,
+    CompletedResponse, ConfigError, ModelTier, Policy, QueryId, RunReport, RunSettings,
+    SystemConfig,
 };
-use diffserve_metrics::{SloTracker, WindowedSeries};
+use diffserve_imagegen::Prompt;
+use diffserve_metrics::{GaussianStats, SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
 use diffserve_trace::{
-    poisson_arrivals, CapacityEvent, DemandEstimator, Scenario, ScenarioEvent, Trace,
+    CapacityEvent, DemandEstimator, Scenario, ScenarioError, ScenarioEvent, Trace,
 };
 use parking_lot::RwLock;
 use rand::Rng;
@@ -54,6 +67,8 @@ struct Job {
     qid: u64,
     arrival: f64,  // sim seconds
     deadline: f64, // sim seconds
+    /// Explicit prompt payload; `None` serves the dataset's cyclic prompt.
+    prompt: Option<Prompt>,
 }
 
 struct Shared {
@@ -66,6 +81,9 @@ struct Shared {
     scale: f64,
     /// Scenario fail-stop flags, one per worker.
     failed: Vec<AtomicBool>,
+    /// Busy flags (executing a batch or loading a model), one per worker —
+    /// feeds the per-tier utilization in [`SessionSnapshot`].
+    busy: Vec<AtomicBool>,
     /// Active prompt-difficulty offset (f64 bits), set by the scenario
     /// thread and read by workers at generation time.
     difficulty_bits: AtomicU64,
@@ -86,8 +104,53 @@ impl Shared {
         self.failed[i].load(Ordering::Relaxed)
     }
 
+    fn failed_count(&self) -> usize {
+        self.failed
+            .iter()
+            .filter(|f| f.load(Ordering::SeqCst))
+            .count()
+    }
+
     fn difficulty_delta(&self) -> f64 {
         f64::from_bits(self.difficulty_bits.load(Ordering::Relaxed))
+    }
+
+    /// Applies one lowered scenario event against live state — shared by
+    /// the scenario replay thread and mid-run injection. Fails the
+    /// highest-indexed alive workers, recovers the lowest-indexed failed
+    /// workers (mirroring the simulator), or swaps the difficulty offset.
+    fn apply_event(&self, action: ScenarioEvent) {
+        let n = self.failed.len();
+        match action {
+            ScenarioEvent::Capacity(CapacityEvent::Fail(count)) => {
+                let mut remaining = count;
+                for i in (0..n).rev() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    if !self.is_failed(i) {
+                        self.failed[i].store(true, Ordering::SeqCst);
+                        remaining -= 1;
+                    }
+                }
+            }
+            ScenarioEvent::Capacity(CapacityEvent::Recover(count)) => {
+                let mut remaining = count;
+                for flag in &self.failed {
+                    if remaining == 0 {
+                        break;
+                    }
+                    if flag.load(Ordering::SeqCst) {
+                        flag.store(false, Ordering::SeqCst);
+                        remaining -= 1;
+                    }
+                }
+            }
+            ScenarioEvent::Difficulty(delta) => {
+                self.difficulty_bits
+                    .store(delta.to_bits(), Ordering::SeqCst);
+            }
+        }
     }
 
     /// Whether any alive worker is assigned the heavy model — when churn
@@ -142,7 +205,416 @@ impl Shared {
 
 enum Outcome {
     Completed(CompletedResponse),
-    Dropped { arrival: f64, at: f64 },
+    Dropped { qid: u64, arrival: f64, at: f64 },
+}
+
+/// The thread-based testbed behind the unified session API: real threads,
+/// real (crossbeam) channels, wall-clock time scaled by `time_scale`.
+///
+/// Workers, controller, and scenario threads are launched at construction
+/// and serve continuously; [`ServingBackend::submit`] routes one query into
+/// the fleet, [`ServingBackend::tick`] sleeps scaled wall-clock time, and
+/// [`ServingBackend::finish`] shuts the fleet down and assembles the
+/// [`RunReport`]. Build one through [`ClusterSessionExt::build_cluster`].
+pub struct ClusterBackend {
+    shared: Arc<Shared>,
+    job_txs: Arc<Vec<Sender<Job>>>,
+    done_rx: Receiver<Outcome>,
+    worker_handles: Vec<thread::JoinHandle<()>>,
+    controller: Option<thread::JoinHandle<()>>,
+    scenario_thread: Option<thread::JoinHandle<()>>,
+    settings: RunSettings,
+    sys: SystemConfig,
+    reference: GaussianStats,
+    slo: SloTracker,
+    responses: Vec<CompletedResponse>,
+    completion_cursor: usize,
+    drop_log: Vec<(QueryId, SimTime, SimTime)>,
+    route_rng: rand::rngs::StdRng,
+    demand_track: WindowedSeries,
+    submitted: u64,
+}
+
+impl std::fmt::Debug for ClusterBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBackend")
+            .field("workers", &self.worker_handles.len())
+            .field("submitted", &self.submitted)
+            .field("policy", &self.settings.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterBackend {
+    /// Launches the testbed fleet (workers, controller, scenario thread)
+    /// from validated session inputs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-positive or non-finite `time_scale`.
+    pub fn launch(spec: &SessionSpec<'_>, time_scale: f64) -> Result<Self, BuildError> {
+        if !(time_scale > 0.0 && time_scale.is_finite()) {
+            return Err(BuildError::Config(ConfigError::new(
+                "time scale must be finite and positive",
+            )));
+        }
+        let sys = spec.config.clone();
+        let settings = spec.settings.clone();
+        let runtime = spec.runtime;
+        let n = sys.num_workers;
+        let effective_trace = spec.scenario.as_ref().map(|s| s.effective_trace());
+
+        let shared = Arc::new(Shared {
+            plan: RwLock::new(bootstrap_plan(
+                runtime,
+                &sys,
+                &settings,
+                effective_trace.as_ref(),
+            )),
+            depths: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            arrivals_since_tick: AtomicU64::new(0),
+            heavy_since_tick: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            start: Instant::now(),
+            scale: time_scale,
+            failed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            busy: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            difficulty_bits: AtomicU64::new(0.0f64.to_bits()),
+        });
+
+        let (job_txs, job_rxs): (Vec<Sender<Job>>, Vec<Receiver<Job>>) =
+            (0..n).map(|_| unbounded()).unzip();
+        let job_txs = Arc::new(job_txs);
+        let (done_tx, done_rx) = unbounded::<Outcome>();
+
+        // --- Worker threads -----------------------------------------------
+        let mut worker_handles = Vec::new();
+        for (wid, rx) in job_rxs.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let txs = Arc::clone(&job_txs);
+            let done = done_tx.clone();
+            let rt = runtime.clone();
+            let uses_cascade = settings.policy.uses_cascade();
+            let drop_misses = sys.drop_predicted_misses;
+            let switch_delay = sys.model_switch_delay.as_secs_f64();
+            worker_handles.push(thread::spawn(move || {
+                worker_loop(
+                    wid,
+                    &shared,
+                    &rx,
+                    &txs,
+                    &done,
+                    &rt,
+                    uses_cascade,
+                    drop_misses,
+                    switch_delay,
+                );
+            }));
+        }
+        drop(done_tx);
+
+        // --- Controller thread --------------------------------------------
+        let controller = {
+            let shared = Arc::clone(&shared);
+            let rt = runtime.clone();
+            let sys = sys.clone();
+            let settings = settings.clone();
+            thread::spawn(move || controller_loop(&shared, &rt, &sys, &settings))
+        };
+
+        // --- Scenario thread (worker churn, difficulty shifts) -------------
+        let scenario_thread = {
+            let shared = Arc::clone(&shared);
+            let actions = spec
+                .scenario
+                .as_ref()
+                .map(|s| s.timeline())
+                .unwrap_or_default();
+            thread::spawn(move || scenario_loop(&shared, &actions))
+        };
+
+        let metrics_window = sys.metrics_window;
+        let slo = SloTracker::new(sys.slo);
+        Ok(ClusterBackend {
+            shared,
+            job_txs,
+            done_rx,
+            worker_handles,
+            controller: Some(controller),
+            scenario_thread: Some(scenario_thread),
+            route_rng: seeded_rng(derive_seed(sys.seed, 0x20C7)),
+            demand_track: WindowedSeries::new(metrics_window),
+            reference: runtime.reference.clone(),
+            settings,
+            sys,
+            slo,
+            responses: Vec::new(),
+            completion_cursor: 0,
+            drop_log: Vec::new(),
+            submitted: 0,
+        })
+    }
+
+    /// Drains completed/dropped outcomes from the worker fleet into the
+    /// local accounting.
+    fn ingest(&mut self) {
+        while let Ok(outcome) = self.done_rx.try_recv() {
+            match outcome {
+                Outcome::Completed(r) => {
+                    self.slo.record_completion(r.arrival, r.completion);
+                    self.responses.push(r);
+                }
+                Outcome::Dropped { qid, arrival, at } => {
+                    let arrival = SimTime::from_secs_f64(arrival);
+                    let at = SimTime::from_secs_f64(at);
+                    self.slo.record_drop(arrival, at);
+                    self.drop_log.push((QueryId(qid), arrival, at));
+                }
+            }
+        }
+    }
+
+    fn shutdown_and_join(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for h in self.worker_handles.drain(..) {
+            h.join().expect("worker thread panicked");
+        }
+        if let Some(h) = self.controller.take() {
+            h.join().expect("controller thread panicked");
+        }
+        if let Some(h) = self.scenario_thread.take() {
+            h.join().expect("scenario thread panicked");
+        }
+    }
+}
+
+impl Drop for ClusterBackend {
+    fn drop(&mut self) {
+        // A session abandoned without finish() must not leak live threads.
+        self.shutdown_and_join();
+    }
+}
+
+impl ServingBackend for ClusterBackend {
+    fn now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.shared.sim_now().max(0.0))
+    }
+
+    fn submit(&mut self, spec: QuerySpec) -> QueryTicket {
+        let now0 = self.shared.sim_now();
+        let at = spec.at.map(|t| t.as_secs_f64()).unwrap_or(now0);
+        if at > now0 {
+            // Scheduled arrivals pace the caller: block until their instant.
+            self.shared.sleep_sim(at - now0);
+        }
+        let now = self.shared.sim_now();
+        self.demand_track
+            .push(SimTime::from_secs_f64(at.max(0.0)), 1.0);
+        self.shared
+            .arrivals_since_tick
+            .fetch_add(1, Ordering::Relaxed);
+        let tier = match self.settings.policy {
+            Policy::ClipperLight => ModelTier::Light,
+            Policy::ClipperHeavy => ModelTier::Heavy,
+            Policy::Proteus => {
+                let frac = self.shared.plan.read().threshold; // Proteus reuses slot
+                if self.route_rng.gen_range(0.0..1.0) < frac {
+                    self.shared.heavy_since_tick.fetch_add(1, Ordering::Relaxed);
+                    ModelTier::Heavy
+                } else {
+                    ModelTier::Light
+                }
+            }
+            _ => ModelTier::Light,
+        };
+        let w = self.shared.pick_worker(tier);
+        self.shared.depths[w].fetch_add(1, Ordering::Relaxed);
+        let qid = self.submitted;
+        self.submitted += 1;
+        let deadline = spec
+            .deadline
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(now + self.sys.slo.as_secs_f64());
+        self.job_txs[w]
+            .send(Job {
+                qid,
+                arrival: now,
+                deadline,
+                prompt: spec.prompt,
+            })
+            .expect("worker channels outlive the session");
+        QueryTicket {
+            id: QueryId(qid),
+            arrival: SimTime::from_secs_f64(now),
+            deadline: SimTime::from_secs_f64(deadline),
+        }
+    }
+
+    fn tick(&mut self, until: SimTime) {
+        let target = until.as_secs_f64();
+        let now = self.shared.sim_now();
+        if target > now {
+            self.shared.sleep_sim(target - now);
+        }
+        self.ingest();
+    }
+
+    fn drain_completions(&mut self) -> Vec<QueryOutcome> {
+        self.ingest();
+        drain_outcomes(
+            &self.responses,
+            &mut self.completion_cursor,
+            &mut self.drop_log,
+        )
+    }
+
+    fn apply_perturbation(&mut self, event: ScenarioEvent) -> Result<(), ScenarioError> {
+        let at = self.now();
+        let failed = self.shared.failed_count();
+        let total = self.shared.failed.len();
+        match event {
+            ScenarioEvent::Capacity(CapacityEvent::Fail(n)) => {
+                let alive = (total - failed).saturating_sub(n);
+                if alive < 2 {
+                    return Err(ScenarioError::PoolExhausted { at, alive });
+                }
+            }
+            ScenarioEvent::Capacity(CapacityEvent::Recover(n)) => {
+                if n > failed {
+                    return Err(ScenarioError::RecoverWithoutFailure { at });
+                }
+            }
+            ScenarioEvent::Difficulty(delta) => {
+                if !delta.is_finite() || !(-1.0..=1.0).contains(&delta) {
+                    return Err(ScenarioError::InvalidDelta { delta });
+                }
+            }
+        }
+        self.shared.apply_event(event);
+        Ok(())
+    }
+
+    fn snapshot(&self) -> SessionSnapshot {
+        let plan = self.shared.plan.read();
+        let mut light_workers = 0;
+        let mut heavy_workers = 0;
+        let mut failed_workers = 0;
+        let mut light_queue = 0;
+        let mut heavy_queue = 0;
+        let mut light_busy = 0;
+        let mut heavy_busy = 0;
+        for (i, &t) in plan.tiers.iter().enumerate() {
+            if self.shared.is_failed(i) {
+                failed_workers += 1;
+                continue;
+            }
+            let depth = self.shared.depths[i].load(Ordering::Relaxed);
+            let busy = usize::from(self.shared.busy[i].load(Ordering::Relaxed));
+            match t {
+                ModelTier::Light => {
+                    light_workers += 1;
+                    light_queue += depth;
+                    light_busy += busy;
+                }
+                ModelTier::Heavy => {
+                    heavy_workers += 1;
+                    heavy_queue += depth;
+                    heavy_busy += busy;
+                }
+            }
+        }
+        let heavy_done = self
+            .responses
+            .iter()
+            .filter(|r| r.tier == ModelTier::Heavy)
+            .count();
+        SessionSnapshot {
+            now: self.now(),
+            threshold: plan.threshold,
+            light_workers,
+            heavy_workers,
+            failed_workers,
+            light_queue,
+            heavy_queue,
+            light_busy,
+            heavy_busy,
+            submitted: self.submitted,
+            completed: self.slo.on_time() + self.slo.late(),
+            dropped: self.slo.dropped(),
+            heavy_fraction: if self.responses.is_empty() {
+                0.0
+            } else {
+                heavy_done as f64 / self.responses.len() as f64
+            },
+            fid_estimate: rolling_fid_estimate(&self.responses, &self.reference),
+        }
+    }
+
+    fn finish(mut self: Box<Self>, _horizon: SimTime) -> RunReport {
+        self.shutdown_and_join();
+        self.ingest();
+        // Jobs stuck in closed channels at shutdown count as drops.
+        let total = self.submitted;
+        let accounted = self.slo.total();
+        for _ in accounted..total {
+            let end = self.shared.sim_now();
+            self.slo
+                .record_drop(SimTime::from_secs_f64(end), SimTime::from_secs_f64(end));
+        }
+        RunReport::assemble(
+            self.settings.policy,
+            total,
+            &self.slo,
+            &self.responses,
+            &self.reference,
+            self.sys.metrics_window,
+            self.demand_track
+                .window_rates()
+                .into_iter()
+                .map(|(t, v)| (t.as_secs_f64(), v))
+                .collect(),
+            Vec::new(), // threshold series tracked only by the controller
+        )
+    }
+}
+
+/// Builds a [`ServingSession`] backed by the thread-based testbed — the
+/// cluster-side counterpart of
+/// [`SessionBuilder::build`](diffserve_core::serve::SessionBuilder::build).
+///
+/// # Examples
+///
+/// ```no_run
+/// use diffserve_cluster::ClusterSessionExt;
+/// use diffserve_core::prelude::*;
+/// use diffserve_imagegen::{cascade1, DiscriminatorConfig, FeatureSpec};
+///
+/// let runtime = CascadeRuntime::prepare(
+///     cascade1(FeatureSpec::default()), 2000, 42, DiscriminatorConfig::default());
+/// let session = ServingSession::builder()
+///     .runtime(&runtime)
+///     .policy(Policy::DiffServe)
+///     .build_cluster(0.02)?;
+/// # let _ = session;
+/// # Ok::<(), diffserve_core::serve::BuildError>(())
+/// ```
+pub trait ClusterSessionExt<'a> {
+    /// Validates the builder's configuration, launches the testbed fleet
+    /// with the given wall-clock scale, and wraps it in a session.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SessionBuilder::build`] rejects, plus a non-positive or
+    /// non-finite `time_scale`.
+    fn build_cluster(self, time_scale: f64) -> Result<ServingSession<'a>, BuildError>;
+}
+
+impl<'a> ClusterSessionExt<'a> for SessionBuilder<'a> {
+    fn build_cluster(self, time_scale: f64) -> Result<ServingSession<'a>, BuildError> {
+        let spec = self.validate()?;
+        let backend = ClusterBackend::launch(&spec, time_scale)?;
+        Ok(ServingSession::from_backend(&spec, Box::new(backend)))
+    }
 }
 
 /// Runs one policy on the thread-based cluster and reports the same
@@ -151,7 +623,8 @@ enum Outcome {
 /// Supports every policy in Table 1. The run blocks the calling thread for
 /// roughly `trace.duration × time_scale` wall-clock time plus a drain
 /// period. Equivalent to [`run_cluster_scenario`] with a perturbation-free
-/// scenario.
+/// scenario, and — like it — a thin wrapper over a testbed-backed
+/// [`ServingSession`].
 ///
 /// # Panics
 ///
@@ -192,173 +665,28 @@ pub fn run_cluster_scenario(
     settings: &RunSettings,
     scenario: &Scenario,
 ) -> RunReport {
-    config.system.validate().expect("valid system config");
-    assert!(
-        config.time_scale > 0.0 && config.time_scale.is_finite(),
-        "time scale must be positive"
-    );
-    let sys = &config.system;
-    let n = sys.num_workers;
-    scenario
-        .validate(n)
-        .expect("valid scenario for this worker pool");
+    let mut session = ServingSession::builder()
+        .runtime(runtime)
+        .config(config.system.clone())
+        .settings(settings.clone())
+        .scenario(scenario.clone())
+        .build_cluster(config.time_scale)
+        .expect("valid scenario and system config");
     let trace = scenario.effective_trace();
-    let trace = &trace;
-
-    // Arrival stream, identical to the simulator's generation.
-    let mut arrival_rng = seeded_rng(derive_seed(sys.seed, 0xA881));
-    let arrivals = poisson_arrivals(trace, &mut arrival_rng);
-
-    let shared = Arc::new(Shared {
-        plan: RwLock::new(bootstrap_plan(runtime, sys, settings, trace)),
-        depths: (0..n).map(|_| AtomicUsize::new(0)).collect(),
-        arrivals_since_tick: AtomicU64::new(0),
-        heavy_since_tick: AtomicU64::new(0),
-        shutdown: AtomicBool::new(false),
-        start: Instant::now(),
-        scale: config.time_scale,
-        failed: (0..n).map(|_| AtomicBool::new(false)).collect(),
-        difficulty_bits: AtomicU64::new(0.0f64.to_bits()),
-    });
-
-    let (job_txs, job_rxs): (Vec<Sender<Job>>, Vec<Receiver<Job>>) =
-        (0..n).map(|_| unbounded()).unzip();
-    let job_txs = Arc::new(job_txs);
-    let (done_tx, done_rx) = unbounded::<Outcome>();
-
-    // --- Worker threads -------------------------------------------------
-    let mut handles = Vec::new();
-    for (wid, rx) in job_rxs.into_iter().enumerate() {
-        let shared = Arc::clone(&shared);
-        let txs = Arc::clone(&job_txs);
-        let done = done_tx.clone();
-        let rt = runtime.clone();
-        let uses_cascade = settings.policy.uses_cascade();
-        let drop_misses = sys.drop_predicted_misses;
-        let switch_delay = sys.model_switch_delay.as_secs_f64();
-        handles.push(thread::spawn(move || {
-            worker_loop(
-                wid,
-                &shared,
-                &rx,
-                &txs,
-                &done,
-                &rt,
-                uses_cascade,
-                drop_misses,
-                switch_delay,
-            );
-        }));
-    }
-    drop(done_tx);
-
-    // --- Controller thread ------------------------------------------------
-    let controller = {
-        let shared = Arc::clone(&shared);
-        let rt = runtime.clone();
-        let sys = sys.clone();
-        let settings = settings.clone();
-        thread::spawn(move || controller_loop(&shared, &rt, &sys, &settings))
-    };
-
-    // --- Scenario thread (worker churn, difficulty shifts) ----------------
-    let scenario_thread = {
-        let shared = Arc::clone(&shared);
-        let actions = scenario.timeline();
-        thread::spawn(move || scenario_loop(&shared, &actions))
-    };
-
-    // --- Client (this thread replays the trace) ---------------------------
-    let slo_secs = sys.slo.as_secs_f64();
-    let mut route_rng = seeded_rng(derive_seed(sys.seed, 0x20C7));
-    let mut demand_track = WindowedSeries::new(sys.metrics_window);
-    for (i, t) in arrivals.iter().enumerate() {
-        let at = t.as_secs_f64();
-        let now = shared.sim_now();
-        if at > now {
-            shared.sleep_sim(at - now);
-        }
-        let now = shared.sim_now();
-        demand_track.push(SimTime::from_secs_f64(at), 1.0);
-        shared.arrivals_since_tick.fetch_add(1, Ordering::Relaxed);
-        let tier = match settings.policy {
-            Policy::ClipperLight => ModelTier::Light,
-            Policy::ClipperHeavy => ModelTier::Heavy,
-            Policy::Proteus => {
-                let frac = shared.plan.read().threshold; // Proteus reuses slot
-                if route_rng.gen_range(0.0..1.0) < frac {
-                    shared.heavy_since_tick.fetch_add(1, Ordering::Relaxed);
-                    ModelTier::Heavy
-                } else {
-                    ModelTier::Light
-                }
-            }
-            _ => ModelTier::Light,
-        };
-        let w = shared.pick_worker(tier);
-        shared.depths[w].fetch_add(1, Ordering::Relaxed);
-        job_txs[w]
-            .send(Job {
-                qid: i as u64,
-                arrival: now,
-                deadline: now + slo_secs,
-            })
-            .expect("worker channels outlive the client");
-    }
-
-    // Drain, then shut down.
-    shared.sleep_sim(4.0 * slo_secs);
-    shared.shutdown.store(true, Ordering::SeqCst);
-    for h in handles {
-        h.join().expect("worker thread panicked");
-    }
-    controller.join().expect("controller thread panicked");
-    scenario_thread.join().expect("scenario thread panicked");
-
-    // --- Collect ----------------------------------------------------------
-    let mut slo_tracker = SloTracker::new(sys.slo);
-    let mut responses = Vec::new();
-    while let Ok(outcome) = done_rx.try_recv() {
-        match outcome {
-            Outcome::Completed(r) => {
-                slo_tracker.record_completion(r.arrival, r.completion);
-                responses.push(r);
-            }
-            Outcome::Dropped { arrival, at } => {
-                slo_tracker
-                    .record_drop(SimTime::from_secs_f64(arrival), SimTime::from_secs_f64(at));
-            }
-        }
-    }
-    let total = arrivals.len() as u64;
-    // Jobs stuck in closed channels at shutdown count as drops.
-    let accounted = slo_tracker.total();
-    for _ in accounted..total {
-        let end = shared.sim_now();
-        slo_tracker.record_drop(SimTime::from_secs_f64(end), SimTime::from_secs_f64(end));
-    }
-
-    RunReport::assemble(
-        settings.policy,
-        total,
-        &slo_tracker,
-        &responses,
-        &runtime.reference,
-        sys.metrics_window,
-        demand_track
-            .window_rates()
-            .into_iter()
-            .map(|(t, v)| (t.as_secs_f64(), v))
-            .collect(),
-        Vec::new(), // threshold series tracked only by the controller
-    )
+    session.replay_trace(&trace);
+    // Drain period: a full 4 SLOs past the *later* of the trace end and the
+    // actual clock — wall-clock overshoot during replay must never eat into
+    // the drain, or in-flight work gets counted as shutdown drops.
+    let drain_from = session.now().max(SimTime::ZERO + trace.duration());
+    session.run_until(drain_from + config.system.slo * 4);
+    session.finish()
 }
 
 fn bootstrap_plan(
     runtime: &CascadeRuntime,
     sys: &SystemConfig,
     settings: &RunSettings,
-    trace: &Trace,
+    trace: Option<&Trace>,
 ) -> ServingPlan {
     let mut plan = ServingPlan::bootstrap(sys.num_workers);
     match settings.policy {
@@ -371,7 +699,10 @@ fn bootstrap_plan(
             plan.heavy_batch = clipper_batch(runtime, sys, ModelTier::Heavy, false);
         }
         Policy::DiffServeStatic => {
-            let demand = settings.peak_demand_hint.max(trace.max_qps()) * sys.over_provision;
+            let anticipated = settings
+                .peak_demand_hint
+                .max(trace.map(Trace::max_qps).unwrap_or(0.0));
+            let demand = anticipated * sys.over_provision;
             apply_solved(
                 &mut plan,
                 runtime,
@@ -480,11 +811,10 @@ fn apply_solved(
     }
 }
 
-/// Applies the scenario's timed actions against live shared state: fail
-/// flags (highest-indexed alive workers fail, lowest-indexed failed workers
-/// recover — mirroring the simulator) and the difficulty offset. Sleeps in
-/// short slices so shutdown (or a perturbation scheduled past the trace
-/// end) never wedges the run at join time.
+/// Replays the scenario's timed actions against live shared state via
+/// [`Shared::apply_event`]. Sleeps in short slices so shutdown (or a
+/// perturbation scheduled past the trace end) never wedges the run at join
+/// time.
 fn scenario_loop(shared: &Shared, actions: &[(SimTime, ScenarioEvent)]) {
     for &(at, action) in actions {
         let at = at.as_secs_f64();
@@ -498,38 +828,7 @@ fn scenario_loop(shared: &Shared, actions: &[(SimTime, ScenarioEvent)]) {
             }
             shared.sleep_sim((at - now).min(1.0));
         }
-        let n = shared.failed.len();
-        match action {
-            ScenarioEvent::Capacity(CapacityEvent::Fail(count)) => {
-                let mut remaining = count;
-                for i in (0..n).rev() {
-                    if remaining == 0 {
-                        break;
-                    }
-                    if !shared.is_failed(i) {
-                        shared.failed[i].store(true, Ordering::SeqCst);
-                        remaining -= 1;
-                    }
-                }
-            }
-            ScenarioEvent::Capacity(CapacityEvent::Recover(count)) => {
-                let mut remaining = count;
-                for flag in &shared.failed {
-                    if remaining == 0 {
-                        break;
-                    }
-                    if flag.load(Ordering::SeqCst) {
-                        flag.store(false, Ordering::SeqCst);
-                        remaining -= 1;
-                    }
-                }
-            }
-            ScenarioEvent::Difficulty(delta) => {
-                shared
-                    .difficulty_bits
-                    .store(delta.to_bits(), Ordering::SeqCst);
-            }
-        }
+        shared.apply_event(action);
     }
 }
 
@@ -619,14 +918,18 @@ fn worker_loop(
         if was_failed {
             // Rejoining the pool: reload model weights before serving.
             was_failed = false;
+            shared.busy[wid].store(true, Ordering::Relaxed);
             shared.sleep_sim(switch_delay);
+            shared.busy[wid].store(false, Ordering::Relaxed);
             current_tier = shared.plan.read().tiers[wid];
         }
 
         // Follow the plan: switch models if reassigned.
         let desired = shared.plan.read().tiers[wid];
         if desired != current_tier {
+            shared.busy[wid].store(true, Ordering::Relaxed);
             shared.sleep_sim(switch_delay);
+            shared.busy[wid].store(false, Ordering::Relaxed);
             current_tier = desired;
         }
         let bmax = shared.plan.read().batch_for(current_tier).max(1);
@@ -664,6 +967,7 @@ fn worker_loop(
             batch.retain(|job| {
                 if now + exec > job.deadline {
                     let _ = done.send(Outcome::Dropped {
+                        qid: job.qid,
                         arrival: job.arrival,
                         at: now,
                     });
@@ -679,14 +983,16 @@ fn worker_loop(
 
         // "Execute" the batch.
         let exec = stage_latency(runtime, current_tier, batch.len(), uses_cascade);
+        shared.busy[wid].store(true, Ordering::Relaxed);
         shared.sleep_sim(exec);
+        shared.busy[wid].store(false, Ordering::Relaxed);
         let now = shared.sim_now();
         let threshold = shared.plan.read().threshold;
 
         for job in batch {
-            let prompt = runtime
-                .dataset
-                .prompt_cyclic(job.qid)
+            let prompt = job
+                .prompt
+                .unwrap_or_else(|| *runtime.dataset.prompt_cyclic(job.qid))
                 .harder(shared.difficulty_delta());
             match current_tier {
                 ModelTier::Light => {
@@ -875,5 +1181,63 @@ mod tests {
         );
         let viol_gap = (cluster.violation_ratio - sim.violation_ratio).abs();
         assert!(viol_gap < 0.3, "violation gap {viol_gap}");
+    }
+
+    #[test]
+    fn cluster_session_streams_and_snapshots() {
+        let cfg = quick_config();
+        let mut session = ServingSession::builder()
+            .runtime(test_runtime())
+            .config(cfg.system.clone())
+            .policy(Policy::DiffServe)
+            .build_cluster(cfg.time_scale)
+            .expect("valid cluster session");
+        let trace = Trace::constant(4.0, SimDuration::from_secs(20)).unwrap();
+        let n = session.replay_trace(&trace);
+        assert!(n > 20, "replayed {n} queries");
+        session.run_until(SimTime::from_secs(40));
+        let outcomes = session.poll();
+        assert!(!outcomes.is_empty(), "outcomes should stream before finish");
+        let snap = session.snapshot();
+        assert!(snap.completed + snap.dropped > 0);
+        assert!(snap.light_workers + snap.heavy_workers == 8);
+        let report = session.finish();
+        assert_eq!(report.total_queries, n);
+        assert_eq!(report.completed + report.dropped, report.total_queries);
+    }
+
+    #[test]
+    fn cluster_inject_fails_workers_live() {
+        let cfg = quick_config();
+        let mut session = ServingSession::builder()
+            .runtime(test_runtime())
+            .config(cfg.system.clone())
+            .policy(Policy::DiffServe)
+            .build_cluster(cfg.time_scale)
+            .expect("valid cluster session");
+        session
+            .inject(ScenarioEvent::Capacity(CapacityEvent::Fail(3)))
+            .expect("3 of 8 may fail");
+        let snap = session.snapshot();
+        assert_eq!(snap.failed_workers, 3);
+        let err = session
+            .inject(ScenarioEvent::Capacity(CapacityEvent::Fail(5)))
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::PoolExhausted { .. }));
+        session
+            .inject(ScenarioEvent::Capacity(CapacityEvent::Recover(3)))
+            .expect("recover the failed 3");
+        assert_eq!(session.snapshot().failed_workers, 0);
+        // Abandoning the session (drop without finish) must not hang.
+    }
+
+    #[test]
+    fn build_cluster_rejects_bad_time_scale() {
+        let err = ServingSession::builder()
+            .runtime(test_runtime())
+            .config(quick_config().system)
+            .build_cluster(0.0)
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Config(_)), "{err}");
     }
 }

@@ -110,7 +110,11 @@ pub struct ConfigError {
 }
 
 impl ConfigError {
-    fn new(message: &'static str) -> Self {
+    /// Creates a configuration error with a static description. Public so
+    /// out-of-crate backends (the cluster testbed) can surface their own
+    /// configuration failures through the session builder's
+    /// [`BuildError`](crate::serve::BuildError) path.
+    pub fn new(message: &'static str) -> Self {
         ConfigError { message }
     }
 }

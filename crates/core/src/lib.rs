@@ -24,6 +24,9 @@
 //!   with per-class speeds).
 //! * [`runtime`] — offline-prepared artifacts (dataset, discriminator,
 //!   deferral profile, FID reference).
+//! * [`serve`] — the unified serving-session API: the [`ServingBackend`]
+//!   trait and the incremental [`ServingSession`] (submit / run / poll /
+//!   observe) behind which both the simulator and the cluster testbed sit.
 //! * [`sim`] — the end-to-end discrete-event serving simulator.
 //! * [`report`] — run reports consumed by the experiment harness.
 //!
@@ -63,6 +66,7 @@ pub mod policy;
 pub mod query;
 pub mod report;
 pub mod runtime;
+pub mod serve;
 pub mod sim;
 
 pub use allocator::{
@@ -75,15 +79,23 @@ pub use policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
 pub use query::{CompletedResponse, ModelTier, Query, QueryId};
 pub use report::RunReport;
 pub use runtime::CascadeRuntime;
-pub use sim::{run_scenario, run_trace, AllocatorBackend, RunSettings};
+pub use serve::{
+    Backend, BuildError, QueryOutcome, QuerySpec, QueryTicket, ServingBackend, ServingSession,
+    SessionBuilder, SessionSnapshot, SessionSpec,
+};
+pub use sim::{run_scenario, run_trace, AllocatorBackend, RunSettings, SimBackend};
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::allocator::{Allocation, AllocatorInputs};
-    pub use crate::config::SystemConfig;
+    pub use crate::config::{ConfigError, SystemConfig};
     pub use crate::policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
     pub use crate::query::{CompletedResponse, ModelTier, Query, QueryId};
     pub use crate::report::RunReport;
     pub use crate::runtime::CascadeRuntime;
+    pub use crate::serve::{
+        Backend, BuildError, QueryOutcome, QuerySpec, QueryTicket, ServingBackend, ServingSession,
+        SessionBuilder, SessionSnapshot, SessionSpec,
+    };
     pub use crate::sim::{run_scenario, run_trace, AllocatorBackend, RunSettings};
 }

@@ -1,0 +1,890 @@
+//! The unified serving-session API: one backend-agnostic engine.
+//!
+//! DiffServe is an *online* system — queries stream in, the discriminator
+//! routes them, the controller re-plans every few seconds — and this module
+//! is the API shape that matches: a [`ServingSession`] is built once
+//! (validating the entire configuration up front and returning typed
+//! [`BuildError`]s instead of panicking) and then driven incrementally:
+//!
+//! * [`ServingSession::submit`] enqueues a query and returns a
+//!   [`QueryTicket`];
+//! * [`ServingSession::run_until`] advances serving time;
+//! * [`ServingSession::poll`] drains [`QueryOutcome`]s as they complete;
+//! * [`ServingSession::observer`] taps live metrics ([`SessionSnapshot`]:
+//!   queue depths, threshold, rolling FID estimate, per-tier utilization);
+//! * [`ServingSession::inject`] applies a perturbation (worker churn,
+//!   difficulty shift) mid-run;
+//! * [`ServingSession::finish`] produces the same [`RunReport`] the batch
+//!   entry points always returned.
+//!
+//! Both execution engines sit behind the [`ServingBackend`] trait: the
+//! discrete-event simulator (`Backend::Sim`, in this crate) and the
+//! thread-based cluster testbed (`diffserve_cluster::ClusterBackend`,
+//! plugged in through `diffserve_cluster::ClusterSessionExt`). The four
+//! legacy batch functions — [`run_trace`](crate::sim::run_trace),
+//! [`run_scenario`](crate::sim::run_scenario),
+//! `diffserve_cluster::run_cluster`, and
+//! `diffserve_cluster::run_cluster_scenario` — are thin wrappers over a
+//! session, so the two API generations are guaranteed to agree
+//! (`tests/api_parity.rs` asserts bit-identical reports).
+//!
+//! # Examples
+//!
+//! ```
+//! use diffserve_core::prelude::*;
+//! use diffserve_imagegen::{cascade1, DiscriminatorConfig, FeatureSpec};
+//! use diffserve_simkit::time::{SimDuration, SimTime};
+//!
+//! let runtime = CascadeRuntime::prepare(
+//!     cascade1(FeatureSpec::default()),
+//!     200,
+//!     7,
+//!     DiscriminatorConfig { train_prompts: 100, epochs: 2, ..Default::default() },
+//! );
+//! let mut session = ServingSession::builder()
+//!     .runtime(&runtime)
+//!     .config(SystemConfig { num_workers: 4, ..Default::default() })
+//!     .policy(Policy::DiffServe)
+//!     .backend(Backend::Sim)
+//!     .build()?;
+//!
+//! // Stream a few queries in, advance time, and collect outcomes.
+//! for i in 0..4 {
+//!     let prompt = *runtime.dataset.prompt_cyclic(i);
+//!     let deadline = session.now() + SimDuration::from_secs(5);
+//!     session.submit(prompt, deadline);
+//! }
+//! session.run_until(SimTime::from_secs(30));
+//! let outcomes = session.poll();
+//! assert_eq!(outcomes.len(), 4);
+//! let report = session.finish();
+//! assert_eq!(report.completed + report.dropped, report.total_queries);
+//! # Ok::<(), diffserve_core::serve::BuildError>(())
+//! ```
+
+use diffserve_imagegen::Prompt;
+use diffserve_metrics::GaussianStats;
+use diffserve_simkit::rng::{derive_seed, seeded_rng};
+use diffserve_simkit::time::SimTime;
+use diffserve_trace::{poisson_arrivals, Scenario, ScenarioError, ScenarioEvent, Trace};
+
+use crate::config::{ConfigError, SystemConfig};
+use crate::policy::{AblationKnobs, Policy};
+use crate::query::{CompletedResponse, ModelTier, QueryId};
+use crate::report::{fid_of_responses, RunReport};
+use crate::runtime::CascadeRuntime;
+use crate::sim::{AllocatorBackend, RunSettings, SimBackend};
+
+/// Seed stream used for trace-replay arrival generation — shared by every
+/// backend so the simulator and the testbed draw identical Poisson streams.
+pub(crate) const ARRIVAL_SEED_STREAM: u64 = 0xA881;
+
+/// Number of most-recent responses the rolling FID estimate is fit on.
+const FID_ESTIMATE_TAIL: usize = 256;
+
+/// Which execution engine a [`SessionBuilder`] should construct.
+///
+/// The thread-based cluster testbed also implements [`ServingBackend`] but
+/// lives in `diffserve-cluster` (it needs threads and channels); build a
+/// cluster-backed session with `diffserve_cluster::ClusterSessionExt::
+/// build_cluster` instead of a variant here, which keeps the dependency
+/// arrow pointing from the testbed to the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Backend {
+    /// The discrete-event simulator (the paper's primary evaluation
+    /// vehicle) — deterministic and bit-reproducible.
+    #[default]
+    Sim,
+}
+
+/// A submitted query's receipt: its id and resolved timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTicket {
+    /// Identifier the eventual [`QueryOutcome`] will carry.
+    pub id: QueryId,
+    /// When the query enters the system.
+    pub arrival: SimTime,
+    /// Its latency deadline.
+    pub deadline: SimTime,
+}
+
+/// A query submission: every field optional, defaults derived by the
+/// backend.
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_core::serve::QuerySpec;
+/// use diffserve_simkit::time::SimTime;
+///
+/// let spec = QuerySpec::new().at(SimTime::from_secs(3));
+/// assert_eq!(spec.at, Some(SimTime::from_secs(3)));
+/// assert!(spec.prompt.is_none()); // backend serves the dataset prompt
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QuerySpec {
+    /// Arrival time; `None` = now. Times in the past are clamped to now.
+    pub at: Option<SimTime>,
+    /// The prompt to serve; `None` = the runtime dataset's cyclic prompt
+    /// for the query's id (the batch wrappers' behavior).
+    pub prompt: Option<Prompt>,
+    /// Latency deadline; `None` = arrival + the configured SLO.
+    pub deadline: Option<SimTime>,
+}
+
+impl QuerySpec {
+    /// An empty spec: arrive now, dataset prompt, SLO deadline.
+    pub fn new() -> Self {
+        QuerySpec::default()
+    }
+
+    /// Sets the arrival time.
+    pub fn at(mut self, at: SimTime) -> Self {
+        self.at = Some(at);
+        self
+    }
+
+    /// Sets the prompt payload.
+    pub fn prompt(mut self, prompt: Prompt) -> Self {
+        self.prompt = Some(prompt);
+        self
+    }
+
+    /// Sets the deadline.
+    pub fn deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// The terminal fate of one submitted query, drained via
+/// [`ServingSession::poll`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// The query completed (possibly past its deadline — check
+    /// [`CompletedResponse::latency_secs`] against the SLO).
+    Completed(CompletedResponse),
+    /// The query was shed: dropped by the drop-front policy, lost to
+    /// shutdown, or still unfinished at the session horizon.
+    Dropped {
+        /// The query's id.
+        id: QueryId,
+        /// When it arrived.
+        arrival: SimTime,
+        /// When it was dropped.
+        at: SimTime,
+    },
+}
+
+impl QueryOutcome {
+    /// The id of the query this outcome belongs to.
+    pub fn id(&self) -> QueryId {
+        match self {
+            QueryOutcome::Completed(r) => r.id,
+            QueryOutcome::Dropped { id, .. } => *id,
+        }
+    }
+
+    /// Whether the query completed (on time or late).
+    pub fn is_completed(&self) -> bool {
+        matches!(self, QueryOutcome::Completed(_))
+    }
+}
+
+/// A live point-in-time view of the serving system, delivered to
+/// [`ServingSession::observer`] taps and returned by
+/// [`ServingSession::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// Current serving time.
+    pub now: SimTime,
+    /// Active cascade confidence threshold. For the Proteus policy this
+    /// slot carries the heavy routing fraction instead.
+    pub threshold: f64,
+    /// Alive workers assigned (or switching) to the light tier.
+    pub light_workers: usize,
+    /// Alive workers assigned (or switching) to the heavy tier.
+    pub heavy_workers: usize,
+    /// Workers currently fail-stopped.
+    pub failed_workers: usize,
+    /// Queries queued on (alive) light-tier workers.
+    pub light_queue: usize,
+    /// Queries queued on (alive) heavy-tier workers.
+    pub heavy_queue: usize,
+    /// Alive light-tier workers currently executing a batch.
+    pub light_busy: usize,
+    /// Alive heavy-tier workers currently executing a batch.
+    pub heavy_busy: usize,
+    /// Queries submitted so far.
+    pub submitted: u64,
+    /// Queries completed so far (on time or late).
+    pub completed: u64,
+    /// Queries dropped so far.
+    pub dropped: u64,
+    /// Fraction of completions served by the heavy model.
+    pub heavy_fraction: f64,
+    /// Rolling FID estimate over the most recent completions (`NaN` until
+    /// enough responses have accumulated).
+    pub fid_estimate: f64,
+}
+
+impl SessionSnapshot {
+    /// Busy fraction of the alive workers on a tier (0 when the tier is
+    /// empty).
+    pub fn utilization(&self, tier: ModelTier) -> f64 {
+        let (busy, total) = match tier {
+            ModelTier::Light => (self.light_busy, self.light_workers),
+            ModelTier::Heavy => (self.heavy_busy, self.heavy_workers),
+        };
+        if total == 0 {
+            0.0
+        } else {
+            busy as f64 / total as f64
+        }
+    }
+}
+
+/// Rolling FID estimate for snapshots: a Gaussian fit over the most recent
+/// completions only, so the cost per tap stays bounded no matter how long
+/// the session runs. `NaN` with fewer than two responses.
+pub fn rolling_fid_estimate(responses: &[CompletedResponse], reference: &GaussianStats) -> f64 {
+    let tail = &responses[responses.len().saturating_sub(FID_ESTIMATE_TAIL)..];
+    fid_of_responses(tail, reference, 1e-3)
+}
+
+/// The outcome-draining protocol shared by every backend: clone the
+/// completions recorded since `cursor` (advancing it), drain the pending
+/// drop log, and merge the two streams back into recording order by
+/// timestamp (each accumulates monotonically, so a stable sort suffices).
+pub fn drain_outcomes(
+    responses: &[CompletedResponse],
+    cursor: &mut usize,
+    drops: &mut Vec<(QueryId, SimTime, SimTime)>,
+) -> Vec<QueryOutcome> {
+    let mut out: Vec<QueryOutcome> = responses[*cursor..]
+        .iter()
+        .cloned()
+        .map(QueryOutcome::Completed)
+        .collect();
+    *cursor = responses.len();
+    out.extend(
+        drops
+            .drain(..)
+            .map(|(id, arrival, at)| QueryOutcome::Dropped { id, arrival, at }),
+    );
+    out.sort_by_key(|o| match o {
+        QueryOutcome::Completed(r) => r.completion,
+        QueryOutcome::Dropped { at, .. } => *at,
+    });
+    out
+}
+
+/// Why a [`SessionBuilder`] refused to construct a session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// No [`CascadeRuntime`] was supplied.
+    MissingRuntime,
+    /// The [`SystemConfig`] failed validation.
+    Config(ConfigError),
+    /// The [`RunSettings`] failed validation (e.g. a non-finite or
+    /// non-positive peak-demand hint).
+    Settings(ConfigError),
+    /// The attached [`Scenario`] is invalid for the configured worker pool.
+    Scenario(ScenarioError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::MissingRuntime => {
+                write!(f, "serving session needs a prepared CascadeRuntime")
+            }
+            BuildError::Config(e) => write!(f, "{e}"),
+            BuildError::Settings(e) => write!(f, "invalid run settings: {e}"),
+            BuildError::Scenario(e) => write!(f, "invalid scenario: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// The fully validated inputs a backend is constructed from. Exposed so
+/// out-of-crate backends (the `diffserve-cluster` testbed) can reuse the
+/// builder's validation and then assemble a session with
+/// [`ServingSession::from_backend`].
+#[derive(Debug, Clone)]
+pub struct SessionSpec<'a> {
+    /// Offline-prepared cascade artifacts.
+    pub runtime: &'a CascadeRuntime,
+    /// Cluster and controller configuration (validated).
+    pub config: SystemConfig,
+    /// Policy, ablations, allocator backend, peak-demand hint (validated).
+    pub settings: RunSettings,
+    /// Perturbation schedule replayed by the backend (validated against
+    /// `config.num_workers`).
+    pub scenario: Option<Scenario>,
+}
+
+/// One execution engine driving the DiffServe architecture: the
+/// discrete-event simulator or the thread-based cluster testbed.
+///
+/// A backend is an *open-world* serving loop — queries are submitted one at
+/// a time, time advances in increments, and outcomes drain as they happen —
+/// in contrast to the closed-world batch `run_*` functions (which are now
+/// wrappers over this trait). [`ServingSession`] owns a boxed backend and
+/// is the intended way to drive one.
+pub trait ServingBackend {
+    /// Current serving time: the latest instant this backend has been
+    /// advanced to.
+    fn now(&self) -> SimTime;
+
+    /// Enqueues one query and returns its ticket. Arrival times in the
+    /// past are clamped to [`ServingBackend::now`].
+    fn submit(&mut self, spec: QuerySpec) -> QueryTicket;
+
+    /// Advances serving time to `until` (no-op if `until` is in the past).
+    /// The simulator processes every event up to `until`; the testbed
+    /// sleeps scaled wall-clock time while its threads serve.
+    fn tick(&mut self, until: SimTime);
+
+    /// Drains the outcomes (completions and drops) recorded since the last
+    /// call, in recording order.
+    fn drain_completions(&mut self) -> Vec<QueryOutcome>;
+
+    /// Applies a capacity or difficulty perturbation. The simulator fires
+    /// it at the next instant it advances; the testbed applies it
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Rejects churn that would leave fewer than two workers alive, or a
+    /// recovery naming more workers than have failed.
+    fn apply_perturbation(&mut self, event: ScenarioEvent) -> Result<(), ScenarioError>;
+
+    /// A live metrics snapshot (queue depths, threshold, utilization,
+    /// rolling FID).
+    fn snapshot(&self) -> SessionSnapshot;
+
+    /// Tears the backend down and assembles the final [`RunReport`].
+    /// Queries still unfinished at `horizon` are accounted as drops, and
+    /// time series are truncated at `horizon`.
+    fn finish(self: Box<Self>, horizon: SimTime) -> RunReport;
+}
+
+/// Fluent builder for a [`ServingSession`]; validates the complete
+/// configuration at [`SessionBuilder::build`] time.
+///
+/// # Examples
+///
+/// Typed errors instead of panics:
+///
+/// ```
+/// use diffserve_core::prelude::*;
+/// use diffserve_core::serve::BuildError;
+///
+/// // No runtime attached → MissingRuntime, not a panic.
+/// let err = ServingSession::builder().build().unwrap_err();
+/// assert_eq!(err, BuildError::MissingRuntime);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionBuilder<'a> {
+    runtime: Option<&'a CascadeRuntime>,
+    config: SystemConfig,
+    policy: Policy,
+    knobs: AblationKnobs,
+    allocator: AllocatorBackend,
+    peak_demand_hint: f64,
+    settings: Option<RunSettings>,
+    scenario: Option<Scenario>,
+    backend: Backend,
+}
+
+impl Default for SessionBuilder<'_> {
+    fn default() -> Self {
+        SessionBuilder {
+            runtime: None,
+            config: SystemConfig::default(),
+            policy: Policy::DiffServe,
+            knobs: AblationKnobs::default(),
+            allocator: AllocatorBackend::Exhaustive,
+            peak_demand_hint: 1.0,
+            settings: None,
+            scenario: None,
+            backend: Backend::Sim,
+        }
+    }
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Attaches the prepared cascade artifacts (required).
+    pub fn runtime(mut self, runtime: &'a CascadeRuntime) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
+    /// Sets the system configuration (default: [`SystemConfig::default`]).
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the serving policy (default: [`Policy::DiffServe`]). Ignored if
+    /// [`SessionBuilder::settings`] supplies full [`RunSettings`].
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the Fig. 8 allocator ablations. Ignored if
+    /// [`SessionBuilder::settings`] supplies full [`RunSettings`].
+    pub fn knobs(mut self, knobs: AblationKnobs) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// Sets the allocator implementation (default: exhaustive grid scan).
+    /// Ignored if [`SessionBuilder::settings`] supplies full
+    /// [`RunSettings`].
+    pub fn allocator(mut self, backend: AllocatorBackend) -> Self {
+        self.allocator = backend;
+        self
+    }
+
+    /// Sets the expected peak demand in QPS, which static policies
+    /// provision for (default: 1.0). Ignored if
+    /// [`SessionBuilder::settings`] supplies full [`RunSettings`].
+    pub fn peak_demand(mut self, qps: f64) -> Self {
+        self.peak_demand_hint = qps;
+        self
+    }
+
+    /// Supplies complete [`RunSettings`], overriding
+    /// [`SessionBuilder::policy`], [`SessionBuilder::knobs`],
+    /// [`SessionBuilder::allocator`], and [`SessionBuilder::peak_demand`].
+    pub fn settings(mut self, settings: RunSettings) -> Self {
+        self.settings = Some(settings);
+        self
+    }
+
+    /// Attaches a perturbation schedule the backend replays (worker churn
+    /// and difficulty shifts; demand perturbations are expressed through
+    /// what the application submits — e.g.
+    /// [`ServingSession::replay_trace`] with
+    /// [`Scenario::effective_trace`]).
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Selects the execution engine (default: [`Backend::Sim`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Validates every input and returns the assembled [`SessionSpec`]
+    /// without constructing a backend — the hook out-of-crate backends
+    /// (the cluster testbed) use to share the builder's validation.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionBuilder::build`].
+    pub fn validate(self) -> Result<SessionSpec<'a>, BuildError> {
+        let runtime = self.runtime.ok_or(BuildError::MissingRuntime)?;
+        self.config.validate().map_err(BuildError::Config)?;
+        let settings = self.settings.unwrap_or(RunSettings {
+            policy: self.policy,
+            knobs: self.knobs,
+            backend: self.allocator,
+            peak_demand_hint: self.peak_demand_hint,
+        });
+        settings.validate().map_err(BuildError::Settings)?;
+        if let Some(scenario) = &self.scenario {
+            scenario
+                .validate(self.config.num_workers)
+                .map_err(BuildError::Scenario)?;
+        }
+        Ok(SessionSpec {
+            runtime,
+            config: self.config,
+            settings,
+            scenario: self.scenario,
+        })
+    }
+
+    /// Validates the whole configuration and constructs the session.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::MissingRuntime`] without a runtime;
+    /// [`BuildError::Config`] for an invalid [`SystemConfig`];
+    /// [`BuildError::Settings`] for invalid [`RunSettings`] (non-finite or
+    /// non-positive peak-demand hint, out-of-range static threshold);
+    /// [`BuildError::Scenario`] when the scenario's churn would exhaust the
+    /// configured worker pool.
+    pub fn build(self) -> Result<ServingSession<'a>, BuildError> {
+        let backend_kind = self.backend;
+        let spec = self.validate()?;
+        let backend: Box<dyn ServingBackend + 'a> = match backend_kind {
+            Backend::Sim => Box::new(SimBackend::new(&spec)),
+        };
+        Ok(ServingSession::from_backend(&spec, backend))
+    }
+}
+
+/// An open serving session: the backend-agnostic engine behind the batch
+/// `run_*` entry points, drivable incrementally.
+///
+/// Construct via [`ServingSession::builder`]; drive with
+/// [`submit`](ServingSession::submit) /
+/// [`run_until`](ServingSession::run_until) /
+/// [`poll`](ServingSession::poll); close with
+/// [`finish`](ServingSession::finish). See the [module docs](self) for a
+/// complete example.
+pub struct ServingSession<'a> {
+    backend: Box<dyn ServingBackend + 'a>,
+    config: SystemConfig,
+    policy: Policy,
+    observers: Vec<ObserverFn<'a>>,
+    driven_until: SimTime,
+    submitted: u64,
+}
+
+/// A registered live-metrics tap.
+type ObserverFn<'a> = Box<dyn FnMut(&SessionSnapshot) + 'a>;
+
+impl std::fmt::Debug for ServingSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingSession")
+            .field("policy", &self.policy)
+            .field("now", &self.backend.now())
+            .field("submitted", &self.submitted)
+            .field("observers", &self.observers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ServingSession<'a> {
+    /// Starts a fluent [`SessionBuilder`].
+    pub fn builder() -> SessionBuilder<'a> {
+        SessionBuilder::default()
+    }
+
+    /// Wraps an already-constructed backend in a session. Intended for
+    /// out-of-crate [`ServingBackend`] implementations (the cluster
+    /// testbed); in-crate callers should use [`SessionBuilder::build`].
+    pub fn from_backend(spec: &SessionSpec<'a>, backend: Box<dyn ServingBackend + 'a>) -> Self {
+        ServingSession {
+            backend,
+            config: spec.config.clone(),
+            policy: spec.settings.policy,
+            observers: Vec::new(),
+            driven_until: SimTime::ZERO,
+            submitted: 0,
+        }
+    }
+
+    /// The serving policy this session runs.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Current serving time.
+    pub fn now(&self) -> SimTime {
+        self.backend.now()
+    }
+
+    /// Queries submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Submits one query arriving now with an explicit deadline.
+    pub fn submit(&mut self, prompt: Prompt, deadline: SimTime) -> QueryTicket {
+        self.submit_spec(QuerySpec::new().prompt(prompt).deadline(deadline))
+    }
+
+    /// Submits one query from a full [`QuerySpec`] (scheduled arrivals,
+    /// dataset prompts, SLO-default deadlines).
+    pub fn submit_spec(&mut self, spec: QuerySpec) -> QueryTicket {
+        self.submitted += 1;
+        self.backend.submit(spec)
+    }
+
+    /// Replays a demand trace: draws the canonical seeded Poisson arrival
+    /// stream (identical to what the batch `run_*` wrappers serve, so
+    /// comparisons are paired) and submits one dataset query per arrival.
+    /// Returns the number of queries submitted.
+    pub fn replay_trace(&mut self, trace: &Trace) -> u64 {
+        let mut rng = seeded_rng(derive_seed(self.config.seed, ARRIVAL_SEED_STREAM));
+        let arrivals = poisson_arrivals(trace, &mut rng);
+        let n = arrivals.len() as u64;
+        for t in arrivals {
+            self.submit_spec(QuerySpec::new().at(t));
+        }
+        n
+    }
+
+    /// Advances serving time to `until`. With observers registered, the
+    /// advance happens in control-interval steps and every observer is
+    /// called with a fresh [`SessionSnapshot`] after each step.
+    pub fn run_until(&mut self, until: SimTime) {
+        if self.observers.is_empty() {
+            self.backend.tick(until);
+        } else {
+            let step = self.config.control_interval;
+            let mut t = self.backend.now();
+            while t < until {
+                t = (t + step).min(until);
+                self.backend.tick(t);
+                let snap = self.backend.snapshot();
+                for obs in &mut self.observers {
+                    obs(&snap);
+                }
+            }
+        }
+        if until > self.driven_until {
+            self.driven_until = until;
+        }
+    }
+
+    /// Drains outcomes (completions and drops) recorded since the last
+    /// poll.
+    pub fn poll(&mut self) -> Vec<QueryOutcome> {
+        self.backend.drain_completions()
+    }
+
+    /// Registers a live metrics tap invoked after every control-interval
+    /// step of [`ServingSession::run_until`].
+    pub fn observer(&mut self, observer: impl FnMut(&SessionSnapshot) + 'a) {
+        self.observers.push(Box::new(observer));
+    }
+
+    /// A live metrics snapshot right now.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        self.backend.snapshot()
+    }
+
+    /// Injects a capacity or difficulty perturbation mid-run — the online
+    /// counterpart of attaching a [`Scenario`] at build time.
+    ///
+    /// # Errors
+    ///
+    /// Rejects churn that would leave fewer than two workers alive, or a
+    /// recovery naming more workers than have failed.
+    pub fn inject(&mut self, event: ScenarioEvent) -> Result<(), ScenarioError> {
+        self.backend.apply_perturbation(event)
+    }
+
+    /// Ends the session: unfinished queries are accounted as drops at the
+    /// latest driven instant, time series are truncated there, and the
+    /// final [`RunReport`] — identical in shape and accounting to the batch
+    /// `run_*` functions' — is assembled.
+    pub fn finish(self) -> RunReport {
+        let horizon = self.driven_until.max(self.backend.now());
+        self.backend.finish(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffserve_imagegen::{cascade1, DiscriminatorConfig, FeatureSpec};
+    use diffserve_simkit::time::SimDuration;
+    use std::sync::OnceLock;
+
+    fn test_runtime() -> &'static CascadeRuntime {
+        static RT: OnceLock<CascadeRuntime> = OnceLock::new();
+        RT.get_or_init(|| {
+            CascadeRuntime::prepare(
+                cascade1(FeatureSpec::default()),
+                600,
+                13,
+                DiscriminatorConfig {
+                    train_prompts: 300,
+                    epochs: 4,
+                    ..Default::default()
+                },
+            )
+        })
+    }
+
+    fn small_config() -> SystemConfig {
+        SystemConfig {
+            num_workers: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn builder_rejects_missing_runtime() {
+        assert_eq!(
+            ServingSession::builder().build().unwrap_err(),
+            BuildError::MissingRuntime
+        );
+    }
+
+    #[test]
+    fn builder_rejects_invalid_config() {
+        let err = ServingSession::builder()
+            .runtime(test_runtime())
+            .config(SystemConfig {
+                num_workers: 1,
+                ..Default::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_bad_peak_demand() {
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -3.0] {
+            let err = ServingSession::builder()
+                .runtime(test_runtime())
+                .config(small_config())
+                .peak_demand(bad)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, BuildError::Settings(_)), "hint {bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn builder_rejects_exhausting_scenario() {
+        let trace = Trace::constant(2.0, SimDuration::from_secs(10)).unwrap();
+        let scenario = Scenario::new("bad", trace).worker_fail(SimTime::from_secs(1), 3);
+        let err = ServingSession::builder()
+            .runtime(test_runtime())
+            .config(small_config())
+            .scenario(scenario)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Scenario(_)), "{err}");
+    }
+
+    #[test]
+    fn streaming_submit_poll_finish() {
+        let mut session = ServingSession::builder()
+            .runtime(test_runtime())
+            .config(small_config())
+            .policy(Policy::DiffServe)
+            .build()
+            .expect("valid session");
+        let mut tickets = Vec::new();
+        for i in 0..6 {
+            let prompt = *test_runtime().dataset.prompt_cyclic(i);
+            let deadline = session.now() + SimDuration::from_secs(5);
+            tickets.push(session.submit(prompt, deadline));
+        }
+        assert_eq!(tickets.len(), 6);
+        assert_eq!(tickets[5].id, QueryId(5));
+        session.run_until(SimTime::from_secs(40));
+        let outcomes = session.poll();
+        assert_eq!(outcomes.len(), 6, "all queries should resolve");
+        // Polling again yields nothing new.
+        let mut session = session;
+        assert!(session.poll().is_empty());
+        let report = session.finish();
+        assert_eq!(report.total_queries, 6);
+        assert_eq!(report.completed + report.dropped, 6);
+    }
+
+    #[test]
+    fn observer_sees_threshold_and_progress() {
+        let mut session = ServingSession::builder()
+            .runtime(test_runtime())
+            .config(small_config())
+            .policy(Policy::DiffServe)
+            .build()
+            .expect("valid session");
+        let trace = Trace::constant(3.0, SimDuration::from_secs(20)).unwrap();
+        session.replay_trace(&trace);
+        let snaps = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = snaps.clone();
+        session.observer(move |s: &SessionSnapshot| sink.borrow_mut().push(s.clone()));
+        session.run_until(SimTime::from_secs(30));
+        let snaps = snaps.borrow();
+        assert!(!snaps.is_empty());
+        let last = snaps.last().unwrap();
+        assert!(last.completed + last.dropped > 0);
+        assert!(last.threshold.is_finite());
+        assert!(last.light_workers + last.heavy_workers + last.failed_workers <= 4);
+    }
+
+    #[test]
+    fn inject_rejects_pool_exhaustion() {
+        use diffserve_trace::CapacityEvent;
+        let mut session = ServingSession::builder()
+            .runtime(test_runtime())
+            .config(small_config())
+            .build()
+            .expect("valid session");
+        let err = session
+            .inject(ScenarioEvent::Capacity(CapacityEvent::Fail(3)))
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::PoolExhausted { .. }));
+        // Failing 2 of 4 is fine; recovering 3 is not.
+        session
+            .inject(ScenarioEvent::Capacity(CapacityEvent::Fail(2)))
+            .expect("2 of 4 may fail");
+        let err = session
+            .inject(ScenarioEvent::Capacity(CapacityEvent::Recover(3)))
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::RecoverWithoutFailure { .. }));
+    }
+
+    #[test]
+    fn back_to_back_injections_compose_without_a_tick() {
+        use diffserve_trace::CapacityEvent;
+        let mut session = ServingSession::builder()
+            .runtime(test_runtime())
+            .config(small_config())
+            .build()
+            .expect("valid session");
+        // Validation must project over scheduled-but-unfired injections:
+        // a second Fail(2) on a 4-worker pool is rejected even before any
+        // time has passed...
+        session
+            .inject(ScenarioEvent::Capacity(CapacityEvent::Fail(2)))
+            .expect("2 of 4 may fail");
+        let err = session
+            .inject(ScenarioEvent::Capacity(CapacityEvent::Fail(2)))
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::PoolExhausted { .. }));
+        // ...and an immediate fail→recover round trip is accepted, like the
+        // cluster backend's immediate application.
+        session
+            .inject(ScenarioEvent::Capacity(CapacityEvent::Recover(2)))
+            .expect("recover the 2 pending failures");
+        session
+            .inject(ScenarioEvent::Capacity(CapacityEvent::Fail(2)))
+            .expect("pool is projected whole again");
+        session.run_until(SimTime::from_secs(5));
+        assert_eq!(session.snapshot().failed_workers, 2);
+    }
+
+    #[test]
+    fn finish_accounts_submissions_past_the_horizon() {
+        let mut session = ServingSession::builder()
+            .runtime(test_runtime())
+            .config(small_config())
+            .build()
+            .expect("valid session");
+        // One query inside the driven window, one scheduled far past it.
+        session.submit_spec(QuerySpec::new().at(SimTime::from_secs(1)));
+        session.submit_spec(QuerySpec::new().at(SimTime::from_secs(500)));
+        session.run_until(SimTime::from_secs(30));
+        let report = session.finish();
+        assert_eq!(report.total_queries, 2, "never-arrived submission counts");
+        assert_eq!(report.completed + report.dropped, report.total_queries);
+        assert!(report.dropped >= 1, "the future submission is a drop");
+    }
+
+    #[test]
+    fn build_error_display() {
+        let e = BuildError::MissingRuntime;
+        assert!(format!("{e}").contains("CascadeRuntime"));
+    }
+}

@@ -7,13 +7,17 @@
 //! resource allocation. All five policies of Table 1 and the Fig. 8
 //! ablations run through this one simulator.
 //!
-//! Two run paths share the loop: [`run_trace`] replays a plain demand
-//! trace, and [`run_scenario`] additionally injects a [`Scenario`]'s
-//! perturbations — fail-stop
-//! worker churn (with in-flight work retried elsewhere and the controller
-//! re-solving against the shrunken pool), flash crowds and demand shocks
-//! (baked into the arrival stream), and prompt-difficulty shifts (which
-//! raise the cascade's deferral rate at constant QPS).
+//! The simulator is one of the two engines behind the unified
+//! [`ServingSession`] API (the other is the
+//! thread-based testbed in `diffserve-cluster`): [`SimBackend`] implements
+//! [`ServingBackend`] over the event loop, so
+//! applications can submit queries incrementally, tap live metrics, and
+//! inject perturbations mid-run. The two batch entry points — [`run_trace`]
+//! replaying a plain demand trace, [`run_scenario`] additionally injecting
+//! a [`Scenario`]'s perturbations (fail-stop worker churn with in-flight
+//! work retried elsewhere, flash crowds and demand shocks baked into the
+//! arrival stream, and prompt-difficulty shifts that raise the cascade's
+//! deferral rate at constant QPS) — are thin wrappers over a session.
 
 use std::collections::VecDeque;
 
@@ -21,7 +25,7 @@ use diffserve_imagegen::{GeneratedImage, Prompt};
 use diffserve_metrics::{SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
 use diffserve_trace::{
-    poisson_arrivals, CapacityEvent, DemandEstimator, Scenario, ScenarioEvent, Trace,
+    CapacityEvent, DemandEstimator, Scenario, ScenarioError, ScenarioEvent, Trace,
 };
 use rand::Rng;
 
@@ -29,11 +33,19 @@ use crate::allocator::{
     overload_fallback, solve_exhaustive, solve_milp_allocation, solve_proteus, Allocation,
     AllocatorInputs,
 };
-use crate::config::SystemConfig;
+use crate::config::{ConfigError, SystemConfig};
 use crate::policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
 use crate::query::{CompletedResponse, ModelTier, QueryId};
 use crate::report::RunReport;
 use crate::runtime::CascadeRuntime;
+use crate::serve::{
+    rolling_fid_estimate, QueryOutcome, QuerySpec, QueryTicket, ServingBackend, ServingSession,
+    SessionSnapshot, SessionSpec,
+};
+
+/// Event budget for one simulated run — a backstop against runaway
+/// scheduling loops, far above what any real workload processes.
+const EVENT_BUDGET: u64 = 50_000_000;
 
 /// Which allocator implementation the controller invokes.
 ///
@@ -72,6 +84,32 @@ impl RunSettings {
             backend: AllocatorBackend::Exhaustive,
             peak_demand_hint,
         }
+    }
+
+    /// Validates invariants the serving loop relies on: the peak-demand
+    /// hint must be finite and positive (it flows straight into the
+    /// allocator's demand estimate for static policies), and a pinned
+    /// static threshold must lie in `[0, 1]`.
+    ///
+    /// The session builder calls this at
+    /// [`build`](crate::serve::SessionBuilder::build) time and surfaces
+    /// failures as [`BuildError::Settings`](crate::serve::BuildError).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.peak_demand_hint.is_finite() || self.peak_demand_hint <= 0.0 {
+            return Err(ConfigError::new(
+                "peak demand hint must be finite and positive",
+            ));
+        }
+        if let Some(t) = self.knobs.static_threshold {
+            if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+                return Err(ConfigError::new("static threshold must lie in [0, 1]"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -122,11 +160,16 @@ struct QueryRec {
     arrival: SimTime,
     deadline: SimTime,
     finished: bool,
+    /// Whether the arrival event has been processed yet (queries are
+    /// registered at submit time, which may precede their arrival).
+    arrived: bool,
+    /// Explicit prompt payload; `None` serves the dataset's cyclic prompt.
+    prompt: Option<Prompt>,
 }
 
 struct ServingSim<'a> {
-    config: &'a SystemConfig,
-    settings: &'a RunSettings,
+    config: SystemConfig,
+    settings: RunSettings,
     runtime: &'a CascadeRuntime,
     workers: Vec<Worker>,
     queries: Vec<QueryRec>,
@@ -150,12 +193,14 @@ struct ServingSim<'a> {
     aimd_heavy_batch: usize,
     rng: rand::rngs::StdRng,
     total_arrivals: u64,
+    /// Drops recorded since the last poll: `(id, arrival, dropped_at)`.
+    drop_log: Vec<(QueryId, SimTime, SimTime)>,
 }
 
 impl<'a> ServingSim<'a> {
     fn new(
-        config: &'a SystemConfig,
-        settings: &'a RunSettings,
+        config: SystemConfig,
+        settings: RunSettings,
         runtime: &'a CascadeRuntime,
         actions: Vec<(SimTime, ScenarioEvent)>,
     ) -> Self {
@@ -179,9 +224,6 @@ impl<'a> ServingSim<'a> {
             })
             .collect();
         let mut sim = ServingSim {
-            config,
-            settings,
-            runtime,
             workers,
             queries: Vec::new(),
             threshold: 0.5,
@@ -201,9 +243,39 @@ impl<'a> ServingSim<'a> {
             aimd_heavy_batch: 1,
             rng: seeded_rng(derive_seed(config.seed, 0x51A7)),
             total_arrivals: 0,
+            drop_log: Vec::new(),
+            config,
+            settings,
+            runtime,
         };
         sim.bootstrap_allocation();
         sim
+    }
+
+    /// Registers a query for arrival at `at`; its record is indexed by the
+    /// returned id. The arrival event itself is scheduled by the caller.
+    fn enqueue_query(
+        &mut self,
+        at: SimTime,
+        prompt: Option<Prompt>,
+        deadline: Option<SimTime>,
+    ) -> u64 {
+        let qidx = self.queries.len() as u64;
+        self.queries.push(QueryRec {
+            arrival: at,
+            deadline: deadline.unwrap_or(at + self.config.slo),
+            finished: false,
+            arrived: false,
+            prompt,
+        });
+        qidx
+    }
+
+    /// Appends a perturbation to the action table, returning its index for
+    /// [`Event::Scenario`] scheduling.
+    fn push_action(&mut self, at: SimTime, event: ScenarioEvent) -> usize {
+        self.actions.push((at, event));
+        self.actions.len() - 1
     }
 
     /// Largest batch size whose execution fits half the SLO — the static
@@ -505,6 +577,7 @@ impl<'a> ServingSim<'a> {
                     self.workers[idx].queue.pop_front();
                     self.queries[front as usize].finished = true;
                     self.slo.record_drop(rec.arrival, now);
+                    self.drop_log.push((QueryId(front), rec.arrival, now));
                     match tier {
                         ModelTier::Light => self.violations_since_tick_light += 1,
                         ModelTier::Heavy => self.violations_since_tick_heavy += 1,
@@ -560,12 +633,11 @@ impl<'a> ServingSim<'a> {
     }
 
     fn handle_arrival(&mut self, qidx: u64, now: SimTime, queue: &mut EventQueue<Event>) {
-        debug_assert_eq!(qidx as usize, self.queries.len());
-        self.queries.push(QueryRec {
-            arrival: now,
-            deadline: now + self.config.slo,
-            finished: false,
-        });
+        debug_assert!(
+            !self.queries[qidx as usize].arrived,
+            "duplicate arrival for query {qidx}"
+        );
+        self.queries[qidx as usize].arrived = true;
         self.total_arrivals += 1;
         self.arrivals_since_tick += 1;
         self.arrival_series.push(now, 1.0);
@@ -586,12 +658,13 @@ impl<'a> ServingSim<'a> {
         self.route_to_tier(tier, qidx, now, queue);
     }
 
-    /// The prompt served for query `qidx`, with any active scenario
+    /// The prompt served for query `qidx` — its explicit payload if one was
+    /// submitted, else the dataset's cyclic prompt — with any active
     /// difficulty shift applied.
     fn served_prompt(&self, qidx: u64) -> Prompt {
-        self.runtime
-            .dataset
-            .prompt_cyclic(qidx)
+        self.queries[qidx as usize]
+            .prompt
+            .unwrap_or_else(|| *self.runtime.dataset.prompt_cyclic(qidx))
             .harder(self.difficulty_delta)
     }
 
@@ -826,6 +899,60 @@ impl<'a> ServingSim<'a> {
             .map(|w| w.batch_max)
             .unwrap_or(1)
     }
+
+    /// Live metrics for [`SessionSnapshot`] taps.
+    fn snapshot(&self, now: SimTime) -> SessionSnapshot {
+        let mut light_workers = 0;
+        let mut heavy_workers = 0;
+        let mut failed_workers = 0;
+        let mut light_queue = 0;
+        let mut heavy_queue = 0;
+        let mut light_busy = 0;
+        let mut heavy_busy = 0;
+        for w in &self.workers {
+            if w.failed {
+                failed_workers += 1;
+                continue;
+            }
+            match w.target_tier() {
+                ModelTier::Light => {
+                    light_workers += 1;
+                    light_queue += w.queue.len();
+                    light_busy += usize::from(w.busy);
+                }
+                ModelTier::Heavy => {
+                    heavy_workers += 1;
+                    heavy_queue += w.queue.len();
+                    heavy_busy += usize::from(w.busy);
+                }
+            }
+        }
+        let heavy_done = self
+            .responses
+            .iter()
+            .filter(|r| r.tier == ModelTier::Heavy)
+            .count();
+        SessionSnapshot {
+            now,
+            threshold: self.threshold,
+            light_workers,
+            heavy_workers,
+            failed_workers,
+            light_queue,
+            heavy_queue,
+            light_busy,
+            heavy_busy,
+            submitted: self.queries.len() as u64,
+            completed: self.slo.on_time() + self.slo.late(),
+            dropped: self.slo.dropped(),
+            heavy_fraction: if self.responses.is_empty() {
+                0.0
+            } else {
+                heavy_done as f64 / self.responses.len() as f64
+            },
+            fid_estimate: rolling_fid_estimate(&self.responses, &self.runtime.reference),
+        }
+    }
 }
 
 fn aimd_step(current: usize, violated: bool, max_b: usize) -> usize {
@@ -847,11 +974,206 @@ impl Actor<Event> for ServingSim<'_> {
     }
 }
 
+/// The discrete-event simulator behind the unified session API: wraps the
+/// serving state machine in a [`Simulation`] and implements
+/// [`ServingBackend`] so [`ServingSession`] can drive it incrementally.
+///
+/// Constructed by
+/// [`SessionBuilder::build`](crate::serve::SessionBuilder::build) with
+/// [`Backend::Sim`](crate::serve::Backend). Deterministic: the same
+/// submissions and tick schedule replay bit-identically.
+pub struct SimBackend<'a> {
+    sim: Simulation<Event, ServingSim<'a>>,
+    /// The latest instant the backend has been driven to (>= the engine's
+    /// last-event clock).
+    cursor: SimTime,
+    /// Whether the scenario timeline and the first control tick have been
+    /// scheduled. Deferred to the first advance so that pre-submitted
+    /// arrivals keep their schedule order ahead of same-instant control
+    /// events — exactly the batch wrappers' event order.
+    started: bool,
+    remaining_budget: u64,
+    completion_cursor: usize,
+    /// Net worker-failure delta from injected perturbations that are
+    /// scheduled but have not fired yet (cleared on every advance):
+    /// injected fails minus injected recovers. Validation of back-to-back
+    /// injections projects the fleet state forward by this amount.
+    pending_failed: isize,
+}
+
+impl std::fmt::Debug for SimBackend<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimBackend")
+            .field("cursor", &self.cursor)
+            .field("started", &self.started)
+            .field("processed", &self.sim.processed())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SimBackend<'a> {
+    /// Builds the simulator backend from validated session inputs.
+    pub fn new(spec: &SessionSpec<'a>) -> Self {
+        let actions = spec
+            .scenario
+            .as_ref()
+            .map(|s| s.timeline())
+            .unwrap_or_default();
+        let state = ServingSim::new(
+            spec.config.clone(),
+            spec.settings.clone(),
+            spec.runtime,
+            actions,
+        );
+        SimBackend {
+            sim: Simulation::new(state),
+            cursor: SimTime::ZERO,
+            started: false,
+            remaining_budget: EVENT_BUDGET,
+            completion_cursor: 0,
+            pending_failed: 0,
+        }
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let times: Vec<SimTime> = self.sim.actor().actions.iter().map(|&(at, _)| at).collect();
+        for (i, at) in times.into_iter().enumerate() {
+            self.sim.schedule(at, Event::Scenario(i));
+        }
+        let interval = self.sim.actor().config.control_interval;
+        self.sim
+            .schedule(SimTime::ZERO + interval, Event::ControlTick);
+    }
+}
+
+impl ServingBackend for SimBackend<'_> {
+    fn now(&self) -> SimTime {
+        self.cursor
+    }
+
+    fn submit(&mut self, spec: QuerySpec) -> QueryTicket {
+        let at = spec.at.unwrap_or(self.cursor).max(self.cursor);
+        let state = self.sim.actor_mut();
+        let qidx = state.enqueue_query(at, spec.prompt, spec.deadline);
+        let deadline = state.queries[qidx as usize].deadline;
+        self.sim.schedule(at, Event::Arrival(qidx));
+        QueryTicket {
+            id: QueryId(qidx),
+            arrival: at,
+            deadline,
+        }
+    }
+
+    fn tick(&mut self, until: SimTime) {
+        self.ensure_started();
+        if until > self.cursor {
+            self.cursor = until;
+        }
+        let before = self.sim.processed();
+        self.sim
+            .run_until_with_budget(self.cursor, self.remaining_budget);
+        self.remaining_budget = self
+            .remaining_budget
+            .saturating_sub(self.sim.processed() - before);
+        // Injected perturbations scheduled at or before the cursor have
+        // fired now and are reflected in the live fleet state.
+        self.pending_failed = 0;
+    }
+
+    fn drain_completions(&mut self) -> Vec<QueryOutcome> {
+        let state = self.sim.actor_mut();
+        crate::serve::drain_outcomes(
+            &state.responses,
+            &mut self.completion_cursor,
+            &mut state.drop_log,
+        )
+    }
+
+    fn apply_perturbation(&mut self, event: ScenarioEvent) -> Result<(), ScenarioError> {
+        self.ensure_started();
+        // Validate against the fleet state *projected* over injections that
+        // are scheduled but have not fired yet (they fire at the next
+        // advance), so back-to-back injections compose like the cluster
+        // backend's immediate application.
+        let state = self.sim.actor();
+        let total = state.workers.len();
+        let failed = ((total - state.alive_count()) as isize + self.pending_failed)
+            .clamp(0, total as isize) as usize;
+        let alive = total - failed;
+        match event {
+            ScenarioEvent::Capacity(CapacityEvent::Fail(n)) => {
+                let remaining = alive.saturating_sub(n);
+                if remaining < 2 {
+                    return Err(ScenarioError::PoolExhausted {
+                        at: self.cursor,
+                        alive: remaining,
+                    });
+                }
+                self.pending_failed += n as isize;
+            }
+            ScenarioEvent::Capacity(CapacityEvent::Recover(n)) => {
+                if n > failed {
+                    return Err(ScenarioError::RecoverWithoutFailure { at: self.cursor });
+                }
+                self.pending_failed -= n as isize;
+            }
+            ScenarioEvent::Difficulty(delta) => {
+                if !delta.is_finite() || !(-1.0..=1.0).contains(&delta) {
+                    return Err(ScenarioError::InvalidDelta { delta });
+                }
+            }
+        }
+        let at = self.cursor;
+        let idx = self.sim.actor_mut().push_action(at, event);
+        self.sim.schedule(at, Event::Scenario(idx));
+        Ok(())
+    }
+
+    fn snapshot(&self) -> SessionSnapshot {
+        self.sim.actor().snapshot(self.cursor)
+    }
+
+    fn finish(mut self: Box<Self>, horizon: SimTime) -> RunReport {
+        self.tick(horizon);
+        let mut state = self.sim.into_actor();
+        for i in 0..state.queries.len() {
+            let rec = state.queries[i];
+            if rec.finished {
+                continue;
+            }
+            if rec.arrived {
+                // Arrived but never finished: it violated its deadline long
+                // ago (the drain period exceeds the SLO).
+                state.slo.record_drop(rec.arrival, horizon);
+            } else {
+                // Submitted for an arrival past the horizon: never entered
+                // the system, but every submission must be accounted —
+                // mirror the cluster backend's shutdown-drop bookkeeping.
+                state.total_arrivals += 1;
+                state.slo.record_drop(horizon, horizon);
+            }
+            state
+                .drop_log
+                .push((QueryId(i as u64), rec.arrival, horizon));
+            state.queries[i].finished = true;
+        }
+        build_report(state, horizon)
+    }
+}
+
 /// Runs one policy against a demand trace and reports the paper's metrics.
 ///
 /// Arrivals are Poisson within each trace bin, seeded from
 /// `config.seed` — identical across policies so comparisons are paired.
 /// Equivalent to [`run_scenario`] with a perturbation-free scenario.
+///
+/// This is a thin wrapper over a [`ServingSession`]: it replays the trace
+/// into a simulator-backed session and finishes it. Hand-driving the same
+/// session produces a bit-identical [`RunReport`] (`tests/api_parity.rs`).
 ///
 /// # Panics
 ///
@@ -889,7 +1211,16 @@ pub fn run_trace(
     settings: &RunSettings,
     trace: &Trace,
 ) -> RunReport {
-    run_driven(runtime, config, settings, trace, Vec::new())
+    let mut session = ServingSession::builder()
+        .runtime(runtime)
+        .config(config.clone())
+        .settings(settings.clone())
+        .build()
+        .expect("valid system config and settings");
+    session.replay_trace(trace);
+    // Horizon: trace end plus a drain period of 4 SLOs.
+    session.run_until(SimTime::ZERO + trace.duration() + config.slo * 4);
+    session.finish()
 }
 
 /// Runs one policy against a [`Scenario`]: the base trace with its demand
@@ -899,6 +1230,9 @@ pub fn run_trace(
 /// The thread-based testbed exposes the parity path
 /// `diffserve_cluster::run_cluster_scenario`, so one `Scenario` value drives
 /// both implementations.
+///
+/// Like [`run_trace`], a thin wrapper over a [`ServingSession`] with the
+/// scenario attached at build time.
 ///
 /// # Panics
 ///
@@ -911,49 +1245,17 @@ pub fn run_scenario(
     settings: &RunSettings,
     scenario: &Scenario,
 ) -> RunReport {
-    scenario
-        .validate(config.num_workers)
-        .expect("valid scenario for this worker pool");
+    let mut session = ServingSession::builder()
+        .runtime(runtime)
+        .config(config.clone())
+        .settings(settings.clone())
+        .scenario(scenario.clone())
+        .build()
+        .expect("valid scenario and system config");
     let trace = scenario.effective_trace();
-    run_driven(runtime, config, settings, &trace, scenario.timeline())
-}
-
-fn run_driven(
-    runtime: &CascadeRuntime,
-    config: &SystemConfig,
-    settings: &RunSettings,
-    trace: &Trace,
-    actions: Vec<(SimTime, ScenarioEvent)>,
-) -> RunReport {
-    let mut arrival_rng = seeded_rng(derive_seed(config.seed, 0xA881));
-    let arrivals = poisson_arrivals(trace, &mut arrival_rng);
-
-    let action_times: Vec<SimTime> = actions.iter().map(|&(at, _)| at).collect();
-    let sim_state = ServingSim::new(config, settings, runtime, actions);
-    let mut sim = Simulation::new(sim_state);
-    for (i, &t) in arrivals.iter().enumerate() {
-        sim.schedule(t, Event::Arrival(i as u64));
-    }
-    for (i, &at) in action_times.iter().enumerate() {
-        sim.schedule(at, Event::Scenario(i));
-    }
-    sim.schedule(SimTime::ZERO + config.control_interval, Event::ControlTick);
-
-    // Horizon: trace end plus a drain period of 4 SLOs.
-    let horizon = SimTime::ZERO + trace.duration() + config.slo * 4;
-    sim.run_until_with_budget(horizon, 50_000_000);
-
-    let mut state = sim.into_actor();
-    // Anything still in the system at the horizon violated its deadline
-    // long ago (drain period exceeds the SLO).
-    for i in 0..state.queries.len() {
-        if !state.queries[i].finished {
-            let rec = state.queries[i];
-            state.slo.record_drop(rec.arrival, horizon);
-            state.queries[i].finished = true;
-        }
-    }
-    build_report(state, horizon)
+    session.replay_trace(&trace);
+    session.run_until(SimTime::ZERO + trace.duration() + config.slo * 4);
+    session.finish()
 }
 
 fn build_report(state: ServingSim<'_>, horizon: SimTime) -> RunReport {

@@ -1,5 +1,7 @@
 //! Quickstart: prepare Cascade 1, serve a short Poisson workload with the
-//! full DiffServe policy, and print the paper's two headline metrics.
+//! full DiffServe policy through a `ServingSession`, and print the paper's
+//! two headline metrics. (See `streaming_session.rs` for the incremental
+//! submit/poll/observe side of the session API.)
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -29,12 +31,17 @@ fn main() {
         SystemConfig::default().slo,
     );
 
-    let report = run_trace(
-        &runtime,
-        &SystemConfig::default(),
-        &RunSettings::new(Policy::DiffServe, trace.max_qps()),
-        &trace,
-    );
+    let mut session = ServingSession::builder()
+        .runtime(&runtime)
+        .config(SystemConfig::default())
+        .policy(Policy::DiffServe)
+        .peak_demand(trace.max_qps())
+        .backend(Backend::Sim)
+        .build()
+        .expect("configuration validated at build time");
+    session.replay_trace(&trace);
+    session.run_until(SimTime::ZERO + trace.duration() + SystemConfig::default().slo * 4);
+    let report = session.finish();
 
     println!("\n{}", report.summary());
     println!(

@@ -28,6 +28,12 @@
 //!
 //! # Quickstart
 //!
+//! Serving runs through a [`ServingSession`](serving::ServingSession): a
+//! fluent builder validates the whole configuration up front, then the
+//! session is driven incrementally — submit queries, advance time, poll
+//! outcomes, tap live metrics — and `finish()` yields the final
+//! [`RunReport`](serving::RunReport):
+//!
 //! ```no_run
 //! use diffserve::prelude::*;
 //!
@@ -42,21 +48,37 @@
 //!
 //! // Serve a diurnal trace with the full DiffServe policy on 16 workers.
 //! let trace = synthesize_azure_trace(&AzureTraceConfig::default())?;
-//! let report = run_trace(
-//!     &runtime,
-//!     &SystemConfig::default(),
-//!     &RunSettings::new(Policy::DiffServe, trace.max_qps()),
-//!     &trace,
-//! );
+//! let mut session = ServingSession::builder()
+//!     .runtime(&runtime)
+//!     .config(SystemConfig::default())
+//!     .policy(Policy::DiffServe)
+//!     .backend(Backend::Sim)
+//!     .build()?;
+//! session.observer(|snap| {
+//!     println!(
+//!         "t={} threshold={:.2} queues={}/{}",
+//!         snap.now, snap.threshold, snap.light_queue, snap.heavy_queue
+//!     );
+//! });
+//! session.replay_trace(&trace);
+//! session.run_until(SimTime::ZERO + trace.duration());
+//! let report = session.finish();
 //! println!("{}", report.summary());
-//! # Ok::<(), diffserve::workload::TraceError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! See `DESIGN.md` for the system inventory and the substitutions made for
-//! GPU-bound components, and `EXPERIMENTS.md` for paper-vs-measured results
-//! of every table and figure.
+//! The batch entry points (`run_trace`, `run_scenario`, `run_cluster`,
+//! `run_cluster_scenario`) remain available as thin wrappers over a
+//! session and produce identical reports. Swap `.build()` for
+//! `.build_cluster(time_scale)` (from [`ClusterSessionExt`](cluster::ClusterSessionExt))
+//! to drive the thread-based testbed through the same API.
+//!
+//! See `ARCHITECTURE.md` for the paper-to-code map (including the legacy →
+//! session migration table), and `EXPERIMENTS.md` for paper-vs-measured
+//! results of every table and figure.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub use diffserve_cluster as cluster;
 pub use diffserve_core as serving;
@@ -69,15 +91,25 @@ pub use diffserve_simkit as simkit;
 pub use diffserve_trace as workload;
 
 /// One-stop imports for applications.
+///
+/// Everything the quickstart needs compiles from `use diffserve::prelude::*`
+/// alone: the session API (`ServingSession`, `Backend`, `QuerySpec`,
+/// `SessionSnapshot`, …), both run paths' batch wrappers, the cluster
+/// testbed types (`ClusterConfig`, `ServingPlan`,
+/// `ClusterSessionExt::build_cluster`), and the workload/scenario builders.
 pub mod prelude {
-    pub use diffserve_cluster::{run_cluster, run_cluster_scenario, ClusterConfig};
+    pub use diffserve_cluster::{
+        run_cluster, run_cluster_scenario, ClusterBackend, ClusterConfig, ClusterSessionExt,
+        ServingPlan,
+    };
     pub use diffserve_core::prelude::*;
     pub use diffserve_imagegen::prelude::*;
     pub use diffserve_metrics::{fid_score, GaussianStats, SloTracker};
     pub use diffserve_simkit::prelude::*;
     pub use diffserve_trace::{
         poisson_arrivals, standard_scenarios, synthesize_azure_trace, AzureTraceConfig,
-        DemandEstimator, Perturbation, Scenario, Trace,
+        CapacityEvent, DemandEstimator, Perturbation, Scenario, ScenarioError, ScenarioEvent,
+        Trace,
     };
 }
 
