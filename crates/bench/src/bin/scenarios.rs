@@ -19,6 +19,10 @@ use diffserve_trace::{standard_scenarios, Trace};
 const RECOVERY_TARGET: f64 = 0.10;
 
 fn main() {
+    // `--smoke`: the CI configuration — one policy, two scenarios, a short
+    // horizon — so controller regressions that only manifest under
+    // perturbations are caught pre-merge without paying for the full sweep.
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let runtime = prepare_runtime_small(CascadeId::One);
     let system = SystemConfig {
         num_workers: 8,
@@ -26,8 +30,16 @@ fn main() {
     };
     // A moderately loaded base: ~60% of what 8 workers sustain with the
     // cascade, leaving headroom the perturbations then eat.
-    let base = Trace::constant(6.0, SimDuration::from_secs(240)).expect("valid base trace");
-    let scenarios = standard_scenarios(&base, system.num_workers);
+    let horizon = if smoke { 60 } else { 240 };
+    let base = Trace::constant(6.0, SimDuration::from_secs(horizon)).expect("valid base trace");
+    let mut scenarios = standard_scenarios(&base, system.num_workers);
+    let policies: Vec<Policy> = if smoke {
+        // Steady control plus the correlated-failure stressor.
+        scenarios.retain(|s| matches!(s.name(), "steady" | "cascading-failure"));
+        vec![Policy::DiffServe]
+    } else {
+        Policy::all().to_vec()
+    };
 
     let mut rows = Vec::new();
     for scenario in &scenarios {
@@ -48,7 +60,7 @@ fn main() {
         // Peak hint: what the scenario can reach, so static policies get a
         // fair peak-provisioned bootstrap.
         let peak = scenario.effective_trace().max_qps();
-        for policy in Policy::all() {
+        for &policy in &policies {
             let settings = RunSettings::new(policy, peak);
             let report = run_scenario(&runtime, &system, &settings, scenario);
             // Worst recovery over all perturbations: a perturbation that

@@ -28,17 +28,15 @@ use diffserve_core::serve::{
     ServingBackend, ServingSession, SessionBuilder, SessionSnapshot, SessionSpec,
 };
 use diffserve_core::{
-    overload_fallback, solve_exhaustive, solve_proteus, AllocatorInputs, CascadeRuntime,
-    CompletedResponse, ConfigError, ModelTier, Policy, QueryId, RunReport, RunSettings,
+    CascadeRuntime, CompletedResponse, ConfigError, ControlDirective, ControlLoop,
+    ControlObservation, ModelTier, PlanActuator, Policy, QueryId, RunReport, RunSettings,
     SystemConfig,
 };
 use diffserve_imagegen::Prompt;
 use diffserve_metrics::{GaussianStats, SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
-use diffserve_trace::{
-    CapacityEvent, DemandEstimator, Scenario, ScenarioError, ScenarioEvent, Trace,
-};
-use parking_lot::RwLock;
+use diffserve_trace::{CapacityEvent, Scenario, ScenarioError, ScenarioEvent, Trace};
+use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 
 use crate::plan::ServingPlan;
@@ -76,6 +74,11 @@ struct Shared {
     depths: Vec<AtomicUsize>,
     arrivals_since_tick: AtomicU64,
     heavy_since_tick: AtomicU64,
+    /// SLO violations (drops + late completions) attributed to the light
+    /// tier since the last control tick — AIMD's decrease signal.
+    violations_light_since_tick: AtomicU64,
+    /// SLO violations attributed to the heavy tier since the last tick.
+    violations_heavy_since_tick: AtomicU64,
     shutdown: AtomicBool,
     start: Instant,
     scale: f64,
@@ -87,6 +90,10 @@ struct Shared {
     /// Active prompt-difficulty offset (f64 bits), set by the scenario
     /// thread and read by workers at generation time.
     difficulty_bits: AtomicU64,
+    /// Discriminator confidences observed by workers since the last control
+    /// tick — drained by the controller thread into the shared
+    /// [`ControlLoop`]'s profile estimator.
+    confidences: Mutex<Vec<f64>>,
 }
 
 impl Shared {
@@ -113,6 +120,16 @@ impl Shared {
 
     fn difficulty_delta(&self) -> f64 {
         f64::from_bits(self.difficulty_bits.load(Ordering::Relaxed))
+    }
+
+    /// Attributes one SLO violation (a drop or a late completion) to the
+    /// tier that was serving the query.
+    fn record_violation(&self, tier: ModelTier) {
+        match tier {
+            ModelTier::Light => &self.violations_light_since_tick,
+            ModelTier::Heavy => &self.violations_heavy_since_tick,
+        }
+        .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Applies one lowered scenario event against live state — shared by
@@ -223,6 +240,9 @@ pub struct ClusterBackend {
     worker_handles: Vec<thread::JoinHandle<()>>,
     controller: Option<thread::JoinHandle<()>>,
     scenario_thread: Option<thread::JoinHandle<()>>,
+    /// The shared control plane, driven by the controller thread and read
+    /// for snapshots and the final report.
+    control: Arc<Mutex<ControlLoop>>,
     settings: RunSettings,
     sys: SystemConfig,
     reference: GaussianStats,
@@ -264,22 +284,39 @@ impl ClusterBackend {
         let n = sys.num_workers;
         let effective_trace = spec.scenario.as_ref().map(|s| s.effective_trace());
 
+        // Bootstrap through the shared control plane. Static provisioning
+        // anticipates the larger of the caller's peak hint and the known
+        // trace maximum, with the over-provisioning headroom applied.
+        let mut control = spec.control_loop();
+        let anticipated = settings
+            .peak_demand_hint
+            .max(effective_trace.as_ref().map(Trace::max_qps).unwrap_or(0.0));
+        let peak_demand = match settings.policy {
+            Policy::DiffServeStatic => anticipated * sys.over_provision,
+            _ => settings.peak_demand_hint,
+        };
+        let mut plan = ServingPlan::bootstrap(n);
+        ClusterActuator {
+            plan: &mut plan,
+            excluded: &[],
+        }
+        .actuate(&control.bootstrap(peak_demand));
+        let control = Arc::new(Mutex::new(control));
+
         let shared = Arc::new(Shared {
-            plan: RwLock::new(bootstrap_plan(
-                runtime,
-                &sys,
-                &settings,
-                effective_trace.as_ref(),
-            )),
+            plan: RwLock::new(plan),
             depths: (0..n).map(|_| AtomicUsize::new(0)).collect(),
             arrivals_since_tick: AtomicU64::new(0),
             heavy_since_tick: AtomicU64::new(0),
+            violations_light_since_tick: AtomicU64::new(0),
+            violations_heavy_since_tick: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             start: Instant::now(),
             scale: time_scale,
             failed: (0..n).map(|_| AtomicBool::new(false)).collect(),
             busy: (0..n).map(|_| AtomicBool::new(false)).collect(),
             difficulty_bits: AtomicU64::new(0.0f64.to_bits()),
+            confidences: Mutex::new(Vec::new()),
         });
 
         let (job_txs, job_rxs): (Vec<Sender<Job>>, Vec<Receiver<Job>>) =
@@ -316,10 +353,9 @@ impl ClusterBackend {
         // --- Controller thread --------------------------------------------
         let controller = {
             let shared = Arc::clone(&shared);
-            let rt = runtime.clone();
+            let control = Arc::clone(&control);
             let sys = sys.clone();
-            let settings = settings.clone();
-            thread::spawn(move || controller_loop(&shared, &rt, &sys, &settings))
+            thread::spawn(move || controller_loop(&shared, &control, &sys))
         };
 
         // --- Scenario thread (worker churn, difficulty shifts) -------------
@@ -345,6 +381,7 @@ impl ClusterBackend {
             route_rng: seeded_rng(derive_seed(sys.seed, 0x20C7)),
             demand_track: WindowedSeries::new(metrics_window),
             reference: runtime.reference.clone(),
+            control,
             settings,
             sys,
             slo,
@@ -547,10 +584,11 @@ impl ServingBackend for ClusterBackend {
                 heavy_done as f64 / self.responses.len() as f64
             },
             fid_estimate: rolling_fid_estimate(&self.responses, &self.reference),
+            deferral_gap: self.control.lock().deferral_gap(),
         }
     }
 
-    fn finish(mut self: Box<Self>, _horizon: SimTime) -> RunReport {
+    fn finish(mut self: Box<Self>, horizon: SimTime) -> RunReport {
         self.shutdown_and_join();
         self.ingest();
         // Jobs stuck in closed channels at shutdown count as drops.
@@ -574,6 +612,14 @@ impl ServingBackend for ClusterBackend {
                 .map(|(t, v)| (t.as_secs_f64(), v))
                 .collect(),
             Vec::new(), // threshold series tracked only by the controller
+            // Ticks during the post-horizon drain are artifacts; truncate
+            // exactly as the simulator's report assembly does.
+            self.control
+                .lock()
+                .take_deferral_error_series()
+                .into_iter()
+                .filter(|&(t, _)| t < horizon.as_secs_f64())
+                .collect(),
         )
     }
 }
@@ -682,132 +728,31 @@ pub fn run_cluster_scenario(
     session.finish()
 }
 
-fn bootstrap_plan(
-    runtime: &CascadeRuntime,
-    sys: &SystemConfig,
-    settings: &RunSettings,
-    trace: Option<&Trace>,
-) -> ServingPlan {
-    let mut plan = ServingPlan::bootstrap(sys.num_workers);
-    match settings.policy {
-        Policy::ClipperLight => {
-            plan.tiers = vec![ModelTier::Light; sys.num_workers];
-            plan.light_batch = clipper_batch(runtime, sys, ModelTier::Light, true);
-        }
-        Policy::ClipperHeavy => {
-            plan.tiers = vec![ModelTier::Heavy; sys.num_workers];
-            plan.heavy_batch = clipper_batch(runtime, sys, ModelTier::Heavy, false);
-        }
-        Policy::DiffServeStatic => {
-            let anticipated = settings
-                .peak_demand_hint
-                .max(trace.map(Trace::max_qps).unwrap_or(0.0));
-            let demand = anticipated * sys.over_provision;
-            apply_solved(
-                &mut plan,
-                runtime,
-                sys,
-                settings,
-                demand,
-                0.0,
-                0.0,
-                sys.num_workers,
-                &[],
-            );
-        }
-        Policy::DiffServe | Policy::Proteus => {
-            apply_solved(
-                &mut plan,
-                runtime,
-                sys,
-                settings,
-                1.0,
-                0.0,
-                0.0,
-                sys.num_workers,
-                &[],
-            );
-        }
-    }
-    plan
+/// The testbed's [`PlanActuator`]: lowers a control directive onto a
+/// [`ServingPlan`], skipping fail-stopped workers so the tier reassignment
+/// never lands on a dead slot. The caller swaps the updated plan in behind
+/// the shared lock.
+struct ClusterActuator<'a> {
+    plan: &'a mut ServingPlan,
+    excluded: &'a [bool],
 }
 
-fn clipper_batch(
-    runtime: &CascadeRuntime,
-    sys: &SystemConfig,
-    tier: ModelTier,
-    with_disc: bool,
-) -> usize {
-    let budget = sys.slo.as_secs_f64() / 2.0;
-    let lat = |b: usize| -> f64 {
-        let model = match tier {
-            ModelTier::Light => &runtime.spec.light,
-            ModelTier::Heavy => &runtime.spec.heavy,
+impl PlanActuator for ClusterActuator<'_> {
+    fn actuate(&mut self, directive: &ControlDirective) {
+        let (alloc, threshold) = match directive {
+            ControlDirective::Apply(alloc) => (alloc, alloc.threshold),
+            // The heavy routing fraction rides in the plan's threshold slot.
+            ControlDirective::ApplyProteus {
+                allocation,
+                heavy_fraction,
+            } => (allocation, *heavy_fraction),
+            ControlDirective::Hold => return,
         };
-        let disc = if with_disc {
-            runtime.discriminator.latency().as_secs_f64() * b as f64
-        } else {
-            0.0
-        };
-        model.latency().exec_latency(b).as_secs_f64() + disc
-    };
-    sys.batch_sizes
-        .iter()
-        .copied()
-        .filter(|&b| lat(b) <= budget)
-        .max()
-        .unwrap_or(1)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn apply_solved(
-    plan: &mut ServingPlan,
-    runtime: &CascadeRuntime,
-    sys: &SystemConfig,
-    settings: &RunSettings,
-    demand: f64,
-    q1: f64,
-    q2: f64,
-    total_workers: usize,
-    excluded: &[bool],
-) {
-    let thresholds = match settings.knobs.static_threshold {
-        Some(t) => vec![t],
-        None => sys.threshold_grid(),
-    };
-    let inputs = AllocatorInputs {
-        demand_qps: demand,
-        queue_delay_light: q1,
-        queue_delay_heavy: q2,
-        slo: sys.slo.as_secs_f64(),
-        total_workers,
-        deferral: &runtime.deferral,
-        light: *runtime.spec.light.latency(),
-        heavy: *runtime.spec.heavy.latency(),
-        discriminator_latency: if settings.policy.uses_cascade() {
-            runtime.discriminator.latency().as_secs_f64()
-        } else {
-            0.0
-        },
-        batch_sizes: &sys.batch_sizes,
-        thresholds: &thresholds,
-    };
-    match settings.policy {
-        Policy::Proteus => {
-            if let Some((alloc, frac)) = solve_proteus(&inputs) {
-                plan.retarget_masked(alloc.light_workers, alloc.heavy_workers, excluded);
-                plan.light_batch = alloc.light_batch;
-                plan.heavy_batch = alloc.heavy_batch;
-                plan.threshold = frac; // heavy fraction rides in this slot
-            }
-        }
-        _ => {
-            let alloc = solve_exhaustive(&inputs).unwrap_or_else(|| overload_fallback(&inputs));
-            plan.retarget_masked(alloc.light_workers, alloc.heavy_workers, excluded);
-            plan.light_batch = alloc.light_batch;
-            plan.heavy_batch = alloc.heavy_batch;
-            plan.threshold = alloc.threshold;
-        }
+        self.plan
+            .retarget_masked(alloc.light_workers, alloc.heavy_workers, self.excluded);
+        self.plan.light_batch = alloc.light_batch;
+        self.plan.heavy_batch = alloc.heavy_batch;
+        self.plan.threshold = threshold;
     }
 }
 
@@ -832,23 +777,24 @@ fn scenario_loop(shared: &Shared, actions: &[(SimTime, ScenarioEvent)]) {
     }
 }
 
-fn controller_loop(
-    shared: &Shared,
-    runtime: &CascadeRuntime,
-    sys: &SystemConfig,
-    settings: &RunSettings,
-) {
-    if !settings.policy.is_dynamic() {
-        return; // Static policies never re-plan.
-    }
+/// Drives the shared [`ControlLoop`] at the configured control cadence:
+/// gathers what the fleet observed since the last tick (arrival counters,
+/// live channel depths, the drained confidence stream), steps the pipeline,
+/// and swaps the actuated plan in. Runs for every policy so the demand and
+/// profile estimators stay live; static policies simply always `Hold`.
+fn controller_loop(shared: &Shared, control: &Mutex<ControlLoop>, sys: &SystemConfig) {
     let interval = sys.control_interval.as_secs_f64();
-    let mut demand = DemandEstimator::new(sys.ewma_alpha, sys.over_provision);
     while !shared.shutdown.load(Ordering::SeqCst) {
         shared.sleep_sim(interval);
         let arrived = shared.arrivals_since_tick.swap(0, Ordering::Relaxed);
         let heavy = shared.heavy_since_tick.swap(0, Ordering::Relaxed);
-        demand.observe(arrived, sys.control_interval);
-        let d = demand.provisioned_estimate().max(0.5);
+        let violations_light = shared
+            .violations_light_since_tick
+            .swap(0, Ordering::Relaxed);
+        let violations_heavy = shared
+            .violations_heavy_since_tick
+            .swap(0, Ordering::Relaxed);
+        let confidences = std::mem::take(&mut *shared.confidences.lock());
 
         // Little's-law queue estimates from live channel depths (alive
         // workers only — failed workers drain their queues elsewhere).
@@ -868,17 +814,32 @@ fn controller_loop(
                 ModelTier::Heavy => heavy_q += depth,
             }
         }
-        let heavy_rate = (heavy as f64 / interval).max(0.05);
-        let q1 = light_q as f64 / d.max(0.05);
-        let q2 = heavy_q as f64 / heavy_rate;
-
-        let mut plan = plan_snapshot;
         // Derive the pool size from the same snapshot as the mask so the
         // solver and retarget never disagree mid-churn.
         let alive = excluded.iter().filter(|&&e| !e).count();
-        apply_solved(
-            &mut plan, runtime, sys, settings, d, q1, q2, alive, &excluded,
-        );
+        let obs = ControlObservation {
+            now: SimTime::from_secs_f64(shared.sim_now().max(0.0)),
+            arrivals: arrived,
+            heavy_arrivals: heavy,
+            violations_light,
+            violations_heavy,
+            light_queue: light_q,
+            heavy_queue: heavy_q,
+            alive_workers: alive,
+            current_light_batch: plan_snapshot.batch_for(ModelTier::Light),
+            current_heavy_batch: plan_snapshot.batch_for(ModelTier::Heavy),
+            confidences,
+        };
+        let directive = control.lock().step(&obs);
+        if directive == ControlDirective::Hold {
+            continue;
+        }
+        let mut plan = plan_snapshot;
+        ClusterActuator {
+            plan: &mut plan,
+            excluded: &excluded,
+        }
+        .actuate(&directive);
         *shared.plan.write() = plan;
     }
 }
@@ -966,6 +927,7 @@ fn worker_loop(
             let exec = stage_latency(runtime, current_tier, batch.len(), uses_cascade);
             batch.retain(|job| {
                 if now + exec > job.deadline {
+                    shared.record_violation(current_tier);
                     let _ = done.send(Outcome::Dropped {
                         qid: job.qid,
                         arrival: job.arrival,
@@ -989,6 +951,15 @@ fn worker_loop(
         let now = shared.sim_now();
         let threshold = shared.plan.read().threshold;
 
+        // Late completions are violations attributed to the tier that
+        // finished the query (escalated queries count against the heavy
+        // side, mirroring the simulator's bookkeeping); escalations are not
+        // completions and record nothing at the light stage.
+        let complete = |job: &Job, tier: ModelTier| {
+            if now > job.deadline {
+                shared.record_violation(tier);
+            }
+        };
         for job in batch {
             let prompt = job
                 .prompt
@@ -999,7 +970,9 @@ fn worker_loop(
                     let image = runtime.spec.light.generate(&prompt);
                     if uses_cascade {
                         let conf = runtime.discriminator.confidence(&image.features);
+                        shared.confidences.lock().push(conf);
                         if conf >= threshold || !shared.has_alive_heavy() {
+                            complete(&job, ModelTier::Light);
                             let _ = done.send(Outcome::Completed(make_response(
                                 job,
                                 image,
@@ -1014,6 +987,7 @@ fn worker_loop(
                             let _ = txs[target].send(job);
                         }
                     } else {
+                        complete(&job, ModelTier::Light);
                         let _ = done.send(Outcome::Completed(make_response(
                             job,
                             image,
@@ -1025,6 +999,7 @@ fn worker_loop(
                 }
                 ModelTier::Heavy => {
                     let image = runtime.spec.heavy.generate(&prompt);
+                    complete(&job, ModelTier::Heavy);
                     let _ = done.send(Outcome::Completed(make_response(
                         job,
                         image,
@@ -1239,5 +1214,30 @@ mod tests {
             .build_cluster(0.0)
             .unwrap_err();
         assert!(matches!(err, BuildError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn aimd_ablation_runs_on_the_cluster() {
+        // Workers attribute drops and late completions to their tier, so
+        // the AIMD decrease signal actually reaches the shared control
+        // loop; overload must not run away at maximum batch sizes.
+        let cfg = quick_config();
+        let mut settings = RunSettings::new(diffserve_core::Policy::DiffServe, 10.0);
+        settings.knobs = diffserve_core::AblationKnobs::aimd();
+        let report = run_cluster(
+            test_runtime(),
+            &cfg,
+            &settings,
+            &Trace::constant(10.0, SimDuration::from_secs(40)).unwrap(),
+        );
+        assert_eq!(report.completed + report.dropped, report.total_queries);
+        assert!(report.total_queries > 200);
+        // AIMD reacts a step behind (the Fig. 8 point) but must still keep
+        // the system serving rather than collapsing.
+        assert!(
+            report.violation_ratio < 0.6,
+            "AIMD ran away: viol {}",
+            report.violation_ratio
+        );
     }
 }

@@ -358,7 +358,7 @@ mod tests {
 
     fn uniform_profile() -> DeferralProfile {
         // Calibrated confidences are uniform by construction.
-        DeferralProfile::from_confidences((0..1000).map(|i| i as f64 / 1000.0).collect())
+        DeferralProfile::from_confidences((0..1000).map(|i| i as f64 / 1000.0).collect()).unwrap()
     }
 
     fn cascade1_inputs<'a>(

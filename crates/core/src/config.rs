@@ -38,6 +38,18 @@ pub struct SystemConfig {
     pub metrics_window: SimDuration,
     /// Base RNG seed for the run.
     pub seed: u64,
+    /// Whether the controller refreshes the deferral profile `f(t)` online
+    /// from the discriminator confidences it observes (paper §4.2). Off by
+    /// default: the allocator then solves against the offline profile only,
+    /// which goes stale when the prompt-difficulty mix drifts.
+    pub online_profile_refresh: bool,
+    /// Sliding-window capacity of the online profile estimator: how many of
+    /// the most recent confidence observations back the estimate. Smaller
+    /// windows track drift faster but are noisier.
+    pub online_profile_window: usize,
+    /// Observations required before the online estimate overrides the
+    /// offline profile (the cold-start guard).
+    pub online_profile_min_samples: usize,
 }
 
 impl Default for SystemConfig {
@@ -55,6 +67,9 @@ impl Default for SystemConfig {
             drop_predicted_misses: true,
             metrics_window: SimDuration::from_secs(20),
             seed: 0xD1FF,
+            online_profile_refresh: false,
+            online_profile_window: 512,
+            online_profile_min_samples: 64,
         }
     }
 }
@@ -89,6 +104,16 @@ impl SystemConfig {
         if self.control_interval.is_zero() || self.metrics_window.is_zero() {
             return Err(ConfigError::new(
                 "control interval and metrics window must be positive",
+            ));
+        }
+        if self.online_profile_window == 0 {
+            return Err(ConfigError::new("online profile window must be positive"));
+        }
+        if self.online_profile_min_samples < 2
+            || self.online_profile_min_samples > self.online_profile_window
+        {
+            return Err(ConfigError::new(
+                "online profile min samples must lie in [2, window]",
             ));
         }
         Ok(())
@@ -186,6 +211,28 @@ mod tests {
                 "alpha",
                 SystemConfig {
                     ewma_alpha: 0.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "online window",
+                SystemConfig {
+                    online_profile_window: 0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "online min samples",
+                SystemConfig {
+                    online_profile_min_samples: 1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "online min above window",
+                SystemConfig {
+                    online_profile_window: 16,
+                    online_profile_min_samples: 17,
                     ..base.clone()
                 },
             ),

@@ -1,0 +1,758 @@
+//! The backend-agnostic control plane.
+//!
+//! DiffServe's controller runs the same pipeline every control interval
+//! regardless of which execution engine hosts the workers:
+//!
+//! 1. **Demand estimation** — EWMA over the arrivals observed since the
+//!    last tick, over-provisioned by λ (§3.3, via
+//!    [`DemandEstimator`]).
+//! 2. **Profile estimation** — the deferral profile `f(t)` the allocator
+//!    solves against. The paper initializes `f` offline and *keeps updating
+//!    it online* (§4.2, Eq. 3); [`ProfileEstimator`] implements both modes:
+//!    a passthrough over the offline curve, and a streaming
+//!    [`OnlineDeferralEstimator`] that re-estimates the curve from the
+//!    confidences the cascade actually observes so the controller tracks
+//!    difficulty drift.
+//! 3. **Allocation planning** — one [`AllocPlanner`] trait wrapping
+//!    [`solve_milp_allocation`], [`solve_exhaustive`], [`solve_proteus`],
+//!    and the [`overload_fallback`] behind a single `plan` call.
+//! 4. **Plan actuation** — the backend-side half: a [`PlanActuator`]
+//!    applies the returned [`ControlDirective`] to live serving state (the
+//!    simulator's worker array, the testbed's shared [`ServingPlan`]).
+//!
+//! Historically this logic was written twice — interleaved with event
+//! handling in `core::sim` and with thread plumbing in `cluster::runtime` —
+//! so every controller improvement had to land in both. Now both backends
+//! gather a [`ControlObservation`], call [`ControlLoop::step`], and actuate
+//! the directive; the decision logic exists exactly once.
+//!
+//! [`ServingPlan`]: https://docs.rs/diffserve-cluster
+//! [`OnlineDeferralEstimator`]: diffserve_imagegen::OnlineDeferralEstimator
+
+use diffserve_imagegen::{DeferralProfile, LatencyProfile, OnlineDeferralEstimator};
+use diffserve_simkit::time::SimTime;
+use diffserve_trace::DemandEstimator;
+
+use crate::allocator::{
+    overload_fallback, solve_exhaustive, solve_milp_allocation, solve_proteus, Allocation,
+    AllocatorInputs,
+};
+use crate::config::SystemConfig;
+use crate::policy::{BatchPolicy, Policy, QueueModel};
+use crate::query::ModelTier;
+use crate::serve::SessionSpec;
+use crate::sim::{AllocatorBackend, RunSettings};
+
+/// Fresh confidence samples required in a control window before a
+/// deferral-estimation-error point is recorded (fewer would make the
+/// empirical CDF noise).
+const MIN_ERROR_SAMPLES: usize = 8;
+
+/// What a backend observed since the previous control tick — everything the
+/// control pipeline needs, nothing backend-specific.
+#[derive(Debug, Clone, Default)]
+pub struct ControlObservation {
+    /// The tick instant.
+    pub now: SimTime,
+    /// Queries that arrived since the last tick.
+    pub arrivals: u64,
+    /// Queries routed (or escalated) to the heavy tier since the last tick.
+    pub heavy_arrivals: u64,
+    /// SLO violations attributed to the light tier since the last tick
+    /// (feeds AIMD batch adaptation).
+    pub violations_light: u64,
+    /// SLO violations attributed to the heavy tier since the last tick.
+    pub violations_heavy: u64,
+    /// Queries queued on alive light-tier workers right now.
+    pub light_queue: usize,
+    /// Queries queued on alive heavy-tier workers right now.
+    pub heavy_queue: usize,
+    /// Workers currently alive (the allocator's capacity `S`).
+    pub alive_workers: usize,
+    /// Batch size currently operated by the light tier (the "no queuing
+    /// model" ablation estimates delay from it).
+    pub current_light_batch: usize,
+    /// Batch size currently operated by the heavy tier.
+    pub current_heavy_batch: usize,
+    /// Discriminator confidences observed since the last tick — the online
+    /// profile estimator's input stream.
+    pub confidences: Vec<f64>,
+}
+
+/// What the control pipeline decided this tick; the backend's
+/// [`PlanActuator`] applies it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlDirective {
+    /// Apply a solved cascade allocation (threshold, worker split, batch
+    /// sizes).
+    Apply(Allocation),
+    /// Proteus: apply the allocation and route `heavy_fraction` of queries
+    /// directly to the heavy tier.
+    ApplyProteus {
+        /// Worker split and batch sizes.
+        allocation: Allocation,
+        /// Fraction of arrivals routed to the heavy model.
+        heavy_fraction: f64,
+    },
+    /// Keep the current plan (static policies after bootstrap).
+    Hold,
+}
+
+/// One allocation-planning strategy: demand and constraints in, a
+/// [`ControlDirective`] out. Implementations wrap the solver entry points
+/// ([`solve_milp_allocation`], [`solve_exhaustive`], [`solve_proteus`]) and
+/// fall back to [`overload_fallback`] when the problem is infeasible, so
+/// callers never handle `None`.
+pub trait AllocPlanner: std::fmt::Debug + Send {
+    /// Plans one allocation from the tick's solver inputs.
+    fn plan(&self, inputs: &AllocatorInputs<'_>) -> ControlDirective;
+}
+
+/// The cascade planner (DiffServe and DiffServe-Static): maximizes the
+/// confidence threshold via the configured solver, degrading to the
+/// overload fallback when infeasible.
+#[derive(Debug, Clone, Copy)]
+pub struct CascadePlanner {
+    /// Which solver implementation to invoke.
+    pub backend: AllocatorBackend,
+}
+
+impl AllocPlanner for CascadePlanner {
+    fn plan(&self, inputs: &AllocatorInputs<'_>) -> ControlDirective {
+        let solved = match self.backend {
+            AllocatorBackend::Milp => solve_milp_allocation(inputs),
+            AllocatorBackend::Exhaustive => solve_exhaustive(inputs),
+        };
+        ControlDirective::Apply(solved.unwrap_or_else(|| overload_fallback(inputs)))
+    }
+}
+
+/// The Proteus planner: maximizes the heavy routing fraction; under
+/// overload everything routes light over the fallback allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct ProteusPlanner;
+
+impl AllocPlanner for ProteusPlanner {
+    fn plan(&self, inputs: &AllocatorInputs<'_>) -> ControlDirective {
+        match solve_proteus(inputs) {
+            Some((allocation, heavy_fraction)) => ControlDirective::ApplyProteus {
+                allocation,
+                heavy_fraction,
+            },
+            None => ControlDirective::ApplyProteus {
+                allocation: overload_fallback(inputs),
+                heavy_fraction: 0.0,
+            },
+        }
+    }
+}
+
+/// The backend-side half of the control pipeline: applies a
+/// [`ControlDirective`] to live serving state. The simulator implements it
+/// over its worker array (tier reassignment through the model-switch
+/// protocol); the testbed over its shared `ServingPlan`.
+pub trait PlanActuator {
+    /// Applies the directive (a no-op for [`ControlDirective::Hold`]).
+    fn actuate(&mut self, directive: &ControlDirective);
+}
+
+/// The deferral-profile stage of the pipeline: which `f(t)` the allocator
+/// solves against.
+#[derive(Debug, Clone)]
+pub enum ProfileEstimator {
+    /// Solve against the offline-profiled curve only (the pre-§4.2 mode).
+    Offline,
+    /// Refresh the curve online from observed confidences, falling back to
+    /// the offline profile until the estimator warms up.
+    Online(OnlineDeferralEstimator),
+}
+
+impl ProfileEstimator {
+    /// Builds the estimator the configuration asks for.
+    pub fn from_config(config: &SystemConfig) -> Self {
+        if config.online_profile_refresh {
+            ProfileEstimator::Online(OnlineDeferralEstimator::new(
+                config.online_profile_window,
+                config.online_profile_min_samples,
+            ))
+        } else {
+            ProfileEstimator::Offline
+        }
+    }
+
+    /// The online estimate, if this is a warmed-up online estimator.
+    fn online_profile(&self) -> Option<&DeferralProfile> {
+        match self {
+            ProfileEstimator::Offline => None,
+            ProfileEstimator::Online(est) => est.profile(),
+        }
+    }
+}
+
+/// The unified control plane driven by both serving backends.
+///
+/// Construct one from validated session inputs
+/// ([`SessionSpec::control_loop`](crate::serve::SessionSpec::control_loop)),
+/// call [`bootstrap`](ControlLoop::bootstrap) once before serving, then
+/// [`step`](ControlLoop::step) every control interval with what the backend
+/// observed; actuate the returned directive.
+///
+/// Owns the pipeline state: the demand EWMA, the profile estimator, AIMD
+/// batch state, and the deferral-estimation-error series recorded for the
+/// final [`RunReport`](crate::report::RunReport).
+#[derive(Debug)]
+pub struct ControlLoop {
+    config: SystemConfig,
+    settings: RunSettings,
+    offline: DeferralProfile,
+    light: LatencyProfile,
+    heavy: LatencyProfile,
+    discriminator_latency: f64,
+    demand: DemandEstimator,
+    profile: ProfileEstimator,
+    planner: Box<dyn AllocPlanner>,
+    aimd_light_batch: usize,
+    aimd_heavy_batch: usize,
+    deferral_errors: Vec<(f64, f64)>,
+}
+
+impl ControlLoop {
+    /// Builds the control loop from its constituent parts. Most callers go
+    /// through [`SessionSpec::control_loop`](crate::serve::SessionSpec::control_loop).
+    pub fn new(
+        config: SystemConfig,
+        settings: RunSettings,
+        offline: DeferralProfile,
+        light: LatencyProfile,
+        heavy: LatencyProfile,
+        discriminator_latency: f64,
+    ) -> Self {
+        let planner: Box<dyn AllocPlanner> = match settings.policy {
+            Policy::Proteus => Box::new(ProteusPlanner),
+            _ => Box::new(CascadePlanner {
+                backend: settings.backend,
+            }),
+        };
+        let demand = DemandEstimator::new(config.ewma_alpha, config.over_provision);
+        let profile = ProfileEstimator::from_config(&config);
+        ControlLoop {
+            demand,
+            profile,
+            planner,
+            aimd_light_batch: 1,
+            aimd_heavy_batch: 1,
+            deferral_errors: Vec::new(),
+            config,
+            settings,
+            offline,
+            light,
+            heavy,
+            discriminator_latency,
+        }
+    }
+
+    /// The initial allocation before any demand has been observed.
+    /// `peak_demand` is what static provisioning plans for — the simulator
+    /// passes the raw peak hint, the testbed additionally folds in the
+    /// trace's known maximum and the over-provisioning factor.
+    pub fn bootstrap(&mut self, peak_demand: f64) -> ControlDirective {
+        let thresholds = self.threshold_grid();
+        let batches = self.config.batch_sizes.clone();
+        let workers = self.config.num_workers;
+        match self.settings.policy {
+            Policy::ClipperLight => ControlDirective::Apply(Allocation {
+                threshold: 0.5,
+                light_workers: workers,
+                heavy_workers: 0,
+                light_batch: self.clipper_batch(ModelTier::Light),
+                heavy_batch: 1,
+                feasible: true,
+            }),
+            Policy::ClipperHeavy => ControlDirective::Apply(Allocation {
+                threshold: 0.5,
+                light_workers: 0,
+                heavy_workers: workers,
+                light_batch: 1,
+                heavy_batch: self.clipper_batch(ModelTier::Heavy),
+                feasible: true,
+            }),
+            Policy::DiffServeStatic => {
+                // Provisioned for the anticipated peak and never re-solved
+                // (§4.1: "provisioned to accommodate maximum anticipated
+                // demand").
+                let inputs =
+                    self.allocator_inputs(peak_demand, 0.0, 0.0, &thresholds, &batches, workers);
+                self.planner.plan(&inputs)
+            }
+            Policy::DiffServe | Policy::Proteus => {
+                let inputs = self.allocator_inputs(1.0, 0.0, 0.0, &thresholds, &batches, workers);
+                self.planner.plan(&inputs)
+            }
+        }
+    }
+
+    /// One control tick: demand estimation → profile estimation →
+    /// allocation planning. Static policies still feed the estimators (so
+    /// their telemetry stays comparable) but always return
+    /// [`ControlDirective::Hold`].
+    pub fn step(&mut self, obs: &ControlObservation) -> ControlDirective {
+        let interval = self.config.control_interval;
+        self.demand.observe(obs.arrivals, interval);
+        let demand = self.demand.provisioned_estimate().max(0.5);
+
+        // Queuing-delay estimates (Little's law or the Fig. 8 heuristic).
+        let heavy_rate = (obs.heavy_arrivals as f64 / interval.as_secs_f64()).max(0.05);
+        let light_rate = demand.max(0.05);
+        let (q1, q2) = match self.settings.knobs.queue_model {
+            QueueModel::LittlesLaw => (
+                obs.light_queue as f64 / light_rate,
+                obs.heavy_queue as f64 / heavy_rate,
+            ),
+            QueueModel::TwiceExecution => (
+                2.0 * self.stage_latency(ModelTier::Light, obs.current_light_batch),
+                2.0 * self.stage_latency(ModelTier::Heavy, obs.current_heavy_batch),
+            ),
+        };
+
+        // AIMD batch adaptation (Fig. 8 ablation).
+        if self.settings.knobs.batch_policy == BatchPolicy::Aimd {
+            let max_b = self
+                .config
+                .batch_sizes
+                .iter()
+                .copied()
+                .max()
+                .expect("non-empty");
+            self.aimd_light_batch =
+                aimd_step(self.aimd_light_batch, obs.violations_light > 0, max_b);
+            self.aimd_heavy_batch =
+                aimd_step(self.aimd_heavy_batch, obs.violations_heavy > 0, max_b);
+        }
+
+        // Profile estimation: score the curve that was in use over the
+        // window that just ended, then absorb the window's observations.
+        self.track_profile(obs);
+
+        if !self.settings.policy.is_dynamic() {
+            return ControlDirective::Hold;
+        }
+
+        let thresholds = self.threshold_grid();
+        let batches: Vec<usize> = match self.settings.knobs.batch_policy {
+            BatchPolicy::Milp => self.config.batch_sizes.clone(),
+            // AIMD owns the batch choice; the planner sees only the current
+            // AIMD operating points, so capacity planning reacts a step
+            // behind the oscillation — the paper's "reactive signal" flaw.
+            BatchPolicy::Aimd => {
+                let mut b = vec![self.aimd_light_batch, self.aimd_heavy_batch];
+                b.dedup();
+                b
+            }
+        };
+
+        let mut inputs =
+            self.allocator_inputs(demand, q1, q2, &thresholds, &batches, obs.alive_workers);
+        let aimd_cascade = self.settings.policy == Policy::DiffServe
+            && self.settings.knobs.batch_policy == BatchPolicy::Aimd;
+        if aimd_cascade {
+            // AIMD owns latency reactively (halve on timeout); the planner
+            // only sizes throughput at the current AIMD operating points.
+            // This is the paper's ablation: the latency constraint leaves
+            // the optimization and SLO violations become the (lagging)
+            // control signal.
+            inputs.slo = f64::INFINITY;
+        }
+        let mut directive = self.planner.plan(&inputs);
+        if aimd_cascade {
+            if let ControlDirective::Apply(alloc) = &mut directive {
+                alloc.light_batch = self.aimd_light_batch;
+                alloc.heavy_batch = self.aimd_heavy_batch;
+            }
+        }
+        directive
+    }
+
+    /// The deferral profile the allocator currently solves against: the
+    /// warmed-up online estimate when available, the offline curve
+    /// otherwise.
+    pub fn effective_profile(&self) -> &DeferralProfile {
+        self.profile.online_profile().unwrap_or(&self.offline)
+    }
+
+    /// Whether the online estimate is currently overriding the offline
+    /// profile.
+    pub fn online_active(&self) -> bool {
+        self.profile.online_profile().is_some()
+    }
+
+    /// Live estimated-vs-offline `f(t)` gap: mean absolute difference over
+    /// the candidate threshold grid, 0 while the offline profile rules.
+    pub fn deferral_gap(&self) -> f64 {
+        match self.profile.online_profile() {
+            Some(p) => p.gap(&self.offline, &self.config.threshold_grid()),
+            None => 0.0,
+        }
+    }
+
+    /// The deferral-estimation-error series recorded so far:
+    /// `(tick seconds, mean |f_used(t) − f_observed(t)|)` — the
+    /// one-step-ahead prediction error of the profile the allocator used
+    /// against the confidences the window actually produced.
+    pub fn deferral_error_series(&self) -> &[(f64, f64)] {
+        &self.deferral_errors
+    }
+
+    /// Takes the recorded error series (for [`RunReport`] assembly at
+    /// session teardown).
+    ///
+    /// [`RunReport`]: crate::report::RunReport
+    pub fn take_deferral_error_series(&mut self) -> Vec<(f64, f64)> {
+        std::mem::take(&mut self.deferral_errors)
+    }
+
+    fn track_profile(&mut self, obs: &ControlObservation) {
+        if obs.confidences.len() >= MIN_ERROR_SAMPLES {
+            if let Ok(empirical) = DeferralProfile::from_confidences(obs.confidences.clone()) {
+                let grid = self.config.threshold_grid();
+                let err = self.effective_profile().gap(&empirical, &grid);
+                self.deferral_errors.push((obs.now.as_secs_f64(), err));
+            }
+        }
+        if let ProfileEstimator::Online(est) = &mut self.profile {
+            est.observe_all(&obs.confidences);
+            est.refresh();
+        }
+    }
+
+    /// Candidate thresholds: the pinned static-threshold ablation value or
+    /// the configured grid.
+    fn threshold_grid(&self) -> Vec<f64> {
+        match self.settings.knobs.static_threshold {
+            Some(t) => vec![t],
+            None => self.config.threshold_grid(),
+        }
+    }
+
+    /// Largest batch size whose execution fits half the SLO — the static
+    /// batch rule used for the Clipper baselines.
+    fn clipper_batch(&self, tier: ModelTier) -> usize {
+        let budget = self.config.slo.as_secs_f64() / 2.0;
+        self.config
+            .batch_sizes
+            .iter()
+            .copied()
+            .filter(|&b| self.stage_latency(tier, b) <= budget)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Effective stage execution latency; the light stage pays the
+    /// discriminator per image when the policy runs the cascade.
+    fn stage_latency(&self, tier: ModelTier, batch: usize) -> f64 {
+        match tier {
+            ModelTier::Light => {
+                let base = self.light.exec_latency(batch).as_secs_f64();
+                if self.settings.policy.uses_cascade() {
+                    base + self.discriminator_latency * batch as f64
+                } else {
+                    base
+                }
+            }
+            ModelTier::Heavy => self.heavy.exec_latency(batch).as_secs_f64(),
+        }
+    }
+
+    fn allocator_inputs<'b>(
+        &'b self,
+        demand: f64,
+        queue_delay_light: f64,
+        queue_delay_heavy: f64,
+        thresholds: &'b [f64],
+        batch_sizes: &'b [usize],
+        total_workers: usize,
+    ) -> AllocatorInputs<'b> {
+        AllocatorInputs {
+            demand_qps: demand,
+            queue_delay_light,
+            queue_delay_heavy,
+            slo: self.config.slo.as_secs_f64(),
+            total_workers,
+            deferral: self.effective_profile(),
+            light: self.light,
+            heavy: self.heavy,
+            discriminator_latency: if self.settings.policy.uses_cascade() {
+                self.discriminator_latency
+            } else {
+                0.0
+            },
+            batch_sizes,
+            thresholds,
+        }
+    }
+}
+
+impl SessionSpec<'_> {
+    /// Assembles the control plane for this session — the one construction
+    /// point both backends share, so the pipeline configuration cannot
+    /// drift between them.
+    pub fn control_loop(&self) -> ControlLoop {
+        ControlLoop::new(
+            self.config.clone(),
+            self.settings.clone(),
+            self.runtime.deferral.clone(),
+            *self.runtime.spec.light.latency(),
+            *self.runtime.spec.heavy.latency(),
+            self.runtime.discriminator.latency().as_secs_f64(),
+        )
+    }
+}
+
+/// Clipper's additive-increase / multiplicative-decrease batch rule.
+fn aimd_step(current: usize, violated: bool, max_b: usize) -> usize {
+    if violated {
+        (current / 2).max(1)
+    } else {
+        (current + 1).min(max_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_profile() -> DeferralProfile {
+        DeferralProfile::from_confidences((0..1000).map(|i| i as f64 / 1000.0).collect())
+            .expect("non-empty")
+    }
+
+    fn test_loop(policy: Policy, config: SystemConfig) -> ControlLoop {
+        ControlLoop::new(
+            config,
+            RunSettings::new(policy, 8.0),
+            uniform_profile(),
+            LatencyProfile::new(0.10, 0.55),
+            LatencyProfile::new(1.78, 0.12),
+            0.01,
+        )
+    }
+
+    fn obs(arrivals: u64) -> ControlObservation {
+        ControlObservation {
+            now: SimTime::from_secs(2),
+            arrivals,
+            heavy_arrivals: arrivals / 4,
+            alive_workers: 8,
+            current_light_batch: 1,
+            current_heavy_batch: 1,
+            ..Default::default()
+        }
+    }
+
+    fn small_config() -> SystemConfig {
+        SystemConfig {
+            num_workers: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn static_policies_hold_after_bootstrap() {
+        for policy in [
+            Policy::ClipperLight,
+            Policy::ClipperHeavy,
+            Policy::DiffServeStatic,
+        ] {
+            let mut cl = test_loop(policy, small_config());
+            let boot = cl.bootstrap(8.0);
+            assert_ne!(boot, ControlDirective::Hold, "{policy:?} must bootstrap");
+            assert_eq!(
+                cl.step(&obs(10)),
+                ControlDirective::Hold,
+                "{policy:?} must never re-plan"
+            );
+        }
+    }
+
+    #[test]
+    fn clipper_bootstrap_dedicates_the_fleet() {
+        let mut cl = test_loop(Policy::ClipperLight, small_config());
+        match cl.bootstrap(8.0) {
+            ControlDirective::Apply(a) => {
+                assert_eq!(a.light_workers, 8);
+                assert_eq!(a.heavy_workers, 0);
+                assert!(a.light_batch >= 1);
+            }
+            d => panic!("unexpected directive {d:?}"),
+        }
+        let mut cl = test_loop(Policy::ClipperHeavy, small_config());
+        match cl.bootstrap(8.0) {
+            ControlDirective::Apply(a) => {
+                assert_eq!((a.light_workers, a.heavy_workers), (0, 8));
+            }
+            d => panic!("unexpected directive {d:?}"),
+        }
+    }
+
+    #[test]
+    fn diffserve_step_replans_and_threshold_falls_with_demand() {
+        let mut low = test_loop(Policy::DiffServe, small_config());
+        low.bootstrap(8.0);
+        let mut high = test_loop(Policy::DiffServe, small_config());
+        high.bootstrap(8.0);
+        let t_of = |d: ControlDirective| match d {
+            ControlDirective::Apply(a) => a.threshold,
+            d => panic!("unexpected directive {d:?}"),
+        };
+        let t_low = t_of(low.step(&obs(4)));
+        let t_high = t_of(high.step(&obs(40)));
+        assert!(
+            t_low >= t_high,
+            "threshold must not rise with demand: {t_low} vs {t_high}"
+        );
+    }
+
+    #[test]
+    fn proteus_planner_falls_back_under_overload() {
+        let profile = uniform_profile();
+        let thresholds = [0.0, 0.5, 0.9];
+        let batches = [1usize, 2, 4];
+        let inputs = AllocatorInputs {
+            demand_qps: 10_000.0,
+            queue_delay_light: 0.0,
+            queue_delay_heavy: 0.0,
+            slo: 5.0,
+            total_workers: 4,
+            deferral: &profile,
+            light: LatencyProfile::new(0.10, 0.55),
+            heavy: LatencyProfile::new(1.78, 0.12),
+            discriminator_latency: 0.0,
+            batch_sizes: &batches,
+            thresholds: &thresholds,
+        };
+        match ProteusPlanner.plan(&inputs) {
+            ControlDirective::ApplyProteus {
+                allocation,
+                heavy_fraction,
+            } => {
+                assert_eq!(heavy_fraction, 0.0);
+                assert!(!allocation.feasible);
+            }
+            d => panic!("unexpected directive {d:?}"),
+        }
+    }
+
+    #[test]
+    fn cascade_planner_falls_back_under_overload() {
+        let profile = uniform_profile();
+        let thresholds = [0.0, 0.5, 0.9];
+        let batches = [1usize, 2, 4];
+        let inputs = AllocatorInputs {
+            demand_qps: 10_000.0,
+            queue_delay_light: 0.0,
+            queue_delay_heavy: 0.0,
+            slo: 5.0,
+            total_workers: 4,
+            deferral: &profile,
+            light: LatencyProfile::new(0.10, 0.55),
+            heavy: LatencyProfile::new(1.78, 0.12),
+            discriminator_latency: 0.01,
+            batch_sizes: &batches,
+            thresholds: &thresholds,
+        };
+        for backend in [AllocatorBackend::Exhaustive, AllocatorBackend::Milp] {
+            match (CascadePlanner { backend }).plan(&inputs) {
+                ControlDirective::Apply(a) => {
+                    assert!(!a.feasible, "{backend:?} must fall back");
+                    assert_eq!(a.threshold, 0.0);
+                }
+                d => panic!("unexpected directive {d:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn online_estimator_tracks_a_difficulty_shift() {
+        let config = SystemConfig {
+            num_workers: 8,
+            online_profile_refresh: true,
+            online_profile_window: 200,
+            online_profile_min_samples: 50,
+            ..Default::default()
+        };
+        let mut cl = test_loop(Policy::DiffServe, config);
+        cl.bootstrap(8.0);
+        assert!(!cl.online_active());
+        assert_eq!(cl.deferral_gap(), 0.0);
+
+        // Stationary phase: confidences match the (uniform) offline curve.
+        let uniform: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let mut o = obs(100);
+        o.confidences = uniform.clone();
+        cl.step(&o);
+        cl.step(&o);
+        assert!(cl.online_active());
+        let stationary_gap = cl.deferral_gap();
+        assert!(
+            stationary_gap < 0.05,
+            "stationary stream must agree with offline: {stationary_gap}"
+        );
+        let stationary_err = cl.deferral_error_series().last().unwrap().1;
+
+        // The prompt mix hardens: confidences collapse toward zero.
+        let hard: Vec<f64> = (0..100).map(|i| i as f64 / 400.0).collect();
+        let mut o = obs(100);
+        o.confidences = hard.clone();
+        let first_err = {
+            cl.step(&o);
+            cl.deferral_error_series().last().unwrap().1
+        };
+        assert!(
+            first_err > stationary_err + 0.1,
+            "shift must register as estimation error: {first_err} vs {stationary_err}"
+        );
+        // After the window turns over, the estimate has caught up: the
+        // one-step-ahead error shrinks and the estimated-vs-offline gap is
+        // now large (the estimate left the stale offline curve behind).
+        cl.step(&o);
+        cl.step(&o);
+        let settled_err = cl.deferral_error_series().last().unwrap().1;
+        assert!(
+            settled_err < first_err / 2.0,
+            "online estimate must converge after the shift: {settled_err} vs {first_err}"
+        );
+        assert!(cl.deferral_gap() > 0.2, "gap {}", cl.deferral_gap());
+    }
+
+    #[test]
+    fn offline_mode_keeps_reporting_estimation_error() {
+        // Without online refresh the error series still records how far the
+        // offline curve drifts from reality — the telemetry the
+        // difficulty-shift regression test compares across modes.
+        let mut cl = test_loop(Policy::DiffServe, small_config());
+        cl.bootstrap(8.0);
+        let hard: Vec<f64> = (0..100).map(|i| i as f64 / 400.0).collect();
+        let mut o = obs(100);
+        o.confidences = hard;
+        cl.step(&o);
+        cl.step(&o);
+        assert!(!cl.online_active());
+        let errs = cl.deferral_error_series();
+        assert_eq!(errs.len(), 2);
+        assert!(
+            errs[1].1 > 0.2 && (errs[1].1 - errs[0].1).abs() < 1e-9,
+            "offline error must stay high and flat: {errs:?}"
+        );
+        assert_eq!(cl.take_deferral_error_series().len(), 2);
+        assert!(cl.deferral_error_series().is_empty());
+    }
+
+    #[test]
+    fn tiny_windows_record_no_error_points() {
+        let mut cl = test_loop(Policy::DiffServe, small_config());
+        cl.bootstrap(8.0);
+        let mut o = obs(4);
+        o.confidences = vec![0.5; MIN_ERROR_SAMPLES - 1];
+        cl.step(&o);
+        assert!(cl.deferral_error_series().is_empty());
+    }
+}

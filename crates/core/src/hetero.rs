@@ -209,7 +209,7 @@ mod tests {
     use diffserve_imagegen::DeferralProfile;
 
     fn uniform() -> DeferralProfile {
-        DeferralProfile::from_confidences((0..1000).map(|i| i as f64 / 1000.0).collect())
+        DeferralProfile::from_confidences((0..1000).map(|i| i as f64 / 1000.0).collect()).unwrap()
     }
 
     fn grid() -> Vec<f64> {

@@ -20,6 +20,9 @@
 //! * [`allocator`] — the resource manager: MILP formulation (via
 //!   `diffserve-milp`), an exhaustive grid solver, the Proteus allocator,
 //!   and the overload fallback.
+//! * [`control`] — the backend-agnostic control plane: demand estimation →
+//!   online/offline deferral-profile estimation → allocation planning,
+//!   driven each control interval by both execution engines.
 //! * [`hetero`] — the §5 heterogeneous-cluster extension (worker classes
 //!   with per-class speeds).
 //! * [`runtime`] — offline-prepared artifacts (dataset, discriminator,
@@ -61,6 +64,7 @@
 
 pub mod allocator;
 pub mod config;
+pub mod control;
 pub mod hetero;
 pub mod policy;
 pub mod query;
@@ -74,6 +78,10 @@ pub use allocator::{
     AllocatorInputs,
 };
 pub use config::{ConfigError, SystemConfig};
+pub use control::{
+    AllocPlanner, CascadePlanner, ControlDirective, ControlLoop, ControlObservation, PlanActuator,
+    ProfileEstimator, ProteusPlanner,
+};
 pub use hetero::{solve_heterogeneous, HeteroAllocation, HeteroInputs, WorkerClass};
 pub use policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
 pub use query::{CompletedResponse, ModelTier, Query, QueryId};
@@ -89,6 +97,9 @@ pub use sim::{run_scenario, run_trace, AllocatorBackend, RunSettings, SimBackend
 pub mod prelude {
     pub use crate::allocator::{Allocation, AllocatorInputs};
     pub use crate::config::{ConfigError, SystemConfig};
+    pub use crate::control::{
+        AllocPlanner, ControlDirective, ControlLoop, ControlObservation, PlanActuator,
+    };
     pub use crate::policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
     pub use crate::query::{CompletedResponse, ModelTier, Query, QueryId};
     pub use crate::report::RunReport;

@@ -35,6 +35,14 @@ pub struct RunReport {
     pub demand_series: Vec<(f64, f64)>,
     /// Confidence threshold chosen by the controller over time.
     pub threshold_series: Vec<(f64, f64)>,
+    /// Deferral-estimation error over time: at each control tick, the mean
+    /// absolute gap between the deferral profile `f(t)` the allocator
+    /// solved against and the empirical profile of the confidences the
+    /// window actually produced (a one-step-ahead prediction error). With
+    /// the online estimator enabled this shrinks back after a difficulty
+    /// shift; with the offline profile it stays elevated. Empty for
+    /// policies that never run the cascade.
+    pub deferral_error_series: Vec<(f64, f64)>,
     /// Mean of the windowed FID series (the paper's "Avg FID" bars).
     pub mean_windowed_fid: f64,
     /// Fraction of completed responses served by the heavy model.
@@ -111,6 +119,7 @@ impl RunReport {
         window: SimDuration,
         demand_series: Vec<(f64, f64)>,
         threshold_series: Vec<(f64, f64)>,
+        deferral_error_series: Vec<(f64, f64)>,
     ) -> RunReport {
         let fid = fid_of_responses(responses, reference, 1e-6);
         let fid_series = windowed_fid(responses, reference, window, 24);
@@ -141,6 +150,7 @@ impl RunReport {
             violation_series,
             demand_series,
             threshold_series,
+            deferral_error_series,
             mean_windowed_fid,
             heavy_fraction: if responses.is_empty() {
                 0.0
@@ -193,6 +203,7 @@ impl RunReport {
             violation_series: Vec::new(),
             demand_series: Vec::new(),
             threshold_series: Vec::new(),
+            deferral_error_series: Vec::new(),
             mean_windowed_fid: f64::NAN,
             heavy_fraction: 0.0,
         }
@@ -232,6 +243,7 @@ mod tests {
             violation_series: vec![],
             demand_series: vec![],
             threshold_series: vec![],
+            deferral_error_series: vec![],
             mean_windowed_fid: 17.0,
             heavy_fraction: 0.6,
         };

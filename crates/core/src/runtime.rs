@@ -79,7 +79,8 @@ impl CascadeRuntime {
             .iter()
             .map(|p| discriminator.confidence(&spec.light.generate(p).features))
             .collect();
-        let deferral = DeferralProfile::from_confidences(confidences);
+        let deferral = DeferralProfile::from_confidences(confidences)
+            .expect("held-out profiling set is non-empty by the dataset-size assertion");
 
         let reference = GaussianStats::fit(dataset.real_features(), 1e-6)
             .expect("reference set has enough samples");

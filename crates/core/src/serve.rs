@@ -227,6 +227,12 @@ pub struct SessionSnapshot {
     /// Rolling FID estimate over the most recent completions (`NaN` until
     /// enough responses have accumulated).
     pub fid_estimate: f64,
+    /// Live estimated-vs-offline deferral-profile gap: how far the
+    /// controller's online `f(t)` estimate has moved from the offline
+    /// profile (mean absolute difference over the threshold grid). `0.0`
+    /// while the offline profile rules (online refresh disabled or the
+    /// estimator still cold).
+    pub deferral_gap: f64,
 }
 
 impl SessionSnapshot {

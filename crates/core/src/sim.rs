@@ -24,17 +24,13 @@ use std::collections::VecDeque;
 use diffserve_imagegen::{GeneratedImage, Prompt};
 use diffserve_metrics::{SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
-use diffserve_trace::{
-    CapacityEvent, DemandEstimator, Scenario, ScenarioError, ScenarioEvent, Trace,
-};
+use diffserve_trace::{CapacityEvent, Scenario, ScenarioError, ScenarioEvent, Trace};
 use rand::Rng;
 
-use crate::allocator::{
-    overload_fallback, solve_exhaustive, solve_milp_allocation, solve_proteus, Allocation,
-    AllocatorInputs,
-};
+use crate::allocator::Allocation;
 use crate::config::{ConfigError, SystemConfig};
-use crate::policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
+use crate::control::{ControlDirective, ControlLoop, ControlObservation, PlanActuator};
+use crate::policy::{AblationKnobs, Policy};
 use crate::query::{CompletedResponse, ModelTier, QueryId};
 use crate::report::RunReport;
 use crate::runtime::CascadeRuntime;
@@ -171,6 +167,9 @@ struct ServingSim<'a> {
     config: SystemConfig,
     settings: RunSettings,
     runtime: &'a CascadeRuntime,
+    /// The backend-agnostic control plane; this backend only gathers
+    /// [`ControlObservation`]s and actuates the returned directives.
+    control: ControlLoop,
     workers: Vec<Worker>,
     queries: Vec<QueryRec>,
     threshold: f64,
@@ -181,16 +180,15 @@ struct ServingSim<'a> {
     // Metrics.
     slo: SloTracker,
     responses: Vec<CompletedResponse>,
-    demand: DemandEstimator,
     arrivals_since_tick: u64,
     heavy_arrivals_since_tick: u64,
     violations_since_tick_light: u64,
     violations_since_tick_heavy: u64,
+    /// Discriminator confidences observed since the last control tick —
+    /// the online profile estimator's input stream.
+    confidences_since_tick: Vec<f64>,
     threshold_series: WindowedSeries,
     arrival_series: WindowedSeries,
-    // AIMD state.
-    aimd_light_batch: usize,
-    aimd_heavy_batch: usize,
     rng: rand::rngs::StdRng,
     total_arrivals: u64,
     /// Drops recorded since the last poll: `(id, arrival, dropped_at)`.
@@ -202,6 +200,7 @@ impl<'a> ServingSim<'a> {
         config: SystemConfig,
         settings: RunSettings,
         runtime: &'a CascadeRuntime,
+        control: ControlLoop,
         actions: Vec<(SimTime, ScenarioEvent)>,
     ) -> Self {
         config.validate().expect("valid system config");
@@ -232,21 +231,20 @@ impl<'a> ServingSim<'a> {
             difficulty_delta: 0.0,
             slo: SloTracker::new(config.slo),
             responses: Vec::new(),
-            demand: DemandEstimator::new(config.ewma_alpha, config.over_provision),
             arrivals_since_tick: 0,
             heavy_arrivals_since_tick: 0,
             violations_since_tick_light: 0,
             violations_since_tick_heavy: 0,
+            confidences_since_tick: Vec::new(),
             threshold_series: WindowedSeries::new(config.metrics_window),
             arrival_series: WindowedSeries::new(config.metrics_window),
-            aimd_light_batch: 1,
-            aimd_heavy_batch: 1,
             rng: seeded_rng(derive_seed(config.seed, 0x51A7)),
             total_arrivals: 0,
             drop_log: Vec::new(),
             config,
             settings,
             runtime,
+            control,
         };
         sim.bootstrap_allocation();
         sim
@@ -278,19 +276,6 @@ impl<'a> ServingSim<'a> {
         self.actions.len() - 1
     }
 
-    /// Largest batch size whose execution fits half the SLO — the static
-    /// batch rule used for the Clipper baselines.
-    fn clipper_batch(&self, tier: ModelTier) -> usize {
-        let budget = self.config.slo.as_secs_f64() / 2.0;
-        self.config
-            .batch_sizes
-            .iter()
-            .copied()
-            .filter(|&b| self.stage_latency(tier, b) <= budget)
-            .max()
-            .unwrap_or(1)
-    }
-
     fn stage_latency(&self, tier: ModelTier, batch: usize) -> f64 {
         match tier {
             ModelTier::Light => {
@@ -317,92 +302,21 @@ impl<'a> ServingSim<'a> {
         }
     }
 
-    fn allocator_inputs<'b>(
-        &self,
-        demand: f64,
-        queue_delay_light: f64,
-        queue_delay_heavy: f64,
-        thresholds: &'b [f64],
-        batches: &'b [usize],
-    ) -> AllocatorInputs<'b>
-    where
-        'a: 'b,
-    {
-        AllocatorInputs {
-            demand_qps: demand,
-            queue_delay_light,
-            queue_delay_heavy,
-            slo: self.config.slo.as_secs_f64(),
-            total_workers: self.alive_count(),
-            deferral: &self.runtime.deferral,
-            light: *self.runtime.spec.light.latency(),
-            heavy: *self.runtime.spec.heavy.latency(),
-            discriminator_latency: if self.settings.policy.uses_cascade() {
-                self.runtime.discriminator.latency().as_secs_f64()
-            } else {
-                0.0
-            },
-            batch_sizes: batches,
-            thresholds,
-        }
-    }
-
-    fn solve(&self, inputs: &AllocatorInputs<'_>) -> Allocation {
-        let solved = match self.settings.backend {
-            AllocatorBackend::Milp => solve_milp_allocation(inputs),
-            AllocatorBackend::Exhaustive => solve_exhaustive(inputs),
-        };
-        solved.unwrap_or_else(|| overload_fallback(inputs))
-    }
-
-    /// Initial allocation before any demand has been observed.
+    /// Initial allocation before any demand has been observed, planned by
+    /// the control plane and applied instantly (bootstrap pays no switch
+    /// delay).
     fn bootstrap_allocation(&mut self) {
-        let thresholds = self.threshold_grid();
-        let batches = self.config.batch_sizes.clone();
-        match self.settings.policy {
-            Policy::ClipperLight => {
-                let b = self.clipper_batch(ModelTier::Light);
-                for w in &mut self.workers {
-                    w.tier = ModelTier::Light;
-                    w.batch_max = b;
-                }
+        let directive = self.control.bootstrap(self.settings.peak_demand_hint);
+        match &directive {
+            ControlDirective::Apply(alloc) => self.apply_allocation_instant(alloc),
+            ControlDirective::ApplyProteus {
+                allocation,
+                heavy_fraction,
+            } => {
+                self.proteus_heavy_fraction = *heavy_fraction;
+                self.apply_allocation_instant(allocation);
             }
-            Policy::ClipperHeavy => {
-                let b = self.clipper_batch(ModelTier::Heavy);
-                for w in &mut self.workers {
-                    w.tier = ModelTier::Heavy;
-                    w.batch_max = b;
-                }
-            }
-            Policy::DiffServeStatic => {
-                // Provisioned for the anticipated peak (no over-provisioning
-                // headroom and no runtime adaptation — §4.1: "provisioned to
-                // accommodate maximum anticipated demand"), with the
-                // threshold fixed thereafter.
-                let demand = self.settings.peak_demand_hint;
-                let inputs = self.allocator_inputs(demand, 0.0, 0.0, &thresholds, &batches);
-                let alloc = self.solve(&inputs);
-                self.apply_allocation_instant(&alloc);
-            }
-            Policy::DiffServe => {
-                let inputs = self.allocator_inputs(1.0, 0.0, 0.0, &thresholds, &batches);
-                let alloc = self.solve(&inputs);
-                self.apply_allocation_instant(&alloc);
-            }
-            Policy::Proteus => {
-                let inputs = self.allocator_inputs(1.0, 0.0, 0.0, &thresholds, &batches);
-                if let Some((alloc, frac)) = solve_proteus(&inputs) {
-                    self.proteus_heavy_fraction = frac;
-                    self.apply_allocation_instant(&alloc);
-                }
-            }
-        }
-    }
-
-    fn threshold_grid(&self) -> Vec<f64> {
-        match (self.settings.policy, self.settings.knobs.static_threshold) {
-            (_, Some(t)) => vec![t],
-            _ => self.config.threshold_grid(),
+            ControlDirective::Hold => {}
         }
     }
 
@@ -698,6 +612,7 @@ impl<'a> ServingSim<'a> {
                     let image = self.runtime.spec.light.generate(&prompt);
                     if self.settings.policy.uses_cascade() {
                         let conf = self.runtime.discriminator.confidence(&image.features);
+                        self.confidences_since_tick.push(conf);
                         // With the heavy pool wiped out by churn, an
                         // escalation would land back on a light worker,
                         // deterministically regenerate the same image, and
@@ -782,12 +697,11 @@ impl<'a> ServingSim<'a> {
         }
     }
 
+    /// One control tick: gather what this backend observed since the last
+    /// tick, let the shared [`ControlLoop`] run the pipeline (demand
+    /// estimation → profile estimation → allocation planning), and actuate
+    /// the directive.
     fn handle_control_tick(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
-        let interval = self.config.control_interval;
-        self.demand.observe(self.arrivals_since_tick, interval);
-        let demand = self.demand.provisioned_estimate().max(0.5);
-
-        // Queuing-delay estimates (Little's law or the Fig. 8 heuristic).
         let light_queue: usize = self
             .workers
             .iter()
@@ -800,96 +714,33 @@ impl<'a> ServingSim<'a> {
             .filter(|w| !w.failed && w.target_tier() == ModelTier::Heavy)
             .map(|w| w.queue.len())
             .sum();
-        let heavy_rate = (self.heavy_arrivals_since_tick as f64 / interval.as_secs_f64()).max(0.05);
-        let light_rate = demand.max(0.05);
-        let (q1, q2) = match self.settings.knobs.queue_model {
-            QueueModel::LittlesLaw => (
-                light_queue as f64 / light_rate,
-                heavy_queue as f64 / heavy_rate,
-            ),
-            QueueModel::TwiceExecution => {
-                let b1 = self.current_batch(ModelTier::Light);
-                let b2 = self.current_batch(ModelTier::Heavy);
-                (
-                    2.0 * self.stage_latency(ModelTier::Light, b1),
-                    2.0 * self.stage_latency(ModelTier::Heavy, b2),
-                )
-            }
+        let obs = ControlObservation {
+            now,
+            arrivals: self.arrivals_since_tick,
+            heavy_arrivals: self.heavy_arrivals_since_tick,
+            violations_light: self.violations_since_tick_light,
+            violations_heavy: self.violations_since_tick_heavy,
+            light_queue,
+            heavy_queue,
+            alive_workers: self.alive_count(),
+            current_light_batch: self.current_batch(ModelTier::Light),
+            current_heavy_batch: self.current_batch(ModelTier::Heavy),
+            confidences: std::mem::take(&mut self.confidences_since_tick),
         };
-
-        // AIMD batch adaptation (Fig. 8 ablation).
-        if self.settings.knobs.batch_policy == BatchPolicy::Aimd {
-            let max_b = self
-                .config
-                .batch_sizes
-                .iter()
-                .copied()
-                .max()
-                .expect("non-empty");
-            self.aimd_light_batch = aimd_step(
-                self.aimd_light_batch,
-                self.violations_since_tick_light > 0,
-                max_b,
-            );
-            self.aimd_heavy_batch = aimd_step(
-                self.aimd_heavy_batch,
-                self.violations_since_tick_heavy > 0,
-                max_b,
-            );
-        }
         self.arrivals_since_tick = 0;
         self.heavy_arrivals_since_tick = 0;
         self.violations_since_tick_light = 0;
         self.violations_since_tick_heavy = 0;
 
-        let thresholds = self.threshold_grid();
-        let batches: Vec<usize> = match self.settings.knobs.batch_policy {
-            BatchPolicy::Milp => self.config.batch_sizes.clone(),
-            // AIMD owns the batch choice; the planner sees only the current
-            // AIMD operating points, so capacity planning reacts a step
-            // behind the oscillation — the paper's "reactive signal" flaw.
-            BatchPolicy::Aimd => {
-                let mut b = vec![self.aimd_light_batch, self.aimd_heavy_batch];
-                b.dedup();
-                b
-            }
-        };
-
-        match self.settings.policy {
-            Policy::DiffServe => {
-                let mut inputs = self.allocator_inputs(demand, q1, q2, &thresholds, &batches);
-                if self.settings.knobs.batch_policy == BatchPolicy::Aimd {
-                    // AIMD owns latency reactively (halve on timeout); the
-                    // planner only sizes throughput at the current AIMD
-                    // operating points. This is the paper's ablation: the
-                    // latency constraint leaves the optimization and SLO
-                    // violations become the (lagging) control signal.
-                    inputs.slo = f64::INFINITY;
-                }
-                let mut alloc = self.solve(&inputs);
-                if self.settings.knobs.batch_policy == BatchPolicy::Aimd {
-                    alloc.light_batch = self.aimd_light_batch;
-                    alloc.heavy_batch = self.aimd_heavy_batch;
-                }
-                self.apply_allocation(&alloc, now, queue);
-            }
-            Policy::Proteus => {
-                let inputs = self.allocator_inputs(demand, q1, q2, &thresholds, &batches);
-                if let Some((alloc, frac)) = solve_proteus(&inputs) {
-                    self.proteus_heavy_fraction = frac;
-                    self.apply_allocation(&alloc, now, queue);
-                } else {
-                    // Overload: send everything to the light pool.
-                    self.proteus_heavy_fraction = 0.0;
-                    let fb = overload_fallback(&inputs);
-                    self.apply_allocation(&fb, now, queue);
-                }
-            }
-            // Static policies never re-allocate.
-            Policy::ClipperLight | Policy::ClipperHeavy | Policy::DiffServeStatic => {}
+        let directive = self.control.step(&obs);
+        SimActuator {
+            sim: self,
+            now,
+            queue,
         }
+        .actuate(&directive);
         self.threshold_series.push(now, self.threshold);
-        queue.push(now + interval, Event::ControlTick);
+        queue.push(now + self.config.control_interval, Event::ControlTick);
     }
 
     fn current_batch(&self, tier: ModelTier) -> usize {
@@ -951,15 +802,35 @@ impl<'a> ServingSim<'a> {
                 heavy_done as f64 / self.responses.len() as f64
             },
             fid_estimate: rolling_fid_estimate(&self.responses, &self.runtime.reference),
+            deferral_gap: self.control.deferral_gap(),
         }
     }
 }
 
-fn aimd_step(current: usize, violated: bool, max_b: usize) -> usize {
-    if violated {
-        (current / 2).max(1)
-    } else {
-        (current + 1).min(max_b)
+/// The simulator's [`PlanActuator`]: applies a control directive through
+/// the runtime model-switch protocol (batch sizes change immediately, tier
+/// changes pay the load delay at batch boundaries).
+struct SimActuator<'s, 'a, 'q> {
+    sim: &'s mut ServingSim<'a>,
+    now: SimTime,
+    queue: &'q mut EventQueue<Event>,
+}
+
+impl PlanActuator for SimActuator<'_, '_, '_> {
+    fn actuate(&mut self, directive: &ControlDirective) {
+        match directive {
+            ControlDirective::Apply(alloc) => {
+                self.sim.apply_allocation(alloc, self.now, self.queue)
+            }
+            ControlDirective::ApplyProteus {
+                allocation,
+                heavy_fraction,
+            } => {
+                self.sim.proteus_heavy_fraction = *heavy_fraction;
+                self.sim.apply_allocation(allocation, self.now, self.queue);
+            }
+            ControlDirective::Hold => {}
+        }
     }
 }
 
@@ -1023,6 +894,7 @@ impl<'a> SimBackend<'a> {
             spec.config.clone(),
             spec.settings.clone(),
             spec.runtime,
+            spec.control_loop(),
             actions,
         );
         SimBackend {
@@ -1258,7 +1130,7 @@ pub fn run_scenario(
     session.finish()
 }
 
-fn build_report(state: ServingSim<'_>, horizon: SimTime) -> RunReport {
+fn build_report(mut state: ServingSim<'_>, horizon: SimTime) -> RunReport {
     // Series windows are keyed by window *start*, so anything at or past the
     // horizon is a partial artifact of the drain period — truncate it.
     let h = horizon.as_secs_f64();
@@ -1268,6 +1140,12 @@ fn build_report(state: ServingSim<'_>, horizon: SimTime) -> RunReport {
             .filter(|&(t, _)| t < h)
             .collect()
     };
+    let deferral_errors: Vec<(f64, f64)> = state
+        .control
+        .take_deferral_error_series()
+        .into_iter()
+        .filter(|&(t, _)| t < h)
+        .collect();
     RunReport::assemble(
         state.settings.policy,
         state.total_arrivals,
@@ -1277,6 +1155,7 @@ fn build_report(state: ServingSim<'_>, horizon: SimTime) -> RunReport {
         state.config.metrics_window,
         to_secs(state.arrival_series.window_rates()),
         to_secs(state.threshold_series.window_means()),
+        deferral_errors,
     )
 }
 

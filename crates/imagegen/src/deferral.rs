@@ -4,8 +4,36 @@
 //! below threshold `t` — i.e. the fraction deferred to the heavyweight
 //! model. The resource allocator's heavy-side throughput constraint is
 //! `x₂·T₂(b₂) ≥ D·f(t)` (paper Eq. 3). The paper initializes `f` by offline
-//! profiling and keeps updating it online; [`DeferralProfile`] implements
-//! both: build it from a calibration set, refresh it from runtime samples.
+//! profiling and *keeps updating it online* (§4.2): [`DeferralProfile`]
+//! implements the static curve, and [`OnlineDeferralEstimator`] is the
+//! streaming refresher that re-estimates the curve from the confidences the
+//! cascade actually observes, so the controller tracks difficulty drift.
+
+use std::collections::VecDeque;
+
+/// A deferral profile could not be built from the supplied samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileError {
+    /// No finite confidence samples remained after NaN filtering — an
+    /// online refresh window can legitimately be empty (e.g. no cascade
+    /// traffic since the last control tick).
+    NoSamples,
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::NoSamples => {
+                write!(
+                    f,
+                    "deferral profile needs at least one finite confidence sample"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
 
 /// Empirical deferral profile built from confidence samples.
 ///
@@ -14,10 +42,11 @@
 /// ```
 /// use diffserve_imagegen::DeferralProfile;
 ///
-/// let profile = DeferralProfile::from_confidences(vec![0.1, 0.4, 0.6, 0.9]);
+/// let profile = DeferralProfile::from_confidences(vec![0.1, 0.4, 0.6, 0.9])?;
 /// assert_eq!(profile.fraction_deferred(0.0), 0.0);
 /// assert_eq!(profile.fraction_deferred(0.5), 0.5);
 /// assert_eq!(profile.fraction_deferred(1.1), 1.0);
+/// # Ok::<(), diffserve_imagegen::ProfileError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeferralProfile {
@@ -28,19 +57,20 @@ pub struct DeferralProfile {
 impl DeferralProfile {
     /// Builds a profile from confidence samples (NaNs discarded).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no finite samples remain.
-    pub fn from_confidences(mut confidences: Vec<f64>) -> Self {
+    /// Returns [`ProfileError::NoSamples`] if no finite samples remain — an
+    /// online refresh window can legitimately be empty, so callers decide
+    /// whether to fall back to an earlier profile or fail loudly.
+    pub fn from_confidences(mut confidences: Vec<f64>) -> Result<Self, ProfileError> {
         confidences.retain(|c| c.is_finite());
-        assert!(
-            !confidences.is_empty(),
-            "deferral profile needs at least one confidence sample"
-        );
-        confidences.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
-        DeferralProfile {
-            sorted: confidences,
+        if confidences.is_empty() {
+            return Err(ProfileError::NoSamples);
         }
+        confidences.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+        Ok(DeferralProfile {
+            sorted: confidences,
+        })
     }
 
     /// Number of samples backing the profile.
@@ -54,6 +84,32 @@ impl DeferralProfile {
     pub fn fraction_deferred(&self, t: f64) -> f64 {
         let idx = self.sorted.partition_point(|&c| c < t);
         idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Mean absolute gap between two profiles' deferral fractions over a
+    /// threshold grid — the live estimated-vs-offline `f(t)` distance
+    /// surfaced in session snapshots and the deferral-estimation-error
+    /// series.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diffserve_imagegen::DeferralProfile;
+    ///
+    /// let a = DeferralProfile::from_confidences(vec![0.2, 0.4, 0.6, 0.8])?;
+    /// let b = a.clone();
+    /// assert_eq!(a.gap(&b, &[0.0, 0.25, 0.5, 0.75, 1.0]), 0.0);
+    /// # Ok::<(), diffserve_imagegen::ProfileError>(())
+    /// ```
+    pub fn gap(&self, other: &DeferralProfile, thresholds: &[f64]) -> f64 {
+        if thresholds.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = thresholds
+            .iter()
+            .map(|&t| (self.fraction_deferred(t) - other.fraction_deferred(t)).abs())
+            .sum();
+        total / thresholds.len() as f64
     }
 
     /// Largest threshold whose deferral fraction does not exceed
@@ -106,14 +162,131 @@ impl DeferralProfile {
     }
 }
 
+/// Streaming estimator of the deferral profile — the paper's online `f(t)`
+/// refresh (§4.2, Eq. 3).
+///
+/// The cascade feeds every discriminator confidence it observes into
+/// [`observe`](OnlineDeferralEstimator::observe); the estimator keeps a
+/// sliding window of the most recent `window` samples (older samples age
+/// out, which is what lets the estimate track difficulty drift) and
+/// [`refresh`](OnlineDeferralEstimator::refresh) rebuilds a
+/// [`DeferralProfile`] through the same `from_confidences` path the offline
+/// profiler uses. Until `min_samples` observations have accumulated the
+/// estimator reports no profile and callers fall back to the offline curve.
+///
+/// Deterministic: the window is a FIFO over the observation stream, so the
+/// same stream always yields the same profile (the simulator relies on
+/// this for bit-reproducible runs).
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_imagegen::{DeferralProfile, OnlineDeferralEstimator};
+///
+/// let mut est = OnlineDeferralEstimator::new(128, 16);
+/// assert!(est.profile().is_none()); // cold start: offline profile rules
+/// for i in 0..64 {
+///     est.observe(i as f64 / 64.0);
+/// }
+/// est.refresh();
+/// let p = est.profile().expect("enough samples");
+/// assert!((p.fraction_deferred(0.5) - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineDeferralEstimator {
+    window: VecDeque<f64>,
+    cap: usize,
+    min_samples: usize,
+    profile: Option<DeferralProfile>,
+}
+
+impl OnlineDeferralEstimator {
+    /// Creates an estimator keeping at most `window` samples and requiring
+    /// `min_samples` before it reports a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `min_samples` exceeds `window`.
+    pub fn new(window: usize, min_samples: usize) -> Self {
+        assert!(window > 0, "online profile window must be positive");
+        assert!(
+            min_samples <= window,
+            "min_samples {min_samples} cannot exceed window {window}"
+        );
+        OnlineDeferralEstimator {
+            window: VecDeque::with_capacity(window.min(4096)),
+            cap: window,
+            min_samples: min_samples.max(1),
+            profile: None,
+        }
+    }
+
+    /// Feeds one observed discriminator confidence (NaN/∞ discarded).
+    /// Oldest samples age out beyond the window capacity.
+    pub fn observe(&mut self, confidence: f64) {
+        if !confidence.is_finite() {
+            return;
+        }
+        if self.window.len() == self.cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(confidence);
+    }
+
+    /// Feeds a batch of observations.
+    pub fn observe_all(&mut self, confidences: &[f64]) {
+        for &c in confidences {
+            self.observe(c);
+        }
+    }
+
+    /// Samples currently in the window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether enough samples have accumulated for the estimate to be
+    /// trusted over the offline profile.
+    pub fn warmed_up(&self) -> bool {
+        self.window.len() >= self.min_samples
+    }
+
+    /// Rebuilds the estimated profile from the current window (a no-op
+    /// while cold). Returns whether a fresh profile is now available.
+    pub fn refresh(&mut self) -> bool {
+        if !self.warmed_up() {
+            return false;
+        }
+        let samples: Vec<f64> = self.window.iter().copied().collect();
+        match DeferralProfile::from_confidences(samples) {
+            Ok(p) => {
+                self.profile = Some(p);
+                true
+            }
+            // Unreachable in practice (observe filters non-finite values),
+            // but an empty window must never tear down an earlier estimate.
+            Err(ProfileError::NoSamples) => false,
+        }
+    }
+
+    /// The latest refreshed profile, if the estimator has warmed up.
+    pub fn profile(&self) -> Option<&DeferralProfile> {
+        self.profile.as_ref()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    fn profile(samples: Vec<f64>) -> DeferralProfile {
+        DeferralProfile::from_confidences(samples).expect("test samples are finite")
+    }
+
     #[test]
     fn fraction_is_monotone_and_bounded() {
-        let p = DeferralProfile::from_confidences(vec![0.2, 0.5, 0.8]);
+        let p = profile(vec![0.2, 0.5, 0.8]);
         assert_eq!(p.fraction_deferred(0.0), 0.0);
         assert!((p.fraction_deferred(0.3) - 1.0 / 3.0).abs() < 1e-12);
         assert!((p.fraction_deferred(0.6) - 2.0 / 3.0).abs() < 1e-12);
@@ -121,8 +294,21 @@ mod tests {
     }
 
     #[test]
+    fn empty_or_all_nan_input_is_an_error_not_a_panic() {
+        assert_eq!(
+            DeferralProfile::from_confidences(vec![]),
+            Err(ProfileError::NoSamples)
+        );
+        assert_eq!(
+            DeferralProfile::from_confidences(vec![f64::NAN, f64::INFINITY]),
+            Err(ProfileError::NoSamples)
+        );
+        assert!(format!("{}", ProfileError::NoSamples).contains("at least one"));
+    }
+
+    #[test]
     fn threshold_inverse_respects_capacity() {
-        let p = DeferralProfile::from_confidences((0..100).map(|i| i as f64 / 100.0).collect());
+        let p = profile((0..100).map(|i| i as f64 / 100.0).collect());
         // Allow at most 30% deferral.
         let t = p.threshold_for_fraction(0.30);
         assert!(p.fraction_deferred(t) <= 0.30 + 1e-12);
@@ -132,13 +318,13 @@ mod tests {
 
     #[test]
     fn full_capacity_allows_threshold_one() {
-        let p = DeferralProfile::from_confidences(vec![0.1, 0.9]);
+        let p = profile(vec![0.1, 0.9]);
         assert_eq!(p.threshold_for_fraction(1.0), 1.0);
     }
 
     #[test]
     fn zero_capacity_blocks_all_deferral() {
-        let p = DeferralProfile::from_confidences(vec![0.3, 0.6, 0.9]);
+        let p = profile(vec![0.3, 0.6, 0.9]);
         let t = p.threshold_for_fraction(0.0);
         assert_eq!(p.fraction_deferred(t), 0.0);
     }
@@ -154,8 +340,7 @@ mod tests {
 
     #[test]
     fn absorb_keeps_distribution_shape() {
-        let mut p =
-            DeferralProfile::from_confidences((0..1000).map(|i| i as f64 / 1000.0).collect());
+        let mut p = profile((0..1000).map(|i| i as f64 / 1000.0).collect());
         p.absorb(&[0.5; 100], 500);
         assert!(p.sample_count() <= 500);
         // Median should remain near 0.5.
@@ -165,8 +350,69 @@ mod tests {
 
     #[test]
     fn nan_samples_are_dropped() {
-        let p = DeferralProfile::from_confidences(vec![f64::NAN, 0.5, f64::NAN]);
+        let p = profile(vec![f64::NAN, 0.5, f64::NAN]);
         assert_eq!(p.sample_count(), 1);
+    }
+
+    #[test]
+    fn gap_measures_distribution_shift() {
+        let low = profile((0..100).map(|i| i as f64 / 100.0).collect());
+        let shifted = profile((0..100).map(|i| (i as f64 / 100.0) * 0.5).collect());
+        let grid = DeferralProfile::threshold_grid(21);
+        assert_eq!(low.gap(&low.clone(), &grid), 0.0);
+        assert!(low.gap(&shifted, &grid) > 0.1);
+        // Symmetric.
+        assert_eq!(low.gap(&shifted, &grid), shifted.gap(&low, &grid));
+        assert_eq!(low.gap(&shifted, &[]), 0.0);
+    }
+
+    #[test]
+    fn online_estimator_is_cold_until_min_samples() {
+        let mut est = OnlineDeferralEstimator::new(64, 8);
+        for i in 0..7 {
+            est.observe(i as f64 / 7.0);
+        }
+        assert!(!est.warmed_up());
+        assert!(!est.refresh());
+        assert!(est.profile().is_none());
+        est.observe(0.9);
+        assert!(est.warmed_up());
+        assert!(est.refresh());
+        assert_eq!(est.profile().unwrap().sample_count(), 8);
+    }
+
+    #[test]
+    fn online_estimator_window_ages_out_old_samples() {
+        let mut est = OnlineDeferralEstimator::new(50, 10);
+        // Phase 1: easy prompts, high confidences.
+        for _ in 0..50 {
+            est.observe(0.9);
+        }
+        est.refresh();
+        assert_eq!(est.profile().unwrap().fraction_deferred(0.5), 0.0);
+        // Phase 2: the difficulty shifts; confidences collapse.
+        for _ in 0..50 {
+            est.observe(0.1);
+        }
+        est.refresh();
+        // The window has fully turned over: everything now defers at 0.5.
+        assert_eq!(est.profile().unwrap().fraction_deferred(0.5), 1.0);
+        assert_eq!(est.window_len(), 50);
+    }
+
+    #[test]
+    fn online_estimator_ignores_non_finite_observations() {
+        let mut est = OnlineDeferralEstimator::new(16, 2);
+        est.observe_all(&[f64::NAN, 0.4, f64::INFINITY, 0.6]);
+        assert_eq!(est.window_len(), 2);
+        assert!(est.refresh());
+        assert_eq!(est.profile().unwrap().sample_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed window")]
+    fn online_estimator_rejects_min_above_window() {
+        let _ = OnlineDeferralEstimator::new(8, 9);
     }
 
     proptest! {
@@ -175,20 +421,38 @@ mod tests {
         #[test]
         fn inverse_is_consistent(samples in proptest::collection::vec(0.0f64..1.0, 10..200),
                                  frac in 0.0f64..1.0) {
-            let p = DeferralProfile::from_confidences(samples);
+            let p = DeferralProfile::from_confidences(samples).expect("non-empty");
             let t = p.threshold_for_fraction(frac);
             prop_assert!(p.fraction_deferred(t) <= frac + 1e-12);
         }
 
         #[test]
         fn monotone_in_threshold(samples in proptest::collection::vec(0.0f64..1.0, 10..200)) {
-            let p = DeferralProfile::from_confidences(samples);
+            let p = DeferralProfile::from_confidences(samples).expect("non-empty");
             let mut last = 0.0;
             for i in 0..=20 {
                 let f = p.fraction_deferred(i as f64 / 20.0);
                 prop_assert!(f >= last - 1e-12);
                 last = f;
             }
+        }
+
+        /// Under a stationary confidence stream the online estimate
+        /// converges to the offline profile built from the same
+        /// distribution (the satellite convergence property).
+        #[test]
+        fn online_estimator_converges_under_stationary_streams(
+            samples in proptest::collection::vec(0.0f64..1.0, 64..256),
+        ) {
+            let offline = DeferralProfile::from_confidences(samples.clone())
+                .expect("non-empty");
+            let mut est = OnlineDeferralEstimator::new(samples.len(), 32);
+            est.observe_all(&samples);
+            est.refresh();
+            let online = est.profile().expect("warmed up");
+            // Identical sample set ⇒ identical empirical CDF.
+            let grid = DeferralProfile::threshold_grid(21);
+            prop_assert!(offline.gap(online, &grid) < 1e-12);
         }
     }
 }

@@ -54,7 +54,7 @@ pub use cascade::{
     easy_query_fraction, evaluate_cascade, evaluate_single_model, quality_differences, CascadeEval,
     RoutingRule,
 };
-pub use deferral::DeferralProfile;
+pub use deferral::{DeferralProfile, OnlineDeferralEstimator, ProfileError};
 pub use discriminator::{DiscArch, Discriminator, DiscriminatorConfig, RealClass};
 pub use features::FeatureSpec;
 pub use model::{DiffusionModel, GeneratedImage, LatencyProfile, QualityProfile};
@@ -74,7 +74,7 @@ pub mod prelude {
     pub use crate::cascade::{
         easy_query_fraction, evaluate_cascade, evaluate_single_model, CascadeEval, RoutingRule,
     };
-    pub use crate::deferral::DeferralProfile;
+    pub use crate::deferral::{DeferralProfile, OnlineDeferralEstimator, ProfileError};
     pub use crate::discriminator::{DiscArch, Discriminator, DiscriminatorConfig, RealClass};
     pub use crate::features::FeatureSpec;
     pub use crate::model::{DiffusionModel, GeneratedImage, LatencyProfile, QualityProfile};

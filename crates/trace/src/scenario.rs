@@ -306,6 +306,51 @@ impl Scenario {
         self.with(Perturbation::DifficultyShift { at, delta })
     }
 
+    /// A correlated-failure sequence: `initial` workers fail-stop at `at`,
+    /// then the fault propagates — `follow_on` further single-worker
+    /// failures fire, staggered evenly across the `window` that follows.
+    /// This models cascading faults (a rack losing power, a bad rollout
+    /// marching through a fleet) where failures cluster in time instead of
+    /// striking independently; a zero `window` collapses every follow-on
+    /// into the initial instant.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diffserve_trace::{Scenario, Trace};
+    /// use diffserve_simkit::time::{SimDuration, SimTime};
+    ///
+    /// let base = Trace::constant(4.0, SimDuration::from_secs(120))?;
+    /// let s = Scenario::new("cascade", base).cascading_failure(
+    ///     SimTime::from_secs(30),
+    ///     1,
+    ///     3,
+    ///     SimDuration::from_secs(12),
+    /// );
+    /// // One initial failure plus three staggered follow-ons at 34/38/42 s.
+    /// assert_eq!(s.capacity_events().len(), 4);
+    /// assert_eq!(s.perturbation_onsets(), vec![30.0, 34.0, 38.0, 42.0]);
+    /// s.validate(8)?;
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn cascading_failure(
+        self,
+        at: SimTime,
+        initial: usize,
+        follow_on: usize,
+        window: SimDuration,
+    ) -> Self {
+        let mut s = self.worker_fail(at, initial);
+        if follow_on == 0 {
+            return s;
+        }
+        let step = SimDuration::from_secs_f64(window.as_secs_f64() / follow_on as f64);
+        for i in 1..=follow_on {
+            s = s.worker_fail(at + step * i as u64, 1);
+        }
+        s
+    }
+
     /// Checks the scenario against a worker pool of `num_workers`.
     ///
     /// # Errors
@@ -470,10 +515,12 @@ impl Scenario {
 /// and the stress-test suite: perturbation times are placed at fractions of
 /// the base trace so any base works.
 ///
-/// Returns six scenarios: `steady` (control), `flash-crowd` (×2.5 spike),
+/// Returns seven scenarios: `steady` (control), `flash-crowd` (×2.5 spike),
 /// `worker-failure` (2 workers fail then recover), `double-failure` (two
-/// staggered 2-worker failures, no recovery), `demand-shock` (persistent
-/// ×1.8 shift), and `hard-prompts` (difficulty +0.25).
+/// staggered 2-worker failures, no recovery), `cascading-failure` (one
+/// failure whose fault propagates to two more workers across a short
+/// window, then all recover), `demand-shock` (persistent ×1.8 shift), and
+/// `hard-prompts` (difficulty +0.25).
 ///
 /// # Panics
 ///
@@ -501,6 +548,9 @@ pub fn standard_scenarios(base: &Trace, num_workers: usize) -> Vec<Scenario> {
         Scenario::new("double-failure", base.clone())
             .worker_fail(at(0.3), 2)
             .worker_fail(at(0.5), 2),
+        Scenario::new("cascading-failure", base.clone())
+            .cascading_failure(at(0.3), 1, 2, secs(0.15))
+            .worker_recover(at(0.7), 3),
         Scenario::new("demand-shock", base.clone()).demand_shift(at(0.5), 1.8),
         Scenario::new("hard-prompts", base.clone()).difficulty_shift(at(0.35), 0.25),
     ];
@@ -647,13 +697,56 @@ mod tests {
     #[test]
     fn standard_library_is_valid_and_named() {
         let scenarios = standard_scenarios(&base(), 8);
-        assert_eq!(scenarios.len(), 6);
+        assert_eq!(scenarios.len(), 7);
         let names: Vec<&str> = scenarios.iter().map(|s| s.name()).collect();
         assert!(names.contains(&"worker-failure"));
         assert!(names.contains(&"flash-crowd"));
+        assert!(names.contains(&"cascading-failure"));
         for s in &scenarios {
             assert!(s.validate(8).is_ok(), "{} invalid", s.name());
         }
+    }
+
+    #[test]
+    fn cascading_failure_staggers_follow_ons_inside_the_window() {
+        let s = Scenario::new("cascade", base()).cascading_failure(
+            SimTime::from_secs(20),
+            2,
+            4,
+            secs(20),
+        );
+        let ev = s.capacity_events();
+        assert_eq!(ev.len(), 5);
+        assert_eq!(ev[0], (SimTime::from_secs(20), CapacityEvent::Fail(2)));
+        for (i, &(at, e)) in ev.iter().enumerate().skip(1) {
+            assert_eq!(e, CapacityEvent::Fail(1));
+            assert_eq!(at, SimTime::from_secs(20 + 5 * i as u64));
+        }
+        // 6 correlated failures exhaust an 8-pool at the last follow-on...
+        assert!(matches!(
+            s.validate(7),
+            Err(ScenarioError::PoolExhausted { .. })
+        ));
+        // ...but a larger fleet absorbs the cascade.
+        assert!(s.validate(8).is_ok());
+    }
+
+    #[test]
+    fn cascading_failure_zero_window_or_no_follow_ons() {
+        let s = Scenario::new("burst", base()).cascading_failure(
+            SimTime::from_secs(10),
+            1,
+            2,
+            SimDuration::ZERO,
+        );
+        // Everything lands at the initial instant.
+        assert!(s
+            .capacity_events()
+            .iter()
+            .all(|&(at, _)| at == SimTime::from_secs(10)));
+        let s =
+            Scenario::new("solo", base()).cascading_failure(SimTime::from_secs(10), 2, 0, secs(30));
+        assert_eq!(s.capacity_events().len(), 1);
     }
 
     #[test]

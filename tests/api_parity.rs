@@ -66,6 +66,10 @@ fn assert_reports_identical(a: &RunReport, b: &RunReport, what: &str) {
         a.threshold_series, b.threshold_series,
         "{what}: threshold series"
     );
+    assert_eq!(
+        a.deferral_error_series, b.deferral_error_series,
+        "{what}: deferral error series"
+    );
 }
 
 /// Hand-drives a simulator session the way an application would — chunked
@@ -147,6 +151,33 @@ fn run_trace_matches_hand_driven_session_clipper_light() {
     let legacy = run_trace(&rt, &cfg, &settings, &trace);
     let session = hand_driven(&rt, &cfg, &settings, None, &trace);
     assert_reports_identical(&legacy, &session, "Clipper-Light");
+}
+
+#[test]
+fn run_scenario_matches_hand_driven_session_with_online_estimator() {
+    // The online deferral estimator is part of the shared control plane, so
+    // enabling it must preserve the batch-vs-incremental parity contract:
+    // the profile refreshes from the same deterministic confidence stream
+    // either way, and the reports — including the new estimation-error
+    // series — stay bit-identical.
+    let rt = runtime();
+    let cfg = SystemConfig {
+        online_profile_refresh: true,
+        online_profile_window: 128,
+        online_profile_min_samples: 32,
+        ..config()
+    };
+    let base = Trace::constant(5.0, SimDuration::from_secs(60)).unwrap();
+    let scenario = Scenario::new("hard", base).difficulty_shift(SimTime::from_secs(20), 0.35);
+    let settings = RunSettings::new(Policy::DiffServe, 8.0);
+    let legacy = run_scenario(&rt, &cfg, &settings, &scenario);
+    let effective = scenario.effective_trace();
+    let session = hand_driven(&rt, &cfg, &settings, Some(&scenario), &effective);
+    assert_reports_identical(&legacy, &session, "online estimator");
+    assert!(
+        !legacy.deferral_error_series.is_empty(),
+        "estimation-error series must be recorded"
+    );
 }
 
 #[test]

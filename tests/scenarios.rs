@@ -131,6 +131,74 @@ fn standard_library_runs_end_to_end_for_diffserve() {
     }
 }
 
+/// The paper keeps updating `f(t)` online (§4.2): under a difficulty shift
+/// the true deferral curve moves, the offline-profiled controller keeps
+/// solving against the stale curve and over-commits the heavy tier, while
+/// the online estimator tracks the shifted curve. At equal worker budget
+/// the online controller must land a strictly lower SLO-violation ratio,
+/// and its deferral-estimation-error series must shrink back after the
+/// shift while the offline controller's stays elevated.
+#[test]
+fn online_deferral_estimation_beats_offline_under_difficulty_shift() {
+    let offline_cfg = system();
+    let online_cfg = SystemConfig {
+        online_profile_refresh: true,
+        online_profile_window: 128,
+        online_profile_min_samples: 48,
+        ..offline_cfg.clone()
+    };
+    let secs = 150u64;
+    let shift_at = secs / 4;
+    let scenario = Scenario::new(
+        "difficulty-shift",
+        Trace::constant(8.0, SimDuration::from_secs(secs)).unwrap(),
+    )
+    .difficulty_shift(SimTime::from_secs(shift_at), 0.45);
+    let settings = RunSettings::new(Policy::DiffServe, 8.0);
+
+    let offline = run_scenario(runtime(), &offline_cfg, &settings, &scenario);
+    let online = run_scenario(runtime(), &online_cfg, &settings, &scenario);
+
+    // Equal worker budget, strictly fewer violations — with margin, so a
+    // controller regression cannot hide inside seed noise.
+    assert!(
+        online.violation_ratio < offline.violation_ratio * 0.6,
+        "online {} must beat offline {} under a difficulty shift",
+        online.violation_ratio,
+        offline.violation_ratio
+    );
+
+    // The estimation-error series tells the mechanism story: both
+    // controllers see the error spike when the curve moves, but only the
+    // online estimator's error shrinks back as its window absorbs the
+    // shifted distribution.
+    let mean_err = |r: &RunReport, from: f64, to: f64| {
+        let w: Vec<f64> = r
+            .deferral_error_series
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, e)| e)
+            .collect();
+        assert!(!w.is_empty(), "no error points in [{from}, {to})");
+        w.iter().sum::<f64>() / w.len() as f64
+    };
+    let shift = shift_at as f64;
+    let end = secs as f64;
+    let online_after = mean_err(&online, shift, shift + 20.0);
+    let online_tail = mean_err(&online, shift + 40.0, end);
+    assert!(
+        online_tail < online_after * 0.8,
+        "online estimation error must shrink after the shift: \
+         tail {online_tail:.3} vs just-after {online_after:.3}"
+    );
+    let offline_tail = mean_err(&offline, shift + 40.0, end);
+    assert!(
+        online_tail < offline_tail,
+        "the tracking controller must out-estimate the stale profile: \
+         online tail {online_tail:.3} vs offline tail {offline_tail:.3}"
+    );
+}
+
 #[test]
 fn recovery_time_is_measurable_after_flash_crowd() {
     let sys = system();

@@ -60,6 +60,60 @@ fn simulator_and_cluster_agree_for_diffserve() {
 }
 
 #[test]
+fn simulator_and_cluster_agree_with_online_estimator() {
+    // Both engines drive the same `core::control::ControlLoop`, so turning
+    // on the online deferral estimator must keep them in agreement — and
+    // both must record the deferral-estimation-error telemetry.
+    let system = SystemConfig {
+        num_workers: 8,
+        online_profile_refresh: true,
+        online_profile_window: 128,
+        online_profile_min_samples: 32,
+        ..Default::default()
+    };
+    let trace = Trace::constant(5.0, SimDuration::from_secs(50)).unwrap();
+    let settings = RunSettings::new(Policy::DiffServe, 5.0);
+
+    let sim = run_trace(runtime(), &system, &settings, &trace);
+    let testbed = run_cluster(
+        runtime(),
+        &ClusterConfig {
+            system: system.clone(),
+            time_scale: if cfg!(debug_assertions) { 0.05 } else { 0.01 },
+        },
+        &settings,
+        &trace,
+    );
+
+    assert_eq!(
+        sim.total_queries, testbed.total_queries,
+        "same arrival stream"
+    );
+    let fid_gap = (testbed.fid - sim.fid).abs() / sim.fid;
+    assert!(
+        fid_gap < 0.25,
+        "FID gap {fid_gap:.3}: sim {:.2} vs testbed {:.2}",
+        sim.fid,
+        testbed.fid
+    );
+    let viol_gap = (testbed.violation_ratio - sim.violation_ratio).abs();
+    assert!(viol_gap < 0.30, "violation gap {viol_gap:.3}");
+    assert!(
+        !sim.deferral_error_series.is_empty(),
+        "simulator must record estimation error"
+    );
+    assert!(
+        !testbed.deferral_error_series.is_empty(),
+        "testbed must record estimation error"
+    );
+    for r in [&sim, &testbed] {
+        for &(_, e) in &r.deferral_error_series {
+            assert!((0.0..=1.0).contains(&e), "error out of range: {e}");
+        }
+    }
+}
+
+#[test]
 fn simulator_and_cluster_agree_for_clipper_light() {
     let system = SystemConfig {
         num_workers: 8,

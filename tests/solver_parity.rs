@@ -7,7 +7,7 @@ use diffserve::serving::{solve_exhaustive, solve_milp_allocation, AllocatorInput
 use proptest::prelude::*;
 
 fn uniform_deferral() -> DeferralProfile {
-    DeferralProfile::from_confidences((0..500).map(|i| i as f64 / 500.0).collect())
+    DeferralProfile::from_confidences((0..500).map(|i| i as f64 / 500.0).collect()).unwrap()
 }
 
 fn thresholds(n: usize) -> Vec<f64> {
