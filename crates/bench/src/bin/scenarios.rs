@@ -1,6 +1,7 @@
 //! Scenario sweep: every Table 1 policy under the standard stress library
 //! (steady control, flash crowd, worker failure with recovery, staggered
-//! double failure, persistent demand shock, hard-prompt shift).
+//! double failure, cascading failure, persistent demand shock, hard-prompt
+//! shift, brownout, and the load-correlated hazard cascade).
 //!
 //! For each (scenario, policy) pair the table reports the paper's core
 //! metrics — SLO violation ratio, FID, mean latency, heavy fraction — plus
@@ -34,8 +35,9 @@ fn main() {
     let base = Trace::constant(6.0, SimDuration::from_secs(horizon)).expect("valid base trace");
     let mut scenarios = standard_scenarios(&base, system.num_workers);
     let policies: Vec<Policy> = if smoke {
-        // Steady control plus the correlated-failure stressor.
-        scenarios.retain(|s| matches!(s.name(), "steady" | "cascading-failure"));
+        // Steady control, the correlated-failure stressor, and the partial
+        // degradation (brownout) regime.
+        scenarios.retain(|s| matches!(s.name(), "steady" | "cascading-failure" | "brownout"));
         vec![Policy::DiffServe]
     } else {
         Policy::all().to_vec()

@@ -35,7 +35,10 @@ use diffserve_core::{
 use diffserve_imagegen::Prompt;
 use diffserve_metrics::{GaussianStats, SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
-use diffserve_trace::{CapacityEvent, Scenario, ScenarioError, ScenarioEvent, Trace};
+use diffserve_trace::{
+    CapacityEvent, FleetHealth, Hazard, HazardProcess, Incident, IncidentLog, Scenario,
+    ScenarioError, ScenarioEvent, Trace,
+};
 use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 
@@ -87,6 +90,17 @@ struct Shared {
     /// Busy flags (executing a batch or loading a model), one per worker —
     /// feeds the per-tier utilization in [`SessionSnapshot`].
     busy: Vec<AtomicBool>,
+    /// Per-worker health speed factor (f64 bits; 1.0 = nameplate). Workers
+    /// read their own factor at every batch and sleep-scale execution by
+    /// its reciprocal, so a degraded worker serves proportionally slower.
+    speed_bits: Vec<AtomicU64>,
+    /// Controller threshold decisions over time — the series the final
+    /// report's `threshold_series` is assembled from (previously it shipped
+    /// empty on cluster runs).
+    threshold_track: Mutex<WindowedSeries>,
+    /// Every perturbation fired against this fleet (scheduled, injected,
+    /// hazard-drawn), for the report's incident log.
+    incident_log: Mutex<IncidentLog>,
     /// Active prompt-difficulty offset (f64 bits), set by the scenario
     /// thread and read by workers at generation time.
     difficulty_bits: AtomicU64,
@@ -122,6 +136,35 @@ impl Shared {
         f64::from_bits(self.difficulty_bits.load(Ordering::Relaxed))
     }
 
+    /// The worker's current health speed factor (1.0 = nameplate).
+    fn speed_factor(&self, i: usize) -> f64 {
+        f64::from_bits(self.speed_bits[i].load(Ordering::Relaxed))
+    }
+
+    /// Service-time multiplier the worker currently pays.
+    fn slowdown(&self, i: usize) -> f64 {
+        1.0 / self.speed_factor(i)
+    }
+
+    fn is_degraded(&self, i: usize) -> bool {
+        self.speed_factor(i) < 1.0
+    }
+
+    fn degraded_count(&self) -> usize {
+        (0..self.speed_bits.len())
+            .filter(|&i| !self.is_failed(i) && self.is_degraded(i))
+            .count()
+    }
+
+    /// Sum of alive workers' speed factors — the fleet's effective
+    /// capacity in worker-equivalents, fed to the control plane.
+    fn effective_capacity(&self) -> f64 {
+        (0..self.speed_bits.len())
+            .filter(|&i| !self.is_failed(i))
+            .map(|i| self.speed_factor(i))
+            .sum()
+    }
+
     /// Attributes one SLO violation (a drop or a late completion) to the
     /// tier that was serving the query.
     fn record_violation(&self, tier: ModelTier) {
@@ -132,41 +175,96 @@ impl Shared {
         .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Applies one lowered scenario event against live state — shared by
-    /// the scenario replay thread and mid-run injection. Fails the
+    /// Applies one lowered scenario event against live state and records it
+    /// in the incident log — the single funnel the scenario replay thread,
+    /// mid-run injection, and the hazard thread all go through. Fails the
     /// highest-indexed alive workers, recovers the lowest-indexed failed
-    /// workers (mirroring the simulator), or swaps the difficulty offset.
+    /// workers, degrades the lowest-indexed healthy workers, restores the
+    /// lowest-indexed degraded workers (all mirroring the simulator), or
+    /// swaps the difficulty offset.
+    ///
+    /// Those three threads can race each other, so the whole
+    /// clamp-apply-log sequence is serialized under the log lock, and every
+    /// capacity event is clamped to what the live fleet can actually absorb
+    /// (failures never shrink the pool below two alive workers; recoveries,
+    /// degradations, and restorations never exceed their eligible sets).
+    /// Only the *applied* event is logged — the incident log must stay a
+    /// faithful, replayable account, never a wish list.
     fn apply_event(&self, action: ScenarioEvent) {
+        let mut log = self.incident_log.lock();
         let n = self.failed.len();
-        match action {
+        let applied = match action {
             ScenarioEvent::Capacity(CapacityEvent::Fail(count)) => {
-                let mut remaining = count;
+                let alive = (0..n).filter(|&i| !self.is_failed(i)).count();
+                let allowed = count.min(alive.saturating_sub(2));
+                let mut remaining = allowed;
                 for i in (0..n).rev() {
                     if remaining == 0 {
                         break;
                     }
                     if !self.is_failed(i) {
                         self.failed[i].store(true, Ordering::SeqCst);
+                        // A dead worker's degradation dies with it; it
+                        // rejoins at nameplate speed.
+                        self.speed_bits[i].store(1.0f64.to_bits(), Ordering::SeqCst);
                         remaining -= 1;
                     }
                 }
+                (allowed > 0).then_some(ScenarioEvent::Capacity(CapacityEvent::Fail(allowed)))
             }
             ScenarioEvent::Capacity(CapacityEvent::Recover(count)) => {
-                let mut remaining = count;
+                let mut done = 0;
                 for flag in &self.failed {
-                    if remaining == 0 {
+                    if done == count {
                         break;
                     }
                     if flag.load(Ordering::SeqCst) {
                         flag.store(false, Ordering::SeqCst);
-                        remaining -= 1;
+                        done += 1;
                     }
                 }
+                (done > 0).then_some(ScenarioEvent::Capacity(CapacityEvent::Recover(done)))
+            }
+            ScenarioEvent::Capacity(CapacityEvent::Degrade(count, slowdown)) => {
+                let factor = (1.0 / slowdown.max(1.0)).to_bits();
+                let mut done = 0;
+                for i in 0..n {
+                    if done == count {
+                        break;
+                    }
+                    if !self.is_failed(i) && !self.is_degraded(i) {
+                        self.speed_bits[i].store(factor, Ordering::SeqCst);
+                        done += 1;
+                    }
+                }
+                (done > 0).then_some(ScenarioEvent::Capacity(CapacityEvent::Degrade(
+                    done, slowdown,
+                )))
+            }
+            ScenarioEvent::Capacity(CapacityEvent::Restore(count)) => {
+                let mut done = 0;
+                for i in 0..n {
+                    if done == count {
+                        break;
+                    }
+                    if !self.is_failed(i) && self.is_degraded(i) {
+                        self.speed_bits[i].store(1.0f64.to_bits(), Ordering::SeqCst);
+                        done += 1;
+                    }
+                }
+                (done > 0).then_some(ScenarioEvent::Capacity(CapacityEvent::Restore(done)))
             }
             ScenarioEvent::Difficulty(delta) => {
                 self.difficulty_bits
                     .store(delta.to_bits(), Ordering::SeqCst);
+                Some(action)
             }
+        };
+        if let Some(event) = applied {
+            log.push(Incident {
+                at: SimTime::from_secs_f64(self.sim_now().max(0.0)),
+                event,
+            });
         }
     }
 
@@ -240,6 +338,7 @@ pub struct ClusterBackend {
     worker_handles: Vec<thread::JoinHandle<()>>,
     controller: Option<thread::JoinHandle<()>>,
     scenario_thread: Option<thread::JoinHandle<()>>,
+    hazard_thread: Option<thread::JoinHandle<()>>,
     /// The shared control plane, driven by the controller thread and read
     /// for snapshots and the final report.
     control: Arc<Mutex<ControlLoop>>,
@@ -315,6 +414,9 @@ impl ClusterBackend {
             scale: time_scale,
             failed: (0..n).map(|_| AtomicBool::new(false)).collect(),
             busy: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            speed_bits: (0..n).map(|_| AtomicU64::new(1.0f64.to_bits())).collect(),
+            threshold_track: Mutex::new(WindowedSeries::new(sys.metrics_window)),
+            incident_log: Mutex::new(Vec::new()),
             difficulty_bits: AtomicU64::new(0.0f64.to_bits()),
             confidences: Mutex::new(Vec::new()),
         });
@@ -369,6 +471,12 @@ impl ClusterBackend {
             thread::spawn(move || scenario_loop(&shared, &actions))
         };
 
+        // --- Hazard thread (load-correlated fault engine) -------------------
+        let hazard_thread = spec.scenario.as_ref().and_then(|s| s.hazard()).map(|h| {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || hazard_loop(&shared, h))
+        });
+
         let metrics_window = sys.metrics_window;
         let slo = SloTracker::new(sys.slo);
         Ok(ClusterBackend {
@@ -378,6 +486,7 @@ impl ClusterBackend {
             worker_handles,
             controller: Some(controller),
             scenario_thread: Some(scenario_thread),
+            hazard_thread,
             route_rng: seeded_rng(derive_seed(sys.seed, 0x20C7)),
             demand_track: WindowedSeries::new(metrics_window),
             reference: runtime.reference.clone(),
@@ -421,6 +530,9 @@ impl ClusterBackend {
         }
         if let Some(h) = self.scenario_thread.take() {
             h.join().expect("scenario thread panicked");
+        }
+        if let Some(h) = self.hazard_thread.take() {
+            h.join().expect("hazard thread panicked");
         }
     }
 }
@@ -509,6 +621,10 @@ impl ServingBackend for ClusterBackend {
         let at = self.now();
         let failed = self.shared.failed_count();
         let total = self.shared.failed.len();
+        // Shared state-independent checks first (zero counts, bad
+        // slowdowns/deltas) — the rule lives in diffserve-trace so the two
+        // backends cannot drift.
+        event.validate()?;
         match event {
             ScenarioEvent::Capacity(CapacityEvent::Fail(n)) => {
                 let alive = (total - failed).saturating_sub(n);
@@ -521,11 +637,12 @@ impl ServingBackend for ClusterBackend {
                     return Err(ScenarioError::RecoverWithoutFailure { at });
                 }
             }
-            ScenarioEvent::Difficulty(delta) => {
-                if !delta.is_finite() || !(-1.0..=1.0).contains(&delta) {
-                    return Err(ScenarioError::InvalidDelta { delta });
+            ScenarioEvent::Capacity(CapacityEvent::Restore(n)) => {
+                if n > self.shared.degraded_count() {
+                    return Err(ScenarioError::RestoreWithoutDegrade { at });
                 }
             }
+            ScenarioEvent::Capacity(CapacityEvent::Degrade(..)) | ScenarioEvent::Difficulty(_) => {}
         }
         self.shared.apply_event(event);
         Ok(())
@@ -536,6 +653,7 @@ impl ServingBackend for ClusterBackend {
         let mut light_workers = 0;
         let mut heavy_workers = 0;
         let mut failed_workers = 0;
+        let mut degraded_workers = 0;
         let mut light_queue = 0;
         let mut heavy_queue = 0;
         let mut light_busy = 0;
@@ -544,6 +662,9 @@ impl ServingBackend for ClusterBackend {
             if self.shared.is_failed(i) {
                 failed_workers += 1;
                 continue;
+            }
+            if self.shared.is_degraded(i) {
+                degraded_workers += 1;
             }
             let depth = self.shared.depths[i].load(Ordering::Relaxed);
             let busy = usize::from(self.shared.busy[i].load(Ordering::Relaxed));
@@ -571,6 +692,7 @@ impl ServingBackend for ClusterBackend {
             light_workers,
             heavy_workers,
             failed_workers,
+            degraded_workers,
             light_queue,
             heavy_queue,
             light_busy,
@@ -599,6 +721,7 @@ impl ServingBackend for ClusterBackend {
             self.slo
                 .record_drop(SimTime::from_secs_f64(end), SimTime::from_secs_f64(end));
         }
+        let h = horizon.as_secs_f64();
         RunReport::assemble(
             self.settings.policy,
             total,
@@ -611,15 +734,24 @@ impl ServingBackend for ClusterBackend {
                 .into_iter()
                 .map(|(t, v)| (t.as_secs_f64(), v))
                 .collect(),
-            Vec::new(), // threshold series tracked only by the controller
-            // Ticks during the post-horizon drain are artifacts; truncate
-            // exactly as the simulator's report assembly does.
+            // The controller thread pushed its threshold decision every
+            // control tick; windows during the post-horizon drain are
+            // artifacts and truncated, like the simulator's assembly.
+            self.shared
+                .threshold_track
+                .lock()
+                .window_means()
+                .into_iter()
+                .map(|(t, v)| (t.as_secs_f64(), v))
+                .filter(|&(t, _)| t < h)
+                .collect(),
             self.control
                 .lock()
                 .take_deferral_error_series()
                 .into_iter()
-                .filter(|&(t, _)| t < horizon.as_secs_f64())
+                .filter(|&(t, _)| t < h)
                 .collect(),
+            std::mem::take(&mut *self.shared.incident_log.lock()),
         )
     }
 }
@@ -777,6 +909,63 @@ fn scenario_loop(shared: &Shared, actions: &[(SimTime, ScenarioEvent)]) {
     }
 }
 
+/// The load-correlated fault engine's cluster half: evaluates the seeded
+/// [`HazardProcess`] every check interval against the fleet's live busy
+/// flags and applies (and logs) whatever it draws. The wall-clock testbed
+/// cannot promise a bit-identical utilization trajectory across runs, so
+/// hazard-drawn faults here are reproducible only through the incident log
+/// — which is exactly what record/replay is for.
+fn hazard_loop(shared: &Shared, spec: Hazard) {
+    let mut process = HazardProcess::new(spec);
+    let interval = spec.check_interval.as_secs_f64();
+    // First check at half-phase, like the simulator — and like there, the
+    // first evaluation covers only the half-interval that actually elapsed.
+    let mut next = spec.first_check().as_secs_f64();
+    let mut first = true;
+    loop {
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = shared.sim_now();
+            if next <= now {
+                break;
+            }
+            shared.sleep_sim((next - now).min(1.0));
+        }
+        // A check that comes due exactly as the session tears down must not
+        // stamp an incident the replay run can never re-fire.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let n = shared.failed.len();
+        let alive = n - shared.failed_count();
+        let busy = (0..n)
+            .filter(|&i| !shared.is_failed(i) && shared.busy[i].load(Ordering::Relaxed))
+            .count();
+        let utilization = if alive == 0 {
+            0.0
+        } else {
+            busy as f64 / alive as f64
+        };
+        let fleet = FleetHealth {
+            alive,
+            failed: n - alive,
+            degraded: shared.degraded_count(),
+        };
+        let dt = if first {
+            spec.first_dt()
+        } else {
+            spec.check_interval
+        };
+        first = false;
+        for event in process.step(dt, utilization, fleet) {
+            shared.apply_event(ScenarioEvent::Capacity(event));
+        }
+        next += interval;
+    }
+}
+
 /// Drives the shared [`ControlLoop`] at the configured control cadence:
 /// gathers what the fleet observed since the last tick (arrival counters,
 /// live channel depths, the drained confidence stream), steps the pipeline,
@@ -817,8 +1006,9 @@ fn controller_loop(shared: &Shared, control: &Mutex<ControlLoop>, sys: &SystemCo
         // Derive the pool size from the same snapshot as the mask so the
         // solver and retarget never disagree mid-churn.
         let alive = excluded.iter().filter(|&&e| !e).count();
+        let now = SimTime::from_secs_f64(shared.sim_now().max(0.0));
         let obs = ControlObservation {
-            now: SimTime::from_secs_f64(shared.sim_now().max(0.0)),
+            now,
             arrivals: arrived,
             heavy_arrivals: heavy,
             violations_light,
@@ -826,21 +1016,29 @@ fn controller_loop(shared: &Shared, control: &Mutex<ControlLoop>, sys: &SystemCo
             light_queue: light_q,
             heavy_queue: heavy_q,
             alive_workers: alive,
+            effective_capacity: shared.effective_capacity(),
             current_light_batch: plan_snapshot.batch_for(ModelTier::Light),
             current_heavy_batch: plan_snapshot.batch_for(ModelTier::Heavy),
             confidences,
         };
         let directive = control.lock().step(&obs);
-        if directive == ControlDirective::Hold {
-            continue;
-        }
-        let mut plan = plan_snapshot;
-        ClusterActuator {
-            plan: &mut plan,
-            excluded: &excluded,
-        }
-        .actuate(&directive);
-        *shared.plan.write() = plan;
+        let active_threshold = if directive == ControlDirective::Hold {
+            plan_snapshot.threshold
+        } else {
+            let mut plan = plan_snapshot;
+            ClusterActuator {
+                plan: &mut plan,
+                excluded: &excluded,
+            }
+            .actuate(&directive);
+            let threshold = plan.threshold;
+            *shared.plan.write() = plan;
+            threshold
+        };
+        // Record the decision that is now in force — the series the
+        // report's `threshold_series` is built from (mirroring the
+        // simulator, which pushes its threshold on every tick).
+        shared.threshold_track.lock().push(now, active_threshold);
     }
 }
 
@@ -921,10 +1119,12 @@ fn worker_loop(
             }
         }
 
-        // Drop-front policy.
+        // Drop-front policy. A degraded worker predicts with its *actual*
+        // (slowed) execution time, not nameplate.
+        let slowdown = shared.slowdown(wid);
         if drop_misses {
             let now = shared.sim_now();
-            let exec = stage_latency(runtime, current_tier, batch.len(), uses_cascade);
+            let exec = stage_latency(runtime, current_tier, batch.len(), uses_cascade) * slowdown;
             batch.retain(|job| {
                 if now + exec > job.deadline {
                     shared.record_violation(current_tier);
@@ -943,8 +1143,9 @@ fn worker_loop(
             }
         }
 
-        // "Execute" the batch.
-        let exec = stage_latency(runtime, current_tier, batch.len(), uses_cascade);
+        // "Execute" the batch, sleep-scaled by the worker's health: a
+        // degraded worker takes `slowdown`× its nameplate latency.
+        let exec = stage_latency(runtime, current_tier, batch.len(), uses_cascade) * slowdown;
         shared.busy[wid].store(true, Ordering::Relaxed);
         shared.sleep_sim(exec);
         shared.busy[wid].store(false, Ordering::Relaxed);

@@ -69,6 +69,12 @@ pub struct ControlObservation {
     pub heavy_queue: usize,
     /// Workers currently alive (the allocator's capacity `S`).
     pub alive_workers: usize,
+    /// Sum of the alive workers' health speed factors — the fleet's
+    /// *effective* capacity in worker-equivalents. Equals `alive_workers`
+    /// when every worker runs at nameplate speed; drops below it under a
+    /// brownout. `0.0` (the default) means "not reported" and the control
+    /// pipeline falls back to nameplate capacity.
+    pub effective_capacity: f64,
     /// Batch size currently operated by the light tier (the "no queuing
     /// model" ablation estimates delay from it).
     pub current_light_batch: usize,
@@ -350,8 +356,29 @@ impl ControlLoop {
             }
         };
 
-        let mut inputs =
-            self.allocator_inputs(demand, q1, q2, &thresholds, &batches, obs.alive_workers);
+        // Degradation awareness: when the backend reports effective
+        // capacity below nameplate (degraded workers), inflate the demand
+        // the planner solves against by the shortfall — `x·(s·T) ≥ D` is
+        // `x·T ≥ D/s` — so the threshold drops and deferrals shed before
+        // deadlines do. The nameplate ablation ignores the signal.
+        let capacity_scale = if self.settings.knobs.nameplate_capacity
+            || obs.effective_capacity <= 0.0
+            || obs.alive_workers == 0
+        {
+            1.0
+        } else {
+            (obs.effective_capacity / obs.alive_workers as f64).clamp(0.05, 1.0)
+        };
+        let planned_demand = demand / capacity_scale;
+
+        let mut inputs = self.allocator_inputs(
+            planned_demand,
+            q1,
+            q2,
+            &thresholds,
+            &batches,
+            obs.alive_workers,
+        );
         let aimd_cascade = self.settings.policy == Policy::DiffServe
             && self.settings.knobs.batch_policy == BatchPolicy::Aimd;
         if aimd_cascade {
@@ -519,6 +546,7 @@ fn aimd_step(current: usize, violated: bool, max_b: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::AblationKnobs;
 
     fn uniform_profile() -> DeferralProfile {
         DeferralProfile::from_confidences((0..1000).map(|i| i as f64 / 1000.0).collect())
@@ -744,6 +772,42 @@ mod tests {
         );
         assert_eq!(cl.take_deferral_error_series().len(), 2);
         assert!(cl.deferral_error_series().is_empty());
+    }
+
+    #[test]
+    fn degraded_capacity_lowers_the_threshold_unless_nameplate() {
+        let t_of = |d: ControlDirective| match d {
+            ControlDirective::Apply(a) => a.threshold,
+            d => panic!("unexpected directive {d:?}"),
+        };
+        let observe = |effective: f64, knobs: AblationKnobs| {
+            let mut cl = ControlLoop::new(
+                small_config(),
+                RunSettings {
+                    knobs,
+                    ..RunSettings::new(Policy::DiffServe, 8.0)
+                },
+                uniform_profile(),
+                LatencyProfile::new(0.10, 0.55),
+                LatencyProfile::new(1.78, 0.12),
+                0.01,
+            );
+            cl.bootstrap(8.0);
+            let mut o = obs(30);
+            o.effective_capacity = effective;
+            t_of(cl.step(&o))
+        };
+        let healthy = observe(8.0, AblationKnobs::default());
+        let degraded = observe(4.5, AblationKnobs::default());
+        assert!(
+            degraded < healthy,
+            "a brownout must lower the threshold: {degraded} vs {healthy}"
+        );
+        // The nameplate ablation is blind to the same signal...
+        let blind = observe(4.5, AblationKnobs::nameplate());
+        assert_eq!(blind, healthy);
+        // ...and an unreported capacity (0.0) falls back to nameplate.
+        assert_eq!(observe(0.0, AblationKnobs::default()), healthy);
     }
 
     #[test]

@@ -84,7 +84,7 @@ pub use control::{
 };
 pub use hetero::{solve_heterogeneous, HeteroAllocation, HeteroInputs, WorkerClass};
 pub use policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
-pub use query::{CompletedResponse, ModelTier, Query, QueryId};
+pub use query::{CompletedResponse, ModelTier, Query, QueryId, WorkerHealth};
 pub use report::RunReport;
 pub use runtime::CascadeRuntime;
 pub use serve::{
@@ -101,7 +101,7 @@ pub mod prelude {
         AllocPlanner, ControlDirective, ControlLoop, ControlObservation, PlanActuator,
     };
     pub use crate::policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
-    pub use crate::query::{CompletedResponse, ModelTier, Query, QueryId};
+    pub use crate::query::{CompletedResponse, ModelTier, Query, QueryId, WorkerHealth};
     pub use crate::report::RunReport;
     pub use crate::runtime::CascadeRuntime;
     pub use crate::serve::{

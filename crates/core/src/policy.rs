@@ -89,6 +89,12 @@ pub struct AblationKnobs {
     pub queue_model: QueueModel,
     /// Batch-size selection.
     pub batch_policy: BatchPolicy,
+    /// Solve the allocation against the fleet's *nameplate* capacity,
+    /// ignoring the effective-capacity signal degraded workers report (the
+    /// degradation-blindness ablation). `false` = the DiffServe design:
+    /// the planner sees effective throughput and sheds deferrals instead
+    /// of deadlines under a brownout.
+    pub nameplate_capacity: bool,
 }
 
 impl Default for AblationKnobs {
@@ -97,6 +103,7 @@ impl Default for AblationKnobs {
             static_threshold: None,
             queue_model: QueueModel::LittlesLaw,
             batch_policy: BatchPolicy::Milp,
+            nameplate_capacity: false,
         }
     }
 }
@@ -122,6 +129,15 @@ impl AblationKnobs {
     pub fn no_queue_model() -> Self {
         AblationKnobs {
             queue_model: QueueModel::TwiceExecution,
+            ..Default::default()
+        }
+    }
+
+    /// The degradation-blindness ablation: the planner solves against
+    /// nameplate capacity even when workers report degraded throughput.
+    pub fn nameplate() -> Self {
+        AblationKnobs {
+            nameplate_capacity: true,
             ..Default::default()
         }
     }
@@ -166,9 +182,11 @@ mod tests {
             AblationKnobs::no_queue_model().queue_model,
             QueueModel::TwiceExecution
         );
+        assert!(AblationKnobs::nameplate().nameplate_capacity);
         let d = AblationKnobs::default();
         assert_eq!(d.static_threshold, None);
         assert_eq!(d.queue_model, QueueModel::LittlesLaw);
         assert_eq!(d.batch_policy, BatchPolicy::Milp);
+        assert!(!d.nameplate_capacity);
     }
 }

@@ -34,6 +34,58 @@ impl ModelTier {
     }
 }
 
+/// Per-worker health: how fast the worker currently runs relative to its
+/// nameplate profile. A healthy worker has `speed_factor == 1.0`; a
+/// degraded one (thermal throttling, noisy neighbor, sick straggler) has
+/// `speed_factor < 1.0` and every batch it executes takes
+/// `1 / speed_factor` times its nameplate latency. Both execution engines
+/// thread this through dispatch, and the control plane sums it into the
+/// fleet's *effective* capacity so the allocator solves against degraded
+/// throughput instead of nameplate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerHealth {
+    /// Fraction of nameplate speed the worker delivers, in `(0, 1]`.
+    pub speed_factor: f64,
+}
+
+impl Default for WorkerHealth {
+    fn default() -> Self {
+        WorkerHealth::healthy()
+    }
+}
+
+impl WorkerHealth {
+    /// Full nameplate speed.
+    pub fn healthy() -> Self {
+        WorkerHealth { speed_factor: 1.0 }
+    }
+
+    /// Degraded to `1 / slowdown` of nameplate speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slowdown` is finite and `>= 1`.
+    pub fn degraded(slowdown: f64) -> Self {
+        assert!(
+            slowdown.is_finite() && slowdown >= 1.0,
+            "slowdown must be finite and >= 1, got {slowdown}"
+        );
+        WorkerHealth {
+            speed_factor: 1.0 / slowdown,
+        }
+    }
+
+    /// Whether the worker currently runs below nameplate speed.
+    pub fn is_degraded(self) -> bool {
+        self.speed_factor < 1.0
+    }
+
+    /// The service-time multiplier this health implies (`>= 1`).
+    pub fn slowdown(self) -> f64 {
+        1.0 / self.speed_factor
+    }
+}
+
 /// A query in flight: a prompt plus its arrival time and deadline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Query {

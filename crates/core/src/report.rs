@@ -3,6 +3,7 @@
 use diffserve_linalg::Mat;
 use diffserve_metrics::{frechet_distance, GaussianStats, SloTracker};
 use diffserve_simkit::time::SimDuration;
+use diffserve_trace::IncidentLog;
 
 use crate::policy::Policy;
 use crate::query::{CompletedResponse, ModelTier};
@@ -47,6 +48,14 @@ pub struct RunReport {
     pub mean_windowed_fid: f64,
     /// Fraction of completed responses served by the heavy model.
     pub heavy_fraction: f64,
+    /// Every perturbation the run's fault engine actually fired — scheduled
+    /// scenario events, mid-run injections, and hazard-drawn faults alike —
+    /// stamped with its firing instant.
+    /// [`Scenario::from_incident_log`](diffserve_trace::Scenario::from_incident_log)
+    /// turns this back into a replayable scenario (bit-exact on the
+    /// discrete-event simulator), closing the loop from "a weird run
+    /// happened" to "it's now a regression test".
+    pub incident_log: IncidentLog,
 }
 
 /// FID of a set of completed responses against the reference Gaussian;
@@ -120,6 +129,7 @@ impl RunReport {
         demand_series: Vec<(f64, f64)>,
         threshold_series: Vec<(f64, f64)>,
         deferral_error_series: Vec<(f64, f64)>,
+        incident_log: IncidentLog,
     ) -> RunReport {
         let fid = fid_of_responses(responses, reference, 1e-6);
         let fid_series = windowed_fid(responses, reference, window, 24);
@@ -151,6 +161,7 @@ impl RunReport {
             demand_series,
             threshold_series,
             deferral_error_series,
+            incident_log,
             mean_windowed_fid,
             heavy_fraction: if responses.is_empty() {
                 0.0
@@ -204,6 +215,7 @@ impl RunReport {
             demand_series: Vec::new(),
             threshold_series: Vec::new(),
             deferral_error_series: Vec::new(),
+            incident_log: Vec::new(),
             mean_windowed_fid: f64::NAN,
             heavy_fraction: 0.0,
         }
@@ -244,6 +256,7 @@ mod tests {
             demand_series: vec![],
             threshold_series: vec![],
             deferral_error_series: vec![],
+            incident_log: vec![],
             mean_windowed_fid: 17.0,
             heavy_fraction: 0.6,
         };

@@ -208,6 +208,8 @@ pub struct SessionSnapshot {
     pub heavy_workers: usize,
     /// Workers currently fail-stopped.
     pub failed_workers: usize,
+    /// Alive workers currently running degraded (below nameplate speed).
+    pub degraded_workers: usize,
     /// Queries queued on (alive) light-tier workers.
     pub light_queue: usize,
     /// Queries queued on (alive) heavy-tier workers.
@@ -510,6 +512,31 @@ impl<'a> SessionBuilder<'a> {
             scenario
                 .validate(self.config.num_workers)
                 .map_err(BuildError::Scenario)?;
+            // Hazard checks fire at `check/2 + k·check` (integer micros).
+            // The incident record/replay loop is bit-exact only if no check
+            // can ever share an instant with a control tick at `m·ci` (the
+            // tick would observe pre- vs post-fault fleet state depending
+            // on event order). The congruence `k·check ≡ -check/2 (mod ci)`
+            // is solvable — a collision instant exists — iff
+            // gcd(check, ci) divides check/2. The default (equal
+            // intervals) is collision-free.
+            if let Some(h) = scenario.hazard() {
+                fn gcd(mut a: u64, mut b: u64) -> u64 {
+                    while b != 0 {
+                        (a, b) = (b, a % b);
+                    }
+                    a
+                }
+                let check = h.check_interval.as_micros();
+                let ci = self.config.control_interval.as_micros();
+                if (check / 2) % gcd(check, ci) == 0 {
+                    return Err(BuildError::Scenario(ScenarioError::InvalidHazard {
+                        reason: "hazard checks would collide with control ticks; \
+                                 pick a check interval whose odd half-phases miss \
+                                 the control grid (equal intervals work)",
+                    }));
+                }
+            }
         }
         Ok(SessionSpec {
             runtime,
@@ -768,6 +795,60 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, BuildError::Scenario(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_hazard_colliding_with_control_ticks() {
+        use diffserve_trace::Hazard;
+        let trace = Trace::constant(2.0, SimDuration::from_secs(10)).unwrap();
+        // A 1 s control interval puts ticks on every odd second — exactly
+        // where a 2 s hazard's half-phase checks land; replay would not be
+        // bit-exact, so the builder must refuse.
+        let colliding = SystemConfig {
+            num_workers: 4,
+            control_interval: SimDuration::from_secs(1),
+            ..Default::default()
+        };
+        let scenario = Scenario::new("hazardous", trace.clone()).with_hazard(Hazard::default());
+        let err = ServingSession::builder()
+            .runtime(test_runtime())
+            .config(colliding)
+            .scenario(scenario.clone())
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::Scenario(ScenarioError::InvalidHazard { .. })
+        ));
+        // The default (equal intervals) is collision-free and accepted.
+        assert!(ServingSession::builder()
+            .runtime(test_runtime())
+            .config(small_config())
+            .scenario(scenario)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn inject_rejects_zero_count_capacity_events() {
+        use diffserve_trace::CapacityEvent;
+        let mut session = ServingSession::builder()
+            .runtime(test_runtime())
+            .config(small_config())
+            .build()
+            .expect("valid session");
+        for event in [
+            CapacityEvent::Fail(0),
+            CapacityEvent::Recover(0),
+            CapacityEvent::Degrade(0, 2.0),
+            CapacityEvent::Restore(0),
+        ] {
+            let err = session.inject(ScenarioEvent::Capacity(event)).unwrap_err();
+            assert_eq!(err, ScenarioError::ZeroWorkers, "{event:?}");
+        }
+        // Nothing landed in the incident log, so the run stays replayable.
+        let report = session.finish();
+        assert!(report.incident_log.is_empty());
     }
 
     #[test]

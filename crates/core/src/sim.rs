@@ -15,23 +15,31 @@
 //! inject perturbations mid-run. The two batch entry points — [`run_trace`]
 //! replaying a plain demand trace, [`run_scenario`] additionally injecting
 //! a [`Scenario`]'s perturbations (fail-stop worker churn with in-flight
-//! work retried elsewhere, flash crowds and demand shocks baked into the
-//! arrival stream, and prompt-difficulty shifts that raise the cascade's
-//! deferral rate at constant QPS) — are thin wrappers over a session.
+//! work retried elsewhere, partial degradation that stretches a worker's
+//! service times via [`WorkerHealth`], seeded load-correlated hazards
+//! evaluated against instantaneous utilization, flash crowds and demand
+//! shocks baked into the arrival stream, and prompt-difficulty shifts that
+//! raise the cascade's deferral rate at constant QPS) — are thin wrappers
+//! over a session. Every perturbation that actually fires is recorded in
+//! the report's incident log, and replaying the log reproduces the run
+//! bit-exactly.
 
 use std::collections::VecDeque;
 
 use diffserve_imagegen::{GeneratedImage, Prompt};
 use diffserve_metrics::{SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
-use diffserve_trace::{CapacityEvent, Scenario, ScenarioError, ScenarioEvent, Trace};
+use diffserve_trace::{
+    CapacityEvent, FleetHealth, HazardProcess, Incident, IncidentLog, Scenario, ScenarioError,
+    ScenarioEvent, Trace,
+};
 use rand::Rng;
 
 use crate::allocator::Allocation;
 use crate::config::{ConfigError, SystemConfig};
 use crate::control::{ControlDirective, ControlLoop, ControlObservation, PlanActuator};
 use crate::policy::{AblationKnobs, Policy};
-use crate::query::{CompletedResponse, ModelTier, QueryId};
+use crate::query::{CompletedResponse, ModelTier, QueryId, WorkerHealth};
 use crate::report::RunReport;
 use crate::runtime::CascadeRuntime;
 use crate::serve::{
@@ -123,6 +131,10 @@ enum Event {
     ControlTick,
     /// The `i`-th scheduled scenario action fires.
     Scenario(usize),
+    /// The load-correlated hazard process evaluates once. Scheduled at
+    /// half-phase instants so it never shares a timestamp with a control
+    /// tick, which keeps incident replay bit-exact.
+    HazardCheck,
 }
 
 #[derive(Debug, Clone)]
@@ -139,6 +151,9 @@ struct Worker {
     /// Incarnation counter; bumped on failure so in-flight [`Event::BatchDone`]
     /// events from before the crash are recognized as stale.
     epoch: u64,
+    /// Current health: batches dispatched on this worker take
+    /// `health.slowdown()` times their nameplate latency.
+    health: WorkerHealth,
 }
 
 impl Worker {
@@ -177,6 +192,15 @@ struct ServingSim<'a> {
     // Scenario state.
     actions: Vec<(SimTime, ScenarioEvent)>,
     difficulty_delta: f64,
+    /// The load-correlated fault engine, when the scenario carries one.
+    hazard: Option<HazardProcess>,
+    /// Hazard evaluations performed so far (the first covers only the
+    /// half-interval since simulation start).
+    hazard_checks: u64,
+    /// Every perturbation actually fired (scheduled, injected, or
+    /// hazard-drawn), in firing order — surfaced in the [`RunReport`] for
+    /// incident replay.
+    incident_log: IncidentLog,
     // Metrics.
     slo: SloTracker,
     responses: Vec<CompletedResponse>,
@@ -202,6 +226,7 @@ impl<'a> ServingSim<'a> {
         runtime: &'a CascadeRuntime,
         control: ControlLoop,
         actions: Vec<(SimTime, ScenarioEvent)>,
+        hazard: Option<HazardProcess>,
     ) -> Self {
         config.validate().expect("valid system config");
         // Bootstrap: half the fleet per tier until the first control tick
@@ -220,6 +245,7 @@ impl<'a> ServingSim<'a> {
                 in_flight: Vec::new(),
                 failed: false,
                 epoch: 0,
+                health: WorkerHealth::healthy(),
             })
             .collect();
         let mut sim = ServingSim {
@@ -229,6 +255,9 @@ impl<'a> ServingSim<'a> {
             proteus_heavy_fraction: 0.5,
             actions,
             difficulty_delta: 0.0,
+            hazard,
+            hazard_checks: 0,
+            incident_log: Vec::new(),
             slo: SloTracker::new(config.slo),
             responses: Vec::new(),
             arrivals_since_tick: 0,
@@ -479,13 +508,16 @@ impl<'a> ServingSim<'a> {
         }
         let tier = self.workers[idx].tier;
         let bmax = self.workers[idx].batch_max;
+        // Degraded workers execute every batch slower than nameplate.
+        let slowdown = self.workers[idx].health.slowdown();
 
         // Drop-front policy: shed queries that cannot finish this stage in
         // time (counted as SLO violations, §4.1).
         if self.config.drop_predicted_misses {
             while let Some(&front) = self.workers[idx].queue.front() {
                 let b_est = self.workers[idx].queue.len().min(bmax);
-                let eta = now + SimDuration::from_secs_f64(self.stage_latency(tier, b_est));
+                let eta =
+                    now + SimDuration::from_secs_f64(self.stage_latency(tier, b_est) * slowdown);
                 let rec = self.queries[front as usize];
                 if eta > rec.deadline {
                     self.workers[idx].queue.pop_front();
@@ -506,7 +538,7 @@ impl<'a> ServingSim<'a> {
         }
         let take = self.workers[idx].queue.len().min(bmax);
         let batch: Vec<u64> = self.workers[idx].queue.drain(..take).collect();
-        let dur = SimDuration::from_secs_f64(self.stage_latency(tier, batch.len()));
+        let dur = SimDuration::from_secs_f64(self.stage_latency(tier, batch.len()) * slowdown);
         self.workers[idx].busy = true;
         self.workers[idx].in_flight = batch;
         queue.push(
@@ -638,21 +670,29 @@ impl<'a> ServingSim<'a> {
     }
 
     /// A scenario fail-stop: the `count` highest-indexed alive workers go
-    /// down. Their queued *and* in-flight queries are retried on surviving
-    /// workers of the same tier (fail-stop loses batch progress), and stale
-    /// completions are fenced off by the epoch bump.
-    fn handle_fail(&mut self, count: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+    /// down (clamped so at least two stay alive, one per tier). Their
+    /// queued *and* in-flight queries are retried on surviving workers of
+    /// the same tier (fail-stop loses batch progress), and stale
+    /// completions are fenced off by the epoch bump. Returns how many
+    /// workers actually failed.
+    fn handle_fail(&mut self, count: usize, now: SimTime, queue: &mut EventQueue<Event>) -> usize {
+        let alive = self.workers.iter().filter(|w| !w.failed).count();
+        let allowed = count.min(alive.saturating_sub(2));
         let victims: Vec<usize> = (0..self.workers.len())
             .rev()
             .filter(|&i| !self.workers[i].failed)
-            .take(count)
+            .take(allowed)
             .collect();
+        let applied = victims.len();
         let mut orphans: Vec<(ModelTier, u64)> = Vec::new();
         for idx in victims {
             let w = &mut self.workers[idx];
             w.failed = true;
             w.epoch += 1;
             w.busy = false;
+            // A dead worker's degradation dies with it: it rejoins healthy
+            // (fresh instance, fresh weights).
+            w.health = WorkerHealth::healthy();
             let tier = w.target_tier();
             w.pending_tier = None;
             for q in w.queue.drain(..) {
@@ -667,16 +707,24 @@ impl<'a> ServingSim<'a> {
                 self.route_to_tier(tier, q, now, queue);
             }
         }
+        applied
     }
 
     /// A scenario recovery: the `count` lowest-indexed failed workers come
     /// back, paying the model load delay before they can serve (the same
-    /// switch protocol a reassigned worker follows).
-    fn handle_recover(&mut self, count: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+    /// switch protocol a reassigned worker follows). Returns how many
+    /// workers actually rejoined.
+    fn handle_recover(
+        &mut self,
+        count: usize,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) -> usize {
         let returning: Vec<usize> = (0..self.workers.len())
             .filter(|&i| self.workers[i].failed)
             .take(count)
             .collect();
+        let applied = returning.len();
         for idx in returning {
             let w = &mut self.workers[idx];
             w.failed = false;
@@ -685,16 +733,122 @@ impl<'a> ServingSim<'a> {
             w.pending_tier = Some(w.tier);
             self.begin_switch(idx, now, queue);
         }
+        applied
+    }
+
+    /// A scenario degradation: the `count` lowest-indexed alive healthy
+    /// workers drop to `1/slowdown` of nameplate speed (best-effort: fewer
+    /// healthy workers means fewer degrade). In-flight batches keep their
+    /// already-scheduled completion; the slowdown bites from the next
+    /// dispatch. Returns how many workers actually degraded.
+    fn handle_degrade(&mut self, count: usize, slowdown: f64) -> usize {
+        let victims: Vec<usize> = (0..self.workers.len())
+            .filter(|&i| !self.workers[i].failed && !self.workers[i].health.is_degraded())
+            .take(count)
+            .collect();
+        let applied = victims.len();
+        for idx in victims {
+            self.workers[idx].health = WorkerHealth::degraded(slowdown);
+        }
+        applied
+    }
+
+    /// A scenario restoration: the `count` lowest-indexed degraded workers
+    /// return to nameplate speed. Returns how many were actually restored.
+    fn handle_restore(&mut self, count: usize) -> usize {
+        let returning: Vec<usize> = (0..self.workers.len())
+            .filter(|&i| !self.workers[i].failed && self.workers[i].health.is_degraded())
+            .take(count)
+            .collect();
+        let applied = returning.len();
+        for idx in returning {
+            self.workers[idx].health = WorkerHealth::healthy();
+        }
+        applied
+    }
+
+    /// Applies one perturbation against live state and records what was
+    /// *actually applied* in the incident log — the single funnel every
+    /// source (scheduled timeline, mid-run injection, hazard draw) goes
+    /// through. Capacity events are best-effort (clamped to the eligible
+    /// set, mirroring the cluster backend), and only the applied counts are
+    /// logged, so the log stays a faithful, replayable account rather than
+    /// a wish list.
+    fn fire_event(&mut self, event: ScenarioEvent, now: SimTime, queue: &mut EventQueue<Event>) {
+        let applied = match event {
+            ScenarioEvent::Capacity(CapacityEvent::Fail(n)) => {
+                let done = self.handle_fail(n, now, queue);
+                (done > 0).then_some(ScenarioEvent::Capacity(CapacityEvent::Fail(done)))
+            }
+            ScenarioEvent::Capacity(CapacityEvent::Recover(n)) => {
+                let done = self.handle_recover(n, now, queue);
+                (done > 0).then_some(ScenarioEvent::Capacity(CapacityEvent::Recover(done)))
+            }
+            ScenarioEvent::Capacity(CapacityEvent::Degrade(n, slowdown)) => {
+                let done = self.handle_degrade(n, slowdown);
+                (done > 0).then_some(ScenarioEvent::Capacity(CapacityEvent::Degrade(
+                    done, slowdown,
+                )))
+            }
+            ScenarioEvent::Capacity(CapacityEvent::Restore(n)) => {
+                let done = self.handle_restore(n);
+                (done > 0).then_some(ScenarioEvent::Capacity(CapacityEvent::Restore(done)))
+            }
+            ScenarioEvent::Difficulty(delta) => {
+                self.difficulty_delta = delta;
+                Some(event)
+            }
+        };
+        if let Some(event) = applied {
+            self.incident_log.push(Incident { at: now, event });
+        }
     }
 
     fn handle_scenario(&mut self, i: usize, now: SimTime, queue: &mut EventQueue<Event>) {
-        match self.actions[i].1 {
-            ScenarioEvent::Capacity(CapacityEvent::Fail(n)) => self.handle_fail(n, now, queue),
-            ScenarioEvent::Capacity(CapacityEvent::Recover(n)) => {
-                self.handle_recover(n, now, queue)
-            }
-            ScenarioEvent::Difficulty(delta) => self.difficulty_delta = delta,
+        let event = self.actions[i].1;
+        self.fire_event(event, now, queue);
+    }
+
+    /// One hazard evaluation: feed the fleet's instantaneous utilization to
+    /// the seeded hazard process and fire whatever it draws. Everything the
+    /// hazard does lands in the incident log, so a surprising run replays
+    /// from its report.
+    fn handle_hazard_check(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        let Some(hazard) = self.hazard.as_mut() else {
+            return;
+        };
+        let interval = hazard.spec().check_interval;
+        // The first check sits at half-phase, so it only covers half an
+        // interval of elapsed time — use the true dt or the configured
+        // per-second rates overstate the opening window.
+        let dt = if self.hazard_checks == 0 {
+            hazard.spec().first_dt()
+        } else {
+            interval
+        };
+        self.hazard_checks += 1;
+        let alive = self.workers.iter().filter(|w| !w.failed).count();
+        let busy = self.workers.iter().filter(|w| !w.failed && w.busy).count();
+        let degraded = self
+            .workers
+            .iter()
+            .filter(|w| !w.failed && w.health.is_degraded())
+            .count();
+        let utilization = if alive == 0 {
+            0.0
+        } else {
+            busy as f64 / alive as f64
+        };
+        let fleet = FleetHealth {
+            alive,
+            failed: self.workers.len() - alive,
+            degraded,
+        };
+        let events = hazard.step(dt, utilization, fleet);
+        for event in events {
+            self.fire_event(ScenarioEvent::Capacity(event), now, queue);
         }
+        queue.push(now + interval, Event::HazardCheck);
     }
 
     /// One control tick: gather what this backend observed since the last
@@ -714,6 +868,12 @@ impl<'a> ServingSim<'a> {
             .filter(|w| !w.failed && w.target_tier() == ModelTier::Heavy)
             .map(|w| w.queue.len())
             .sum();
+        let effective_capacity: f64 = self
+            .workers
+            .iter()
+            .filter(|w| !w.failed)
+            .map(|w| w.health.speed_factor)
+            .sum();
         let obs = ControlObservation {
             now,
             arrivals: self.arrivals_since_tick,
@@ -723,6 +883,7 @@ impl<'a> ServingSim<'a> {
             light_queue,
             heavy_queue,
             alive_workers: self.alive_count(),
+            effective_capacity,
             current_light_batch: self.current_batch(ModelTier::Light),
             current_heavy_batch: self.current_batch(ModelTier::Heavy),
             confidences: std::mem::take(&mut self.confidences_since_tick),
@@ -756,6 +917,7 @@ impl<'a> ServingSim<'a> {
         let mut light_workers = 0;
         let mut heavy_workers = 0;
         let mut failed_workers = 0;
+        let mut degraded_workers = 0;
         let mut light_queue = 0;
         let mut heavy_queue = 0;
         let mut light_busy = 0;
@@ -764,6 +926,9 @@ impl<'a> ServingSim<'a> {
             if w.failed {
                 failed_workers += 1;
                 continue;
+            }
+            if w.health.is_degraded() {
+                degraded_workers += 1;
             }
             match w.target_tier() {
                 ModelTier::Light => {
@@ -789,6 +954,7 @@ impl<'a> ServingSim<'a> {
             light_workers,
             heavy_workers,
             failed_workers,
+            degraded_workers,
             light_queue,
             heavy_queue,
             light_busy,
@@ -841,6 +1007,7 @@ impl Actor<Event> for ServingSim<'_> {
             Event::BatchDone { worker, epoch } => self.handle_batch_done(worker, epoch, now, queue),
             Event::ControlTick => self.handle_control_tick(now, queue),
             Event::Scenario(i) => self.handle_scenario(i, now, queue),
+            Event::HazardCheck => self.handle_hazard_check(now, queue),
         }
     }
 }
@@ -870,6 +1037,9 @@ pub struct SimBackend<'a> {
     /// injected fails minus injected recovers. Validation of back-to-back
     /// injections projects the fleet state forward by this amount.
     pending_failed: isize,
+    /// Net worker-degradation delta from injected perturbations that have
+    /// not fired yet, mirroring `pending_failed`.
+    pending_degraded: isize,
 }
 
 impl std::fmt::Debug for SimBackend<'_> {
@@ -890,12 +1060,18 @@ impl<'a> SimBackend<'a> {
             .as_ref()
             .map(|s| s.timeline())
             .unwrap_or_default();
+        let hazard = spec
+            .scenario
+            .as_ref()
+            .and_then(|s| s.hazard())
+            .map(HazardProcess::new);
         let state = ServingSim::new(
             spec.config.clone(),
             spec.settings.clone(),
             spec.runtime,
             spec.control_loop(),
             actions,
+            hazard,
         );
         SimBackend {
             sim: Simulation::new(state),
@@ -904,6 +1080,7 @@ impl<'a> SimBackend<'a> {
             remaining_budget: EVENT_BUDGET,
             completion_cursor: 0,
             pending_failed: 0,
+            pending_degraded: 0,
         }
     }
 
@@ -919,6 +1096,15 @@ impl<'a> SimBackend<'a> {
         let interval = self.sim.actor().config.control_interval;
         self.sim
             .schedule(SimTime::ZERO + interval, Event::ControlTick);
+        if let Some(first) = self
+            .sim
+            .actor()
+            .hazard
+            .as_ref()
+            .map(|h| h.spec().first_check())
+        {
+            self.sim.schedule(first, Event::HazardCheck);
+        }
     }
 }
 
@@ -954,6 +1140,7 @@ impl ServingBackend for SimBackend<'_> {
         // Injected perturbations scheduled at or before the cursor have
         // fired now and are reflected in the live fleet state.
         self.pending_failed = 0;
+        self.pending_degraded = 0;
     }
 
     fn drain_completions(&mut self) -> Vec<QueryOutcome> {
@@ -976,6 +1163,17 @@ impl ServingBackend for SimBackend<'_> {
         let failed = ((total - state.alive_count()) as isize + self.pending_failed)
             .clamp(0, total as isize) as usize;
         let alive = total - failed;
+        let live_degraded = state
+            .workers
+            .iter()
+            .filter(|w| !w.failed && w.health.is_degraded())
+            .count();
+        let degraded =
+            (live_degraded as isize + self.pending_degraded).clamp(0, alive as isize) as usize;
+        // Shared state-independent checks first (zero counts, bad
+        // slowdowns/deltas) — a bad event must never reach the incident
+        // log, or the recording stops being replayable.
+        event.validate()?;
         match event {
             ScenarioEvent::Capacity(CapacityEvent::Fail(n)) => {
                 let remaining = alive.saturating_sub(n);
@@ -993,11 +1191,16 @@ impl ServingBackend for SimBackend<'_> {
                 }
                 self.pending_failed -= n as isize;
             }
-            ScenarioEvent::Difficulty(delta) => {
-                if !delta.is_finite() || !(-1.0..=1.0).contains(&delta) {
-                    return Err(ScenarioError::InvalidDelta { delta });
-                }
+            ScenarioEvent::Capacity(CapacityEvent::Degrade(n, _)) => {
+                self.pending_degraded += n as isize;
             }
+            ScenarioEvent::Capacity(CapacityEvent::Restore(n)) => {
+                if n > degraded {
+                    return Err(ScenarioError::RestoreWithoutDegrade { at: self.cursor });
+                }
+                self.pending_degraded -= n as isize;
+            }
+            ScenarioEvent::Difficulty(_) => {}
         }
         let at = self.cursor;
         let idx = self.sim.actor_mut().push_action(at, event);
@@ -1156,6 +1359,7 @@ fn build_report(mut state: ServingSim<'_>, horizon: SimTime) -> RunReport {
         to_secs(state.arrival_series.window_rates()),
         to_secs(state.threshold_series.window_means()),
         deferral_errors,
+        std::mem::take(&mut state.incident_log),
     )
 }
 

@@ -39,6 +39,7 @@ pub use burst::{bursty_arrivals, BurstConfig};
 pub use demand::DemandEstimator;
 pub use file::{read_trace, trace_file_name, write_trace};
 pub use scenario::{
-    standard_scenarios, CapacityEvent, Perturbation, Scenario, ScenarioError, ScenarioEvent,
+    standard_scenarios, CapacityEvent, FleetHealth, Hazard, HazardProcess, Incident, IncidentLog,
+    Perturbation, Scenario, ScenarioError, ScenarioEvent,
 };
 pub use trace::{Trace, TraceError};

@@ -33,9 +33,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use diffserve_simkit::rng::{derive_seed, seeded_rng};
 use diffserve_simkit::time::{SimDuration, SimTime};
+use rand::Rng;
 
 use crate::trace::Trace;
+
+/// RNG stream tag for hazard draws, so the fault engine never shares a
+/// stream with arrival generation or routing.
+const HAZARD_SEED_STREAM: u64 = 0x4A7A;
 
 /// One timed perturbation applied on top of a scenario's base trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +96,33 @@ pub enum Perturbation {
         /// earlier offset; it does not stack).
         delta: f64,
     },
+    /// `count` workers degrade at `at`: they stay alive and keep serving,
+    /// but every batch they execute takes `slowdown`× its nameplate
+    /// latency (a thermally throttled GPU, a noisy neighbor, a sick
+    /// straggler). Unlike [`Perturbation::WorkerFail`], no work is lost —
+    /// it just drains slower — and the controller should re-solve against
+    /// the fleet's *effective* capacity rather than its nameplate.
+    WorkerDegrade {
+        /// Degradation instant.
+        at: SimTime,
+        /// Number of workers that degrade (lowest-indexed healthy
+        /// workers). Best-effort: if fewer healthy workers exist at `at`,
+        /// only those degrade, and the run's incident log records the
+        /// count actually applied (a strict rejection here would falsely
+        /// invalidate legitimately recorded hazard logs, since a fail-stop
+        /// can erase a degradation mid-timeline).
+        count: usize,
+        /// Service-time multiplier (`>= 1`; `2.0` = half speed).
+        slowdown: f64,
+    },
+    /// `count` previously degraded workers return to nameplate speed at
+    /// `at`.
+    WorkerRestore {
+        /// Restoration instant.
+        at: SimTime,
+        /// Number of workers restored (lowest-indexed degraded workers).
+        count: usize,
+    },
 }
 
 impl Perturbation {
@@ -99,7 +132,9 @@ impl Perturbation {
             Perturbation::WorkerFail { at, .. }
             | Perturbation::WorkerRecover { at, .. }
             | Perturbation::DemandShift { at, .. }
-            | Perturbation::DifficultyShift { at, .. } => at,
+            | Perturbation::DifficultyShift { at, .. }
+            | Perturbation::WorkerDegrade { at, .. }
+            | Perturbation::WorkerRestore { at, .. } => at,
             Perturbation::FlashCrowd { start, .. } => start,
         }
     }
@@ -112,18 +147,24 @@ impl Perturbation {
             Perturbation::FlashCrowd { .. } => "flash-crowd",
             Perturbation::DemandShift { .. } => "demand-shift",
             Perturbation::DifficultyShift { .. } => "difficulty-shift",
+            Perturbation::WorkerDegrade { .. } => "worker-degrade",
+            Perturbation::WorkerRestore { .. } => "worker-restore",
         }
     }
 }
 
-/// A capacity event derived from the worker-churn perturbations, in the
-/// form the run paths inject into their event loops.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A capacity event derived from the worker-churn and degradation
+/// perturbations, in the form the run paths inject into their event loops.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CapacityEvent {
     /// This many workers fail-stop.
     Fail(usize),
     /// This many failed workers rejoin.
     Recover(usize),
+    /// This many healthy workers degrade to `slowdown`× service times.
+    Degrade(usize, f64),
+    /// This many degraded workers return to nameplate speed.
+    Restore(usize),
 }
 
 /// One lowered scenario event, ready for injection into a run path's event
@@ -135,6 +176,246 @@ pub enum ScenarioEvent {
     Capacity(CapacityEvent),
     /// The active prompt-difficulty offset becomes this value.
     Difficulty(f64),
+}
+
+impl ScenarioEvent {
+    /// State-independent validity of one lowered event: capacity counts
+    /// must be non-zero, slowdowns finite and `>= 1`, difficulty offsets
+    /// finite and in `[-1, 1]`. Both backends run this before their
+    /// state-dependent injection checks (pool floor, recover/restore
+    /// accounting), so the rule lives in exactly one place.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated invariant as a typed [`ScenarioError`].
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        match *self {
+            ScenarioEvent::Capacity(
+                CapacityEvent::Fail(0)
+                | CapacityEvent::Recover(0)
+                | CapacityEvent::Degrade(0, _)
+                | CapacityEvent::Restore(0),
+            ) => Err(ScenarioError::ZeroWorkers),
+            ScenarioEvent::Capacity(CapacityEvent::Degrade(_, slowdown))
+                if !slowdown.is_finite() || slowdown < 1.0 =>
+            {
+                Err(ScenarioError::InvalidSlowdown { slowdown })
+            }
+            ScenarioEvent::Difficulty(delta)
+                if !delta.is_finite() || !(-1.0..=1.0).contains(&delta) =>
+            {
+                Err(ScenarioError::InvalidDelta { delta })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// One perturbation a run path actually fired, stamped with its firing
+/// instant — the unit of the incident record/replay loop. Both engines
+/// append every fired perturbation (scheduled, injected, and hazard-drawn)
+/// to the [`RunReport`]'s incident log, and
+/// [`Scenario::from_incident_log`] turns a recorded log back into a
+/// replayable scenario.
+///
+/// [`RunReport`]: https://docs.rs/diffserve-core
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Incident {
+    /// When the perturbation fired.
+    pub at: SimTime,
+    /// What fired.
+    pub event: ScenarioEvent,
+}
+
+/// A recorded perturbation history: what a run's fault engine actually did.
+pub type IncidentLog = Vec<Incident>;
+
+/// A load-correlated hazard process: instead of (only) scheduling
+/// perturbations at fixed times, a scenario may carry a `Hazard` that draws
+/// failures and degradations *online* from the fleet's instantaneous
+/// utilization. The draw is seeded and deterministic given the utilization
+/// trajectory, which the discrete-event simulator makes bit-reproducible.
+///
+/// Every rate is a per-second hazard rate for a fleet-level event; the
+/// failure and degradation rates are boosted by
+/// `1 + load_coupling × utilization`, so a saturated fleet faults more —
+/// the "failures correlate with load" regime the ROADMAP calls for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hazard {
+    /// Seed for the hazard's private RNG stream.
+    pub seed: u64,
+    /// How often the run paths evaluate the hazard. Checks are fired at
+    /// odd half-phases (`(k + ½)·interval`) so they never collide with
+    /// control ticks at whole multiples of the control interval.
+    pub check_interval: SimDuration,
+    /// Per-second baseline rate of a single-worker fail-stop at zero load.
+    pub fail_rate: f64,
+    /// Per-second baseline rate of a single-worker degradation at zero
+    /// load.
+    pub degrade_rate: f64,
+    /// Per-second rate of one failed worker rejoining (not load-coupled).
+    pub recover_rate: f64,
+    /// Per-second rate of one degraded worker returning to nameplate speed
+    /// (not load-coupled).
+    pub restore_rate: f64,
+    /// Slope of the load boost: the fail/degrade rates are multiplied by
+    /// `1 + load_coupling × utilization`.
+    pub load_coupling: f64,
+    /// Smallest slowdown a drawn degradation applies (`>= 1`).
+    pub min_slowdown: f64,
+    /// Largest slowdown a drawn degradation applies (`>= min_slowdown`).
+    pub max_slowdown: f64,
+}
+
+impl Default for Hazard {
+    fn default() -> Self {
+        Hazard {
+            seed: 0x4A2D,
+            check_interval: SimDuration::from_secs(2),
+            fail_rate: 0.002,
+            degrade_rate: 0.01,
+            recover_rate: 0.02,
+            restore_rate: 0.02,
+            load_coupling: 4.0,
+            min_slowdown: 1.5,
+            max_slowdown: 3.0,
+        }
+    }
+}
+
+impl Hazard {
+    /// Checks the hazard parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidHazard`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let bad = |reason| Err(ScenarioError::InvalidHazard { reason });
+        if self.check_interval.is_zero() {
+            return bad("check interval must be positive");
+        }
+        for r in [
+            self.fail_rate,
+            self.degrade_rate,
+            self.recover_rate,
+            self.restore_rate,
+            self.load_coupling,
+        ] {
+            if !r.is_finite() || r < 0.0 {
+                return bad("rates and load coupling must be finite and non-negative");
+            }
+        }
+        if !self.min_slowdown.is_finite() || self.min_slowdown < 1.0 {
+            return bad("min slowdown must be finite and >= 1");
+        }
+        if !self.max_slowdown.is_finite() || self.max_slowdown < self.min_slowdown {
+            return bad("max slowdown must be finite and >= min slowdown");
+        }
+        Ok(())
+    }
+
+    /// The elapsed time the *first* check covers: simulation start to
+    /// [`Hazard::first_check`]. Both engines pass this as the first step's
+    /// `dt` (later steps cover a full interval) — one source of truth for
+    /// the half-phase, which the builder's tick-collision guard and replay
+    /// bit-exactness both depend on.
+    pub fn first_dt(&self) -> SimDuration {
+        SimDuration::from_micros(self.check_interval.as_micros() / 2)
+    }
+
+    /// The first check instant: half a check interval in, and then every
+    /// interval after — the half-phase keeps hazard checks off the control
+    /// ticks so record/replay never has to re-order same-instant events.
+    pub fn first_check(&self) -> SimTime {
+        SimTime::ZERO + self.first_dt()
+    }
+}
+
+/// Live fleet counts a hazard draw conditions on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetHealth {
+    /// Workers currently alive (not fail-stopped).
+    pub alive: usize,
+    /// Workers currently fail-stopped.
+    pub failed: usize,
+    /// Alive workers currently running degraded.
+    pub degraded: usize,
+}
+
+/// The runtime state of a [`Hazard`]: the spec plus its seeded RNG stream.
+/// Each run path owns one and calls [`HazardProcess::step`] every check
+/// interval with the fleet's instantaneous utilization.
+#[derive(Debug, Clone)]
+pub struct HazardProcess {
+    spec: Hazard,
+    rng: rand::rngs::StdRng,
+}
+
+impl HazardProcess {
+    /// Builds the process from its spec, deriving the private RNG stream.
+    pub fn new(spec: Hazard) -> Self {
+        HazardProcess {
+            rng: seeded_rng(derive_seed(spec.seed, HAZARD_SEED_STREAM)),
+            spec,
+        }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &Hazard {
+        &self.spec
+    }
+
+    /// One hazard evaluation covering the `dt` that elapsed since the last
+    /// check: draws at most one failure, one degradation, one recovery, and
+    /// one restoration. The draw count per step is fixed, so the RNG stream
+    /// is identical across runs regardless of outcomes; only the
+    /// utilization trajectory steers which events fire.
+    ///
+    /// Guards keep the drawn events always-valid: failures never shrink the
+    /// pool below two alive workers (one per tier), degradations only hit
+    /// healthy workers, recoveries/restorations only fire when there is
+    /// something to recover/restore.
+    pub fn step(
+        &mut self,
+        dt: SimDuration,
+        utilization: f64,
+        fleet: FleetHealth,
+    ) -> Vec<CapacityEvent> {
+        let dt = dt.as_secs_f64();
+        let boost = 1.0 + self.spec.load_coupling * utilization.clamp(0.0, 1.0);
+        let p = |rate: f64| 1.0 - (-rate * dt).exp();
+        // Fixed draw order and count per step.
+        let u_fail: f64 = self.rng.gen_range(0.0..1.0);
+        let u_degrade: f64 = self.rng.gen_range(0.0..1.0);
+        let u_slowdown: f64 = self.rng.gen_range(0.0..1.0);
+        let u_recover: f64 = self.rng.gen_range(0.0..1.0);
+        let u_restore: f64 = self.rng.gen_range(0.0..1.0);
+
+        let mut events = Vec::new();
+        let mut alive = fleet.alive;
+        let mut degraded = fleet.degraded;
+        if u_fail < p(self.spec.fail_rate * boost) && alive > 2 {
+            events.push(CapacityEvent::Fail(1));
+            alive -= 1;
+            // A degraded worker that dies stops counting as degraded.
+            degraded = degraded.min(alive);
+        }
+        if u_degrade < p(self.spec.degrade_rate * boost) && degraded < alive {
+            let slowdown = self.spec.min_slowdown
+                + (self.spec.max_slowdown - self.spec.min_slowdown) * u_slowdown;
+            events.push(CapacityEvent::Degrade(1, slowdown));
+        }
+        if u_recover < p(self.spec.recover_rate) && fleet.failed > 0 {
+            events.push(CapacityEvent::Recover(1));
+        }
+        // Restoration conditions on the *pre-step* degraded count so a
+        // degradation drawn this very step is not instantly undone.
+        if u_restore < p(self.spec.restore_rate) && fleet.degraded.min(alive) > 0 {
+            events.push(CapacityEvent::Restore(1));
+        }
+        events
+    }
 }
 
 /// An invalid [`Scenario`].
@@ -165,6 +446,21 @@ pub enum ScenarioError {
         /// When the invalid recovery fires.
         at: SimTime,
     },
+    /// A degradation's slowdown was non-finite or below 1.
+    InvalidSlowdown {
+        /// The offending slowdown.
+        slowdown: f64,
+    },
+    /// A restoration names more workers than are currently degraded.
+    RestoreWithoutDegrade {
+        /// When the invalid restoration fires.
+        at: SimTime,
+    },
+    /// The attached hazard process has invalid parameters.
+    InvalidHazard {
+        /// Which invariant the hazard violates.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -185,6 +481,18 @@ impl std::fmt::Display for ScenarioError {
             ),
             ScenarioError::RecoverWithoutFailure { at } => {
                 write!(f, "recovery at {at} names more workers than have failed")
+            }
+            ScenarioError::InvalidSlowdown { slowdown } => {
+                write!(f, "slowdown must be finite and >= 1, got {slowdown}")
+            }
+            ScenarioError::RestoreWithoutDegrade { at } => {
+                write!(
+                    f,
+                    "restoration at {at} names more workers than are degraded"
+                )
+            }
+            ScenarioError::InvalidHazard { reason } => {
+                write!(f, "invalid hazard process: {reason}")
             }
         }
     }
@@ -224,6 +532,7 @@ pub struct Scenario {
     name: String,
     base: Trace,
     perturbations: Vec<Perturbation>,
+    hazard: Option<Hazard>,
 }
 
 impl Scenario {
@@ -233,7 +542,75 @@ impl Scenario {
             name: name.into(),
             base,
             perturbations: Vec::new(),
+            hazard: None,
         }
+    }
+
+    /// Rebuilds a replayable scenario from a recorded [`IncidentLog`]: every
+    /// logged perturbation becomes a timed scheduled perturbation, and no
+    /// hazard is attached — the randomness already collapsed into the log.
+    /// On the discrete-event simulator, replaying the log of a seeded
+    /// hazard run reproduces the original [`RunReport`] bit-exactly, which
+    /// turns "a weird run happened" into a regression test.
+    ///
+    /// `base` must be the trace the original run drew arrivals from (for a
+    /// scenario with demand perturbations, its
+    /// [`effective_trace`](Scenario::effective_trace) — or use
+    /// [`Scenario::replay`] to keep the demand perturbations symbolic).
+    ///
+    /// [`RunReport`]: https://docs.rs/diffserve-core
+    pub fn from_incident_log(name: impl Into<String>, base: Trace, log: &[Incident]) -> Self {
+        let mut s = Scenario::new(name, base);
+        for inc in log {
+            s = s.with(match inc.event {
+                ScenarioEvent::Capacity(CapacityEvent::Fail(count)) => {
+                    Perturbation::WorkerFail { at: inc.at, count }
+                }
+                ScenarioEvent::Capacity(CapacityEvent::Recover(count)) => {
+                    Perturbation::WorkerRecover { at: inc.at, count }
+                }
+                ScenarioEvent::Capacity(CapacityEvent::Degrade(count, slowdown)) => {
+                    Perturbation::WorkerDegrade {
+                        at: inc.at,
+                        count,
+                        slowdown,
+                    }
+                }
+                ScenarioEvent::Capacity(CapacityEvent::Restore(count)) => {
+                    Perturbation::WorkerRestore { at: inc.at, count }
+                }
+                ScenarioEvent::Difficulty(delta) => {
+                    Perturbation::DifficultyShift { at: inc.at, delta }
+                }
+            });
+        }
+        s
+    }
+
+    /// The replay counterpart of running *this* scenario: keeps the base
+    /// trace and the demand-side perturbations (flash crowds, demand
+    /// shifts — they are baked into the arrival stream, not logged), drops
+    /// every capacity/difficulty perturbation and the hazard, and schedules
+    /// the recorded log instead.
+    pub fn replay(&self, log: &[Incident]) -> Scenario {
+        let mut s = Scenario::new(format!("{}-replay", self.name), self.base.clone());
+        for p in &self.perturbations {
+            if matches!(
+                p,
+                Perturbation::FlashCrowd { .. } | Perturbation::DemandShift { .. }
+            ) {
+                s = s.with(p.clone());
+            }
+        }
+        let demand_only = s;
+        let mut replayed =
+            Scenario::from_incident_log(demand_only.name.clone(), demand_only.base.clone(), log);
+        // Prepend the demand perturbations (order within the vec does not
+        // matter for demand multipliers; they compose multiplicatively).
+        let mut perturbations = demand_only.perturbations;
+        perturbations.append(&mut replayed.perturbations);
+        replayed.perturbations = perturbations;
+        replayed
     }
 
     /// Scenario name (used in reports and experiment tables).
@@ -277,6 +654,34 @@ impl Scenario {
     /// `count` failed workers rejoin at `at`.
     pub fn worker_recover(self, at: SimTime, count: usize) -> Self {
         self.with(Perturbation::WorkerRecover { at, count })
+    }
+
+    /// `count` workers degrade to `slowdown`× service times at `at`.
+    pub fn worker_degrade(self, at: SimTime, count: usize, slowdown: f64) -> Self {
+        self.with(Perturbation::WorkerDegrade {
+            at,
+            count,
+            slowdown,
+        })
+    }
+
+    /// `count` degraded workers return to nameplate speed at `at`.
+    pub fn worker_restore(self, at: SimTime, count: usize) -> Self {
+        self.with(Perturbation::WorkerRestore { at, count })
+    }
+
+    /// Attaches a load-correlated [`Hazard`] process: the run paths draw
+    /// failures and degradations online from instantaneous utilization
+    /// (seeded, deterministic on the simulator) and log everything that
+    /// fires into the report's incident log.
+    pub fn with_hazard(mut self, hazard: Hazard) -> Self {
+        self.hazard = Some(hazard);
+        self
+    }
+
+    /// The attached hazard process, if any.
+    pub fn hazard(&self) -> Option<Hazard> {
+        self.hazard
     }
 
     /// A flash crowd: ramp to ×`factor` over `ramp`, hold for `hold`, ramp
@@ -356,9 +761,10 @@ impl Scenario {
     /// # Errors
     ///
     /// Returns the first violated invariant: non-positive demand factors,
-    /// out-of-range difficulty offsets, zero-worker churn, recoveries that
-    /// exceed the failed count, or churn that would leave fewer than two
-    /// workers alive at any instant.
+    /// out-of-range difficulty offsets, zero-worker churn, slowdowns below
+    /// 1, recoveries that exceed the failed count, restorations that exceed
+    /// the degraded count, churn that would leave fewer than two workers
+    /// alive at any instant, or an invalid hazard process.
     pub fn validate(&self, num_workers: usize) -> Result<(), ScenarioError> {
         for p in &self.perturbations {
             match *p {
@@ -374,15 +780,33 @@ impl Scenario {
                     }
                 }
                 Perturbation::WorkerFail { count, .. }
-                | Perturbation::WorkerRecover { count, .. } => {
+                | Perturbation::WorkerRecover { count, .. }
+                | Perturbation::WorkerRestore { count, .. } => {
                     if count == 0 {
                         return Err(ScenarioError::ZeroWorkers);
                     }
                 }
+                Perturbation::WorkerDegrade {
+                    count, slowdown, ..
+                } => {
+                    if count == 0 {
+                        return Err(ScenarioError::ZeroWorkers);
+                    }
+                    if !slowdown.is_finite() || slowdown < 1.0 {
+                        return Err(ScenarioError::InvalidSlowdown { slowdown });
+                    }
+                }
             }
         }
-        // Walk the capacity timeline tracking the failed count.
+        if let Some(h) = &self.hazard {
+            h.validate()?;
+        }
+        // Walk the capacity timeline tracking failed and degraded counts.
+        // Fail-stopping a worker clears its degradation (it rejoins
+        // healthy), so failures conservatively shrink the degraded count to
+        // what can still be alive.
         let mut failed = 0usize;
+        let mut degraded = 0usize;
         for (at, ev) in self.capacity_events() {
             match ev {
                 CapacityEvent::Fail(n) => {
@@ -391,12 +815,22 @@ impl Scenario {
                     if alive < 2 {
                         return Err(ScenarioError::PoolExhausted { at, alive });
                     }
+                    degraded = degraded.min(alive);
                 }
                 CapacityEvent::Recover(n) => {
                     if n > failed {
                         return Err(ScenarioError::RecoverWithoutFailure { at });
                     }
                     failed -= n;
+                }
+                CapacityEvent::Degrade(n, _) => {
+                    degraded = (degraded + n).min(num_workers.saturating_sub(failed));
+                }
+                CapacityEvent::Restore(n) => {
+                    if n > degraded {
+                        return Err(ScenarioError::RestoreWithoutDegrade { at });
+                    }
+                    degraded -= n;
                 }
             }
         }
@@ -459,7 +893,8 @@ impl Scenario {
         Trace::from_qps(bins, bw).expect("base trace valid, multipliers positive")
     }
 
-    /// Worker-churn events sorted by time (ties keep insertion order).
+    /// Worker-churn and degradation events sorted by time (ties keep
+    /// insertion order).
     pub fn capacity_events(&self) -> Vec<(SimTime, CapacityEvent)> {
         let mut events: Vec<(SimTime, CapacityEvent)> = self
             .perturbations
@@ -468,6 +903,14 @@ impl Scenario {
                 Perturbation::WorkerFail { at, count } => Some((at, CapacityEvent::Fail(count))),
                 Perturbation::WorkerRecover { at, count } => {
                     Some((at, CapacityEvent::Recover(count)))
+                }
+                Perturbation::WorkerDegrade {
+                    at,
+                    count,
+                    slowdown,
+                } => Some((at, CapacityEvent::Degrade(count, slowdown))),
+                Perturbation::WorkerRestore { at, count } => {
+                    Some((at, CapacityEvent::Restore(count)))
                 }
                 _ => None,
             })
@@ -515,12 +958,17 @@ impl Scenario {
 /// and the stress-test suite: perturbation times are placed at fractions of
 /// the base trace so any base works.
 ///
-/// Returns seven scenarios: `steady` (control), `flash-crowd` (×2.5 spike),
+/// Returns nine scenarios: `steady` (control), `flash-crowd` (×2.5 spike),
 /// `worker-failure` (2 workers fail then recover), `double-failure` (two
 /// staggered 2-worker failures, no recovery), `cascading-failure` (one
 /// failure whose fault propagates to two more workers across a short
-/// window, then all recover), `demand-shock` (persistent ×1.8 shift), and
-/// `hard-prompts` (difficulty +0.25).
+/// window, then all recover), `demand-shock` (persistent ×1.8 shift),
+/// `hard-prompts` (difficulty +0.25), `brownout` (a quarter of the fleet —
+/// the light tier's low-indexed workers — drops to half speed, i.e. a 2×
+/// slowdown, later restored), and `load-correlated-cascade` (a seeded
+/// hazard process whose
+/// failure/degradation rates rise with utilization, composed with a flash
+/// crowd so the load spike drives the fault burst).
 ///
 /// # Panics
 ///
@@ -534,6 +982,7 @@ pub fn standard_scenarios(base: &Trace, num_workers: usize) -> Vec<Scenario> {
     let dur = base.duration().as_secs_f64();
     let at = |frac: f64| SimTime::from_secs_f64(dur * frac);
     let secs = |frac: f64| SimDuration::from_secs_f64(dur * frac);
+    let brownout_count = (num_workers / 4).max(1);
     let scenarios = vec![
         Scenario::new("steady", base.clone()),
         Scenario::new("flash-crowd", base.clone()).flash_crowd(
@@ -553,6 +1002,17 @@ pub fn standard_scenarios(base: &Trace, num_workers: usize) -> Vec<Scenario> {
             .worker_recover(at(0.7), 3),
         Scenario::new("demand-shock", base.clone()).demand_shift(at(0.5), 1.8),
         Scenario::new("hard-prompts", base.clone()).difficulty_shift(at(0.35), 0.25),
+        Scenario::new("brownout", base.clone())
+            .worker_degrade(at(0.3), brownout_count, 2.0)
+            .worker_restore(at(0.7), brownout_count),
+        Scenario::new("load-correlated-cascade", base.clone())
+            .flash_crowd(at(0.35), secs(0.05), secs(0.2), 2.0)
+            .with_hazard(Hazard {
+                fail_rate: 0.001,
+                degrade_rate: 0.004,
+                load_coupling: 10.0,
+                ..Hazard::default()
+            }),
     ];
     for s in &scenarios {
         s.validate(num_workers)
@@ -697,14 +1157,266 @@ mod tests {
     #[test]
     fn standard_library_is_valid_and_named() {
         let scenarios = standard_scenarios(&base(), 8);
-        assert_eq!(scenarios.len(), 7);
+        assert_eq!(scenarios.len(), 9);
         let names: Vec<&str> = scenarios.iter().map(|s| s.name()).collect();
         assert!(names.contains(&"worker-failure"));
         assert!(names.contains(&"flash-crowd"));
         assert!(names.contains(&"cascading-failure"));
+        assert!(names.contains(&"brownout"));
+        assert!(names.contains(&"load-correlated-cascade"));
         for s in &scenarios {
             assert!(s.validate(8).is_ok(), "{} invalid", s.name());
         }
+        let cascade = scenarios
+            .iter()
+            .find(|s| s.name() == "load-correlated-cascade")
+            .unwrap();
+        assert!(cascade.hazard().is_some());
+    }
+
+    #[test]
+    fn validate_rejects_bad_degradations() {
+        // Slowdowns below 1 would speed workers up; reject them.
+        let s = Scenario::new("bad", base()).worker_degrade(SimTime::from_secs(5), 1, 0.5);
+        assert!(matches!(
+            s.validate(8),
+            Err(ScenarioError::InvalidSlowdown { slowdown }) if slowdown == 0.5
+        ));
+        let s = Scenario::new("bad", base()).worker_degrade(SimTime::from_secs(5), 1, f64::NAN);
+        assert!(matches!(
+            s.validate(8),
+            Err(ScenarioError::InvalidSlowdown { .. })
+        ));
+        // Zero-worker degrade/restore are meaningless.
+        let s = Scenario::new("bad", base()).worker_degrade(SimTime::from_secs(5), 0, 2.0);
+        assert_eq!(s.validate(8), Err(ScenarioError::ZeroWorkers));
+        let s = Scenario::new("bad", base()).worker_restore(SimTime::from_secs(5), 0);
+        assert_eq!(s.validate(8), Err(ScenarioError::ZeroWorkers));
+    }
+
+    #[test]
+    fn validate_rejects_restore_without_degrade() {
+        let s = Scenario::new("bad", base()).worker_restore(SimTime::from_secs(10), 1);
+        assert!(matches!(
+            s.validate(8),
+            Err(ScenarioError::RestoreWithoutDegrade { .. })
+        ));
+        // Restoring more workers than ever degraded is rejected too.
+        let s = Scenario::new("bad", base())
+            .worker_degrade(SimTime::from_secs(10), 2, 2.0)
+            .worker_restore(SimTime::from_secs(20), 3);
+        assert!(matches!(
+            s.validate(8),
+            Err(ScenarioError::RestoreWithoutDegrade { .. })
+        ));
+        // A paired degrade→restore is fine.
+        let s = Scenario::new("ok", base())
+            .worker_degrade(SimTime::from_secs(10), 2, 2.0)
+            .worker_restore(SimTime::from_secs(20), 2);
+        assert!(s.validate(8).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_over_recovery_from_overlapping_cascades() {
+        // Two overlapping cascades fail 6 workers in total; recovering 7
+        // names more workers than ever failed.
+        let s = Scenario::new("bad", base())
+            .cascading_failure(SimTime::from_secs(10), 1, 2, secs(10))
+            .cascading_failure(SimTime::from_secs(15), 1, 2, secs(10))
+            .worker_recover(SimTime::from_secs(60), 7);
+        assert!(matches!(
+            s.validate(16),
+            Err(ScenarioError::RecoverWithoutFailure { .. })
+        ));
+        // Recovering exactly what failed is fine on a large enough pool.
+        let s = Scenario::new("ok", base())
+            .cascading_failure(SimTime::from_secs(10), 1, 2, secs(10))
+            .cascading_failure(SimTime::from_secs(15), 1, 2, secs(10))
+            .worker_recover(SimTime::from_secs(60), 6);
+        assert!(s.validate(16).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_hazards() {
+        let cases = [
+            Hazard {
+                check_interval: SimDuration::ZERO,
+                ..Hazard::default()
+            },
+            Hazard {
+                fail_rate: -0.1,
+                ..Hazard::default()
+            },
+            Hazard {
+                min_slowdown: 0.5,
+                ..Hazard::default()
+            },
+            Hazard {
+                min_slowdown: 3.0,
+                max_slowdown: 2.0,
+                ..Hazard::default()
+            },
+        ];
+        for h in cases {
+            let s = Scenario::new("bad", base()).with_hazard(h);
+            assert!(
+                matches!(s.validate(8), Err(ScenarioError::InvalidHazard { .. })),
+                "{h:?} should be rejected"
+            );
+        }
+        assert!(Scenario::new("ok", base())
+            .with_hazard(Hazard::default())
+            .validate(8)
+            .is_ok());
+    }
+
+    #[test]
+    fn hazard_process_is_deterministic_and_load_coupled() {
+        let spec = Hazard {
+            seed: 42,
+            fail_rate: 0.05,
+            degrade_rate: 0.1,
+            load_coupling: 8.0,
+            ..Hazard::default()
+        };
+        let fleet = FleetHealth {
+            alive: 8,
+            failed: 0,
+            degraded: 0,
+        };
+        let run = |util: f64| -> usize {
+            let mut p = HazardProcess::new(spec);
+            (0..200)
+                .map(|_| p.step(SimDuration::from_secs(2), util, fleet).len())
+                .sum()
+        };
+        // Identical seeds and utilization trajectories replay identically.
+        assert_eq!(run(0.9), run(0.9));
+        // Load coupling: a saturated fleet draws more faults than an idle
+        // one over the same stream length.
+        assert!(
+            run(1.0) > run(0.0),
+            "saturated {} vs idle {}",
+            run(1.0),
+            run(0.0)
+        );
+    }
+
+    #[test]
+    fn hazard_guards_keep_events_valid() {
+        let spec = Hazard {
+            fail_rate: 1e6, // fires every step
+            degrade_rate: 1e6,
+            recover_rate: 1e6,
+            restore_rate: 1e6,
+            ..Hazard::default()
+        };
+        let mut p = HazardProcess::new(spec);
+        // Two alive workers: no failure may fire (pool floor), and with
+        // every worker already degraded no further degradation fires.
+        let ev = p.step(
+            SimDuration::from_secs(2),
+            1.0,
+            FleetHealth {
+                alive: 2,
+                failed: 0,
+                degraded: 2,
+            },
+        );
+        assert!(
+            !ev.iter()
+                .any(|e| matches!(e, CapacityEvent::Fail(_) | CapacityEvent::Degrade(..))),
+            "{ev:?}"
+        );
+        // Nothing failed/degraded: no recover/restore.
+        let ev = p.step(
+            SimDuration::from_secs(2),
+            0.0,
+            FleetHealth {
+                alive: 8,
+                failed: 0,
+                degraded: 0,
+            },
+        );
+        assert!(
+            !ev.iter()
+                .any(|e| matches!(e, CapacityEvent::Recover(_) | CapacityEvent::Restore(_))),
+            "{ev:?}"
+        );
+        // Hazard checks sit at half-phase so they never collide with
+        // control ticks at whole multiples of the interval.
+        assert_eq!(spec.first_check(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn incident_log_roundtrips_into_a_scenario() {
+        let log = vec![
+            Incident {
+                at: SimTime::from_secs(10),
+                event: ScenarioEvent::Capacity(CapacityEvent::Fail(1)),
+            },
+            Incident {
+                at: SimTime::from_secs(12),
+                event: ScenarioEvent::Capacity(CapacityEvent::Degrade(2, 2.5)),
+            },
+            Incident {
+                at: SimTime::from_secs(20),
+                event: ScenarioEvent::Difficulty(0.3),
+            },
+            Incident {
+                at: SimTime::from_secs(30),
+                event: ScenarioEvent::Capacity(CapacityEvent::Recover(1)),
+            },
+            Incident {
+                at: SimTime::from_secs(40),
+                event: ScenarioEvent::Capacity(CapacityEvent::Restore(2)),
+            },
+        ];
+        let s = Scenario::from_incident_log("replayed", base(), &log);
+        assert!(s.hazard().is_none());
+        assert_eq!(s.perturbations().len(), 5);
+        assert!(s.validate(8).is_ok());
+        // The lowered timeline reproduces the log exactly.
+        let timeline = s.timeline();
+        assert_eq!(timeline.len(), log.len());
+        for (inc, &(at, ev)) in log.iter().zip(&timeline) {
+            assert_eq!(inc.at, at);
+            assert_eq!(inc.event, ev);
+        }
+    }
+
+    #[test]
+    fn replay_keeps_demand_perturbations_but_drops_hazard() {
+        let original = Scenario::new("stress", base())
+            .flash_crowd(SimTime::from_secs(30), secs(5), secs(10), 2.0)
+            .worker_fail(SimTime::from_secs(20), 1)
+            .with_hazard(Hazard::default());
+        let log = vec![
+            Incident {
+                at: SimTime::from_secs(20),
+                event: ScenarioEvent::Capacity(CapacityEvent::Fail(1)),
+            },
+            Incident {
+                at: SimTime::from_secs(33),
+                event: ScenarioEvent::Capacity(CapacityEvent::Degrade(1, 1.8)),
+            },
+        ];
+        let replay = original.replay(&log);
+        assert_eq!(replay.name(), "stress-replay");
+        assert!(replay.hazard().is_none());
+        // Demand envelope identical, capacity timeline from the log only.
+        assert_eq!(
+            replay.demand_multiplier(SimTime::from_secs(40)),
+            original.demand_multiplier(SimTime::from_secs(40))
+        );
+        assert_eq!(replay.effective_trace(), original.effective_trace());
+        assert_eq!(
+            replay.capacity_events(),
+            vec![
+                (SimTime::from_secs(20), CapacityEvent::Fail(1)),
+                (SimTime::from_secs(33), CapacityEvent::Degrade(1, 1.8)),
+            ]
+        );
     }
 
     #[test]

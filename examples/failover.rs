@@ -2,7 +2,10 @@
 //! replayed through **both** implementations — the discrete-event simulator
 //! and the thread-based cluster testbed — from the same value, then the
 //! adaptive DiffServe policy is compared against the peak-provisioned
-//! static baseline under the identical churn.
+//! static baseline under the identical churn. A final section drives the
+//! degradation-aware fault engine: a seeded load-correlated hazard fires
+//! faults into the run's incident log, and replaying that log reproduces
+//! the run bit-exactly.
 //!
 //! Run with:
 //!
@@ -87,5 +90,47 @@ fn main() {
         "violation ratio: DiffServe {:.3} vs static {:.3} — re-solving against the \
          degraded pool sheds deferrals instead of deadlines",
         sim.violation_ratio, static_report.violation_ratio
+    );
+
+    // --- Load-correlated hazards + incident record/replay ------------------
+    let hazardous = Scenario::new(
+        "hazardous",
+        Trace::constant(7.0, SimDuration::from_secs(100)).expect("valid trace"),
+    )
+    .with_hazard(Hazard {
+        seed: 7,
+        fail_rate: 0.01,
+        degrade_rate: 0.05,
+        load_coupling: 6.0,
+        ..Hazard::default()
+    });
+    let original = run_scenario(&runtime, &system, &settings, &hazardous);
+    println!(
+        "\nhazard run     : {} ({} incidents drawn from load-correlated hazards)",
+        original.summary(),
+        original.incident_log.len()
+    );
+    for incident in &original.incident_log {
+        println!(
+            "  t={:>6.1}s {:?}",
+            incident.at.as_secs_f64(),
+            incident.event
+        );
+    }
+    let replay = run_scenario(
+        &runtime,
+        &system,
+        &settings,
+        &hazardous.replay(&original.incident_log),
+    );
+    assert_eq!(original.total_queries, replay.total_queries);
+    assert_eq!(
+        original.fid.to_bits(),
+        replay.fid.to_bits(),
+        "incident replay must be bit-exact on the simulator"
+    );
+    println!(
+        "incident replay: {} — bit-identical to the recorded run",
+        replay.summary()
     );
 }

@@ -108,8 +108,8 @@ pub mod prelude {
     pub use diffserve_simkit::prelude::*;
     pub use diffserve_trace::{
         poisson_arrivals, standard_scenarios, synthesize_azure_trace, AzureTraceConfig,
-        CapacityEvent, DemandEstimator, Perturbation, Scenario, ScenarioError, ScenarioEvent,
-        Trace,
+        CapacityEvent, DemandEstimator, FleetHealth, Hazard, HazardProcess, Incident, IncidentLog,
+        Perturbation, Scenario, ScenarioError, ScenarioEvent, Trace,
     };
 }
 

@@ -110,6 +110,77 @@ fn one_scenario_value_drives_simulator_and_cluster() {
     assert!(viol_gap < 0.35, "violation gap {viol_gap:.3}");
 }
 
+/// PR 4 added `cascading_failure` but only scenario-tested the sim path;
+/// one scenario value must drive both engines through the correlated-fault
+/// regime with coarse agreement — and both reports must carry a populated
+/// threshold series and an incident log with every fired perturbation.
+#[test]
+fn cascading_failure_parity_between_simulator_and_cluster() {
+    let sys = system();
+    let base = Trace::constant(6.0, SimDuration::from_secs(60)).unwrap();
+    let scenario = Scenario::new("cascading-failure", base)
+        .cascading_failure(SimTime::from_secs(18), 1, 2, SimDuration::from_secs(9))
+        .worker_recover(SimTime::from_secs(42), 3);
+    let settings = RunSettings::new(Policy::DiffServe, 6.0);
+
+    let sim = run_scenario(runtime(), &sys, &settings, &scenario);
+    let testbed = run_cluster_scenario(
+        runtime(),
+        &ClusterConfig {
+            system: sys.clone(),
+            time_scale: if cfg!(debug_assertions) { 0.05 } else { 0.01 },
+        },
+        &settings,
+        &scenario,
+    );
+
+    assert_eq!(sim.total_queries, testbed.total_queries);
+    assert_eq!(testbed.completed + testbed.dropped, testbed.total_queries);
+    let fid_gap = (testbed.fid - sim.fid).abs() / sim.fid;
+    assert!(fid_gap < 0.3, "FID gap {fid_gap:.3}");
+    let viol_gap = (testbed.violation_ratio - sim.violation_ratio).abs();
+    assert!(viol_gap < 0.35, "violation gap {viol_gap:.3}");
+    // Both engines log the full scheduled timeline (3 fails + 1 recover).
+    assert_eq!(sim.incident_log.len(), 4, "{:?}", sim.incident_log);
+    assert_eq!(testbed.incident_log.len(), 4, "{:?}", testbed.incident_log);
+    assert!(!sim.threshold_series.is_empty());
+    assert!(!testbed.threshold_series.is_empty());
+}
+
+/// Brownout parity: a partial degradation (not a fail-stop) must slow both
+/// engines comparably — degraded workers sleep-scale on the testbed and
+/// stretch service times in the simulator — while every query is conserved.
+#[test]
+fn brownout_parity_between_simulator_and_cluster() {
+    let sys = system();
+    let base = Trace::constant(6.0, SimDuration::from_secs(60)).unwrap();
+    let scenario = Scenario::new("brownout", base)
+        .worker_degrade(SimTime::from_secs(18), 4, 2.0)
+        .worker_restore(SimTime::from_secs(42), 4);
+    let settings = RunSettings::new(Policy::DiffServe, 6.0);
+
+    let sim = run_scenario(runtime(), &sys, &settings, &scenario);
+    let testbed = run_cluster_scenario(
+        runtime(),
+        &ClusterConfig {
+            system: sys.clone(),
+            time_scale: if cfg!(debug_assertions) { 0.05 } else { 0.01 },
+        },
+        &settings,
+        &scenario,
+    );
+
+    assert_eq!(sim.total_queries, testbed.total_queries);
+    assert_eq!(testbed.completed + testbed.dropped, testbed.total_queries);
+    let fid_gap = (testbed.fid - sim.fid).abs() / sim.fid;
+    assert!(fid_gap < 0.3, "FID gap {fid_gap:.3}");
+    let viol_gap = (testbed.violation_ratio - sim.violation_ratio).abs();
+    assert!(viol_gap < 0.35, "violation gap {viol_gap:.3}");
+    assert_eq!(sim.incident_log.len(), 2);
+    assert_eq!(testbed.incident_log.len(), 2);
+    assert!(!testbed.threshold_series.is_empty());
+}
+
 #[test]
 fn standard_library_runs_end_to_end_for_diffserve() {
     let sys = system();

@@ -57,6 +57,30 @@ fn simulator_and_cluster_agree_for_diffserve() {
     );
     let viol_gap = (testbed.violation_ratio - sim.violation_ratio).abs();
     assert!(viol_gap < 0.30, "violation gap {viol_gap:.3}");
+
+    // The cluster controller records its threshold decisions: the report's
+    // threshold series must be populated (it used to ship empty, silently
+    // blanking every threshold-over-time analysis on cluster runs) and must
+    // track the simulator's within tolerance — same workload, same shared
+    // control plane.
+    assert!(
+        !sim.threshold_series.is_empty(),
+        "sim threshold series empty"
+    );
+    assert!(
+        !testbed.threshold_series.is_empty(),
+        "cluster threshold series empty"
+    );
+    let mean_t = |r: &RunReport| {
+        r.threshold_series.iter().map(|&(_, t)| t).sum::<f64>() / r.threshold_series.len() as f64
+    };
+    let t_gap = (mean_t(&testbed) - mean_t(&sim)).abs();
+    assert!(
+        t_gap < 0.2,
+        "cluster threshold must track the sim's: gap {t_gap:.3} (sim {:.3}, cluster {:.3})",
+        mean_t(&sim),
+        mean_t(&testbed)
+    );
 }
 
 #[test]
