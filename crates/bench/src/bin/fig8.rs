@@ -6,16 +6,26 @@
 //! off-peak (up to 19%); AIMD suffers markedly more SLO violations (up to
 //! +20%); the 2×-execution queuing heuristic loses quality off-peak (up to
 //! 12%) by mis-estimating queuing delays.
+//!
+//! Every variant runs on both engines: the discrete-event simulator and
+//! the thread-based cluster testbed (time-scaled wall clock). The control
+//! plane is shared, so the AIMD ablation exercises the same
+//! per-tier-violation AIMD loop on the cluster path as on the sim.
 
 use diffserve_bench::{f2, f3, prepare_runtime, write_csv, CascadeId, Table};
+use diffserve_cluster::{run_cluster, ClusterConfig};
 use diffserve_core::{
-    run_trace, AblationKnobs, AllocatorBackend, Policy, RunSettings, SystemConfig,
+    run_trace, AblationKnobs, AllocatorBackend, Policy, RunReport, RunSettings, SystemConfig,
 };
 use diffserve_trace::{synthesize_azure_trace, AzureTraceConfig};
 
 fn main() {
     let runtime = prepare_runtime(CascadeId::One);
     let config = SystemConfig::default();
+    let cluster_cfg = ClusterConfig {
+        system: config.clone(),
+        time_scale: 0.05,
+    };
     let trace = synthesize_azure_trace(&AzureTraceConfig::default()).expect("valid trace");
 
     let variants: [(&str, AblationKnobs); 4] = [
@@ -27,6 +37,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut summary = Table::new(&[
+        "engine",
         "variant",
         "avg_fid",
         "offpeak_fid",
@@ -40,43 +51,74 @@ fn main() {
             backend: AllocatorBackend::Milp,
             peak_demand_hint: trace.max_qps(),
         };
-        let r = run_trace(&runtime, &config, &settings, &trace);
-        let cutoff = trace.duration().as_secs_f64() * 0.2;
-        let offpeak: Vec<f64> = r
-            .fid_series
-            .iter()
-            .filter(|(t, _)| *t <= cutoff)
-            .map(|(_, f)| *f)
-            .collect();
-        let offpeak_fid = if offpeak.is_empty() {
-            f64::NAN
-        } else {
-            offpeak.iter().sum::<f64>() / offpeak.len() as f64
-        };
-        let peak_violation = r
-            .violation_series
-            .iter()
-            .map(|(_, v)| *v)
-            .fold(0.0f64, f64::max);
-        summary.row(vec![
-            name.into(),
-            f2(r.mean_windowed_fid),
-            f2(offpeak_fid),
-            f3(r.violation_ratio),
-            f3(peak_violation),
-        ]);
-        for (t, f) in &r.fid_series {
-            rows.push(vec![name.into(), "fid".into(), f2(*t), f3(*f)]);
-        }
-        for (t, v) in &r.violation_series {
-            rows.push(vec![name.into(), "violation".into(), f2(*t), f3(*v)]);
-        }
-        for (t, th) in &r.threshold_series {
-            rows.push(vec![name.into(), "threshold".into(), f2(*t), f3(*th)]);
+        let runs: [(&str, RunReport); 2] = [
+            ("sim", run_trace(&runtime, &config, &settings, &trace)),
+            (
+                "cluster",
+                run_cluster(&runtime, &cluster_cfg, &settings, &trace),
+            ),
+        ];
+        for (engine, r) in runs {
+            let cutoff = trace.duration().as_secs_f64() * 0.2;
+            let offpeak: Vec<f64> = r
+                .fid_series
+                .iter()
+                .filter(|(t, _)| *t <= cutoff)
+                .map(|(_, f)| *f)
+                .collect();
+            let offpeak_fid = if offpeak.is_empty() {
+                f64::NAN
+            } else {
+                offpeak.iter().sum::<f64>() / offpeak.len() as f64
+            };
+            let peak_violation = r
+                .violation_series
+                .iter()
+                .map(|(_, v)| *v)
+                .fold(0.0f64, f64::max);
+            summary.row(vec![
+                engine.into(),
+                name.into(),
+                f2(r.mean_windowed_fid),
+                f2(offpeak_fid),
+                f3(r.violation_ratio),
+                f3(peak_violation),
+            ]);
+            for (t, f) in &r.fid_series {
+                rows.push(vec![
+                    engine.into(),
+                    name.into(),
+                    "fid".into(),
+                    f2(*t),
+                    f3(*f),
+                ]);
+            }
+            for (t, v) in &r.violation_series {
+                rows.push(vec![
+                    engine.into(),
+                    name.into(),
+                    "violation".into(),
+                    f2(*t),
+                    f3(*v),
+                ]);
+            }
+            for (t, th) in &r.threshold_series {
+                rows.push(vec![
+                    engine.into(),
+                    name.into(),
+                    "threshold".into(),
+                    f2(*t),
+                    f3(*th),
+                ]);
+            }
         }
     }
     println!("== Fig 8 summary ==");
     summary.print();
-    let path = write_csv("fig8", &["variant", "series", "time_s", "value"], &rows);
+    let path = write_csv(
+        "fig8",
+        &["engine", "variant", "series", "time_s", "value"],
+        &rows,
+    );
     println!("\nwrote {}", path.display());
 }

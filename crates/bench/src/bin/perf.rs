@@ -1,0 +1,426 @@
+//! Performance baseline for the serving engine.
+//!
+//! Three workloads, exported to `BENCH_sim.json` so every future PR has a
+//! trajectory to beat:
+//!
+//! 1. **Azure replay at fleet scale** — the diurnal `trace::azure` curve
+//!    replayed on a 1000-worker fleet through the arena-flattened
+//!    simulator (per-tier sorted load index, reused batch buffers).
+//! 2. **Policy × scenario sweep** — the full 5-policy × 9-scenario matrix,
+//!    run once serially and once fanned across cores by a work-stealing
+//!    `std::thread::scope` runner. The export records both wall times and
+//!    the resulting speedup (≈1.0 on a single-core host by construction).
+//! 3. **MILP ladder** — 24 control ticks under drifting demand, solved
+//!    cold every tick vs. carrying a [`WarmStart`] tick to tick.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf [--smoke] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! * `--smoke` — CI-sized workloads only (still 1000 workers, shorter
+//!   trace, reduced sweep). A full run *also* executes the smoke
+//!   workloads, so a committed full baseline carries every key the CI
+//!   smoke job compares against.
+//! * `--out PATH` — where to write the JSON (default `BENCH_sim.json`).
+//! * `--baseline PATH` — compare against a previous export and exit
+//!   nonzero if any benchmark present in both regressed by more than
+//!   [`REGRESSION_TOLERANCE`].
+//!
+//! The JSON is hand-rolled (the workspace has no serde) and deliberately
+//! line-oriented — one benchmark per line — so [`parse_benchmark_secs`]
+//! can read a baseline back with plain string scanning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use criterion::{black_box, Criterion};
+use diffserve_bench::{f2, prepare_runtime_small, CascadeId, Table};
+use diffserve_core::{
+    run_scenario, run_trace, solve_milp_allocation, solve_milp_allocation_warm, AllocatorInputs,
+    CascadeRuntime, Policy, RunSettings, SystemConfig, WarmStart,
+};
+use diffserve_imagegen::LatencyProfile;
+use diffserve_simkit::time::SimDuration;
+use diffserve_trace::{
+    standard_scenarios, synthesize_azure_trace, AzureTraceConfig, Scenario, Trace,
+};
+
+/// A benchmark slower than `baseline × (1 + tolerance)` fails the gate.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Fleet size for the Azure replay (the paper-scale target from the
+/// roadmap; routing must go through the sorted load index to survive it).
+const FLEET: usize = 1000;
+
+/// One exported measurement.
+struct Record {
+    name: String,
+    secs: f64,
+    iters: u64,
+    /// Extra numeric fields serialized alongside `secs` (not compared by
+    /// the regression gate, which only reads `secs`).
+    extra: Vec<(&'static str, String)>,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_sim.json");
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf [--smoke] [--out PATH] [--baseline PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Read the baseline up front: CI overwrites the checked-in file with
+    // its own export (`--out BENCH_sim.json --baseline BENCH_sim.json`),
+    // so the comparison must capture the committed contents first.
+    let baseline_text = baseline.as_ref().map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"))
+    });
+
+    let runtime = prepare_runtime_small(CascadeId::One);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut records = Vec::new();
+    let mut criterion = Criterion::default();
+
+    // MILP ladder: shared between modes, so the CI smoke job tracks solver
+    // regressions against the committed full baseline.
+    milp_ladder(&runtime, &mut criterion);
+
+    // Smoke-sized workloads: always run, so a full baseline has the keys
+    // the CI job compares.
+    azure_replay(
+        &runtime,
+        &mut criterion,
+        "smoke/azure_replay_1000w",
+        30.0,
+        120.0,
+        60,
+    );
+    sweep(&runtime, &mut records, "smoke/sweep", true, threads);
+
+    if !smoke {
+        azure_replay(
+            &runtime,
+            &mut criterion,
+            "azure_replay_1000w",
+            60.0,
+            480.0,
+            350,
+        );
+        sweep(&runtime, &mut records, "sweep_5x9", false, threads);
+    }
+
+    for m in criterion.measurements() {
+        let extra = if m.id.contains("azure_replay") {
+            vec![("workers", FLEET.to_string())]
+        } else if m.id.contains("milp_ladder") {
+            vec![("ticks", MILP_TICKS.to_string())]
+        } else {
+            Vec::new()
+        };
+        records.push(Record {
+            name: m.id.clone(),
+            secs: m.mean_secs,
+            iters: m.iters,
+            extra,
+        });
+    }
+    records.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let mut table = Table::new(&["benchmark", "secs", "iters"]);
+    for r in &records {
+        table.row(vec![
+            r.name.clone(),
+            format!("{:.4}", r.secs),
+            r.iters.to_string(),
+        ]);
+    }
+    println!(
+        "\n== perf summary ({} mode) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    table.print();
+
+    write_json(&out, smoke, threads, &records).expect("write benchmark export");
+    println!("\nwrote {out}");
+
+    if let Some(text) = baseline_text {
+        if !check_regressions(&text, &records) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Replays the rescaled Azure diurnal trace on a [`FLEET`]-worker fleet.
+fn azure_replay(
+    runtime: &CascadeRuntime,
+    criterion: &mut Criterion,
+    id: &str,
+    min_qps: f64,
+    max_qps: f64,
+    secs: u64,
+) {
+    let config = SystemConfig {
+        num_workers: FLEET,
+        ..Default::default()
+    };
+    let trace = synthesize_azure_trace(&AzureTraceConfig {
+        min_qps,
+        max_qps,
+        duration: SimDuration::from_secs(secs),
+        ..Default::default()
+    })
+    .expect("valid azure trace");
+    let settings = RunSettings::new(Policy::DiffServe, trace.max_qps());
+    criterion.bench_function(id, |b| {
+        b.iter(|| run_trace(runtime, &config, &settings, black_box(&trace)))
+    });
+}
+
+/// The (policy, scenario) jobs of the sweep: the full 5 × 9 matrix, or the
+/// CI subset (DiffServe under steady control, the correlated-failure
+/// cascade, and the brownout regime — mirroring `scenarios --smoke`).
+fn sweep_jobs(system: &SystemConfig, smoke: bool) -> Vec<(RunSettings, Scenario)> {
+    let horizon = if smoke { 60 } else { 240 };
+    let base = Trace::constant(6.0, SimDuration::from_secs(horizon)).expect("valid base trace");
+    let mut scenarios = standard_scenarios(&base, system.num_workers);
+    let policies: Vec<Policy> = if smoke {
+        scenarios.retain(|s| matches!(s.name(), "steady" | "cascading-failure" | "brownout"));
+        vec![Policy::DiffServe]
+    } else {
+        Policy::all().to_vec()
+    };
+    let mut jobs = Vec::new();
+    for scenario in &scenarios {
+        let peak = scenario.effective_trace().max_qps();
+        for &policy in &policies {
+            jobs.push((RunSettings::new(policy, peak), scenario.clone()));
+        }
+    }
+    jobs
+}
+
+/// Times the sweep serially, then fanned across `threads` workers pulling
+/// jobs off a shared atomic cursor. Single-shot wall-clock measurements:
+/// the sweep is far above timer resolution and iterating it would dominate
+/// the suite's runtime.
+fn sweep(
+    runtime: &CascadeRuntime,
+    records: &mut Vec<Record>,
+    id: &str,
+    smoke: bool,
+    threads: usize,
+) {
+    let system = SystemConfig {
+        num_workers: 8,
+        ..Default::default()
+    };
+    let jobs = sweep_jobs(&system, smoke);
+
+    let start = Instant::now();
+    for (settings, scenario) in &jobs {
+        black_box(run_scenario(runtime, &system, settings, scenario));
+    }
+    let serial = start.elapsed().as_secs_f64();
+
+    let workers = threads.min(jobs.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some((settings, scenario)) = jobs.get(i) else {
+                    break;
+                };
+                black_box(run_scenario(runtime, &system, settings, scenario));
+            });
+        }
+    });
+    let parallel = start.elapsed().as_secs_f64();
+
+    println!(
+        "{:<55} serial {serial:.3} s, parallel {parallel:.3} s ({workers} threads, {:.2}x)",
+        id,
+        serial / parallel
+    );
+    let runs = jobs.len().to_string();
+    records.push(Record {
+        name: format!("{id}_serial"),
+        secs: serial,
+        iters: 1,
+        extra: vec![("runs", runs.clone())],
+    });
+    records.push(Record {
+        name: format!("{id}_parallel"),
+        secs: parallel,
+        iters: 1,
+        extra: vec![
+            ("runs", runs),
+            ("threads", workers.to_string()),
+            ("speedup", format!("{:.3}", serial / parallel)),
+        ],
+    });
+}
+
+/// Control ticks in the MILP ladder.
+const MILP_TICKS: usize = 12;
+
+/// Times [`MILP_TICKS`] allocator solves under a drifting demand estimate:
+/// once solving cold every tick, once threading a [`WarmStart`] through the
+/// ladder the way [`CascadePlanner`](diffserve_core::CascadePlanner) does.
+/// Warm starting never changes the plan (the incumbent only seeds and
+/// bounds the search), so both ladders produce identical allocations. The
+/// pair exists to track the gap between them: today the allocation MILP is
+/// bound-closing dominated, so seeding measures at parity — the number a
+/// smarter warm resolve has to move.
+fn milp_ladder(runtime: &CascadeRuntime, criterion: &mut Criterion) {
+    let config = SystemConfig::default();
+    let thresholds = config.threshold_grid();
+    let inputs_at = |demand: f64| AllocatorInputs {
+        demand_qps: demand,
+        queue_delay_light: 0.2,
+        queue_delay_heavy: 0.5,
+        slo: config.slo.as_secs_f64(),
+        total_workers: config.num_workers,
+        deferral: &runtime.deferral,
+        light: LatencyProfile::new(0.10, 0.55),
+        heavy: LatencyProfile::new(1.78, 0.12),
+        discriminator_latency: 0.01,
+        batch_sizes: &config.batch_sizes,
+        thresholds: &thresholds,
+    };
+    // The EWMA-smoothed demand estimate a controller actually sees: ~0.6%
+    // drift per tick, so consecutive optima usually coincide and the
+    // carried incumbent is a valid seed on almost every tick.
+    let demands: Vec<f64> = (0..MILP_TICKS)
+        .map(|i| 20.0 * 1.006f64.powi(i as i32))
+        .collect();
+
+    criterion.bench_function("milp_ladder_cold", |b| {
+        b.iter(|| {
+            for &d in &demands {
+                black_box(solve_milp_allocation(&inputs_at(d)));
+            }
+        })
+    });
+    criterion.bench_function("milp_ladder_warm", |b| {
+        b.iter(|| {
+            let mut warm = WarmStart::new();
+            for &d in &demands {
+                black_box(solve_milp_allocation_warm(&inputs_at(d), &mut warm));
+            }
+        })
+    });
+}
+
+/// Writes the line-oriented JSON export. Every benchmark is one line of
+/// the `"benchmarks"` object so the baseline reader stays a string scan.
+fn write_json(path: &str, smoke: bool, threads: usize, records: &[Record]) -> std::io::Result<()> {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"diffserve-perf/v1\",\n");
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str("  \"benchmarks\": {\n");
+    for (i, r) in records.iter().enumerate() {
+        let mut line = format!(
+            "    \"{}\": {{ \"secs\": {:.6}, \"iters\": {}",
+            r.name, r.secs, r.iters
+        );
+        for (k, v) in &r.extra {
+            line.push_str(&format!(", \"{k}\": {v}"));
+        }
+        line.push_str(" }");
+        if i + 1 < records.len() {
+            line.push(',');
+        }
+        line.push('\n');
+        s.push_str(&line);
+    }
+    s.push_str("  }\n}\n");
+    std::fs::write(path, s)
+}
+
+/// Extracts `(name, secs)` pairs from an export written by [`write_json`]:
+/// any line whose first token is a quoted name and which carries a
+/// `"secs":` field is a benchmark.
+fn parse_benchmark_secs(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let t = line.trim();
+        let Some(rest) = t.strip_prefix('"') else {
+            continue;
+        };
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = &rest[..name_end];
+        let Some(pos) = t.find("\"secs\":") else {
+            continue;
+        };
+        let num: String = t[pos + "\"secs\":".len()..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        if let Ok(secs) = num.parse::<f64>() {
+            out.push((name.to_string(), secs));
+        }
+    }
+    out
+}
+
+/// Compares `records` against a baseline export. Benchmarks only present
+/// on one side are skipped (smoke runs carry a subset of the full keys).
+/// Returns `false` if any shared benchmark exceeds the tolerance.
+fn check_regressions(baseline_text: &str, records: &[Record]) -> bool {
+    let baseline = parse_benchmark_secs(baseline_text);
+    let mut table = Table::new(&["benchmark", "baseline_s", "current_s", "ratio", "verdict"]);
+    let mut failed = false;
+    let mut compared = 0usize;
+    for r in records {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| *n == r.name) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = r.secs / base;
+        let over = ratio > 1.0 + REGRESSION_TOLERANCE;
+        failed |= over;
+        table.row(vec![
+            r.name.clone(),
+            format!("{base:.4}"),
+            format!("{:.4}", r.secs),
+            f2(ratio),
+            if over { "REGRESSED" } else { "ok" }.to_string(),
+        ]);
+    }
+    println!(
+        "\n== regression gate (tolerance {:.0}%) ==",
+        REGRESSION_TOLERANCE * 100.0
+    );
+    table.print();
+    if compared == 0 {
+        eprintln!("warning: no benchmarks shared with the baseline; gate is vacuous");
+    }
+    if failed {
+        eprintln!("FAIL: at least one benchmark regressed beyond the tolerance");
+    }
+    !failed
+}

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use diffserve_core::serve::{
-    drain_outcomes, rolling_fid_estimate, BuildError, QueryOutcome, QuerySpec, QueryTicket,
+    drain_outcomes, session_rolling_fid, BuildError, QueryOutcome, QuerySpec, QueryTicket,
     ServingBackend, ServingSession, SessionBuilder, SessionSnapshot, SessionSpec,
 };
 use diffserve_core::{
@@ -33,7 +33,7 @@ use diffserve_core::{
     SystemConfig,
 };
 use diffserve_imagegen::Prompt;
-use diffserve_metrics::{GaussianStats, SloTracker, WindowedSeries};
+use diffserve_metrics::{GaussianStats, RollingFid, SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
 use diffserve_trace::{
     CapacityEvent, FleetHealth, Hazard, HazardProcess, Incident, IncidentLog, Scenario,
@@ -108,6 +108,12 @@ struct Shared {
     /// tick — drained by the controller thread into the shared
     /// [`ControlLoop`]'s profile estimator.
     confidences: Mutex<Vec<f64>>,
+    /// Rank balancer candidates by raw channel depth instead of
+    /// health-weighted depth (the health-blind routing ablation, from
+    /// [`AblationKnobs::health_blind_routing`]).
+    ///
+    /// [`AblationKnobs::health_blind_routing`]: diffserve_core::AblationKnobs
+    health_blind_routing: bool,
 }
 
 impl Shared {
@@ -280,15 +286,42 @@ impl Shared {
             .any(|(i, &t)| t == ModelTier::Heavy && !self.is_failed(i))
     }
 
-    /// JSQ among alive workers currently assigned to `tier`.
+    /// The balancer's ETA estimate for a query arriving at worker `i`:
+    /// channel depth, plus the batch in service (the busy flag — depths are
+    /// decremented when a worker pulls a job into a batch, so without it a
+    /// mid-execution straggler scores zero), plus the arriving query
+    /// itself, weighted by the worker's health slowdown. Counting the
+    /// arrival matters: an idle straggler would otherwise tie an idle
+    /// healthy worker at zero. On a healthy fleet the weighting is 1.0 and
+    /// the `+1` shifts every score equally, so the ranking matches raw
+    /// depth. The health-blind routing ablation skips only the slowdown
+    /// weighting, so regression tests isolate exactly the health term.
+    fn effective_depth(&self, i: usize) -> f64 {
+        let depth = (self.depths[i].load(Ordering::Relaxed)
+            + usize::from(self.busy[i].load(Ordering::Relaxed))
+            + 1) as f64;
+        if self.health_blind_routing {
+            depth
+        } else {
+            depth * self.slowdown(i)
+        }
+    }
+
+    /// Health-weighted JSQ among alive workers currently assigned to
+    /// `tier`: candidates are ranked by [`Shared::effective_depth`], so a
+    /// 2×-degraded worker's queue slot costs twice a healthy one's.
+    /// Health-blind depth comparison kept feeding stragglers at nameplate
+    /// rate — the brownout regime where SLO violations pile up. Strict `<`
+    /// keeps the historical first-minimum (lowest-index) tie-break, so a
+    /// fully healthy fleet routes identically to the old balancer.
     fn pick_worker(&self, tier: ModelTier) -> usize {
         let plan = self.plan.read();
-        let mut best: Option<(usize, usize)> = None;
+        let mut best: Option<(f64, usize)> = None;
         for (i, &t) in plan.tiers.iter().enumerate() {
             if t != tier || self.is_failed(i) {
                 continue;
             }
-            let d = self.depths[i].load(Ordering::Relaxed);
+            let d = self.effective_depth(i);
             if best.is_none_or(|(bd, _)| d < bd) {
                 best = Some((d, i));
             }
@@ -300,12 +333,12 @@ impl Shared {
             // alive worker. Scenario validation guarantees one exists.
             None => {
                 let mut idx = usize::MAX;
-                let mut min = usize::MAX;
-                for (i, d) in self.depths.iter().enumerate() {
+                let mut min = f64::INFINITY;
+                for i in 0..self.depths.len() {
                     if self.is_failed(i) {
                         continue;
                     }
-                    let v = d.load(Ordering::Relaxed);
+                    let v = self.effective_depth(i);
                     if v < min {
                         min = v;
                         idx = i;
@@ -347,6 +380,9 @@ pub struct ClusterBackend {
     reference: GaussianStats,
     slo: SloTracker,
     responses: Vec<CompletedResponse>,
+    /// Incremental windowed FID over the most recent completions, read at
+    /// every snapshot tap.
+    rolling_fid: RollingFid,
     completion_cursor: usize,
     drop_log: Vec<(QueryId, SimTime, SimTime)>,
     route_rng: rand::rngs::StdRng,
@@ -419,6 +455,7 @@ impl ClusterBackend {
             incident_log: Mutex::new(Vec::new()),
             difficulty_bits: AtomicU64::new(0.0f64.to_bits()),
             confidences: Mutex::new(Vec::new()),
+            health_blind_routing: settings.knobs.health_blind_routing,
         });
 
         let (job_txs, job_rxs): (Vec<Sender<Job>>, Vec<Receiver<Job>>) =
@@ -490,6 +527,7 @@ impl ClusterBackend {
             route_rng: seeded_rng(derive_seed(sys.seed, 0x20C7)),
             demand_track: WindowedSeries::new(metrics_window),
             reference: runtime.reference.clone(),
+            rolling_fid: session_rolling_fid(&runtime.reference),
             control,
             settings,
             sys,
@@ -508,6 +546,7 @@ impl ClusterBackend {
             match outcome {
                 Outcome::Completed(r) => {
                     self.slo.record_completion(r.arrival, r.completion);
+                    self.rolling_fid.push(&r.features);
                     self.responses.push(r);
                 }
                 Outcome::Dropped { qid, arrival, at } => {
@@ -705,7 +744,7 @@ impl ServingBackend for ClusterBackend {
             } else {
                 heavy_done as f64 / self.responses.len() as f64
             },
-            fid_estimate: rolling_fid_estimate(&self.responses, &self.reference),
+            fid_estimate: self.rolling_fid.estimate(),
             deferral_gap: self.control.lock().deferral_gap(),
         }
     }
@@ -960,7 +999,7 @@ fn hazard_loop(shared: &Shared, spec: Hazard) {
         };
         first = false;
         for event in process.step(dt, utilization, fleet) {
-            shared.apply_event(ScenarioEvent::Capacity(event));
+            shared.apply_event(event);
         }
         next += interval;
     }

@@ -15,7 +15,7 @@
 //! setting). Property tests assert they find the same optimal threshold.
 
 use diffserve_imagegen::{DeferralProfile, LatencyProfile};
-use diffserve_milp::{solve_milp, Direction, MilpOptions, Problem, Sense, VarKind};
+use diffserve_milp::{solve_milp_warm, Direction, MilpOptions, Problem, Sense, VarKind, WarmStart};
 
 /// Inputs to one allocation decision.
 #[derive(Debug, Clone)]
@@ -154,6 +154,24 @@ pub fn solve_exhaustive(inputs: &AllocatorInputs<'_>) -> Option<Allocation> {
 ///
 /// Returns `None` if the MILP is infeasible.
 pub fn solve_milp_allocation(inputs: &AllocatorInputs<'_>) -> Option<Allocation> {
+    solve_milp_allocation_warm(inputs, &mut WarmStart::new())
+}
+
+/// [`solve_milp_allocation`] with tick-to-tick solver state carried in a
+/// [`WarmStart`].
+///
+/// Successive control ticks solve the same formulation under a slowly
+/// drifting demand estimate, so the previous tick's optimum usually seeds
+/// (and very often immediately proves) the next solve. The objective's
+/// lexicographic uniqueness penalties dwarf the solver's optimality gap,
+/// so the warm-started solution is the *same* allocation a cold solve
+/// would return — warm starting changes solve time, never the plan.
+///
+/// Returns `None` if the MILP is infeasible.
+pub fn solve_milp_allocation_warm(
+    inputs: &AllocatorInputs<'_>,
+    warm: &mut WarmStart,
+) -> Option<Allocation> {
     let d = inputs.demand_qps.max(1e-9);
     let s = inputs.total_workers as f64;
     let nb = inputs.batch_sizes.len();
@@ -249,7 +267,7 @@ pub fn solve_milp_allocation(inputs: &AllocatorInputs<'_>) -> Option<Allocation>
     }
     p.set_objective(&obj);
 
-    let sol = solve_milp(&p, &MilpOptions::default()).ok()?;
+    let sol = solve_milp_warm(&p, &MilpOptions::default(), warm).ok()?;
     let pick = |vars: &[diffserve_milp::VarId]| -> usize {
         vars.iter()
             .position(|&id| sol.values[id.index()] > 0.5)
@@ -425,6 +443,24 @@ mod tests {
                 (e, m) => panic!("solver disagreement at demand {demand}: {e:?} vs {m:?}"),
             }
         }
+    }
+
+    #[test]
+    fn warm_started_allocations_match_cold_solves_exactly() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(26, 0.9);
+        let mut warm = WarmStart::new();
+        // A drifting demand path like a control loop produces, including an
+        // infeasible overload spike mid-sequence: carrying the handle across
+        // every tick must never change the plan a cold solve would pick.
+        for demand in [6.0, 6.3, 6.1, 7.0, 12.0, 500.0, 11.5, 6.0, 6.0] {
+            let inputs = cascade1_inputs(&deferral, &batches, &thresholds, demand);
+            let cold = solve_milp_allocation(&inputs);
+            let warmed = solve_milp_allocation_warm(&inputs, &mut warm);
+            assert_eq!(warmed, cold, "demand {demand}");
+        }
+        assert!(warm.is_primed());
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //!    confidences the cascade actually observes so the controller tracks
 //!    difficulty drift.
 //! 3. **Allocation planning** — one [`AllocPlanner`] trait wrapping
-//!    [`solve_milp_allocation`], [`solve_exhaustive`], [`solve_proteus`],
-//!    and the [`overload_fallback`] behind a single `plan` call.
+//!    [`solve_milp_allocation_warm`], [`solve_exhaustive`],
+//!    [`solve_proteus`], and the [`overload_fallback`] behind a single
+//!    `plan` call.
 //! 4. **Plan actuation** — the backend-side half: a [`PlanActuator`]
 //!    applies the returned [`ControlDirective`] to live serving state (the
 //!    simulator's worker array, the testbed's shared [`ServingPlan`]).
@@ -33,8 +34,10 @@ use diffserve_imagegen::{DeferralProfile, LatencyProfile, OnlineDeferralEstimato
 use diffserve_simkit::time::SimTime;
 use diffserve_trace::DemandEstimator;
 
+use diffserve_milp::WarmStart;
+
 use crate::allocator::{
-    overload_fallback, solve_exhaustive, solve_milp_allocation, solve_proteus, Allocation,
+    overload_fallback, solve_exhaustive, solve_milp_allocation_warm, solve_proteus, Allocation,
     AllocatorInputs,
 };
 use crate::config::SystemConfig;
@@ -106,27 +109,46 @@ pub enum ControlDirective {
 
 /// One allocation-planning strategy: demand and constraints in, a
 /// [`ControlDirective`] out. Implementations wrap the solver entry points
-/// ([`solve_milp_allocation`], [`solve_exhaustive`], [`solve_proteus`]) and
+/// ([`solve_milp_allocation_warm`], [`solve_exhaustive`], [`solve_proteus`]) and
 /// fall back to [`overload_fallback`] when the problem is infeasible, so
 /// callers never handle `None`.
 pub trait AllocPlanner: std::fmt::Debug + Send {
-    /// Plans one allocation from the tick's solver inputs.
-    fn plan(&self, inputs: &AllocatorInputs<'_>) -> ControlDirective;
+    /// Plans one allocation from the tick's solver inputs. Takes `&mut
+    /// self` so implementations can carry solver state between ticks (the
+    /// MILP planner warm-starts each solve from the previous optimum).
+    fn plan(&mut self, inputs: &AllocatorInputs<'_>) -> ControlDirective;
 }
 
 /// The cascade planner (DiffServe and DiffServe-Static): maximizes the
 /// confidence threshold via the configured solver, degrading to the
 /// overload fallback when infeasible.
-#[derive(Debug, Clone, Copy)]
+///
+/// The MILP backend keeps a [`WarmStart`] handle across ticks: the demand
+/// estimate moves slowly between control intervals, so the previous tick's
+/// optimum usually proves the next solve at the root relaxation. The
+/// allocator's uniqueness penalties guarantee the warm-started plan is
+/// identical to a cold solve's.
+#[derive(Debug, Clone)]
 pub struct CascadePlanner {
     /// Which solver implementation to invoke.
     pub backend: AllocatorBackend,
+    warm: WarmStart,
+}
+
+impl CascadePlanner {
+    /// A planner with cold solver state.
+    pub fn new(backend: AllocatorBackend) -> Self {
+        CascadePlanner {
+            backend,
+            warm: WarmStart::new(),
+        }
+    }
 }
 
 impl AllocPlanner for CascadePlanner {
-    fn plan(&self, inputs: &AllocatorInputs<'_>) -> ControlDirective {
+    fn plan(&mut self, inputs: &AllocatorInputs<'_>) -> ControlDirective {
         let solved = match self.backend {
-            AllocatorBackend::Milp => solve_milp_allocation(inputs),
+            AllocatorBackend::Milp => solve_milp_allocation_warm(inputs, &mut self.warm),
             AllocatorBackend::Exhaustive => solve_exhaustive(inputs),
         };
         ControlDirective::Apply(solved.unwrap_or_else(|| overload_fallback(inputs)))
@@ -139,7 +161,7 @@ impl AllocPlanner for CascadePlanner {
 pub struct ProteusPlanner;
 
 impl AllocPlanner for ProteusPlanner {
-    fn plan(&self, inputs: &AllocatorInputs<'_>) -> ControlDirective {
+    fn plan(&mut self, inputs: &AllocatorInputs<'_>) -> ControlDirective {
         match solve_proteus(inputs) {
             Some((allocation, heavy_fraction)) => ControlDirective::ApplyProteus {
                 allocation,
@@ -235,9 +257,7 @@ impl ControlLoop {
     ) -> Self {
         let planner: Box<dyn AllocPlanner> = match settings.policy {
             Policy::Proteus => Box::new(ProteusPlanner),
-            _ => Box::new(CascadePlanner {
-                backend: settings.backend,
-            }),
+            _ => Box::new(CascadePlanner::new(settings.backend)),
         };
         let demand = DemandEstimator::new(config.ewma_alpha, config.over_provision);
         let profile = ProfileEstimator::from_config(&config);
@@ -286,13 +306,12 @@ impl ControlLoop {
                 // Provisioned for the anticipated peak and never re-solved
                 // (§4.1: "provisioned to accommodate maximum anticipated
                 // demand").
-                let inputs =
-                    self.allocator_inputs(peak_demand, 0.0, 0.0, &thresholds, &batches, workers);
-                self.planner.plan(&inputs)
+                let slo = self.config.slo.as_secs_f64();
+                self.plan_allocation(peak_demand, 0.0, 0.0, slo, &thresholds, &batches, workers)
             }
             Policy::DiffServe | Policy::Proteus => {
-                let inputs = self.allocator_inputs(1.0, 0.0, 0.0, &thresholds, &batches, workers);
-                self.planner.plan(&inputs)
+                let slo = self.config.slo.as_secs_f64();
+                self.plan_allocation(1.0, 0.0, 0.0, slo, &thresholds, &batches, workers)
             }
         }
     }
@@ -371,25 +390,27 @@ impl ControlLoop {
         };
         let planned_demand = demand / capacity_scale;
 
-        let mut inputs = self.allocator_inputs(
+        let aimd_cascade = self.settings.policy == Policy::DiffServe
+            && self.settings.knobs.batch_policy == BatchPolicy::Aimd;
+        // AIMD owns latency reactively (halve on timeout); the planner
+        // only sizes throughput at the current AIMD operating points.
+        // This is the paper's ablation: the latency constraint leaves
+        // the optimization and SLO violations become the (lagging)
+        // control signal.
+        let slo = if aimd_cascade {
+            f64::INFINITY
+        } else {
+            self.config.slo.as_secs_f64()
+        };
+        let mut directive = self.plan_allocation(
             planned_demand,
             q1,
             q2,
+            slo,
             &thresholds,
             &batches,
             obs.alive_workers,
         );
-        let aimd_cascade = self.settings.policy == Policy::DiffServe
-            && self.settings.knobs.batch_policy == BatchPolicy::Aimd;
-        if aimd_cascade {
-            // AIMD owns latency reactively (halve on timeout); the planner
-            // only sizes throughput at the current AIMD operating points.
-            // This is the paper's ablation: the latency constraint leaves
-            // the optimization and SLO violations become the (lagging)
-            // control signal.
-            inputs.slo = f64::INFINITY;
-        }
-        let mut directive = self.planner.plan(&inputs);
         if aimd_cascade {
             if let ControlDirective::Apply(alloc) = &mut directive {
                 alloc.light_batch = self.aimd_light_batch;
@@ -489,22 +510,28 @@ impl ControlLoop {
         }
     }
 
-    fn allocator_inputs<'b>(
-        &'b self,
+    /// Builds the tick's solver inputs and runs the planner over them in
+    /// one step: the inputs borrow the profile state while the planner
+    /// mutates its own (warm-start) state, which the borrow checker only
+    /// admits when both happen against disjoint fields in a single method.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_allocation(
+        &mut self,
         demand: f64,
         queue_delay_light: f64,
         queue_delay_heavy: f64,
-        thresholds: &'b [f64],
-        batch_sizes: &'b [usize],
+        slo: f64,
+        thresholds: &[f64],
+        batch_sizes: &[usize],
         total_workers: usize,
-    ) -> AllocatorInputs<'b> {
-        AllocatorInputs {
+    ) -> ControlDirective {
+        let inputs = AllocatorInputs {
             demand_qps: demand,
             queue_delay_light,
             queue_delay_heavy,
-            slo: self.config.slo.as_secs_f64(),
+            slo,
             total_workers,
-            deferral: self.effective_profile(),
+            deferral: self.profile.online_profile().unwrap_or(&self.offline),
             light: self.light,
             heavy: self.heavy,
             discriminator_latency: if self.settings.policy.uses_cascade() {
@@ -514,7 +541,8 @@ impl ControlLoop {
             },
             batch_sizes,
             thresholds,
-        }
+        };
+        self.planner.plan(&inputs)
     }
 }
 
@@ -688,7 +716,7 @@ mod tests {
             thresholds: &thresholds,
         };
         for backend in [AllocatorBackend::Exhaustive, AllocatorBackend::Milp] {
-            match (CascadePlanner { backend }).plan(&inputs) {
+            match CascadePlanner::new(backend).plan(&inputs) {
                 ControlDirective::Apply(a) => {
                     assert!(!a.feasible, "{backend:?} must fall back");
                     assert_eq!(a.threshold, 0.0);

@@ -74,14 +74,15 @@ pub mod serve;
 pub mod sim;
 
 pub use allocator::{
-    overload_fallback, solve_exhaustive, solve_milp_allocation, solve_proteus, Allocation,
-    AllocatorInputs,
+    overload_fallback, solve_exhaustive, solve_milp_allocation, solve_milp_allocation_warm,
+    solve_proteus, Allocation, AllocatorInputs,
 };
 pub use config::{ConfigError, SystemConfig};
 pub use control::{
     AllocPlanner, CascadePlanner, ControlDirective, ControlLoop, ControlObservation, PlanActuator,
     ProfileEstimator, ProteusPlanner,
 };
+pub use diffserve_milp::WarmStart;
 pub use hetero::{solve_heterogeneous, HeteroAllocation, HeteroInputs, WorkerClass};
 pub use policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
 pub use query::{CompletedResponse, ModelTier, Query, QueryId, WorkerHealth};

@@ -95,6 +95,14 @@ pub struct AblationKnobs {
     /// the planner sees effective throughput and sheds deferrals instead
     /// of deadlines under a brownout.
     pub nameplate_capacity: bool,
+    /// Route by raw queue depth, ignoring [`WorkerHealth::speed_factor`] —
+    /// the health-blind JSQ this codebase shipped before routing learned to
+    /// weigh a degraded worker's queue slots by its slowdown. `false` = the
+    /// fixed design (effective-load JSQ). Kept as an ablation so regression
+    /// tests can demonstrate the brownout SLO gap.
+    ///
+    /// [`WorkerHealth::speed_factor`]: crate::query::WorkerHealth::speed_factor
+    pub health_blind_routing: bool,
 }
 
 impl Default for AblationKnobs {
@@ -104,6 +112,7 @@ impl Default for AblationKnobs {
             queue_model: QueueModel::LittlesLaw,
             batch_policy: BatchPolicy::Milp,
             nameplate_capacity: false,
+            health_blind_routing: false,
         }
     }
 }
@@ -138,6 +147,15 @@ impl AblationKnobs {
     pub fn nameplate() -> Self {
         AblationKnobs {
             nameplate_capacity: true,
+            ..Default::default()
+        }
+    }
+
+    /// The health-blind routing ablation: JSQ over raw queue depth, as
+    /// shipped before the router weighed load by worker slowdown.
+    pub fn health_blind() -> Self {
+        AblationKnobs {
+            health_blind_routing: true,
             ..Default::default()
         }
     }

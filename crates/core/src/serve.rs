@@ -63,7 +63,7 @@
 //! ```
 
 use diffserve_imagegen::Prompt;
-use diffserve_metrics::GaussianStats;
+use diffserve_metrics::{GaussianStats, RollingFid};
 use diffserve_simkit::rng::{derive_seed, seeded_rng};
 use diffserve_simkit::time::SimTime;
 use diffserve_trace::{poisson_arrivals, Scenario, ScenarioError, ScenarioEvent, Trace};
@@ -81,6 +81,10 @@ pub(crate) const ARRIVAL_SEED_STREAM: u64 = 0xA881;
 
 /// Number of most-recent responses the rolling FID estimate is fit on.
 const FID_ESTIMATE_TAIL: usize = 256;
+
+/// Ridge added to the rolling window's covariance diagonal; matches the
+/// regularization the windowed-FID report series uses for small windows.
+const FID_ESTIMATE_RIDGE: f64 = 1e-3;
 
 /// Which execution engine a [`SessionBuilder`] should construct.
 ///
@@ -256,9 +260,22 @@ impl SessionSnapshot {
 /// Rolling FID estimate for snapshots: a Gaussian fit over the most recent
 /// completions only, so the cost per tap stays bounded no matter how long
 /// the session runs. `NaN` with fewer than two responses.
+///
+/// This is the batch reference computation; the engines themselves
+/// maintain a [`session_rolling_fid`] estimator so each completion costs
+/// `O(d²)` instead of refitting the whole tail at every snapshot tap.
 pub fn rolling_fid_estimate(responses: &[CompletedResponse], reference: &GaussianStats) -> f64 {
     let tail = &responses[responses.len().saturating_sub(FID_ESTIMATE_TAIL)..];
-    fid_of_responses(tail, reference, 1e-3)
+    fid_of_responses(tail, reference, FID_ESTIMATE_RIDGE)
+}
+
+/// The incremental rolling-FID estimator every backend keeps for its
+/// snapshots, configured identically to [`rolling_fid_estimate`]: a
+/// 256-response window with the same covariance ridge. Backends push each
+/// completion's features as they record it and read
+/// [`RollingFid::estimate`] at snapshot time.
+pub fn session_rolling_fid(reference: &GaussianStats) -> RollingFid {
+    RollingFid::new(reference.clone(), FID_ESTIMATE_TAIL, FID_ESTIMATE_RIDGE)
 }
 
 /// The outcome-draining protocol shared by every backend: clone the

@@ -24,10 +24,10 @@
 //! the report's incident log, and replaying the log reproduces the run
 //! bit-exactly.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use diffserve_imagegen::{GeneratedImage, Prompt};
-use diffserve_metrics::{SloTracker, WindowedSeries};
+use diffserve_metrics::{RollingFid, SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
 use diffserve_trace::{
     CapacityEvent, FleetHealth, HazardProcess, Incident, IncidentLog, Scenario, ScenarioError,
@@ -43,7 +43,7 @@ use crate::query::{CompletedResponse, ModelTier, QueryId, WorkerHealth};
 use crate::report::RunReport;
 use crate::runtime::CascadeRuntime;
 use crate::serve::{
-    rolling_fid_estimate, QueryOutcome, QuerySpec, QueryTicket, ServingBackend, ServingSession,
+    session_rolling_fid, QueryOutcome, QuerySpec, QueryTicket, ServingBackend, ServingSession,
     SessionSnapshot, SessionSpec,
 };
 
@@ -164,6 +164,120 @@ impl Worker {
     fn load(&self) -> usize {
         self.queue.len() + self.in_flight.len()
     }
+
+    /// The router's ETA estimate for an arriving query: current load plus
+    /// the query itself, weighted by the health slowdown. Counting the
+    /// arrival matters — a straggler with an empty queue would otherwise
+    /// score `0 × slowdown = 0`, indistinguishable from an idle healthy
+    /// worker. On a healthy fleet `(load + 1) × 1.0` ranks workers exactly
+    /// like raw `load` (both integer-valued), so healthy routing is
+    /// unchanged.
+    fn effective_load(&self) -> f64 {
+        (self.load() + 1) as f64 * self.health.slowdown()
+    }
+}
+
+/// Slot of a tier in the index's fixed two-tier arrays.
+fn tier_slot(tier: ModelTier) -> usize {
+    match tier {
+        ModelTier::Light => 0,
+        ModelTier::Heavy => 1,
+    }
+}
+
+/// Routing key: a worker's routing load as orderable bits. The router only
+/// produces non-negative finite loads, and for those IEEE-754 bit patterns
+/// order exactly like the values — so a `u64` key ranks workers identically
+/// to comparing the floats.
+fn load_key(load: f64) -> u64 {
+    debug_assert!(load.is_finite() && load >= 0.0, "routing loads are finite");
+    load.to_bits()
+}
+
+/// Which routing pool an alive worker belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoutePool {
+    /// Hosting a tier and not switching away: the router's first choice.
+    Primary(usize),
+    /// Mid-switch toward a tier: eligible once the tier has no primaries.
+    PendingTo(usize),
+}
+
+/// Per-tier sorted load index over the alive fleet.
+///
+/// Replaces the router's linear scans: every alive worker sits in exactly
+/// one pool (primary or pending, per tier) and in the global alive set,
+/// keyed by `(routing load, worker index)`. `BTreeSet` minima then answer
+/// "least-loaded worker of this tier" in `O(log n)` instead of `O(n)`,
+/// and the `(key, index)` ordering reproduces the scan's `(load, index)`
+/// tie-break bit-for-bit. Debug builds assert that agreement on every
+/// routing decision (see `ServingSim::scan_route`).
+#[derive(Debug, Clone, Default)]
+struct LoadIndex {
+    primary: [BTreeSet<(u64, usize)>; 2],
+    pending_to: [BTreeSet<(u64, usize)>; 2],
+    alive: BTreeSet<(u64, usize)>,
+    /// Back-reference per worker: its pool and key, `None` while failed.
+    slot: Vec<Option<(RoutePool, u64)>>,
+}
+
+impl LoadIndex {
+    fn new(n: usize) -> Self {
+        LoadIndex {
+            slot: vec![None; n],
+            ..Default::default()
+        }
+    }
+
+    fn remove(&mut self, idx: usize) {
+        if let Some((pool, key)) = self.slot[idx].take() {
+            let set = match pool {
+                RoutePool::Primary(t) => &mut self.primary[t],
+                RoutePool::PendingTo(t) => &mut self.pending_to[t],
+            };
+            set.remove(&(key, idx));
+            self.alive.remove(&(key, idx));
+        }
+    }
+
+    fn insert(&mut self, idx: usize, pool: RoutePool, key: u64) {
+        self.remove(idx);
+        let set = match pool {
+            RoutePool::Primary(t) => &mut self.primary[t],
+            RoutePool::PendingTo(t) => &mut self.pending_to[t],
+        };
+        set.insert((key, idx));
+        self.alive.insert((key, idx));
+        self.slot[idx] = Some((pool, key));
+    }
+
+    fn min_primary(&self, tier: usize) -> Option<usize> {
+        self.primary[tier].iter().next().map(|&(_, i)| i)
+    }
+
+    fn min_pending_to(&self, tier: usize) -> Option<usize> {
+        self.pending_to[tier].iter().next().map(|&(_, i)| i)
+    }
+
+    fn min_alive(&self) -> Option<usize> {
+        self.alive.iter().next().map(|&(_, i)| i)
+    }
+
+    fn alive_len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Alive workers whose target tier is `tier` (primaries plus workers
+    /// switching toward it).
+    fn tier_len(&self, tier: usize) -> usize {
+        self.primary[tier].len() + self.pending_to[tier].len()
+    }
+
+    /// Appends the indices of every alive worker targeting `tier`.
+    fn tier_members(&self, tier: usize, out: &mut Vec<usize>) {
+        out.extend(self.primary[tier].iter().map(|&(_, i)| i));
+        out.extend(self.pending_to[tier].iter().map(|&(_, i)| i));
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -186,6 +300,9 @@ struct ServingSim<'a> {
     /// [`ControlObservation`]s and actuates the returned directives.
     control: ControlLoop,
     workers: Vec<Worker>,
+    /// Per-tier sorted load index over `workers`; kept in sync by
+    /// [`Self::refresh_index`] after every load/health/tier mutation.
+    index: LoadIndex,
     queries: Vec<QueryRec>,
     threshold: f64,
     proteus_heavy_fraction: f64,
@@ -204,6 +321,9 @@ struct ServingSim<'a> {
     // Metrics.
     slo: SloTracker,
     responses: Vec<CompletedResponse>,
+    /// Incremental windowed FID over the most recent completions, read at
+    /// every snapshot tap.
+    rolling_fid: RollingFid,
     arrivals_since_tick: u64,
     heavy_arrivals_since_tick: u64,
     violations_since_tick_light: u64,
@@ -217,6 +337,16 @@ struct ServingSim<'a> {
     total_arrivals: u64,
     /// Drops recorded since the last poll: `(id, arrival, dropped_at)`.
     drop_log: Vec<(QueryId, SimTime, SimTime)>,
+    // Reused scratch buffers — dispatch and churn paths run at event rate,
+    // so they must not allocate per event.
+    /// Holds a completed batch while its queries are scored and routed.
+    batch_scratch: Vec<u64>,
+    /// Holds orphaned queries while a failed fleet slice is re-routed.
+    orphan_scratch: Vec<(ModelTier, u64)>,
+    /// Holds donor-tier candidate indices during allocation switches.
+    victim_scratch: Vec<usize>,
+    /// Holds a switching worker's queue while it is re-routed.
+    requeue_scratch: Vec<u64>,
 }
 
 impl<'a> ServingSim<'a> {
@@ -249,6 +379,7 @@ impl<'a> ServingSim<'a> {
             })
             .collect();
         let mut sim = ServingSim {
+            index: LoadIndex::new(config.num_workers),
             workers,
             queries: Vec::new(),
             threshold: 0.5,
@@ -260,6 +391,7 @@ impl<'a> ServingSim<'a> {
             incident_log: Vec::new(),
             slo: SloTracker::new(config.slo),
             responses: Vec::new(),
+            rolling_fid: session_rolling_fid(&runtime.reference),
             arrivals_since_tick: 0,
             heavy_arrivals_since_tick: 0,
             violations_since_tick_light: 0,
@@ -270,13 +402,37 @@ impl<'a> ServingSim<'a> {
             rng: seeded_rng(derive_seed(config.seed, 0x51A7)),
             total_arrivals: 0,
             drop_log: Vec::new(),
+            batch_scratch: Vec::new(),
+            orphan_scratch: Vec::new(),
+            victim_scratch: Vec::new(),
+            requeue_scratch: Vec::new(),
             config,
             settings,
             runtime,
             control,
         };
+        for i in 0..sim.workers.len() {
+            sim.refresh_index(i);
+        }
         sim.bootstrap_allocation();
         sim
+    }
+
+    /// Re-derives worker `idx`'s load-index entry from its live state.
+    /// Must run after any mutation of the worker's failure flag, tier or
+    /// pending assignment, health, or load (queue / in-flight length).
+    fn refresh_index(&mut self, idx: usize) {
+        let w = &self.workers[idx];
+        if w.failed {
+            self.index.remove(idx);
+            return;
+        }
+        let key = load_key(self.routing_load(idx));
+        let pool = match self.workers[idx].pending_tier {
+            Some(t) => RoutePool::PendingTo(tier_slot(t)),
+            None => RoutePool::Primary(tier_slot(self.workers[idx].tier)),
+        };
+        self.index.insert(idx, pool, key);
     }
 
     /// Registers a query for arrival at `at`; its record is indexed by the
@@ -349,16 +505,26 @@ impl<'a> ServingSim<'a> {
         }
     }
 
-    /// Workers currently alive (not fail-stopped).
+    /// Workers currently alive (not fail-stopped), answered by the load
+    /// index in `O(1)`.
     fn alive_count(&self) -> usize {
-        self.workers.iter().filter(|w| !w.failed).count()
+        let n = self.index.alive_len();
+        debug_assert_eq!(n, self.workers.iter().filter(|w| !w.failed).count());
+        n
     }
 
-    /// Whether any alive worker hosts (or is switching to) the heavy model.
+    /// Whether any alive worker hosts (or is switching to) the heavy model,
+    /// answered by the load index in `O(1)` — this runs on every cascade
+    /// completion, where a fleet scan would dominate at large worker counts.
     fn has_alive_heavy(&self) -> bool {
-        self.workers
-            .iter()
-            .any(|w| !w.failed && w.target_tier() == ModelTier::Heavy)
+        let v = self.index.tier_len(tier_slot(ModelTier::Heavy)) > 0;
+        debug_assert_eq!(
+            v,
+            self.workers
+                .iter()
+                .any(|w| !w.failed && w.target_tier() == ModelTier::Heavy)
+        );
+        v
     }
 
     /// Applies an allocation immediately (bootstrap: no switch delay).
@@ -387,6 +553,9 @@ impl<'a> ServingSim<'a> {
             };
             pos += 1;
         }
+        for i in 0..self.workers.len() {
+            self.refresh_index(i);
+        }
     }
 
     /// Applies an allocation at runtime: batch sizes update immediately,
@@ -413,11 +582,14 @@ impl<'a> ServingSim<'a> {
             w.batch_max = b.max(1);
         }
 
-        let current_light = self
-            .workers
-            .iter()
-            .filter(|w| !w.failed && w.target_tier() == ModelTier::Light)
-            .count();
+        let current_light = self.index.tier_len(tier_slot(ModelTier::Light));
+        debug_assert_eq!(
+            current_light,
+            self.workers
+                .iter()
+                .filter(|w| !w.failed && w.target_tier() == ModelTier::Light)
+                .count()
+        );
 
         let (from, to, count) = if current_light > target_light {
             (
@@ -435,28 +607,40 @@ impl<'a> ServingSim<'a> {
         if count == 0 {
             return;
         }
-        // Switch the least-loaded workers of the donor tier.
-        let mut candidates: Vec<usize> = (0..self.workers.len())
-            .filter(|&i| !self.workers[i].failed && self.workers[i].target_tier() == from)
-            .collect();
-        candidates.sort_by_key(|&i| self.workers[i].load());
-        let switching: Vec<usize> = candidates.into_iter().take(count).collect();
+        // Switch the least-loaded workers of the donor tier. The index
+        // already holds the tier's membership, so only tier-sized work is
+        // done here instead of a full-fleet scan; the explicit `(load,
+        // index)` sort key reproduces the historical stable-sort order.
+        let mut candidates = std::mem::take(&mut self.victim_scratch);
+        candidates.clear();
+        self.index.tier_members(tier_slot(from), &mut candidates);
+        candidates.sort_unstable_by_key(|&i| (self.workers[i].load(), i));
+        candidates.truncate(count);
 
-        for idx in switching {
+        for &idx in &candidates {
             // Re-route queued queries: they were bound for the donor tier.
-            let orphans: Vec<u64> = self.workers[idx].queue.drain(..).collect();
+            let mut orphans = std::mem::take(&mut self.requeue_scratch);
+            orphans.clear();
+            orphans.extend(self.workers[idx].queue.drain(..));
             self.workers[idx].pending_tier = Some(to);
             self.workers[idx].batch_max = match to {
                 ModelTier::Light => alloc.light_batch.max(1),
                 ModelTier::Heavy => alloc.heavy_batch.max(1),
             };
-            for q in orphans {
+            // The worker must leave the donor pool before its queue is
+            // re-routed, or the router could hand the orphans right back.
+            self.refresh_index(idx);
+            for &q in &orphans {
                 self.route_to_tier(from, q, now, queue);
             }
+            orphans.clear();
+            self.requeue_scratch = orphans;
             if !self.workers[idx].busy {
                 self.begin_switch(idx, now, queue);
             }
         }
+        candidates.clear();
+        self.victim_scratch = candidates;
     }
 
     fn begin_switch(&mut self, idx: usize, now: SimTime, queue: &mut EventQueue<Event>) {
@@ -472,9 +656,33 @@ impl<'a> ServingSim<'a> {
         );
     }
 
-    /// Join-shortest-queue routing to the pool of a tier. Prefers alive
-    /// workers already running the tier; falls back to ones switching toward
-    /// it, then to any alive worker.
+    /// The load the router ranks worker `i` by: effective (health-weighted)
+    /// load, or raw queue depth under the health-blind routing ablation.
+    fn routing_load(&self, i: usize) -> f64 {
+        if self.settings.knobs.health_blind_routing {
+            self.workers[i].load() as f64
+        } else {
+            self.workers[i].effective_load()
+        }
+    }
+
+    /// Health-weighted join-shortest-queue routing to the pool of a tier.
+    /// Prefers alive workers already running the tier; falls back to ones
+    /// switching toward it, then to any alive worker.
+    ///
+    /// Each candidate is ranked by *effective* load — see
+    /// [`Worker::effective_load`] — so a 2×-degraded worker's queue slots
+    /// cost twice a healthy one's. Health-blind JSQ (plain `load`) keeps
+    /// feeding stragglers as if they drained at nameplate speed, which is
+    /// exactly where SLO violations concentrate under brownout. On a fully
+    /// healthy fleet the effective load ranks workers exactly like the raw
+    /// integer load, and the index tie-break preserves the historical pick,
+    /// so healthy runs are bit-identical to the old routing.
+    /// The candidate ladder is answered by the per-tier load index in
+    /// `O(log n)`: tier primaries first, then workers switching toward the
+    /// tier, then any alive worker — each pool pre-sorted by `(routing
+    /// load, index)`, the exact ranking the old linear scan computed.
+    /// Debug builds re-run the scan and assert the index agrees.
     fn route_to_tier(
         &mut self,
         tier: ModelTier,
@@ -482,17 +690,43 @@ impl<'a> ServingSim<'a> {
         now: SimTime,
         queue: &mut EventQueue<Event>,
     ) {
-        let pick = |sim: &ServingSim<'_>, pred: &dyn Fn(&Worker) -> bool| -> Option<usize> {
-            (0..sim.workers.len())
-                .filter(|&i| !sim.workers[i].failed && pred(&sim.workers[i]))
-                .min_by_key(|&i| (sim.workers[i].load(), i))
-        };
-        let chosen = pick(self, &|w| w.tier == tier && w.pending_tier.is_none())
-            .or_else(|| pick(self, &|w| w.target_tier() == tier))
-            .or_else(|| pick(self, &|_| true))
+        let t = tier_slot(tier);
+        let chosen = self
+            .index
+            .min_primary(t)
+            .or_else(|| self.index.min_pending_to(t))
+            .or_else(|| self.index.min_alive())
             .expect("scenario validation keeps at least one worker alive");
+        #[cfg(debug_assertions)]
+        assert_eq!(
+            Some(chosen),
+            self.scan_route(tier),
+            "per-tier load index diverged from the linear routing scan"
+        );
         self.workers[chosen].queue.push_back(qidx);
+        self.refresh_index(chosen);
         self.try_start(chosen, now, queue);
+    }
+
+    /// The linear three-stage scan the load index replaced — kept as a
+    /// debug-build cross-check so a missed [`Self::refresh_index`] call
+    /// fails loudly in tests instead of silently diverging.
+    #[cfg(debug_assertions)]
+    fn scan_route(&self, tier: ModelTier) -> Option<usize> {
+        let pick = |pred: &dyn Fn(&Worker) -> bool| -> Option<usize> {
+            (0..self.workers.len())
+                .filter(|&i| !self.workers[i].failed && pred(&self.workers[i]))
+                .min_by(|&a, &b| {
+                    let ea = self.routing_load(a);
+                    let eb = self.routing_load(b);
+                    ea.partial_cmp(&eb)
+                        .expect("routing loads are finite")
+                        .then(a.cmp(&b))
+                })
+        };
+        pick(&|w| w.tier == tier && w.pending_tier.is_none())
+            .or_else(|| pick(&|w| w.target_tier() == tier))
+            .or_else(|| pick(&|_| true))
     }
 
     fn try_start(&mut self, idx: usize, now: SimTime, queue: &mut EventQueue<Event>) {
@@ -533,14 +767,20 @@ impl<'a> ServingSim<'a> {
                 }
             }
         }
+        // Dropped-front pops changed the load; moving queue entries into
+        // the in-flight buffer below does not (both count toward it).
+        self.refresh_index(idx);
         if self.workers[idx].queue.is_empty() {
             return;
         }
-        let take = self.workers[idx].queue.len().min(bmax);
-        let batch: Vec<u64> = self.workers[idx].queue.drain(..take).collect();
-        let dur = SimDuration::from_secs_f64(self.stage_latency(tier, batch.len()) * slowdown);
+        let w = &mut self.workers[idx];
+        let take = w.queue.len().min(bmax);
+        debug_assert!(w.in_flight.is_empty(), "dispatch on a busy worker");
+        // Move the batch into the worker's reusable in-flight buffer —
+        // dispatch runs at event rate and must not allocate.
+        w.in_flight.extend(w.queue.drain(..take));
+        let dur = SimDuration::from_secs_f64(self.stage_latency(tier, take) * slowdown);
         self.workers[idx].busy = true;
-        self.workers[idx].in_flight = batch;
         queue.push(
             now + dur,
             Event::BatchDone {
@@ -567,6 +807,7 @@ impl<'a> ServingSim<'a> {
                 ModelTier::Heavy => self.violations_since_tick_heavy += 1,
             }
         }
+        self.rolling_fid.push(&image.features);
         self.responses.push(CompletedResponse {
             id: QueryId(qidx),
             arrival: rec.arrival,
@@ -627,17 +868,27 @@ impl<'a> ServingSim<'a> {
             return;
         }
         self.workers[idx].busy = false;
-        let batch = std::mem::take(&mut self.workers[idx].in_flight);
+        // Swap the finished batch into the reusable scratch buffer (the
+        // worker gets the previously-cleared one back) — no allocation at
+        // completion rate.
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        debug_assert!(batch.is_empty());
+        std::mem::swap(&mut batch, &mut self.workers[idx].in_flight);
         if batch.is_empty() {
+            self.batch_scratch = batch;
             // Model switch finished.
             if let Some(t) = self.workers[idx].pending_tier.take() {
                 self.workers[idx].tier = t;
             }
+            self.refresh_index(idx);
             self.try_start(idx, now, queue);
             return;
         }
         let tier = self.workers[idx].tier;
-        for qidx in batch {
+        // The emptied in-flight buffer lowered this worker's load; the
+        // index must see that before any escalation below routes.
+        self.refresh_index(idx);
+        for &qidx in &batch {
             let prompt = self.served_prompt(qidx);
             match tier {
                 ModelTier::Light => {
@@ -666,6 +917,8 @@ impl<'a> ServingSim<'a> {
                 }
             }
         }
+        batch.clear();
+        self.batch_scratch = batch;
         self.try_start(idx, now, queue);
     }
 
@@ -676,7 +929,7 @@ impl<'a> ServingSim<'a> {
     /// completions are fenced off by the epoch bump. Returns how many
     /// workers actually failed.
     fn handle_fail(&mut self, count: usize, now: SimTime, queue: &mut EventQueue<Event>) -> usize {
-        let alive = self.workers.iter().filter(|w| !w.failed).count();
+        let alive = self.alive_count();
         let allowed = count.min(alive.saturating_sub(2));
         let victims: Vec<usize> = (0..self.workers.len())
             .rev()
@@ -684,7 +937,8 @@ impl<'a> ServingSim<'a> {
             .take(allowed)
             .collect();
         let applied = victims.len();
-        let mut orphans: Vec<(ModelTier, u64)> = Vec::new();
+        let mut orphans = std::mem::take(&mut self.orphan_scratch);
+        orphans.clear();
         for idx in victims {
             let w = &mut self.workers[idx];
             w.failed = true;
@@ -701,12 +955,15 @@ impl<'a> ServingSim<'a> {
             for q in w.in_flight.drain(..) {
                 orphans.push((tier, q));
             }
+            self.refresh_index(idx);
         }
-        for (tier, q) in orphans {
+        for &(tier, q) in &orphans {
             if !self.queries[q as usize].finished {
                 self.route_to_tier(tier, q, now, queue);
             }
         }
+        orphans.clear();
+        self.orphan_scratch = orphans;
         applied
     }
 
@@ -731,6 +988,7 @@ impl<'a> ServingSim<'a> {
             w.busy = false;
             w.epoch += 1;
             w.pending_tier = Some(w.tier);
+            self.refresh_index(idx);
             self.begin_switch(idx, now, queue);
         }
         applied
@@ -749,6 +1007,7 @@ impl<'a> ServingSim<'a> {
         let applied = victims.len();
         for idx in victims {
             self.workers[idx].health = WorkerHealth::degraded(slowdown);
+            self.refresh_index(idx);
         }
         applied
     }
@@ -763,6 +1022,7 @@ impl<'a> ServingSim<'a> {
         let applied = returning.len();
         for idx in returning {
             self.workers[idx].health = WorkerHealth::healthy();
+            self.refresh_index(idx);
         }
         applied
     }
@@ -846,7 +1106,7 @@ impl<'a> ServingSim<'a> {
         };
         let events = hazard.step(dt, utilization, fleet);
         for event in events {
-            self.fire_event(ScenarioEvent::Capacity(event), now, queue);
+            self.fire_event(event, now, queue);
         }
         queue.push(now + interval, Event::HazardCheck);
     }
@@ -967,7 +1227,7 @@ impl<'a> ServingSim<'a> {
             } else {
                 heavy_done as f64 / self.responses.len() as f64
             },
-            fid_estimate: rolling_fid_estimate(&self.responses, &self.runtime.reference),
+            fid_estimate: self.rolling_fid.estimate(),
             deferral_gap: self.control.deferral_gap(),
         }
     }

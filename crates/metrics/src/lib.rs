@@ -13,15 +13,18 @@
 //!    including the windowed time series used in Figs. 5 and 8.
 //!
 //! [`series`] provides the generic windowed aggregation used for demand and
-//! threshold plots.
+//! threshold plots, and [`rolling`] maintains the live windowed FID estimate
+//! incrementally for per-snapshot taps.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod fid;
+pub mod rolling;
 pub mod series;
 pub mod slo;
 
 pub use fid::{fid_score, frechet_distance, FidError, GaussianStats};
+pub use rolling::RollingFid;
 pub use series::WindowedSeries;
 pub use slo::{QueryOutcome, SloTracker};

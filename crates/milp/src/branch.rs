@@ -3,7 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::problem::{Direction, Problem};
+use crate::problem::{Direction, Problem, Sense};
 use crate::simplex::{solve_lp_with_bounds, LpSolution, SolveError};
 
 /// Tolerance within which an LP value counts as integral.
@@ -40,6 +40,74 @@ pub struct MilpSolution {
     /// `true` when the search completed (solution proved optimal); `false`
     /// when the node limit stopped the search with an incumbent in hand.
     pub proved_optimal: bool,
+}
+
+/// Carry-over state for warm-starting successive related solves.
+///
+/// Controllers re-solve the same MILP shape every tick with slowly moving
+/// coefficients (the demand estimate drifts; the constraint structure is
+/// fixed), so the previous tick's optimum is usually still feasible — and
+/// very often still optimal. [`solve_milp_warm`] remembers the last
+/// solution here and seeds the next branch & bound search with it: the
+/// search starts with an incumbent in hand, pruning from the first node,
+/// and when the root relaxation already proves the remembered point
+/// optimal the solve returns after a single LP (no branching at all).
+///
+/// The handle is defensive by construction: a remembered point is
+/// re-validated against the *current* problem (dimensions, bounds,
+/// integrality, every constraint) before it is used, so a stale or
+/// mismatched hint degrades to a cold solve rather than a wrong answer.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    previous: Option<Vec<f64>>,
+}
+
+impl WarmStart {
+    /// An empty handle; the first solve through it runs cold.
+    pub fn new() -> Self {
+        WarmStart::default()
+    }
+
+    /// Forgets the remembered solution; the next solve runs cold.
+    pub fn clear(&mut self) {
+        self.previous = None;
+    }
+
+    /// Whether a previous solution is currently remembered.
+    pub fn is_primed(&self) -> bool {
+        self.previous.is_some()
+    }
+}
+
+/// Whether `values` is an integral feasible point of `problem`, usable as
+/// a seeded branch & bound incumbent. Deliberately strict: rejecting a
+/// genuinely feasible hint only costs a cold solve, while accepting an
+/// infeasible one would corrupt the search.
+fn usable_incumbent(problem: &Problem, values: &[f64]) -> bool {
+    if values.len() != problem.num_vars() {
+        return false;
+    }
+    let lower = problem.lower_bounds();
+    let upper = problem.upper_bounds();
+    for (i, &x) in values.iter().enumerate() {
+        if !x.is_finite() || x < lower[i] - INT_TOL || x > upper[i] + INT_TOL {
+            return false;
+        }
+    }
+    for v in problem.integer_vars() {
+        let x = values[v.index()];
+        if (x - x.round()).abs() > INT_TOL {
+            return false;
+        }
+    }
+    problem.constraints.iter().all(|c| {
+        let lhs: f64 = c.terms.iter().map(|(v, a)| a * values[v.index()]).sum();
+        match c.sense {
+            Sense::Le => lhs <= c.rhs + 1e-9,
+            Sense::Ge => lhs >= c.rhs - 1e-9,
+            Sense::Eq => (lhs - c.rhs).abs() <= 1e-9,
+        }
+    })
 }
 
 #[derive(Debug)]
@@ -101,6 +169,43 @@ impl Ord for Node {
 /// # Ok::<(), diffserve_milp::SolveError>(())
 /// ```
 pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<MilpSolution, SolveError> {
+    solve_seeded(problem, options, None)
+}
+
+/// [`solve_milp`] with tick-to-tick state carried in a [`WarmStart`].
+///
+/// The previous solution remembered in `warm` (if any, and if still
+/// feasible for `problem`) seeds the branch & bound incumbent; on success
+/// the new solution is remembered for the next call. A fresh or
+/// invalidated handle behaves exactly like [`solve_milp`].
+///
+/// In the steady-state case for a controller re-solving under a slowly
+/// drifting demand estimate, the remembered point is still optimal: the
+/// search then starts with the answer as its incumbent and only has to
+/// close the bound — and when the root relaxation is already tight it
+/// finishes after that single LP (`nodes == 1`).
+///
+/// # Errors
+///
+/// Exactly as [`solve_milp`]; a failed solve leaves the remembered
+/// solution untouched (it is re-validated on every call anyway).
+pub fn solve_milp_warm(
+    problem: &Problem,
+    options: &MilpOptions,
+    warm: &mut WarmStart,
+) -> Result<MilpSolution, SolveError> {
+    let result = solve_seeded(problem, options, warm.previous.as_deref());
+    if let Ok(sol) = &result {
+        warm.previous = Some(sol.values.clone());
+    }
+    result
+}
+
+fn solve_seeded(
+    problem: &Problem,
+    options: &MilpOptions,
+    hint: Option<&[f64]>,
+) -> Result<MilpSolution, SolveError> {
     let int_vars = problem.integer_vars();
     let maximize = problem.direction() == Direction::Maximize;
     let norm = |obj: f64| if maximize { obj } else { -obj };
@@ -115,7 +220,40 @@ pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<MilpSoluti
         );
     }
 
+    // Seed the incumbent from the warm-start hint when it is still an
+    // integral feasible point of *this* problem.
+    let mut incumbent: Option<MilpSolution> = hint
+        .filter(|values| usable_incumbent(problem, values))
+        .map(|values| {
+            let mut values = values.to_vec();
+            for &v in &int_vars {
+                values[v.index()] = values[v.index()].round();
+            }
+            let objective = problem
+                .objective
+                .iter()
+                .zip(&values)
+                .map(|(c, x)| c * x)
+                .sum();
+            MilpSolution {
+                objective,
+                values,
+                nodes: 0,
+                proved_optimal: false,
+            }
+        });
+
     let root_relax = solve_lp_with_bounds(problem, &root_lower, &root_upper)?;
+    if let Some(best) = &incumbent {
+        // Fast path: the root bound already proves the seeded incumbent
+        // optimal (within the gap) — no branching needed.
+        if norm(root_relax.objective) <= norm(best.objective) + options.gap {
+            let mut s = incumbent.take().expect("just matched Some");
+            s.nodes = 1;
+            s.proved_optimal = true;
+            return Ok(s);
+        }
+    }
     let mut heap = BinaryHeap::new();
     heap.push(Node {
         score: norm(root_relax.objective),
@@ -124,7 +262,6 @@ pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<MilpSoluti
         relaxation: root_relax,
     });
 
-    let mut incumbent: Option<MilpSolution> = None;
     let mut nodes = 0usize;
 
     while let Some(node) = heap.pop() {
@@ -221,6 +358,9 @@ pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<MilpSoluti
     match incumbent {
         Some(mut s) => {
             s.nodes = nodes;
+            // The heap drained, so the search is complete — relevant when a
+            // seeded incumbent (created unproven) was never displaced.
+            s.proved_optimal = true;
             Ok(s)
         }
         None => Err(SolveError::Infeasible),
@@ -379,6 +519,119 @@ mod tests {
             Ok(s) => assert!(!s.proved_optimal || s.nodes <= 3),
             Err(SolveError::IterationLimit) => {}
             Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    fn knapsack(capacity: f64) -> Problem {
+        // max 10a + 6b + 4c st 5a + 4b + 3c <= capacity, binaries.
+        let mut p = Problem::new(Direction::Maximize);
+        let a = p.add_binary("a");
+        let b = p.add_binary("b");
+        let c = p.add_binary("c");
+        p.add_constraint("w", &[(a, 5.0), (b, 4.0), (c, 3.0)], Sense::Le, capacity);
+        p.set_objective(&[(a, 10.0), (b, 6.0), (c, 4.0)]);
+        p
+    }
+
+    #[test]
+    fn warm_resolve_finishes_at_the_root() {
+        let p = knapsack(9.0);
+        let cold = solve_milp(&p, &MilpOptions::default()).unwrap();
+        let mut warm = WarmStart::new();
+        assert!(!warm.is_primed());
+        let first = solve_milp_warm(&p, &MilpOptions::default(), &mut warm).unwrap();
+        assert_eq!(first.values, cold.values);
+        assert!(warm.is_primed());
+        // Steady state: the remembered optimum short-circuits the search.
+        let second = solve_milp_warm(&p, &MilpOptions::default(), &mut warm).unwrap();
+        assert_eq!(second.values, cold.values);
+        assert!((second.objective - cold.objective).abs() < 1e-9);
+        assert_eq!(second.nodes, 1, "re-solve must stop after the root LP");
+        assert!(second.proved_optimal);
+    }
+
+    #[test]
+    fn stale_but_feasible_hint_does_not_hide_a_better_optimum() {
+        let mut warm = WarmStart::new();
+        // Capacity 9: only {a, b} fits (value 16).
+        let tight = knapsack(9.0);
+        solve_milp_warm(&tight, &MilpOptions::default(), &mut warm).unwrap();
+        // Capacity 12: everything fits; the remembered point is feasible
+        // but no longer optimal, and must not survive as the answer.
+        let loose = knapsack(12.0);
+        let s = solve_milp_warm(&loose, &MilpOptions::default(), &mut warm).unwrap();
+        assert!((s.objective - 20.0).abs() < 1e-6);
+        assert_eq!(s.values, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn infeasible_hint_degrades_to_a_cold_solve() {
+        let mut warm = WarmStart::new();
+        let loose = knapsack(12.0);
+        solve_milp_warm(&loose, &MilpOptions::default(), &mut warm).unwrap();
+        // The remembered {a, b, c} overflows capacity 9: the hint must be
+        // rejected and the solve still find the true optimum.
+        let tight = knapsack(9.0);
+        let s = solve_milp_warm(&tight, &MilpOptions::default(), &mut warm).unwrap();
+        assert!((s.objective - 16.0).abs() < 1e-6);
+        assert_eq!(s.values, vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn dimension_mismatched_hint_is_ignored() {
+        let mut warm = WarmStart::new();
+        solve_milp_warm(&knapsack(9.0), &MilpOptions::default(), &mut warm).unwrap();
+        // A two-variable problem cannot use the three-value hint.
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", VarKind::Integer, 0.0, 10.0);
+        let y = p.add_var("y", VarKind::Integer, 0.0, 10.0);
+        p.add_constraint("c", &[(x, 1.0), (y, 1.0)], Sense::Ge, 4.0);
+        p.set_objective(&[(x, 3.0), (y, 5.0)]);
+        let s = solve_milp_warm(&p, &MilpOptions::default(), &mut warm).unwrap();
+        assert_eq!(s.objective, 12.0);
+        // The handle now remembers the new problem's solution...
+        let again = solve_milp_warm(&p, &MilpOptions::default(), &mut warm).unwrap();
+        assert_eq!(again.nodes, 1);
+        // ...and clearing it forgets it.
+        warm.clear();
+        assert!(!warm.is_primed());
+    }
+
+    #[test]
+    fn warm_matches_cold_on_random_ips() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..5usize);
+            let mut p = Problem::new(Direction::Maximize);
+            let vars: Vec<_> = (0..n)
+                .map(|i| p.add_var(format!("x{i}"), VarKind::Integer, 0.0, 4.0))
+                .collect();
+            let terms: Vec<_> = vars
+                .iter()
+                .map(|&v| (v, rng.gen_range(0..=3) as f64))
+                .collect();
+            p.add_constraint("c", &terms, Sense::Le, rng.gen_range(1..10) as f64);
+            let obj: Vec<_> = vars
+                .iter()
+                .map(|&v| (v, rng.gen_range(-5..=5) as f64))
+                .collect();
+            p.set_objective(&obj);
+
+            let cold = solve_milp(&p, &MilpOptions::default()).expect("origin feasible");
+            // Seeding a solve with its own cold optimum must reproduce it
+            // bit for bit: the seeded incumbent prunes every alternate
+            // optimum within the gap.
+            let mut warm = WarmStart::new();
+            warm.previous = Some(cold.values.clone());
+            let seeded = solve_milp_warm(&p, &MilpOptions::default(), &mut warm).unwrap();
+            assert_eq!(seeded.values, cold.values, "trial {trial}\n{p}");
+            assert!(
+                (seeded.objective - cold.objective).abs() < 1e-9,
+                "trial {trial}: {} vs {}",
+                seeded.objective,
+                cold.objective
+            );
         }
     }
 

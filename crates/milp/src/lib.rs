@@ -38,6 +38,6 @@ pub mod branch;
 pub mod problem;
 pub mod simplex;
 
-pub use branch::{solve_milp, MilpOptions, MilpSolution, INT_TOL};
+pub use branch::{solve_milp, solve_milp_warm, MilpOptions, MilpSolution, WarmStart, INT_TOL};
 pub use problem::{Direction, Problem, Sense, VarId, VarKind};
 pub use simplex::{solve_lp, solve_lp_with_bounds, LpSolution, SolveError, TOL};

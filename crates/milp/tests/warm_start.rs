@@ -1,0 +1,116 @@
+//! Warm-start parity property tests.
+//!
+//! A controller threads one [`WarmStart`] handle through a sequence of
+//! related solves whose coefficients drift tick to tick. Whatever the
+//! drift does to the previous optimum — still optimal, merely feasible,
+//! or infeasible — the warm-started answer must agree with a cold solve
+//! of the same problem.
+
+use diffserve_milp::{
+    solve_milp, solve_milp_warm, Direction, MilpOptions, Problem, Sense, VarKind, WarmStart,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// A random pure IP with fixed structure and a tick-dependent rhs: the
+/// shape a control loop re-solves under a moving demand estimate.
+struct DriftingIp {
+    n: usize,
+    constraints: Vec<(Vec<f64>, f64)>, // (coeffs ≥ 0, base rhs), all ≤
+    objective: Vec<f64>,
+}
+
+impl DriftingIp {
+    fn random(seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..5usize);
+        let m = rng.gen_range(1..4usize);
+        let constraints = (0..m)
+            .map(|_| {
+                let coeffs: Vec<f64> = (0..n).map(|_| rng.gen_range(0..=4) as f64).collect();
+                (coeffs, rng.gen_range(4..20) as f64)
+            })
+            .collect();
+        let objective = (0..n).map(|_| rng.gen_range(-4..=6) as f64).collect();
+        DriftingIp {
+            n,
+            constraints,
+            objective,
+        }
+    }
+
+    /// The problem at one tick: every rhs shifted by `drift` (never below
+    /// 0, so the origin stays feasible and the IP never turns infeasible).
+    fn at(&self, drift: f64) -> Problem {
+        let mut p = Problem::new(Direction::Maximize);
+        let vars: Vec<_> = (0..self.n)
+            .map(|i| p.add_var(format!("x{i}"), VarKind::Integer, 0.0, 6.0))
+            .collect();
+        for (c, (coeffs, rhs)) in self.constraints.iter().enumerate() {
+            let terms: Vec<_> = vars.iter().zip(coeffs).map(|(&v, &a)| (v, a)).collect();
+            p.add_constraint(format!("c{c}"), &terms, Sense::Le, (rhs + drift).max(0.0));
+        }
+        let obj: Vec<_> = vars
+            .iter()
+            .zip(&self.objective)
+            .map(|(&v, &c)| (v, c))
+            .collect();
+        p.set_objective(&obj);
+        p
+    }
+
+    fn feasible(&self, drift: f64, x: &[f64]) -> bool {
+        self.constraints.iter().all(|(coeffs, rhs)| {
+            coeffs.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() <= (rhs + drift).max(0.0) + 1e-9
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Thread one handle through a tighten-then-relax drift path; every
+    /// tick's warm answer must match the cold optimum and be feasible.
+    #[test]
+    fn warm_start_never_changes_the_optimum(seed in 0u64..5000) {
+        let ip = DriftingIp::random(seed);
+        let mut warm = WarmStart::new();
+        // Relax, hold, tighten, tighten hard, relax again: covers hints
+        // that stay optimal, stay merely feasible, and turn infeasible.
+        for drift in [0.0, 2.0, 2.0, -1.0, -6.0, 3.0] {
+            let p = ip.at(drift);
+            let cold = solve_milp(&p, &MilpOptions::default()).expect("origin feasible");
+            let warmed = solve_milp_warm(&p, &MilpOptions::default(), &mut warm)
+                .expect("origin feasible");
+            prop_assert!(
+                (warmed.objective - cold.objective).abs() < 1e-6,
+                "drift {drift}: warm {} vs cold {}\n{p}",
+                warmed.objective,
+                cold.objective
+            );
+            prop_assert!(ip.feasible(drift, &warmed.values));
+            prop_assert!(warmed.proved_optimal);
+        }
+    }
+
+    /// Re-solving an unchanged problem through a primed handle returns the
+    /// identical solution and never searches more than the cold solve did:
+    /// the seeded incumbent prunes every node the cold search pruned, plus
+    /// (when the root bound is tight) the whole tree.
+    #[test]
+    fn primed_resolve_shrinks_the_search(seed in 0u64..5000) {
+        let ip = DriftingIp::random(seed);
+        let p = ip.at(0.0);
+        let mut warm = WarmStart::new();
+        let first = solve_milp_warm(&p, &MilpOptions::default(), &mut warm).expect("feasible");
+        let second = solve_milp_warm(&p, &MilpOptions::default(), &mut warm).expect("feasible");
+        prop_assert_eq!(&second.values, &first.values);
+        prop_assert!((second.objective - first.objective).abs() < 1e-9);
+        prop_assert!(
+            second.nodes <= first.nodes,
+            "seeding the optimum must not grow the search: {} vs {}",
+            second.nodes,
+            first.nodes
+        );
+    }
+}

@@ -265,6 +265,15 @@ pub struct Hazard {
     pub min_slowdown: f64,
     /// Largest slowdown a drawn degradation applies (`>= min_slowdown`).
     pub max_slowdown: f64,
+    /// Per-second rate of a hazard-drawn *difficulty shift* (boosted by the
+    /// same `1 + load_coupling × utilization` factor as faults): a hot fleet
+    /// can see its prompt-hardness mix drift, e.g. a trending style whose
+    /// prompts defer more. A fired shift replaces the active difficulty
+    /// offset with a value drawn uniformly from
+    /// `[0, Hazard::MAX_DRAWN_DIFFICULTY]`. The default `0.0` disables the
+    /// feature *and* its RNG draws, so hazard streams recorded before this
+    /// knob existed replay bit-identically.
+    pub difficulty_coupling: f64,
 }
 
 impl Default for Hazard {
@@ -279,11 +288,17 @@ impl Default for Hazard {
             load_coupling: 4.0,
             min_slowdown: 1.5,
             max_slowdown: 3.0,
+            difficulty_coupling: 0.0,
         }
     }
 }
 
 impl Hazard {
+    /// Largest difficulty offset a hazard-drawn shift can set (the drawn
+    /// delta is uniform in `[0, MAX_DRAWN_DIFFICULTY]`, well inside the
+    /// `[-1, 1]` range [`ScenarioEvent::validate`] enforces).
+    pub const MAX_DRAWN_DIFFICULTY: f64 = 0.5;
+
     /// Checks the hazard parameters.
     ///
     /// # Errors
@@ -301,6 +316,7 @@ impl Hazard {
             self.recover_rate,
             self.restore_rate,
             self.load_coupling,
+            self.difficulty_coupling,
         ] {
             if !r.is_finite() || r < 0.0 {
                 return bad("rates and load coupling must be finite and non-negative");
@@ -368,20 +384,24 @@ impl HazardProcess {
 
     /// One hazard evaluation covering the `dt` that elapsed since the last
     /// check: draws at most one failure, one degradation, one recovery, and
-    /// one restoration. The draw count per step is fixed, so the RNG stream
-    /// is identical across runs regardless of outcomes; only the
-    /// utilization trajectory steers which events fire.
+    /// one restoration, plus — only when `difficulty_coupling > 0` — one
+    /// difficulty shift. The draw count per step depends only on the spec,
+    /// never on outcomes, so the RNG stream is identical across runs; only
+    /// the utilization trajectory steers which events fire. Specs with the
+    /// default `difficulty_coupling = 0.0` draw exactly the five uniforms
+    /// they always did, so pre-existing hazard streams are unchanged.
     ///
     /// Guards keep the drawn events always-valid: failures never shrink the
     /// pool below two alive workers (one per tier), degradations only hit
     /// healthy workers, recoveries/restorations only fire when there is
-    /// something to recover/restore.
+    /// something to recover/restore, and drawn difficulty offsets stay in
+    /// `[0, Hazard::MAX_DRAWN_DIFFICULTY]`.
     pub fn step(
         &mut self,
         dt: SimDuration,
         utilization: f64,
         fleet: FleetHealth,
-    ) -> Vec<CapacityEvent> {
+    ) -> Vec<ScenarioEvent> {
         let dt = dt.as_secs_f64();
         let boost = 1.0 + self.spec.load_coupling * utilization.clamp(0.0, 1.0);
         let p = |rate: f64| 1.0 - (-rate * dt).exp();
@@ -396,7 +416,7 @@ impl HazardProcess {
         let mut alive = fleet.alive;
         let mut degraded = fleet.degraded;
         if u_fail < p(self.spec.fail_rate * boost) && alive > 2 {
-            events.push(CapacityEvent::Fail(1));
+            events.push(ScenarioEvent::Capacity(CapacityEvent::Fail(1)));
             alive -= 1;
             // A degraded worker that dies stops counting as degraded.
             degraded = degraded.min(alive);
@@ -404,15 +424,26 @@ impl HazardProcess {
         if u_degrade < p(self.spec.degrade_rate * boost) && degraded < alive {
             let slowdown = self.spec.min_slowdown
                 + (self.spec.max_slowdown - self.spec.min_slowdown) * u_slowdown;
-            events.push(CapacityEvent::Degrade(1, slowdown));
+            events.push(ScenarioEvent::Capacity(CapacityEvent::Degrade(1, slowdown)));
         }
         if u_recover < p(self.spec.recover_rate) && fleet.failed > 0 {
-            events.push(CapacityEvent::Recover(1));
+            events.push(ScenarioEvent::Capacity(CapacityEvent::Recover(1)));
         }
         // Restoration conditions on the *pre-step* degraded count so a
         // degradation drawn this very step is not instantly undone.
         if u_restore < p(self.spec.restore_rate) && fleet.degraded.min(alive) > 0 {
-            events.push(CapacityEvent::Restore(1));
+            events.push(ScenarioEvent::Capacity(CapacityEvent::Restore(1)));
+        }
+        // Extra draws are gated on the knob so specs without it keep their
+        // exact historical streams (replay bit-exactness).
+        if self.spec.difficulty_coupling > 0.0 {
+            let u_shift: f64 = self.rng.gen_range(0.0..1.0);
+            let u_delta: f64 = self.rng.gen_range(0.0..1.0);
+            if u_shift < p(self.spec.difficulty_coupling * boost) {
+                events.push(ScenarioEvent::Difficulty(
+                    Hazard::MAX_DRAWN_DIFFICULTY * u_delta,
+                ));
+            }
         }
         events
     }
@@ -1324,8 +1355,10 @@ mod tests {
             },
         );
         assert!(
-            !ev.iter()
-                .any(|e| matches!(e, CapacityEvent::Fail(_) | CapacityEvent::Degrade(..))),
+            !ev.iter().any(|e| matches!(
+                e,
+                ScenarioEvent::Capacity(CapacityEvent::Fail(_) | CapacityEvent::Degrade(..))
+            )),
             "{ev:?}"
         );
         // Nothing failed/degraded: no recover/restore.
@@ -1339,13 +1372,98 @@ mod tests {
             },
         );
         assert!(
-            !ev.iter()
-                .any(|e| matches!(e, CapacityEvent::Recover(_) | CapacityEvent::Restore(_))),
+            !ev.iter().any(|e| matches!(
+                e,
+                ScenarioEvent::Capacity(CapacityEvent::Recover(_) | CapacityEvent::Restore(_))
+            )),
             "{ev:?}"
         );
         // Hazard checks sit at half-phase so they never collide with
         // control ticks at whole multiples of the interval.
         assert_eq!(spec.first_check(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn difficulty_coupling_draws_valid_shifts() {
+        let spec = Hazard {
+            difficulty_coupling: 1e6, // fires every step
+            ..Hazard::default()
+        };
+        let fleet = FleetHealth {
+            alive: 8,
+            failed: 0,
+            degraded: 0,
+        };
+        let mut p = HazardProcess::new(spec);
+        let mut shifts = Vec::new();
+        for _ in 0..50 {
+            for ev in p.step(SimDuration::from_secs(2), 0.5, fleet) {
+                if let ScenarioEvent::Difficulty(delta) = ev {
+                    ev.validate().expect("drawn shifts are valid events");
+                    shifts.push(delta);
+                }
+            }
+        }
+        assert!(!shifts.is_empty(), "coupling at 1e6 must fire shifts");
+        assert!(shifts
+            .iter()
+            .all(|d| (0.0..=Hazard::MAX_DRAWN_DIFFICULTY).contains(d)));
+        // The drawn offsets wander, they are not a constant.
+        assert!(shifts.iter().any(|d| (d - shifts[0]).abs() > 1e-9));
+    }
+
+    #[test]
+    fn difficulty_coupling_zero_preserves_legacy_stream() {
+        // The knob's extra draws are gated on `> 0.0`: a spec without it
+        // must replay the exact event sequence it produced before the knob
+        // existed, which the incident-replay loop depends on.
+        let legacy = Hazard {
+            seed: 7,
+            fail_rate: 0.05,
+            degrade_rate: 0.1,
+            ..Hazard::default()
+        };
+        let fleet = FleetHealth {
+            alive: 8,
+            failed: 2,
+            degraded: 1,
+        };
+        let run = |spec: Hazard| -> Vec<Vec<ScenarioEvent>> {
+            let mut p = HazardProcess::new(spec);
+            (0..100)
+                .map(|_| p.step(SimDuration::from_secs(2), 0.7, fleet))
+                .collect()
+        };
+        assert_eq!(run(legacy), run(legacy));
+        // The first step's capacity draws come from the same five leading
+        // uniforms whether or not the knob is on (the extra draws happen
+        // after them), so enabling the knob perturbs later steps only.
+        let coupled = Hazard {
+            difficulty_coupling: 0.5,
+            ..legacy
+        };
+        let first_capacity = |steps: Vec<Vec<ScenarioEvent>>| -> Vec<ScenarioEvent> {
+            steps[0]
+                .iter()
+                .filter(|e| matches!(e, ScenarioEvent::Capacity(_)))
+                .copied()
+                .collect()
+        };
+        assert_eq!(first_capacity(run(coupled)), first_capacity(run(legacy)));
+    }
+
+    #[test]
+    fn validate_rejects_bad_difficulty_coupling() {
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            let s = Scenario::new("bad", base()).with_hazard(Hazard {
+                difficulty_coupling: bad,
+                ..Hazard::default()
+            });
+            assert!(
+                matches!(s.validate(8), Err(ScenarioError::InvalidHazard { .. })),
+                "difficulty_coupling {bad} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -270,6 +270,74 @@ fn effective_capacity_beats_nameplate_under_brownout() {
     );
 }
 
+/// The health-weighted JSQ regression (sim half): under a brownout, routing
+/// that weighs queue depth by worker slowdown lands fewer SLO violations
+/// than the health-blind JSQ it replaced. Blind routing keeps feeding
+/// stragglers as if they drained at nameplate speed; their queues back up
+/// and the drop-front policy sheds exactly those queries.
+#[test]
+fn health_weighted_jsq_beats_health_blind_under_brownout_on_sim() {
+    let sys = system();
+    // Near-saturation load with half the fleet at 3x for most of the run:
+    // queues must actually build for the routing decision to matter.
+    let scenario =
+        Scenario::new("brownout", flat(9.0, 120)).worker_degrade(SimTime::from_secs(20), 4, 3.0);
+
+    let weighted = run_scenario(
+        runtime(),
+        &sys,
+        &RunSettings::new(Policy::DiffServe, 9.0),
+        &scenario,
+    );
+    let mut blind_settings = RunSettings::new(Policy::DiffServe, 9.0);
+    blind_settings.knobs = AblationKnobs::health_blind();
+    let blind = run_scenario(runtime(), &sys, &blind_settings, &scenario);
+
+    assert_eq!(
+        weighted.completed + weighted.dropped,
+        weighted.total_queries,
+        "weighted routing leaked queries"
+    );
+    assert!(
+        weighted.violation_ratio < blind.violation_ratio,
+        "health-weighted JSQ must reduce violations under brownout: weighted {} vs blind {}",
+        weighted.violation_ratio,
+        blind.violation_ratio
+    );
+}
+
+/// The health-weighted JSQ regression (cluster half): the same brownout on
+/// the thread-based testbed. Wall-clock scheduling adds noise, so the
+/// workload is chosen for a decisive effect (half the fleet at 3x under
+/// near-saturation load) rather than a fine margin.
+#[test]
+fn health_weighted_jsq_beats_health_blind_under_brownout_on_cluster() {
+    let sys = system();
+    let cfg = ClusterConfig {
+        system: sys.clone(),
+        time_scale: if cfg!(debug_assertions) { 0.05 } else { 0.01 },
+    };
+    let scenario =
+        Scenario::new("brownout", flat(6.0, 60)).worker_degrade(SimTime::from_secs(10), 4, 3.0);
+
+    let weighted = run_cluster_scenario(
+        runtime(),
+        &cfg,
+        &RunSettings::new(Policy::DiffServe, 6.0),
+        &scenario,
+    );
+    let mut blind_settings = RunSettings::new(Policy::DiffServe, 6.0);
+    blind_settings.knobs = AblationKnobs::health_blind();
+    let blind = run_cluster_scenario(runtime(), &cfg, &blind_settings, &scenario);
+
+    assert!(
+        weighted.violation_ratio < blind.violation_ratio,
+        "health-weighted JSQ must reduce violations under brownout: weighted {} vs blind {}",
+        weighted.violation_ratio,
+        blind.violation_ratio
+    );
+}
+
 /// Cluster counterpart of the record/replay loop: hazard-drawn faults land
 /// in the cluster report's incident log, and replaying the log through a
 /// fresh cluster run reproduces the run within the testbed's wall-clock

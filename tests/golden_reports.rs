@@ -1,0 +1,143 @@
+//! Golden-report fingerprints for the nine standard scenarios.
+//!
+//! The discrete-event simulator promises bit-determinism, and this PR's
+//! arena refactor of its hot paths must not move a single bit of any
+//! report. These fingerprints were captured immediately *before* the
+//! refactor (and after the health-weighted JSQ fix, which they therefore
+//! include); the tests prove every later change to the dispatch path is
+//! behavior-preserving.
+//!
+//! Regenerating (only when a PR *intends* to change simulator behavior):
+//! `cargo test --release --test golden_reports -- --ignored --nocapture`
+//! prints the current table; paste it over `EXPECTED`.
+
+use diffserve::prelude::*;
+use diffserve_simkit::time::SimDuration;
+use std::sync::OnceLock;
+
+fn runtime() -> &'static CascadeRuntime {
+    static RT: OnceLock<CascadeRuntime> = OnceLock::new();
+    RT.get_or_init(|| {
+        CascadeRuntime::prepare(
+            cascade1(FeatureSpec::default()),
+            1500,
+            2024,
+            DiscriminatorConfig {
+                train_prompts: 500,
+                epochs: 10,
+                ..Default::default()
+            },
+        )
+    })
+}
+
+fn system() -> SystemConfig {
+    SystemConfig {
+        num_workers: 8,
+        ..Default::default()
+    }
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let base = Trace::constant(6.0, SimDuration::from_secs(90)).unwrap();
+    standard_scenarios(&base, system().num_workers)
+}
+
+/// FNV-1a over every aggregate and every series of a [`RunReport`], floats
+/// by bit pattern. Two reports with equal fingerprints are (for practical
+/// purposes) bit-identical to downstream analysis.
+fn fingerprint(report: &RunReport) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    fn eat(h: &mut u64, v: u64) {
+        for b in v.to_le_bytes() {
+            *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    let mut h = OFFSET;
+    eat(&mut h, report.total_queries);
+    eat(&mut h, report.completed);
+    eat(&mut h, report.dropped);
+    eat(&mut h, report.late);
+    eat(&mut h, report.violation_ratio.to_bits());
+    eat(&mut h, report.mean_latency.to_bits());
+    eat(&mut h, report.fid.to_bits());
+    eat(&mut h, report.mean_windowed_fid.to_bits());
+    eat(&mut h, report.heavy_fraction.to_bits());
+    for series in [
+        &report.fid_series,
+        &report.violation_series,
+        &report.demand_series,
+        &report.threshold_series,
+        &report.deferral_error_series,
+    ] {
+        eat(&mut h, series.len() as u64);
+        for &(t, v) in series {
+            eat(&mut h, t.to_bits());
+            eat(&mut h, v.to_bits());
+        }
+    }
+    eat(&mut h, report.incident_log.len() as u64);
+    for incident in &report.incident_log {
+        eat(&mut h, incident.at.as_secs_f64().to_bits());
+        // Debug formatting of f64 round-trips exactly, so the encoded
+        // event is a faithful stand-in for its bits.
+        for b in format!("{:?}", incident.event).bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+fn run(scenario: &Scenario) -> RunReport {
+    let peak = scenario.effective_trace().max_qps();
+    run_scenario(
+        runtime(),
+        &system(),
+        &RunSettings::new(Policy::DiffServe, peak),
+        scenario,
+    )
+}
+
+/// Captured fingerprints, one per standard scenario, in
+/// [`standard_scenarios`] order.
+const EXPECTED: [(&str, u64); 9] = [
+    ("steady", 0xd8ed52b884601f25),
+    ("flash-crowd", 0xe76c0f0d1a9c20a0),
+    ("worker-failure", 0x9261ecf885adb356),
+    ("double-failure", 0x06f6ae7f4757288e),
+    ("cascading-failure", 0xe13991380b2bb5dd),
+    ("demand-shock", 0xbe9a6df3f0c0dee6),
+    ("hard-prompts", 0x05f52f29b6e485b5),
+    ("brownout", 0x6f7dd204e407548a),
+    ("load-correlated-cascade", 0x1ea72e005de39ea8),
+];
+
+/// Every standard scenario's report must match its pre-refactor golden
+/// fingerprint bit for bit.
+#[test]
+fn standard_scenario_reports_match_goldens() {
+    for (scenario, &(name, expected)) in scenarios().iter().zip(EXPECTED.iter()) {
+        assert_eq!(scenario.name(), name, "scenario order drifted");
+        let got = fingerprint(&run(scenario));
+        assert_eq!(
+            got, expected,
+            "{name}: report fingerprint {got:#018x} != golden {expected:#018x} — \
+             the simulator's behavior changed; if intentional, regenerate with \
+             `cargo test --release --test golden_reports -- --ignored --nocapture`"
+        );
+    }
+}
+
+/// Prints the current fingerprint table for pasting into `EXPECTED`.
+#[test]
+#[ignore = "generator, not a check — run with --ignored --nocapture"]
+fn print_current_fingerprints() {
+    for scenario in scenarios() {
+        println!(
+            "    (\"{}\", {:#018x}),",
+            scenario.name(),
+            fingerprint(&run(&scenario))
+        );
+    }
+}

@@ -63,11 +63,30 @@ impl Bencher {
     }
 }
 
+/// One completed benchmark: its id and the measured mean time per
+/// iteration.
+///
+/// Real criterion persists estimates under `target/criterion` for external
+/// tooling; the stand-in instead keeps completed measurements in memory and
+/// exposes them via [`Criterion::measurements`] so harness binaries (the
+/// `perf` baseline exporter) can serialize them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark id as passed to [`Criterion::bench_function`] (group
+    /// benchmarks are qualified as `group/id`).
+    pub id: String,
+    /// Mean wall-clock seconds per iteration.
+    pub mean_secs: f64,
+    /// Iterations the mean was taken over.
+    pub iters: u64,
+}
+
 /// Top-level benchmark registry.
 #[derive(Debug)]
 pub struct Criterion {
     target_time: Duration,
     max_iters: u64,
+    measurements: Vec<Measurement>,
 }
 
 impl Default for Criterion {
@@ -75,6 +94,7 @@ impl Default for Criterion {
         Criterion {
             target_time: Duration::from_millis(300),
             max_iters: 10_000,
+            measurements: Vec::new(),
         }
     }
 }
@@ -119,7 +139,17 @@ impl Criterion {
             mean * 1e6,
             bencher.iters
         );
+        self.measurements.push(Measurement {
+            id: id.to_string(),
+            mean_secs: mean,
+            iters: bencher.iters,
+        });
         self
+    }
+
+    /// Every benchmark completed so far, in execution order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
     }
 }
 
