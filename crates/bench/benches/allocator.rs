@@ -19,6 +19,7 @@ fn bench_allocator(c: &mut Criterion) {
         deferral: &runtime.deferral,
         light: *runtime.spec.light.latency(),
         heavy: *runtime.spec.heavy.latency(),
+        resume_heavy: None,
         discriminator_latency: 0.01,
         batch_sizes: &batches,
         thresholds: &thresholds,

@@ -1,99 +1,187 @@
-//! §5 extension experiment: three-stage cascades.
+//! Extension experiment: stage-level micro-serving.
 //!
-//! The paper sketches longer pipelines ("applying a discriminator after
-//! each model, with ... multiple confidence thresholds"). This experiment
-//! builds the SDXS → SD-Turbo → SDv1.5 pipeline and compares its
-//! quality/latency Pareto frontier against the paper's two-stage Cascade 1:
-//! the extra stage should widen the frontier at the low-latency end
-//! (cheap first-pass) without losing the quality ceiling.
+//! The paper's cascade pays the full heavy-model cost on every escalation
+//! because generation restarts from scratch. With the pipeline split into
+//! encode → denoise → decode stages, an escalated query instead *resumes*
+//! heavy-tier denoising from the light tier's latents
+//! (`SystemConfig::resume_from_latents`), serving only the residual steps.
+//!
+//! This benchmark runs the nine standard scenarios twice — restart vs
+//! resume escalation — and compares end-to-end latency, escalated (heavy)
+//! latency, GPU-time per query, FID, and SLO violations. Rows go to
+//! `results/ext_pipeline.csv` and stdout.
+//!
+//! Usage: `ext_pipeline [--smoke]`
+//!
+//! * `--smoke` — CI-sized run: reduced runtime (1.5K prompts, small
+//!   discriminator) and a shorter base trace, same scenario coverage and
+//!   the same verdict checks.
 
-use diffserve_bench::{f2, f3, prepare_runtime, write_csv, CascadeId, Table};
-use diffserve_imagegen::{evaluate_cascade, sdxs, FeatureSpec, Pipeline, RoutingRule};
+use diffserve_bench::{f3, prepare_runtime, prepare_runtime_small, write_csv, CascadeId, Table};
+use diffserve_core::{run_scenario, Policy, RunReport, RunSettings, SystemConfig};
+use diffserve_simkit::time::SimDuration;
+use diffserve_trace::{standard_scenarios, Trace};
 
 fn main() {
-    let runtime = prepare_runtime(CascadeId::One);
-    let spec = FeatureSpec::default();
-    let first_stage = sdxs(spec);
-    let pipeline = Pipeline::new(
-        vec![&first_stage, &runtime.spec.light, &runtime.spec.heavy],
-        &runtime.discriminator,
-    );
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let runtime = if smoke {
+        prepare_runtime_small(CascadeId::One)
+    } else {
+        prepare_runtime(CascadeId::One)
+    };
+    let secs = if smoke { 40 } else { 90 };
+    let system = SystemConfig {
+        num_workers: 8,
+        ..Default::default()
+    };
+    let mut resume_system = system.clone();
+    resume_system.resume_from_latents = true;
 
-    println!("== 3-stage pipeline: sdxs -> sd-turbo -> sd-v1.5 ==");
-    let grid = [0.0, 0.2, 0.4, 0.6, 0.8, 0.9];
-    let frontier = pipeline.pareto_frontier(&runtime.dataset, &grid);
-    let mut t = Table::new(&["t1", "t2", "latency_s", "fid", "stage_mix"]);
+    let base = Trace::constant(6.0, SimDuration::from_secs(secs)).expect("valid trace");
+    let scenarios = standard_scenarios(&base, system.num_workers);
+
+    println!(
+        "== stage-level serving: restart vs resume escalation ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut t = Table::new(&[
+        "scenario",
+        "mode",
+        "lat_s",
+        "heavy_lat_s",
+        "gpu_s_per_q",
+        "fid",
+        "viol",
+        "resumed",
+    ]);
     let mut rows = Vec::new();
-    for (thresholds, e) in &frontier {
-        let mix = e
-            .stage_fractions
-            .iter()
-            .map(|f| format!("{f:.2}"))
-            .collect::<Vec<_>>()
-            .join("/");
-        t.row(vec![
-            f2(thresholds[0]),
-            f2(thresholds[1]),
-            f2(e.mean_latency),
-            f2(e.fid),
-            mix.clone(),
-        ]);
-        rows.push(vec![
-            "pipeline3".into(),
-            f2(thresholds[0]),
-            f2(thresholds[1]),
-            f3(e.mean_latency),
-            f3(e.fid),
-            mix,
-        ]);
+    let mut pairs: Vec<(String, RunReport, RunReport)> = Vec::new();
+    for scenario in &scenarios {
+        let peak = scenario.effective_trace().max_qps();
+        let settings = RunSettings::new(Policy::DiffServe, peak);
+        let restart = run_scenario(&runtime, &system, &settings, scenario);
+        let resume = run_scenario(&runtime, &resume_system, &settings, scenario);
+        for (mode, r) in [("restart", &restart), ("resume", &resume)] {
+            let cells = vec![
+                scenario.name().to_string(),
+                mode.to_string(),
+                f3(r.mean_latency),
+                f3(r.mean_heavy_latency),
+                f3(r.gpu_time_per_query),
+                f3(r.fid),
+                f3(r.violation_ratio),
+                r.resumed_queries.to_string(),
+            ];
+            t.row(cells.clone());
+            rows.push(cells);
+        }
+        pairs.push((scenario.name().to_string(), restart, resume));
     }
     t.print();
 
-    println!("\n== 2-stage reference (Cascade 1 frontier) ==");
-    let rule = RoutingRule::Discriminator(&runtime.discriminator);
-    let mut t2 = Table::new(&["t", "latency_s", "fid"]);
-    let mut best2: Vec<(f64, f64)> = Vec::new();
-    for i in 0..=10 {
-        let thr = i as f64 / 10.0;
-        let e = evaluate_cascade(
-            &runtime.dataset,
-            &runtime.spec.light,
-            &runtime.spec.heavy,
-            &rule,
-            thr,
-        );
-        t2.row(vec![f2(thr), f2(e.mean_latency), f2(e.fid)]);
-        best2.push((e.mean_latency, e.fid));
-        rows.push(vec![
-            "cascade2stage".into(),
-            f2(thr),
-            String::new(),
-            f3(e.mean_latency),
-            f3(e.fid),
-            String::new(),
-        ]);
-    }
-    t2.print();
-
-    // Verdict: at the 2-stage cascade's cheapest useful point, does the
-    // 3-stage pipeline offer a cheaper point of comparable quality?
-    let cheapest3 = frontier.first().map(|(_, e)| e.mean_latency).unwrap_or(0.0);
-    let cheapest2 = best2.first().map(|(l, _)| *l).unwrap_or(0.0);
-    println!(
-        "\ncheapest pipeline point {:.3}s vs cheapest cascade point {:.3}s; \
-         best pipeline FID {:.2} vs best cascade FID {:.2}",
-        cheapest3,
-        cheapest2,
-        frontier
+    // Verdict: per-scenario escalation dividend, plus scenario-mean deltas.
+    let mean = |f: &dyn Fn(&RunReport) -> f64,
+                pick: &dyn Fn(&(String, RunReport, RunReport)) -> usize| {
+        pairs
             .iter()
-            .map(|(_, e)| e.fid)
-            .fold(f64::INFINITY, f64::min),
-        best2.iter().map(|(_, f)| *f).fold(f64::INFINITY, f64::min),
+            .map(|p| f(if pick(p) == 0 { &p.1 } else { &p.2 }))
+            .sum::<f64>()
+            / pairs.len() as f64
+    };
+    let restart_of = |_: &(String, RunReport, RunReport)| 0usize;
+    let resume_of = |_: &(String, RunReport, RunReport)| 1usize;
+    let hlat = (
+        mean(&|r| r.mean_heavy_latency, &restart_of),
+        mean(&|r| r.mean_heavy_latency, &resume_of),
     );
+    let gpu = (
+        mean(&|r| r.gpu_time_per_query, &restart_of),
+        mean(&|r| r.gpu_time_per_query, &resume_of),
+    );
+    let lat = (
+        mean(&|r| r.mean_latency, &restart_of),
+        mean(&|r| r.mean_latency, &resume_of),
+    );
+    let fid = (mean(&|r| r.fid, &restart_of), mean(&|r| r.fid, &resume_of));
+    let viol = (
+        mean(&|r| r.violation_ratio, &restart_of),
+        mean(&|r| r.violation_ratio, &resume_of),
+    );
+    println!(
+        "\nscenario means (restart -> resume): heavy latency {:.3}s -> {:.3}s ({:.1}%), \
+         gpu/query {:.3}s -> {:.3}s ({:.1}%), e2e latency {:.3}s -> {:.3}s, \
+         fid {:.2} -> {:.2}, violations {:.4} -> {:.4}",
+        hlat.0,
+        hlat.1,
+        100.0 * (hlat.1 / hlat.0 - 1.0),
+        gpu.0,
+        gpu.1,
+        100.0 * (gpu.1 / gpu.0 - 1.0),
+        lat.0,
+        lat.1,
+        fid.0,
+        fid.1,
+        viol.0,
+        viol.1,
+    );
+
     let path = write_csv(
         "ext_pipeline",
-        &["series", "t1", "t2", "latency_s", "fid", "stage_mix"],
+        &[
+            "scenario",
+            "mode",
+            "lat_s",
+            "heavy_lat_s",
+            "gpu_s_per_q",
+            "fid",
+            "viol",
+            "resumed",
+        ],
         &rows,
     );
     println!("wrote {}", path.display());
+
+    // The acceptance gate: resume must beat restart on escalated latency
+    // and GPU time in every scenario, and must not lose on violations in
+    // any scenario or on FID in the scenario mean. A regression in the
+    // resume path fails the binary (CI runs `--smoke`).
+    let mut ok = true;
+    for (name, restart, resume) in &pairs {
+        if resume.resumed_queries == 0 {
+            println!("FAIL {name}: resume mode never resumed");
+            ok = false;
+        }
+        if resume.mean_heavy_latency >= restart.mean_heavy_latency {
+            println!(
+                "FAIL {name}: heavy latency {:.3} !< {:.3}",
+                resume.mean_heavy_latency, restart.mean_heavy_latency
+            );
+            ok = false;
+        }
+        if resume.gpu_time_per_query >= restart.gpu_time_per_query {
+            println!(
+                "FAIL {name}: gpu/query {:.3} !< {:.3}",
+                resume.gpu_time_per_query, restart.gpu_time_per_query
+            );
+            ok = false;
+        }
+        if resume.violation_ratio > restart.violation_ratio {
+            println!(
+                "FAIL {name}: violations {:.4} > {:.4}",
+                resume.violation_ratio, restart.violation_ratio
+            );
+            ok = false;
+        }
+    }
+    if fid.1 > fid.0 {
+        println!(
+            "FAIL: scenario-mean FID worsened: {:.3} > {:.3}",
+            fid.1, fid.0
+        );
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("PASS: resume dominates restart on latency/GPU at equal-or-better FID/SLO");
 }

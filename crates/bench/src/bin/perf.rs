@@ -16,13 +16,19 @@
 //! Usage:
 //!
 //! ```text
-//! perf [--smoke] [--out PATH] [--baseline PATH]
+//! perf [--smoke] [--resume] [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! * `--smoke` — CI-sized workloads only (still 1000 workers, shorter
 //!   trace, reduced sweep). A full run *also* executes the smoke
 //!   workloads, so a committed full baseline carries every key the CI
 //!   smoke job compares against.
+//! * `--resume` — run the serving workloads with stage-level resume
+//!   enabled (`SystemConfig::resume_from_latents`); benchmark keys gain a
+//!   `resume/` prefix so the two modes never gate against each other's
+//!   baselines. A full run in either mode also executes the *other*
+//!   mode's smoke workloads, so one committed full baseline covers both
+//!   CI matrix legs.
 //! * `--out PATH` — where to write the JSON (default `BENCH_sim.json`).
 //! * `--baseline PATH` — compare against a previous export and exit
 //!   nonzero if any benchmark present in both regressed by more than
@@ -66,17 +72,19 @@ struct Record {
 
 fn main() {
     let mut smoke = false;
+    let mut resume = false;
     let mut out = String::from("BENCH_sim.json");
     let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--resume" => resume = true,
             "--out" => out = args.next().expect("--out needs a path"),
             "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf [--smoke] [--out PATH] [--baseline PATH]");
+                eprintln!("usage: perf [--smoke] [--resume] [--out PATH] [--baseline PATH]");
                 std::process::exit(2);
             }
         }
@@ -102,26 +110,63 @@ fn main() {
 
     // Smoke-sized workloads: always run, so a full baseline has the keys
     // the CI job compares.
+    let prefix = |r: bool| if r { "resume/" } else { "" };
     azure_replay(
         &runtime,
         &mut criterion,
-        "smoke/azure_replay_1000w",
+        &format!("{}smoke/azure_replay_1000w", prefix(resume)),
         30.0,
         120.0,
         60,
+        resume,
     );
-    sweep(&runtime, &mut records, "smoke/sweep", true, threads);
+    sweep(
+        &runtime,
+        &mut records,
+        &format!("{}smoke/sweep", prefix(resume)),
+        true,
+        threads,
+        resume,
+    );
 
     if !smoke {
         azure_replay(
             &runtime,
             &mut criterion,
-            "azure_replay_1000w",
+            &format!("{}azure_replay_1000w", prefix(resume)),
             60.0,
             480.0,
             350,
+            resume,
         );
-        sweep(&runtime, &mut records, "sweep_5x9", false, threads);
+        sweep(
+            &runtime,
+            &mut records,
+            &format!("{}sweep_5x9", prefix(resume)),
+            false,
+            threads,
+            resume,
+        );
+        // A full baseline also carries the *other* escalation mode's smoke
+        // keys, so both legs of the CI bench matrix gate against one
+        // committed export.
+        azure_replay(
+            &runtime,
+            &mut criterion,
+            &format!("{}smoke/azure_replay_1000w", prefix(!resume)),
+            30.0,
+            120.0,
+            60,
+            !resume,
+        );
+        sweep(
+            &runtime,
+            &mut records,
+            &format!("{}smoke/sweep", prefix(!resume)),
+            true,
+            threads,
+            !resume,
+        );
     }
 
     for m in criterion.measurements() {
@@ -173,9 +218,11 @@ fn azure_replay(
     min_qps: f64,
     max_qps: f64,
     secs: u64,
+    resume: bool,
 ) {
     let config = SystemConfig {
         num_workers: FLEET,
+        resume_from_latents: resume,
         ..Default::default()
     };
     let trace = synthesize_azure_trace(&AzureTraceConfig {
@@ -224,9 +271,11 @@ fn sweep(
     id: &str,
     smoke: bool,
     threads: usize,
+    resume: bool,
 ) {
     let system = SystemConfig {
         num_workers: 8,
+        resume_from_latents: resume,
         ..Default::default()
     };
     let jobs = sweep_jobs(&system, smoke);
@@ -300,6 +349,7 @@ fn milp_ladder(runtime: &CascadeRuntime, criterion: &mut Criterion) {
         deferral: &runtime.deferral,
         light: LatencyProfile::new(0.10, 0.55),
         heavy: LatencyProfile::new(1.78, 0.12),
+        resume_heavy: None,
         discriminator_latency: 0.01,
         batch_sizes: &config.batch_sizes,
         thresholds: &thresholds,

@@ -32,7 +32,7 @@ use diffserve_core::{
     ControlObservation, ModelTier, PlanActuator, Policy, QueryId, RunReport, RunSettings,
     SystemConfig,
 };
-use diffserve_imagegen::Prompt;
+use diffserve_imagegen::{resume_savings, reused_steps, Prompt, StageLatencyBreakdown, StageState};
 use diffserve_metrics::{GaussianStats, RollingFid, SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
 use diffserve_trace::{
@@ -70,6 +70,9 @@ struct Job {
     deadline: f64, // sim seconds
     /// Explicit prompt payload; `None` serves the dataset's cyclic prompt.
     prompt: Option<Prompt>,
+    /// Denoise progress carried over from the light tier, set at the
+    /// escalation site when [`SystemConfig::resume_from_latents`] is on.
+    resume: Option<StageState>,
 }
 
 struct Shared {
@@ -114,6 +117,17 @@ struct Shared {
     ///
     /// [`AblationKnobs::health_blind_routing`]: diffserve_core::AblationKnobs
     health_blind_routing: bool,
+    /// Stage-level resume switch copied from
+    /// [`SystemConfig::resume_from_latents`]: when set, escalated jobs carry
+    /// the light tier's denoise progress and heavy workers serve only the
+    /// residual steps.
+    resume_enabled: bool,
+    /// [`SystemConfig::resume_step_credit`], consulted only when
+    /// `resume_enabled`.
+    resume_step_credit: f64,
+    /// [`SystemConfig::resume_quality_penalty`], applied only to resumed
+    /// heavy passes.
+    resume_quality_penalty: f64,
 }
 
 impl Shared {
@@ -274,6 +288,19 @@ impl Shared {
         }
     }
 
+    /// Heavy denoise steps this job would skip by resuming — zero unless
+    /// resume is enabled and the job carries light-tier progress. Mirrors
+    /// the simulator's `heavy_reused_steps`.
+    fn job_reused_steps(&self, runtime: &CascadeRuntime, job: &Job) -> u32 {
+        if !self.resume_enabled {
+            return 0;
+        }
+        match job.resume {
+            Some(st) => reused_steps(runtime.spec.heavy.steps(), st, self.resume_step_credit),
+            None => 0,
+        }
+    }
+
     /// Whether any alive worker is assigned the heavy model — when churn
     /// wipes the heavy pool out, escalations would bounce between light
     /// workers forever (generation is deterministic), so callers serve the
@@ -388,6 +415,11 @@ pub struct ClusterBackend {
     route_rng: rand::rngs::StdRng,
     demand_track: WindowedSeries,
     submitted: u64,
+    /// Single-query nameplate execution latency per tier (discriminator
+    /// excluded), cached at launch for the snapshot's stage breakdowns —
+    /// the backend does not keep the runtime itself.
+    light_exec1: f64,
+    heavy_exec1: f64,
 }
 
 impl std::fmt::Debug for ClusterBackend {
@@ -456,6 +488,9 @@ impl ClusterBackend {
             difficulty_bits: AtomicU64::new(0.0f64.to_bits()),
             confidences: Mutex::new(Vec::new()),
             health_blind_routing: settings.knobs.health_blind_routing,
+            resume_enabled: sys.resume_from_latents,
+            resume_step_credit: sys.resume_step_credit,
+            resume_quality_penalty: sys.resume_quality_penalty,
         });
 
         let (job_txs, job_rxs): (Vec<Sender<Job>>, Vec<Receiver<Job>>) =
@@ -536,6 +571,8 @@ impl ClusterBackend {
             completion_cursor: 0,
             drop_log: Vec::new(),
             submitted: 0,
+            light_exec1: runtime.spec.light.latency().exec_latency(1).as_secs_f64(),
+            heavy_exec1: runtime.spec.heavy.latency().exec_latency(1).as_secs_f64(),
         })
     }
 
@@ -629,6 +666,7 @@ impl ServingBackend for ClusterBackend {
                 arrival: now,
                 deadline,
                 prompt: spec.prompt,
+                resume: spec.resume_from,
             })
             .expect("worker channels outlive the session");
         QueryTicket {
@@ -746,6 +784,10 @@ impl ServingBackend for ClusterBackend {
             },
             fid_estimate: self.rolling_fid.estimate(),
             deferral_gap: self.control.lock().deferral_gap(),
+            light_stage_latency: StageLatencyBreakdown::of_latency(self.light_exec1),
+            heavy_stage_latency: StageLatencyBreakdown::of_latency(self.heavy_exec1),
+            resumed_completions: self.responses.iter().filter(|r| r.reused_steps > 0).count()
+                as u64,
         }
     }
 
@@ -1163,7 +1205,9 @@ fn worker_loop(
         let slowdown = shared.slowdown(wid);
         if drop_misses {
             let now = shared.sim_now();
-            let exec = stage_latency(runtime, current_tier, batch.len(), uses_cascade) * slowdown;
+            let exec = (stage_latency(runtime, current_tier, batch.len(), uses_cascade)
+                - batch_resume_savings(shared, runtime, current_tier, &batch))
+                * slowdown;
             batch.retain(|job| {
                 if now + exec > job.deadline {
                     shared.record_violation(current_tier);
@@ -1183,8 +1227,13 @@ fn worker_loop(
         }
 
         // "Execute" the batch, sleep-scaled by the worker's health: a
-        // degraded worker takes `slowdown`× its nameplate latency.
-        let exec = stage_latency(runtime, current_tier, batch.len(), uses_cascade) * slowdown;
+        // degraded worker takes `slowdown`× its nameplate latency. Resumed
+        // jobs' saved denoise steps come off *before* the health slowdown —
+        // a degraded worker stretches only the residual steps it actually
+        // runs, mirroring the simulator.
+        let exec = (stage_latency(runtime, current_tier, batch.len(), uses_cascade)
+            - batch_resume_savings(shared, runtime, current_tier, &batch))
+            * slowdown;
         shared.busy[wid].store(true, Ordering::Relaxed);
         shared.sleep_sim(exec);
         shared.busy[wid].store(false, Ordering::Relaxed);
@@ -1200,7 +1249,7 @@ fn worker_loop(
                 shared.record_violation(tier);
             }
         };
-        for job in batch {
+        for mut job in batch {
             let prompt = job
                 .prompt
                 .unwrap_or_else(|| *runtime.dataset.prompt_cyclic(job.qid))
@@ -1213,14 +1262,24 @@ fn worker_loop(
                         shared.confidences.lock().push(conf);
                         if conf >= threshold || !shared.has_alive_heavy() {
                             complete(&job, ModelTier::Light);
+                            let gpu =
+                                single_query_gpu_time(runtime, ModelTier::Light, 0, uses_cascade);
                             let _ = done.send(Outcome::Completed(make_response(
                                 job,
                                 image,
                                 ModelTier::Light,
                                 Some(conf),
                                 now,
+                                gpu,
+                                0,
                             )));
                         } else {
+                            // Escalation: hand the light tier's denoise
+                            // progress to the heavy worker when resume is on.
+                            if shared.resume_enabled {
+                                job.resume =
+                                    Some(StageState::completed(runtime.spec.light.steps()));
+                            }
                             shared.heavy_since_tick.fetch_add(1, Ordering::Relaxed);
                             let target = shared.pick_worker(ModelTier::Heavy);
                             shared.depths[target].fetch_add(1, Ordering::Relaxed);
@@ -1228,24 +1287,39 @@ fn worker_loop(
                         }
                     } else {
                         complete(&job, ModelTier::Light);
+                        let gpu = single_query_gpu_time(runtime, ModelTier::Light, 0, uses_cascade);
                         let _ = done.send(Outcome::Completed(make_response(
                             job,
                             image,
                             ModelTier::Light,
                             None,
                             now,
+                            gpu,
+                            0,
                         )));
                     }
                 }
                 ModelTier::Heavy => {
-                    let image = runtime.spec.heavy.generate(&prompt);
+                    let reused = shared.job_reused_steps(runtime, &job);
+                    let image = if reused > 0 {
+                        runtime
+                            .spec
+                            .heavy
+                            .generate_with_quality_shift(&prompt, -shared.resume_quality_penalty)
+                    } else {
+                        runtime.spec.heavy.generate(&prompt)
+                    };
                     complete(&job, ModelTier::Heavy);
+                    let gpu =
+                        single_query_gpu_time(runtime, ModelTier::Heavy, reused, uses_cascade);
                     let _ = done.send(Outcome::Completed(make_response(
                         job,
                         image,
                         ModelTier::Heavy,
                         None,
                         now,
+                        gpu,
+                        reused,
                     )));
                 }
             }
@@ -1282,12 +1356,66 @@ fn stage_latency(
     }
 }
 
+/// Nameplate seconds a batch saves by resuming its escalated members from
+/// light-tier latents — `0.0` exactly unless resume is on and the batch is
+/// heavy-tier, so restart-mode service times are bitwise unchanged. Mirrors
+/// the simulator's `batch_resume_savings`.
+fn batch_resume_savings(
+    shared: &Shared,
+    runtime: &CascadeRuntime,
+    tier: ModelTier,
+    jobs: &[Job],
+) -> f64 {
+    if tier != ModelTier::Heavy || !shared.resume_enabled {
+        return 0.0;
+    }
+    let steps = runtime.spec.heavy.steps();
+    jobs.iter()
+        .map(|job| {
+            resume_savings(
+                runtime.spec.heavy.latency(),
+                shared.job_reused_steps(runtime, job),
+                steps,
+            )
+        })
+        .sum()
+}
+
+/// Single-query nameplate GPU-seconds for a completion on `tier` — the
+/// cross-tier sunk cost the report's `gpu_time_per_query` averages.
+/// Identical accounting to the simulator's `single_query_gpu_time`.
+fn single_query_gpu_time(
+    runtime: &CascadeRuntime,
+    tier: ModelTier,
+    reused: u32,
+    uses_cascade: bool,
+) -> f64 {
+    match tier {
+        ModelTier::Light => stage_latency(runtime, ModelTier::Light, 1, uses_cascade),
+        ModelTier::Heavy => {
+            let heavy = runtime.spec.heavy.latency().exec_latency(1).as_secs_f64()
+                - resume_savings(
+                    runtime.spec.heavy.latency(),
+                    reused,
+                    runtime.spec.heavy.steps(),
+                );
+            if uses_cascade {
+                heavy + stage_latency(runtime, ModelTier::Light, 1, uses_cascade)
+            } else {
+                heavy
+            }
+        }
+    }
+}
+
 fn make_response(
     job: Job,
     image: diffserve_imagegen::GeneratedImage,
     tier: ModelTier,
     confidence: Option<f64>,
     now: f64,
+    gpu_time: f64,
+    reused_steps: u32,
 ) -> CompletedResponse {
     CompletedResponse {
         id: QueryId(job.qid),
@@ -1297,6 +1425,8 @@ fn make_response(
         quality: image.quality,
         tier,
         confidence,
+        gpu_time,
+        reused_steps,
     }
 }
 

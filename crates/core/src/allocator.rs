@@ -36,6 +36,15 @@ pub struct AllocatorInputs<'a> {
     pub light: LatencyProfile,
     /// Heavy-model execution profile.
     pub heavy: LatencyProfile,
+    /// Effective heavy execution profile for escalations that *resume*
+    /// from light-tier latents (stage-level serving). When set, the
+    /// cascade latency constraint (Eq. 1) charges this cheaper profile —
+    /// every escalated query carries latents, so the discount is exact —
+    /// while the throughput constraint (Eq. 3) deliberately stays on the
+    /// nameplate [`heavy`](Self::heavy) profile: savings are not banked as
+    /// capacity, so the deferral mix the threshold encodes is unchanged.
+    /// `None` in restart mode.
+    pub resume_heavy: Option<LatencyProfile>,
     /// Per-image discriminator latency in seconds (added to the light stage).
     pub discriminator_latency: f64,
     /// Candidate batch sizes.
@@ -80,6 +89,18 @@ fn light_stage_throughput(inputs: &AllocatorInputs<'_>, b: usize) -> f64 {
     b as f64 / light_stage_latency(inputs, b)
 }
 
+/// Heavy execution latency as charged by the cascade latency constraint:
+/// the resume-discounted profile when stage-level serving is on, the
+/// nameplate profile otherwise.
+fn heavy_slo_latency(inputs: &AllocatorInputs<'_>, b: usize) -> f64 {
+    inputs
+        .resume_heavy
+        .as_ref()
+        .unwrap_or(&inputs.heavy)
+        .exec_latency(b)
+        .as_secs_f64()
+}
+
 /// Exhaustive solver: scans every `(b₁, b₂)` pair, gives all spare workers
 /// to the heavy tier (the objective only rewards a higher threshold), and
 /// reads the largest feasible threshold off the deferral profile.
@@ -99,9 +120,11 @@ pub fn solve_exhaustive(inputs: &AllocatorInputs<'_>) -> Option<Allocation> {
         }
         for &b2 in inputs.batch_sizes {
             // Latency constraint (Eq. 1): worst case traverses both stages.
+            // An escalated query resumes from latents when stage-level
+            // serving is on, so the heavy leg charges the effective profile.
             let latency = light_stage_latency(inputs, b1)
                 + inputs.queue_delay_light
-                + inputs.heavy.exec_latency(b2).as_secs_f64()
+                + heavy_slo_latency(inputs, b2)
                 + inputs.queue_delay_heavy;
             if latency > inputs.slo {
                 continue;
@@ -244,7 +267,7 @@ pub fn solve_milp_allocation_warm(
             .map(|j| (y[j], light_stage_latency(inputs, inputs.batch_sizes[j])))
             .collect();
         for (&v_k, &b_k) in v.iter().zip(inputs.batch_sizes.iter()) {
-            lat.push((v_k, inputs.heavy.exec_latency(b_k).as_secs_f64()));
+            lat.push((v_k, heavy_slo_latency(inputs, b_k)));
         }
         p.add_constraint("latency", &lat, Sense::Le, lat_budget);
     }
@@ -322,7 +345,9 @@ pub fn overload_fallback(inputs: &AllocatorInputs<'_>) -> Allocation {
 /// Proteus allocation (query-agnostic model scaling): maximize the fraction
 /// `p` of queries routed to the heavy model, subject to per-branch
 /// throughput and latency constraints. Queries route *directly* to one
-/// model — there is no cascade, so each branch only pays its own latency.
+/// model — there is no cascade, so each branch only pays its own latency,
+/// and a direct-to-heavy query carries no light-tier latents: the
+/// [`resume_heavy`](AllocatorInputs::resume_heavy) discount never applies.
 pub fn solve_proteus(inputs: &AllocatorInputs<'_>) -> Option<(Allocation, f64)> {
     let d = inputs.demand_qps.max(1e-9);
     let s = inputs.total_workers;
@@ -394,6 +419,7 @@ mod tests {
             deferral,
             light: LatencyProfile::new(0.10, 0.55),
             heavy: LatencyProfile::new(1.78, 0.12),
+            resume_heavy: None,
             discriminator_latency: 0.01,
             batch_sizes: batches,
             thresholds,
@@ -507,6 +533,64 @@ mod tests {
         inputs.queue_delay_heavy = 0.0;
         let a = solve_exhaustive(&inputs).expect("feasible with b2 = 1");
         assert_eq!(a.heavy_batch, 1);
+    }
+
+    #[test]
+    fn resume_discount_rescues_an_slo_infeasible_at_nameplate() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(11, 0.9);
+        // Nameplate e2(1) = 1.78 s plus the cheapest light leg (0.11 s)
+        // overruns a 1.5 s budget: no cascade configuration fits. The
+        // resume discount (50 % of the denoise schedule) serves the heavy
+        // leg in 0.89 s, which does.
+        let mut inputs = cascade1_inputs(&deferral, &batches, &thresholds, 6.0);
+        inputs.slo = 1.5;
+        inputs.queue_delay_light = 0.0;
+        inputs.queue_delay_heavy = 0.0;
+        assert!(solve_exhaustive(&inputs).is_none(), "nameplate infeasible");
+        assert!(solve_milp_allocation(&inputs).is_none());
+        inputs.resume_heavy = Some(LatencyProfile::new(0.89, 0.24));
+        let resume = solve_exhaustive(&inputs).expect("discount makes the SLO reachable");
+        assert!(resume.feasible);
+        let milp = solve_milp_allocation(&inputs).expect("MILP agrees");
+        assert!((milp.threshold - resume.threshold).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resume_discount_threshold_stays_within_restart_bounds() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(51, 0.9);
+        // The discount only relaxes the latency constraint, so the plan it
+        // finds is sandwiched between restart's and the plan restart would
+        // pick with the latency constraint waived: it can unlock a larger
+        // (more efficient) heavy batch the nameplate bound rejected, but it
+        // can never conjure capacity a latency-unconstrained restart solve
+        // would not also find.
+        for demand in [4.0, 10.0, 20.0] {
+            let restart =
+                solve_exhaustive(&cascade1_inputs(&deferral, &batches, &thresholds, demand))
+                    .expect("restart feasible");
+            let mut unconstrained = cascade1_inputs(&deferral, &batches, &thresholds, demand);
+            unconstrained.slo = f64::INFINITY;
+            let ceiling = solve_exhaustive(&unconstrained).expect("waived latency feasible");
+            let mut discounted = cascade1_inputs(&deferral, &batches, &thresholds, demand);
+            discounted.resume_heavy = Some(LatencyProfile::new(0.89, 0.24));
+            let resume = solve_exhaustive(&discounted).expect("discounted feasible");
+            assert!(
+                resume.threshold >= restart.threshold - 1e-9,
+                "demand {demand}: relaxing a constraint cannot lower the optimum: {} vs {}",
+                resume.threshold,
+                restart.threshold
+            );
+            assert!(
+                resume.threshold <= ceiling.threshold + 1e-9,
+                "demand {demand}: discount must not exceed the capacity ceiling: {} vs {}",
+                resume.threshold,
+                ceiling.threshold
+            );
+        }
     }
 
     #[test]

@@ -50,6 +50,24 @@ pub struct SystemConfig {
     /// Observations required before the online estimate overrides the
     /// offline profile (the cold-start guard).
     pub online_profile_min_samples: usize,
+    /// Whether escalated queries *resume* heavy-tier denoising from the
+    /// light tier's intermediate latents instead of restarting generation
+    /// from scratch (stage-level micro-serving). Off by default: restart
+    /// mode reproduces the paper's cascade exactly, so every existing
+    /// golden fingerprint holds.
+    pub resume_from_latents: bool,
+    /// How much of the light tier's completed denoising transfers across
+    /// the tier boundary, in `[0, 1]`. The tiers' latent spaces differ, so
+    /// a resumed query re-does `1 − credit` of the denoise schedule; the
+    /// reused heavy steps are `round(heavy_steps · credit · progress)`,
+    /// capped so at least one heavy step always remains. Only consulted
+    /// when [`resume_from_latents`](Self::resume_from_latents) is set.
+    pub resume_step_credit: f64,
+    /// Quality penalty applied to resumed heavy generations, in `[0, 1]`:
+    /// resuming from a foreign latent may cost fidelity. The default of
+    /// `0.0` models a lossless hand-off (resumed output is bit-identical
+    /// to a restarted one).
+    pub resume_quality_penalty: f64,
 }
 
 impl Default for SystemConfig {
@@ -70,6 +88,9 @@ impl Default for SystemConfig {
             online_profile_refresh: false,
             online_profile_window: 512,
             online_profile_min_samples: 64,
+            resume_from_latents: false,
+            resume_step_credit: 0.5,
+            resume_quality_penalty: 0.0,
         }
     }
 }
@@ -114,6 +135,16 @@ impl SystemConfig {
         {
             return Err(ConfigError::new(
                 "online profile min samples must lie in [2, window]",
+            ));
+        }
+        if !self.resume_step_credit.is_finite() || !(0.0..=1.0).contains(&self.resume_step_credit) {
+            return Err(ConfigError::new("resume step credit must lie in [0, 1]"));
+        }
+        if !self.resume_quality_penalty.is_finite()
+            || !(0.0..=1.0).contains(&self.resume_quality_penalty)
+        {
+            return Err(ConfigError::new(
+                "resume quality penalty must lie in [0, 1]",
             ));
         }
         Ok(())
@@ -233,6 +264,27 @@ mod tests {
                 SystemConfig {
                     online_profile_window: 16,
                     online_profile_min_samples: 17,
+                    ..base.clone()
+                },
+            ),
+            (
+                "resume credit above 1",
+                SystemConfig {
+                    resume_step_credit: 1.5,
+                    ..base.clone()
+                },
+            ),
+            (
+                "resume credit NaN",
+                SystemConfig {
+                    resume_step_credit: f64::NAN,
+                    ..base.clone()
+                },
+            ),
+            (
+                "resume penalty negative",
+                SystemConfig {
+                    resume_quality_penalty: -0.1,
                     ..base.clone()
                 },
             ),

@@ -235,6 +235,7 @@ pub struct ControlLoop {
     offline: DeferralProfile,
     light: LatencyProfile,
     heavy: LatencyProfile,
+    resume_heavy: Option<LatencyProfile>,
     discriminator_latency: f64,
     demand: DemandEstimator,
     profile: ProfileEstimator,
@@ -261,6 +262,34 @@ impl ControlLoop {
         };
         let demand = DemandEstimator::new(config.ewma_alpha, config.over_provision);
         let profile = ProfileEstimator::from_config(&config);
+        // With resume-from-latents enabled, an escalated query re-does only
+        // `1 − DENOISE_FRAC · credit` of the heavy denoise schedule, so the
+        // allocator's latency constraint should charge that cheaper
+        // escalation path: shrink the heavy profile's per-query slope by
+        // that factor while preserving the fixed batch overhead (`base' =
+        // base·(ovh + (1−ovh)·k)`, `ovh' = base·ovh / base'`). `k ≥ 1 −
+        // DENOISE_FRAC > 0` keeps the transformed profile valid.
+        //
+        // The discount is exact for the latency bound — every escalated
+        // query carries latents, so its heavy pass serves nameplate minus
+        // savings — but it is deliberately *not* fed into the throughput
+        // constraint: spending the freed capacity on extra deferral would
+        // shift the escalation mix the operator tuned the threshold cap
+        // for, and the savings evaporate whenever queries reach the heavy
+        // tier without latents (direct routing, replays). Capacity planning
+        // stays on nameplate throughput; restart mode carries no discount
+        // at all.
+        let resume_heavy = if config.resume_from_latents {
+            let k = 1.0 - diffserve_imagegen::DENOISE_FRAC * config.resume_step_credit;
+            let base =
+                heavy.base_latency * (heavy.batch_overhead + (1.0 - heavy.batch_overhead) * k);
+            Some(LatencyProfile::new(
+                base,
+                heavy.base_latency * heavy.batch_overhead / base,
+            ))
+        } else {
+            None
+        };
         ControlLoop {
             demand,
             profile,
@@ -273,6 +302,7 @@ impl ControlLoop {
             offline,
             light,
             heavy,
+            resume_heavy,
             discriminator_latency,
         }
     }
@@ -534,6 +564,7 @@ impl ControlLoop {
             deferral: self.profile.online_profile().unwrap_or(&self.offline),
             light: self.light,
             heavy: self.heavy,
+            resume_heavy: self.resume_heavy,
             discriminator_latency: if self.settings.policy.uses_cascade() {
                 self.discriminator_latency
             } else {
@@ -681,6 +712,7 @@ mod tests {
             deferral: &profile,
             light: LatencyProfile::new(0.10, 0.55),
             heavy: LatencyProfile::new(1.78, 0.12),
+            resume_heavy: None,
             discriminator_latency: 0.0,
             batch_sizes: &batches,
             thresholds: &thresholds,
@@ -711,6 +743,7 @@ mod tests {
             deferral: &profile,
             light: LatencyProfile::new(0.10, 0.55),
             heavy: LatencyProfile::new(1.78, 0.12),
+            resume_heavy: None,
             discriminator_latency: 0.01,
             batch_sizes: &batches,
             thresholds: &thresholds,

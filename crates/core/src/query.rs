@@ -116,6 +116,17 @@ pub struct CompletedResponse {
     pub tier: ModelTier,
     /// Discriminator confidence of the light output, when one was scored.
     pub confidence: Option<f64>,
+    /// Total GPU-seconds of model execution this query consumed across
+    /// every tier it touched (light generation, discriminator scoring, and
+    /// — for escalated queries — the heavy pass, net of any resumed steps).
+    /// Single-query nameplate cost; batching amortization and worker
+    /// degradation are excluded so the number compares escalation *modes*
+    /// rather than scheduler luck.
+    pub gpu_time: f64,
+    /// Heavy-tier denoise steps skipped by resuming from the light tier's
+    /// latents. Zero for light-tier completions and for restart-mode
+    /// escalations.
+    pub reused_steps: u32,
 }
 
 impl CompletedResponse {
@@ -146,6 +157,8 @@ mod tests {
             quality: 0.5,
             tier: ModelTier::Heavy,
             confidence: Some(0.3),
+            gpu_time: 1.9,
+            reused_steps: 0,
         };
         assert!((r.latency_secs() - 2.0).abs() < 1e-12);
     }

@@ -48,6 +48,20 @@ pub struct RunReport {
     pub mean_windowed_fid: f64,
     /// Fraction of completed responses served by the heavy model.
     pub heavy_fraction: f64,
+    /// Mean end-to-end latency (seconds) of heavy-tier completions only —
+    /// the escalated-query latency that restart-vs-resume escalation
+    /// changes. `0.0` when nothing escalated.
+    pub mean_heavy_latency: f64,
+    /// Escalated queries whose heavy pass resumed from light-tier latents
+    /// (skipped at least one denoise step). Always `0` in restart mode.
+    pub resumed_queries: u64,
+    /// Mean heavy denoise steps skipped per resumed query; `0.0` when no
+    /// query resumed.
+    pub mean_reused_steps: f64,
+    /// Mean single-query GPU-seconds consumed per completed query (see
+    /// [`CompletedResponse::gpu_time`]) — the efficiency axis the
+    /// `ext_pipeline` benchmark compares across escalation modes.
+    pub gpu_time_per_query: f64,
     /// Every perturbation the run's fault engine actually fired — scheduled
     /// scenario events, mid-run injections, and hazard-drawn faults alike —
     /// stamped with its firing instant.
@@ -142,6 +156,14 @@ impl RunReport {
             .iter()
             .filter(|r| r.tier == ModelTier::Heavy)
             .count();
+        let heavy_latency_sum: f64 = responses
+            .iter()
+            .filter(|r| r.tier == ModelTier::Heavy)
+            .map(|r| r.latency_secs())
+            .sum();
+        let resumed: Vec<&CompletedResponse> =
+            responses.iter().filter(|r| r.reused_steps > 0).collect();
+        let gpu_time_sum: f64 = responses.iter().map(|r| r.gpu_time).sum();
         let violation_series = slo
             .windowed_violation_ratio(window)
             .into_iter()
@@ -167,6 +189,22 @@ impl RunReport {
                 0.0
             } else {
                 heavy_count as f64 / responses.len() as f64
+            },
+            mean_heavy_latency: if heavy_count == 0 {
+                0.0
+            } else {
+                heavy_latency_sum / heavy_count as f64
+            },
+            resumed_queries: resumed.len() as u64,
+            mean_reused_steps: if resumed.is_empty() {
+                0.0
+            } else {
+                resumed.iter().map(|r| r.reused_steps as f64).sum::<f64>() / resumed.len() as f64
+            },
+            gpu_time_per_query: if responses.is_empty() {
+                0.0
+            } else {
+                gpu_time_sum / responses.len() as f64
             },
         }
     }
@@ -218,6 +256,10 @@ impl RunReport {
             incident_log: Vec::new(),
             mean_windowed_fid: f64::NAN,
             heavy_fraction: 0.0,
+            mean_heavy_latency: 0.0,
+            resumed_queries: 0,
+            mean_reused_steps: 0.0,
+            gpu_time_per_query: 0.0,
         }
     }
 
@@ -259,6 +301,10 @@ mod tests {
             incident_log: vec![],
             mean_windowed_fid: 17.0,
             heavy_fraction: 0.6,
+            mean_heavy_latency: 2.1,
+            resumed_queries: 0,
+            mean_reused_steps: 0.0,
+            gpu_time_per_query: 0.9,
         };
         let s = r.summary();
         assert!(s.contains("DiffServe"));

@@ -62,7 +62,7 @@
 //! # Ok::<(), diffserve_core::serve::BuildError>(())
 //! ```
 
-use diffserve_imagegen::Prompt;
+use diffserve_imagegen::{Prompt, StageLatencyBreakdown, StageState};
 use diffserve_metrics::{GaussianStats, RollingFid};
 use diffserve_simkit::rng::{derive_seed, seeded_rng};
 use diffserve_simkit::time::SimTime;
@@ -135,6 +135,11 @@ pub struct QuerySpec {
     pub prompt: Option<Prompt>,
     /// Latency deadline; `None` = arrival + the configured SLO.
     pub deadline: Option<SimTime>,
+    /// Denoise progress carried in from an earlier pass on another tier.
+    /// With [`SystemConfig::resume_from_latents`] enabled, a heavy-tier
+    /// dispatch of this query covers only the residual steps; otherwise
+    /// the state is carried but ignored. `None` = fresh query.
+    pub resume_from: Option<StageState>,
 }
 
 impl QuerySpec {
@@ -158,6 +163,13 @@ impl QuerySpec {
     /// Sets the deadline.
     pub fn deadline(mut self, deadline: SimTime) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Carries denoise progress from an earlier pass so a resume-aware
+    /// backend can skip the reused steps.
+    pub fn resume_from(mut self, state: StageState) -> Self {
+        self.resume_from = Some(state);
         self
     }
 }
@@ -239,6 +251,15 @@ pub struct SessionSnapshot {
     /// while the offline profile rules (online refresh disabled or the
     /// estimator still cold).
     pub deferral_gap: f64,
+    /// Encode/denoise/decode split of the light model's single-query
+    /// nameplate latency (stage-level serving view of the tier).
+    pub light_stage_latency: StageLatencyBreakdown,
+    /// Encode/denoise/decode split of the heavy model's single-query
+    /// nameplate latency.
+    pub heavy_stage_latency: StageLatencyBreakdown,
+    /// Completions so far whose heavy pass resumed from carried latents
+    /// (always `0` in restart mode).
+    pub resumed_completions: u64,
 }
 
 impl SessionSnapshot {

@@ -26,7 +26,9 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use diffserve_imagegen::{GeneratedImage, Prompt};
+use diffserve_imagegen::{
+    resume_savings, reused_steps, GeneratedImage, Prompt, StageLatencyBreakdown, StageState,
+};
 use diffserve_metrics::{RollingFid, SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
 use diffserve_trace::{
@@ -290,6 +292,11 @@ struct QueryRec {
     arrived: bool,
     /// Explicit prompt payload; `None` serves the dataset's cyclic prompt.
     prompt: Option<Prompt>,
+    /// Denoise progress carried from another tier: a resume-aware heavy
+    /// dispatch covers only the residual steps. Set on escalation when
+    /// [`SystemConfig::resume_from_latents`] is enabled, or up front via
+    /// [`QuerySpec::resume_from`].
+    resume: Option<StageState>,
 }
 
 struct ServingSim<'a> {
@@ -321,6 +328,8 @@ struct ServingSim<'a> {
     // Metrics.
     slo: SloTracker,
     responses: Vec<CompletedResponse>,
+    /// Completions whose heavy pass resumed from carried latents.
+    resumed_count: u64,
     /// Incremental windowed FID over the most recent completions, read at
     /// every snapshot tap.
     rolling_fid: RollingFid,
@@ -391,6 +400,7 @@ impl<'a> ServingSim<'a> {
             incident_log: Vec::new(),
             slo: SloTracker::new(config.slo),
             responses: Vec::new(),
+            resumed_count: 0,
             rolling_fid: session_rolling_fid(&runtime.reference),
             arrivals_since_tick: 0,
             heavy_arrivals_since_tick: 0,
@@ -442,6 +452,7 @@ impl<'a> ServingSim<'a> {
         at: SimTime,
         prompt: Option<Prompt>,
         deadline: Option<SimTime>,
+        resume: Option<StageState>,
     ) -> u64 {
         let qidx = self.queries.len() as u64;
         self.queries.push(QueryRec {
@@ -450,6 +461,7 @@ impl<'a> ServingSim<'a> {
             finished: false,
             arrived: false,
             prompt,
+            resume,
         });
         qidx
     }
@@ -484,6 +496,78 @@ impl<'a> ServingSim<'a> {
                 .latency()
                 .exec_latency(batch)
                 .as_secs_f64(),
+        }
+    }
+
+    /// Heavy denoise steps query `qidx` skips by resuming from carried
+    /// latents. Exactly `0` with resume disabled, with no carried state, or
+    /// with a zero step credit — the resume-aware paths below all reduce to
+    /// the restart arithmetic bit-for-bit in those cases.
+    fn heavy_reused_steps(&self, qidx: u64) -> u32 {
+        if !self.config.resume_from_latents {
+            return 0;
+        }
+        match self.queries[qidx as usize].resume {
+            Some(st) => reused_steps(
+                self.runtime.spec.heavy.steps(),
+                st,
+                self.config.resume_step_credit,
+            ),
+            None => 0,
+        }
+    }
+
+    /// Total service-time discount of a prospective heavy batch: the sum of
+    /// each member's [`resume_savings`]. Always `0.0` for the light tier
+    /// and in restart mode, so `(stage_latency − 0.0)` stays bitwise equal
+    /// to the undiscounted service time.
+    fn batch_resume_savings(&self, tier: ModelTier, members: impl Iterator<Item = u64>) -> f64 {
+        if tier != ModelTier::Heavy || !self.config.resume_from_latents {
+            return 0.0;
+        }
+        let profile = self.runtime.spec.heavy.latency();
+        let steps = self.runtime.spec.heavy.steps();
+        members
+            .map(|q| resume_savings(profile, self.heavy_reused_steps(q), steps))
+            .sum()
+    }
+
+    /// Single-query nameplate GPU-seconds a completion consumed across the
+    /// tiers it touched (see [`CompletedResponse::gpu_time`]).
+    fn single_query_gpu_time(&self, tier: ModelTier, reused: u32) -> f64 {
+        match tier {
+            ModelTier::Light => self.stage_latency(ModelTier::Light, 1),
+            ModelTier::Heavy => {
+                let profile = self.runtime.spec.heavy.latency();
+                let heavy = profile.exec_latency(1).as_secs_f64()
+                    - resume_savings(profile, reused, self.runtime.spec.heavy.steps());
+                if self.settings.policy.uses_cascade() {
+                    // Escalated: the light pass and discriminator score ran
+                    // first and their cost is sunk.
+                    self.stage_latency(ModelTier::Light, 1) + heavy
+                } else {
+                    heavy
+                }
+            }
+        }
+    }
+
+    /// The heavy model's output for query `qidx`, resuming from carried
+    /// latents when possible. Returns the image and the reused step count.
+    /// A restart (no reuse) is bitwise `generate`; a lossless resume
+    /// (`resume_quality_penalty == 0`) produces the identical image at
+    /// lower service time.
+    fn heavy_generate(&self, qidx: u64, prompt: &Prompt) -> (GeneratedImage, u32) {
+        let reused = self.heavy_reused_steps(qidx);
+        if reused > 0 {
+            let image = self
+                .runtime
+                .spec
+                .heavy
+                .generate_with_quality_shift(prompt, -self.config.resume_quality_penalty);
+            (image, reused)
+        } else {
+            (self.runtime.spec.heavy.generate(prompt), 0)
         }
     }
 
@@ -750,8 +834,19 @@ impl<'a> ServingSim<'a> {
         if self.config.drop_predicted_misses {
             while let Some(&front) = self.workers[idx].queue.front() {
                 let b_est = self.workers[idx].queue.len().min(bmax);
-                let eta =
-                    now + SimDuration::from_secs_f64(self.stage_latency(tier, b_est) * slowdown);
+                // Resume-aware ETA: the prospective batch (the queue's first
+                // `b_est` entries) may carry latents whose reused steps
+                // shrink the service time. Degradation stretches only the
+                // residual work, so the slowdown multiplies after the
+                // subtraction.
+                let savings = self.batch_resume_savings(
+                    tier,
+                    self.workers[idx].queue.iter().take(b_est).copied(),
+                );
+                let eta = now
+                    + SimDuration::from_secs_f64(
+                        (self.stage_latency(tier, b_est) - savings) * slowdown,
+                    );
                 let rec = self.queries[front as usize];
                 if eta > rec.deadline {
                     self.workers[idx].queue.pop_front();
@@ -779,7 +874,11 @@ impl<'a> ServingSim<'a> {
         // Move the batch into the worker's reusable in-flight buffer —
         // dispatch runs at event rate and must not allocate.
         w.in_flight.extend(w.queue.drain(..take));
-        let dur = SimDuration::from_secs_f64(self.stage_latency(tier, take) * slowdown);
+        // Service time covers only the residual steps of resumed members
+        // (`savings` is exactly 0.0 in restart mode); the health slowdown
+        // stretches that residual, not the skipped work.
+        let savings = self.batch_resume_savings(tier, self.workers[idx].in_flight.iter().copied());
+        let dur = SimDuration::from_secs_f64((self.stage_latency(tier, take) - savings) * slowdown);
         self.workers[idx].busy = true;
         queue.push(
             now + dur,
@@ -796,6 +895,7 @@ impl<'a> ServingSim<'a> {
         image: GeneratedImage,
         tier: ModelTier,
         confidence: Option<f64>,
+        reused: u32,
         now: SimTime,
     ) {
         let rec = self.queries[qidx as usize];
@@ -807,6 +907,9 @@ impl<'a> ServingSim<'a> {
                 ModelTier::Heavy => self.violations_since_tick_heavy += 1,
             }
         }
+        if reused > 0 {
+            self.resumed_count += 1;
+        }
         self.rolling_fid.push(&image.features);
         self.responses.push(CompletedResponse {
             id: QueryId(qidx),
@@ -816,6 +919,8 @@ impl<'a> ServingSim<'a> {
             quality: image.quality,
             tier,
             confidence,
+            gpu_time: self.single_query_gpu_time(tier, reused),
+            reused_steps: reused,
         });
     }
 
@@ -902,18 +1007,25 @@ impl<'a> ServingSim<'a> {
                         // bounce forever — degrade gracefully by serving
                         // the light output instead.
                         if conf >= self.threshold || !self.has_alive_heavy() {
-                            self.complete(qidx, image, ModelTier::Light, Some(conf), now);
+                            self.complete(qidx, image, ModelTier::Light, Some(conf), 0, now);
                         } else {
+                            if self.config.resume_from_latents {
+                                // Carry the light tier's finished denoise
+                                // schedule so the heavy pass resumes from
+                                // its latents instead of restarting.
+                                self.queries[qidx as usize].resume =
+                                    Some(StageState::completed(self.runtime.spec.light.steps()));
+                            }
                             self.heavy_arrivals_since_tick += 1;
                             self.route_to_tier(ModelTier::Heavy, qidx, now, queue);
                         }
                     } else {
-                        self.complete(qidx, image, ModelTier::Light, None, now);
+                        self.complete(qidx, image, ModelTier::Light, None, 0, now);
                     }
                 }
                 ModelTier::Heavy => {
-                    let image = self.runtime.spec.heavy.generate(&prompt);
-                    self.complete(qidx, image, ModelTier::Heavy, None, now);
+                    let (image, reused) = self.heavy_generate(qidx, &prompt);
+                    self.complete(qidx, image, ModelTier::Heavy, None, reused, now);
                 }
             }
         }
@@ -1229,6 +1341,23 @@ impl<'a> ServingSim<'a> {
             },
             fid_estimate: self.rolling_fid.estimate(),
             deferral_gap: self.control.deferral_gap(),
+            light_stage_latency: StageLatencyBreakdown::of_latency(
+                self.runtime
+                    .spec
+                    .light
+                    .latency()
+                    .exec_latency(1)
+                    .as_secs_f64(),
+            ),
+            heavy_stage_latency: StageLatencyBreakdown::of_latency(
+                self.runtime
+                    .spec
+                    .heavy
+                    .latency()
+                    .exec_latency(1)
+                    .as_secs_f64(),
+            ),
+            resumed_completions: self.resumed_count,
         }
     }
 }
@@ -1376,7 +1505,7 @@ impl ServingBackend for SimBackend<'_> {
     fn submit(&mut self, spec: QuerySpec) -> QueryTicket {
         let at = spec.at.unwrap_or(self.cursor).max(self.cursor);
         let state = self.sim.actor_mut();
-        let qidx = state.enqueue_query(at, spec.prompt, spec.deadline);
+        let qidx = state.enqueue_query(at, spec.prompt, spec.deadline, spec.resume_from);
         let deadline = state.queries[qidx as usize].deadline;
         self.sim.schedule(at, Event::Arrival(qidx));
         QueryTicket {

@@ -48,6 +48,7 @@ pub mod pipeline;
 pub mod predictive;
 pub mod prompt;
 pub mod scorers;
+pub mod stage;
 pub mod zoo;
 
 pub use cascade::{
@@ -64,6 +65,10 @@ pub use predictive::{
 };
 pub use prompt::{DatasetKind, Prompt, PromptDataset};
 pub use scorers::{ClipScorer, PickScorer};
+pub use stage::{
+    resume_savings, reused_steps, StageLatencyBreakdown, StageState, DECODE_FRAC, DENOISE_FRAC,
+    ENCODE_FRAC,
+};
 pub use zoo::{
     cascade1, cascade2, cascade3, fig1a_variants, sd_turbo, sd_v15, sd_v15_dpms, sdxl,
     sdxl_lightning, sdxl_turbo, sdxs, tiny_sd_dpms, CascadeSpec,
@@ -80,5 +85,6 @@ pub mod prelude {
     pub use crate::model::{DiffusionModel, GeneratedImage, LatencyProfile, QualityProfile};
     pub use crate::prompt::{DatasetKind, Prompt, PromptDataset};
     pub use crate::scorers::{ClipScorer, PickScorer};
+    pub use crate::stage::{resume_savings, reused_steps, StageLatencyBreakdown, StageState};
     pub use crate::zoo::{cascade1, cascade2, cascade3, fig1a_variants, CascadeSpec};
 }

@@ -60,6 +60,22 @@ fn assert_reports_bit_identical(a: &RunReport, b: &RunReport, what: &str) {
         b.heavy_fraction.to_bits(),
         "{what}: heavy fraction"
     );
+    assert_eq!(
+        a.mean_heavy_latency.to_bits(),
+        b.mean_heavy_latency.to_bits(),
+        "{what}: mean heavy latency"
+    );
+    assert_eq!(
+        a.gpu_time_per_query.to_bits(),
+        b.gpu_time_per_query.to_bits(),
+        "{what}: gpu time per query"
+    );
+    assert_eq!(a.resumed_queries, b.resumed_queries, "{what}: resumed");
+    assert_eq!(
+        a.mean_reused_steps.to_bits(),
+        b.mean_reused_steps.to_bits(),
+        "{what}: mean reused steps"
+    );
     assert_eq!(a.fid_series, b.fid_series, "{what}: fid series");
     assert_eq!(
         a.violation_series, b.violation_series,
@@ -167,6 +183,89 @@ proptest! {
         );
         assert_reports_bit_identical(&original, &replay, "proptest replay");
     }
+}
+
+/// Stage-level serving under degradation: a browned-out worker stretches
+/// only the *residual* denoise steps of a resumed query. The service time
+/// must be `(nameplate − savings) × slowdown` — the savings come off before
+/// the health multiplier — not the subtly wrong `nameplate × slowdown −
+/// savings`, which would credit the skipped steps at degraded speed.
+#[test]
+fn degraded_worker_stretches_only_residual_steps() {
+    const SLOWDOWN: f64 = 2.5;
+    let mut sys = system();
+    sys.resume_from_latents = true;
+    sys.slo = SimDuration::from_secs(60); // never drop; we measure service
+    let mut session = ServingSession::builder()
+        .runtime(runtime())
+        .config(sys.clone())
+        .policy(Policy::ClipperHeavy)
+        .build()
+        .expect("valid session");
+    session
+        .inject(ScenarioEvent::Capacity(CapacityEvent::Degrade(8, SLOWDOWN)))
+        .expect("the whole fleet may degrade");
+
+    let heavy = &runtime().spec.heavy;
+    let state = StageState::completed(runtime().spec.light.steps());
+    let reused = reused_steps(heavy.steps(), state, sys.resume_step_credit);
+    let savings = resume_savings(heavy.latency(), reused, heavy.steps());
+    assert!(savings > 0.0);
+
+    session.submit_spec(QuerySpec::new().at(SimTime::ZERO).resume_from(state));
+    session.run_until(SimTime::from_secs(59));
+    let outcomes = session.poll();
+    let latency = match outcomes.as_slice() {
+        [QueryOutcome::Completed(r)] => r.latency_secs(),
+        other => panic!("expected one completion, got {other:?}"),
+    };
+    let nameplate = heavy.latency().exec_latency(1).as_secs_f64();
+    let expected = (nameplate - savings) * SLOWDOWN;
+    let wrong = nameplate * SLOWDOWN - savings;
+    assert!(
+        (expected - wrong).abs() > 1e-3,
+        "test must be able to tell the formulas apart"
+    );
+    assert!(
+        (latency - expected).abs() < 1e-9,
+        "degraded resumed service must stretch only residual steps: \
+         {latency} vs expected {expected} (wrong-order formula gives {wrong})"
+    );
+}
+
+/// Record/replay stays bit-exact with stage-level serving enabled: hazards,
+/// resume bookkeeping, and the incident log all reproduce — including the
+/// resume aggregates the extended bit-identity check pins.
+#[test]
+fn hazard_replay_stays_bit_exact_with_resume_enabled() {
+    let mut sys = system();
+    sys.resume_from_latents = true;
+    let settings = RunSettings::new(Policy::DiffServe, 8.0);
+    let scenario = Scenario::new("hazardous-resume", flat(7.0, 80)).with_hazard(Hazard {
+        seed: 7,
+        fail_rate: 0.01,
+        degrade_rate: 0.05,
+        recover_rate: 0.05,
+        restore_rate: 0.03,
+        load_coupling: 6.0,
+        ..Hazard::default()
+    });
+    let original = run_scenario(runtime(), &sys, &settings, &scenario);
+    assert!(
+        !original.incident_log.is_empty(),
+        "seeded hazards must fire at these rates"
+    );
+    assert!(
+        original.resumed_queries > 0,
+        "escalations under hazards must still resume"
+    );
+    let replay = run_scenario(
+        runtime(),
+        &sys,
+        &settings,
+        &scenario.replay(&original.incident_log),
+    );
+    assert_reports_bit_identical(&original, &replay, "resume hazard replay");
 }
 
 /// Degradation is not fail-stop: a brownout slows service (violations rise

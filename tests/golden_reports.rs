@@ -89,11 +89,41 @@ fn fingerprint(report: &RunReport) -> u64 {
     h
 }
 
+/// [`fingerprint`] extended with the stage-level-serving aggregates. The
+/// legacy fingerprint stays byte-for-byte what it was (so the restart-mode
+/// goldens never move); staged-mode runs pin the new fields too.
+fn fingerprint_staged(report: &RunReport) -> u64 {
+    const PRIME: u64 = 0x1000_0000_01b3;
+    fn eat(h: &mut u64, v: u64) {
+        for b in v.to_le_bytes() {
+            *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    let mut h = fingerprint(report);
+    eat(&mut h, report.resumed_queries);
+    eat(&mut h, report.mean_reused_steps.to_bits());
+    eat(&mut h, report.mean_heavy_latency.to_bits());
+    eat(&mut h, report.gpu_time_per_query.to_bits());
+    h
+}
+
 fn run(scenario: &Scenario) -> RunReport {
     let peak = scenario.effective_trace().max_qps();
     run_scenario(
         runtime(),
         &system(),
+        &RunSettings::new(Policy::DiffServe, peak),
+        scenario,
+    )
+}
+
+fn run_staged(scenario: &Scenario) -> RunReport {
+    let peak = scenario.effective_trace().max_qps();
+    let mut sys = system();
+    sys.resume_from_latents = true;
+    run_scenario(
+        runtime(),
+        &sys,
         &RunSettings::new(Policy::DiffServe, peak),
         scenario,
     )
@@ -129,15 +159,58 @@ fn standard_scenario_reports_match_goldens() {
     }
 }
 
-/// Prints the current fingerprint table for pasting into `EXPECTED`.
+/// Captured fingerprints for the same nine scenarios with stage-level
+/// serving enabled (`resume_from_latents = true`), hashed with
+/// [`fingerprint_staged`] so the resume aggregates are pinned too.
+const EXPECTED_RESUME: [(&str, u64); 9] = [
+    ("steady", 0x8b183ab52f05225a),
+    ("flash-crowd", 0xff5f84b3aeec2ddd),
+    ("worker-failure", 0xc4bf129c1415bdf3),
+    ("double-failure", 0x627876e12f72fe7a),
+    ("cascading-failure", 0x14691d2c085a13a7),
+    ("demand-shock", 0x6ab5f40fbaf78b5f),
+    ("hard-prompts", 0x3a30f2ca978fe412),
+    ("brownout", 0x01e5301ca4f6e5b4),
+    ("load-correlated-cascade", 0xd2ac06480b0cb2b3),
+];
+
+/// Staged-mode runs are just as deterministic as restart-mode runs: every
+/// standard scenario with resume enabled must match its golden fingerprint
+/// bit for bit, resume aggregates included.
+#[test]
+fn staged_scenario_reports_match_goldens() {
+    for (scenario, &(name, expected)) in scenarios().iter().zip(EXPECTED_RESUME.iter()) {
+        assert_eq!(scenario.name(), name, "scenario order drifted");
+        let report = run_staged(scenario);
+        let got = fingerprint_staged(&report);
+        assert_eq!(
+            got, expected,
+            "{name}: staged report fingerprint {got:#018x} != golden {expected:#018x} — \
+             the resume path's behavior changed; if intentional, regenerate with \
+             `cargo test --release --test golden_reports -- --ignored --nocapture`"
+        );
+    }
+}
+
+/// Prints the current fingerprint tables for pasting into `EXPECTED` and
+/// `EXPECTED_RESUME`.
 #[test]
 #[ignore = "generator, not a check — run with --ignored --nocapture"]
 fn print_current_fingerprints() {
+    println!("EXPECTED:");
     for scenario in scenarios() {
         println!(
             "    (\"{}\", {:#018x}),",
             scenario.name(),
             fingerprint(&run(&scenario))
+        );
+    }
+    println!("EXPECTED_RESUME:");
+    for scenario in scenarios() {
+        println!(
+            "    (\"{}\", {:#018x}),",
+            scenario.name(),
+            fingerprint_staged(&run_staged(&scenario))
         );
     }
 }

@@ -138,6 +138,82 @@ fn simulator_and_cluster_agree_with_online_estimator() {
 }
 
 #[test]
+fn simulator_and_cluster_agree_with_resume_from_latents() {
+    // Stage-level serving: with resume enabled, both engines must resume
+    // every cascade escalation from the light tier's latents and agree on
+    // the resulting system-level metrics — same shared control plane, same
+    // residual-step arithmetic.
+    let system = SystemConfig {
+        num_workers: 8,
+        resume_from_latents: true,
+        ..Default::default()
+    };
+    let trace = Trace::constant(5.0, SimDuration::from_secs(50)).unwrap();
+    let settings = RunSettings::new(Policy::DiffServe, 5.0);
+
+    let sim = run_trace(runtime(), &system, &settings, &trace);
+    let testbed = run_cluster(
+        runtime(),
+        &ClusterConfig {
+            system: system.clone(),
+            time_scale: if cfg!(debug_assertions) { 0.05 } else { 0.01 },
+        },
+        &settings,
+        &trace,
+    );
+
+    assert_eq!(
+        sim.total_queries, testbed.total_queries,
+        "same arrival stream"
+    );
+    assert!(sim.resumed_queries > 0, "sim must resume escalations");
+    assert!(
+        testbed.resumed_queries > 0,
+        "cluster must resume escalations"
+    );
+
+    // Every escalated query resumes from the same full light-tier state, so
+    // the per-query reused-step count is one constant — both engines must
+    // report exactly it, not merely something close.
+    let heavy = &runtime().spec.heavy;
+    let expected_reuse = reused_steps(
+        heavy.steps(),
+        StageState::completed(runtime().spec.light.steps()),
+        system.resume_step_credit,
+    ) as f64;
+    assert!(
+        (sim.mean_reused_steps - expected_reuse).abs() < 1e-9,
+        "sim mean reused steps {} vs {expected_reuse}",
+        sim.mean_reused_steps
+    );
+    assert!(
+        (testbed.mean_reused_steps - expected_reuse).abs() < 1e-9,
+        "cluster mean reused steps {} vs {expected_reuse}",
+        testbed.mean_reused_steps
+    );
+
+    let fid_gap = (testbed.fid - sim.fid).abs() / sim.fid;
+    assert!(
+        fid_gap < 0.25,
+        "FID gap {fid_gap:.3}: sim {:.2} vs testbed {:.2}",
+        sim.fid,
+        testbed.fid
+    );
+    let viol_gap = (testbed.violation_ratio - sim.violation_ratio).abs();
+    assert!(viol_gap < 0.30, "violation gap {viol_gap:.3}");
+    // GPU time is accounted analytically per query in both engines, so the
+    // gap reflects only routing-mix differences, not wall-clock noise.
+    let gpu_gap = (testbed.gpu_time_per_query - sim.gpu_time_per_query).abs()
+        / sim.gpu_time_per_query.max(1e-9);
+    assert!(
+        gpu_gap < 0.25,
+        "GPU-time gap {gpu_gap:.3}: sim {:.3} vs testbed {:.3}",
+        sim.gpu_time_per_query,
+        testbed.gpu_time_per_query
+    );
+}
+
+#[test]
 fn simulator_and_cluster_agree_for_clipper_light() {
     let system = SystemConfig {
         num_workers: 8,

@@ -37,6 +37,7 @@ proptest! {
             deferral: &deferral,
             light: LatencyProfile::new(0.10, 0.55),
             heavy: LatencyProfile::new(1.78, 0.12),
+            resume_heavy: None,
             discriminator_latency: 0.01,
             batch_sizes: &batches,
             thresholds: &grid,
@@ -75,6 +76,7 @@ proptest! {
             deferral: &deferral,
             light: LatencyProfile::new(0.10, 0.55),
             heavy: LatencyProfile::new(1.78, 0.12),
+            resume_heavy: None,
             discriminator_latency: 0.01,
             batch_sizes: &batches,
             thresholds: &grid,
@@ -119,6 +121,7 @@ proptest! {
             deferral: &deferral,
             light: LatencyProfile::new(0.10, 0.55),
             heavy: LatencyProfile::new(1.78, 0.12),
+            resume_heavy: None,
             discriminator_latency: 0.01,
             batch_sizes: &batches,
             thresholds: &grid,

@@ -16,11 +16,33 @@ pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
     VecStrategy { elem, len }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         let n = self.len.clone().generate(rng);
         (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    /// Prefix truncations toward the minimum length: the front half first
+    /// (binary search on length), then one element off the back.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let min = self.len.start;
+        let n = value.len();
+        if n <= min {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let half = min.max(n / 2);
+        if half < n {
+            out.push(value[..half].to_vec());
+        }
+        if n - 1 != half {
+            out.push(value[..n - 1].to_vec());
+        }
+        out
     }
 }

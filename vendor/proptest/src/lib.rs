@@ -3,10 +3,20 @@
 //! The build environment has no access to crates.io, so this crate provides a
 //! deterministic miniature of proptest: the [`proptest!`] macro expands each
 //! property into a `#[test]` that samples its [`Strategy`] arguments from a
-//! seeded RNG for [`ProptestConfig::cases`] iterations. There is no shrinking;
-//! a failing case panics with the regular assertion message. Supported
-//! strategies are numeric ranges (`lo..hi`, `lo..=hi`) and
-//! [`collection::vec`].
+//! seeded RNG for [`ProptestConfig::cases`] iterations. Supported strategies
+//! are numeric ranges (`lo..hi`, `lo..=hi`) and [`collection::vec`].
+//!
+//! # Shrinking
+//!
+//! When a case fails, the driver minimizes it before reporting: each
+//! argument is greedily replaced by the simplest [`Strategy::shrink`]
+//! candidate that still fails, looping until no argument can shrink further.
+//! Scalars binary-search toward their range start; vectors shrink by prefix
+//! truncation. The minimal case is printed (arguments must implement
+//! `Debug`) and then re-run uncaught so the regular assertion message
+//! surfaces. Panics are hooked process-wide during the shrink search, so a
+//! concurrently failing test in the same binary may lose its panic message
+//! (it still fails) — the usual cost of a test-global hook.
 
 use std::ops::{Range, RangeInclusive};
 
@@ -90,6 +100,40 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Simpler candidates to try in place of a failing `value`, ordered
+    /// simplest-first. The driver accepts the first candidate that still
+    /// fails and calls `shrink` again on it, so returning the range start,
+    /// a midpoint, and a decrement yields binary-search convergence. The
+    /// default never shrinks.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// Shrink candidates for an integer in a range starting at `lo`: the range
+/// start (simplest), the midpoint toward it (binary search), and a
+/// decrement (final linear approach once bisection overshoots).
+macro_rules! int_shrink {
+    ($t:ty, $lo:expr, $value:expr) => {{
+        let lo: $t = $lo;
+        let value: $t = $value;
+        if value <= lo {
+            Vec::new()
+        } else {
+            let mut out = vec![lo];
+            let mid = lo + (value - lo) / 2;
+            if mid != lo && mid != value {
+                out.push(mid);
+            }
+            let dec = value - 1;
+            if dec != lo && dec != mid {
+                out.push(dec);
+            }
+            out
+        }
+    }};
 }
 
 macro_rules! impl_int_strategy {
@@ -102,6 +146,9 @@ macro_rules! impl_int_strategy {
                 let offset = (rng.next_u64() as u128) % span;
                 ((self.start as i128) + offset as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink!($t, self.start, *value)
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -111,6 +158,9 @@ macro_rules! impl_int_strategy {
                 let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
                 let offset = (rng.next_u64() as u128) % span;
                 ((lo as i128) + offset as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink!($t, *self.start(), *value)
             }
         }
     )*};
@@ -126,6 +176,19 @@ macro_rules! impl_float_strategy {
                 assert!(self.start < self.end, "empty strategy range");
                 let v = self.start + (self.end - self.start) * rng.unit_f64() as $t;
                 if v < self.end { v } else { self.start }
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                // `<= lo` or NaN: nothing simpler to offer.
+                if *value <= lo || value.is_nan() {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let mid = lo + (*value - lo) / 2.0;
+                if mid > lo && mid < *value {
+                    out.push(mid);
+                }
+                out
             }
         }
     )*};
@@ -171,19 +234,110 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         #[test]
         fn $name() {
-            let __cfg: $crate::ProptestConfig = $cfg;
-            let mut __rng = $crate::TestRng::for_property(stringify!($name));
-            for __case in 0..__cfg.cases {
-                let _ = __case;
-                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
-                $body
-            }
+            $crate::run_property(
+                $cfg,
+                stringify!($name),
+                &($($strat,)+),
+                |($($arg,)+)| $body,
+            );
         }
         $crate::__proptest_items! { $cfg; $($rest)* }
     };
 }
 
-/// Asserts a condition inside a property (panics on failure; no shrinking).
+/// The property driver behind [`proptest!`]: samples `cases` inputs from
+/// `strat`, and on the first failure greedily minimizes it (accept the
+/// first [`Strategy::shrink`] candidate that still fails, repeat until no
+/// candidate fails) before re-running the minimal case uncaught so the
+/// regular assertion message reports it.
+#[doc(hidden)]
+pub fn run_property<S, F>(cfg: ProptestConfig, name: &str, strat: &S, prop: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value),
+{
+    let mut rng = TestRng::for_property(name);
+    for _ in 0..cfg.cases {
+        let value = strat.generate(&mut rng);
+        let run = |v: S::Value| std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(v)));
+        if run(value.clone()).is_ok() {
+            continue;
+        }
+        let mut current = value;
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        loop {
+            let mut advanced = false;
+            for cand in strat.shrink(&current) {
+                if run(cand.clone()).is_err() {
+                    current = cand;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        std::panic::set_hook(prev_hook);
+        eprintln!("proptest: minimal failing case for `{name}`: {current:?}");
+        prop(current);
+        unreachable!("shrunken case no longer fails");
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident / $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone,)+
+        {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            /// One-component-at-a-time shrinks: every candidate simplifies
+            /// exactly one position toward its range start, so greedy
+            /// acceptance strictly decreases a well-founded measure and the
+            /// driver's loop terminates.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 / 0);
+impl_tuple_strategy!(S0 / 0, S1 / 1);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
+impl_tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7
+);
+
+/// Asserts a condition inside a property (panics on failure, which the
+/// driver intercepts to shrink the case).
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr) => { assert!($cond) };
@@ -220,6 +374,63 @@ mod tests {
             prop_assert!((1..100).contains(&xs.len()));
             prop_assert!(xs.iter().all(|v| (-1e3..1e3).contains(v)));
         }
+    }
+
+    #[test]
+    fn int_shrink_offers_start_midpoint_and_decrement() {
+        let s = 0u64..5000;
+        let c = Strategy::shrink(&s, &4000);
+        assert_eq!(c, vec![0, 2000, 3999]);
+        assert!(Strategy::shrink(&s, &0).is_empty());
+        let signed = -100i32..100;
+        assert_eq!(Strategy::shrink(&signed, &50), vec![-100, -25, 49]);
+    }
+
+    #[test]
+    fn float_shrink_bisects_toward_range_start() {
+        let s = 1.0f64..50.0;
+        let c = Strategy::shrink(&s, &33.0);
+        assert_eq!(c, vec![1.0, 17.0]);
+        assert!(Strategy::shrink(&s, &1.0).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_truncates_prefixes_only() {
+        let s = crate::collection::vec(0u32..10, 2..100);
+        let v: Vec<u32> = vec![7, 3, 9, 1, 5, 2];
+        let c = Strategy::shrink(&s, &v);
+        assert_eq!(c, vec![vec![7, 3, 9], vec![7, 3, 9, 1, 5]]);
+        assert!(Strategy::shrink(&s, &vec![7, 3]).is_empty());
+    }
+
+    #[test]
+    fn greedy_shrink_converges_to_the_minimal_counterexample() {
+        // The driver's loop in miniature: property "x < 100" has minimal
+        // counterexample exactly 100, which bisection plus the final
+        // decrement walk must land on.
+        let strat = 0u64..5000;
+        let fails = |x: u64| x >= 100;
+        let mut x = 4321u64;
+        assert!(fails(x));
+        let mut progress = true;
+        while progress {
+            progress = false;
+            loop {
+                let mut advanced = false;
+                for cand in Strategy::shrink(&strat, &x) {
+                    if fails(cand) {
+                        x = cand;
+                        advanced = true;
+                        progress = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+            }
+        }
+        assert_eq!(x, 100);
     }
 
     #[test]
