@@ -14,22 +14,19 @@ fn main() {
     let thresholds: Vec<f64> = (0..46).map(|i| 0.9 * i as f64 / 45.0).collect();
     let batches = [1usize, 2, 4, 8, 16];
 
+    let class = |name: &str, count: usize, speed: f64| {
+        WorkerClass::new(name, count, speed).expect("experiment fleet classes are valid")
+    };
     let fleets: Vec<(&str, Vec<WorkerClass>)> = vec![
-        ("16x A100", vec![WorkerClass::new("A100", 16, 1.0)]),
-        ("16x V100", vec![WorkerClass::new("V100", 16, 0.5)]),
+        ("16x A100", vec![class("A100", 16, 1.0)]),
+        ("16x V100", vec![class("V100", 16, 0.5)]),
         (
             "8x A100 + 8x V100",
-            vec![
-                WorkerClass::new("A100", 8, 1.0),
-                WorkerClass::new("V100", 8, 0.5),
-            ],
+            vec![class("A100", 8, 1.0), class("V100", 8, 0.5)],
         ),
         (
             "4x A100 + 16x V100",
-            vec![
-                WorkerClass::new("A100", 4, 1.0),
-                WorkerClass::new("V100", 16, 0.5),
-            ],
+            vec![class("A100", 4, 1.0), class("V100", 16, 0.5)],
         ),
     ];
 

@@ -16,7 +16,7 @@
 //! Usage:
 //!
 //! ```text
-//! perf [--smoke] [--resume] [--out PATH] [--baseline PATH]
+//! perf [--smoke] [--resume | --addons] [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! * `--smoke` — CI-sized workloads only (still 1000 workers, shorter
@@ -25,10 +25,14 @@
 //!   smoke job compares against.
 //! * `--resume` — run the serving workloads with stage-level resume
 //!   enabled (`SystemConfig::resume_from_latents`); benchmark keys gain a
-//!   `resume/` prefix so the two modes never gate against each other's
-//!   baselines. A full run in either mode also executes the *other*
-//!   mode's smoke workloads, so one committed full baseline covers both
-//!   CI matrix legs.
+//!   `resume/` prefix so the modes never gate against each other's
+//!   baselines. A full run in any mode also executes the *other* modes'
+//!   smoke workloads, so one committed full baseline covers every CI
+//!   matrix leg.
+//! * `--addons` — run the serving workloads with add-on serving enabled
+//!   (the demo catalog/mix on `SystemConfig::addons`: per-worker module
+//!   caches, swap charging, affinity routing); keys gain an `addons/`
+//!   prefix.
 //! * `--out PATH` — where to write the JSON (default `BENCH_sim.json`).
 //! * `--baseline PATH` — compare against a previous export and exit
 //!   nonzero if any benchmark present in both regressed by more than
@@ -42,10 +46,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use criterion::{black_box, Criterion};
-use diffserve_bench::{f2, prepare_runtime_small, CascadeId, Table};
+use diffserve_bench::{f2, prepare_runtime_small, CascadeId, Table, EXPERIMENT_SEED};
 use diffserve_core::{
-    run_scenario, run_trace, solve_milp_allocation, solve_milp_allocation_warm, AllocatorInputs,
-    CascadeRuntime, Policy, RunSettings, SystemConfig, WarmStart,
+    run_scenario, run_trace, solve_milp_allocation, solve_milp_allocation_warm, AddonsConfig,
+    AllocatorInputs, CascadeRuntime, Policy, RunSettings, SystemConfig, WarmStart,
 };
 use diffserve_imagegen::LatencyProfile;
 use diffserve_simkit::time::SimDuration;
@@ -60,6 +64,41 @@ const REGRESSION_TOLERANCE: f64 = 0.20;
 /// roadmap; routing must go through the sorted load index to survive it).
 const FLEET: usize = 1000;
 
+/// Which serving-feature variant the serving workloads run under. Each
+/// mode namespaces its benchmark keys so the CI matrix legs never gate
+/// against each other's baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Plain restart cascade — the unprefixed historical keys.
+    Restart,
+    /// Stage-level resume escalation (`resume/` keys).
+    Resume,
+    /// Add-on serving with the demo catalog and mix (`addons/` keys).
+    Addons,
+}
+
+impl Mode {
+    fn all() -> [Mode; 3] {
+        [Mode::Restart, Mode::Resume, Mode::Addons]
+    }
+
+    fn prefix(self) -> &'static str {
+        match self {
+            Mode::Restart => "",
+            Mode::Resume => "resume/",
+            Mode::Addons => "addons/",
+        }
+    }
+
+    fn apply(self, config: &mut SystemConfig) {
+        match self {
+            Mode::Restart => {}
+            Mode::Resume => config.resume_from_latents = true,
+            Mode::Addons => config.addons = Some(AddonsConfig::demo(EXPERIMENT_SEED)),
+        }
+    }
+}
+
 /// One exported measurement.
 struct Record {
     name: String,
@@ -73,6 +112,7 @@ struct Record {
 fn main() {
     let mut smoke = false;
     let mut resume = false;
+    let mut addons = false;
     let mut out = String::from("BENCH_sim.json");
     let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -80,15 +120,27 @@ fn main() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--resume" => resume = true,
+            "--addons" => addons = true,
             "--out" => out = args.next().expect("--out needs a path"),
             "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf [--smoke] [--resume] [--out PATH] [--baseline PATH]");
+                eprintln!(
+                    "usage: perf [--smoke] [--resume | --addons] [--out PATH] [--baseline PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let mode = match (resume, addons) {
+        (true, true) => {
+            eprintln!("--resume and --addons are separate baseline namespaces; pick one");
+            std::process::exit(2);
+        }
+        (true, false) => Mode::Resume,
+        (false, true) => Mode::Addons,
+        (false, false) => Mode::Restart,
+    };
 
     // Read the baseline up front: CI overwrites the checked-in file with
     // its own export (`--out BENCH_sim.json --baseline BENCH_sim.json`),
@@ -110,63 +162,64 @@ fn main() {
 
     // Smoke-sized workloads: always run, so a full baseline has the keys
     // the CI job compares.
-    let prefix = |r: bool| if r { "resume/" } else { "" };
     azure_replay(
         &runtime,
         &mut criterion,
-        &format!("{}smoke/azure_replay_1000w", prefix(resume)),
+        &format!("{}smoke/azure_replay_1000w", mode.prefix()),
         30.0,
         120.0,
         60,
-        resume,
+        mode,
     );
     sweep(
         &runtime,
         &mut records,
-        &format!("{}smoke/sweep", prefix(resume)),
+        &format!("{}smoke/sweep", mode.prefix()),
         true,
         threads,
-        resume,
+        mode,
     );
 
     if !smoke {
         azure_replay(
             &runtime,
             &mut criterion,
-            &format!("{}azure_replay_1000w", prefix(resume)),
+            &format!("{}azure_replay_1000w", mode.prefix()),
             60.0,
             480.0,
             350,
-            resume,
+            mode,
         );
         sweep(
             &runtime,
             &mut records,
-            &format!("{}sweep_5x9", prefix(resume)),
+            &format!("{}sweep_5x9", mode.prefix()),
             false,
             threads,
-            resume,
+            mode,
         );
-        // A full baseline also carries the *other* escalation mode's smoke
-        // keys, so both legs of the CI bench matrix gate against one
-        // committed export.
-        azure_replay(
-            &runtime,
-            &mut criterion,
-            &format!("{}smoke/azure_replay_1000w", prefix(!resume)),
-            30.0,
-            120.0,
-            60,
-            !resume,
-        );
-        sweep(
-            &runtime,
-            &mut records,
-            &format!("{}smoke/sweep", prefix(!resume)),
-            true,
-            threads,
-            !resume,
-        );
+        // A full baseline also carries the *other* modes' smoke keys, so
+        // every leg of the CI bench matrix gates against one committed
+        // export.
+        for other in Mode::all().into_iter().filter(|&m| m != mode) {
+            azure_replay(
+                &runtime,
+                &mut criterion,
+                &format!("{}smoke/azure_replay_1000w", other.prefix()),
+                30.0,
+                120.0,
+                60,
+                other,
+            );
+            sweep(
+                &runtime,
+                &mut records,
+                &format!("{}smoke/sweep", other.prefix()),
+                true,
+                threads,
+                other,
+            );
+        }
     }
 
     for m in criterion.measurements() {
@@ -218,13 +271,13 @@ fn azure_replay(
     min_qps: f64,
     max_qps: f64,
     secs: u64,
-    resume: bool,
+    mode: Mode,
 ) {
-    let config = SystemConfig {
+    let mut config = SystemConfig {
         num_workers: FLEET,
-        resume_from_latents: resume,
         ..Default::default()
     };
+    mode.apply(&mut config);
     let trace = synthesize_azure_trace(&AzureTraceConfig {
         min_qps,
         max_qps,
@@ -271,13 +324,13 @@ fn sweep(
     id: &str,
     smoke: bool,
     threads: usize,
-    resume: bool,
+    mode: Mode,
 ) {
-    let system = SystemConfig {
+    let mut system = SystemConfig {
         num_workers: 8,
-        resume_from_latents: resume,
         ..Default::default()
     };
+    mode.apply(&mut system);
     let jobs = sweep_jobs(&system, smoke);
 
     let start = Instant::now();

@@ -28,9 +28,9 @@ use diffserve_core::serve::{
     ServingBackend, ServingSession, SessionBuilder, SessionSnapshot, SessionSpec,
 };
 use diffserve_core::{
-    CascadeRuntime, CompletedResponse, ConfigError, ControlDirective, ControlLoop,
-    ControlObservation, ModelTier, PlanActuator, Policy, QueryId, RunReport, RunSettings,
-    SystemConfig,
+    AddonStats, AddonsConfig, CascadeRuntime, CompletedResponse, ConfigError, ControlDirective,
+    ControlLoop, ControlObservation, ModelTier, ModuleCache, PlanActuator, Policy, QueryId,
+    RunReport, RunSettings, SystemConfig,
 };
 use diffserve_imagegen::{resume_savings, reused_steps, Prompt, StageLatencyBreakdown, StageState};
 use diffserve_metrics::{GaussianStats, RollingFid, SloTracker, WindowedSeries};
@@ -73,6 +73,9 @@ struct Job {
     /// Denoise progress carried over from the light tier, set at the
     /// escalation site when [`SystemConfig::resume_from_latents`] is on.
     resume: Option<StageState>,
+    /// Add-on module (catalog index) this job requires; rides along on
+    /// escalation so the heavy pass needs the same module.
+    addon: Option<usize>,
 }
 
 struct Shared {
@@ -128,6 +131,24 @@ struct Shared {
     /// [`SystemConfig::resume_quality_penalty`], applied only to resumed
     /// heavy passes.
     resume_quality_penalty: f64,
+    /// Add-on subsystem configuration, copied from
+    /// [`SystemConfig::addons`]; `None` disables the module caches, swap
+    /// charging, and affinity routing entirely.
+    addons: Option<AddonsConfig>,
+    /// Per-worker bounded LRU module caches (empty with add-ons off).
+    module_caches: Vec<Mutex<ModuleCache>>,
+    /// Per-tier add-on cache accounting (hits, misses, swap seconds).
+    addon_stats: Mutex<AddonStats>,
+    /// Route add-on-carrying jobs by queue depth alone, ignoring cache
+    /// residency (the affinity-blindness ablation, from
+    /// [`AblationKnobs::affinity_blind_routing`]).
+    ///
+    /// [`AblationKnobs::affinity_blind_routing`]: diffserve_core::AblationKnobs
+    affinity_blind_routing: bool,
+    /// Single-query nameplate service seconds per tier (discriminator
+    /// included when cascading) — the affinity miss penalty's normalizer.
+    light_unit_secs: f64,
+    heavy_unit_secs: f64,
 }
 
 impl Shared {
@@ -376,6 +397,116 @@ impl Shared {
             }
         }
     }
+
+    /// Affinity-aware variant of [`Shared::pick_worker`] for jobs that
+    /// carry an add-on requirement: each candidate's effective depth is
+    /// bumped by the module load latency (normalized to single-query
+    /// service slots on the target tier) when the worker's cache lacks the
+    /// module. Falls back to plain JSQ when add-ons are off, the job
+    /// carries no add-on, or the affinity-blind ablation is set — so the
+    /// disabled path routes bit-identically to [`Shared::pick_worker`].
+    fn pick_worker_for(&self, tier: ModelTier, addon: Option<usize>) -> usize {
+        let (Some(addons), Some(id)) = (&self.addons, addon) else {
+            return self.pick_worker(tier);
+        };
+        if self.affinity_blind_routing {
+            return self.pick_worker(tier);
+        }
+        let unit = match tier {
+            ModelTier::Light => self.light_unit_secs,
+            ModelTier::Heavy => self.heavy_unit_secs,
+        };
+        let penalty = addons.catalog.get(id).load_secs / unit;
+        let score = |i: usize| {
+            let miss = !self.module_caches[i].lock().contains(id);
+            self.effective_depth(i) + if miss { penalty } else { 0.0 }
+        };
+        let plan = self.plan.read();
+        let mut best: Option<(f64, usize)> = None;
+        for (i, &t) in plan.tiers.iter().enumerate() {
+            if t != tier || self.is_failed(i) {
+                continue;
+            }
+            let d = score(i);
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, i));
+            }
+        }
+        if let Some((_, i)) = best {
+            return i;
+        }
+        let mut idx = usize::MAX;
+        let mut min = f64::INFINITY;
+        for i in 0..self.depths.len() {
+            if self.is_failed(i) {
+                continue;
+            }
+            let v = score(i);
+            if v < min {
+                min = v;
+                idx = i;
+            }
+        }
+        assert_ne!(idx, usize::MAX, "at least one worker must be alive");
+        idx
+    }
+
+    /// Total module-load seconds a prospective batch would pay on worker
+    /// `wid` right now: one load per distinct required module absent from
+    /// the worker's cache. Read-only — the drop-front latency estimate uses
+    /// it; [`Shared::charge_batch_swaps`] does the matching mutation.
+    fn batch_swap_secs(&self, wid: usize, jobs: &[Job]) -> f64 {
+        let Some(addons) = &self.addons else {
+            return 0.0;
+        };
+        let cache = self.module_caches[wid].lock();
+        let mut seen: Vec<usize> = Vec::new();
+        let mut secs = 0.0;
+        for job in jobs {
+            if let Some(id) = job.addon {
+                if !cache.contains(id) && !seen.contains(&id) {
+                    seen.push(id);
+                    secs += addons.catalog.get(id).load_secs;
+                }
+            }
+        }
+        secs
+    }
+
+    /// Charges the batch's module swaps against worker `wid`'s cache:
+    /// records a hit/miss per add-on-carrying member (judged against
+    /// residency at batch start, with each distinct missing module's load
+    /// latency attributed to its first requester), then admits every
+    /// required module in member order so LRU recency reflects the batch.
+    /// Returns the total swap seconds added to the batch's service time —
+    /// exactly [`Shared::batch_swap_secs`] for the same members.
+    fn charge_batch_swaps(&self, wid: usize, tier: ModelTier, jobs: &[Job]) -> f64 {
+        let Some(addons) = &self.addons else {
+            return 0.0;
+        };
+        let mut cache = self.module_caches[wid].lock();
+        let mut stats = self.addon_stats.lock();
+        let mut seen: Vec<usize> = Vec::new();
+        let mut secs = 0.0;
+        for job in jobs {
+            let Some(id) = job.addon else { continue };
+            let hit = cache.contains(id);
+            let swap = if !hit && !seen.contains(&id) {
+                seen.push(id);
+                addons.catalog.get(id).load_secs
+            } else {
+                0.0
+            };
+            stats.record(tier, hit, swap);
+            secs += swap;
+        }
+        for job in jobs {
+            if let Some(id) = job.addon {
+                cache.admit(id, &addons.catalog);
+            }
+        }
+        secs
+    }
 }
 
 enum Outcome {
@@ -491,6 +622,27 @@ impl ClusterBackend {
             resume_enabled: sys.resume_from_latents,
             resume_step_credit: sys.resume_step_credit,
             resume_quality_penalty: sys.resume_quality_penalty,
+            addons: sys.addons.clone(),
+            module_caches: match &sys.addons {
+                Some(a) => (0..n)
+                    .map(|_| Mutex::new(ModuleCache::new(a.cache_mem_mb)))
+                    .collect(),
+                None => Vec::new(),
+            },
+            addon_stats: Mutex::new(AddonStats::default()),
+            affinity_blind_routing: settings.knobs.affinity_blind_routing,
+            light_unit_secs: stage_latency(
+                runtime,
+                ModelTier::Light,
+                1,
+                settings.policy.uses_cascade(),
+            ),
+            heavy_unit_secs: stage_latency(
+                runtime,
+                ModelTier::Heavy,
+                1,
+                settings.policy.uses_cascade(),
+            ),
         });
 
         let (job_txs, job_rxs): (Vec<Sender<Job>>, Vec<Receiver<Job>>) =
@@ -652,7 +804,7 @@ impl ServingBackend for ClusterBackend {
             }
             _ => ModelTier::Light,
         };
-        let w = self.shared.pick_worker(tier);
+        let w = self.shared.pick_worker_for(tier, spec.addon);
         self.shared.depths[w].fetch_add(1, Ordering::Relaxed);
         let qid = self.submitted;
         self.submitted += 1;
@@ -667,6 +819,7 @@ impl ServingBackend for ClusterBackend {
                 deadline,
                 prompt: spec.prompt,
                 resume: spec.resume_from,
+                addon: spec.addon,
             })
             .expect("worker channels outlive the session");
         QueryTicket {
@@ -788,6 +941,7 @@ impl ServingBackend for ClusterBackend {
             heavy_stage_latency: StageLatencyBreakdown::of_latency(self.heavy_exec1),
             resumed_completions: self.responses.iter().filter(|r| r.reused_steps > 0).count()
                 as u64,
+            addon_stats: *self.shared.addon_stats.lock(),
         }
     }
 
@@ -833,6 +987,7 @@ impl ServingBackend for ClusterBackend {
                 .filter(|&(t, _)| t < h)
                 .collect(),
             std::mem::take(&mut *self.shared.incident_log.lock()),
+            *self.shared.addon_stats.lock(),
         )
     }
 }
@@ -1145,7 +1300,7 @@ fn worker_loop(
             was_failed = true;
             while let Ok(job) = rx.try_recv() {
                 shared.depths[wid].fetch_sub(1, Ordering::Relaxed);
-                let target = shared.pick_worker(current_tier);
+                let target = shared.pick_worker_for(current_tier, job.addon);
                 shared.depths[target].fetch_add(1, Ordering::Relaxed);
                 let _ = txs[target].send(job);
             }
@@ -1156,8 +1311,13 @@ fn worker_loop(
             continue;
         }
         if was_failed {
-            // Rejoining the pool: reload model weights before serving.
+            // Rejoining the pool: reload model weights before serving. The
+            // restart also wiped device memory, so the add-on module cache
+            // comes back cold (mirroring the simulator's fail handling).
             was_failed = false;
+            if let Some(cache) = shared.module_caches.get(wid) {
+                cache.lock().clear();
+            }
             shared.busy[wid].store(true, Ordering::Relaxed);
             shared.sleep_sim(switch_delay);
             shared.busy[wid].store(false, Ordering::Relaxed);
@@ -1206,7 +1366,8 @@ fn worker_loop(
         if drop_misses {
             let now = shared.sim_now();
             let exec = (stage_latency(runtime, current_tier, batch.len(), uses_cascade)
-                - batch_resume_savings(shared, runtime, current_tier, &batch))
+                - batch_resume_savings(shared, runtime, current_tier, &batch)
+                + shared.batch_swap_secs(wid, &batch))
                 * slowdown;
             batch.retain(|job| {
                 if now + exec > job.deadline {
@@ -1230,9 +1391,12 @@ fn worker_loop(
         // degraded worker takes `slowdown`× its nameplate latency. Resumed
         // jobs' saved denoise steps come off *before* the health slowdown —
         // a degraded worker stretches only the residual steps it actually
-        // runs, mirroring the simulator.
+        // runs, mirroring the simulator. Add-on module swaps (charged here,
+        // once per dispatch) stretch with the slowdown like any other
+        // device-side work.
         let exec = (stage_latency(runtime, current_tier, batch.len(), uses_cascade)
-            - batch_resume_savings(shared, runtime, current_tier, &batch))
+            - batch_resume_savings(shared, runtime, current_tier, &batch)
+            + shared.charge_batch_swaps(wid, current_tier, &batch))
             * slowdown;
         shared.busy[wid].store(true, Ordering::Relaxed);
         shared.sleep_sim(exec);
@@ -1281,7 +1445,7 @@ fn worker_loop(
                                     Some(StageState::completed(runtime.spec.light.steps()));
                             }
                             shared.heavy_since_tick.fetch_add(1, Ordering::Relaxed);
-                            let target = shared.pick_worker(ModelTier::Heavy);
+                            let target = shared.pick_worker_for(ModelTier::Heavy, job.addon);
                             shared.depths[target].fetch_add(1, Ordering::Relaxed);
                             let _ = txs[target].send(job);
                         }

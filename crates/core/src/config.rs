@@ -2,6 +2,8 @@
 
 use diffserve_simkit::time::SimDuration;
 
+use crate::addons::AddonsConfig;
+
 /// Cluster and controller configuration for a serving run.
 ///
 /// Defaults follow the paper's testbed: 16 workers, 5 s SLO (Cascade 1),
@@ -68,6 +70,11 @@ pub struct SystemConfig {
     /// `0.0` models a lossless hand-off (resumed output is bit-identical
     /// to a restarted one).
     pub resume_quality_penalty: f64,
+    /// Add-on-aware serving: the module catalog, per-worker cache budget,
+    /// and seeded per-query requirement mix. `None` (the default) disables
+    /// the subsystem bit-identically — no query carries an add-on, no
+    /// module cache exists, and routing is unchanged.
+    pub addons: Option<AddonsConfig>,
 }
 
 impl Default for SystemConfig {
@@ -91,6 +98,7 @@ impl Default for SystemConfig {
             resume_from_latents: false,
             resume_step_credit: 0.5,
             resume_quality_penalty: 0.0,
+            addons: None,
         }
     }
 }
@@ -147,6 +155,9 @@ impl SystemConfig {
                 "resume quality penalty must lie in [0, 1]",
             ));
         }
+        if let Some(addons) = &self.addons {
+            addons.validate()?;
+        }
         Ok(())
     }
 
@@ -190,6 +201,15 @@ mod tests {
     #[test]
     fn default_is_valid() {
         assert!(SystemConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn addons_demo_config_is_valid() {
+        let cfg = SystemConfig {
+            addons: Some(crate::addons::AddonsConfig::demo(0xD1FF)),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]
@@ -285,6 +305,48 @@ mod tests {
                 "resume penalty negative",
                 SystemConfig {
                     resume_quality_penalty: -0.1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "empty add-on catalog",
+                SystemConfig {
+                    addons: Some(crate::addons::AddonsConfig {
+                        catalog: crate::addons::AddonCatalog::new(vec![]),
+                        ..crate::addons::AddonsConfig::demo(1)
+                    }),
+                    ..base.clone()
+                },
+            ),
+            (
+                "zero add-on cache budget",
+                SystemConfig {
+                    addons: Some(crate::addons::AddonsConfig {
+                        cache_mem_mb: 0.0,
+                        ..crate::addons::AddonsConfig::demo(1)
+                    }),
+                    ..base.clone()
+                },
+            ),
+            (
+                "add-on adoption above 1",
+                SystemConfig {
+                    addons: Some({
+                        let mut a = crate::addons::AddonsConfig::demo(1);
+                        a.mix.adoption = 1.5;
+                        a
+                    }),
+                    ..base.clone()
+                },
+            ),
+            (
+                "add-on mix/catalog mismatch",
+                SystemConfig {
+                    addons: Some({
+                        let mut a = crate::addons::AddonsConfig::demo(1);
+                        a.mix.num_modules = 3;
+                        a
+                    }),
                     ..base.clone()
                 },
             ),

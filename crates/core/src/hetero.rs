@@ -10,6 +10,8 @@
 
 use diffserve_imagegen::{DeferralProfile, LatencyProfile};
 
+use crate::config::ConfigError;
+
 /// A homogeneous group of workers within a heterogeneous cluster.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkerClass {
@@ -25,17 +27,23 @@ pub struct WorkerClass {
 impl WorkerClass {
     /// Creates a class.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `count > 0` and `speed > 0`.
-    pub fn new(name: impl Into<String>, count: usize, speed: f64) -> Self {
-        assert!(count > 0, "class needs at least one worker");
-        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive");
-        WorkerClass {
+    /// Rejects a class with zero workers, or a speed that is not finite
+    /// and positive — a `speed` of `0.0` would make every latency infinite
+    /// and silently poison the allocator's comparisons downstream.
+    pub fn new(name: impl Into<String>, count: usize, speed: f64) -> Result<Self, ConfigError> {
+        if count == 0 {
+            return Err(ConfigError::new("class needs at least one worker"));
+        }
+        if !(speed > 0.0 && speed.is_finite()) {
+            return Err(ConfigError::new("speed must be positive"));
+        }
+        Ok(WorkerClass {
             name: name.into(),
             count,
             speed,
-        }
+        })
     }
 
     /// Execution latency of `profile` at batch `b` on this class.
@@ -239,7 +247,7 @@ mod tests {
 
     #[test]
     fn homogeneous_reduces_to_flat_allocation() {
-        let classes = [WorkerClass::new("A100", 16, 1.0)];
+        let classes = [WorkerClass::new("A100", 16, 1.0).unwrap()];
         let deferral = uniform();
         let thresholds = grid();
         let batches = [1usize, 2, 4, 8, 16];
@@ -254,10 +262,10 @@ mod tests {
         let deferral = uniform();
         let thresholds = grid();
         let batches = [1usize, 2, 4, 8, 16];
-        let slow_only = [WorkerClass::new("V100", 16, 0.5)];
+        let slow_only = [WorkerClass::new("V100", 16, 0.5).unwrap()];
         let mixed = [
-            WorkerClass::new("V100", 8, 0.5),
-            WorkerClass::new("A100", 8, 1.0),
+            WorkerClass::new("V100", 8, 0.5).unwrap(),
+            WorkerClass::new("A100", 8, 1.0).unwrap(),
         ];
         let slow = solve_heterogeneous(&inputs(&slow_only, &deferral, &thresholds, &batches, 8.0))
             .expect("feasible");
@@ -276,8 +284,8 @@ mod tests {
         // Fast GPUs should end up on the heavy tier where their speed buys
         // the most deferral capacity.
         let classes = [
-            WorkerClass::new("V100", 8, 0.5),
-            WorkerClass::new("A100", 8, 1.0),
+            WorkerClass::new("V100", 8, 0.5).unwrap(),
+            WorkerClass::new("A100", 8, 1.0).unwrap(),
         ];
         let deferral = uniform();
         let thresholds = grid();
@@ -294,7 +302,7 @@ mod tests {
 
     #[test]
     fn infeasible_when_demand_exceeds_cluster() {
-        let classes = [WorkerClass::new("T4", 2, 0.25)];
+        let classes = [WorkerClass::new("T4", 2, 0.25).unwrap()];
         let deferral = uniform();
         let thresholds = grid();
         let batches = [1usize, 2, 4];
@@ -306,15 +314,18 @@ mod tests {
 
     #[test]
     fn class_speed_scales_latency() {
-        let slow = WorkerClass::new("V100", 1, 0.5);
+        let slow = WorkerClass::new("V100", 1, 0.5).unwrap();
         let profile = LatencyProfile::new(1.0, 0.0);
         assert!((slow.exec_latency_secs(&profile, 1) - 2.0).abs() < 1e-12);
         assert!((slow.throughput(&profile, 2) - 0.5).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "speed must be positive")]
-    fn rejects_zero_speed() {
-        let _ = WorkerClass::new("broken", 1, 0.0);
+    fn rejects_bad_classes() {
+        assert!(WorkerClass::new("broken", 1, 0.0).is_err());
+        assert!(WorkerClass::new("broken", 1, f64::NAN).is_err());
+        assert!(WorkerClass::new("broken", 1, f64::INFINITY).is_err());
+        assert!(WorkerClass::new("empty", 0, 1.0).is_err());
+        assert!(WorkerClass::new("ok", 1, 0.5).is_ok());
     }
 }

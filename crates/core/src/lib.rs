@@ -14,6 +14,9 @@
 //! Modules:
 //!
 //! * [`query`] — queries, responses, model tiers.
+//! * [`addons`] — add-on-aware serving: the LoRA/ControlNet module
+//!   catalog, per-worker bounded LRU module caches, and hit/swap
+//!   accounting.
 //! * [`config`] — cluster/controller configuration.
 //! * [`policy`] — DiffServe and the Table 1 baselines (Clipper-Light/Heavy,
 //!   Proteus, DiffServe-Static) plus the Fig. 8 allocator ablations.
@@ -62,6 +65,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod addons;
 pub mod allocator;
 pub mod config;
 pub mod control;
@@ -73,6 +77,7 @@ pub mod runtime;
 pub mod serve;
 pub mod sim;
 
+pub use addons::{AddonCatalog, AddonModule, AddonStats, AddonsConfig, ModuleCache};
 pub use allocator::{
     overload_fallback, solve_exhaustive, solve_milp_allocation, solve_milp_allocation_warm,
     solve_proteus, Allocation, AllocatorInputs,
@@ -96,6 +101,7 @@ pub use sim::{run_scenario, run_trace, AllocatorBackend, RunSettings, SimBackend
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::addons::{AddonCatalog, AddonModule, AddonStats, AddonsConfig, ModuleCache};
     pub use crate::allocator::{Allocation, AllocatorInputs};
     pub use crate::config::{ConfigError, SystemConfig};
     pub use crate::control::{

@@ -103,6 +103,15 @@ pub struct AblationKnobs {
     ///
     /// [`WorkerHealth::speed_factor`]: crate::query::WorkerHealth::speed_factor
     pub health_blind_routing: bool,
+    /// Route add-on-carrying queries by queue depth alone, ignoring which
+    /// workers have the required module cached (the affinity-blindness
+    /// ablation). `false` = the add-on-aware design: the router trades
+    /// cached-module affinity against speed-weighted queue depth. Only
+    /// consulted when [`SystemConfig::addons`] is set — without add-ons
+    /// the knob is inert and routing is unchanged.
+    ///
+    /// [`SystemConfig::addons`]: crate::config::SystemConfig::addons
+    pub affinity_blind_routing: bool,
 }
 
 impl Default for AblationKnobs {
@@ -113,6 +122,7 @@ impl Default for AblationKnobs {
             batch_policy: BatchPolicy::Milp,
             nameplate_capacity: false,
             health_blind_routing: false,
+            affinity_blind_routing: false,
         }
     }
 }
@@ -159,6 +169,15 @@ impl AblationKnobs {
             ..Default::default()
         }
     }
+
+    /// The affinity-blind routing ablation: add-on-carrying queries route
+    /// by queue depth alone, ignoring module-cache residency.
+    pub fn affinity_blind() -> Self {
+        AblationKnobs {
+            affinity_blind_routing: true,
+            ..Default::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -201,10 +220,12 @@ mod tests {
             QueueModel::TwiceExecution
         );
         assert!(AblationKnobs::nameplate().nameplate_capacity);
+        assert!(AblationKnobs::affinity_blind().affinity_blind_routing);
         let d = AblationKnobs::default();
         assert_eq!(d.static_threshold, None);
         assert_eq!(d.queue_model, QueueModel::LittlesLaw);
         assert_eq!(d.batch_policy, BatchPolicy::Milp);
         assert!(!d.nameplate_capacity);
+        assert!(!d.affinity_blind_routing);
     }
 }

@@ -5,6 +5,7 @@ use diffserve_metrics::{frechet_distance, GaussianStats, SloTracker};
 use diffserve_simkit::time::SimDuration;
 use diffserve_trace::IncidentLog;
 
+use crate::addons::AddonStats;
 use crate::policy::Policy;
 use crate::query::{CompletedResponse, ModelTier};
 
@@ -70,6 +71,12 @@ pub struct RunReport {
     /// discrete-event simulator), closing the loop from "a weird run
     /// happened" to "it's now a regression test".
     pub incident_log: IncidentLog,
+    /// Per-tier add-on module-cache accounting (hits, misses, swap
+    /// seconds). All-zero when [`SystemConfig::addons`] is unset or no
+    /// query carried an add-on.
+    ///
+    /// [`SystemConfig::addons`]: crate::config::SystemConfig::addons
+    pub addon_stats: AddonStats,
 }
 
 /// FID of a set of completed responses against the reference Gaussian;
@@ -144,6 +151,7 @@ impl RunReport {
         threshold_series: Vec<(f64, f64)>,
         deferral_error_series: Vec<(f64, f64)>,
         incident_log: IncidentLog,
+        addon_stats: AddonStats,
     ) -> RunReport {
         let fid = fid_of_responses(responses, reference, 1e-6);
         let fid_series = windowed_fid(responses, reference, window, 24);
@@ -184,6 +192,7 @@ impl RunReport {
             threshold_series,
             deferral_error_series,
             incident_log,
+            addon_stats,
             mean_windowed_fid,
             heavy_fraction: if responses.is_empty() {
                 0.0
@@ -254,6 +263,7 @@ impl RunReport {
             threshold_series: Vec::new(),
             deferral_error_series: Vec::new(),
             incident_log: Vec::new(),
+            addon_stats: AddonStats::default(),
             mean_windowed_fid: f64::NAN,
             heavy_fraction: 0.0,
             mean_heavy_latency: 0.0,
@@ -299,6 +309,7 @@ mod tests {
             threshold_series: vec![],
             deferral_error_series: vec![],
             incident_log: vec![],
+            addon_stats: AddonStats::default(),
             mean_windowed_fid: 17.0,
             heavy_fraction: 0.6,
             mean_heavy_latency: 2.1,

@@ -66,8 +66,11 @@ use diffserve_imagegen::{Prompt, StageLatencyBreakdown, StageState};
 use diffserve_metrics::{GaussianStats, RollingFid};
 use diffserve_simkit::rng::{derive_seed, seeded_rng};
 use diffserve_simkit::time::SimTime;
-use diffserve_trace::{poisson_arrivals, Scenario, ScenarioError, ScenarioEvent, Trace};
+use diffserve_trace::{
+    poisson_arrivals, AddonMix, Scenario, ScenarioError, ScenarioEvent, Trace, TrendWindow,
+};
 
+use crate::addons::AddonStats;
 use crate::config::{ConfigError, SystemConfig};
 use crate::policy::{AblationKnobs, Policy};
 use crate::query::{CompletedResponse, ModelTier, QueryId};
@@ -140,6 +143,12 @@ pub struct QuerySpec {
     /// dispatch of this query covers only the residual steps; otherwise
     /// the state is carried but ignored. `None` = fresh query.
     pub resume_from: Option<StageState>,
+    /// Add-on module (catalog index) this query requires; serving it on a
+    /// worker whose [`ModuleCache`](crate::addons::ModuleCache) lacks the
+    /// module charges the module's load latency to that batch. Ignored —
+    /// carried but inert — when [`SystemConfig::addons`] is unset.
+    /// `None` = a base-model query.
+    pub addon: Option<usize>,
 }
 
 impl QuerySpec {
@@ -170,6 +179,12 @@ impl QuerySpec {
     /// backend can skip the reused steps.
     pub fn resume_from(mut self, state: StageState) -> Self {
         self.resume_from = Some(state);
+        self
+    }
+
+    /// Requires an add-on module (catalog index) for this query.
+    pub fn addon(mut self, id: usize) -> Self {
+        self.addon = Some(id);
         self
     }
 }
@@ -260,6 +275,11 @@ pub struct SessionSnapshot {
     /// Completions so far whose heavy pass resumed from carried latents
     /// (always `0` in restart mode).
     pub resumed_completions: u64,
+    /// Per-tier add-on module-cache accounting so far (hits, misses, swap
+    /// seconds). All-zero when [`SystemConfig::addons`] is unset.
+    ///
+    /// [`SystemConfig::addons`]: crate::config::SystemConfig::addons
+    pub addon_stats: AddonStats,
 }
 
 impl SessionSnapshot {
@@ -620,6 +640,10 @@ pub struct ServingSession<'a> {
     observers: Vec<ObserverFn<'a>>,
     driven_until: SimTime,
     submitted: u64,
+    /// Trend windows lowered from the attached scenario's style-shift
+    /// perturbations; appended to the configured [`AddonMix`] when
+    /// [`ServingSession::replay_trace`] draws per-query add-ons.
+    addon_trends: Vec<TrendWindow>,
 }
 
 /// A registered live-metrics tap.
@@ -653,6 +677,11 @@ impl<'a> ServingSession<'a> {
             observers: Vec::new(),
             driven_until: SimTime::ZERO,
             submitted: 0,
+            addon_trends: spec
+                .scenario
+                .as_ref()
+                .map(|s| s.style_shift_windows())
+                .unwrap_or_default(),
         }
     }
 
@@ -686,13 +715,33 @@ impl<'a> ServingSession<'a> {
     /// Replays a demand trace: draws the canonical seeded Poisson arrival
     /// stream (identical to what the batch `run_*` wrappers serve, so
     /// comparisons are paired) and submits one dataset query per arrival.
-    /// Returns the number of queries submitted.
+    /// With [`SystemConfig::addons`] configured, each arrival additionally
+    /// draws its add-on requirement from the configured [`AddonMix`]
+    /// (extended with the scenario's style-shift trend windows) — the draw
+    /// is keyed by query id from a separate seed stream, so enabling
+    /// add-ons leaves the arrival instants bit-identical. Returns the
+    /// number of queries submitted.
     pub fn replay_trace(&mut self, trace: &Trace) -> u64 {
         let mut rng = seeded_rng(derive_seed(self.config.seed, ARRIVAL_SEED_STREAM));
         let arrivals = poisson_arrivals(trace, &mut rng);
         let n = arrivals.len() as u64;
+        let mix: Option<AddonMix> = self.config.addons.as_ref().map(|a| {
+            let mut mix = a.mix.clone();
+            for w in &self.addon_trends {
+                mix = mix.with_trend(*w);
+            }
+            mix
+        });
         for t in arrivals {
-            self.submit_spec(QuerySpec::new().at(t));
+            let mut spec = QuerySpec::new().at(t);
+            if let Some(mix) = &mix {
+                // The pre-increment counter is exactly the id the backend
+                // will assign (both engines number queries from 0).
+                if let Some(id) = mix.draw(self.submitted, t) {
+                    spec = spec.addon(id);
+                }
+            }
+            self.submit_spec(spec);
         }
         n
     }

@@ -37,6 +37,7 @@ use diffserve_trace::{
 };
 use rand::Rng;
 
+use crate::addons::{AddonStats, ModuleCache};
 use crate::allocator::Allocation;
 use crate::config::{ConfigError, SystemConfig};
 use crate::control::{ControlDirective, ControlLoop, ControlObservation, PlanActuator};
@@ -297,6 +298,10 @@ struct QueryRec {
     /// [`SystemConfig::resume_from_latents`] is enabled, or up front via
     /// [`QuerySpec::resume_from`].
     resume: Option<StageState>,
+    /// Add-on module (catalog index) this query requires; `None` = a
+    /// base-model query. Rides along on escalation, so the heavy pass
+    /// needs the same module.
+    addon: Option<usize>,
 }
 
 struct ServingSim<'a> {
@@ -325,6 +330,14 @@ struct ServingSim<'a> {
     /// hazard-drawn), in firing order — surfaced in the [`RunReport`] for
     /// incident replay.
     incident_log: IncidentLog,
+    /// Per-worker bounded LRU add-on module caches; empty with
+    /// [`SystemConfig::addons`] unset. A dispatch whose batch needs
+    /// modules not resident here pays their load latency.
+    caches: Vec<ModuleCache>,
+    /// Per-tier add-on cache accounting (hits, misses, swap seconds).
+    addon_stats: AddonStats,
+    /// Scratch: distinct missing module ids of the batch being priced.
+    addon_scratch: Vec<usize>,
     // Metrics.
     slo: SloTracker,
     responses: Vec<CompletedResponse>,
@@ -398,6 +411,14 @@ impl<'a> ServingSim<'a> {
             hazard,
             hazard_checks: 0,
             incident_log: Vec::new(),
+            caches: match &config.addons {
+                Some(a) => (0..config.num_workers)
+                    .map(|_| ModuleCache::new(a.cache_mem_mb))
+                    .collect(),
+                None => Vec::new(),
+            },
+            addon_stats: AddonStats::default(),
+            addon_scratch: Vec::new(),
             slo: SloTracker::new(config.slo),
             responses: Vec::new(),
             resumed_count: 0,
@@ -453,6 +474,7 @@ impl<'a> ServingSim<'a> {
         prompt: Option<Prompt>,
         deadline: Option<SimTime>,
         resume: Option<StageState>,
+        addon: Option<usize>,
     ) -> u64 {
         let qidx = self.queries.len() as u64;
         self.queries.push(QueryRec {
@@ -462,6 +484,7 @@ impl<'a> ServingSim<'a> {
             arrived: false,
             prompt,
             resume,
+            addon,
         });
         qidx
     }
@@ -530,6 +553,75 @@ impl<'a> ServingSim<'a> {
         members
             .map(|q| resume_savings(profile, self.heavy_reused_steps(q), steps))
             .sum()
+    }
+
+    /// Total module-load seconds a prospective batch on worker `idx` would
+    /// pay: the summed load latencies of the *distinct* add-on modules its
+    /// members require that are not resident in the worker's cache at batch
+    /// start. Read-only (`seen` is caller-provided scratch for the distinct
+    /// set); exactly `0.0` with add-ons disabled. The dispatch-side
+    /// [`Self::charge_batch_swaps`] computes the identical sum for the same
+    /// batch, so the drop-front ETA and the scheduled service time agree.
+    fn batch_swap_secs(
+        &self,
+        idx: usize,
+        members: impl Iterator<Item = u64>,
+        seen: &mut Vec<usize>,
+    ) -> f64 {
+        let Some(addons) = &self.config.addons else {
+            return 0.0;
+        };
+        seen.clear();
+        let cache = &self.caches[idx];
+        let mut secs = 0.0;
+        for q in members {
+            if let Some(id) = self.queries[q as usize].addon {
+                if !cache.contains(id) && !seen.contains(&id) {
+                    seen.push(id);
+                    secs += addons.catalog.get(id).load_secs;
+                }
+            }
+        }
+        secs
+    }
+
+    /// Charges the dispatching batch's module swaps on worker `idx`:
+    /// records one hit/miss per add-on-carrying member (judged against
+    /// cache residency at batch start, with each distinct missing module's
+    /// load latency attributed to its first requester), then admits every
+    /// required module in member order — hits refresh LRU recency, misses
+    /// load and evict. Returns the total load seconds, bitwise equal to
+    /// what [`Self::batch_swap_secs`] predicted for this batch.
+    fn charge_batch_swaps(&mut self, idx: usize, tier: ModelTier) -> f64 {
+        let Some(addons) = &self.config.addons else {
+            return 0.0;
+        };
+        let mut seen = std::mem::take(&mut self.addon_scratch);
+        seen.clear();
+        let cache = &mut self.caches[idx];
+        let mut secs = 0.0;
+        for &q in &self.workers[idx].in_flight {
+            let Some(id) = self.queries[q as usize].addon else {
+                continue;
+            };
+            let hit = cache.contains(id);
+            let swap = if !hit && !seen.contains(&id) {
+                seen.push(id);
+                addons.catalog.get(id).load_secs
+            } else {
+                0.0
+            };
+            self.addon_stats.record(tier, hit, swap);
+            secs += swap;
+        }
+        for &q in &self.workers[idx].in_flight {
+            if let Some(id) = self.queries[q as usize].addon {
+                cache.admit(id, &addons.catalog);
+            }
+        }
+        seen.clear();
+        self.addon_scratch = seen;
+        secs
     }
 
     /// Single-query nameplate GPU-seconds a completion consumed across the
@@ -767,6 +859,50 @@ impl<'a> ServingSim<'a> {
     /// tier, then any alive worker — each pool pre-sorted by `(routing
     /// load, index)`, the exact ranking the old linear scan computed.
     /// Debug builds re-run the scan and assert the index agrees.
+    /// Affinity-aware pick for an add-on-carrying query: over the default
+    /// ladder's first non-empty candidate pool (tier primaries, then
+    /// workers switching toward the tier, then any alive worker), rank
+    /// each worker by its routing load plus a miss penalty — the required
+    /// module's load latency normalized by the tier's single-query service
+    /// time — so a cached replica slightly deeper in queue beats an idle
+    /// worker that must swap. Ties break toward the lower worker index,
+    /// like the default JSQ. Returns `None` (→ the default ladder, which
+    /// stays bit-identical) when add-ons are disabled, the query carries
+    /// none, or the affinity-blind ablation is on.
+    fn affinity_route(&self, tier: ModelTier, qidx: u64) -> Option<usize> {
+        let addons = self.config.addons.as_ref()?;
+        let id = self.queries[qidx as usize].addon?;
+        if self.settings.knobs.affinity_blind_routing {
+            return None;
+        }
+        let t = tier_slot(tier);
+        let penalty = addons.catalog.get(id).load_secs / self.stage_latency(tier, 1);
+        let pool = if !self.index.primary[t].is_empty() {
+            &self.index.primary[t]
+        } else if !self.index.pending_to[t].is_empty() {
+            &self.index.pending_to[t]
+        } else {
+            &self.index.alive
+        };
+        let mut best: Option<(f64, usize)> = None;
+        for &(_, i) in pool {
+            let score = self.routing_load(i)
+                + if self.caches[i].contains(id) {
+                    0.0
+                } else {
+                    penalty
+                };
+            let better = match best {
+                None => true,
+                Some((bs, _)) => score < bs,
+            };
+            if better {
+                best = Some((score, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
     fn route_to_tier(
         &mut self,
         tier: ModelTier,
@@ -774,6 +910,12 @@ impl<'a> ServingSim<'a> {
         now: SimTime,
         queue: &mut EventQueue<Event>,
     ) {
+        if let Some(chosen) = self.affinity_route(tier, qidx) {
+            self.workers[chosen].queue.push_back(qidx);
+            self.refresh_index(chosen);
+            self.try_start(chosen, now, queue);
+            return;
+        }
         let t = tier_slot(tier);
         let chosen = self
             .index
@@ -832,20 +974,27 @@ impl<'a> ServingSim<'a> {
         // Drop-front policy: shed queries that cannot finish this stage in
         // time (counted as SLO violations, §4.1).
         if self.config.drop_predicted_misses {
+            let mut swap_seen = std::mem::take(&mut self.addon_scratch);
             while let Some(&front) = self.workers[idx].queue.front() {
                 let b_est = self.workers[idx].queue.len().min(bmax);
                 // Resume-aware ETA: the prospective batch (the queue's first
                 // `b_est` entries) may carry latents whose reused steps
                 // shrink the service time. Degradation stretches only the
                 // residual work, so the slowdown multiplies after the
-                // subtraction.
+                // subtraction. Missing add-on modules add their load
+                // latency (`swap` is exactly 0.0 with add-ons disabled).
                 let savings = self.batch_resume_savings(
                     tier,
                     self.workers[idx].queue.iter().take(b_est).copied(),
                 );
+                let swap = self.batch_swap_secs(
+                    idx,
+                    self.workers[idx].queue.iter().take(b_est).copied(),
+                    &mut swap_seen,
+                );
                 let eta = now
                     + SimDuration::from_secs_f64(
-                        (self.stage_latency(tier, b_est) - savings) * slowdown,
+                        (self.stage_latency(tier, b_est) - savings + swap) * slowdown,
                     );
                 let rec = self.queries[front as usize];
                 if eta > rec.deadline {
@@ -861,6 +1010,8 @@ impl<'a> ServingSim<'a> {
                     break;
                 }
             }
+            swap_seen.clear();
+            self.addon_scratch = swap_seen;
         }
         // Dropped-front pops changed the load; moving queue entries into
         // the in-flight buffer below does not (both count toward it).
@@ -875,10 +1026,15 @@ impl<'a> ServingSim<'a> {
         // dispatch runs at event rate and must not allocate.
         w.in_flight.extend(w.queue.drain(..take));
         // Service time covers only the residual steps of resumed members
-        // (`savings` is exactly 0.0 in restart mode); the health slowdown
-        // stretches that residual, not the skipped work.
+        // (`savings` is exactly 0.0 in restart mode) plus any add-on module
+        // swaps the batch triggers (`swap` is exactly 0.0 with add-ons
+        // disabled); the health slowdown stretches that residual, not the
+        // skipped work.
         let savings = self.batch_resume_savings(tier, self.workers[idx].in_flight.iter().copied());
-        let dur = SimDuration::from_secs_f64((self.stage_latency(tier, take) - savings) * slowdown);
+        let swap = self.charge_batch_swaps(idx, tier);
+        let dur = SimDuration::from_secs_f64(
+            (self.stage_latency(tier, take) - savings + swap) * slowdown,
+        );
         self.workers[idx].busy = true;
         queue.push(
             now + dur,
@@ -1066,6 +1222,10 @@ impl<'a> ServingSim<'a> {
             }
             for q in w.in_flight.drain(..) {
                 orphans.push((tier, q));
+            }
+            // A rejoining instance starts with cold module caches.
+            if let Some(cache) = self.caches.get_mut(idx) {
+                cache.clear();
             }
             self.refresh_index(idx);
         }
@@ -1358,6 +1518,7 @@ impl<'a> ServingSim<'a> {
                     .as_secs_f64(),
             ),
             resumed_completions: self.resumed_count,
+            addon_stats: self.addon_stats,
         }
     }
 }
@@ -1505,7 +1666,8 @@ impl ServingBackend for SimBackend<'_> {
     fn submit(&mut self, spec: QuerySpec) -> QueryTicket {
         let at = spec.at.unwrap_or(self.cursor).max(self.cursor);
         let state = self.sim.actor_mut();
-        let qidx = state.enqueue_query(at, spec.prompt, spec.deadline, spec.resume_from);
+        let qidx =
+            state.enqueue_query(at, spec.prompt, spec.deadline, spec.resume_from, spec.addon);
         let deadline = state.queries[qidx as usize].deadline;
         self.sim.schedule(at, Event::Arrival(qidx));
         QueryTicket {
@@ -1749,6 +1911,7 @@ fn build_report(mut state: ServingSim<'_>, horizon: SimTime) -> RunReport {
         to_secs(state.threshold_series.window_means()),
         deferral_errors,
         std::mem::take(&mut state.incident_log),
+        state.addon_stats,
     )
 }
 

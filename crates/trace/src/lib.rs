@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod addon_mix;
 pub mod arrival;
 pub mod azure;
 pub mod burst;
@@ -33,13 +34,14 @@ pub mod file;
 pub mod scenario;
 mod trace;
 
+pub use addon_mix::{AddonMix, TrendWindow, ADDON_SEED_STREAM};
 pub use arrival::{paced_arrivals, poisson_arrivals};
 pub use azure::{synthesize_azure_trace, AzureTraceConfig};
 pub use burst::{bursty_arrivals, BurstConfig};
 pub use demand::DemandEstimator;
 pub use file::{read_trace, trace_file_name, write_trace};
 pub use scenario::{
-    standard_scenarios, CapacityEvent, FleetHealth, Hazard, HazardProcess, Incident, IncidentLog,
-    Perturbation, Scenario, ScenarioError, ScenarioEvent,
+    standard_scenarios, style_shift_flash_crowd, CapacityEvent, FleetHealth, Hazard, HazardProcess,
+    Incident, IncidentLog, Perturbation, Scenario, ScenarioError, ScenarioEvent,
 };
 pub use trace::{Trace, TraceError};

@@ -123,6 +123,23 @@ pub enum Perturbation {
         /// Number of workers restored (lowest-indexed degraded workers).
         count: usize,
     },
+    /// A style-shift: from `start` for `duration`, a trending add-on
+    /// module captures `share` of all add-on-carrying queries, displacing
+    /// the steady-state popularity ranking. If the trending module is not
+    /// already resident in the workers' module caches, the surge thrashes
+    /// them — every cache must swap it in at once. Like the demand-side
+    /// perturbations this is baked into the arrival stream (via the
+    /// session's add-on draw), not lowered into the event loop.
+    StyleShift {
+        /// Start of the trend.
+        start: SimTime,
+        /// How long the trend lasts.
+        duration: SimDuration,
+        /// Catalog id of the trending module.
+        module: usize,
+        /// Fraction of adopting queries captured, in `(0, 1]`.
+        share: f64,
+    },
 }
 
 impl Perturbation {
@@ -135,7 +152,9 @@ impl Perturbation {
             | Perturbation::DifficultyShift { at, .. }
             | Perturbation::WorkerDegrade { at, .. }
             | Perturbation::WorkerRestore { at, .. } => at,
-            Perturbation::FlashCrowd { start, .. } => start,
+            Perturbation::FlashCrowd { start, .. } | Perturbation::StyleShift { start, .. } => {
+                start
+            }
         }
     }
 
@@ -149,6 +168,7 @@ impl Perturbation {
             Perturbation::DifficultyShift { .. } => "difficulty-shift",
             Perturbation::WorkerDegrade { .. } => "worker-degrade",
             Perturbation::WorkerRestore { .. } => "worker-restore",
+            Perturbation::StyleShift { .. } => "style-shift",
         }
     }
 }
@@ -492,6 +512,11 @@ pub enum ScenarioError {
         /// Which invariant the hazard violates.
         reason: &'static str,
     },
+    /// A style-shift share fell outside `(0, 1]` or was non-finite.
+    InvalidShare {
+        /// The offending share.
+        share: f64,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -524,6 +549,9 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::InvalidHazard { reason } => {
                 write!(f, "invalid hazard process: {reason}")
+            }
+            ScenarioError::InvalidShare { share } => {
+                write!(f, "style-shift share must lie in (0, 1], got {share}")
             }
         }
     }
@@ -628,7 +656,9 @@ impl Scenario {
         for p in &self.perturbations {
             if matches!(
                 p,
-                Perturbation::FlashCrowd { .. } | Perturbation::DemandShift { .. }
+                Perturbation::FlashCrowd { .. }
+                    | Perturbation::DemandShift { .. }
+                    | Perturbation::StyleShift { .. }
             ) {
                 s = s.with(p.clone());
             }
@@ -742,6 +772,46 @@ impl Scenario {
         self.with(Perturbation::DifficultyShift { at, delta })
     }
 
+    /// A style-shift: for `duration` from `start`, add-on module `module`
+    /// captures `share` of all add-on-carrying queries (a trending LoRA).
+    pub fn style_shift(
+        self,
+        start: SimTime,
+        duration: SimDuration,
+        module: usize,
+        share: f64,
+    ) -> Self {
+        self.with(Perturbation::StyleShift {
+            start,
+            duration,
+            module,
+            share,
+        })
+    }
+
+    /// The style-shift perturbations lowered into [`crate::TrendWindow`]s, in
+    /// insertion order — what the serving session appends to its add-on
+    /// mix so the trend is baked into the per-query draw.
+    pub fn style_shift_windows(&self) -> Vec<crate::addon_mix::TrendWindow> {
+        self.perturbations
+            .iter()
+            .filter_map(|p| match *p {
+                Perturbation::StyleShift {
+                    start,
+                    duration,
+                    module,
+                    share,
+                } => Some(crate::addon_mix::TrendWindow {
+                    start,
+                    duration,
+                    module,
+                    share,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// A correlated-failure sequence: `initial` workers fail-stop at `at`,
     /// then the fault propagates — `follow_on` further single-worker
     /// failures fire, staggered evenly across the `window` that follows.
@@ -825,6 +895,11 @@ impl Scenario {
                     }
                     if !slowdown.is_finite() || slowdown < 1.0 {
                         return Err(ScenarioError::InvalidSlowdown { slowdown });
+                    }
+                }
+                Perturbation::StyleShift { share, .. } => {
+                    if !share.is_finite() || share <= 0.0 || share > 1.0 {
+                        return Err(ScenarioError::InvalidShare { share });
                     }
                 }
             }
@@ -1050,6 +1125,42 @@ pub fn standard_scenarios(base: &Trace, num_workers: usize) -> Vec<Scenario> {
             .expect("library scenarios are valid");
     }
     scenarios
+}
+
+/// The add-on stress scenario: a flash crowd whose extra traffic is also a
+/// *style shift* — a trending add-on module (`module`) captures 90% of all
+/// add-on-carrying queries for the crowd's duration. Under an affinity-blind
+/// router the trending module thrashes every worker's cache (each worker
+/// keeps swapping it in over its steady-state working set); an
+/// affinity-aware router concentrates the trend on a few workers and keeps
+/// the rest of the fleet's caches warm.
+///
+/// Deliberately *not* part of [`standard_scenarios`]: it only does anything
+/// when the serving configuration enables add-ons, and the standard library
+/// is pinned at nine scenarios by the golden-fingerprint suite.
+///
+/// # Examples
+///
+/// ```
+/// use diffserve_trace::{style_shift_flash_crowd, Trace};
+/// use diffserve_simkit::time::SimDuration;
+///
+/// let base = Trace::constant(6.0, SimDuration::from_secs(100))?;
+/// let s = style_shift_flash_crowd(&base, 0);
+/// assert_eq!(s.name(), "style-shift-flash-crowd");
+/// assert_eq!(s.style_shift_windows().len(), 1);
+/// s.validate(8)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn style_shift_flash_crowd(base: &Trace, module: usize) -> Scenario {
+    let dur = base.duration().as_secs_f64();
+    let at = |frac: f64| SimTime::from_secs_f64(dur * frac);
+    let secs = |frac: f64| SimDuration::from_secs_f64(dur * frac);
+    // Same envelope as the standard flash crowd; the style shift covers the
+    // whole spike (both ramps plus the hold).
+    Scenario::new("style-shift-flash-crowd", base.clone())
+        .flash_crowd(at(0.35), secs(0.05), secs(0.2), 2.5)
+        .style_shift(at(0.35), secs(0.3), module, 0.9)
 }
 
 #[cfg(test)]
@@ -1587,5 +1698,61 @@ mod tests {
         };
         assert!(format!("{e}").contains("1 workers"));
         assert!(format!("{}", ScenarioError::ZeroWorkers).contains("at least one"));
+        let e = ScenarioError::InvalidShare { share: 1.5 };
+        assert!(format!("{e}").contains("1.5"));
+    }
+
+    #[test]
+    fn style_shift_lowers_into_trend_windows() {
+        let s = Scenario::new("trend", base())
+            .style_shift(SimTime::from_secs(20), secs(30), 3, 0.8)
+            .worker_fail(SimTime::from_secs(50), 1);
+        let windows = s.style_shift_windows();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].module, 3);
+        assert_eq!(windows[0].share, 0.8);
+        assert!(windows[0].contains(SimTime::from_secs(30)));
+        assert!(!windows[0].contains(SimTime::from_secs(50)));
+        // A style shift never touches demand or the capacity timeline.
+        assert_eq!(s.demand_multiplier(SimTime::from_secs(30)), 1.0);
+        assert_eq!(s.capacity_events().len(), 1);
+        assert!(s.validate(8).is_ok());
+        assert_eq!(s.perturbations()[0].kind(), "style-shift");
+        assert_eq!(s.perturbations()[0].onset(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn validate_rejects_bad_style_shift_shares() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let s =
+                Scenario::new("bad", base()).style_shift(SimTime::from_secs(5), secs(10), 0, bad);
+            assert!(
+                matches!(s.validate(8), Err(ScenarioError::InvalidShare { .. })),
+                "share {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_keeps_style_shifts() {
+        let original = Scenario::new("trend", base())
+            .style_shift(SimTime::from_secs(20), secs(30), 1, 0.9)
+            .with_hazard(Hazard::default());
+        let replay = original.replay(&[]);
+        assert!(replay.hazard().is_none());
+        assert_eq!(replay.style_shift_windows(), original.style_shift_windows());
+    }
+
+    #[test]
+    fn style_shift_flash_crowd_composes_crowd_and_trend() {
+        let s = style_shift_flash_crowd(&base(), 2);
+        assert_eq!(s.name(), "style-shift-flash-crowd");
+        assert!(s.validate(8).is_ok());
+        let windows = s.style_shift_windows();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].module, 2);
+        // The trend covers the crowd's full amplitude.
+        assert!(s.demand_multiplier(SimTime::from_secs(50)) > 2.0);
+        assert!(windows[0].contains(SimTime::from_secs(50)));
     }
 }

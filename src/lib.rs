@@ -107,9 +107,10 @@ pub mod prelude {
     pub use diffserve_metrics::{fid_score, GaussianStats, SloTracker};
     pub use diffserve_simkit::prelude::*;
     pub use diffserve_trace::{
-        poisson_arrivals, standard_scenarios, synthesize_azure_trace, AzureTraceConfig,
-        CapacityEvent, DemandEstimator, FleetHealth, Hazard, HazardProcess, Incident, IncidentLog,
-        Perturbation, Scenario, ScenarioError, ScenarioEvent, Trace,
+        poisson_arrivals, standard_scenarios, style_shift_flash_crowd, synthesize_azure_trace,
+        AddonMix, AzureTraceConfig, CapacityEvent, DemandEstimator, FleetHealth, Hazard,
+        HazardProcess, Incident, IncidentLog, Perturbation, Scenario, ScenarioError, ScenarioEvent,
+        Trace, TrendWindow,
     };
 }
 

@@ -1,0 +1,118 @@
+//! Add-on subsystem properties.
+//!
+//! Two promises are proven here:
+//! 1. **Deterministic eviction** (property): a worker's bounded LRU module
+//!    cache is a pure function of its admit sequence — replaying the same
+//!    seeded query stream reproduces the same swap charges, the same
+//!    resident set in the same recency order, and the same memory use,
+//!    while never exceeding the budget or holding duplicates.
+//! 2. **End-to-end determinism**: a full serving run with add-ons enabled
+//!    (style-shift flash crowd included) is bit-reproducible — identical
+//!    hit/miss/swap accounting and identical system-level metrics.
+
+use diffserve::prelude::*;
+use diffserve_simkit::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn runtime() -> &'static CascadeRuntime {
+    static RT: OnceLock<CascadeRuntime> = OnceLock::new();
+    RT.get_or_init(|| {
+        CascadeRuntime::prepare(
+            cascade1(FeatureSpec::default()),
+            1500,
+            2024,
+            DiscriminatorConfig {
+                train_prompts: 500,
+                epochs: 10,
+                ..Default::default()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property (satellite 3): LRU eviction is deterministic under seeded
+    /// query streams. The stream comes from the same stateless per-query
+    /// draw the engines use, so this is exactly the admit order a worker
+    /// would see if every query landed on it.
+    #[test]
+    fn lru_eviction_is_deterministic_under_seeded_streams(
+        seed in 0u64..10_000,
+        n_modules in 2usize..16,
+        budget_slots in 1usize..6,
+        queries in 50u64..400,
+    ) {
+        let catalog = AddonCatalog::demo(n_modules);
+        // Roughly `budget_slots` modules fit (demo footprints are
+        // 256–512 MB); small budgets force constant eviction.
+        let budget = 384.0 * budget_slots as f64;
+        let mix = AddonMix::new(seed, n_modules, 0.8);
+        let stream = |cache: &mut ModuleCache| -> Vec<u64> {
+            let mut swaps = Vec::new();
+            for qid in 0..queries {
+                let at = SimTime::from_secs_f64(qid as f64 * 0.05);
+                if let Some(id) = mix.draw(qid, at) {
+                    swaps.push(cache.admit(id, &catalog).to_bits());
+                }
+            }
+            swaps
+        };
+        let mut a = ModuleCache::new(budget);
+        let mut b = ModuleCache::new(budget);
+        let swaps_a = stream(&mut a);
+        let swaps_b = stream(&mut b);
+        prop_assert!(!swaps_a.is_empty(), "80% adoption must draw something");
+        // Same stream, same history: swap charges, resident set (in
+        // recency order), and memory use are all bitwise equal.
+        prop_assert_eq!(swaps_a, swaps_b);
+        prop_assert_eq!(
+            a.resident().collect::<Vec<_>>(),
+            b.resident().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(a.used_mb().to_bits(), b.used_mb().to_bits());
+        // Invariants: never over budget, never a duplicate resident.
+        prop_assert!(a.used_mb() <= budget);
+        let res: Vec<usize> = a.resident().collect();
+        let mut dedup = res.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), res.len(), "duplicate resident module");
+    }
+}
+
+#[test]
+fn addon_serving_run_is_bit_reproducible() {
+    let system = SystemConfig {
+        num_workers: 8,
+        addons: Some(AddonsConfig::demo(2024)),
+        ..Default::default()
+    };
+    let base = Trace::constant(6.0, SimDuration::from_secs(50)).unwrap();
+    let scenario = style_shift_flash_crowd(&base, 9);
+    let settings = RunSettings::new(Policy::DiffServe, base.max_qps() * 2.5);
+
+    let a = run_scenario(runtime(), &system, &settings, &scenario);
+    let b = run_scenario(runtime(), &system, &settings, &scenario);
+
+    assert!(
+        a.addon_stats.total_lookups() > 0,
+        "the mix must attach add-ons"
+    );
+    assert_eq!(a.addon_stats.hits, b.addon_stats.hits);
+    assert_eq!(a.addon_stats.misses, b.addon_stats.misses);
+    assert_eq!(
+        a.addon_stats.swap_secs[0].to_bits(),
+        b.addon_stats.swap_secs[0].to_bits()
+    );
+    assert_eq!(
+        a.addon_stats.swap_secs[1].to_bits(),
+        b.addon_stats.swap_secs[1].to_bits()
+    );
+    assert_eq!(a.total_queries, b.total_queries);
+    assert_eq!(a.violation_ratio.to_bits(), b.violation_ratio.to_bits());
+    assert_eq!(a.mean_latency.to_bits(), b.mean_latency.to_bits());
+    assert_eq!(a.fid.to_bits(), b.fid.to_bits());
+}

@@ -214,6 +214,66 @@ fn simulator_and_cluster_agree_with_resume_from_latents() {
 }
 
 #[test]
+fn simulator_and_cluster_agree_on_addon_aggregates() {
+    // Add-on serving: both engines draw each query's add-on requirement
+    // from the same stateless per-query stream and charge module swaps
+    // through the same LRU semantics, so the hit-rate and swap-time
+    // aggregates must agree. Exact per-lookup equality is not expected —
+    // thread scheduling changes batch composition — but the aggregates are
+    // workload properties and must track.
+    let system = SystemConfig {
+        num_workers: 8,
+        addons: Some(AddonsConfig::demo(2024)),
+        ..Default::default()
+    };
+    let trace = Trace::constant(5.0, SimDuration::from_secs(50)).unwrap();
+    let settings = RunSettings::new(Policy::DiffServe, 5.0);
+
+    let sim = run_trace(runtime(), &system, &settings, &trace);
+    let testbed = run_cluster(
+        runtime(),
+        &ClusterConfig {
+            system: system.clone(),
+            time_scale: if cfg!(debug_assertions) { 0.05 } else { 0.01 },
+        },
+        &settings,
+        &trace,
+    );
+
+    assert_eq!(
+        sim.total_queries, testbed.total_queries,
+        "same arrival stream"
+    );
+    assert!(
+        sim.addon_stats.total_lookups() > 50,
+        "sim must exercise the module caches: {} lookups",
+        sim.addon_stats.total_lookups()
+    );
+    assert!(
+        testbed.addon_stats.total_lookups() > 50,
+        "cluster must exercise the module caches: {} lookups",
+        testbed.addon_stats.total_lookups()
+    );
+    let hit_gap = (testbed.addon_stats.total_hit_rate() - sim.addon_stats.total_hit_rate()).abs();
+    assert!(
+        hit_gap < 0.20,
+        "hit-rate gap {hit_gap:.3}: sim {:.3} vs testbed {:.3}",
+        sim.addon_stats.total_hit_rate(),
+        testbed.addon_stats.total_hit_rate()
+    );
+    let swap_gap =
+        (testbed.addon_stats.total_mean_swap_secs() - sim.addon_stats.total_mean_swap_secs()).abs();
+    assert!(
+        swap_gap < 0.10,
+        "mean-swap gap {swap_gap:.3}s: sim {:.3} vs testbed {:.3}",
+        sim.addon_stats.total_mean_swap_secs(),
+        testbed.addon_stats.total_mean_swap_secs()
+    );
+    let viol_gap = (testbed.violation_ratio - sim.violation_ratio).abs();
+    assert!(viol_gap < 0.30, "violation gap {viol_gap:.3}");
+}
+
+#[test]
 fn simulator_and_cluster_agree_for_clipper_light() {
     let system = SystemConfig {
         num_workers: 8,
