@@ -5,13 +5,17 @@
 //!
 //! 1. **Azure replay at fleet scale** — the diurnal `trace::azure` curve
 //!    replayed on a 1000-worker fleet through the arena-flattened
-//!    simulator (per-tier sorted load index, reused batch buffers).
+//!    simulator (per-tier sorted load index, reused batch buffers). Two
+//!    sizes: the historical `azure_replay_1000w` (~95 K queries) and the
+//!    multi-million-query `azure_replay_1000w_2m` (~2 M queries over two
+//!    simulated diurnal hours), each with a `smoke/` variant for CI.
 //! 2. **Policy × scenario sweep** — the full 5-policy × 9-scenario matrix,
 //!    run once serially and once fanned across cores by a work-stealing
 //!    `std::thread::scope` runner. The export records both wall times and
 //!    the resulting speedup (≈1.0 on a single-core host by construction).
-//! 3. **MILP ladder** — 24 control ticks under drifting demand, solved
-//!    cold every tick vs. carrying a [`WarmStart`] tick to tick.
+//! 3. **MILP ladder** — control ticks under drifting demand, solved cold
+//!    every tick vs. carrying an [`AllocWarmState`] tick to tick (basis
+//!    reuse + threshold pinning).
 //!
 //! Usage:
 //!
@@ -49,7 +53,7 @@ use criterion::{black_box, Criterion};
 use diffserve_bench::{f2, prepare_runtime_small, CascadeId, Table, EXPERIMENT_SEED};
 use diffserve_core::{
     run_scenario, run_trace, solve_milp_allocation, solve_milp_allocation_warm, AddonsConfig,
-    AllocatorInputs, CascadeRuntime, Policy, RunSettings, SystemConfig, WarmStart,
+    AllocWarmState, AllocatorInputs, CascadeRuntime, Policy, RunSettings, SystemConfig,
 };
 use diffserve_imagegen::LatencyProfile;
 use diffserve_simkit::time::SimDuration;
@@ -60,9 +64,26 @@ use diffserve_trace::{
 /// A benchmark slower than `baseline × (1 + tolerance)` fails the gate.
 const REGRESSION_TOLERANCE: f64 = 0.20;
 
+/// The warm MILP ladder must beat the cold ladder by at least this margin
+/// (`warm ≤ (1 − margin) × cold`), every run, smoke included. Basis reuse
+/// plus threshold pinning is the whole point of the warm path; a slide
+/// back to parity is a regression even if no baseline file is supplied.
+const WARM_SPEEDUP_MIN: f64 = 0.15;
+
 /// Fleet size for the Azure replay (the paper-scale target from the
 /// roadmap; routing must go through the sorted load index to survive it).
 const FLEET: usize = 1000;
+
+/// QPS band of the multi-million-query Azure replay. The diurnal curve
+/// averages ≈ (min + max) / 2, so 60–500 qps over [`REPLAY_2M_SECS`]
+/// simulated seconds arrives ≈ 2.0 M queries.
+const REPLAY_2M_MIN_QPS: f64 = 60.0;
+/// See [`REPLAY_2M_MIN_QPS`].
+const REPLAY_2M_MAX_QPS: f64 = 500.0;
+/// Simulated duration of the full ~2 M-query replay (two diurnal hours).
+const REPLAY_2M_SECS: u64 = 7200;
+/// Simulated duration of the CI-sized `smoke/` variant (~17 K queries).
+const REPLAY_2M_SMOKE_SECS: u64 = 60;
 
 /// Which serving-feature variant the serving workloads run under. Each
 /// mode namespaces its benchmark keys so the CI matrix legs never gate
@@ -171,6 +192,15 @@ fn main() {
         60,
         mode,
     );
+    azure_replay(
+        &runtime,
+        &mut criterion,
+        &format!("{}smoke/azure_replay_1000w_2m", mode.prefix()),
+        REPLAY_2M_MIN_QPS,
+        REPLAY_2M_MAX_QPS,
+        REPLAY_2M_SMOKE_SECS,
+        mode,
+    );
     sweep(
         &runtime,
         &mut records,
@@ -188,6 +218,15 @@ fn main() {
             60.0,
             480.0,
             350,
+            mode,
+        );
+        azure_replay(
+            &runtime,
+            &mut criterion,
+            &format!("{}azure_replay_1000w_2m", mode.prefix()),
+            REPLAY_2M_MIN_QPS,
+            REPLAY_2M_MAX_QPS,
+            REPLAY_2M_SECS,
             mode,
         );
         sweep(
@@ -209,6 +248,15 @@ fn main() {
                 30.0,
                 120.0,
                 60,
+                other,
+            );
+            azure_replay(
+                &runtime,
+                &mut criterion,
+                &format!("{}smoke/azure_replay_1000w_2m", other.prefix()),
+                REPLAY_2M_MIN_QPS,
+                REPLAY_2M_MAX_QPS,
+                REPLAY_2M_SMOKE_SECS,
                 other,
             );
             sweep(
@@ -256,11 +304,40 @@ fn main() {
     write_json(&out, smoke, threads, &records).expect("write benchmark export");
     println!("\nwrote {out}");
 
+    let mut failed = !warm_ladder_gate(&records);
     if let Some(text) = baseline_text {
-        if !check_regressions(&text, &records) {
-            std::process::exit(1);
-        }
+        failed |= !check_regressions(&text, &records);
     }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// The warm-vs-cold solver gate: `milp_ladder_warm` must beat
+/// `milp_ladder_cold` by at least [`WARM_SPEEDUP_MIN`]. Unlike the
+/// baseline comparison this needs no baseline file — both sides are
+/// measured in the same run — so every smoke run enforces it. Returns
+/// `false` on regression to parity.
+fn warm_ladder_gate(records: &[Record]) -> bool {
+    let secs = |name: &str| records.iter().find(|r| r.name == name).map(|r| r.secs);
+    let (Some(cold), Some(warm)) = (secs("milp_ladder_cold"), secs("milp_ladder_warm")) else {
+        eprintln!("warning: milp ladder keys missing; warm-vs-cold gate is vacuous");
+        return true;
+    };
+    let ok = warm <= (1.0 - WARM_SPEEDUP_MIN) * cold;
+    println!(
+        "\n== warm ladder gate (warm must be ≥ {:.0}% faster than cold) ==",
+        WARM_SPEEDUP_MIN * 100.0
+    );
+    println!(
+        "cold {cold:.4} s, warm {warm:.4} s ({}x): {}",
+        f2(cold / warm),
+        if ok { "ok" } else { "FAIL" }
+    );
+    if !ok {
+        eprintln!("FAIL: the warm MILP ladder no longer beats cold by the required margin");
+    }
+    ok
 }
 
 /// Replays the rescaled Azure diurnal trace on a [`FLEET`]-worker fleet.
@@ -383,13 +460,15 @@ fn sweep(
 const MILP_TICKS: usize = 12;
 
 /// Times [`MILP_TICKS`] allocator solves under a drifting demand estimate:
-/// once solving cold every tick, once threading a [`WarmStart`] through the
-/// ladder the way [`CascadePlanner`](diffserve_core::CascadePlanner) does.
-/// Warm starting never changes the plan (the incumbent only seeds and
-/// bounds the search), so both ladders produce identical allocations. The
-/// pair exists to track the gap between them: today the allocation MILP is
-/// bound-closing dominated, so seeding measures at parity — the number a
-/// smarter warm resolve has to move.
+/// once solving cold every tick, once threading an [`AllocWarmState`]
+/// through the ladder the way
+/// [`CascadePlanner`](diffserve_core::CascadePlanner) does. Warm starting
+/// never changes the plan (uniqueness penalties dwarf the optimality gap),
+/// so both ladders produce identical allocations. The pair tracks the
+/// payoff of basis reuse + threshold pinning: warm ticks solve a couple of
+/// pinned residual MILPs from the previous basis instead of the full
+/// formulation from scratch, and the `--smoke` gate enforces that warm
+/// stays ≥ 15 % faster than cold.
 fn milp_ladder(runtime: &CascadeRuntime, criterion: &mut Criterion) {
     let config = SystemConfig::default();
     let thresholds = config.threshold_grid();
@@ -423,7 +502,7 @@ fn milp_ladder(runtime: &CascadeRuntime, criterion: &mut Criterion) {
     });
     criterion.bench_function("milp_ladder_warm", |b| {
         b.iter(|| {
-            let mut warm = WarmStart::new();
+            let mut warm = AllocWarmState::new();
             for &d in &demands {
                 black_box(solve_milp_allocation_warm(&inputs_at(d), &mut warm));
             }
@@ -526,4 +605,81 @@ fn check_regressions(baseline_text: &str, records: &[Record]) -> bool {
         eprintln!("FAIL: at least one benchmark regressed beyond the tolerance");
     }
     !failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, secs: f64) -> Record {
+        Record {
+            name: name.to_string(),
+            secs,
+            iters: 1,
+            extra: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn parser_reads_benchmarks_and_tolerates_unknown_keys() {
+        // A baseline written by a *future* perf with extra top-level keys,
+        // unknown per-benchmark fields, and benchmark names this binary
+        // has never heard of must still parse cleanly.
+        let text = r#"{
+  "schema": "diffserve-perf/v2",
+  "mode": "full",
+  "threads": 8,
+  "frobnication_level": 11,
+  "benchmarks": {
+    "milp_ladder_cold": { "secs": 1.500000, "iters": 3, "ticks": 12 },
+    "some_future_key": { "secs": 0.250000, "iters": 1, "novel_field": "x" },
+    "metadata_only_entry": { "iters": 4 }
+  }
+}
+"#;
+        let parsed = parse_benchmark_secs(text);
+        assert_eq!(
+            parsed,
+            vec![
+                ("milp_ladder_cold".to_string(), 1.5),
+                ("some_future_key".to_string(), 0.25),
+            ]
+        );
+    }
+
+    #[test]
+    fn regression_gate_skips_keys_present_on_only_one_side() {
+        let baseline = r#"
+    "shared": { "secs": 1.000000, "iters": 1 },
+    "baseline_only_key": { "secs": 0.100000, "iters": 1 }
+"#;
+        // `current_only_key` is new; `baseline_only_key` was removed. Both
+        // must be ignored, and the shared key is within tolerance.
+        let records = vec![record("shared", 1.1), record("current_only_key", 99.0)];
+        assert!(check_regressions(baseline, &records));
+    }
+
+    #[test]
+    fn regression_gate_fails_past_tolerance() {
+        let baseline = r#""shared": { "secs": 1.000000, "iters": 1 }"#;
+        let records = vec![record("shared", 1.0 + REGRESSION_TOLERANCE + 0.05)];
+        assert!(!check_regressions(baseline, &records));
+    }
+
+    #[test]
+    fn warm_gate_requires_the_margin() {
+        let ok = vec![
+            record("milp_ladder_cold", 1.0),
+            record("milp_ladder_warm", 1.0 - WARM_SPEEDUP_MIN - 0.01),
+        ];
+        assert!(warm_ladder_gate(&ok));
+        let parity = vec![
+            record("milp_ladder_cold", 1.0),
+            record("milp_ladder_warm", 1.0 - WARM_SPEEDUP_MIN + 0.01),
+        ];
+        assert!(!warm_ladder_gate(&parity));
+        // Missing keys (a hypothetical reduced run) make the gate vacuous
+        // rather than failing the export.
+        assert!(warm_ladder_gate(&[record("milp_ladder_cold", 1.0)]));
+    }
 }

@@ -167,38 +167,78 @@ pub fn solve_exhaustive(inputs: &AllocatorInputs<'_>) -> Option<Allocation> {
     best
 }
 
-/// MILP solver for the same problem (paper Eq. 5), built on
-/// `diffserve-milp`.
+/// Tick-to-tick solver state for [`solve_milp_allocation_warm`].
 ///
-/// Formulation: binary selectors `y_j` (light batch), `v_k` (heavy batch),
-/// `z_l` (threshold level); integer worker counts `w1_j`, `w2_k` active only
-/// under their selected batch size. The products in Eqs. 2–3 linearize
-/// because throughput coefficients are constants per batch size.
-///
-/// Returns `None` if the MILP is infeasible.
-pub fn solve_milp_allocation(inputs: &AllocatorInputs<'_>) -> Option<Allocation> {
-    solve_milp_allocation_warm(inputs, &mut WarmStart::new())
+/// Carries two independent [`WarmStart`] handles — one for the full MILP
+/// (with the `z_l` threshold selectors) and one for the threshold-pinned
+/// residual problem — plus the previous tick's optimal threshold value
+/// (the "pin"). The two problem shapes differ, so their bases are never
+/// interchangeable; keeping both means every solve the state routes to
+/// restarts from a same-shaped basis.
+#[derive(Debug, Clone, Default)]
+pub struct AllocWarmState {
+    full: WarmStart,
+    pinned: WarmStart,
+    pin: Option<f64>,
 }
 
-/// [`solve_milp_allocation`] with tick-to-tick solver state carried in a
-/// [`WarmStart`].
+impl AllocWarmState {
+    /// An empty state; the first solve through it runs the full MILP cold.
+    pub fn new() -> Self {
+        AllocWarmState::default()
+    }
+
+    /// Drop all carried state; the next solve runs the full MILP cold.
+    pub fn clear(&mut self) {
+        self.full.clear();
+        self.pinned.clear();
+        self.pin = None;
+    }
+
+    /// `true` once a solve through this handle has found an optimum.
+    pub fn is_primed(&self) -> bool {
+        self.pin.is_some()
+    }
+
+    /// The previous tick's optimal threshold, if that solve was feasible.
+    pub fn pinned_threshold(&self) -> Option<f64> {
+        self.pin
+    }
+}
+
+/// Variable handles for one allocation MILP. `z` is empty when the
+/// threshold is pinned (the residual problem has no threshold choice).
+struct MilpVars {
+    y: Vec<diffserve_milp::VarId>,
+    v: Vec<diffserve_milp::VarId>,
+    z: Vec<diffserve_milp::VarId>,
+    w1: Vec<diffserve_milp::VarId>,
+    w2: Vec<diffserve_milp::VarId>,
+}
+
+/// Build the allocation MILP (paper Eq. 5).
 ///
-/// Successive control ticks solve the same formulation under a slowly
-/// drifting demand estimate, so the previous tick's optimum usually seeds
-/// (and very often immediately proves) the next solve. The objective's
-/// lexicographic uniqueness penalties dwarf the solver's optimality gap,
-/// so the warm-started solution is the *same* allocation a cold solve
-/// would return — warm starting changes solve time, never the plan.
+/// With `pin = None` this is the full formulation: binary selectors `y_j`
+/// (light batch), `v_k` (heavy batch), `z_l` (threshold level); integer
+/// worker counts `w1_j`, `w2_k` active only under their selected batch
+/// size. The products in Eqs. 2–3 linearize because throughput
+/// coefficients are constants per batch size.
 ///
-/// Returns `None` if the MILP is infeasible.
-pub fn solve_milp_allocation_warm(
-    inputs: &AllocatorInputs<'_>,
-    warm: &mut WarmStart,
-) -> Option<Allocation> {
+/// With `pin = Some(l)` the threshold is fixed at grid level `l`: the
+/// `z` selectors and the one-threshold constraint disappear, and the
+/// deferred-load term `D·f(t_l)` folds into the heavy-throughput rhs.
+/// The objective keeps the same uniqueness penalties on `y/v/w1/w2` and
+/// drops only the (now constant) `t_l` term, so the residual optimum is
+/// exactly the full MILP's optimum conditioned on `z_l = 1`.
+fn build_allocation_milp(inputs: &AllocatorInputs<'_>, pin: Option<usize>) -> (Problem, MilpVars) {
     let d = inputs.demand_qps.max(1e-9);
     let s = inputs.total_workers as f64;
     let nb = inputs.batch_sizes.len();
-    let nt = inputs.thresholds.len();
+    let nt = if pin.is_some() {
+        0
+    } else {
+        inputs.thresholds.len()
+    };
 
     let mut p = Problem::new(Direction::Maximize);
     let y: Vec<_> = (0..nb).map(|j| p.add_binary(format!("y{j}"))).collect();
@@ -217,7 +257,9 @@ pub fn solve_milp_allocation_warm(
     };
     p.add_constraint("one-light-batch", &ones(&y), Sense::Eq, 1.0);
     p.add_constraint("one-heavy-batch", &ones(&v), Sense::Eq, 1.0);
-    p.add_constraint("one-threshold", &ones(&z), Sense::Eq, 1.0);
+    if pin.is_none() {
+        p.add_constraint("one-threshold", &ones(&z), Sense::Eq, 1.0);
+    }
 
     // Workers only under the selected batch size: w1_j ≤ S·y_j.
     for j in 0..nb {
@@ -241,14 +283,21 @@ pub fn solve_milp_allocation_warm(
         .collect();
     p.add_constraint("light-throughput", &light_tp, Sense::Ge, d);
 
-    // Eq. 3: Σ_k T2(B_k)·w2_k − D·Σ_l f(t_l)·z_l ≥ 0.
+    // Eq. 3: Σ_k T2(B_k)·w2_k − D·Σ_l f(t_l)·z_l ≥ 0, or with the
+    // threshold pinned at level l, Σ_k T2(B_k)·w2_k ≥ D·f(t_l).
     let mut heavy_tp: Vec<(diffserve_milp::VarId, f64)> = (0..nb)
         .map(|k| (w2[k], inputs.heavy.throughput(inputs.batch_sizes[k])))
         .collect();
-    for (&z_l, &t_l) in z.iter().zip(inputs.thresholds.iter()) {
-        heavy_tp.push((z_l, -d * inputs.deferral.fraction_deferred(t_l)));
-    }
-    p.add_constraint("heavy-throughput", &heavy_tp, Sense::Ge, 0.0);
+    let heavy_rhs = match pin {
+        Some(l) => d * inputs.deferral.fraction_deferred(inputs.thresholds[l]),
+        None => {
+            for (&z_l, &t_l) in z.iter().zip(inputs.thresholds.iter()) {
+                heavy_tp.push((z_l, -d * inputs.deferral.fraction_deferred(t_l)));
+            }
+            0.0
+        }
+    };
+    p.add_constraint("heavy-throughput", &heavy_tp, Sense::Ge, heavy_rhs);
 
     // Eq. 4: Σ w1 + Σ w2 ≤ S.
     let mut cap = ones(&w1);
@@ -277,7 +326,8 @@ pub fn solve_milp_allocation_warm(
     // solver's tie-breaking (smaller batches first, then minimal light
     // workers with the remainder on the heavy tier). The penalty scales are
     // far below the threshold grid spacing, so they can never trade away
-    // objective value.
+    // objective value. The pinned residual keeps the identical penalties
+    // (its threshold term is a constant, omitted).
     let mut obj: Vec<(diffserve_milp::VarId, f64)> =
         (0..nt).map(|l| (z[l], inputs.thresholds[l])).collect();
     for j in 0..nb {
@@ -290,25 +340,187 @@ pub fn solve_milp_allocation_warm(
     }
     p.set_objective(&obj);
 
-    let sol = solve_milp_warm(&p, &MilpOptions::default(), warm).ok()?;
-    let pick = |vars: &[diffserve_milp::VarId]| -> usize {
-        vars.iter()
-            .position(|&id| sol.values[id.index()] > 0.5)
+    (p, MilpVars { y, v, z, w1, w2 })
+}
+
+/// Read an [`Allocation`] off a MILP solution. `pin` supplies the
+/// threshold level when the problem had no `z` selectors.
+fn extract_allocation(
+    inputs: &AllocatorInputs<'_>,
+    vars: &MilpVars,
+    values: &[f64],
+    pin: Option<usize>,
+) -> Allocation {
+    let nb = inputs.batch_sizes.len();
+    let pick = |sel: &[diffserve_milp::VarId]| -> usize {
+        sel.iter()
+            .position(|&id| values[id.index()] > 0.5)
             .expect("exactly-one constraint guarantees a selection")
     };
-    let j = pick(&y);
-    let k = pick(&v);
-    let l = pick(&z);
-    let light_workers: usize = (0..nb).map(|i| sol.values[w1[i].index()] as usize).sum();
-    let heavy_workers: usize = (0..nb).map(|i| sol.values[w2[i].index()] as usize).sum();
-    Some(Allocation {
+    let j = pick(&vars.y);
+    let k = pick(&vars.v);
+    let l = match pin {
+        Some(l) => l,
+        None => pick(&vars.z),
+    };
+    let light_workers: usize = (0..nb).map(|i| values[vars.w1[i].index()] as usize).sum();
+    let heavy_workers: usize = (0..nb).map(|i| values[vars.w2[i].index()] as usize).sum();
+    Allocation {
         threshold: inputs.thresholds[l],
         light_workers,
         heavy_workers,
         light_batch: inputs.batch_sizes[j],
         heavy_batch: inputs.batch_sizes[k],
         feasible: true,
-    })
+    }
+}
+
+/// MILP solver for the allocation problem (paper Eq. 5), built on
+/// `diffserve-milp`. Solves cold (`build_allocation_milp` documents the
+/// formulation); see [`solve_milp_allocation_warm`] for the tick-to-tick
+/// fast path.
+///
+/// Returns `None` if the MILP is infeasible.
+pub fn solve_milp_allocation(inputs: &AllocatorInputs<'_>) -> Option<Allocation> {
+    solve_milp_allocation_warm(inputs, &mut AllocWarmState::new())
+}
+
+/// Solve one full-MILP tick through `state.full`, recording the pin.
+fn solve_full(inputs: &AllocatorInputs<'_>, state: &mut AllocWarmState) -> Option<Allocation> {
+    let (p, vars) = build_allocation_milp(inputs, None);
+    let alloc = solve_milp_warm(&p, &MilpOptions::default(), &mut state.full)
+        .ok()
+        .map(|sol| extract_allocation(inputs, &vars, &sol.values, None));
+    state.pin = alloc.as_ref().map(|a| a.threshold);
+    alloc
+}
+
+/// Solve the residual MILP with the threshold pinned at grid level `l`.
+/// `None` means that level is infeasible.
+fn solve_pinned_level(
+    inputs: &AllocatorInputs<'_>,
+    l: usize,
+    warm: &mut WarmStart,
+) -> Option<Allocation> {
+    let (p, vars) = build_allocation_milp(inputs, Some(l));
+    solve_milp_warm(&p, &MilpOptions::default(), warm)
+        .ok()
+        .map(|sol| extract_allocation(inputs, &vars, &sol.values, Some(l)))
+}
+
+/// Find the largest feasible threshold level by galloping out from the
+/// previous tick's level `l0`, then binary-searching the bracket.
+///
+/// Correct because residual feasibility is monotone in the level: the
+/// only `l`-dependent constraint is Eq. 3's deferred load `D·f(t_l)`,
+/// and `f` is nondecreasing over the ascending threshold grid, so every
+/// level below a feasible one is feasible and every level above an
+/// infeasible one is infeasible. The full MILP's penalties are far below
+/// the grid spacing, so its optimum also sits at the largest feasible
+/// level — the two paths agree exactly.
+fn pinned_search(
+    inputs: &AllocatorInputs<'_>,
+    l0: usize,
+    warm: &mut WarmStart,
+) -> Option<Allocation> {
+    let nt = inputs.thresholds.len();
+    // Establish a bracket: `lo` feasible (with its allocation), `hi`
+    // infeasible. A steady-state tick resolves in two residual solves
+    // (l0 feasible, l0+1 not).
+    let (mut lo, mut lo_alloc, mut hi) = match solve_pinned_level(inputs, l0, warm) {
+        Some(a) => {
+            if l0 + 1 >= nt {
+                return Some(a);
+            }
+            // Gallop upward for an infeasible ceiling.
+            let (mut lo, mut lo_alloc) = (l0, a);
+            let mut step = 1usize;
+            loop {
+                let cand = (lo + step).min(nt - 1);
+                match solve_pinned_level(inputs, cand, warm) {
+                    Some(a) => {
+                        if cand == nt - 1 {
+                            return Some(a);
+                        }
+                        lo = cand;
+                        lo_alloc = a;
+                        step *= 2;
+                    }
+                    None => break (lo, lo_alloc, cand),
+                }
+            }
+        }
+        None => {
+            // Gallop downward for a feasible floor; level 0 infeasible
+            // means the full MILP is infeasible too.
+            let mut hi = l0;
+            let mut step = 1usize;
+            loop {
+                if hi == 0 {
+                    return None;
+                }
+                let cand = hi.saturating_sub(step);
+                match solve_pinned_level(inputs, cand, warm) {
+                    Some(a) => break (cand, a, hi),
+                    None => {
+                        hi = cand;
+                        step *= 2;
+                    }
+                }
+            }
+        }
+    };
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        match solve_pinned_level(inputs, mid, warm) {
+            Some(a) => {
+                lo = mid;
+                lo_alloc = a;
+            }
+            None => hi = mid,
+        }
+    }
+    Some(lo_alloc)
+}
+
+/// [`solve_milp_allocation`] with tick-to-tick solver state carried in an
+/// [`AllocWarmState`].
+///
+/// Successive control ticks solve the same formulation under a slowly
+/// drifting demand estimate, so the previous tick's optimum usually seeds
+/// (and very often immediately proves) the next solve. Two mechanisms
+/// stack:
+///
+/// 1. **Basis reuse** — each [`WarmStart`] handle carries the previous
+///    optimum's simplex basis, so re-solves run a short dual-simplex
+///    reoptimization instead of two-phase from scratch.
+/// 2. **Threshold pinning** — when the previous tick's threshold is still
+///    on the grid, the search runs over small *residual* MILPs with the
+///    threshold fixed (`build_allocation_milp` with `pin`), locating
+///    the largest feasible level by a gallop + binary search from the
+///    previous level instead of re-solving the full formulation with all
+///    `z_l` selectors.
+///
+/// The objective's lexicographic uniqueness penalties dwarf the solver's
+/// optimality gap, so the warm-started solution is the *same* allocation
+/// a cold solve would return — warm starting changes solve time, never
+/// the plan.
+///
+/// Returns `None` if the MILP is infeasible.
+pub fn solve_milp_allocation_warm(
+    inputs: &AllocatorInputs<'_>,
+    state: &mut AllocWarmState,
+) -> Option<Allocation> {
+    if let Some(pin_t) = state.pin {
+        // The pin is only trusted when it still names a grid value
+        // exactly; any drift in the grid falls back to the full MILP.
+        if let Some(l0) = inputs.thresholds.iter().position(|&t| t == pin_t) {
+            let alloc = pinned_search(inputs, l0, &mut state.pinned);
+            state.pin = alloc.as_ref().map(|a| a.threshold);
+            return alloc;
+        }
+    }
+    solve_full(inputs, state)
 }
 
 /// Best-effort allocation under overload: threshold 0 (everything stays on
@@ -476,7 +688,7 @@ mod tests {
         let deferral = uniform_profile();
         let batches = [1usize, 2, 4, 8, 16];
         let thresholds = grid(26, 0.9);
-        let mut warm = WarmStart::new();
+        let mut warm = AllocWarmState::new();
         // A drifting demand path like a control loop produces, including an
         // infeasible overload spike mid-sequence: carrying the handle across
         // every tick must never change the plan a cold solve would pick.
@@ -485,8 +697,91 @@ mod tests {
             let cold = solve_milp_allocation(&inputs);
             let warmed = solve_milp_allocation_warm(&inputs, &mut warm);
             assert_eq!(warmed, cold, "demand {demand}");
+            assert_eq!(
+                warm.pinned_threshold(),
+                cold.map(|a| a.threshold),
+                "pin must track the optimal threshold at demand {demand}"
+            );
         }
         assert!(warm.is_primed());
+    }
+
+    #[test]
+    fn pinned_search_engages_and_matches_cold_across_large_swings() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(51, 0.9);
+        let mut warm = AllocWarmState::new();
+        // Big jumps force the gallop to cross many grid levels in both
+        // directions; every tick after the first runs the pinned path.
+        for demand in [4.0, 30.0, 4.0, 18.0, 2.0, 25.0, 25.0] {
+            let inputs = cascade1_inputs(&deferral, &batches, &thresholds, demand);
+            let cold = solve_milp_allocation(&inputs);
+            let warmed = solve_milp_allocation_warm(&inputs, &mut warm);
+            assert_eq!(warmed, cold, "demand {demand}");
+        }
+    }
+
+    #[test]
+    fn changing_the_grid_invalidates_the_pin_but_not_the_answer() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let coarse = grid(11, 0.9);
+        let fine = grid(51, 0.9);
+        let mut warm = AllocWarmState::new();
+        let a = solve_milp_allocation_warm(
+            &cascade1_inputs(&deferral, &batches, &coarse, 8.0),
+            &mut warm,
+        )
+        .expect("feasible");
+        assert_eq!(warm.pinned_threshold(), Some(a.threshold));
+        // Whether or not the coarse optimum happens to sit bit-for-bit on
+        // the fine grid, the warm answer must equal cold on the new grid.
+        let inputs = cascade1_inputs(&deferral, &batches, &fine, 8.0);
+        let cold = solve_milp_allocation(&inputs);
+        let warmed = solve_milp_allocation_warm(&inputs, &mut warm);
+        assert_eq!(warmed, cold);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(24))]
+
+        /// Random demand walks through one carried [`AllocWarmState`]:
+        /// the pinned-search fast path must return bit-identical
+        /// allocations to a cold full-MILP solve at every tick, demand
+        /// spikes into infeasibility included.
+        #[test]
+        fn warm_allocations_bit_identical_on_random_demand_ladders(
+            demands in proptest::collection::vec(1u32..2000, 1..12)
+        ) {
+            let deferral = uniform_profile();
+            let batches = [1usize, 2, 4, 8, 16];
+            let thresholds = grid(26, 0.9);
+            let mut warm = AllocWarmState::new();
+            for &raw in &demands {
+                // 0.1 .. 200.0 qps: spans deep feasibility, the boundary,
+                // and hopeless overload on the 16-worker fixture.
+                let demand = raw as f64 / 10.0;
+                let inputs = cascade1_inputs(&deferral, &batches, &thresholds, demand);
+                let cold = solve_milp_allocation(&inputs);
+                let warmed = solve_milp_allocation_warm(&inputs, &mut warm);
+                proptest::prop_assert_eq!(warmed, cold, "demand {}", demand);
+            }
+        }
+    }
+
+    #[test]
+    fn cleared_state_resolves_cold_to_the_same_plan() {
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(26, 0.9);
+        let inputs = cascade1_inputs(&deferral, &batches, &thresholds, 9.0);
+        let mut warm = AllocWarmState::new();
+        let first = solve_milp_allocation_warm(&inputs, &mut warm);
+        warm.clear();
+        assert!(!warm.is_primed());
+        let second = solve_milp_allocation_warm(&inputs, &mut warm);
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -34,11 +34,9 @@ use diffserve_imagegen::{DeferralProfile, LatencyProfile, OnlineDeferralEstimato
 use diffserve_simkit::time::SimTime;
 use diffserve_trace::DemandEstimator;
 
-use diffserve_milp::WarmStart;
-
 use crate::allocator::{
-    overload_fallback, solve_exhaustive, solve_milp_allocation_warm, solve_proteus, Allocation,
-    AllocatorInputs,
+    overload_fallback, solve_exhaustive, solve_milp_allocation_warm, solve_proteus, AllocWarmState,
+    Allocation, AllocatorInputs,
 };
 use crate::config::SystemConfig;
 use crate::policy::{BatchPolicy, Policy, QueueModel};
@@ -123,16 +121,17 @@ pub trait AllocPlanner: std::fmt::Debug + Send {
 /// confidence threshold via the configured solver, degrading to the
 /// overload fallback when infeasible.
 ///
-/// The MILP backend keeps a [`WarmStart`] handle across ticks: the demand
+/// The MILP backend keeps an [`AllocWarmState`] across ticks: the demand
 /// estimate moves slowly between control intervals, so the previous tick's
-/// optimum usually proves the next solve at the root relaxation. The
-/// allocator's uniqueness penalties guarantee the warm-started plan is
-/// identical to a cold solve's.
+/// threshold pins the next solve to a couple of small residual MILPs, each
+/// restarted from the previous optimal simplex basis. The allocator's
+/// uniqueness penalties guarantee the warm-started plan is identical to a
+/// cold solve's.
 #[derive(Debug, Clone)]
 pub struct CascadePlanner {
     /// Which solver implementation to invoke.
     pub backend: AllocatorBackend,
-    warm: WarmStart,
+    warm: AllocWarmState,
 }
 
 impl CascadePlanner {
@@ -140,7 +139,7 @@ impl CascadePlanner {
     pub fn new(backend: AllocatorBackend) -> Self {
         CascadePlanner {
             backend,
-            warm: WarmStart::new(),
+            warm: AllocWarmState::new(),
         }
     }
 }

@@ -80,7 +80,7 @@ pub mod sim;
 pub use addons::{AddonCatalog, AddonModule, AddonStats, AddonsConfig, ModuleCache};
 pub use allocator::{
     overload_fallback, solve_exhaustive, solve_milp_allocation, solve_milp_allocation_warm,
-    solve_proteus, Allocation, AllocatorInputs,
+    solve_proteus, AllocWarmState, Allocation, AllocatorInputs,
 };
 pub use config::{ConfigError, SystemConfig};
 pub use control::{

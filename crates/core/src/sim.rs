@@ -1623,8 +1623,13 @@ impl<'a> SimBackend<'a> {
             actions,
             hazard,
         );
+        // Pending events scale with the fleet (per-worker batch timers and
+        // in-flight completions) plus a cushion for arrivals and control
+        // ticks; preallocating keeps multi-million-event replays free of
+        // event-queue reallocation.
+        let event_capacity = spec.config.num_workers * 4 + 1024;
         SimBackend {
-            sim: Simulation::new(state),
+            sim: Simulation::with_capacity(state, event_capacity),
             cursor: SimTime::ZERO,
             started: false,
             remaining_budget: EVENT_BUDGET,

@@ -4,7 +4,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::problem::{Direction, Problem, Sense};
-use crate::simplex::{solve_lp_with_bounds, LpSolution, SolveError};
+use crate::simplex::{solve_lp_with_bounds, Basis, LpSolution, SolveError};
 
 /// Tolerance within which an LP value counts as integral.
 pub const INT_TOL: f64 = 1e-6;
@@ -55,11 +55,17 @@ pub struct MilpSolution {
 ///
 /// The handle is defensive by construction: a remembered point is
 /// re-validated against the *current* problem (dimensions, bounds,
-/// integrality, every constraint) before it is used, so a stale or
-/// mismatched hint degrades to a cold solve rather than a wrong answer.
+/// integrality, every constraint) before it is used, and a remembered
+/// basis is structurally validated (and refactorized) by the simplex
+/// layer, so a stale or mismatched hint degrades to a cold solve rather
+/// than a wrong answer.
 #[derive(Debug, Clone, Default)]
 pub struct WarmStart {
     previous: Option<Vec<f64>>,
+    /// The incumbent's optimal simplex basis from the previous solve;
+    /// seeds the root LP so a steady-state re-solve is a handful of dual
+    /// pivots instead of a full two-phase run.
+    basis: Option<Basis>,
 }
 
 impl WarmStart {
@@ -71,11 +77,28 @@ impl WarmStart {
     /// Forgets the remembered solution; the next solve runs cold.
     pub fn clear(&mut self) {
         self.previous = None;
+        self.basis = None;
     }
 
     /// Whether a previous solution is currently remembered.
     pub fn is_primed(&self) -> bool {
         self.previous.is_some()
+    }
+
+    /// Overrides the remembered solution values (testing hook; normal use
+    /// lets [`solve_milp_warm`] manage the handle).
+    pub fn set_previous(&mut self, values: Option<Vec<f64>>) {
+        self.previous = values;
+    }
+
+    /// The remembered simplex basis, if any.
+    pub fn basis(&self) -> Option<&Basis> {
+        self.basis.as_ref()
+    }
+
+    /// Overrides the remembered basis (testing hook for staled bases).
+    pub fn set_basis(&mut self, basis: Option<Basis>) {
+        self.basis = basis;
     }
 }
 
@@ -169,7 +192,7 @@ impl Ord for Node {
 /// # Ok::<(), diffserve_milp::SolveError>(())
 /// ```
 pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<MilpSolution, SolveError> {
-    solve_seeded(problem, options, None)
+    solve_seeded(problem, options, None, None).map(|(sol, _)| sol)
 }
 
 /// [`solve_milp`] with tick-to-tick state carried in a [`WarmStart`].
@@ -194,18 +217,33 @@ pub fn solve_milp_warm(
     options: &MilpOptions,
     warm: &mut WarmStart,
 ) -> Result<MilpSolution, SolveError> {
-    let result = solve_seeded(problem, options, warm.previous.as_deref());
-    if let Ok(sol) = &result {
-        warm.previous = Some(sol.values.clone());
+    let result = solve_seeded(
+        problem,
+        options,
+        warm.previous.as_deref(),
+        warm.basis.as_ref(),
+    );
+    match result {
+        Ok((sol, basis)) => {
+            warm.previous = Some(sol.values.clone());
+            if basis.is_some() {
+                warm.basis = basis;
+            }
+            Ok(sol)
+        }
+        Err(e) => Err(e),
     }
-    result
 }
 
+/// Core search. Returns the solution plus the simplex basis of the LP
+/// that produced the incumbent (when one is available), so the caller can
+/// carry it tick to tick.
 fn solve_seeded(
     problem: &Problem,
     options: &MilpOptions,
     hint: Option<&[f64]>,
-) -> Result<MilpSolution, SolveError> {
+    hint_basis: Option<&Basis>,
+) -> Result<(MilpSolution, Option<Basis>), SolveError> {
     let int_vars = problem.integer_vars();
     let maximize = problem.direction() == Direction::Maximize;
     let norm = |obj: f64| if maximize { obj } else { -obj };
@@ -243,15 +281,22 @@ fn solve_seeded(
             }
         });
 
-    let root_relax = solve_lp_with_bounds(problem, &root_lower, &root_upper)?;
+    let mut incumbent_basis: Option<Basis> = if incumbent.is_some() {
+        hint_basis.cloned()
+    } else {
+        None
+    };
+
+    let root_relax = solve_lp_with_bounds(problem, &root_lower, &root_upper, hint_basis)?;
     if let Some(best) = &incumbent {
         // Fast path: the root bound already proves the seeded incumbent
-        // optimal (within the gap) — no branching needed.
+        // optimal (within the gap) — no branching needed. The root basis
+        // is this tick's optimal basis: carry it instead of the hint.
         if norm(root_relax.objective) <= norm(best.objective) + options.gap {
             let mut s = incumbent.take().expect("just matched Some");
             s.nodes = 1;
             s.proved_optimal = true;
-            return Ok(s);
+            return Ok((s, Some(root_relax.basis)));
         }
     }
     let mut heap = BinaryHeap::new();
@@ -270,7 +315,7 @@ fn solve_seeded(
                 Some(mut s) => {
                     s.nodes = nodes;
                     s.proved_optimal = false;
-                    Ok(s)
+                    Ok((s, incumbent_basis))
                 }
                 None => Err(SolveError::IterationLimit),
             };
@@ -298,12 +343,20 @@ fn solve_seeded(
 
         match branch_var {
             None => {
-                // Integral: snap and record as incumbent if better.
+                // Integral: snap and record as incumbent if better. The
+                // objective is recomputed from the snapped values so it is
+                // independent of the LP pivot path (warm and cold solves
+                // then agree bit for bit, not just within round-off).
                 let mut values = node.relaxation.values.clone();
                 for &v in &int_vars {
                     values[v.index()] = values[v.index()].round();
                 }
-                let obj = node.relaxation.objective;
+                let obj: f64 = problem
+                    .objective
+                    .iter()
+                    .zip(&values)
+                    .map(|(c, x)| c * x)
+                    .sum();
                 let better = incumbent
                     .as_ref()
                     .is_none_or(|b| norm(obj) > norm(b.objective) + options.gap);
@@ -314,6 +367,7 @@ fn solve_seeded(
                         nodes,
                         proved_optimal: true,
                     });
+                    incumbent_basis = Some(node.relaxation.basis.clone());
                 }
             }
             Some(v) => {
@@ -328,6 +382,7 @@ fn solve_seeded(
                             problem,
                             &node.lower,
                             &upper,
+                            &node.relaxation.basis,
                             norm,
                             &incumbent,
                             options,
@@ -344,6 +399,7 @@ fn solve_seeded(
                             problem,
                             &lower,
                             &node.upper,
+                            &node.relaxation.basis,
                             norm,
                             &incumbent,
                             options,
@@ -361,22 +417,24 @@ fn solve_seeded(
             // The heap drained, so the search is complete — relevant when a
             // seeded incumbent (created unproven) was never displaced.
             s.proved_optimal = true;
-            Ok(s)
+            Ok((s, incumbent_basis))
         }
         None => Err(SolveError::Infeasible),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push_child(
     problem: &Problem,
     lower: &[f64],
     upper: &[f64],
+    parent_basis: &Basis,
     norm: impl Fn(f64) -> f64,
     incumbent: &Option<MilpSolution>,
     options: &MilpOptions,
     heap: &mut BinaryHeap<Node>,
 ) {
-    match solve_lp_with_bounds(problem, lower, upper) {
+    match solve_lp_with_bounds(problem, lower, upper, Some(parent_basis)) {
         Ok(relaxation) => {
             let score = norm(relaxation.objective);
             if let Some(best) = incumbent {

@@ -4,9 +4,13 @@
 //!
 //! The DiffServe paper formulates its resource-allocation problem as a MILP
 //! and solves it with Gurobi (§3.3, §4.5). Gurobi is proprietary, so this
-//! crate provides the substitute substrate: a dense two-phase primal simplex
-//! ([`solve_lp`]) and a best-first branch & bound ([`solve_milp`]) over it,
-//! behind a small modelling API ([`Problem`]).
+//! crate provides the substitute substrate: a dense bounded-variable
+//! primal/dual simplex ([`solve_lp`]) and a best-first branch & bound
+//! ([`solve_milp`]) over it, behind a small modelling API ([`Problem`]).
+//! Every LP solve returns its optimal [`Basis`], and related solves
+//! (branch & bound children, tick-to-tick controller re-solves) restart
+//! from it with a dual-simplex reoptimization instead of a full two-phase
+//! run.
 //!
 //! The DiffServe allocation instances are tiny by MILP standards (tens of
 //! integer variables, tens of constraints), and the paper reports ~10 ms
@@ -40,4 +44,4 @@ pub mod simplex;
 
 pub use branch::{solve_milp, solve_milp_warm, MilpOptions, MilpSolution, WarmStart, INT_TOL};
 pub use problem::{Direction, Problem, Sense, VarId, VarKind};
-pub use simplex::{solve_lp, solve_lp_with_bounds, LpSolution, SolveError, TOL};
+pub use simplex::{solve_lp, solve_lp_with_bounds, Basis, ColStatus, LpSolution, SolveError, TOL};

@@ -1,16 +1,41 @@
-//! Two-phase primal simplex over a dense tableau.
+//! Bounded-variable primal/dual simplex over a dense tableau.
 //!
-//! The solver handles general bounds by substitution: finite lower bounds are
-//! shifted to zero, free variables are split into positive/negative parts,
-//! and finite upper bounds become explicit row constraints. Bland's rule is
-//! used for both the entering and leaving variable, which guarantees
-//! termination (no cycling) at the cost of a few extra pivots — irrelevant at
-//! the problem sizes the DiffServe allocator produces (≲ 200 columns).
+//! Variable bounds are handled natively: a nonbasic variable rests at its
+//! lower bound, its upper bound, or (for free variables) at zero, and the
+//! ratio tests account for both bounds — including bound-to-bound flips
+//! that never touch the basis. Row senses are encoded as bounds on the
+//! slack column (`<=` → slack in `[0, ∞)`, `>=` → slack in `(-∞, 0]`,
+//! `=` → slack fixed at zero), so the tableau has exactly one row per
+//! constraint and no artificial or bound rows. That keeps the DiffServe
+//! allocator LP at ~18 rows instead of the ~90 the old
+//! substitution-based formulation produced, and — more importantly — it
+//! makes the column layout independent of the bound values, so a basis
+//! from one solve can restart a related solve (branch & bound children,
+//! tick-to-tick controller re-solves) via [`Basis`].
+//!
+//! Cold solves run a composite phase 1 (minimize the total bound
+//! violation of the basics with a first-breakpoint ratio test) followed
+//! by a primal phase 2. Warm solves refactorize the supplied basis and
+//! reoptimize with a bounded dual simplex (bound changes leave the parent
+//! basis dual feasible); whenever the basis is stale, singular, or the
+//! reoptimization misbehaves numerically, the solver falls back to the
+//! cold two-phase path, so correctness never depends on the fast path.
+//! Entering variables use Dantzig's rule with a Bland fallback once the
+//! iteration count suggests degenerate cycling.
 
 use crate::problem::{Direction, Problem, Sense};
 
 /// Numerical tolerance used throughout the solver.
 pub const TOL: f64 = 1e-9;
+
+/// Tolerance for primal feasibility decisions (bound violations).
+const FEAS_TOL: f64 = 1e-7;
+
+/// Tolerance for dual feasibility decisions on warm-started bases.
+const DUAL_TOL: f64 = 1e-7;
+
+/// Smallest pivot magnitude accepted when refactorizing a warm basis.
+const PIVOT_TOL: f64 = 1e-7;
 
 /// Why the solver could not return an optimum.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +60,54 @@ impl std::fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// Where a column rests in a simplex basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColStatus {
+    /// In the basis; its value lives in the corresponding tableau row.
+    Basic,
+    /// Nonbasic at its (finite) lower bound.
+    AtLower,
+    /// Nonbasic at its (finite) upper bound.
+    AtUpper,
+    /// Nonbasic free variable resting at zero.
+    Free,
+}
+
+/// A simplex basis: one status per column (structurals first, then one
+/// slack per row) plus the basic column of each row.
+///
+/// Returned by every solve in [`LpSolution::basis`] and accepted back by
+/// [`solve_lp_with_bounds`] to warm-start a related solve. A basis is
+/// validated against the problem it is applied to — wrong shape, bound
+/// mismatch, or a singular column selection silently falls back to the
+/// cold two-phase solve, so a stale basis can cost time but never
+/// correctness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    statuses: Vec<ColStatus>,
+    basic: Vec<usize>,
+}
+
+impl Basis {
+    /// Assembles a basis from raw parts: `statuses[j]` for each of the
+    /// `num_vars + num_constraints` columns and the basic column of each
+    /// row. No validation happens here — an inconsistent basis is
+    /// detected (and ignored) by the solve it is passed to.
+    pub fn from_parts(statuses: Vec<ColStatus>, basic: Vec<usize>) -> Self {
+        Basis { statuses, basic }
+    }
+
+    /// Number of columns this basis describes (structurals + slacks).
+    pub fn num_cols(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// Number of rows (= basic columns) this basis describes.
+    pub fn num_rows(&self) -> usize {
+        self.basic.len()
+    }
+}
+
 /// An optimal LP solution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LpSolution {
@@ -44,6 +117,8 @@ pub struct LpSolution {
     ///
     /// [`VarId::index`]: crate::problem::VarId::index
     pub values: Vec<f64>,
+    /// The optimal basis, reusable to warm-start a related solve.
+    pub basis: Basis,
 }
 
 /// Solves the LP relaxation of `problem` (integrality ignored).
@@ -53,13 +128,25 @@ pub struct LpSolution {
 /// Returns [`SolveError::Infeasible`] or [`SolveError::Unbounded`] as
 /// appropriate, and [`SolveError::IterationLimit`] on pathological inputs.
 pub fn solve_lp(problem: &Problem) -> Result<LpSolution, SolveError> {
-    solve_lp_with_bounds(problem, &problem.lower_bounds(), &problem.upper_bounds())
+    solve_lp_with_bounds(
+        problem,
+        &problem.lower_bounds(),
+        &problem.upper_bounds(),
+        None,
+    )
 }
 
-/// Solves the LP relaxation with overridden variable bounds.
+/// Solves the LP relaxation with overridden variable bounds, optionally
+/// warm-started from a previous solve's [`Basis`].
 ///
-/// Branch & bound uses this to solve node relaxations without rebuilding the
-/// [`Problem`].
+/// Branch & bound uses this to solve node relaxations without rebuilding
+/// the [`Problem`], handing each child its parent's optimal basis: a
+/// child differs only in one variable bound, which leaves the parent
+/// basis dual feasible, so the solve reduces to a handful of dual simplex
+/// pivots instead of a full two-phase run. A basis that does not fit the
+/// problem (wrong shape, statuses pointing at infinite bounds, singular)
+/// is ignored and the solve runs cold — the warm path can never change
+/// the result, only the time to reach it.
 ///
 /// # Errors
 ///
@@ -73,6 +160,7 @@ pub fn solve_lp_with_bounds(
     problem: &Problem,
     lower: &[f64],
     upper: &[f64],
+    warm: Option<&Basis>,
 ) -> Result<LpSolution, SolveError> {
     let n = problem.num_vars();
     assert_eq!(lower.len(), n, "lower bounds length mismatch");
@@ -94,368 +182,694 @@ pub fn solve_lp_with_bounds(
                     .map(|(l, u)| l.min(*u))
                     .collect::<Vec<_>>(),
                 upper,
+                warm,
             );
         }
     }
 
-    // --- Substitution into standard form -------------------------------
-    // Each original var x_j maps to one of:
-    //   Shifted { col }:        x = lower + x',          x' >= 0
-    //   Split { pos, neg }:     x = x+ - x-,             x+, x- >= 0
-    #[derive(Clone, Copy)]
-    enum VarMap {
-        Shifted { col: usize },
-        Split { pos: usize, neg: usize },
-    }
-
-    let mut mapping = Vec::with_capacity(n);
-    let mut num_cols = 0usize;
-    for &lo in lower.iter().take(n) {
-        if lo.is_finite() {
-            mapping.push(VarMap::Shifted { col: num_cols });
-            num_cols += 1;
-        } else {
-            mapping.push(VarMap::Split {
-                pos: num_cols,
-                neg: num_cols + 1,
-            });
-            num_cols += 2;
+    let inst = Instance::build(problem, lower, upper);
+    if let Some(basis) = warm {
+        if let Some(t) = inst.try_warm(basis) {
+            return Ok(inst.extract(&t));
         }
     }
-
-    // Rows: original constraints (rhs adjusted by lower-bound shifts) plus
-    // upper-bound rows x' <= u - l for finite upper bounds.
-    struct Row {
-        coeffs: Vec<(usize, f64)>, // (column, coefficient)
-        sense: Sense,
-        rhs: f64,
-    }
-    let mut rows: Vec<Row> = Vec::new();
-
-    for c in &problem.constraints {
-        let mut rhs = c.rhs;
-        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(c.terms.len() + 1);
-        for &(v, a) in &c.terms {
-            match mapping[v.0] {
-                VarMap::Shifted { col } => {
-                    rhs -= a * lower[v.0];
-                    coeffs.push((col, a));
-                }
-                VarMap::Split { pos, neg } => {
-                    coeffs.push((pos, a));
-                    coeffs.push((neg, -a));
-                }
-            }
-        }
-        rows.push(Row {
-            coeffs,
-            sense: c.sense,
-            rhs,
-        });
-    }
-    for j in 0..n {
-        if upper[j].is_finite() {
-            match mapping[j] {
-                VarMap::Shifted { col } => {
-                    let ub = upper[j] - lower[j];
-                    rows.push(Row {
-                        coeffs: vec![(col, 1.0)],
-                        sense: Sense::Le,
-                        rhs: ub.max(0.0),
-                    });
-                }
-                VarMap::Split { pos, neg } => {
-                    rows.push(Row {
-                        coeffs: vec![(pos, 1.0), (neg, -1.0)],
-                        sense: Sense::Le,
-                        rhs: upper[j],
-                    });
-                }
-            }
-        }
-    }
-
-    // Objective in minimization form over the substituted columns.
-    let sign = match problem.direction {
-        Direction::Minimize => 1.0,
-        Direction::Maximize => -1.0,
-    };
-    let mut cost = vec![0.0; num_cols];
-    let mut obj_shift = 0.0; // constant from lower-bound shifts
-    for j in 0..n {
-        let c = problem.objective[j] * sign;
-        if c == 0.0 {
-            continue;
-        }
-        match mapping[j] {
-            VarMap::Shifted { col } => {
-                cost[col] = c;
-                obj_shift += c * lower[j];
-            }
-            VarMap::Split { pos, neg } => {
-                cost[pos] = c;
-                cost[neg] = -c;
-            }
-        }
-    }
-
-    // --- Build tableau with slacks/artificials --------------------------
-    let m = rows.len();
-    // Normalize rhs >= 0 by flipping rows.
-    let mut senses = Vec::with_capacity(m);
-    for row in &mut rows {
-        if row.rhs < 0.0 {
-            row.rhs = -row.rhs;
-            for c in &mut row.coeffs {
-                c.1 = -c.1;
-            }
-            row.sense = match row.sense {
-                Sense::Le => Sense::Ge,
-                Sense::Ge => Sense::Le,
-                Sense::Eq => Sense::Eq,
-            };
-        }
-        senses.push(row.sense);
-    }
-    let num_slack = senses
-        .iter()
-        .filter(|s| matches!(s, Sense::Le | Sense::Ge))
-        .count();
-    let num_art = senses
-        .iter()
-        .filter(|s| matches!(s, Sense::Ge | Sense::Eq))
-        .count();
-    let total = num_cols + num_slack + num_art;
-
-    // Dense tableau: m rows × (total + 1) columns, rhs last.
-    let mut t = vec![vec![0.0; total + 1]; m];
-    let mut basis = vec![usize::MAX; m];
-    let mut is_artificial = vec![false; total];
-    {
-        let mut slack_at = num_cols;
-        let mut art_at = num_cols + num_slack;
-        for (i, row) in rows.iter().enumerate() {
-            for &(col, a) in &row.coeffs {
-                t[i][col] += a;
-            }
-            t[i][total] = row.rhs;
-            match row.sense {
-                Sense::Le => {
-                    t[i][slack_at] = 1.0;
-                    basis[i] = slack_at;
-                    slack_at += 1;
-                }
-                Sense::Ge => {
-                    t[i][slack_at] = -1.0;
-                    slack_at += 1;
-                    t[i][art_at] = 1.0;
-                    is_artificial[art_at] = true;
-                    basis[i] = art_at;
-                    art_at += 1;
-                }
-                Sense::Eq => {
-                    t[i][art_at] = 1.0;
-                    is_artificial[art_at] = true;
-                    basis[i] = art_at;
-                    art_at += 1;
-                }
-            }
-        }
-    }
-
-    let max_iters = 50 * (m + total + 10);
-
-    // --- Phase 1: minimize sum of artificials ---------------------------
-    if num_art > 0 {
-        let mut phase1_cost = vec![0.0; total];
-        for (j, flag) in is_artificial.iter().enumerate() {
-            if *flag {
-                phase1_cost[j] = 1.0;
-            }
-        }
-        run_simplex(
-            &mut t,
-            &mut basis,
-            &phase1_cost,
-            max_iters,
-            Some(&is_artificial),
-        )?;
-        let obj1: f64 = basis
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| phase1_cost[b] * t[i][total])
-            .sum();
-        if obj1 > 1e-7 {
-            return Err(SolveError::Infeasible);
-        }
-        // Pivot remaining artificials (at zero level) out of the basis.
-        for i in 0..m {
-            if is_artificial[basis[i]] {
-                let mut pivoted = false;
-                for j in 0..total {
-                    if !is_artificial[j] && t[i][j].abs() > 1e-7 {
-                        pivot(&mut t, &mut basis, i, j);
-                        pivoted = true;
-                        break;
-                    }
-                }
-                if !pivoted {
-                    // Redundant row: zero it so it can never constrain.
-                    for v in t[i].iter_mut() {
-                        *v = 0.0;
-                    }
-                }
-            }
-        }
-    }
-
-    // --- Phase 2: minimize original cost (artificials barred) -----------
-    let mut phase2_cost = vec![0.0; total];
-    phase2_cost[..num_cols].copy_from_slice(&cost);
-    run_simplex(
-        &mut t,
-        &mut basis,
-        &phase2_cost,
-        max_iters,
-        Some(&is_artificial),
-    )?;
-
-    // --- Extract solution ------------------------------------------------
-    let mut col_values = vec![0.0; total];
-    for i in 0..m {
-        if basis[i] != usize::MAX {
-            col_values[basis[i]] = t[i][total];
-        }
-    }
-    let mut values = vec![0.0; n];
-    for j in 0..n {
-        values[j] = match mapping[j] {
-            VarMap::Shifted { col } => lower[j] + col_values[col],
-            VarMap::Split { pos, neg } => col_values[pos] - col_values[neg],
-        };
-        // Snap to bounds against round-off.
-        if values[j] < lower[j] {
-            values[j] = lower[j];
-        }
-        if values[j] > upper[j] {
-            values[j] = upper[j];
-        }
-    }
-    let raw_obj: f64 = (0..num_cols).map(|c| phase2_cost[c] * col_values[c]).sum();
-    let objective = (raw_obj + obj_shift) * sign;
-    Ok(LpSolution { objective, values })
+    let t = inst.solve_cold()?;
+    Ok(inst.extract(&t))
 }
 
-/// Runs minimizing simplex iterations on the tableau until optimality.
-///
-/// `barred` columns (phase-1 artificials during phase 2) are never chosen as
-/// entering variables.
-fn run_simplex(
-    t: &mut [Vec<f64>],
-    basis: &mut [usize],
-    cost: &[f64],
-    max_iters: usize,
-    barred: Option<&[bool]>,
-) -> Result<(), SolveError> {
-    let m = t.len();
-    let total = cost.len();
-    let rhs_col = total;
+/// The LP in solver form: `A x + s = b` with per-column bounds, senses
+/// folded into the slack bounds, costs in minimization form.
+struct Instance {
+    /// Rows (constraints).
+    m: usize,
+    /// Columns: `ns` structurals then `m` slacks.
+    n: usize,
+    /// Structural columns (original problem variables).
+    ns: usize,
+    /// Original coefficient matrix, `m × n` row-major (slack identity
+    /// included).
+    a0: Vec<f64>,
+    /// Right-hand sides, unnormalized (no row flipping — the layout must
+    /// not depend on bound or rhs signs, or bases would not be reusable).
+    b: Vec<f64>,
+    /// Per-column lower bounds (structurals then slacks).
+    lower: Vec<f64>,
+    /// Per-column upper bounds.
+    upper: Vec<f64>,
+    /// Minimization costs (slacks cost zero).
+    cost: Vec<f64>,
+    /// `+1` for minimize, `-1` for maximize (applied to costs).
+    sign: f64,
+}
 
-    // Dantzig's rule (most negative reduced cost) converges in far fewer
-    // pivots but can cycle on degenerate problems; Bland's rule (first
-    // improving index) terminates always but stalls. Standard practice:
-    // start with Dantzig and fall back to Bland once the iteration count
-    // suggests degeneracy.
-    let bland_after = 10 * (m + total + 10);
+/// Mutable solver state: the tableau `B⁻¹A`, the basic values, and the
+/// column statuses.
+struct Tableau {
+    /// `B⁻¹A`, `m × n` row-major.
+    a: Vec<f64>,
+    /// Value of the basic variable of each row.
+    xb: Vec<f64>,
+    /// Basic column of each row.
+    basis: Vec<usize>,
+    /// Status of every column.
+    status: Vec<ColStatus>,
+}
 
-    for iter in 0..max_iters {
-        let use_bland = iter >= bland_after;
-        // Reduced costs: r_j = c_j - c_B' T[:,j].
-        let mut entering = None;
-        let mut most_negative = -TOL;
-        for j in 0..total {
-            if let Some(bar) = barred {
-                // During phase 2 the artificial columns stay barred; during
-                // phase 1 they carry cost 1 and may re-enter freely, so only
-                // bar them when their cost is zero (phase 2).
-                if bar[j] && cost[j] == 0.0 {
+impl Instance {
+    fn build(problem: &Problem, lower: &[f64], upper: &[f64]) -> Instance {
+        let ns = problem.num_vars();
+        let m = problem.constraints.len();
+        let n = ns + m;
+        let mut a0 = vec![0.0; m * n];
+        let mut b = vec![0.0; m];
+        let mut lo = vec![0.0; n];
+        let mut up = vec![0.0; n];
+        lo[..ns].copy_from_slice(lower);
+        up[..ns].copy_from_slice(upper);
+        for (i, c) in problem.constraints.iter().enumerate() {
+            for &(v, coef) in &c.terms {
+                a0[i * n + v.0] += coef;
+            }
+            a0[i * n + ns + i] = 1.0;
+            b[i] = c.rhs;
+            // Sense as slack bounds: a·x + s = rhs.
+            let (slo, sup) = match c.sense {
+                Sense::Le => (0.0, f64::INFINITY),
+                Sense::Ge => (f64::NEG_INFINITY, 0.0),
+                Sense::Eq => (0.0, 0.0),
+            };
+            lo[ns + i] = slo;
+            up[ns + i] = sup;
+        }
+        let sign = match problem.direction {
+            Direction::Minimize => 1.0,
+            Direction::Maximize => -1.0,
+        };
+        let mut cost = vec![0.0; n];
+        for (c, &obj) in cost.iter_mut().zip(&problem.objective) {
+            *c = obj * sign;
+        }
+        Instance {
+            m,
+            n,
+            ns,
+            a0,
+            b,
+            lower: lo,
+            upper: up,
+            cost,
+            sign,
+        }
+    }
+
+    fn max_iters(&self) -> usize {
+        50 * (self.m + self.n + 10)
+    }
+
+    /// The resting value of a nonbasic column with the given status.
+    fn nb_val(&self, j: usize, status: ColStatus) -> f64 {
+        match status {
+            ColStatus::AtLower => self.lower[j],
+            ColStatus::AtUpper => self.upper[j],
+            ColStatus::Free => 0.0,
+            ColStatus::Basic => unreachable!("basic column has no resting value"),
+        }
+    }
+
+    /// The all-slack starting tableau (`B = I`).
+    fn cold_tableau(&self) -> Tableau {
+        let mut status = Vec::with_capacity(self.n);
+        for j in 0..self.ns {
+            status.push(if self.lower[j].is_finite() {
+                ColStatus::AtLower
+            } else if self.upper[j].is_finite() {
+                ColStatus::AtUpper
+            } else {
+                ColStatus::Free
+            });
+        }
+        for _ in 0..self.m {
+            status.push(ColStatus::Basic);
+        }
+        let basis: Vec<usize> = (self.ns..self.n).collect();
+        let mut xb = self.b.clone();
+        for (i, x) in xb.iter_mut().enumerate() {
+            for (j, &st) in status.iter().enumerate().take(self.ns) {
+                let coef = self.a0[i * self.n + j];
+                if coef != 0.0 {
+                    *x -= coef * self.nb_val(j, st);
+                }
+            }
+        }
+        Tableau {
+            a: self.a0.clone(),
+            xb,
+            basis,
+            status,
+        }
+    }
+
+    fn solve_cold(&self) -> Result<Tableau, SolveError> {
+        let mut t = self.cold_tableau();
+        self.primal_phase1(&mut t)?;
+        self.primal_phase2(&mut t)?;
+        Ok(t)
+    }
+
+    /// Attempts a warm solve from `basis`. Any validation, factorization,
+    /// or reoptimization hiccup returns `None` — the caller falls back to
+    /// the cold path, which alone decides infeasible/unbounded verdicts.
+    fn try_warm(&self, basis: &Basis) -> Option<Tableau> {
+        let mut t = self.refactorize(basis)?;
+        let dual_ok = self.is_dual_feasible(&t);
+        if dual_ok {
+            self.dual_simplex(&mut t).ok()?;
+        } else if !self.is_primal_feasible(&t) {
+            // Neither dual nor primal feasible: the basis buys nothing.
+            return None;
+        }
+        self.primal_phase2(&mut t).ok()?;
+        // Paranoia: never hand back a tableau that is not an optimum.
+        if self.is_primal_feasible(&t) && self.is_dual_feasible(&t) {
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    /// Rebuilds the tableau for `basis` by Gauss-Jordan elimination with
+    /// row pivoting. Returns `None` when the basis does not fit this
+    /// problem or its columns are (near-)singular.
+    fn refactorize(&self, basis: &Basis) -> Option<Tableau> {
+        let (m, n) = (self.m, self.n);
+        if basis.statuses.len() != n || basis.basic.len() != m {
+            return None;
+        }
+        let mut n_basic = 0usize;
+        for (j, &s) in basis.statuses.iter().enumerate() {
+            match s {
+                ColStatus::Basic => n_basic += 1,
+                ColStatus::AtLower if !self.lower[j].is_finite() => return None,
+                ColStatus::AtUpper if !self.upper[j].is_finite() => return None,
+                _ => {}
+            }
+        }
+        if n_basic != m {
+            return None;
+        }
+        let mut seen = vec![false; n];
+        for &c in &basis.basic {
+            if c >= n || basis.statuses[c] != ColStatus::Basic || seen[c] {
+                return None;
+            }
+            seen[c] = true;
+        }
+
+        let mut a = self.a0.clone();
+        let mut rhs = self.b.clone();
+        let mut assigned = vec![false; m];
+        let mut new_basis = vec![usize::MAX; m];
+        for &c in &basis.basic {
+            // Partial pivoting over the rows not yet claimed by a basic
+            // column; the basis is a set, so the row assignment is ours
+            // to choose.
+            let mut row = usize::MAX;
+            let mut best = PIVOT_TOL;
+            for (i, &taken) in assigned.iter().enumerate() {
+                if !taken && a[i * n + c].abs() > best {
+                    best = a[i * n + c].abs();
+                    row = i;
+                }
+            }
+            if row == usize::MAX {
+                return None; // singular basis
+            }
+            let p = a[row * n + c];
+            for v in &mut a[row * n..row * n + n] {
+                *v /= p;
+            }
+            rhs[row] /= p;
+            for i in 0..m {
+                if i == row {
                     continue;
                 }
+                let factor = a[i * n + c];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    a[i * n + j] -= factor * a[row * n + j];
+                }
+                a[i * n + c] = 0.0;
+                rhs[i] -= factor * rhs[row];
             }
-            if basis.contains(&j) {
+            assigned[row] = true;
+            new_basis[row] = c;
+        }
+
+        // Basic values: x_B = B⁻¹b − Σ_nonbasic (B⁻¹A)_j · v_j.
+        let status = basis.statuses.clone();
+        let mut xb = rhs;
+        for j in 0..n {
+            if status[j] == ColStatus::Basic {
                 continue;
             }
-            let mut r = cost[j];
-            for i in 0..m {
-                let cb = if basis[i] == usize::MAX {
-                    0.0
-                } else {
-                    cost[basis[i]]
+            let v = self.nb_val(j, status[j]);
+            if v != 0.0 {
+                for i in 0..m {
+                    let coef = a[i * n + j];
+                    if coef != 0.0 {
+                        xb[i] -= coef * v;
+                    }
+                }
+            }
+        }
+        Some(Tableau {
+            a,
+            xb,
+            basis: new_basis,
+            status,
+        })
+    }
+
+    /// Reduced costs `r = c − c_B' B⁻¹A` for `costs`, written into `r`.
+    fn price_into(&self, t: &Tableau, costs: &[f64], r: &mut [f64]) {
+        r.copy_from_slice(costs);
+        for i in 0..self.m {
+            let cb = costs[t.basis[i]];
+            if cb != 0.0 {
+                let row = &t.a[i * self.n..(i + 1) * self.n];
+                for (rj, &aij) in r.iter_mut().zip(row) {
+                    *rj -= cb * aij;
+                }
+            }
+        }
+    }
+
+    fn is_primal_feasible(&self, t: &Tableau) -> bool {
+        t.xb.iter().zip(&t.basis).all(|(&x, &b)| {
+            x >= self.lower[b] - FEAS_TOL * (1.0 + self.lower[b].abs())
+                && x <= self.upper[b] + FEAS_TOL * (1.0 + self.upper[b].abs())
+        })
+    }
+
+    fn is_dual_feasible(&self, t: &Tableau) -> bool {
+        let mut r = vec![0.0; self.n];
+        self.price_into(t, &self.cost, &mut r);
+        (0..self.n).all(|j| match t.status[j] {
+            ColStatus::Basic => true,
+            // Fixed columns can never enter, so their sign is irrelevant.
+            _ if self.lower[j] == self.upper[j] => true,
+            ColStatus::AtLower => r[j] >= -DUAL_TOL,
+            ColStatus::AtUpper => r[j] <= DUAL_TOL,
+            ColStatus::Free => r[j].abs() <= DUAL_TOL,
+        })
+    }
+
+    /// Picks the entering column for reduced costs `r`: the most negative
+    /// improvement direction (Dantzig) or the first one (Bland). Returns
+    /// `(column, direction)` where the direction is the sign of the
+    /// entering variable's movement.
+    fn pick_entering(&self, t: &Tableau, r: &[f64], bland: bool) -> Option<(usize, f64)> {
+        let mut entering: Option<(usize, f64)> = None;
+        let mut best = TOL;
+        for (j, &rj) in r.iter().enumerate().take(self.n) {
+            let (viol, sigma) = match t.status[j] {
+                ColStatus::Basic => continue,
+                _ if self.lower[j] == self.upper[j] => continue, // fixed
+                ColStatus::AtLower => (-rj, 1.0),
+                ColStatus::AtUpper => (rj, -1.0),
+                ColStatus::Free => (rj.abs(), if rj > 0.0 { -1.0 } else { 1.0 }),
+            };
+            if viol > best {
+                entering = Some((j, sigma));
+                if bland {
+                    break;
+                }
+                best = viol;
+            }
+        }
+        entering
+    }
+
+    /// Moves entering column `e` by `sigma * step`, then either flips it
+    /// to the opposite bound (`leave == None`) or pivots it into row `r`
+    /// with the leaving variable parked at lower (`to_upper == false`) or
+    /// upper.
+    fn apply_step(
+        &self,
+        t: &mut Tableau,
+        e: usize,
+        sigma: f64,
+        step: f64,
+        leave: Option<(usize, bool)>,
+    ) {
+        let n = self.n;
+        if step != 0.0 {
+            for i in 0..self.m {
+                let coef = t.a[i * n + e];
+                if coef != 0.0 {
+                    t.xb[i] -= sigma * step * coef;
+                }
+            }
+        }
+        match leave {
+            None => {
+                t.status[e] = match t.status[e] {
+                    ColStatus::AtLower => ColStatus::AtUpper,
+                    ColStatus::AtUpper => ColStatus::AtLower,
+                    other => other,
                 };
-                if cb != 0.0 {
-                    r -= cb * t[i][j];
-                }
             }
-            if r < most_negative {
-                entering = Some(j);
-                if use_bland {
-                    break; // Bland: first improving index.
-                }
-                most_negative = r; // Dantzig: keep scanning for the best.
+            Some((r, to_upper)) => {
+                let entering_val = self.nb_val(e, t.status[e]) + sigma * step;
+                let leaving = t.basis[r];
+                t.status[leaving] = if to_upper {
+                    ColStatus::AtUpper
+                } else {
+                    ColStatus::AtLower
+                };
+                t.status[e] = ColStatus::Basic;
+                Self::pivot(t, n, r, e);
+                t.xb[r] = entering_val;
             }
         }
-        let Some(e) = entering else {
-            return Ok(());
-        };
+    }
 
-        // Ratio test (Bland ties: smallest basis index).
-        let mut leave: Option<usize> = None;
-        let mut best_ratio = f64::INFINITY;
+    /// Pivots the tableau on `(row, col)`.
+    fn pivot(t: &mut Tableau, n: usize, row: usize, col: usize) {
+        let p = t.a[row * n + col];
+        debug_assert!(p.abs() > 1e-12, "pivot on (near-)zero element");
+        for v in &mut t.a[row * n..row * n + n] {
+            *v /= p;
+        }
+        let m = t.xb.len();
         for i in 0..m {
-            if t[i][e] > TOL {
-                let ratio = t[i][rhs_col] / t[i][e];
-                let better = ratio < best_ratio - TOL
-                    || (ratio < best_ratio + TOL && leave.is_none_or(|l| basis[i] < basis[l]));
-                if better {
-                    best_ratio = ratio;
-                    leave = Some(i);
+            if i == row {
+                continue;
+            }
+            let factor = t.a[i * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let pivot_v = t.a[row * n + j];
+                t.a[i * n + j] -= factor * pivot_v;
+            }
+            t.a[i * n + col] = 0.0; // exact zero against round-off
+        }
+        t.basis[row] = col;
+    }
+
+    /// Composite phase 1: drive every basic variable inside its bounds by
+    /// minimizing the total violation, with a first-breakpoint ratio test
+    /// (an infeasible basic leaving through its violated bound is a kink,
+    /// not a wall).
+    fn primal_phase1(&self, t: &mut Tableau) -> Result<(), SolveError> {
+        let (m, n) = (self.m, self.n);
+        let bland_after = 10 * (m + n + 10);
+        let mut d = vec![0.0; m]; // violation direction per row
+        let mut r = vec![0.0; n];
+        let mut costs = vec![0.0; n];
+        for iter in 0..self.max_iters() {
+            let mut infeasible = false;
+            for ((di, &bi), &x) in d.iter_mut().zip(&t.basis).zip(&t.xb) {
+                *di = if x < self.lower[bi] - FEAS_TOL * (1.0 + self.lower[bi].abs()) {
+                    -1.0
+                } else if x > self.upper[bi] + FEAS_TOL * (1.0 + self.upper[bi].abs()) {
+                    1.0
+                } else {
+                    0.0
+                };
+                infeasible |= *di != 0.0;
+            }
+            if !infeasible {
+                return Ok(());
+            }
+            // Phase-1 reduced costs: the violation decreases at rate
+            // |r_j| along an eligible entering direction.
+            costs.iter_mut().for_each(|c| *c = 0.0);
+            r.iter_mut().for_each(|v| *v = 0.0);
+            for (i, &di) in d.iter().enumerate() {
+                if di != 0.0 {
+                    let row = &t.a[i * n..(i + 1) * n];
+                    for (rj, &aij) in r.iter_mut().zip(row) {
+                        *rj -= di * aij;
+                    }
                 }
             }
-        }
-        let Some(l) = leave else {
-            return Err(SolveError::Unbounded);
-        };
-        pivot(t, basis, l, e);
-    }
-    Err(SolveError::IterationLimit)
-}
+            let Some((e, sigma)) = self.pick_entering(t, &r, iter >= bland_after) else {
+                return Err(SolveError::Infeasible);
+            };
 
-/// Pivots the tableau on `(row, col)`.
-fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
-    let width = t[row].len();
-    let p = t[row][col];
-    debug_assert!(p.abs() > 1e-12, "pivot on (near-)zero element");
-    for v in t[row].iter_mut() {
-        *v /= p;
+            // First-breakpoint ratio test.
+            let mut step = self.flip_cap(t, e);
+            let mut leave: Option<(usize, bool)> = None;
+            for (i, &di) in d.iter().enumerate() {
+                let alpha = t.a[i * n + e];
+                let rate = -sigma * alpha;
+                if rate.abs() <= TOL {
+                    continue;
+                }
+                let bi = t.basis[i];
+                // Which bound does this basic run into (or, if currently
+                // violated, become feasible at)?
+                let (limit, to_upper) = if di == -1.0 {
+                    if rate <= 0.0 {
+                        continue; // moving further below its lower bound
+                    }
+                    (self.lower[bi], false)
+                } else if di == 1.0 {
+                    if rate >= 0.0 {
+                        continue;
+                    }
+                    (self.upper[bi], true)
+                } else if rate > 0.0 {
+                    if !self.upper[bi].is_finite() {
+                        continue;
+                    }
+                    (self.upper[bi], true)
+                } else {
+                    if !self.lower[bi].is_finite() {
+                        continue;
+                    }
+                    (self.lower[bi], false)
+                };
+                let tstep = ((limit - t.xb[i]) / rate).max(0.0);
+                if self.tighter(t, tstep, i, step, leave) {
+                    step = step.min(tstep);
+                    leave = Some((i, to_upper));
+                }
+            }
+            if leave.is_none() && !step.is_finite() {
+                // The violation would decrease forever — numerically
+                // impossible (it is bounded below by zero); bail out.
+                return Err(SolveError::IterationLimit);
+            }
+            self.apply_step(t, e, sigma, step, leave);
+        }
+        Err(SolveError::IterationLimit)
     }
-    // Snapshot the (normalized) pivot row so eliminating the other rows can
-    // borrow them mutably.
-    let pivot_row = t[row].clone();
-    for (i, other) in t.iter_mut().enumerate() {
-        if i == row {
-            continue;
+
+    /// Primal phase 2 from a primal-feasible tableau.
+    fn primal_phase2(&self, t: &mut Tableau) -> Result<(), SolveError> {
+        let (m, n) = (self.m, self.n);
+        let bland_after = 10 * (m + n + 10);
+        let mut r = vec![0.0; n];
+        for iter in 0..self.max_iters() {
+            self.price_into(t, &self.cost, &mut r);
+            let Some((e, sigma)) = self.pick_entering(t, &r, iter >= bland_after) else {
+                return Ok(());
+            };
+
+            let mut step = self.flip_cap(t, e);
+            let mut leave: Option<(usize, bool)> = None;
+            for i in 0..m {
+                let alpha = t.a[i * n + e];
+                let rate = -sigma * alpha;
+                if rate.abs() <= TOL {
+                    continue;
+                }
+                let bi = t.basis[i];
+                let (limit, to_upper) = if rate > 0.0 {
+                    if !self.upper[bi].is_finite() {
+                        continue;
+                    }
+                    (self.upper[bi], true)
+                } else {
+                    if !self.lower[bi].is_finite() {
+                        continue;
+                    }
+                    (self.lower[bi], false)
+                };
+                let tstep = ((limit - t.xb[i]) / rate).max(0.0);
+                if self.tighter(t, tstep, i, step, leave) {
+                    step = step.min(tstep);
+                    leave = Some((i, to_upper));
+                }
+            }
+            if leave.is_none() && !step.is_finite() {
+                return Err(SolveError::Unbounded);
+            }
+            self.apply_step(t, e, sigma, step, leave);
         }
-        let factor = other[col];
-        if factor == 0.0 {
-            continue;
-        }
-        debug_assert_eq!(other.len(), width);
-        for (cell, &p_j) in other.iter_mut().zip(pivot_row.iter()) {
-            *cell -= factor * p_j;
-        }
-        other[col] = 0.0; // exact zero against round-off
+        Err(SolveError::IterationLimit)
     }
-    basis[row] = col;
+
+    /// How far the entering column can travel before hitting its own
+    /// opposite bound (a bound flip, no pivot needed).
+    fn flip_cap(&self, t: &Tableau, e: usize) -> f64 {
+        match t.status[e] {
+            ColStatus::AtLower | ColStatus::AtUpper => self.upper[e] - self.lower[e],
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Ratio-test tie-breaking: a row beats the current candidate when
+    /// its step is strictly smaller, or ties within tolerance with a
+    /// smaller basic column index (the Bland-style tie-break the old
+    /// solver used). A row always beats a same-step bound flip.
+    fn tighter(
+        &self,
+        t: &Tableau,
+        tstep: f64,
+        row: usize,
+        best: f64,
+        leave: Option<(usize, bool)>,
+    ) -> bool {
+        match leave {
+            None => tstep < best + TOL,
+            Some((l, _)) => tstep < best - TOL || (tstep < best + TOL && t.basis[row] < t.basis[l]),
+        }
+    }
+
+    /// Bounded dual simplex: starting dual feasible, repair primal
+    /// feasibility row by row while keeping the reduced costs signed.
+    fn dual_simplex(&self, t: &mut Tableau) -> Result<(), SolveError> {
+        let (m, n) = (self.m, self.n);
+        let mut r = vec![0.0; n];
+        for _ in 0..self.max_iters() {
+            // Leaving row: the most violated basic.
+            let mut leave: Option<(usize, bool)> = None; // (row, below lower)
+            let mut worst: f64 = 0.0;
+            for i in 0..m {
+                let bi = t.basis[i];
+                let below = (self.lower[bi] - t.xb[i]) / (1.0 + self.lower[bi].abs());
+                let above = (t.xb[i] - self.upper[bi]) / (1.0 + self.upper[bi].abs());
+                if below > worst.max(FEAS_TOL) {
+                    worst = below;
+                    leave = Some((i, true));
+                }
+                if above > worst.max(FEAS_TOL) {
+                    worst = above;
+                    leave = Some((i, false));
+                }
+            }
+            let Some((row, below)) = leave else {
+                return Ok(()); // primal feasible
+            };
+
+            self.price_into(t, &self.cost, &mut r);
+            // Entering column: the dual ratio test — smallest |r_j / α_j|
+            // over columns whose movement pushes the leaving basic toward
+            // its violated bound — keeps every reduced cost signed.
+            let mut best: Option<(usize, f64)> = None;
+            for (j, &rj) in r.iter().enumerate().take(n) {
+                if t.status[j] == ColStatus::Basic || self.lower[j] == self.upper[j] {
+                    continue;
+                }
+                let alpha = t.a[row * n + j];
+                if alpha.abs() <= TOL {
+                    continue;
+                }
+                let eligible = match t.status[j] {
+                    ColStatus::AtLower => {
+                        if below {
+                            alpha < 0.0
+                        } else {
+                            alpha > 0.0
+                        }
+                    }
+                    ColStatus::AtUpper => {
+                        if below {
+                            alpha > 0.0
+                        } else {
+                            alpha < 0.0
+                        }
+                    }
+                    ColStatus::Free => true,
+                    ColStatus::Basic => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = (rj / alpha).abs();
+                let better = match best {
+                    None => true,
+                    Some((bj, br)) => ratio < br - TOL || (ratio < br + TOL && j < bj),
+                };
+                if better {
+                    best = Some((j, ratio));
+                }
+            }
+            // No eligible column certifies primal infeasibility, but the
+            // warm path treats any non-optimal outcome as "fall back to
+            // the cold solve" — let the caller surface it as an error.
+            let Some((e, _)) = best else {
+                return Err(SolveError::Infeasible);
+            };
+
+            let alpha = t.a[row * n + e];
+            let sigma = if below {
+                -alpha.signum()
+            } else {
+                alpha.signum()
+            };
+            let bi = t.basis[row];
+            let target = if below {
+                self.lower[bi]
+            } else {
+                self.upper[bi]
+            };
+            let rate = -sigma * alpha;
+            let step = ((target - t.xb[row]) / rate).max(0.0);
+            self.apply_step(t, e, sigma, step, Some((row, !below)));
+        }
+        Err(SolveError::IterationLimit)
+    }
+
+    /// Reads the solution out of an optimal tableau.
+    fn extract(&self, t: &Tableau) -> LpSolution {
+        let mut values = vec![0.0; self.ns];
+        for (j, v) in values.iter_mut().enumerate() {
+            if t.status[j] != ColStatus::Basic {
+                *v = self.nb_val(j, t.status[j]);
+            }
+        }
+        for i in 0..self.m {
+            if t.basis[i] < self.ns {
+                values[t.basis[i]] = t.xb[i];
+            }
+        }
+        // Snap to bounds against round-off.
+        for (j, v) in values.iter_mut().enumerate() {
+            if *v < self.lower[j] {
+                *v = self.lower[j];
+            }
+            if *v > self.upper[j] {
+                *v = self.upper[j];
+            }
+        }
+        let min_obj: f64 = values.iter().zip(&self.cost).map(|(v, c)| v * c).sum();
+        LpSolution {
+            objective: min_obj * self.sign,
+            values,
+            basis: Basis {
+                statuses: t.status.clone(),
+                basic: t.basis.clone(),
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -609,5 +1023,96 @@ mod tests {
             "problem is infeasible"
         );
         assert_eq!(format!("{}", SolveError::Unbounded), "problem is unbounded");
+    }
+
+    fn sample_problem() -> Problem {
+        // min 2x + 3y + z st x + y >= 10, y + z = 4, x <= 6, z <= 3.
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", VarKind::Continuous, 0.0, 6.0);
+        let y = cont(&mut p, "y");
+        let z = p.add_var("z", VarKind::Continuous, 0.0, 3.0);
+        p.add_constraint("demand", &[(x, 1.0), (y, 1.0)], Sense::Ge, 10.0);
+        p.add_constraint("link", &[(y, 1.0), (z, 1.0)], Sense::Eq, 4.0);
+        p.set_objective(&[(x, 2.0), (y, 3.0), (z, 1.0)]);
+        p
+    }
+
+    #[test]
+    fn warm_restart_from_own_basis_reproduces_the_optimum() {
+        let p = sample_problem();
+        let cold = solve_lp(&p).unwrap();
+        let warm =
+            solve_lp_with_bounds(&p, &p.lower_bounds(), &p.upper_bounds(), Some(&cold.basis))
+                .unwrap();
+        assert_eq!(warm.values, cold.values);
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_restart_after_bound_change_matches_cold() {
+        // min 2x + 3y st x + y >= 10, x in [0, 6] → (6, 4), obj 24.
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", VarKind::Continuous, 0.0, 6.0);
+        let y = cont(&mut p, "y");
+        p.add_constraint("demand", &[(x, 1.0), (y, 1.0)], Sense::Ge, 10.0);
+        p.set_objective(&[(x, 2.0), (y, 3.0)]);
+        let cold = solve_lp(&p).unwrap();
+        // Tighten x's upper bound to 3: the parent basis stays dual
+        // feasible and the dual simplex repairs primal feasibility,
+        // landing on (3, 7), obj 27.
+        let mut upper = p.upper_bounds();
+        upper[0] = 3.0;
+        let lower = p.lower_bounds();
+        let warm = solve_lp_with_bounds(&p, &lower, &upper, Some(&cold.basis)).unwrap();
+        let re_cold = solve_lp_with_bounds(&p, &lower, &upper, None).unwrap();
+        assert!((warm.objective - 27.0).abs() < 1e-8);
+        assert!((warm.objective - re_cold.objective).abs() < 1e-8);
+        for (a, b) in warm.values.iter().zip(&re_cold.values) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn warm_restart_agrees_with_cold_on_infeasible_children() {
+        let p = sample_problem();
+        let cold = solve_lp(&p).unwrap();
+        // y + z = 4 caps y at 4, so x >= 6; tightening x below that is
+        // infeasible, and the warm path must agree with the cold verdict.
+        let mut upper = p.upper_bounds();
+        upper[0] = 4.0;
+        let lower = p.lower_bounds();
+        let warm = solve_lp_with_bounds(&p, &lower, &upper, Some(&cold.basis));
+        assert_eq!(warm, Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn singular_basis_falls_back_to_phase_one() {
+        let p = sample_problem();
+        let cold = solve_lp(&p).unwrap();
+        let n = cold.basis.num_cols();
+        // A deliberately singular basis: x (appearing in row 0 only) and
+        // the row-0 slack span a single row, so the refactorization runs
+        // out of pivotable rows and must fall back to the cold two-phase
+        // path rather than erroring.
+        let mut st = vec![ColStatus::AtLower; n];
+        st[0] = ColStatus::Basic;
+        st[3] = ColStatus::Basic;
+        let singular = Basis::from_parts(st, vec![0, 3]);
+        let warm = solve_lp_with_bounds(&p, &p.lower_bounds(), &p.upper_bounds(), Some(&singular))
+            .unwrap();
+        assert_eq!(warm.values, cold.values);
+        // A shape-mismatched basis is likewise ignored.
+        let stale = Basis::from_parts(vec![ColStatus::AtLower; 2], vec![0]);
+        let warm2 =
+            solve_lp_with_bounds(&p, &p.lower_bounds(), &p.upper_bounds(), Some(&stale)).unwrap();
+        assert_eq!(warm2.values, cold.values);
+    }
+
+    #[test]
+    fn basis_accessors_report_shape() {
+        let p = sample_problem();
+        let s = solve_lp(&p).unwrap();
+        assert_eq!(s.basis.num_cols(), p.num_vars() + 2);
+        assert_eq!(s.basis.num_rows(), 2);
     }
 }

@@ -7,7 +7,8 @@
 //! of the same problem.
 
 use diffserve_milp::{
-    solve_milp, solve_milp_warm, Direction, MilpOptions, Problem, Sense, VarKind, WarmStart,
+    solve_milp, solve_milp_warm, Basis, ColStatus, Direction, MilpOptions, Problem, Sense, VarKind,
+    WarmStart,
 };
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -42,6 +43,21 @@ impl DriftingIp {
     /// The problem at one tick: every rhs shifted by `drift` (never below
     /// 0, so the origin stays feasible and the IP never turns infeasible).
     fn at(&self, drift: f64) -> Problem {
+        self.build(drift, false)
+    }
+
+    /// Like [`DriftingIp::at`], but with base-7 uniqueness penalties on the
+    /// objective: every distinct integer point (coordinates ≤ 6) gets a
+    /// distinct penalty, and the total penalty stays below the ≥ 1 gap
+    /// between distinct integer-valued main objectives. THE optimum is
+    /// therefore unique, which lets warm-vs-cold agreement be asserted
+    /// bit-for-bit on the values — the same construction the allocator
+    /// MILP uses to guarantee warm starting never changes the plan.
+    fn at_unique(&self, drift: f64) -> Problem {
+        self.build(drift, true)
+    }
+
+    fn build(&self, drift: f64, unique_penalty: bool) -> Problem {
         let mut p = Problem::new(Direction::Maximize);
         let vars: Vec<_> = (0..self.n)
             .map(|i| p.add_var(format!("x{i}"), VarKind::Integer, 0.0, 6.0))
@@ -53,7 +69,15 @@ impl DriftingIp {
         let obj: Vec<_> = vars
             .iter()
             .zip(&self.objective)
-            .map(|(&v, &c)| (v, c))
+            .enumerate()
+            .map(|(i, (&v, &c))| {
+                let penalty = if unique_penalty {
+                    1e-4 * 7f64.powi(i as i32)
+                } else {
+                    0.0
+                };
+                (v, c - penalty)
+            })
             .collect();
         p.set_objective(&obj);
         p
@@ -63,6 +87,12 @@ impl DriftingIp {
         self.constraints.iter().all(|(coeffs, rhs)| {
             coeffs.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() <= (rhs + drift).max(0.0) + 1e-9
         })
+    }
+
+    /// Total columns of the LP relaxation: structurals plus one slack per
+    /// constraint (how the bounded simplex lays out its tableau).
+    fn lp_cols(&self) -> usize {
+        self.n + self.constraints.len()
     }
 }
 
@@ -112,5 +142,98 @@ proptest! {
             second.nodes,
             first.nodes
         );
+    }
+
+    /// Basis-reused warm solves are bit-identical to cold solves across a
+    /// randomized demand ladder — with deliberately staled bases injected
+    /// mid-ladder to force the stale/singular fallback. The uniqueness
+    /// penalties make THE optimum unique, so `values` (rounded integers)
+    /// and the recomputed objective must match exactly, not just within
+    /// tolerance.
+    #[test]
+    fn basis_reuse_stays_bit_identical_across_demand_ladders(seed in 0u64..5000) {
+        let ip = DriftingIp::random(seed);
+        let mut warm = WarmStart::new();
+        let mut tick0_basis: Option<Basis> = None;
+        for (tick, &drift) in [0.0, 1.0, 1.5, -2.0, 4.0, 0.5, -5.0, 2.5].iter().enumerate() {
+            match tick {
+                // A basis saved many ticks ago: right shape, stale values.
+                4 => warm.set_basis(tick0_basis.clone()),
+                // Shape garbage: must be rejected outright.
+                5 => warm.set_basis(Some(Basis::from_parts(
+                    vec![ColStatus::AtLower; 2],
+                    vec![0],
+                ))),
+                // Right shape, duplicate basic column: singular by
+                // construction, must fall back to Phase I.
+                6 => {
+                    let cols = ip.lp_cols();
+                    let rows = ip.constraints.len();
+                    let mut statuses = vec![ColStatus::AtLower; cols];
+                    statuses[0] = ColStatus::Basic;
+                    warm.set_basis(Some(Basis::from_parts(statuses, vec![0; rows])));
+                }
+                _ => {}
+            }
+            let p = ip.at_unique(drift);
+            let cold = solve_milp(&p, &MilpOptions::default()).expect("origin feasible");
+            let warmed = solve_milp_warm(&p, &MilpOptions::default(), &mut warm)
+                .expect("origin feasible");
+            prop_assert_eq!(
+                &warmed.values, &cold.values,
+                "tick {} (drift {}): warm and cold diverged\n{}", tick, drift, p
+            );
+            prop_assert_eq!(
+                warmed.objective, cold.objective,
+                "tick {} (drift {}): objectives diverged", tick, drift
+            );
+            prop_assert!(warmed.proved_optimal);
+            if tick == 0 {
+                tick0_basis = warm.basis().cloned();
+                prop_assert!(tick0_basis.is_some(), "a feasible solve must export its basis");
+            }
+        }
+    }
+}
+
+/// A deliberately stale or singular basis must route the solve through the
+/// two-phase fallback, never an error: every corruption below still
+/// returns the unique optimum of `max x + 2y s.t. x + y ≤ 3`.
+#[test]
+fn corrupt_bases_fall_back_instead_of_erroring() {
+    let mut p = Problem::new(Direction::Maximize);
+    let x = p.add_var("x", VarKind::Integer, 0.0, 6.0);
+    let y = p.add_var("y", VarKind::Integer, 0.0, 6.0);
+    p.add_constraint("cap", &[(x, 1.0), (y, 1.0)], Sense::Le, 3.0);
+    p.set_objective(&[(x, 1.0), (y, 2.0)]);
+    let cold = solve_milp(&p, &MilpOptions::default()).expect("feasible");
+    assert_eq!(cold.values, vec![0.0, 3.0]);
+
+    // 3 columns (x, y, slack), 1 row.
+    let corruptions: Vec<Basis> = vec![
+        // Wrong column count.
+        Basis::from_parts(vec![ColStatus::AtLower; 7], vec![0]),
+        // Wrong row count.
+        Basis::from_parts(vec![ColStatus::AtLower; 3], vec![0, 1]),
+        // Basic set inconsistent with the statuses (no Basic status).
+        Basis::from_parts(vec![ColStatus::AtLower; 3], vec![1]),
+        // Out-of-range basic column.
+        Basis::from_parts(
+            vec![ColStatus::Basic, ColStatus::AtLower, ColStatus::AtLower],
+            vec![9],
+        ),
+        // Upper-bound status on a column with no finite upper bound
+        // (the slack of a ≤ row ranges over [0, ∞)).
+        Basis::from_parts(
+            vec![ColStatus::AtLower, ColStatus::Basic, ColStatus::AtUpper],
+            vec![1],
+        ),
+    ];
+    for (i, basis) in corruptions.into_iter().enumerate() {
+        let mut warm = WarmStart::new();
+        warm.set_basis(Some(basis));
+        let warmed = solve_milp_warm(&p, &MilpOptions::default(), &mut warm)
+            .unwrap_or_else(|e| panic!("corruption {i} must fall back, got {e:?}"));
+        assert_eq!(warmed.values, cold.values, "corruption {i}");
     }
 }

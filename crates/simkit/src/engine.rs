@@ -72,6 +72,19 @@ impl<E, A: Actor<E>> Simulation<E, A> {
         }
     }
 
+    /// Creates a simulation around `actor`, preallocating queue space for
+    /// `capacity` concurrently pending events. Fleet-scale replays size
+    /// this at their steady-state in-flight event count so the event
+    /// queue never reallocates mid-run.
+    pub fn with_capacity(actor: A, capacity: usize) -> Self {
+        Simulation {
+            queue: EventQueue::with_capacity(capacity),
+            actor,
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
     /// Schedules an initial event.
     pub fn schedule(&mut self, time: SimTime, event: E) {
         self.queue.push(time, event);
