@@ -16,11 +16,17 @@
 //! 3. **MILP ladder** — control ticks under drifting demand, solved cold
 //!    every tick vs. carrying an [`AllocWarmState`] tick to tick (basis
 //!    reuse + threshold pinning).
+//! 4. **Cluster replay** — the same diurnal curve replayed on the
+//!    thread-and-channel testbed backend (`run_cluster`) at paper-testbed
+//!    fleet scale, wall-clock timed, so the cluster runtime's overhead has
+//!    a tracked trajectory too (`cluster_replay`, plus a `smoke/` variant
+//!    for CI).
 //!
 //! Usage:
 //!
 //! ```text
-//! perf [--smoke] [--resume | --addons] [--out PATH] [--baseline PATH]
+//! perf [--smoke] [--resume | --addons | --ladder] [--threads N]
+//!      [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! * `--smoke` — CI-sized workloads only (still 1000 workers, shorter
@@ -37,6 +43,13 @@
 //!   (the demo catalog/mix on `SystemConfig::addons`: per-worker module
 //!   caches, swap charging, affinity routing); keys gain an `addons/`
 //!   prefix.
+//! * `--ladder` — run the serving workloads on the 3-tier quality ladder
+//!   (`ladder3` runtime, `SystemConfig::ladder` attached, predictive
+//!   routing on); keys gain a `ladder/` prefix.
+//! * `--threads N` — fan the parallel sweep across `N` threads instead of
+//!   the detected core count (env `PERF_THREADS` works too; the flag
+//!   wins). Both the thread count used and the detected core count are
+//!   recorded in the export.
 //! * `--out PATH` — where to write the JSON (default `BENCH_sim.json`).
 //! * `--baseline PATH` — compare against a previous export and exit
 //!   nonzero if any benchmark present in both regressed by more than
@@ -50,12 +63,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use criterion::{black_box, Criterion};
-use diffserve_bench::{f2, prepare_runtime_small, CascadeId, Table, EXPERIMENT_SEED};
+use diffserve_bench::{
+    f2, prepare_ladder_runtime_small, prepare_runtime_small, CascadeId, Table, EXPERIMENT_SEED,
+};
+use diffserve_cluster::{run_cluster, ClusterConfig};
 use diffserve_core::{
     run_scenario, run_trace, solve_milp_allocation, solve_milp_allocation_warm, AddonsConfig,
-    AllocWarmState, AllocatorInputs, CascadeRuntime, Policy, RunSettings, SystemConfig,
+    AllocWarmState, AllocatorInputs, CascadeRuntime, LadderConfig, Policy, RunSettings,
+    SystemConfig,
 };
-use diffserve_imagegen::LatencyProfile;
+use diffserve_imagegen::{ladder3, FeatureSpec, LatencyProfile};
 use diffserve_simkit::time::SimDuration;
 use diffserve_trace::{
     standard_scenarios, synthesize_azure_trace, AzureTraceConfig, Scenario, Trace,
@@ -96,11 +113,14 @@ enum Mode {
     Resume,
     /// Add-on serving with the demo catalog and mix (`addons/` keys).
     Addons,
+    /// 3-tier quality ladder with predictive routing (`ladder/` keys,
+    /// served by the `ladder3` runtime instead of Cascade 1).
+    Ladder,
 }
 
 impl Mode {
-    fn all() -> [Mode; 3] {
-        [Mode::Restart, Mode::Resume, Mode::Addons]
+    fn all() -> [Mode; 4] {
+        [Mode::Restart, Mode::Resume, Mode::Addons, Mode::Ladder]
     }
 
     fn prefix(self) -> &'static str {
@@ -108,6 +128,7 @@ impl Mode {
             Mode::Restart => "",
             Mode::Resume => "resume/",
             Mode::Addons => "addons/",
+            Mode::Ladder => "ladder/",
         }
     }
 
@@ -116,6 +137,7 @@ impl Mode {
             Mode::Restart => {}
             Mode::Resume => config.resume_from_latents = true,
             Mode::Addons => config.addons = Some(AddonsConfig::demo(EXPERIMENT_SEED)),
+            Mode::Ladder => config.ladder = Some(LadderConfig::default()),
         }
     }
 }
@@ -134,6 +156,8 @@ fn main() {
     let mut smoke = false;
     let mut resume = false;
     let mut addons = false;
+    let mut ladder = false;
+    let mut threads_arg: Option<usize> = None;
     let mut out = String::from("BENCH_sim.json");
     let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -142,25 +166,34 @@ fn main() {
             "--smoke" => smoke = true,
             "--resume" => resume = true,
             "--addons" => addons = true,
+            "--ladder" => ladder = true,
+            "--threads" => {
+                let n = args.next().expect("--threads needs a count");
+                threads_arg = Some(n.parse().expect("--threads needs a positive integer"));
+            }
             "--out" => out = args.next().expect("--out needs a path"),
             "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perf [--smoke] [--resume | --addons] [--out PATH] [--baseline PATH]"
+                    "usage: perf [--smoke] [--resume | --addons | --ladder] [--threads N] \
+                     [--out PATH] [--baseline PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    let mode = match (resume, addons) {
-        (true, true) => {
-            eprintln!("--resume and --addons are separate baseline namespaces; pick one");
+    let mode = match (resume, addons, ladder) {
+        (false, false, false) => Mode::Restart,
+        (true, false, false) => Mode::Resume,
+        (false, true, false) => Mode::Addons,
+        (false, false, true) => Mode::Ladder,
+        _ => {
+            eprintln!(
+                "--resume, --addons, and --ladder are separate baseline namespaces; pick one"
+            );
             std::process::exit(2);
         }
-        (true, false) => Mode::Resume,
-        (false, true) => Mode::Addons,
-        (false, false) => Mode::Restart,
     };
 
     // Read the baseline up front: CI overwrites the checked-in file with
@@ -171,9 +204,28 @@ fn main() {
     });
 
     let runtime = prepare_runtime_small(CascadeId::One);
-    let threads = std::thread::available_parallelism()
+    // The ladder mode serves the 3-tier `ladder3` runtime; a full run in
+    // any mode also needs it for the ladder smoke keys. Prepared lazily so
+    // smoke runs of the other modes skip the extra discriminator training.
+    let ladder_runtime = (mode == Mode::Ladder || !smoke)
+        .then(|| prepare_ladder_runtime_small(ladder3(FeatureSpec::default())));
+    let rt_for = |m: Mode| -> &CascadeRuntime {
+        match m {
+            Mode::Ladder => ladder_runtime.as_ref().expect("ladder runtime prepared"),
+            _ => &runtime,
+        }
+    };
+    let detected_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let threads = threads_arg
+        .or_else(|| {
+            std::env::var("PERF_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(detected_cores)
+        .max(1);
     let mut records = Vec::new();
     let mut criterion = Criterion::default();
 
@@ -184,7 +236,7 @@ fn main() {
     // Smoke-sized workloads: always run, so a full baseline has the keys
     // the CI job compares.
     azure_replay(
-        &runtime,
+        rt_for(mode),
         &mut criterion,
         &format!("{}smoke/azure_replay_1000w", mode.prefix()),
         30.0,
@@ -193,7 +245,7 @@ fn main() {
         mode,
     );
     azure_replay(
-        &runtime,
+        rt_for(mode),
         &mut criterion,
         &format!("{}smoke/azure_replay_1000w_2m", mode.prefix()),
         REPLAY_2M_MIN_QPS,
@@ -202,17 +254,24 @@ fn main() {
         mode,
     );
     sweep(
-        &runtime,
+        rt_for(mode),
         &mut records,
         &format!("{}smoke/sweep", mode.prefix()),
         true,
         threads,
         mode,
     );
+    cluster_replay(
+        rt_for(mode),
+        &mut records,
+        &format!("{}smoke/cluster_replay", mode.prefix()),
+        CLUSTER_REPLAY_SMOKE_SECS,
+        mode,
+    );
 
     if !smoke {
         azure_replay(
-            &runtime,
+            rt_for(mode),
             &mut criterion,
             &format!("{}azure_replay_1000w", mode.prefix()),
             60.0,
@@ -221,7 +280,7 @@ fn main() {
             mode,
         );
         azure_replay(
-            &runtime,
+            rt_for(mode),
             &mut criterion,
             &format!("{}azure_replay_1000w_2m", mode.prefix()),
             REPLAY_2M_MIN_QPS,
@@ -230,11 +289,18 @@ fn main() {
             mode,
         );
         sweep(
-            &runtime,
+            rt_for(mode),
             &mut records,
             &format!("{}sweep_5x9", mode.prefix()),
             false,
             threads,
+            mode,
+        );
+        cluster_replay(
+            rt_for(mode),
+            &mut records,
+            &format!("{}cluster_replay", mode.prefix()),
+            CLUSTER_REPLAY_SECS,
             mode,
         );
         // A full baseline also carries the *other* modes' smoke keys, so
@@ -242,7 +308,7 @@ fn main() {
         // export.
         for other in Mode::all().into_iter().filter(|&m| m != mode) {
             azure_replay(
-                &runtime,
+                rt_for(other),
                 &mut criterion,
                 &format!("{}smoke/azure_replay_1000w", other.prefix()),
                 30.0,
@@ -251,7 +317,7 @@ fn main() {
                 other,
             );
             azure_replay(
-                &runtime,
+                rt_for(other),
                 &mut criterion,
                 &format!("{}smoke/azure_replay_1000w_2m", other.prefix()),
                 REPLAY_2M_MIN_QPS,
@@ -260,11 +326,18 @@ fn main() {
                 other,
             );
             sweep(
-                &runtime,
+                rt_for(other),
                 &mut records,
                 &format!("{}smoke/sweep", other.prefix()),
                 true,
                 threads,
+                other,
+            );
+            cluster_replay(
+                rt_for(other),
+                &mut records,
+                &format!("{}smoke/cluster_replay", other.prefix()),
+                CLUSTER_REPLAY_SMOKE_SECS,
                 other,
             );
         }
@@ -301,7 +374,7 @@ fn main() {
     );
     table.print();
 
-    write_json(&out, smoke, threads, &records).expect("write benchmark export");
+    write_json(&out, smoke, threads, detected_cores, &records).expect("write benchmark export");
     println!("\nwrote {out}");
 
     let mut failed = !warm_ladder_gate(&records);
@@ -456,6 +529,61 @@ fn sweep(
     });
 }
 
+/// Fleet size for the cluster replay: real OS threads, so the paper's
+/// 16-worker testbed scale rather than the simulator's 1000.
+const CLUSTER_FLEET: usize = 16;
+
+/// Simulated duration of the full cluster replay (wall ≈ duration ×
+/// `time_scale` plus runtime overhead).
+const CLUSTER_REPLAY_SECS: u64 = 350;
+
+/// Simulated duration of the CI-sized `smoke/cluster_replay` variant.
+const CLUSTER_REPLAY_SMOKE_SECS: u64 = 60;
+
+/// Replays a short diurnal curve on the thread-and-channel cluster
+/// backend, wall-clock timed. The scaled trace duration is the floor of
+/// the measurement by design — regressions in runtime overhead (routing,
+/// controller, channel churn, join/drain) surface as growth above it.
+fn cluster_replay(
+    runtime: &CascadeRuntime,
+    records: &mut Vec<Record>,
+    id: &str,
+    secs: u64,
+    mode: Mode,
+) {
+    let mut system = SystemConfig {
+        num_workers: CLUSTER_FLEET,
+        ..Default::default()
+    };
+    mode.apply(&mut system);
+    let cfg = ClusterConfig {
+        system,
+        time_scale: 0.02,
+    };
+    let trace = synthesize_azure_trace(&AzureTraceConfig {
+        min_qps: 4.0,
+        max_qps: 14.0,
+        duration: SimDuration::from_secs(secs),
+        ..Default::default()
+    })
+    .expect("valid azure trace");
+    let settings = RunSettings::new(Policy::DiffServe, trace.max_qps());
+    let start = Instant::now();
+    let report = run_cluster(runtime, &cfg, &settings, &trace);
+    let wall = start.elapsed().as_secs_f64();
+    let queries: u64 = report.tier_breakdown.iter().map(|s| s.completions).sum();
+    println!("{id:<55} wall {wall:.3} s ({queries} completions)");
+    records.push(Record {
+        name: id.to_string(),
+        secs: wall,
+        iters: 1,
+        extra: vec![
+            ("workers", CLUSTER_FLEET.to_string()),
+            ("queries", queries.to_string()),
+        ],
+    });
+}
+
 /// Control ticks in the MILP ladder.
 const MILP_TICKS: usize = 12;
 
@@ -512,7 +640,13 @@ fn milp_ladder(runtime: &CascadeRuntime, criterion: &mut Criterion) {
 
 /// Writes the line-oriented JSON export. Every benchmark is one line of
 /// the `"benchmarks"` object so the baseline reader stays a string scan.
-fn write_json(path: &str, smoke: bool, threads: usize, records: &[Record]) -> std::io::Result<()> {
+fn write_json(
+    path: &str,
+    smoke: bool,
+    threads: usize,
+    detected_cores: usize,
+    records: &[Record],
+) -> std::io::Result<()> {
     let mut s = String::from("{\n");
     s.push_str("  \"schema\": \"diffserve-perf/v1\",\n");
     s.push_str(&format!(
@@ -520,6 +654,7 @@ fn write_json(path: &str, smoke: bool, threads: usize, records: &[Record]) -> st
         if smoke { "smoke" } else { "full" }
     ));
     s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"detected_cores\": {detected_cores},\n"));
     s.push_str("  \"benchmarks\": {\n");
     for (i, r) in records.iter().enumerate() {
         let mut line = format!(

@@ -17,7 +17,7 @@ use std::path::PathBuf;
 
 use diffserve_core::CascadeRuntime;
 use diffserve_imagegen::{
-    cascade1, cascade2, cascade3, CascadeSpec, DiscriminatorConfig, FeatureSpec,
+    cascade1, cascade2, cascade3, CascadeSpec, DiscriminatorConfig, FeatureSpec, TierLadder,
 };
 
 /// Standard seed shared by all experiments for reproducibility.
@@ -167,6 +167,34 @@ pub fn prepare_runtime(id: CascadeId) -> CascadeRuntime {
 pub fn prepare_runtime_small(id: CascadeId) -> CascadeRuntime {
     CascadeRuntime::prepare(
         id.spec(),
+        1500,
+        EXPERIMENT_SEED,
+        DiscriminatorConfig {
+            train_prompts: 500,
+            epochs: 10,
+            ..Default::default()
+        },
+    )
+}
+
+/// Prepares an N-tier quality-ladder runtime at standard experiment scale
+/// (same dataset size, seed, and discriminator config as
+/// [`prepare_runtime`], so ladder-vs-cascade comparisons share their
+/// prompt stream).
+pub fn prepare_ladder_runtime(ladder: TierLadder) -> CascadeRuntime {
+    CascadeRuntime::prepare_ladder(
+        ladder,
+        DATASET_SIZE,
+        EXPERIMENT_SEED,
+        DiscriminatorConfig::default(),
+    )
+}
+
+/// Reduced-scale ladder runtime matching [`prepare_runtime_small`] (CI
+/// smoke runs).
+pub fn prepare_ladder_runtime_small(ladder: TierLadder) -> CascadeRuntime {
+    CascadeRuntime::prepare_ladder(
+        ladder,
         1500,
         EXPERIMENT_SEED,
         DiscriminatorConfig {

@@ -32,7 +32,10 @@ use diffserve_core::{
     ControlLoop, ControlObservation, ModelTier, ModuleCache, PlanActuator, Policy, QueryId,
     RunReport, RunSettings, SystemConfig,
 };
-use diffserve_imagegen::{resume_savings, reused_steps, Prompt, StageLatencyBreakdown, StageState};
+use diffserve_imagegen::{
+    resume_savings, reused_steps, DiffusionModel, Discriminator, OnlinePredictiveRouter,
+    OnlineRouterConfig, Prompt, StageLatencyBreakdown, StageState,
+};
 use diffserve_metrics::{GaussianStats, RollingFid, SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
 use diffserve_trace::{
@@ -68,6 +71,10 @@ struct Job {
     qid: u64,
     arrival: f64,  // sim seconds
     deadline: f64, // sim seconds
+    /// Ladder tier the query entered the system at — `0` on the classic
+    /// policy path, deeper when the predictive router skipped cheap tiers.
+    /// The cross-tier GPU-time accounting sums sunk stages from here.
+    entry: usize,
     /// Explicit prompt payload; `None` serves the dataset's cyclic prompt.
     prompt: Option<Prompt>,
     /// Denoise progress carried over from the light tier, set at the
@@ -145,10 +152,29 @@ struct Shared {
     ///
     /// [`AblationKnobs::affinity_blind_routing`]: diffserve_core::AblationKnobs
     affinity_blind_routing: bool,
-    /// Single-query nameplate service seconds per tier (discriminator
-    /// included when cascading) — the affinity miss penalty's normalizer.
-    light_unit_secs: f64,
-    heavy_unit_secs: f64,
+    /// Single-query nameplate service seconds per ladder tier
+    /// (discriminator included when cascading) — the affinity miss
+    /// penalty's normalizer.
+    tier_unit_secs: Vec<f64>,
+    /// Number of ladder tiers this fleet serves (`2` on a legacy cascade).
+    num_tiers: usize,
+    /// Escalations observed at each boundary (`tier k → k + 1`) over the
+    /// whole run — the per-tier series the snapshot reports and the
+    /// sim-vs-cluster parity tests compare.
+    tier_escalations: Vec<AtomicU64>,
+    /// Confidences observed at boundaries deeper than the first since the
+    /// last control tick — `deep_confidences[i]` is boundary `i + 1`'s
+    /// stream (boundary 0 reports through [`Shared::confidences`]). Empty
+    /// on two-tier runs.
+    deep_confidences: Vec<Mutex<Vec<f64>>>,
+    /// Queries admitted directly at each tier since the last control tick
+    /// (index ≥ 1 is the predictive router's bypass flow); feeds the
+    /// controller's bypass-aware demand split. Empty with the router off.
+    tier_direct_since_tick: Vec<AtomicU64>,
+    /// Online pre-execution router sending predicted-hard queries straight
+    /// to a deeper tier; `None` on two-tier runs or with predictive
+    /// routing disabled. Trained by workers on every boundary verdict.
+    router: Option<Mutex<OnlinePredictiveRouter>>,
 }
 
 impl Shared {
@@ -207,11 +233,14 @@ impl Shared {
     }
 
     /// Attributes one SLO violation (a drop or a late completion) to the
-    /// tier that was serving the query.
-    fn record_violation(&self, tier: ModelTier) {
-        match tier {
-            ModelTier::Light => &self.violations_light_since_tick,
-            ModelTier::Heavy => &self.violations_heavy_since_tick,
+    /// tier that was serving the query. Mirroring the simulator's
+    /// two-bucket AIMD bookkeeping, every tier past the entry tier counts
+    /// against the heavy side.
+    fn record_violation(&self, tier: usize) {
+        if tier == 0 {
+            &self.violations_light_since_tick
+        } else {
+            &self.violations_heavy_since_tick
         }
         .fetch_add(1, Ordering::Relaxed);
     }
@@ -309,29 +338,33 @@ impl Shared {
         }
     }
 
-    /// Heavy denoise steps this job would skip by resuming — zero unless
-    /// resume is enabled and the job carries light-tier progress. Mirrors
-    /// the simulator's `heavy_reused_steps`.
-    fn job_reused_steps(&self, runtime: &CascadeRuntime, job: &Job) -> u32 {
-        if !self.resume_enabled {
+    /// Denoise steps this job would skip at `tier` by resuming — zero at
+    /// the entry tier, with resume disabled, or with no carried progress.
+    /// Mirrors the simulator's `reused_steps_for`.
+    fn job_reused_steps(&self, runtime: &CascadeRuntime, tier: usize, job: &Job) -> u32 {
+        if tier == 0 || !self.resume_enabled {
             return 0;
         }
         match job.resume {
-            Some(st) => reused_steps(runtime.spec.heavy.steps(), st, self.resume_step_credit),
+            Some(st) => reused_steps(
+                tier_model(runtime, tier).steps(),
+                st,
+                self.resume_step_credit,
+            ),
             None => 0,
         }
     }
 
-    /// Whether any alive worker is assigned the heavy model — when churn
-    /// wipes the heavy pool out, escalations would bounce between light
-    /// workers forever (generation is deterministic), so callers serve the
-    /// light output instead.
-    fn has_alive_heavy(&self) -> bool {
+    /// Whether any alive worker is assigned a tier deeper than `tier` —
+    /// when churn wipes the deeper pools out, escalations would bounce
+    /// between same-tier workers forever (generation is deterministic), so
+    /// callers serve this tier's output instead.
+    fn has_alive_deeper(&self, tier: usize) -> bool {
         let plan = self.plan.read();
         plan.tiers
             .iter()
             .enumerate()
-            .any(|(i, &t)| t == ModelTier::Heavy && !self.is_failed(i))
+            .any(|(i, &t)| t > tier && !self.is_failed(i))
     }
 
     /// The balancer's ETA estimate for a query arriving at worker `i`:
@@ -362,7 +395,7 @@ impl Shared {
     /// rate — the brownout regime where SLO violations pile up. Strict `<`
     /// keeps the historical first-minimum (lowest-index) tie-break, so a
     /// fully healthy fleet routes identically to the old balancer.
-    fn pick_worker(&self, tier: ModelTier) -> usize {
+    fn pick_worker(&self, tier: usize) -> usize {
         let plan = self.plan.read();
         let mut best: Option<(f64, usize)> = None;
         for (i, &t) in plan.tiers.iter().enumerate() {
@@ -405,17 +438,14 @@ impl Shared {
     /// module. Falls back to plain JSQ when add-ons are off, the job
     /// carries no add-on, or the affinity-blind ablation is set — so the
     /// disabled path routes bit-identically to [`Shared::pick_worker`].
-    fn pick_worker_for(&self, tier: ModelTier, addon: Option<usize>) -> usize {
+    fn pick_worker_for(&self, tier: usize, addon: Option<usize>) -> usize {
         let (Some(addons), Some(id)) = (&self.addons, addon) else {
             return self.pick_worker(tier);
         };
         if self.affinity_blind_routing {
             return self.pick_worker(tier);
         }
-        let unit = match tier {
-            ModelTier::Light => self.light_unit_secs,
-            ModelTier::Heavy => self.heavy_unit_secs,
-        };
+        let unit = self.tier_unit_secs[tier.min(self.tier_unit_secs.len() - 1)];
         let penalty = addons.catalog.get(id).load_secs / unit;
         let score = |i: usize| {
             let miss = !self.module_caches[i].lock().contains(id);
@@ -480,7 +510,7 @@ impl Shared {
     /// required module in member order so LRU recency reflects the batch.
     /// Returns the total swap seconds added to the batch's service time —
     /// exactly [`Shared::batch_swap_secs`] for the same members.
-    fn charge_batch_swaps(&self, wid: usize, tier: ModelTier, jobs: &[Job]) -> f64 {
+    fn charge_batch_swaps(&self, wid: usize, tier: usize, jobs: &[Job]) -> f64 {
         let Some(addons) = &self.addons else {
             return 0.0;
         };
@@ -488,6 +518,13 @@ impl Shared {
         let mut stats = self.addon_stats.lock();
         let mut seen: Vec<usize> = Vec::new();
         let mut secs = 0.0;
+        // The add-on ledger keeps its legacy two-bucket breakdown: every
+        // tier past the entry tier charges the heavy side.
+        let stats_tier = if tier == 0 {
+            ModelTier::Light
+        } else {
+            ModelTier::Heavy
+        };
         for job in jobs {
             let Some(id) = job.addon else { continue };
             let hit = cache.contains(id);
@@ -497,7 +534,7 @@ impl Shared {
             } else {
                 0.0
             };
-            stats.record(tier, hit, swap);
+            stats.record(stats_tier, hit, swap);
             secs += swap;
         }
         for job in jobs {
@@ -546,11 +583,14 @@ pub struct ClusterBackend {
     route_rng: rand::rngs::StdRng,
     demand_track: WindowedSeries,
     submitted: u64,
-    /// Single-query nameplate execution latency per tier (discriminator
-    /// excluded), cached at launch for the snapshot's stage breakdowns —
-    /// the backend does not keep the runtime itself.
+    /// Single-query nameplate execution latency of the entry and terminal
+    /// tiers (discriminator excluded), cached at launch for the snapshot's
+    /// stage breakdowns.
     light_exec1: f64,
     heavy_exec1: f64,
+    /// The serving artifacts, kept for submit-time predictive routing
+    /// (the router scores the same prompt the tiers will serve).
+    runtime: CascadeRuntime,
 }
 
 impl std::fmt::Debug for ClusterBackend {
@@ -593,13 +633,32 @@ impl ClusterBackend {
             Policy::DiffServeStatic => anticipated * sys.over_provision,
             _ => settings.peak_demand_hint,
         };
-        let mut plan = ServingPlan::bootstrap(n);
+        let nt = runtime.num_tiers();
+        let mut plan = ServingPlan::bootstrap_tiers(n, nt);
         ClusterActuator {
             plan: &mut plan,
             excluded: &[],
         }
         .actuate(&control.bootstrap(peak_demand));
         let control = Arc::new(Mutex::new(control));
+
+        // Online pre-execution router, mirroring the simulator's gating:
+        // only deep ladders on a cascade policy with predictive routing on.
+        let ladder_cfg = sys.ladder.clone().unwrap_or_default();
+        let router = (nt > 2
+            && ladder_cfg.predictive_routing
+            && matches!(settings.policy, Policy::DiffServe | Policy::DiffServeStatic))
+        .then(|| {
+            Mutex::new(OnlinePredictiveRouter::new(
+                nt - 1,
+                OnlineRouterConfig {
+                    observation_noise: ladder_cfg.predictive_observation_noise,
+                    learning_rate: ladder_cfg.predictive_learning_rate,
+                    min_observations: ladder_cfg.predictive_min_observations,
+                    margin: ladder_cfg.predictive_margin,
+                },
+            ))
+        });
 
         let shared = Arc::new(Shared {
             plan: RwLock::new(plan),
@@ -631,18 +690,20 @@ impl ClusterBackend {
             },
             addon_stats: Mutex::new(AddonStats::default()),
             affinity_blind_routing: settings.knobs.affinity_blind_routing,
-            light_unit_secs: stage_latency(
-                runtime,
-                ModelTier::Light,
-                1,
-                settings.policy.uses_cascade(),
-            ),
-            heavy_unit_secs: stage_latency(
-                runtime,
-                ModelTier::Heavy,
-                1,
-                settings.policy.uses_cascade(),
-            ),
+            tier_unit_secs: (0..nt)
+                .map(|t| stage_latency(runtime, t, 1, settings.policy.uses_cascade()))
+                .collect(),
+            num_tiers: nt,
+            tier_escalations: (0..nt - 1).map(|_| AtomicU64::new(0)).collect(),
+            deep_confidences: (0..nt.saturating_sub(2))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            tier_direct_since_tick: if router.is_some() {
+                (0..nt).map(|_| AtomicU64::new(0)).collect()
+            } else {
+                Vec::new()
+            },
+            router,
         });
 
         let (job_txs, job_rxs): (Vec<Sender<Job>>, Vec<Receiver<Job>>) =
@@ -723,8 +784,15 @@ impl ClusterBackend {
             completion_cursor: 0,
             drop_log: Vec::new(),
             submitted: 0,
-            light_exec1: runtime.spec.light.latency().exec_latency(1).as_secs_f64(),
-            heavy_exec1: runtime.spec.heavy.latency().exec_latency(1).as_secs_f64(),
+            light_exec1: tier_model(runtime, 0)
+                .latency()
+                .exec_latency(1)
+                .as_secs_f64(),
+            heavy_exec1: tier_model(runtime, nt - 1)
+                .latency()
+                .exec_latency(1)
+                .as_secs_f64(),
+            runtime: runtime.clone(),
         })
     }
 
@@ -790,23 +858,48 @@ impl ServingBackend for ClusterBackend {
         self.shared
             .arrivals_since_tick
             .fetch_add(1, Ordering::Relaxed);
+        let qid = self.submitted;
         let tier = match self.settings.policy {
-            Policy::ClipperLight => ModelTier::Light,
-            Policy::ClipperHeavy => ModelTier::Heavy,
+            Policy::ClipperLight => 0,
+            Policy::ClipperHeavy => self.shared.num_tiers - 1,
             Policy::Proteus => {
-                let frac = self.shared.plan.read().threshold; // Proteus reuses slot
+                // Proteus reuses the first threshold slot for its fraction.
+                let frac = self.shared.plan.read().thresholds[0];
                 if self.route_rng.gen_range(0.0..1.0) < frac {
                     self.shared.heavy_since_tick.fetch_add(1, Ordering::Relaxed);
-                    ModelTier::Heavy
+                    self.shared.num_tiers - 1
                 } else {
-                    ModelTier::Light
+                    0
                 }
             }
-            _ => ModelTier::Light,
+            _ => match &self.shared.router {
+                // Predictive straight-to-tier routing: queries predicted to
+                // escalate skip the cheap tiers. The prediction sees the
+                // same (difficulty-shifted) prompt the tiers will serve.
+                // Suspended while the controller is shedding (overload
+                // fallback): bypassed traffic would be immune to the
+                // floored thresholds.
+                Some(r) if !self.shared.plan.read().bypass_suspended => {
+                    let prompt = spec
+                        .prompt
+                        .unwrap_or_else(|| *self.runtime.dataset.prompt_cyclic(qid))
+                        .harder(self.shared.difficulty_delta());
+                    let t = r.lock().entry_tier(&prompt);
+                    if t > 0 {
+                        // A skipped-ahead query is demand the deeper pools
+                        // must absorb — count it like an escalation.
+                        self.shared.heavy_since_tick.fetch_add(1, Ordering::Relaxed);
+                    }
+                    t
+                }
+                _ => 0,
+            },
         };
+        if let Some(c) = self.shared.tier_direct_since_tick.get(tier) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
         let w = self.shared.pick_worker_for(tier, spec.addon);
         self.shared.depths[w].fetch_add(1, Ordering::Relaxed);
-        let qid = self.submitted;
         self.submitted += 1;
         let deadline = spec
             .deadline
@@ -817,6 +910,7 @@ impl ServingBackend for ClusterBackend {
                 qid,
                 arrival: now,
                 deadline,
+                entry: tier,
                 prompt: spec.prompt,
                 resume: spec.resume_from,
                 addon: spec.addon,
@@ -880,14 +974,12 @@ impl ServingBackend for ClusterBackend {
 
     fn snapshot(&self) -> SessionSnapshot {
         let plan = self.shared.plan.read();
-        let mut light_workers = 0;
-        let mut heavy_workers = 0;
+        let nt = self.shared.num_tiers;
         let mut failed_workers = 0;
         let mut degraded_workers = 0;
-        let mut light_queue = 0;
-        let mut heavy_queue = 0;
-        let mut light_busy = 0;
-        let mut heavy_busy = 0;
+        let mut tier_workers = vec![0usize; nt];
+        let mut tier_queues = vec![0usize; nt];
+        let mut tier_busy = vec![0usize; nt];
         for (i, &t) in plan.tiers.iter().enumerate() {
             if self.shared.is_failed(i) {
                 failed_workers += 1;
@@ -898,19 +990,19 @@ impl ServingBackend for ClusterBackend {
             }
             let depth = self.shared.depths[i].load(Ordering::Relaxed);
             let busy = usize::from(self.shared.busy[i].load(Ordering::Relaxed));
-            match t {
-                ModelTier::Light => {
-                    light_workers += 1;
-                    light_queue += depth;
-                    light_busy += busy;
-                }
-                ModelTier::Heavy => {
-                    heavy_workers += 1;
-                    heavy_queue += depth;
-                    heavy_busy += busy;
-                }
-            }
+            let t = t.min(nt - 1);
+            tier_workers[t] += 1;
+            tier_queues[t] += depth;
+            tier_busy[t] += busy;
         }
+        // Legacy two-bucket view: tier 0 is the light side, everything
+        // deeper aggregates into the heavy side.
+        let light_workers = tier_workers[0];
+        let heavy_workers = tier_workers[1..].iter().sum();
+        let light_queue = tier_queues[0];
+        let heavy_queue = tier_queues[1..].iter().sum();
+        let light_busy = tier_busy[0];
+        let heavy_busy = tier_busy[1..].iter().sum();
         let heavy_done = self
             .responses
             .iter()
@@ -918,7 +1010,7 @@ impl ServingBackend for ClusterBackend {
             .count();
         SessionSnapshot {
             now: self.now(),
-            threshold: plan.threshold,
+            threshold: plan.thresholds[0],
             light_workers,
             heavy_workers,
             failed_workers,
@@ -942,6 +1034,16 @@ impl ServingBackend for ClusterBackend {
             resumed_completions: self.responses.iter().filter(|r| r.reused_steps > 0).count()
                 as u64,
             addon_stats: *self.shared.addon_stats.lock(),
+            tier_workers,
+            tier_queues,
+            tier_busy,
+            tier_escalations: self
+                .shared
+                .tier_escalations
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            thresholds: plan.thresholds.clone(),
         }
     }
 
@@ -1114,13 +1216,22 @@ impl PlanActuator for ClusterActuator<'_> {
                 allocation,
                 heavy_fraction,
             } => (allocation, *heavy_fraction),
+            ControlDirective::ApplyLadder(alloc) => {
+                self.plan
+                    .retarget_ladder_masked(&alloc.workers, self.excluded);
+                self.plan.batches = alloc.batches.iter().map(|&b| b.max(1)).collect();
+                self.plan.thresholds.clone_from(&alloc.thresholds);
+                self.plan.bypass_suspended = !alloc.feasible;
+                return;
+            }
             ControlDirective::Hold => return,
         };
         self.plan
             .retarget_masked(alloc.light_workers, alloc.heavy_workers, self.excluded);
-        self.plan.light_batch = alloc.light_batch;
-        self.plan.heavy_batch = alloc.heavy_batch;
-        self.plan.threshold = threshold;
+        let last = self.plan.batches.len() - 1;
+        self.plan.batches[0] = alloc.light_batch;
+        self.plan.batches[last] = alloc.heavy_batch;
+        self.plan.thresholds[0] = threshold;
     }
 }
 
@@ -1220,24 +1331,25 @@ fn controller_loop(shared: &Shared, control: &Mutex<ControlLoop>, sys: &SystemCo
             .violations_heavy_since_tick
             .swap(0, Ordering::Relaxed);
         let confidences = std::mem::take(&mut *shared.confidences.lock());
+        let deep_confidences: Vec<Vec<f64>> = shared
+            .deep_confidences
+            .iter()
+            .map(|m| std::mem::take(&mut *m.lock()))
+            .collect();
 
         // Little's-law queue estimates from live channel depths (alive
         // workers only — failed workers drain their queues elsewhere).
         let plan_snapshot = shared.plan.read().clone();
+        let nt = shared.num_tiers;
         let excluded: Vec<bool> = (0..plan_snapshot.tiers.len())
             .map(|i| shared.is_failed(i))
             .collect();
-        let mut light_q = 0usize;
-        let mut heavy_q = 0usize;
+        let mut tier_queues = vec![0usize; nt];
         for (i, &t) in plan_snapshot.tiers.iter().enumerate() {
             if excluded[i] {
                 continue;
             }
-            let depth = shared.depths[i].load(Ordering::Relaxed);
-            match t {
-                ModelTier::Light => light_q += depth,
-                ModelTier::Heavy => heavy_q += depth,
-            }
+            tier_queues[t.min(nt - 1)] += shared.depths[i].load(Ordering::Relaxed);
         }
         // Derive the pool size from the same snapshot as the mask so the
         // solver and retarget never disagree mid-churn.
@@ -1249,17 +1361,24 @@ fn controller_loop(shared: &Shared, control: &Mutex<ControlLoop>, sys: &SystemCo
             heavy_arrivals: heavy,
             violations_light,
             violations_heavy,
-            light_queue: light_q,
-            heavy_queue: heavy_q,
+            light_queue: tier_queues[0],
+            heavy_queue: tier_queues[1..].iter().sum(),
             alive_workers: alive,
             effective_capacity: shared.effective_capacity(),
-            current_light_batch: plan_snapshot.batch_for(ModelTier::Light),
-            current_heavy_batch: plan_snapshot.batch_for(ModelTier::Heavy),
+            current_light_batch: plan_snapshot.batch_for(0),
+            current_heavy_batch: plan_snapshot.batch_for(nt - 1),
             confidences,
+            tier_queues,
+            deep_confidences,
+            tier_direct_arrivals: shared
+                .tier_direct_since_tick
+                .iter()
+                .map(|c| c.swap(0, Ordering::Relaxed))
+                .collect(),
         };
         let directive = control.lock().step(&obs);
         let active_threshold = if directive == ControlDirective::Hold {
-            plan_snapshot.threshold
+            plan_snapshot.thresholds[0]
         } else {
             let mut plan = plan_snapshot;
             ClusterActuator {
@@ -1267,7 +1386,7 @@ fn controller_loop(shared: &Shared, control: &Mutex<ControlLoop>, sys: &SystemCo
                 excluded: &excluded,
             }
             .actuate(&directive);
-            let threshold = plan.threshold;
+            let threshold = plan.thresholds[0];
             *shared.plan.write() = plan;
             threshold
         };
@@ -1402,180 +1521,179 @@ fn worker_loop(
         shared.sleep_sim(exec);
         shared.busy[wid].store(false, Ordering::Relaxed);
         let now = shared.sim_now();
-        let threshold = shared.plan.read().threshold;
+        let thresholds = shared.plan.read().thresholds.clone();
 
         // Late completions are violations attributed to the tier that
         // finished the query (escalated queries count against the heavy
         // side, mirroring the simulator's bookkeeping); escalations are not
-        // completions and record nothing at the light stage.
-        let complete = |job: &Job, tier: ModelTier| {
+        // completions and record nothing at the shallower stages.
+        let complete = |job: &Job, tier: usize| {
             if now > job.deadline {
                 shared.record_violation(tier);
             }
         };
+        let last = shared.num_tiers - 1;
         for mut job in batch {
             let prompt = job
                 .prompt
                 .unwrap_or_else(|| *runtime.dataset.prompt_cyclic(job.qid))
                 .harder(shared.difficulty_delta());
-            match current_tier {
-                ModelTier::Light => {
-                    let image = runtime.spec.light.generate(&prompt);
-                    if uses_cascade {
-                        let conf = runtime.discriminator.confidence(&image.features);
-                        shared.confidences.lock().push(conf);
-                        if conf >= threshold || !shared.has_alive_heavy() {
-                            complete(&job, ModelTier::Light);
-                            let gpu =
-                                single_query_gpu_time(runtime, ModelTier::Light, 0, uses_cascade);
-                            let _ = done.send(Outcome::Completed(make_response(
-                                job,
-                                image,
-                                ModelTier::Light,
-                                Some(conf),
-                                now,
-                                gpu,
-                                0,
-                            )));
-                        } else {
-                            // Escalation: hand the light tier's denoise
-                            // progress to the heavy worker when resume is on.
-                            if shared.resume_enabled {
-                                job.resume =
-                                    Some(StageState::completed(runtime.spec.light.steps()));
-                            }
-                            shared.heavy_since_tick.fetch_add(1, Ordering::Relaxed);
-                            let target = shared.pick_worker_for(ModelTier::Heavy, job.addon);
-                            shared.depths[target].fetch_add(1, Ordering::Relaxed);
-                            let _ = txs[target].send(job);
-                        }
-                    } else {
-                        complete(&job, ModelTier::Light);
-                        let gpu = single_query_gpu_time(runtime, ModelTier::Light, 0, uses_cascade);
-                        let _ = done.send(Outcome::Completed(make_response(
-                            job,
-                            image,
-                            ModelTier::Light,
-                            None,
-                            now,
-                            gpu,
-                            0,
-                        )));
-                    }
+            // Resume from carried latents when possible: a restart (no
+            // reuse) is bitwise `generate`; a lossless resume produces the
+            // identical image at lower service time.
+            let reused = shared.job_reused_steps(runtime, current_tier, &job);
+            let model = tier_model(runtime, current_tier);
+            let image = if reused > 0 {
+                model.generate_with_quality_shift(&prompt, -shared.resume_quality_penalty)
+            } else {
+                model.generate(&prompt)
+            };
+            if current_tier < last && uses_cascade {
+                let conf = tier_discriminator(runtime, current_tier).confidence(&image.features);
+                if current_tier == 0 {
+                    shared.confidences.lock().push(conf);
+                } else {
+                    shared.deep_confidences[current_tier - 1].lock().push(conf);
                 }
-                ModelTier::Heavy => {
-                    let reused = shared.job_reused_steps(runtime, &job);
-                    let image = if reused > 0 {
-                        runtime
-                            .spec
-                            .heavy
-                            .generate_with_quality_shift(&prompt, -shared.resume_quality_penalty)
-                    } else {
-                        runtime.spec.heavy.generate(&prompt)
-                    };
-                    complete(&job, ModelTier::Heavy);
-                    let gpu =
-                        single_query_gpu_time(runtime, ModelTier::Heavy, reused, uses_cascade);
+                // With the deeper pools wiped out by churn, an escalation
+                // would bounce between same-tier workers forever — degrade
+                // gracefully by serving this output instead.
+                let escalate = conf < thresholds[current_tier.min(thresholds.len() - 1)]
+                    && shared.has_alive_deeper(current_tier);
+                if let Some(r) = &shared.router {
+                    // Every verdict trains the pre-execution router, kept
+                    // or escalated alike.
+                    r.lock().observe(current_tier, &prompt, escalate);
+                }
+                if !escalate {
+                    complete(&job, current_tier);
+                    let gpu = single_query_gpu_time(
+                        runtime,
+                        job.entry,
+                        current_tier,
+                        reused,
+                        uses_cascade,
+                    );
                     let _ = done.send(Outcome::Completed(make_response(
                         job,
                         image,
-                        ModelTier::Heavy,
-                        None,
+                        current_tier,
+                        Some(conf),
                         now,
                         gpu,
                         reused,
                     )));
+                } else {
+                    // Escalation: hand this tier's denoise progress to the
+                    // next tier's worker when resume is on.
+                    if shared.resume_enabled {
+                        job.resume = Some(StageState::completed(model.steps()));
+                    }
+                    shared.tier_escalations[current_tier].fetch_add(1, Ordering::Relaxed);
+                    shared.heavy_since_tick.fetch_add(1, Ordering::Relaxed);
+                    let target = shared.pick_worker_for(current_tier + 1, job.addon);
+                    shared.depths[target].fetch_add(1, Ordering::Relaxed);
+                    let _ = txs[target].send(job);
                 }
+            } else {
+                complete(&job, current_tier);
+                let gpu =
+                    single_query_gpu_time(runtime, job.entry, current_tier, reused, uses_cascade);
+                let _ = done.send(Outcome::Completed(make_response(
+                    job,
+                    image,
+                    current_tier,
+                    None,
+                    now,
+                    gpu,
+                    reused,
+                )));
             }
         }
     }
 }
 
-fn stage_latency(
-    runtime: &CascadeRuntime,
-    tier: ModelTier,
-    batch: usize,
-    uses_cascade: bool,
-) -> f64 {
-    match tier {
-        ModelTier::Light => {
-            let base = runtime
-                .spec
-                .light
-                .latency()
-                .exec_latency(batch)
-                .as_secs_f64();
-            if uses_cascade {
-                base + runtime.discriminator.latency().as_secs_f64() * batch as f64
-            } else {
-                base
-            }
-        }
-        ModelTier::Heavy => runtime
-            .spec
-            .heavy
-            .latency()
-            .exec_latency(batch)
-            .as_secs_f64(),
+/// The model serving ladder tier `tier` — the legacy light/heavy pair when
+/// no ladder artifacts are attached.
+fn tier_model(runtime: &CascadeRuntime, tier: usize) -> &DiffusionModel {
+    match &runtime.ladder {
+        Some(l) => &l.models[tier],
+        None if tier == 0 => &runtime.spec.light,
+        None => &runtime.spec.heavy,
+    }
+}
+
+/// The discriminator scoring boundary `tier → tier + 1`, if one exists
+/// (the terminal tier has none).
+fn tier_discriminator(runtime: &CascadeRuntime, tier: usize) -> &Discriminator {
+    match &runtime.ladder {
+        Some(l) => &l.discriminators[tier],
+        None => &runtime.discriminator,
+    }
+}
+
+fn stage_latency(runtime: &CascadeRuntime, tier: usize, batch: usize, uses_cascade: bool) -> f64 {
+    let base = tier_model(runtime, tier)
+        .latency()
+        .exec_latency(batch)
+        .as_secs_f64();
+    let last = runtime.num_tiers() - 1;
+    if uses_cascade && tier < last {
+        base + tier_discriminator(runtime, tier).latency().as_secs_f64() * batch as f64
+    } else {
+        base
     }
 }
 
 /// Nameplate seconds a batch saves by resuming its escalated members from
-/// light-tier latents — `0.0` exactly unless resume is on and the batch is
-/// heavy-tier, so restart-mode service times are bitwise unchanged. Mirrors
-/// the simulator's `batch_resume_savings`.
+/// the previous tier's latents — `0.0` exactly unless resume is on and the
+/// batch sits past the entry tier, so restart-mode service times are
+/// bitwise unchanged. Mirrors the simulator's `batch_resume_savings`.
 fn batch_resume_savings(
     shared: &Shared,
     runtime: &CascadeRuntime,
-    tier: ModelTier,
+    tier: usize,
     jobs: &[Job],
 ) -> f64 {
-    if tier != ModelTier::Heavy || !shared.resume_enabled {
+    if tier == 0 || !shared.resume_enabled {
         return 0.0;
     }
-    let steps = runtime.spec.heavy.steps();
+    let profile = tier_model(runtime, tier).latency();
+    let steps = tier_model(runtime, tier).steps();
     jobs.iter()
-        .map(|job| {
-            resume_savings(
-                runtime.spec.heavy.latency(),
-                shared.job_reused_steps(runtime, job),
-                steps,
-            )
-        })
+        .map(|job| resume_savings(profile, shared.job_reused_steps(runtime, tier, job), steps))
         .sum()
 }
 
 /// Single-query nameplate GPU-seconds for a completion on `tier` — the
-/// cross-tier sunk cost the report's `gpu_time_per_query` averages.
-/// Identical accounting to the simulator's `single_query_gpu_time`.
+/// cross-tier sunk cost the report's `gpu_time_per_query` averages: the
+/// finishing tier's own pass (net of resumed steps) plus every shallower
+/// stage the query actually ran from its entry tier on. Identical
+/// accounting to the simulator's `single_query_gpu_time`.
 fn single_query_gpu_time(
     runtime: &CascadeRuntime,
-    tier: ModelTier,
+    entry: usize,
+    tier: usize,
     reused: u32,
     uses_cascade: bool,
 ) -> f64 {
-    match tier {
-        ModelTier::Light => stage_latency(runtime, ModelTier::Light, 1, uses_cascade),
-        ModelTier::Heavy => {
-            let heavy = runtime.spec.heavy.latency().exec_latency(1).as_secs_f64()
-                - resume_savings(
-                    runtime.spec.heavy.latency(),
-                    reused,
-                    runtime.spec.heavy.steps(),
-                );
-            if uses_cascade {
-                heavy + stage_latency(runtime, ModelTier::Light, 1, uses_cascade)
-            } else {
-                heavy
-            }
-        }
+    let profile = tier_model(runtime, tier).latency();
+    let own = stage_latency(runtime, tier, 1, uses_cascade)
+        - resume_savings(profile, reused, tier_model(runtime, tier).steps());
+    if uses_cascade && tier > entry {
+        (entry..tier)
+            .map(|j| stage_latency(runtime, j, 1, uses_cascade))
+            .sum::<f64>()
+            + own
+    } else {
+        own
     }
 }
 
 fn make_response(
     job: Job,
     image: diffserve_imagegen::GeneratedImage,
-    tier: ModelTier,
+    tier: usize,
     confidence: Option<f64>,
     now: f64,
     gpu_time: f64,
@@ -1587,7 +1705,12 @@ fn make_response(
         completion: SimTime::from_secs_f64(now),
         features: image.features,
         quality: image.quality,
-        tier,
+        tier: if tier == 0 {
+            ModelTier::Light
+        } else {
+            ModelTier::Heavy
+        },
+        tier_index: tier,
         confidence,
         gpu_time,
         reused_steps,

@@ -606,6 +606,481 @@ pub fn solve_proteus(inputs: &AllocatorInputs<'_>) -> Option<(Allocation, f64)> 
     best
 }
 
+/// Inputs to one N-tier ladder allocation decision.
+///
+/// Generalizes [`AllocatorInputs`] to a quality ladder: `tiers[k]` is tier
+/// `k`'s execution profile (cheapest first), `deferrals[k]` and
+/// `discriminator_latency[k]` belong to the escalation boundary between
+/// tiers `k` and `k+1` (both have length N-1). Every boundary shares the
+/// same candidate `thresholds` grid.
+#[derive(Debug, Clone)]
+pub struct LadderInputs<'a> {
+    /// Over-provisioned demand estimate `λD` in QPS at the entry tier.
+    pub demand_qps: f64,
+    /// Estimated queuing delay ahead of each tier, seconds (length N).
+    pub queue_delays: Vec<f64>,
+    /// Latency SLO in seconds.
+    pub slo: f64,
+    /// Total workers `S`.
+    pub total_workers: usize,
+    /// Per-boundary deferral profiles `f_k(t)` (length N-1).
+    pub deferrals: Vec<&'a DeferralProfile>,
+    /// Per-tier execution profiles, cheapest first (length N).
+    pub tiers: Vec<LatencyProfile>,
+    /// Per-image discriminator latency at each non-terminal tier
+    /// (length N-1; the terminal tier runs no discriminator).
+    pub discriminator_latency: Vec<f64>,
+    /// Candidate batch sizes (shared by every tier).
+    pub batch_sizes: &'a [usize],
+    /// Candidate confidence thresholds (ascending; shared by every
+    /// boundary).
+    pub thresholds: &'a [f64],
+    /// Cap on how many grid levels any boundary threshold may *rise* in
+    /// one solve relative to the warm-start levels (`None` = unlimited,
+    /// and cold solves are never capped). Falling is never limited — load
+    /// shedding must take effect immediately — but climbing back toward
+    /// higher quality is rate-limited so demand-estimate noise cannot flap
+    /// workers between adjacent tiers tick after tick, burning fleet
+    /// capacity on model-switch delays.
+    pub max_raise_per_solve: Option<usize>,
+    /// Fraction of total demand admitted *directly* at each tier (length
+    /// N, summing to ≤ 1), as observed by the backend under predictive
+    /// straight-to-tier routing. Empty means "everything enters at tier
+    /// 0" (always-cheapest-first). The per-tier demand model folds these
+    /// in so bypassed traffic is capacity-planned at the tier it actually
+    /// lands on, not at the tiers it skipped.
+    pub direct_fractions: Vec<f64>,
+}
+
+impl LadderInputs<'_> {
+    /// Number of model tiers (N).
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Number of escalation boundaries (N-1).
+    pub fn boundaries(&self) -> usize {
+        self.tiers.len() - 1
+    }
+
+    /// Effective execution latency of tier `k` at batch `b`: model
+    /// execution plus per-image discriminator scoring on non-terminal
+    /// tiers.
+    fn tier_stage_latency(&self, k: usize, b: usize) -> f64 {
+        let base = self.tiers[k].exec_latency(b).as_secs_f64();
+        match self.discriminator_latency.get(k) {
+            Some(d) => base + d * b as f64,
+            None => base,
+        }
+    }
+
+    /// Tier-`k` serving throughput at batch `b`, discriminator included.
+    fn tier_stage_throughput(&self, k: usize, b: usize) -> f64 {
+        b as f64 / self.tier_stage_latency(k, b)
+    }
+
+    /// Per-tier demand under a threshold-level vector. Without direct
+    /// routing, tier 0 sees the full demand and each deeper tier the
+    /// fraction its boundary defers. With predictive straight-to-tier
+    /// routing, tier `k`'s demand is the flow escalated out of tier `k-1`
+    /// plus the share of total demand admitted directly at `k`.
+    fn tier_demands(&self, levels: &[usize]) -> Vec<f64> {
+        let total = self.demand_qps.max(1e-9);
+        let direct = |k: usize| -> f64 {
+            if self.direct_fractions.is_empty() {
+                if k == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                self.direct_fractions.get(k).copied().unwrap_or(0.0)
+            }
+        };
+        let mut demands = Vec::with_capacity(self.num_tiers());
+        let mut d = total * direct(0);
+        demands.push(d);
+        for (k, &l) in levels.iter().enumerate() {
+            d = d * self.deferrals[k].fraction_deferred(self.thresholds[l]) + total * direct(k + 1);
+            demands.push(d);
+        }
+        demands
+    }
+}
+
+/// One N-tier ladder allocation decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderAllocation {
+    /// Per-boundary confidence thresholds (length N-1).
+    pub thresholds: Vec<f64>,
+    /// Per-tier worker counts (length N; spares sit on the deepest tier).
+    pub workers: Vec<usize>,
+    /// Per-tier batch sizes (length N).
+    pub batches: Vec<usize>,
+    /// `true` if every constraint was satisfiable; `false` if this is the
+    /// best-effort overload fallback.
+    pub feasible: bool,
+}
+
+/// Tick-to-tick state for [`solve_ladder`]: the previous tick's optimal
+/// threshold levels (seeding the per-boundary gallop) and one shared
+/// [`WarmStart`] basis — every fixed-level residual MILP has the same
+/// shape (only the demand right-hand sides move), so a single handle
+/// warm-starts them all.
+#[derive(Debug, Clone, Default)]
+pub struct LadderWarmState {
+    levels: Option<Vec<usize>>,
+    /// Worker split actuated by the previous solve; the next solve keeps
+    /// it whenever it still covers every tier's minimal need, so demand
+    /// noise does not flap workers (each move burns a model-switch delay).
+    workers: Option<Vec<usize>>,
+    milp: WarmStart,
+}
+
+impl LadderWarmState {
+    /// An empty state; the first solve runs cold.
+    pub fn new() -> Self {
+        LadderWarmState::default()
+    }
+
+    /// Drop all carried state; the next solve runs cold.
+    pub fn clear(&mut self) {
+        self.levels = None;
+        self.workers = None;
+        self.milp.clear();
+    }
+}
+
+/// Minimal worker/batch plan serving fixed per-tier demands, by exhaustive
+/// scan over batch tuples. Minimizes total workers, tie-breaking on the
+/// lexicographically smallest batch tuple. `None` when infeasible.
+fn ladder_fixed_exhaustive(
+    inputs: &LadderInputs<'_>,
+    demands: &[f64],
+) -> Option<(Vec<usize>, Vec<usize>)> {
+    let n = inputs.num_tiers();
+    let nb = inputs.batch_sizes.len();
+    let queue_total: f64 = inputs.queue_delays.iter().sum();
+    let mut best: Option<(usize, Vec<usize>, Vec<usize>)> = None;
+    // Odometer over batch tuples, lexicographic so the first tuple found
+    // at the minimal worker count is also the lexicographically smallest.
+    let mut idx = vec![0usize; n];
+    'tuples: loop {
+        let batches: Vec<usize> = idx.iter().map(|&j| inputs.batch_sizes[j]).collect();
+        let latency: f64 = (0..n)
+            .map(|k| inputs.tier_stage_latency(k, batches[k]))
+            .sum::<f64>()
+            + queue_total;
+        if latency <= inputs.slo {
+            let workers: Vec<usize> = (0..n)
+                .map(|k| {
+                    (demands[k] / inputs.tier_stage_throughput(k, batches[k]))
+                        .ceil()
+                        .max(1.0) as usize
+                })
+                .collect();
+            let total: usize = workers.iter().sum();
+            if total <= inputs.total_workers && best.as_ref().is_none_or(|(t, _, _)| total < *t) {
+                best = Some((total, workers, batches));
+            }
+        }
+        // Advance the odometer.
+        for k in (0..n).rev() {
+            idx[k] += 1;
+            if idx[k] < nb {
+                continue 'tuples;
+            }
+            idx[k] = 0;
+        }
+        break;
+    }
+    best.map(|(_, workers, batches)| (workers, batches))
+}
+
+/// Minimal worker/batch plan serving fixed per-tier demands, as a MILP
+/// warm-started from `warm`. The formulation is the per-tier product of
+/// the legacy pinned residual: batch selectors `y_{k,j}`, workers
+/// `w_{k,j}` active only under the selected batch, per-tier throughput and
+/// non-emptiness, the shared capacity and cascade-latency rows. The
+/// lexicographic batch penalties (`1e-4·10^{-k}·j`) replicate the
+/// exhaustive solver's tie-breaking, so both inner solvers return the
+/// identical plan.
+fn ladder_fixed_milp(
+    inputs: &LadderInputs<'_>,
+    demands: &[f64],
+    warm: &mut WarmStart,
+) -> Option<(Vec<usize>, Vec<usize>)> {
+    let n = inputs.num_tiers();
+    let nb = inputs.batch_sizes.len();
+    let s = inputs.total_workers as f64;
+    let mut p = Problem::new(Direction::Minimize);
+    let y: Vec<Vec<_>> = (0..n)
+        .map(|k| (0..nb).map(|j| p.add_binary(format!("y{k}_{j}"))).collect())
+        .collect();
+    let w: Vec<Vec<_>> = (0..n)
+        .map(|k| {
+            (0..nb)
+                .map(|j| p.add_var(format!("w{k}_{j}"), VarKind::Integer, 0.0, s))
+                .collect()
+        })
+        .collect();
+
+    let mut cap: Vec<(diffserve_milp::VarId, f64)> = Vec::new();
+    let mut lat: Vec<(diffserve_milp::VarId, f64)> = Vec::new();
+    for k in 0..n {
+        let one: Vec<_> = y[k].iter().map(|&id| (id, 1.0)).collect();
+        p.add_constraint(format!("one-batch-{k}"), &one, Sense::Eq, 1.0);
+        let nonempty: Vec<_> = w[k].iter().map(|&id| (id, 1.0)).collect();
+        p.add_constraint(format!("nonempty-{k}"), &nonempty, Sense::Ge, 1.0);
+        let tp: Vec<_> = (0..nb)
+            .map(|j| {
+                (
+                    w[k][j],
+                    inputs.tier_stage_throughput(k, inputs.batch_sizes[j]),
+                )
+            })
+            .collect();
+        p.add_constraint(format!("throughput-{k}"), &tp, Sense::Ge, demands[k]);
+        for j in 0..nb {
+            p.add_constraint(
+                format!("active-{k}-{j}"),
+                &[(w[k][j], 1.0), (y[k][j], -s)],
+                Sense::Le,
+                0.0,
+            );
+            cap.push((w[k][j], 1.0));
+            lat.push((y[k][j], inputs.tier_stage_latency(k, inputs.batch_sizes[j])));
+        }
+    }
+    p.add_constraint("capacity", &cap, Sense::Le, s);
+    let lat_budget = inputs.slo - inputs.queue_delays.iter().sum::<f64>();
+    if lat_budget.is_finite() {
+        p.add_constraint("latency", &lat, Sense::Le, lat_budget);
+    }
+
+    // Minimize total workers; geometric batch penalties keep the optimum
+    // unique and equal to the exhaustive tie-break (smaller batches on
+    // earlier tiers win ties). The penalties sum to < 1, so they can
+    // never trade away a worker.
+    let mut obj: Vec<(diffserve_milp::VarId, f64)> = Vec::new();
+    for k in 0..n {
+        let scale = 1e-4 * 10f64.powi(-(k as i32));
+        for j in 0..nb {
+            obj.push((w[k][j], 1.0));
+            obj.push((y[k][j], scale * j as f64));
+        }
+    }
+    p.set_objective(&obj);
+
+    let sol = solve_milp_warm(&p, &MilpOptions::default(), warm).ok()?;
+    let mut workers = Vec::with_capacity(n);
+    let mut batches = Vec::with_capacity(n);
+    for k in 0..n {
+        let j = (0..nb)
+            .find(|&j| sol.values[y[k][j].index()] > 0.5)
+            .expect("exactly-one constraint guarantees a selection");
+        batches.push(inputs.batch_sizes[j]);
+        workers.push((0..nb).map(|j| sol.values[w[k][j].index()] as usize).sum());
+    }
+    Some((workers, batches))
+}
+
+/// One fixed-level solve through the configured inner solver.
+fn ladder_fixed(
+    inputs: &LadderInputs<'_>,
+    levels: &[usize],
+    milp: bool,
+    warm: &mut WarmStart,
+) -> Option<(Vec<usize>, Vec<usize>)> {
+    let demands = inputs.tier_demands(levels);
+    if milp {
+        ladder_fixed_milp(inputs, &demands, warm)
+    } else {
+        ladder_fixed_exhaustive(inputs, &demands)
+    }
+}
+
+/// Solve the N-tier ladder allocation: the threshold *vector* (one level
+/// per boundary), per-tier worker counts, and per-tier batch sizes.
+///
+/// The outer search is coordinate maximization over the boundary
+/// thresholds, warm-started from the previous tick's levels: for each
+/// boundary in turn it finds the largest feasible grid level by a gallop +
+/// binary search (PR 9's pinning, applied per boundary), holding the other
+/// boundaries fixed. Feasibility is monotone decreasing in every level —
+/// raising `t_k` only raises the demand on tiers deeper than `k` — so the
+/// per-coordinate search is exact; two passes settle cross-boundary
+/// interactions. Each feasibility probe is a fixed-level residual problem
+/// solved by the configured inner solver (`milp` reuses one simplex basis
+/// across every probe, tick after tick).
+///
+/// Spare workers land on the deepest tier. Returns `None` when even the
+/// all-lowest-levels ladder is infeasible; callers then fall back to
+/// [`ladder_overload_fallback`].
+pub fn solve_ladder(
+    inputs: &LadderInputs<'_>,
+    milp: bool,
+    state: &mut LadderWarmState,
+) -> Option<LadderAllocation> {
+    let nb = inputs.boundaries();
+    let nt = inputs.thresholds.len();
+    let warm_levels = match state.levels.take() {
+        Some(l) if l.len() == nb && l.iter().all(|&x| x < nt) => Some(l),
+        _ => None,
+    };
+    let mut levels = warm_levels.clone().unwrap_or_else(|| vec![0; nb]);
+    // Re-anchor on a feasible point: the warm levels may have drifted
+    // infeasible, and all-lowest-levels is the least-demand ladder — if
+    // even that fails, no level vector is feasible (monotonicity).
+    if ladder_fixed(inputs, &levels, milp, &mut state.milp).is_none() {
+        levels = vec![0; nb];
+        ladder_fixed(inputs, &levels, milp, &mut state.milp)?;
+    }
+
+    for _pass in 0..2 {
+        for k in 0..nb {
+            // Gallop upward from the current (feasible) level for an
+            // infeasible ceiling, then binary-search the bracket.
+            let (mut lo, mut hi) = (levels[k], nt);
+            let mut step = 1usize;
+            while lo + step < nt {
+                let cand = lo + step;
+                levels[k] = cand;
+                if ladder_fixed(inputs, &levels, milp, &mut state.milp).is_some() {
+                    lo = cand;
+                    step *= 2;
+                } else {
+                    hi = cand;
+                    break;
+                }
+            }
+            if hi == nt && lo + 1 < nt {
+                levels[k] = nt - 1;
+                if ladder_fixed(inputs, &levels, milp, &mut state.milp).is_some() {
+                    lo = nt - 1;
+                } else {
+                    hi = nt - 1;
+                }
+            }
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                levels[k] = mid;
+                if ladder_fixed(inputs, &levels, milp, &mut state.milp).is_some() {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            levels[k] = lo;
+        }
+    }
+
+    // Rate-limit raises against the previous tick's actuated levels:
+    // clamping *down* from the coordinate-maximized point only lowers
+    // deep-tier demand, so the clamped vector stays feasible
+    // (monotonicity) and the final solve below cannot fail.
+    if let (Some(cap), Some(prev)) = (inputs.max_raise_per_solve, &warm_levels) {
+        for (l, &p) in levels.iter_mut().zip(prev) {
+            *l = (*l).min(p + cap);
+        }
+    }
+
+    let (mut workers, batches) = ladder_fixed(inputs, &levels, milp, &mut state.milp)
+        .expect("final levels were verified feasible coordinate-wise");
+    // Worker-split hysteresis: if the previously actuated split still
+    // covers every tier's minimal need, keep it — extra workers on a tier
+    // only add slack, while re-splitting on every demand-estimate wiggle
+    // burns a model-switch delay per moved worker.
+    let keep_prev = state.workers.take().filter(|prev| {
+        prev.len() == workers.len()
+            && prev.iter().sum::<usize>() == inputs.total_workers
+            && prev.iter().zip(&workers).all(|(&p, &need)| p >= need)
+    });
+    if let Some(prev) = keep_prev {
+        workers = prev;
+    } else {
+        let spare = inputs.total_workers - workers.iter().sum::<usize>();
+        *workers.last_mut().expect("at least two tiers") += spare;
+    }
+    let thresholds = levels.iter().map(|&l| inputs.thresholds[l]).collect();
+    state.levels = Some(levels);
+    state.workers = Some(workers.clone());
+    Some(LadderAllocation {
+        thresholds,
+        workers,
+        batches,
+        feasible: true,
+    })
+}
+
+/// Best-effort ladder allocation under overload: every boundary threshold
+/// drops to 0 (nothing escalates), batches maximize per-tier throughput,
+/// one worker stays on each deeper tier so stragglers keep a host, and the
+/// rest of the fleet serves the entry tier.
+///
+/// When the predictive router is bypassing traffic
+/// ([`LadderInputs::direct_fractions`] has mass beyond tier 0) the
+/// all-entry-tier shape would starve exactly the tiers still receiving
+/// direct arrivals, so the fleet is instead apportioned to tiers in
+/// proportion to direct load over per-tier service rate (with thresholds
+/// floored, a tier's load is exactly its direct-admission share).
+pub fn ladder_overload_fallback(inputs: &LadderInputs<'_>) -> LadderAllocation {
+    let n = inputs.num_tiers();
+    let batches: Vec<usize> = (0..n)
+        .map(|k| {
+            inputs
+                .batch_sizes
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    inputs.tiers[k]
+                        .throughput(a)
+                        .partial_cmp(&inputs.tiers[k].throughput(b))
+                        .expect("finite throughputs")
+                })
+                .expect("non-empty batch sizes")
+        })
+        .collect();
+    let has_bypass = inputs.direct_fractions.iter().skip(1).any(|&f| f > 0.0);
+    let mut workers = vec![0usize; n];
+    if has_bypass {
+        let load: Vec<f64> = (0..n)
+            .map(|k| {
+                let d = inputs.direct_fractions.get(k).copied().unwrap_or(0.0);
+                d / inputs.tiers[k].throughput(batches[k]).max(1e-9)
+            })
+            .collect();
+        let total_load: f64 = load.iter().sum();
+        let w = inputs.total_workers;
+        let quotas: Vec<f64> = load.iter().map(|l| w as f64 * l / total_load).collect();
+        for (wk, q) in workers.iter_mut().zip(&quotas) {
+            *wk = q.floor() as usize;
+        }
+        let remaining = w - workers.iter().sum::<usize>();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            (quotas[b] - workers[b] as f64)
+                .partial_cmp(&(quotas[a] - workers[a] as f64))
+                .expect("finite quotas")
+        });
+        for &k in order.iter().cycle().take(remaining) {
+            workers[k] += 1;
+        }
+    } else {
+        let deep = (n - 1).min(inputs.total_workers.saturating_sub(1));
+        for k in (n - deep..n).rev() {
+            workers[k] = 1;
+        }
+        workers[0] = inputs.total_workers - deep;
+    }
+    LadderAllocation {
+        thresholds: vec![0.0; inputs.boundaries()],
+        workers,
+        batches,
+        feasible: false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1029,5 +1504,195 @@ mod tests {
             feasible: true,
         };
         assert!((a.deferral_fraction(&deferral) - 0.4).abs() < 0.01);
+    }
+
+    fn ladder3_inputs<'a>(
+        deferrals: &'a [DeferralProfile],
+        batches: &'a [usize],
+        thresholds: &'a [f64],
+        demand: f64,
+    ) -> LadderInputs<'a> {
+        LadderInputs {
+            demand_qps: demand,
+            queue_delays: vec![0.2, 0.3, 0.2],
+            slo: 5.0,
+            total_workers: 16,
+            deferrals: deferrals.iter().collect(),
+            tiers: vec![
+                LatencyProfile::new(0.10, 0.55),
+                LatencyProfile::new(0.85, 0.15),
+                LatencyProfile::new(1.78, 0.12),
+            ],
+            discriminator_latency: vec![0.01, 0.01],
+            batch_sizes: batches,
+            thresholds,
+            max_raise_per_solve: None,
+            direct_fractions: Vec::new(),
+        }
+    }
+
+    fn two_tier_ladder_inputs<'a>(
+        deferral: &'a DeferralProfile,
+        batches: &'a [usize],
+        thresholds: &'a [f64],
+        demand: f64,
+    ) -> LadderInputs<'a> {
+        LadderInputs {
+            demand_qps: demand,
+            queue_delays: vec![0.2, 0.5],
+            slo: 5.0,
+            total_workers: 16,
+            deferrals: vec![deferral],
+            tiers: vec![
+                LatencyProfile::new(0.10, 0.55),
+                LatencyProfile::new(1.78, 0.12),
+            ],
+            discriminator_latency: vec![0.01],
+            batch_sizes: batches,
+            thresholds,
+            max_raise_per_solve: None,
+            direct_fractions: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn two_tier_ladder_matches_legacy_threshold() {
+        // On a two-tier ladder the boundary threshold the coordinate
+        // search maximizes is exactly the legacy objective, so both
+        // solvers must land on the same grid level.
+        let deferral = uniform_profile();
+        let batches = [1usize, 2, 4, 8, 16];
+        let thresholds = grid(26, 0.9);
+        for demand in [2.0, 6.0, 12.0, 20.0] {
+            let legacy =
+                solve_exhaustive(&cascade1_inputs(&deferral, &batches, &thresholds, demand))
+                    .expect("legacy feasible");
+            let ladder = solve_ladder(
+                &two_tier_ladder_inputs(&deferral, &batches, &thresholds, demand),
+                false,
+                &mut LadderWarmState::new(),
+            )
+            .expect("ladder feasible");
+            assert_eq!(ladder.thresholds.len(), 1);
+            assert!(
+                (ladder.thresholds[0] - legacy.threshold).abs() < 1e-9,
+                "demand {demand}: ladder t={} vs legacy t={}",
+                ladder.thresholds[0],
+                legacy.threshold
+            );
+            assert_eq!(ladder.workers.iter().sum::<usize>(), 16, "spares placed");
+        }
+    }
+
+    #[test]
+    fn ladder_milp_and_exhaustive_inner_solvers_agree() {
+        let deferrals = vec![uniform_profile(), uniform_profile()];
+        let batches = [1usize, 2, 4, 8];
+        let thresholds = grid(11, 0.9);
+        for demand in [2.0, 5.0, 9.0, 14.0] {
+            let inputs = ladder3_inputs(&deferrals, &batches, &thresholds, demand);
+            let ex = solve_ladder(&inputs, false, &mut LadderWarmState::new());
+            let milp = solve_ladder(&inputs, true, &mut LadderWarmState::new());
+            assert_eq!(ex, milp, "demand {demand}");
+        }
+    }
+
+    #[test]
+    fn ladder_warm_solves_match_cold_decisions() {
+        // A warm start must never change *what the solver decides*: the
+        // coordinate search re-maximizes from the warm point, so
+        // thresholds, batches, and feasibility match a cold solve bit
+        // for bit. The worker split is the one sanctioned divergence —
+        // hysteresis keeps the previously actuated split while it still
+        // covers every tier's need — so instead of exact equality we pin
+        // the contract: same fleet total, and per-tier capacity covers
+        // the deferred demand chain at the (identical) thresholds.
+        let deferrals = vec![uniform_profile(), uniform_profile()];
+        let batches = [1usize, 2, 4, 8];
+        let thresholds = grid(26, 0.9);
+        let mut warm = LadderWarmState::new();
+        for (i, demand) in [4.0, 4.2, 4.1, 8.0, 500.0, 7.5, 4.0]
+            .into_iter()
+            .enumerate()
+        {
+            let inputs = ladder3_inputs(&deferrals, &batches, &thresholds, demand);
+            let cold = solve_ladder(&inputs, true, &mut LadderWarmState::new());
+            let warmed = solve_ladder(&inputs, true, &mut warm);
+            if i == 0 {
+                assert_eq!(warmed, cold, "first solve has no warm state to reuse");
+            }
+            match (&warmed, &cold) {
+                (Some(w), Some(c)) => {
+                    assert_eq!(w.thresholds, c.thresholds, "demand {demand}");
+                    assert_eq!(w.batches, c.batches, "demand {demand}");
+                    assert_eq!(w.feasible, c.feasible, "demand {demand}");
+                    assert_eq!(
+                        w.workers.iter().sum::<usize>(),
+                        c.workers.iter().sum::<usize>(),
+                        "demand {demand}: fleet total"
+                    );
+                    let mut d = demand;
+                    for k in 0..w.workers.len() {
+                        if k > 0 {
+                            d *= inputs.deferrals[k - 1].fraction_deferred(w.thresholds[k - 1]);
+                        }
+                        let cap =
+                            w.workers[k] as f64 * inputs.tier_stage_throughput(k, w.batches[k]);
+                        assert!(cap >= d - 1e-9, "demand {demand} tier {k}: {cap} < {d}");
+                    }
+                }
+                (None, None) => {}
+                _ => panic!("demand {demand}: warm {warmed:?} vs cold {cold:?}"),
+            }
+        }
+        warm.clear();
+        let inputs = ladder3_inputs(&deferrals, &batches, &thresholds, 4.0);
+        assert_eq!(
+            solve_ladder(&inputs, true, &mut warm),
+            solve_ladder(&inputs, true, &mut LadderWarmState::new()),
+            "clear() drops the warm split entirely"
+        );
+    }
+
+    #[test]
+    fn ladder_respects_capacity_and_latency() {
+        let deferrals = vec![uniform_profile(), uniform_profile()];
+        let batches = [1usize, 2, 4, 8];
+        let thresholds = grid(11, 0.9);
+        let inputs = ladder3_inputs(&deferrals, &batches, &thresholds, 8.0);
+        let a = solve_ladder(&inputs, false, &mut LadderWarmState::new()).expect("feasible");
+        assert!(a.feasible);
+        assert_eq!(a.workers.len(), 3);
+        assert_eq!(a.workers.iter().sum::<usize>(), 16);
+        assert!(a.workers.iter().all(|&w| w >= 1));
+        // Per-tier capacity covers the deferred demand chain.
+        let mut d = 8.0f64;
+        for k in 0..3 {
+            if k > 0 {
+                d *= inputs.deferrals[k - 1].fraction_deferred(a.thresholds[k - 1]);
+            }
+            let cap = a.workers[k] as f64 * inputs.tier_stage_throughput(k, a.batches[k]);
+            assert!(cap >= d - 1e-9, "tier {k}: capacity {cap} < demand {d}");
+        }
+        // Worst-case cascade latency fits the SLO.
+        let lat: f64 = (0..3)
+            .map(|k| inputs.tier_stage_latency(k, a.batches[k]))
+            .sum::<f64>()
+            + inputs.queue_delays.iter().sum::<f64>();
+        assert!(lat <= inputs.slo + 1e-9);
+    }
+
+    #[test]
+    fn ladder_overload_falls_back() {
+        let deferrals = vec![uniform_profile(), uniform_profile()];
+        let batches = [1usize, 2, 4, 8];
+        let thresholds = grid(11, 0.9);
+        let inputs = ladder3_inputs(&deferrals, &batches, &thresholds, 5000.0);
+        assert!(solve_ladder(&inputs, false, &mut LadderWarmState::new()).is_none());
+        let fb = ladder_overload_fallback(&inputs);
+        assert!(!fb.feasible);
+        assert_eq!(fb.thresholds, vec![0.0, 0.0]);
+        assert_eq!(fb.workers.iter().sum::<usize>(), 16);
+        assert_eq!(&fb.workers[1..], &[1, 1], "stragglers keep a host");
     }
 }

@@ -75,6 +75,12 @@ pub struct SystemConfig {
     /// the subsystem bit-identically — no query carries an add-on, no
     /// module cache exists, and routing is unchanged.
     pub addons: Option<AddonsConfig>,
+    /// N-tier quality-ladder knobs (initial thresholds, predictive
+    /// straight-to-tier routing). Only consulted when the runtime was
+    /// prepared with [`crate::CascadeRuntime::prepare_ladder`]; `None`
+    /// (the default) keeps ladder runs at the conservative defaults and
+    /// leaves non-ladder runs bit-identical.
+    pub ladder: Option<LadderConfig>,
 }
 
 impl Default for SystemConfig {
@@ -99,7 +105,100 @@ impl Default for SystemConfig {
             resume_step_credit: 0.5,
             resume_quality_penalty: 0.0,
             addons: None,
+            ladder: None,
         }
+    }
+}
+
+/// Quality-ladder serving knobs (see `diffserve_imagegen::TierLadder`).
+///
+/// The ladder itself — which model tiers, their discriminators and deferral
+/// profiles — lives in the prepared runtime; this config carries only the
+/// runtime-tunable policy knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderConfig {
+    /// Enable the online pre-execution router: queries predicted to
+    /// escalate through a boundary skip that boundary's cheap tier and
+    /// enter the ladder deeper. Trained online from every discriminator
+    /// verdict; while a boundary is cold every query still enters at
+    /// tier 0.
+    pub predictive_routing: bool,
+    /// Predicted escalation probability at or above which a tier is
+    /// skipped.
+    pub predictive_margin: f64,
+    /// SGD learning rate of the per-boundary online router.
+    pub predictive_learning_rate: f64,
+    /// Discriminator verdicts a boundary must observe before its
+    /// predictions are trusted.
+    pub predictive_min_observations: u64,
+    /// Std of the observation noise on the router's text embeddings.
+    pub predictive_observation_noise: f64,
+    /// Per-boundary thresholds used before the first control tick;
+    /// `None` starts every boundary at the legacy bootstrap value of 0.5.
+    pub initial_thresholds: Option<Vec<f64>>,
+    /// Cap on how many threshold-grid levels any boundary may *rise* per
+    /// control tick (`None` = unlimited). Falling is always immediate —
+    /// load shedding cannot wait — but climbing back toward higher quality
+    /// is rate-limited so demand-estimate noise does not flap workers
+    /// between adjacent tiers every tick, burning capacity on model-switch
+    /// delays.
+    pub max_threshold_raise_per_tick: Option<usize>,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            predictive_routing: true,
+            predictive_margin: 0.6,
+            predictive_learning_rate: 0.05,
+            predictive_min_observations: 64,
+            predictive_observation_noise: 0.35,
+            initial_thresholds: None,
+            max_threshold_raise_per_tick: Some(2),
+        }
+    }
+}
+
+impl LadderConfig {
+    /// Validates the ladder knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.predictive_margin.is_finite() || !(0.0..=1.0).contains(&self.predictive_margin) {
+            return Err(ConfigError::new("predictive margin must lie in [0, 1]"));
+        }
+        if !self.predictive_learning_rate.is_finite() || self.predictive_learning_rate <= 0.0 {
+            return Err(ConfigError::new("predictive learning rate must be > 0"));
+        }
+        if !self.predictive_observation_noise.is_finite() || self.predictive_observation_noise < 0.0
+        {
+            return Err(ConfigError::new(
+                "predictive observation noise must be >= 0",
+            ));
+        }
+        if self.max_threshold_raise_per_tick == Some(0) {
+            return Err(ConfigError::new(
+                "threshold raise cap must be >= 1 level per tick (None = unlimited)",
+            ));
+        }
+        if let Some(ts) = &self.initial_thresholds {
+            if ts.is_empty() {
+                return Err(ConfigError::new(
+                    "initial ladder thresholds must be non-empty when given",
+                ));
+            }
+            if ts
+                .iter()
+                .any(|t| !t.is_finite() || !(0.0..=1.0).contains(t))
+            {
+                return Err(ConfigError::new(
+                    "initial ladder thresholds must lie in [0, 1]",
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -158,6 +257,9 @@ impl SystemConfig {
         if let Some(addons) = &self.addons {
             addons.validate()?;
         }
+        if let Some(ladder) = &self.ladder {
+            ladder.validate()?;
+        }
         Ok(())
     }
 
@@ -201,6 +303,15 @@ mod tests {
     #[test]
     fn default_is_valid() {
         assert!(SystemConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn ladder_default_config_is_valid() {
+        let cfg = SystemConfig {
+            ladder: Some(LadderConfig::default()),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]
@@ -346,6 +457,36 @@ mod tests {
                         let mut a = crate::addons::AddonsConfig::demo(1);
                         a.mix.num_modules = 3;
                         a
+                    }),
+                    ..base.clone()
+                },
+            ),
+            (
+                "ladder margin out of range",
+                SystemConfig {
+                    ladder: Some(LadderConfig {
+                        predictive_margin: 1.5,
+                        ..Default::default()
+                    }),
+                    ..base.clone()
+                },
+            ),
+            (
+                "ladder learning rate zero",
+                SystemConfig {
+                    ladder: Some(LadderConfig {
+                        predictive_learning_rate: 0.0,
+                        ..Default::default()
+                    }),
+                    ..base.clone()
+                },
+            ),
+            (
+                "ladder initial threshold out of range",
+                SystemConfig {
+                    ladder: Some(LadderConfig {
+                        initial_thresholds: Some(vec![0.5, 1.2]),
+                        ..Default::default()
                     }),
                     ..base.clone()
                 },

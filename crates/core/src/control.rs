@@ -35,10 +35,11 @@ use diffserve_simkit::time::SimTime;
 use diffserve_trace::DemandEstimator;
 
 use crate::allocator::{
-    overload_fallback, solve_exhaustive, solve_milp_allocation_warm, solve_proteus, AllocWarmState,
-    Allocation, AllocatorInputs,
+    ladder_overload_fallback, overload_fallback, solve_exhaustive, solve_ladder,
+    solve_milp_allocation_warm, solve_proteus, AllocWarmState, Allocation, AllocatorInputs,
+    LadderAllocation, LadderInputs, LadderWarmState,
 };
-use crate::config::SystemConfig;
+use crate::config::{LadderConfig, SystemConfig};
 use crate::policy::{BatchPolicy, Policy, QueueModel};
 use crate::query::ModelTier;
 use crate::serve::SessionSpec;
@@ -84,6 +85,22 @@ pub struct ControlObservation {
     /// Discriminator confidences observed since the last tick — the online
     /// profile estimator's input stream.
     pub confidences: Vec<f64>,
+    /// Queries queued on alive workers of each tier right now, entry tier
+    /// first (length N on a ladder backend). Empty (the default) on legacy
+    /// two-tier backends, which report through
+    /// [`light_queue`](Self::light_queue)/[`heavy_queue`](Self::heavy_queue).
+    pub tier_queues: Vec<usize>,
+    /// Confidences observed at escalation boundaries **deeper than the
+    /// first** since the last tick — `deep_confidences[i]` is boundary
+    /// `i + 1`'s stream (boundary 0 reports through
+    /// [`confidences`](Self::confidences)). Empty on two-tier backends.
+    pub deep_confidences: Vec<Vec<f64>>,
+    /// Queries admitted *directly* at each tier since the last tick
+    /// (length N on a ladder backend) — the predictive router's
+    /// straight-to-tier bypass flow. Empty on two-tier backends and when
+    /// the router is off; the ladder planner then plans everything
+    /// entry-first.
+    pub tier_direct_arrivals: Vec<u64>,
 }
 
 /// What the control pipeline decided this tick; the backend's
@@ -101,6 +118,9 @@ pub enum ControlDirective {
         /// Fraction of arrivals routed to the heavy model.
         heavy_fraction: f64,
     },
+    /// Apply a solved N-tier ladder allocation (per-boundary threshold
+    /// vector, per-tier worker counts and batch sizes).
+    ApplyLadder(LadderAllocation),
     /// Keep the current plan (static policies after bootstrap).
     Hold,
 }
@@ -242,6 +262,31 @@ pub struct ControlLoop {
     aimd_light_batch: usize,
     aimd_heavy_batch: usize,
     deferral_errors: Vec<(f64, f64)>,
+    ladder: Option<LadderControl>,
+}
+
+/// Everything tier- or boundary-indexed the N-tier planner needs beyond
+/// the legacy two-tier fields. Present only on ladder sessions with more
+/// than two tiers; a two-tier ladder plans through the unchanged legacy
+/// path.
+#[derive(Debug)]
+struct LadderControl {
+    /// Per-tier execution profiles, cheapest first.
+    tiers: Vec<LatencyProfile>,
+    /// Per-boundary discriminator latencies, seconds.
+    disc_latencies: Vec<f64>,
+    /// Per-boundary offline deferral profiles `f_k(t)`.
+    offline: Vec<DeferralProfile>,
+    /// Online estimators for boundaries **deeper than the first**
+    /// (boundary 0 rides the legacy [`ProfileEstimator`]); empty when
+    /// online refresh is off.
+    online: Vec<OnlineDeferralEstimator>,
+    /// Warm levels + simplex basis carried across ticks.
+    warm: LadderWarmState,
+    /// EWMA of the per-tier direct-admission split (length N, sums to 1)
+    /// observed through [`ControlObservation::tier_direct_arrivals`];
+    /// empty until the first window reports admissions.
+    direct_frac: Vec<f64>,
 }
 
 impl ControlLoop {
@@ -303,7 +348,54 @@ impl ControlLoop {
             heavy,
             resume_heavy,
             discriminator_latency,
+            ladder: None,
         }
+    }
+
+    /// Attaches N-tier ladder planning state: per-tier execution profiles
+    /// (cheapest first), per-boundary discriminator latencies, and
+    /// per-boundary offline deferral profiles. Once attached, dynamic
+    /// ticks emit [`ControlDirective::ApplyLadder`] with an N-dimensional
+    /// threshold vector instead of the two-tier
+    /// [`ControlDirective::Apply`].
+    ///
+    /// Callers only attach ladders with more than two tiers
+    /// ([`SessionSpec::control_loop`](crate::serve::SessionSpec::control_loop));
+    /// a two-tier ladder stays on the legacy planner, which is bit-identical
+    /// by construction.
+    pub fn attach_ladder(
+        &mut self,
+        tiers: Vec<LatencyProfile>,
+        disc_latencies: Vec<f64>,
+        offline: Vec<DeferralProfile>,
+    ) {
+        assert_eq!(tiers.len(), offline.len() + 1, "one profile per boundary");
+        assert_eq!(disc_latencies.len(), offline.len());
+        let online = if self.config.online_profile_refresh {
+            (1..offline.len())
+                .map(|_| {
+                    OnlineDeferralEstimator::new(
+                        self.config.online_profile_window,
+                        self.config.online_profile_min_samples,
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.ladder = Some(LadderControl {
+            tiers,
+            disc_latencies,
+            offline,
+            online,
+            warm: LadderWarmState::new(),
+            direct_frac: Vec::new(),
+        });
+    }
+
+    /// `true` when N-tier ladder planning is attached.
+    pub fn ladder_active(&self) -> bool {
+        self.ladder.is_some()
     }
 
     /// The initial allocation before any demand has been observed.
@@ -336,10 +428,16 @@ impl ControlLoop {
                 // (§4.1: "provisioned to accommodate maximum anticipated
                 // demand").
                 let slo = self.config.slo.as_secs_f64();
+                if self.ladder.is_some() {
+                    return self.plan_ladder(peak_demand, &[], slo, &thresholds, &batches, workers);
+                }
                 self.plan_allocation(peak_demand, 0.0, 0.0, slo, &thresholds, &batches, workers)
             }
             Policy::DiffServe | Policy::Proteus => {
                 let slo = self.config.slo.as_secs_f64();
+                if self.ladder.is_some() {
+                    return self.plan_ladder(1.0, &[], slo, &thresholds, &batches, workers);
+                }
                 self.plan_allocation(1.0, 0.0, 0.0, slo, &thresholds, &batches, workers)
             }
         }
@@ -386,6 +484,7 @@ impl ControlLoop {
         // Profile estimation: score the curve that was in use over the
         // window that just ended, then absorb the window's observations.
         self.track_profile(obs);
+        self.track_ladder(obs);
 
         if !self.settings.policy.is_dynamic() {
             return ControlDirective::Hold;
@@ -418,6 +517,24 @@ impl ControlLoop {
             (obs.effective_capacity / obs.alive_workers as f64).clamp(0.05, 1.0)
         };
         let planned_demand = demand / capacity_scale;
+
+        if self.ladder.is_some() {
+            // N-tier ladder planning: per-tier queue delays, the shared
+            // threshold grid per boundary, MILP or exhaustive residual
+            // solves behind the coordinate search. The AIMD ablation does
+            // not compose with ladders — batch choice stays with the
+            // planner.
+            let slo = self.config.slo.as_secs_f64();
+            let queue_delays = self.ladder_queue_delays(obs, light_rate, heavy_rate);
+            return self.plan_ladder(
+                planned_demand,
+                &queue_delays,
+                slo,
+                &thresholds,
+                &batches,
+                obs.alive_workers,
+            );
+        }
 
         let aimd_cascade = self.settings.policy == Policy::DiffServe
             && self.settings.knobs.batch_policy == BatchPolicy::Aimd;
@@ -574,6 +691,136 @@ impl ControlLoop {
         };
         self.planner.plan(&inputs)
     }
+
+    /// Feeds boundary-`k ≥ 1` confidence streams to their online
+    /// estimators (boundary 0 rides [`ControlLoop::track_profile`]).
+    fn track_ladder(&mut self, obs: &ControlObservation) {
+        let alpha = self.config.ewma_alpha;
+        if let Some(ladder) = &mut self.ladder {
+            for (est, stream) in ladder.online.iter_mut().zip(&obs.deep_confidences) {
+                est.observe_all(stream);
+                est.refresh();
+            }
+            // Smooth the observed direct-admission split so the planner's
+            // per-tier demand model sees where traffic actually enters the
+            // ladder (EWMA, same horizon as the demand estimate).
+            let total: u64 = obs.tier_direct_arrivals.iter().sum();
+            if total > 0 {
+                let n = obs.tier_direct_arrivals.len();
+                if ladder.direct_frac.len() != n {
+                    ladder.direct_frac = vec![0.0; n];
+                    ladder.direct_frac[0] = 1.0;
+                }
+                for (f, &c) in ladder.direct_frac.iter_mut().zip(&obs.tier_direct_arrivals) {
+                    *f += alpha * (c as f64 / total as f64 - *f);
+                }
+            }
+        }
+    }
+
+    /// Per-tier queuing-delay estimates for the ladder planner, mirroring
+    /// the two-tier Little's-law / twice-execution split: the entry tier
+    /// drains at the demand rate, deeper tiers at the escalation rate.
+    fn ladder_queue_delays(
+        &self,
+        obs: &ControlObservation,
+        entry_rate: f64,
+        deep_rate: f64,
+    ) -> Vec<f64> {
+        let Some(ladder) = &self.ladder else {
+            return Vec::new();
+        };
+        (0..ladder.tiers.len())
+            .map(|k| {
+                let queued = obs.tier_queues.get(k).copied().unwrap_or(0);
+                match self.settings.knobs.queue_model {
+                    QueueModel::LittlesLaw => {
+                        queued as f64 / if k == 0 { entry_rate } else { deep_rate }
+                    }
+                    QueueModel::TwiceExecution => {
+                        let b = if k == 0 {
+                            obs.current_light_batch
+                        } else {
+                            obs.current_heavy_batch
+                        }
+                        .max(1);
+                        let base = ladder.tiers[k].exec_latency(b).as_secs_f64();
+                        let disc = ladder.disc_latencies.get(k).copied().unwrap_or(0.0);
+                        2.0 * (base + disc * b as f64)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Ladder counterpart of [`ControlLoop::plan_allocation`]: assembles
+    /// per-boundary effective profiles (online where warmed up, offline
+    /// otherwise), runs the coordinate-maximization solver through the
+    /// carried warm state, and falls back to the overload ladder when
+    /// infeasible.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_ladder(
+        &mut self,
+        demand: f64,
+        queue_delays: &[f64],
+        slo: f64,
+        thresholds: &[f64],
+        batch_sizes: &[usize],
+        total_workers: usize,
+    ) -> ControlDirective {
+        let boundary0 = self.profile.online_profile().unwrap_or(&self.offline);
+        let ladder = self
+            .ladder
+            .as_mut()
+            .expect("plan_ladder requires an attached ladder");
+        let LadderControl {
+            tiers,
+            disc_latencies,
+            offline,
+            online,
+            warm,
+            direct_frac,
+        } = ladder;
+        let deferrals: Vec<&DeferralProfile> = offline
+            .iter()
+            .enumerate()
+            .map(|(k, off)| {
+                if k == 0 {
+                    boundary0
+                } else {
+                    online.get(k - 1).and_then(|e| e.profile()).unwrap_or(off)
+                }
+            })
+            .collect();
+        let n = tiers.len();
+        let queue_delays = if queue_delays.len() == n {
+            queue_delays.to_vec()
+        } else {
+            vec![0.0; n]
+        };
+        let inputs = LadderInputs {
+            demand_qps: demand,
+            queue_delays,
+            slo,
+            total_workers,
+            deferrals,
+            tiers: tiers.clone(),
+            discriminator_latency: disc_latencies.clone(),
+            batch_sizes,
+            thresholds,
+            max_raise_per_solve: self
+                .config
+                .ladder
+                .as_ref()
+                .map_or(LadderConfig::default().max_threshold_raise_per_tick, |l| {
+                    l.max_threshold_raise_per_tick
+                }),
+            direct_fractions: direct_frac.clone(),
+        };
+        let milp = matches!(self.settings.backend, AllocatorBackend::Milp);
+        let solved = solve_ladder(&inputs, milp, warm);
+        ControlDirective::ApplyLadder(solved.unwrap_or_else(|| ladder_overload_fallback(&inputs)))
+    }
 }
 
 impl SessionSpec<'_> {
@@ -581,14 +828,29 @@ impl SessionSpec<'_> {
     /// point both backends share, so the pipeline configuration cannot
     /// drift between them.
     pub fn control_loop(&self) -> ControlLoop {
-        ControlLoop::new(
+        let mut cl = ControlLoop::new(
             self.config.clone(),
             self.settings.clone(),
             self.runtime.deferral.clone(),
             *self.runtime.spec.light.latency(),
             *self.runtime.spec.heavy.latency(),
             self.runtime.discriminator.latency().as_secs_f64(),
-        )
+        );
+        // A two-tier ladder stays on the legacy planner (bit-identical by
+        // construction); deeper ladders attach the N-tier planning state.
+        if let Some(art) = &self.runtime.ladder {
+            if art.num_tiers() > 2 {
+                cl.attach_ladder(
+                    art.models.iter().map(|m| *m.latency()).collect(),
+                    art.discriminators
+                        .iter()
+                        .map(|d| d.latency().as_secs_f64())
+                        .collect(),
+                    art.deferrals.clone(),
+                );
+            }
+        }
+        cl
     }
 }
 

@@ -79,10 +79,11 @@ pub mod sim;
 
 pub use addons::{AddonCatalog, AddonModule, AddonStats, AddonsConfig, ModuleCache};
 pub use allocator::{
-    overload_fallback, solve_exhaustive, solve_milp_allocation, solve_milp_allocation_warm,
-    solve_proteus, AllocWarmState, Allocation, AllocatorInputs,
+    ladder_overload_fallback, overload_fallback, solve_exhaustive, solve_ladder,
+    solve_milp_allocation, solve_milp_allocation_warm, solve_proteus, AllocWarmState, Allocation,
+    AllocatorInputs, LadderAllocation, LadderInputs, LadderWarmState,
 };
-pub use config::{ConfigError, SystemConfig};
+pub use config::{ConfigError, LadderConfig, SystemConfig};
 pub use control::{
     AllocPlanner, CascadePlanner, ControlDirective, ControlLoop, ControlObservation, PlanActuator,
     ProfileEstimator, ProteusPlanner,
@@ -91,8 +92,8 @@ pub use diffserve_milp::WarmStart;
 pub use hetero::{solve_heterogeneous, HeteroAllocation, HeteroInputs, WorkerClass};
 pub use policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
 pub use query::{CompletedResponse, ModelTier, Query, QueryId, WorkerHealth};
-pub use report::RunReport;
-pub use runtime::CascadeRuntime;
+pub use report::{RunReport, TierStats};
+pub use runtime::{CascadeRuntime, LadderArtifacts};
 pub use serve::{
     Backend, BuildError, QueryOutcome, QuerySpec, QueryTicket, ServingBackend, ServingSession,
     SessionBuilder, SessionSnapshot, SessionSpec,
@@ -103,14 +104,14 @@ pub use sim::{run_scenario, run_trace, AllocatorBackend, RunSettings, SimBackend
 pub mod prelude {
     pub use crate::addons::{AddonCatalog, AddonModule, AddonStats, AddonsConfig, ModuleCache};
     pub use crate::allocator::{Allocation, AllocatorInputs};
-    pub use crate::config::{ConfigError, SystemConfig};
+    pub use crate::config::{ConfigError, LadderConfig, SystemConfig};
     pub use crate::control::{
         AllocPlanner, ControlDirective, ControlLoop, ControlObservation, PlanActuator,
     };
     pub use crate::policy::{AblationKnobs, BatchPolicy, Policy, QueueModel};
     pub use crate::query::{CompletedResponse, ModelTier, Query, QueryId, WorkerHealth};
     pub use crate::report::RunReport;
-    pub use crate::runtime::CascadeRuntime;
+    pub use crate::runtime::{CascadeRuntime, LadderArtifacts};
     pub use crate::serve::{
         Backend, BuildError, QueryOutcome, QuerySpec, QueryTicket, ServingBackend, ServingSession,
         SessionBuilder, SessionSnapshot, SessionSpec,

@@ -112,8 +112,13 @@ pub struct CompletedResponse {
     pub features: Vec<f64>,
     /// Latent quality of the returned image.
     pub quality: f64,
-    /// Which model produced the response.
+    /// Which model produced the response. For quality-ladder runs this is
+    /// the legacy two-bucket view: `Light` iff the entry tier answered.
     pub tier: ModelTier,
+    /// 0-based ladder tier that produced the response; `0`/`1` on legacy
+    /// two-tier runs (matching [`CompletedResponse::tier`]), deeper values
+    /// on N-tier ladders.
+    pub tier_index: usize,
     /// Discriminator confidence of the light output, when one was scored.
     pub confidence: Option<f64>,
     /// Total GPU-seconds of model execution this query consumed across
@@ -156,6 +161,7 @@ mod tests {
             features: vec![],
             quality: 0.5,
             tier: ModelTier::Heavy,
+            tier_index: 1,
             confidence: Some(0.3),
             gpu_time: 1.9,
             reused_steps: 0,

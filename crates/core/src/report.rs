@@ -77,6 +77,28 @@ pub struct RunReport {
     ///
     /// [`SystemConfig::addons`]: crate::config::SystemConfig::addons
     pub addon_stats: AddonStats,
+    /// Per-ladder-tier completion statistics, cheapest tier first, derived
+    /// from each response's [`CompletedResponse::tier_index`]. Two entries
+    /// on legacy runs; empty when nothing completed.
+    pub tier_breakdown: Vec<TierStats>,
+}
+
+/// Completion statistics of one ladder tier within a [`RunReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierStats {
+    /// 0-based ladder tier (0 = cheapest).
+    pub tier: usize,
+    /// Responses this tier produced.
+    pub completions: u64,
+    /// Mean end-to-end latency (seconds) of this tier's completions;
+    /// `0.0` with none.
+    pub mean_latency: f64,
+    /// FID of this tier's completions against the reference set; `NaN`
+    /// with fewer than two.
+    pub fid: f64,
+    /// Responses that completed *deeper* than this tier — queries that
+    /// escalated past (or, under predictive routing, skipped) it.
+    pub escalated_past: u64,
 }
 
 /// FID of a set of completed responses against the reference Gaussian;
@@ -177,6 +199,31 @@ impl RunReport {
             .into_iter()
             .map(|(t, v)| (t.as_secs_f64(), v))
             .collect();
+        let num_tiers = responses
+            .iter()
+            .map(|r| r.tier_index + 1)
+            .max()
+            .unwrap_or(0);
+        let tier_breakdown = (0..num_tiers)
+            .map(|t| {
+                let members: Vec<CompletedResponse> = responses
+                    .iter()
+                    .filter(|r| r.tier_index == t)
+                    .cloned()
+                    .collect();
+                TierStats {
+                    tier: t,
+                    completions: members.len() as u64,
+                    mean_latency: if members.is_empty() {
+                        0.0
+                    } else {
+                        members.iter().map(|r| r.latency_secs()).sum::<f64>() / members.len() as f64
+                    },
+                    fid: fid_of_responses(&members, reference, 1e-6),
+                    escalated_past: responses.iter().filter(|r| r.tier_index > t).count() as u64,
+                }
+            })
+            .collect();
         RunReport {
             policy,
             total_queries,
@@ -215,6 +262,7 @@ impl RunReport {
             } else {
                 gpu_time_sum / responses.len() as f64
             },
+            tier_breakdown,
         }
     }
 
@@ -270,6 +318,7 @@ impl RunReport {
             resumed_queries: 0,
             mean_reused_steps: 0.0,
             gpu_time_per_query: 0.0,
+            tier_breakdown: Vec::new(),
         }
     }
 
@@ -316,6 +365,7 @@ mod tests {
             resumed_queries: 0,
             mean_reused_steps: 0.0,
             gpu_time_per_query: 0.9,
+            tier_breakdown: Vec::new(),
         };
         let s = r.summary();
         assert!(s.contains("DiffServe"));

@@ -1,10 +1,42 @@
 //! Prepared cascade artifacts shared across simulation runs.
 
 use diffserve_imagegen::{
-    CascadeSpec, DeferralProfile, Discriminator, DiscriminatorConfig, PromptDataset,
+    CascadeSpec, DeferralProfile, DiffusionModel, Discriminator, DiscriminatorConfig,
+    PromptDataset, TierLadder,
 };
 use diffserve_metrics::GaussianStats;
 use diffserve_simkit::rng::derive_seed;
+
+/// Per-boundary artifacts for an N-tier quality ladder.
+///
+/// `models[k]` is tier `k`, cheapest first; `discriminators[k]` and
+/// `deferrals[k]` belong to the escalation boundary between tiers `k` and
+/// `k+1` (so both vectors have length N-1). Boundary `0`'s artifacts are
+/// always identical to the legacy cascade's `discriminator`/`deferral`
+/// fields — a two-tier ladder is the legacy cascade.
+#[derive(Debug, Clone)]
+pub struct LadderArtifacts {
+    /// The model tiers, cheapest first.
+    pub models: Vec<DiffusionModel>,
+    /// One discriminator per boundary, each trained to tell tier-`k`
+    /// outputs from terminal-tier outputs.
+    pub discriminators: Vec<Discriminator>,
+    /// One offline deferral profile `f_k(t)` per boundary, profiled from
+    /// boundary-`k` confidences on the held-out prompts.
+    pub deferrals: Vec<DeferralProfile>,
+}
+
+impl LadderArtifacts {
+    /// Number of model tiers (N).
+    pub fn num_tiers(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Number of escalation boundaries (N-1).
+    pub fn boundaries(&self) -> usize {
+        self.models.len() - 1
+    }
+}
 
 /// Everything a serving run needs that is prepared *offline* in the paper:
 /// the prompt dataset, the trained discriminator, the profiled deferral
@@ -22,6 +54,11 @@ pub struct CascadeRuntime {
     pub deferral: DeferralProfile,
     /// Gaussian fit of the FID reference set, reused by every window.
     pub reference: GaussianStats,
+    /// N-tier ladder artifacts, present only when the runtime was prepared
+    /// with [`CascadeRuntime::prepare_ladder`]. `None` (every legacy
+    /// construction) keeps both serving engines on the exact two-tier
+    /// cascade code path.
+    pub ladder: Option<LadderArtifacts>,
 }
 
 impl CascadeRuntime {
@@ -91,7 +128,68 @@ impl CascadeRuntime {
             discriminator,
             deferral,
             reference,
+            ladder: None,
         }
+    }
+
+    /// Prepares an N-tier quality ladder: synthesizes the dataset once,
+    /// then trains one discriminator and profiles one deferral curve per
+    /// boundary (each on the same held-out prompt split the legacy cascade
+    /// uses).
+    ///
+    /// A two-tier ladder reuses the legacy preparation code paths verbatim,
+    /// so its artifacts — and every downstream serving decision — are
+    /// bit-identical to [`CascadeRuntime::prepare`] on the equivalent
+    /// [`CascadeSpec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder fails [`TierLadder::validate`] or if
+    /// `dataset_size` is too small to hold both the discriminator training
+    /// set and a held-out profiling set.
+    pub fn prepare_ladder(
+        ladder: TierLadder,
+        dataset_size: usize,
+        seed: u64,
+        disc_config: DiscriminatorConfig,
+    ) -> Self {
+        ladder.validate().expect("valid tier ladder");
+        let mut runtime =
+            CascadeRuntime::prepare(ladder.cascade_view(), dataset_size, seed, disc_config);
+
+        let terminal = &ladder.tiers[ladder.num_tiers() - 1];
+        let held_out = &runtime.dataset.prompts()[disc_config.train_prompts..];
+        let mut discriminators = Vec::with_capacity(ladder.boundaries());
+        let mut deferrals = Vec::with_capacity(ladder.boundaries());
+        for (k, tier) in ladder.tiers[..ladder.num_tiers() - 1].iter().enumerate() {
+            if k == 0 {
+                // Boundary 0 is exactly the legacy cascade's artifacts.
+                discriminators.push(runtime.discriminator.clone());
+                deferrals.push(runtime.deferral.clone());
+                continue;
+            }
+            let disc = Discriminator::train(&runtime.dataset, tier, terminal, disc_config);
+            let confidences: Vec<f64> = held_out
+                .iter()
+                .map(|p| disc.confidence(&tier.generate(p).features))
+                .collect();
+            let deferral = DeferralProfile::from_confidences(confidences)
+                .expect("held-out profiling set is non-empty by the dataset-size assertion");
+            discriminators.push(disc);
+            deferrals.push(deferral);
+        }
+
+        runtime.ladder = Some(LadderArtifacts {
+            models: ladder.tiers,
+            discriminators,
+            deferrals,
+        });
+        runtime
+    }
+
+    /// Number of model tiers this runtime serves (2 for a legacy cascade).
+    pub fn num_tiers(&self) -> usize {
+        self.ladder.as_ref().map_or(2, LadderArtifacts::num_tiers)
     }
 }
 
@@ -133,6 +231,66 @@ mod tests {
     fn reference_dimensions_match() {
         let rt = quick_runtime();
         assert_eq!(rt.reference.dim(), diffserve_imagegen::features::DIM);
+    }
+
+    #[test]
+    fn two_tier_ladder_artifacts_match_legacy() {
+        use diffserve_imagegen::{cascade1, TierLadder};
+        let spec = FeatureSpec::default();
+        let legacy = quick_runtime();
+        let ladder = CascadeRuntime::prepare_ladder(
+            TierLadder::from_cascade(&cascade1(spec)),
+            1000,
+            7,
+            DiscriminatorConfig {
+                train_prompts: 400,
+                epochs: 10,
+                ..Default::default()
+            },
+        );
+        let artifacts = ladder.ladder.as_ref().expect("ladder artifacts");
+        assert_eq!(artifacts.num_tiers(), 2);
+        assert_eq!(artifacts.boundaries(), 1);
+        assert_eq!(ladder.num_tiers(), 2);
+        // Boundary 0 is the legacy discriminator/profile bit-for-bit.
+        let p = &legacy.dataset.prompts()[11];
+        let img = legacy.spec.light.generate(p);
+        assert_eq!(
+            legacy.discriminator.confidence(&img.features),
+            artifacts.discriminators[0].confidence(&img.features)
+        );
+        for t in [0.1, 0.4, 0.8] {
+            assert_eq!(
+                legacy.deferral.fraction_deferred(t),
+                artifacts.deferrals[0].fraction_deferred(t)
+            );
+        }
+    }
+
+    #[test]
+    fn three_tier_ladder_prepares_per_boundary_artifacts() {
+        use diffserve_imagegen::ladder3;
+        let rt = CascadeRuntime::prepare_ladder(
+            ladder3(FeatureSpec::default()),
+            700,
+            7,
+            DiscriminatorConfig {
+                train_prompts: 300,
+                epochs: 4,
+                ..Default::default()
+            },
+        );
+        let artifacts = rt.ladder.as_ref().expect("ladder artifacts");
+        assert_eq!(artifacts.num_tiers(), 3);
+        assert_eq!(artifacts.discriminators.len(), 2);
+        assert_eq!(artifacts.deferrals.len(), 2);
+        // Both boundaries were profiled on the held-out split.
+        for d in &artifacts.deferrals {
+            assert_eq!(d.sample_count(), 400);
+        }
+        // The embedded cascade view spans the ladder's endpoints.
+        assert_eq!(rt.spec.light.name(), artifacts.models[0].name());
+        assert_eq!(rt.spec.heavy.name(), artifacts.models[2].name());
     }
 
     #[test]

@@ -280,6 +280,21 @@ pub struct SessionSnapshot {
     ///
     /// [`SystemConfig::addons`]: crate::config::SystemConfig::addons
     pub addon_stats: AddonStats,
+    /// Alive workers assigned (or switching) to each ladder tier,
+    /// cheapest first. Two entries on legacy runs, where they equal
+    /// [`light_workers`](Self::light_workers) /
+    /// [`heavy_workers`](Self::heavy_workers).
+    pub tier_workers: Vec<usize>,
+    /// Queries queued on each ladder tier's alive workers.
+    pub tier_queues: Vec<usize>,
+    /// Alive workers per ladder tier currently executing a batch.
+    pub tier_busy: Vec<usize>,
+    /// Cumulative escalations across each boundary so far (`[k]` counts
+    /// tier `k` → `k + 1` hand-offs); length N-1.
+    pub tier_escalations: Vec<u64>,
+    /// Active per-boundary confidence thresholds; `thresholds[0]` equals
+    /// [`threshold`](Self::threshold) on cascade policies.
+    pub thresholds: Vec<f64>,
 }
 
 impl SessionSnapshot {
@@ -566,6 +581,12 @@ impl<'a> SessionBuilder<'a> {
             peak_demand_hint: self.peak_demand_hint,
         });
         settings.validate().map_err(BuildError::Settings)?;
+        if runtime.num_tiers() > 2 && !settings.policy.uses_cascade() {
+            return Err(BuildError::Settings(ConfigError::new(
+                "an N-tier quality ladder requires a cascade policy \
+                 (DiffServe or DiffServe-Static)",
+            )));
+        }
         if let Some(scenario) = &self.scenario {
             scenario
                 .validate(self.config.num_workers)

@@ -27,7 +27,8 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use diffserve_imagegen::{
-    resume_savings, reused_steps, GeneratedImage, Prompt, StageLatencyBreakdown, StageState,
+    resume_savings, reused_steps, DiffusionModel, Discriminator, GeneratedImage,
+    OnlinePredictiveRouter, OnlineRouterConfig, Prompt, StageLatencyBreakdown, StageState,
 };
 use diffserve_metrics::{RollingFid, SloTracker, WindowedSeries};
 use diffserve_simkit::prelude::*;
@@ -38,7 +39,7 @@ use diffserve_trace::{
 use rand::Rng;
 
 use crate::addons::{AddonStats, ModuleCache};
-use crate::allocator::Allocation;
+use crate::allocator::{Allocation, LadderAllocation};
 use crate::config::{ConfigError, SystemConfig};
 use crate::control::{ControlDirective, ControlLoop, ControlObservation, PlanActuator};
 use crate::policy::{AblationKnobs, Policy};
@@ -142,8 +143,10 @@ enum Event {
 
 #[derive(Debug, Clone)]
 struct Worker {
-    tier: ModelTier,
-    pending_tier: Option<ModelTier>,
+    /// Ladder tier index this worker hosts (0 = entry tier; the legacy
+    /// cascade is tiers 0/1).
+    tier: usize,
+    pending_tier: Option<usize>,
     batch_max: usize,
     queue: VecDeque<u64>,
     busy: bool,
@@ -160,7 +163,7 @@ struct Worker {
 }
 
 impl Worker {
-    fn target_tier(&self) -> ModelTier {
+    fn target_tier(&self) -> usize {
         self.pending_tier.unwrap_or(self.tier)
     }
 
@@ -177,14 +180,6 @@ impl Worker {
     /// unchanged.
     fn effective_load(&self) -> f64 {
         (self.load() + 1) as f64 * self.health.slowdown()
-    }
-}
-
-/// Slot of a tier in the index's fixed two-tier arrays.
-fn tier_slot(tier: ModelTier) -> usize {
-    match tier {
-        ModelTier::Light => 0,
-        ModelTier::Heavy => 1,
     }
 }
 
@@ -215,20 +210,22 @@ enum RoutePool {
 /// and the `(key, index)` ordering reproduces the scan's `(load, index)`
 /// tie-break bit-for-bit. Debug builds assert that agreement on every
 /// routing decision (see `ServingSim::scan_route`).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 struct LoadIndex {
-    primary: [BTreeSet<(u64, usize)>; 2],
-    pending_to: [BTreeSet<(u64, usize)>; 2],
+    primary: Vec<BTreeSet<(u64, usize)>>,
+    pending_to: Vec<BTreeSet<(u64, usize)>>,
     alive: BTreeSet<(u64, usize)>,
     /// Back-reference per worker: its pool and key, `None` while failed.
     slot: Vec<Option<(RoutePool, u64)>>,
 }
 
 impl LoadIndex {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, tiers: usize) -> Self {
         LoadIndex {
+            primary: vec![BTreeSet::new(); tiers],
+            pending_to: vec![BTreeSet::new(); tiers],
+            alive: BTreeSet::new(),
             slot: vec![None; n],
-            ..Default::default()
         }
     }
 
@@ -302,6 +299,10 @@ struct QueryRec {
     /// base-model query. Rides along on escalation, so the heavy pass
     /// needs the same module.
     addon: Option<usize>,
+    /// The ladder tier this query entered at. Tier 0 for every legacy
+    /// policy path; deeper when the predictive router skipped cheap tiers.
+    /// Its GPU-time accounting charges only tiers `entry..=final`.
+    entry_tier: usize,
 }
 
 struct ServingSim<'a> {
@@ -316,7 +317,27 @@ struct ServingSim<'a> {
     /// [`Self::refresh_index`] after every load/health/tier mutation.
     index: LoadIndex,
     queries: Vec<QueryRec>,
-    threshold: f64,
+    /// The ladder's model tiers, cheapest first. For a legacy (non-ladder)
+    /// runtime this is exactly `[&spec.light, &spec.heavy]`, so every
+    /// tier-indexed path below reduces to the historical two-tier
+    /// arithmetic bit-for-bit.
+    models: Vec<&'a DiffusionModel>,
+    /// One discriminator per escalation boundary (length `N - 1`);
+    /// `discriminators[k]` scores tier-`k` outputs. Legacy runtimes carry
+    /// the single cascade discriminator at boundary 0.
+    discriminators: Vec<&'a Discriminator>,
+    /// Per-boundary confidence thresholds; `thresholds[0]` is the legacy
+    /// cascade threshold.
+    thresholds: Vec<f64>,
+    /// `true` while the actuated plan is the overload fallback: the
+    /// predictive router stops bypassing so every arrival enters the entry
+    /// tier, where the floored thresholds can actually shed it (bypassed
+    /// traffic is immune to the threshold lever).
+    bypass_suspended: bool,
+    /// Pre-execution router sending predicted-hard queries straight to a
+    /// deeper tier; `None` (every two-tier run) keeps all arrivals at the
+    /// entry tier.
+    router: Option<OnlinePredictiveRouter>,
     proteus_heavy_fraction: f64,
     // Scenario state.
     actions: Vec<(SimTime, ScenarioEvent)>,
@@ -353,6 +374,16 @@ struct ServingSim<'a> {
     /// Discriminator confidences observed since the last control tick —
     /// the online profile estimator's input stream.
     confidences_since_tick: Vec<f64>,
+    /// Boundary ≥ 1 confidences since the last tick (`[k]` holds boundary
+    /// `k + 1`'s stream); always empty on two-tier runs.
+    deep_confidences_since_tick: Vec<Vec<f64>>,
+    /// Cumulative escalations across each boundary (`[k]` counts tier `k`
+    /// → `k + 1` hand-offs), surfaced in session snapshots.
+    tier_escalations: Vec<u64>,
+    /// Queries admitted directly at each tier since the last control tick
+    /// (the predictive router's bypass flow lands at index ≥ 1); only
+    /// maintained on ladder runs with a router, else left empty.
+    tier_direct_since_tick: Vec<u64>,
     threshold_series: WindowedSeries,
     arrival_series: WindowedSeries,
     rng: rand::rngs::StdRng,
@@ -364,7 +395,7 @@ struct ServingSim<'a> {
     /// Holds a completed batch while its queries are scored and routed.
     batch_scratch: Vec<u64>,
     /// Holds orphaned queries while a failed fleet slice is re-routed.
-    orphan_scratch: Vec<(ModelTier, u64)>,
+    orphan_scratch: Vec<(usize, u64)>,
     /// Holds donor-tier candidate indices during allocation switches.
     victim_scratch: Vec<usize>,
     /// Holds a switching worker's queue while it is re-routed.
@@ -381,14 +412,50 @@ impl<'a> ServingSim<'a> {
         hazard: Option<HazardProcess>,
     ) -> Self {
         config.validate().expect("valid system config");
+        // The tier roster: ladders with more than two tiers generalize the
+        // serving loop; everything else (including a degenerate two-tier
+        // ladder) runs the exact legacy light/heavy pair.
+        let (models, discriminators): (Vec<&'a DiffusionModel>, Vec<&'a Discriminator>) =
+            match &runtime.ladder {
+                Some(art) if art.num_tiers() > 2 => (
+                    art.models.iter().collect(),
+                    art.discriminators.iter().collect(),
+                ),
+                _ => (
+                    vec![&runtime.spec.light, &runtime.spec.heavy],
+                    vec![&runtime.discriminator],
+                ),
+            };
+        let num_tiers = models.len();
+        let boundaries = num_tiers - 1;
+        let ladder_cfg = config.ladder.clone().unwrap_or_default();
+        let thresholds = match &ladder_cfg.initial_thresholds {
+            Some(ts) if ts.len() == boundaries => ts.clone(),
+            _ => vec![0.5; boundaries],
+        };
+        let router = (num_tiers > 2
+            && ladder_cfg.predictive_routing
+            && matches!(settings.policy, Policy::DiffServe | Policy::DiffServeStatic))
+        .then(|| {
+            OnlinePredictiveRouter::new(
+                boundaries,
+                OnlineRouterConfig {
+                    observation_noise: ladder_cfg.predictive_observation_noise,
+                    learning_rate: ladder_cfg.predictive_learning_rate,
+                    min_observations: ladder_cfg.predictive_min_observations,
+                    margin: ladder_cfg.predictive_margin,
+                },
+            )
+        });
         // Bootstrap: half the fleet per tier until the first control tick
-        // (static policies overwrite this immediately below).
+        // (static policies overwrite this immediately below). Mid tiers
+        // start empty; the first plan staffs them.
         let workers = (0..config.num_workers)
             .map(|i| Worker {
                 tier: if i < config.num_workers / 2 {
-                    ModelTier::Light
+                    0
                 } else {
-                    ModelTier::Heavy
+                    num_tiers - 1
                 },
                 pending_tier: None,
                 batch_max: 1,
@@ -401,10 +468,14 @@ impl<'a> ServingSim<'a> {
             })
             .collect();
         let mut sim = ServingSim {
-            index: LoadIndex::new(config.num_workers),
+            index: LoadIndex::new(config.num_workers, num_tiers),
             workers,
             queries: Vec::new(),
-            threshold: 0.5,
+            models,
+            discriminators,
+            thresholds,
+            bypass_suspended: false,
+            router,
             proteus_heavy_fraction: 0.5,
             actions,
             difficulty_delta: 0.0,
@@ -428,6 +499,9 @@ impl<'a> ServingSim<'a> {
             violations_since_tick_light: 0,
             violations_since_tick_heavy: 0,
             confidences_since_tick: Vec::new(),
+            deep_confidences_since_tick: vec![Vec::new(); boundaries.saturating_sub(1)],
+            tier_escalations: vec![0; boundaries],
+            tier_direct_since_tick: Vec::new(),
             threshold_series: WindowedSeries::new(config.metrics_window),
             arrival_series: WindowedSeries::new(config.metrics_window),
             rng: seeded_rng(derive_seed(config.seed, 0x51A7)),
@@ -460,8 +534,8 @@ impl<'a> ServingSim<'a> {
         }
         let key = load_key(self.routing_load(idx));
         let pool = match self.workers[idx].pending_tier {
-            Some(t) => RoutePool::PendingTo(tier_slot(t)),
-            None => RoutePool::Primary(tier_slot(self.workers[idx].tier)),
+            Some(t) => RoutePool::PendingTo(t),
+            None => RoutePool::Primary(self.workers[idx].tier),
         };
         self.index.insert(idx, pool, key);
     }
@@ -485,6 +559,7 @@ impl<'a> ServingSim<'a> {
             prompt,
             resume,
             addon,
+            entry_tier: 0,
         });
         qidx
     }
@@ -496,43 +571,34 @@ impl<'a> ServingSim<'a> {
         self.actions.len() - 1
     }
 
-    fn stage_latency(&self, tier: ModelTier, batch: usize) -> f64 {
-        match tier {
-            ModelTier::Light => {
-                let base = self
-                    .runtime
-                    .spec
-                    .light
-                    .latency()
-                    .exec_latency(batch)
-                    .as_secs_f64();
-                if self.settings.policy.uses_cascade() {
-                    base + self.runtime.discriminator.latency().as_secs_f64() * batch as f64
-                } else {
-                    base
-                }
+    /// Single-stage service latency of a batch on a tier: the tier's model
+    /// execution plus — on non-terminal cascade tiers — the boundary
+    /// discriminator's per-query scoring cost.
+    fn stage_latency(&self, tier: usize, batch: usize) -> f64 {
+        let base = self.models[tier]
+            .latency()
+            .exec_latency(batch)
+            .as_secs_f64();
+        match self.discriminators.get(tier) {
+            Some(d) if self.settings.policy.uses_cascade() => {
+                base + d.latency().as_secs_f64() * batch as f64
             }
-            ModelTier::Heavy => self
-                .runtime
-                .spec
-                .heavy
-                .latency()
-                .exec_latency(batch)
-                .as_secs_f64(),
+            _ => base,
         }
     }
 
-    /// Heavy denoise steps query `qidx` skips by resuming from carried
-    /// latents. Exactly `0` with resume disabled, with no carried state, or
-    /// with a zero step credit — the resume-aware paths below all reduce to
-    /// the restart arithmetic bit-for-bit in those cases.
-    fn heavy_reused_steps(&self, qidx: u64) -> u32 {
-        if !self.config.resume_from_latents {
+    /// Denoise steps query `qidx` skips at `tier` by resuming from carried
+    /// latents. Exactly `0` at the entry tier, with resume disabled, with
+    /// no carried state, or with a zero step credit — the resume-aware
+    /// paths below all reduce to the restart arithmetic bit-for-bit in
+    /// those cases.
+    fn reused_steps_for(&self, qidx: u64, tier: usize) -> u32 {
+        if tier == 0 || !self.config.resume_from_latents {
             return 0;
         }
         match self.queries[qidx as usize].resume {
             Some(st) => reused_steps(
-                self.runtime.spec.heavy.steps(),
+                self.models[tier].steps(),
                 st,
                 self.config.resume_step_credit,
             ),
@@ -540,18 +606,18 @@ impl<'a> ServingSim<'a> {
         }
     }
 
-    /// Total service-time discount of a prospective heavy batch: the sum of
-    /// each member's [`resume_savings`]. Always `0.0` for the light tier
-    /// and in restart mode, so `(stage_latency − 0.0)` stays bitwise equal
-    /// to the undiscounted service time.
-    fn batch_resume_savings(&self, tier: ModelTier, members: impl Iterator<Item = u64>) -> f64 {
-        if tier != ModelTier::Heavy || !self.config.resume_from_latents {
+    /// Total service-time discount of a prospective batch: the sum of each
+    /// member's [`resume_savings`]. Always `0.0` for the entry tier and in
+    /// restart mode, so `(stage_latency − 0.0)` stays bitwise equal to the
+    /// undiscounted service time.
+    fn batch_resume_savings(&self, tier: usize, members: impl Iterator<Item = u64>) -> f64 {
+        if tier == 0 || !self.config.resume_from_latents {
             return 0.0;
         }
-        let profile = self.runtime.spec.heavy.latency();
-        let steps = self.runtime.spec.heavy.steps();
+        let profile = self.models[tier].latency();
+        let steps = self.models[tier].steps();
         members
-            .map(|q| resume_savings(profile, self.heavy_reused_steps(q), steps))
+            .map(|q| resume_savings(profile, self.reused_steps_for(q, tier), steps))
             .sum()
     }
 
@@ -592,9 +658,16 @@ impl<'a> ServingSim<'a> {
     /// required module in member order — hits refresh LRU recency, misses
     /// load and evict. Returns the total load seconds, bitwise equal to
     /// what [`Self::batch_swap_secs`] predicted for this batch.
-    fn charge_batch_swaps(&mut self, idx: usize, tier: ModelTier) -> f64 {
+    fn charge_batch_swaps(&mut self, idx: usize, tier: usize) -> f64 {
         let Some(addons) = &self.config.addons else {
             return 0.0;
+        };
+        // Add-on accounting keeps the legacy two-bucket split: entry tier
+        // vs everything deeper.
+        let stats_tier = if tier == 0 {
+            ModelTier::Light
+        } else {
+            ModelTier::Heavy
         };
         let mut seen = std::mem::take(&mut self.addon_scratch);
         seen.clear();
@@ -611,7 +684,7 @@ impl<'a> ServingSim<'a> {
             } else {
                 0.0
             };
-            self.addon_stats.record(tier, hit, swap);
+            self.addon_stats.record(stats_tier, hit, swap);
             secs += swap;
         }
         for &q in &self.workers[idx].in_flight {
@@ -625,41 +698,35 @@ impl<'a> ServingSim<'a> {
     }
 
     /// Single-query nameplate GPU-seconds a completion consumed across the
-    /// tiers it touched (see [`CompletedResponse::gpu_time`]).
-    fn single_query_gpu_time(&self, tier: ModelTier, reused: u32) -> f64 {
-        match tier {
-            ModelTier::Light => self.stage_latency(ModelTier::Light, 1),
-            ModelTier::Heavy => {
-                let profile = self.runtime.spec.heavy.latency();
-                let heavy = profile.exec_latency(1).as_secs_f64()
-                    - resume_savings(profile, reused, self.runtime.spec.heavy.steps());
-                if self.settings.policy.uses_cascade() {
-                    // Escalated: the light pass and discriminator score ran
-                    // first and their cost is sunk.
-                    self.stage_latency(ModelTier::Light, 1) + heavy
-                } else {
-                    heavy
-                }
-            }
+    /// tiers it touched (see [`CompletedResponse::gpu_time`]): every
+    /// cascade stage from the query's entry tier through its completion
+    /// tier, net of resumed steps at the final tier.
+    fn single_query_gpu_time(&self, entry: usize, tier: usize, reused: u32) -> f64 {
+        let profile = self.models[tier].latency();
+        let own = self.stage_latency(tier, 1)
+            - resume_savings(profile, reused, self.models[tier].steps());
+        if self.settings.policy.uses_cascade() && tier > entry {
+            // Escalated: the shallower passes and their discriminator
+            // scores ran first and their cost is sunk.
+            (entry..tier).map(|j| self.stage_latency(j, 1)).sum::<f64>() + own
+        } else {
+            own
         }
     }
 
-    /// The heavy model's output for query `qidx`, resuming from carried
-    /// latents when possible. Returns the image and the reused step count.
-    /// A restart (no reuse) is bitwise `generate`; a lossless resume
+    /// Tier `tier`'s output for query `qidx`, resuming from carried latents
+    /// when possible. Returns the image and the reused step count. A
+    /// restart (no reuse) is bitwise `generate`; a lossless resume
     /// (`resume_quality_penalty == 0`) produces the identical image at
     /// lower service time.
-    fn heavy_generate(&self, qidx: u64, prompt: &Prompt) -> (GeneratedImage, u32) {
-        let reused = self.heavy_reused_steps(qidx);
+    fn tier_generate(&self, tier: usize, qidx: u64, prompt: &Prompt) -> (GeneratedImage, u32) {
+        let reused = self.reused_steps_for(qidx, tier);
         if reused > 0 {
-            let image = self
-                .runtime
-                .spec
-                .heavy
+            let image = self.models[tier]
                 .generate_with_quality_shift(prompt, -self.config.resume_quality_penalty);
             (image, reused)
         } else {
-            (self.runtime.spec.heavy.generate(prompt), 0)
+            (self.models[tier].generate(prompt), 0)
         }
     }
 
@@ -677,6 +744,7 @@ impl<'a> ServingSim<'a> {
                 self.proteus_heavy_fraction = *heavy_fraction;
                 self.apply_allocation_instant(allocation);
             }
+            ControlDirective::ApplyLadder(alloc) => self.apply_ladder_instant(alloc),
             ControlDirective::Hold => {}
         }
     }
@@ -689,16 +757,18 @@ impl<'a> ServingSim<'a> {
         n
     }
 
-    /// Whether any alive worker hosts (or is switching to) the heavy model,
-    /// answered by the load index in `O(1)` — this runs on every cascade
-    /// completion, where a fleet scan would dominate at large worker counts.
-    fn has_alive_heavy(&self) -> bool {
-        let v = self.index.tier_len(tier_slot(ModelTier::Heavy)) > 0;
+    /// Whether any alive worker hosts (or is switching to) a tier deeper
+    /// than `tier`, answered by the load index in `O(tiers)` — this runs on
+    /// every cascade completion, where a fleet scan would dominate at large
+    /// worker counts. For the legacy two-tier cascade this is exactly the
+    /// old "has alive heavy" check.
+    fn has_alive_deeper(&self, tier: usize) -> bool {
+        let v = (tier + 1..self.models.len()).any(|t| self.index.tier_len(t) > 0);
         debug_assert_eq!(
             v,
             self.workers
                 .iter()
-                .any(|w| !w.failed && w.target_tier() == ModelTier::Heavy)
+                .any(|w| !w.failed && w.target_tier() > tier)
         );
         v
     }
@@ -707,7 +777,7 @@ impl<'a> ServingSim<'a> {
     /// Failed workers are skipped — tiers are assigned positionally across
     /// the alive fleet only.
     fn apply_allocation_instant(&mut self, alloc: &Allocation) {
-        self.threshold = alloc.threshold;
+        self.thresholds[0] = alloc.threshold;
         let spare = self
             .alive_count()
             .saturating_sub(alloc.light_workers + alloc.heavy_workers);
@@ -717,16 +787,49 @@ impl<'a> ServingSim<'a> {
             if w.failed {
                 continue;
             }
-            w.tier = if pos < target_light {
-                ModelTier::Light
-            } else {
-                ModelTier::Heavy
-            };
+            w.tier = if pos < target_light { 0 } else { 1 };
             w.pending_tier = None;
-            w.batch_max = match w.tier {
-                ModelTier::Light => alloc.light_batch,
-                ModelTier::Heavy => alloc.heavy_batch,
+            w.batch_max = if w.tier == 0 {
+                alloc.light_batch
+            } else {
+                alloc.heavy_batch
             };
+            pos += 1;
+        }
+        for i in 0..self.workers.len() {
+            self.refresh_index(i);
+        }
+    }
+
+    /// Applies a ladder allocation immediately (bootstrap: no switch
+    /// delay). Mirrors [`Self::apply_allocation_instant`]: spare alive
+    /// workers beyond the plan's totals join the entry tier, and tiers are
+    /// assigned positionally across the alive fleet.
+    fn apply_ladder_instant(&mut self, alloc: &LadderAllocation) {
+        self.thresholds.clone_from(&alloc.thresholds);
+        self.bypass_suspended = !alloc.feasible;
+        let planned: usize = alloc.workers.iter().sum();
+        let spare = self.alive_count().saturating_sub(planned);
+        let mut targets = alloc.workers.clone();
+        targets[0] += spare;
+        let mut pos = 0;
+        for w in self.workers.iter_mut() {
+            if w.failed {
+                continue;
+            }
+            // Positional assignment by prefix sums over the targets.
+            let mut tier = targets.len() - 1;
+            let mut cum = 0;
+            for (t, &n) in targets.iter().enumerate() {
+                cum += n;
+                if pos < cum {
+                    tier = t;
+                    break;
+                }
+            }
+            w.tier = tier;
+            w.pending_tier = None;
+            w.batch_max = alloc.batches[tier].max(1);
             pos += 1;
         }
         for i in 0..self.workers.len() {
@@ -744,41 +847,34 @@ impl<'a> ServingSim<'a> {
         now: SimTime,
         queue: &mut EventQueue<Event>,
     ) {
-        self.threshold = alloc.threshold;
+        self.thresholds[0] = alloc.threshold;
         let spare = self
             .alive_count()
             .saturating_sub(alloc.light_workers + alloc.heavy_workers);
         let target_light = alloc.light_workers + spare;
 
         for w in self.workers.iter_mut().filter(|w| !w.failed) {
-            let b = match w.target_tier() {
-                ModelTier::Light => alloc.light_batch,
-                ModelTier::Heavy => alloc.heavy_batch,
+            let b = if w.target_tier() == 0 {
+                alloc.light_batch
+            } else {
+                alloc.heavy_batch
             };
             w.batch_max = b.max(1);
         }
 
-        let current_light = self.index.tier_len(tier_slot(ModelTier::Light));
+        let current_light = self.index.tier_len(0);
         debug_assert_eq!(
             current_light,
             self.workers
                 .iter()
-                .filter(|w| !w.failed && w.target_tier() == ModelTier::Light)
+                .filter(|w| !w.failed && w.target_tier() == 0)
                 .count()
         );
 
         let (from, to, count) = if current_light > target_light {
-            (
-                ModelTier::Light,
-                ModelTier::Heavy,
-                current_light - target_light,
-            )
+            (0, 1, current_light - target_light)
         } else {
-            (
-                ModelTier::Heavy,
-                ModelTier::Light,
-                target_light - current_light,
-            )
+            (1, 0, target_light - current_light)
         };
         if count == 0 {
             return;
@@ -789,7 +885,7 @@ impl<'a> ServingSim<'a> {
         // index)` sort key reproduces the historical stable-sort order.
         let mut candidates = std::mem::take(&mut self.victim_scratch);
         candidates.clear();
-        self.index.tier_members(tier_slot(from), &mut candidates);
+        self.index.tier_members(from, &mut candidates);
         candidates.sort_unstable_by_key(|&i| (self.workers[i].load(), i));
         candidates.truncate(count);
 
@@ -799,9 +895,10 @@ impl<'a> ServingSim<'a> {
             orphans.clear();
             orphans.extend(self.workers[idx].queue.drain(..));
             self.workers[idx].pending_tier = Some(to);
-            self.workers[idx].batch_max = match to {
-                ModelTier::Light => alloc.light_batch.max(1),
-                ModelTier::Heavy => alloc.heavy_batch.max(1),
+            self.workers[idx].batch_max = if to == 0 {
+                alloc.light_batch.max(1)
+            } else {
+                alloc.heavy_batch.max(1)
             };
             // The worker must leave the donor pool before its queue is
             // re-routed, or the router could hand the orphans right back.
@@ -817,6 +914,74 @@ impl<'a> ServingSim<'a> {
         }
         candidates.clear();
         self.victim_scratch = candidates;
+    }
+
+    /// Applies a ladder allocation at runtime: the N-tier generalization of
+    /// [`Self::apply_allocation`]. Batch sizes update immediately; each
+    /// surplus tier donates its least-loaded workers (the exact per-victim
+    /// switch protocol the two-tier path uses) to the deficit tiers in tier
+    /// order.
+    fn apply_ladder_allocation(
+        &mut self,
+        alloc: &LadderAllocation,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) {
+        self.thresholds.clone_from(&alloc.thresholds);
+        self.bypass_suspended = !alloc.feasible;
+        let planned: usize = alloc.workers.iter().sum();
+        let spare = self.alive_count().saturating_sub(planned);
+        let mut targets = alloc.workers.clone();
+        targets[0] += spare;
+
+        for w in self.workers.iter_mut().filter(|w| !w.failed) {
+            w.batch_max = alloc.batches[w.target_tier()].max(1);
+        }
+
+        // Donors: each tier's surplus beyond its target, least-loaded
+        // first, collected in tier order.
+        let mut donors: Vec<(usize, usize)> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.victim_scratch);
+        for (t, &target) in targets.iter().enumerate() {
+            let current = self.index.tier_len(t);
+            if current <= target {
+                continue;
+            }
+            candidates.clear();
+            self.index.tier_members(t, &mut candidates);
+            candidates.sort_unstable_by_key(|&i| (self.workers[i].load(), i));
+            candidates.truncate(current - target);
+            donors.extend(candidates.iter().map(|&i| (t, i)));
+        }
+        candidates.clear();
+        self.victim_scratch = candidates;
+
+        let mut donor_iter = donors.into_iter();
+        for (t, &target) in targets.iter().enumerate() {
+            let mut deficit = target.saturating_sub(self.index.tier_len(t));
+            while deficit > 0 {
+                let Some((from, idx)) = donor_iter.next() else {
+                    return;
+                };
+                deficit -= 1;
+                let mut orphans = std::mem::take(&mut self.requeue_scratch);
+                orphans.clear();
+                orphans.extend(self.workers[idx].queue.drain(..));
+                self.workers[idx].pending_tier = Some(t);
+                self.workers[idx].batch_max = alloc.batches[t].max(1);
+                // Leave the donor pool before the queue is re-routed, or
+                // the router could hand the orphans right back.
+                self.refresh_index(idx);
+                for &q in &orphans {
+                    self.route_to_tier(from, q, now, queue);
+                }
+                orphans.clear();
+                self.requeue_scratch = orphans;
+                if !self.workers[idx].busy {
+                    self.begin_switch(idx, now, queue);
+                }
+            }
+        }
     }
 
     fn begin_switch(&mut self, idx: usize, now: SimTime, queue: &mut EventQueue<Event>) {
@@ -869,13 +1034,13 @@ impl<'a> ServingSim<'a> {
     /// like the default JSQ. Returns `None` (→ the default ladder, which
     /// stays bit-identical) when add-ons are disabled, the query carries
     /// none, or the affinity-blind ablation is on.
-    fn affinity_route(&self, tier: ModelTier, qidx: u64) -> Option<usize> {
+    fn affinity_route(&self, tier: usize, qidx: u64) -> Option<usize> {
         let addons = self.config.addons.as_ref()?;
         let id = self.queries[qidx as usize].addon?;
         if self.settings.knobs.affinity_blind_routing {
             return None;
         }
-        let t = tier_slot(tier);
+        let t = tier;
         let penalty = addons.catalog.get(id).load_secs / self.stage_latency(tier, 1);
         let pool = if !self.index.primary[t].is_empty() {
             &self.index.primary[t]
@@ -905,7 +1070,7 @@ impl<'a> ServingSim<'a> {
 
     fn route_to_tier(
         &mut self,
-        tier: ModelTier,
+        tier: usize,
         qidx: u64,
         now: SimTime,
         queue: &mut EventQueue<Event>,
@@ -916,7 +1081,7 @@ impl<'a> ServingSim<'a> {
             self.try_start(chosen, now, queue);
             return;
         }
-        let t = tier_slot(tier);
+        let t = tier;
         let chosen = self
             .index
             .min_primary(t)
@@ -938,7 +1103,7 @@ impl<'a> ServingSim<'a> {
     /// debug-build cross-check so a missed [`Self::refresh_index`] call
     /// fails loudly in tests instead of silently diverging.
     #[cfg(debug_assertions)]
-    fn scan_route(&self, tier: ModelTier) -> Option<usize> {
+    fn scan_route(&self, tier: usize) -> Option<usize> {
         let pick = |pred: &dyn Fn(&Worker) -> bool| -> Option<usize> {
             (0..self.workers.len())
                 .filter(|&i| !self.workers[i].failed && pred(&self.workers[i]))
@@ -1002,9 +1167,10 @@ impl<'a> ServingSim<'a> {
                     self.queries[front as usize].finished = true;
                     self.slo.record_drop(rec.arrival, now);
                     self.drop_log.push((QueryId(front), rec.arrival, now));
-                    match tier {
-                        ModelTier::Light => self.violations_since_tick_light += 1,
-                        ModelTier::Heavy => self.violations_since_tick_heavy += 1,
+                    if tier == 0 {
+                        self.violations_since_tick_light += 1;
+                    } else {
+                        self.violations_since_tick_heavy += 1;
                     }
                 } else {
                     break;
@@ -1049,7 +1215,7 @@ impl<'a> ServingSim<'a> {
         &mut self,
         qidx: u64,
         image: GeneratedImage,
-        tier: ModelTier,
+        tier: usize,
         confidence: Option<f64>,
         reused: u32,
         now: SimTime,
@@ -1058,9 +1224,10 @@ impl<'a> ServingSim<'a> {
         self.queries[qidx as usize].finished = true;
         let outcome = self.slo.record_completion(rec.arrival, now);
         if outcome.is_violation() {
-            match tier {
-                ModelTier::Light => self.violations_since_tick_light += 1,
-                ModelTier::Heavy => self.violations_since_tick_heavy += 1,
+            if tier == 0 {
+                self.violations_since_tick_light += 1;
+            } else {
+                self.violations_since_tick_heavy += 1;
             }
         }
         if reused > 0 {
@@ -1073,9 +1240,14 @@ impl<'a> ServingSim<'a> {
             completion: now,
             features: image.features,
             quality: image.quality,
-            tier,
+            tier: if tier == 0 {
+                ModelTier::Light
+            } else {
+                ModelTier::Heavy
+            },
+            tier_index: tier,
             confidence,
-            gpu_time: self.single_query_gpu_time(tier, reused),
+            gpu_time: self.single_query_gpu_time(rec.entry_tier, tier, reused),
             reused_steps: reused,
         });
     }
@@ -1091,18 +1263,42 @@ impl<'a> ServingSim<'a> {
         self.arrival_series.push(now, 1.0);
 
         let tier = match self.settings.policy {
-            Policy::ClipperLight => ModelTier::Light,
-            Policy::ClipperHeavy => ModelTier::Heavy,
+            Policy::ClipperLight => 0,
+            Policy::ClipperHeavy => self.models.len() - 1,
             Policy::Proteus => {
                 if self.rng.gen_range(0.0..1.0) < self.proteus_heavy_fraction {
                     self.heavy_arrivals_since_tick += 1;
-                    ModelTier::Heavy
+                    self.models.len() - 1
                 } else {
-                    ModelTier::Light
+                    0
                 }
             }
-            Policy::DiffServeStatic | Policy::DiffServe => ModelTier::Light,
+            Policy::DiffServeStatic | Policy::DiffServe => match &self.router {
+                // Predictive straight-to-tier routing: queries predicted to
+                // escalate skip the cheap tiers. The prediction sees the
+                // same (difficulty-shifted) prompt the tiers will serve.
+                // Suspended while the controller is shedding (overload
+                // fallback): bypassed traffic would be immune to the
+                // floored thresholds.
+                Some(r) if !self.bypass_suspended => {
+                    let t = r.entry_tier(&self.served_prompt(qidx));
+                    if t > 0 {
+                        // A skipped-ahead query is demand the deeper pools
+                        // must absorb — count it like an escalation.
+                        self.heavy_arrivals_since_tick += 1;
+                    }
+                    t
+                }
+                _ => 0,
+            },
         };
+        self.queries[qidx as usize].entry_tier = tier;
+        if self.router.is_some() {
+            if self.tier_direct_since_tick.len() != self.models.len() {
+                self.tier_direct_since_tick = vec![0; self.models.len()];
+            }
+            self.tier_direct_since_tick[tier] += 1;
+        }
         self.route_to_tier(tier, qidx, now, queue);
     }
 
@@ -1149,40 +1345,44 @@ impl<'a> ServingSim<'a> {
         // The emptied in-flight buffer lowered this worker's load; the
         // index must see that before any escalation below routes.
         self.refresh_index(idx);
+        let last = self.models.len() - 1;
         for &qidx in &batch {
             let prompt = self.served_prompt(qidx);
-            match tier {
-                ModelTier::Light => {
-                    let image = self.runtime.spec.light.generate(&prompt);
-                    if self.settings.policy.uses_cascade() {
-                        let conf = self.runtime.discriminator.confidence(&image.features);
-                        self.confidences_since_tick.push(conf);
-                        // With the heavy pool wiped out by churn, an
-                        // escalation would land back on a light worker,
-                        // deterministically regenerate the same image, and
-                        // bounce forever — degrade gracefully by serving
-                        // the light output instead.
-                        if conf >= self.threshold || !self.has_alive_heavy() {
-                            self.complete(qidx, image, ModelTier::Light, Some(conf), 0, now);
-                        } else {
-                            if self.config.resume_from_latents {
-                                // Carry the light tier's finished denoise
-                                // schedule so the heavy pass resumes from
-                                // its latents instead of restarting.
-                                self.queries[qidx as usize].resume =
-                                    Some(StageState::completed(self.runtime.spec.light.steps()));
-                            }
-                            self.heavy_arrivals_since_tick += 1;
-                            self.route_to_tier(ModelTier::Heavy, qidx, now, queue);
-                        }
-                    } else {
-                        self.complete(qidx, image, ModelTier::Light, None, 0, now);
+            let (image, reused) = self.tier_generate(tier, qidx, &prompt);
+            if tier < last && self.settings.policy.uses_cascade() {
+                let conf = self.discriminators[tier].confidence(&image.features);
+                if tier == 0 {
+                    self.confidences_since_tick.push(conf);
+                } else {
+                    self.deep_confidences_since_tick[tier - 1].push(conf);
+                }
+                // With the deeper pools wiped out by churn, an escalation
+                // would land back on a worker of this tier,
+                // deterministically regenerate the same image, and bounce
+                // forever — degrade gracefully by serving this output
+                // instead.
+                let escalate = conf < self.thresholds[tier] && self.has_alive_deeper(tier);
+                if let Some(r) = self.router.as_mut() {
+                    // Every verdict trains the pre-execution router, kept
+                    // or escalated alike.
+                    r.observe(tier, &prompt, escalate);
+                }
+                if !escalate {
+                    self.complete(qidx, image, tier, Some(conf), reused, now);
+                } else {
+                    if self.config.resume_from_latents {
+                        // Carry this tier's finished denoise schedule so
+                        // the next pass resumes from its latents instead
+                        // of restarting.
+                        self.queries[qidx as usize].resume =
+                            Some(StageState::completed(self.models[tier].steps()));
                     }
+                    self.tier_escalations[tier] += 1;
+                    self.heavy_arrivals_since_tick += 1;
+                    self.route_to_tier(tier + 1, qidx, now, queue);
                 }
-                ModelTier::Heavy => {
-                    let (image, reused) = self.heavy_generate(qidx, &prompt);
-                    self.complete(qidx, image, ModelTier::Heavy, None, reused, now);
-                }
+            } else {
+                self.complete(qidx, image, tier, None, reused, now);
             }
         }
         batch.clear();
@@ -1388,18 +1588,15 @@ impl<'a> ServingSim<'a> {
     /// estimation → profile estimation → allocation planning), and actuate
     /// the directive.
     fn handle_control_tick(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
-        let light_queue: usize = self
-            .workers
-            .iter()
-            .filter(|w| !w.failed && w.target_tier() == ModelTier::Light)
-            .map(|w| w.queue.len())
-            .sum();
-        let heavy_queue: usize = self
-            .workers
-            .iter()
-            .filter(|w| !w.failed && w.target_tier() == ModelTier::Heavy)
-            .map(|w| w.queue.len())
-            .sum();
+        let n = self.models.len();
+        let mut tier_queues = vec![0usize; n];
+        for w in self.workers.iter().filter(|w| !w.failed) {
+            tier_queues[w.target_tier()] += w.queue.len();
+        }
+        // The legacy scalars are the entry tier and everything deeper —
+        // for a two-tier run these are exactly the old per-tier sums.
+        let light_queue = tier_queues[0];
+        let heavy_queue: usize = tier_queues[1..].iter().sum();
         let effective_capacity: f64 = self
             .workers
             .iter()
@@ -1416,9 +1613,16 @@ impl<'a> ServingSim<'a> {
             heavy_queue,
             alive_workers: self.alive_count(),
             effective_capacity,
-            current_light_batch: self.current_batch(ModelTier::Light),
-            current_heavy_batch: self.current_batch(ModelTier::Heavy),
+            current_light_batch: self.current_batch(0),
+            current_heavy_batch: self.current_batch(n - 1),
             confidences: std::mem::take(&mut self.confidences_since_tick),
+            tier_queues,
+            deep_confidences: self
+                .deep_confidences_since_tick
+                .iter_mut()
+                .map(std::mem::take)
+                .collect(),
+            tier_direct_arrivals: std::mem::take(&mut self.tier_direct_since_tick),
         };
         self.arrivals_since_tick = 0;
         self.heavy_arrivals_since_tick = 0;
@@ -1432,11 +1636,11 @@ impl<'a> ServingSim<'a> {
             queue,
         }
         .actuate(&directive);
-        self.threshold_series.push(now, self.threshold);
+        self.threshold_series.push(now, self.thresholds[0]);
         queue.push(now + self.config.control_interval, Event::ControlTick);
     }
 
-    fn current_batch(&self, tier: ModelTier) -> usize {
+    fn current_batch(&self, tier: usize) -> usize {
         self.workers
             .iter()
             .find(|w| !w.failed && w.target_tier() == tier)
@@ -1446,14 +1650,12 @@ impl<'a> ServingSim<'a> {
 
     /// Live metrics for [`SessionSnapshot`] taps.
     fn snapshot(&self, now: SimTime) -> SessionSnapshot {
-        let mut light_workers = 0;
-        let mut heavy_workers = 0;
+        let n = self.models.len();
+        let mut tier_workers = vec![0usize; n];
+        let mut tier_queues = vec![0usize; n];
+        let mut tier_busy = vec![0usize; n];
         let mut failed_workers = 0;
         let mut degraded_workers = 0;
-        let mut light_queue = 0;
-        let mut heavy_queue = 0;
-        let mut light_busy = 0;
-        let mut heavy_busy = 0;
         for w in &self.workers {
             if w.failed {
                 failed_workers += 1;
@@ -1462,18 +1664,10 @@ impl<'a> ServingSim<'a> {
             if w.health.is_degraded() {
                 degraded_workers += 1;
             }
-            match w.target_tier() {
-                ModelTier::Light => {
-                    light_workers += 1;
-                    light_queue += w.queue.len();
-                    light_busy += usize::from(w.busy);
-                }
-                ModelTier::Heavy => {
-                    heavy_workers += 1;
-                    heavy_queue += w.queue.len();
-                    heavy_busy += usize::from(w.busy);
-                }
-            }
+            let t = w.target_tier();
+            tier_workers[t] += 1;
+            tier_queues[t] += w.queue.len();
+            tier_busy[t] += usize::from(w.busy);
         }
         let heavy_done = self
             .responses
@@ -1482,15 +1676,15 @@ impl<'a> ServingSim<'a> {
             .count();
         SessionSnapshot {
             now,
-            threshold: self.threshold,
-            light_workers,
-            heavy_workers,
+            threshold: self.thresholds[0],
+            light_workers: tier_workers[0],
+            heavy_workers: tier_workers[1..].iter().sum(),
             failed_workers,
             degraded_workers,
-            light_queue,
-            heavy_queue,
-            light_busy,
-            heavy_busy,
+            light_queue: tier_queues[0],
+            heavy_queue: tier_queues[1..].iter().sum(),
+            light_busy: tier_busy[0],
+            heavy_busy: tier_busy[1..].iter().sum(),
             submitted: self.queries.len() as u64,
             completed: self.slo.on_time() + self.slo.late(),
             dropped: self.slo.dropped(),
@@ -1519,6 +1713,11 @@ impl<'a> ServingSim<'a> {
             ),
             resumed_completions: self.resumed_count,
             addon_stats: self.addon_stats,
+            tier_workers,
+            tier_queues,
+            tier_busy,
+            tier_escalations: self.tier_escalations.clone(),
+            thresholds: self.thresholds.clone(),
         }
     }
 }
@@ -1545,6 +1744,9 @@ impl PlanActuator for SimActuator<'_, '_, '_> {
                 self.sim.proteus_heavy_fraction = *heavy_fraction;
                 self.sim.apply_allocation(allocation, self.now, self.queue);
             }
+            ControlDirective::ApplyLadder(alloc) => self
+                .sim
+                .apply_ladder_allocation(alloc, self.now, self.queue),
             ControlDirective::Hold => {}
         }
     }

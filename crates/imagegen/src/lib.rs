@@ -43,6 +43,7 @@ pub mod cascade;
 pub mod deferral;
 pub mod discriminator;
 pub mod features;
+pub mod ladder;
 pub mod model;
 pub mod pipeline;
 pub mod predictive;
@@ -58,10 +59,12 @@ pub use cascade::{
 pub use deferral::{DeferralProfile, OnlineDeferralEstimator, ProfileError};
 pub use discriminator::{DiscArch, Discriminator, DiscriminatorConfig, RealClass};
 pub use features::FeatureSpec;
+pub use ladder::{ladder3, ladder4, LadderError, TierLadder};
 pub use model::{DiffusionModel, GeneratedImage, LatencyProfile, QualityProfile};
 pub use pipeline::{Pipeline, PipelineEval};
 pub use predictive::{
-    evaluate_predictive, text_embedding, PredictiveConfig, PredictiveEval, PredictiveRouter,
+    evaluate_predictive, text_embedding, OnlinePredictiveRouter, OnlineRouterConfig,
+    PredictiveConfig, PredictiveEval, PredictiveRouter,
 };
 pub use prompt::{DatasetKind, Prompt, PromptDataset};
 pub use scorers::{ClipScorer, PickScorer};
@@ -82,6 +85,7 @@ pub mod prelude {
     pub use crate::deferral::{DeferralProfile, OnlineDeferralEstimator, ProfileError};
     pub use crate::discriminator::{DiscArch, Discriminator, DiscriminatorConfig, RealClass};
     pub use crate::features::FeatureSpec;
+    pub use crate::ladder::{ladder3, ladder4, TierLadder};
     pub use crate::model::{DiffusionModel, GeneratedImage, LatencyProfile, QualityProfile};
     pub use crate::prompt::{DatasetKind, Prompt, PromptDataset};
     pub use crate::scorers::{ClipScorer, PickScorer};

@@ -154,6 +154,129 @@ impl PredictiveRouter {
     }
 }
 
+/// Knobs for the [`OnlinePredictiveRouter`] used by the serving engines in
+/// ladder mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineRouterConfig {
+    /// Std of the observation noise on the embedding's informative
+    /// coordinates (same knob as [`PredictiveConfig::observation_noise`]).
+    pub observation_noise: f64,
+    /// SGD step size for the per-boundary logistic models.
+    pub learning_rate: f64,
+    /// Observations a boundary needs before its predictions are trusted;
+    /// cold boundaries never skip a tier.
+    pub min_observations: u64,
+    /// Predicted escalation probability at or above which a query skips
+    /// past the boundary's cheap tier.
+    pub margin: f64,
+}
+
+impl Default for OnlineRouterConfig {
+    fn default() -> Self {
+        OnlineRouterConfig {
+            observation_noise: 0.35,
+            learning_rate: 0.05,
+            min_observations: 64,
+            margin: 0.6,
+        }
+    }
+}
+
+/// A pre-execution router for N-tier ladders, trained online from observed
+/// deferral outcomes.
+///
+/// One logistic model per ladder boundary predicts, from the text embedding
+/// alone, whether a query served at tier `k` would be escalated by the
+/// boundary-`k` discriminator. Every discriminator verdict (kept or
+/// escalated) is a labeled example, so the router needs no offline training
+/// pass and tracks difficulty shifts. At admission, a query's entry tier is
+/// the deepest tier it is predicted to escalate through: queries
+/// predicted-hard at every boundary skip straight to the terminal tier and
+/// never pay cheap-tier compute.
+#[derive(Debug, Clone)]
+pub struct OnlinePredictiveRouter {
+    /// Per boundary: `TEXT_DIM` weights plus a trailing bias term.
+    weights: Vec<Vec<f64>>,
+    counts: Vec<u64>,
+    config: OnlineRouterConfig,
+}
+
+impl OnlinePredictiveRouter {
+    /// Creates a cold router for a ladder with `boundaries` = N-1
+    /// escalation boundaries.
+    pub fn new(boundaries: usize, config: OnlineRouterConfig) -> Self {
+        OnlinePredictiveRouter {
+            weights: vec![vec![0.0; TEXT_DIM + 1]; boundaries],
+            counts: vec![0; boundaries],
+            config,
+        }
+    }
+
+    /// Number of boundaries this router predicts over.
+    pub fn boundaries(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Labeled outcomes observed at `boundary` so far.
+    pub fn observations(&self, boundary: usize) -> u64 {
+        self.counts[boundary]
+    }
+
+    fn logit(&self, boundary: usize, embedding: &[f64]) -> f64 {
+        let w = &self.weights[boundary];
+        let mut z = w[TEXT_DIM];
+        for (wi, xi) in w[..TEXT_DIM].iter().zip(embedding) {
+            z += wi * xi;
+        }
+        z
+    }
+
+    /// Trains on one observed deferral outcome: the boundary-`boundary`
+    /// discriminator either kept the query (`escalated = false`) or sent it
+    /// deeper (`escalated = true`).
+    pub fn observe(&mut self, boundary: usize, prompt: &Prompt, escalated: bool) {
+        let e = text_embedding(prompt, self.config.observation_noise);
+        let p = sigmoid(self.logit(boundary, &e));
+        let err = f64::from(escalated) - p;
+        let lr = self.config.learning_rate;
+        let w = &mut self.weights[boundary];
+        for (wi, xi) in w[..TEXT_DIM].iter_mut().zip(&e) {
+            *wi += lr * err * xi;
+        }
+        w[TEXT_DIM] += lr * err;
+        self.counts[boundary] += 1;
+    }
+
+    /// Predicted probability that this prompt escalates through `boundary`,
+    /// or `None` while the boundary is still cold.
+    pub fn escalation_prob(&self, boundary: usize, prompt: &Prompt) -> Option<f64> {
+        if self.counts[boundary] < self.config.min_observations {
+            return None;
+        }
+        let e = text_embedding(prompt, self.config.observation_noise);
+        Some(sigmoid(self.logit(boundary, &e)))
+    }
+
+    /// The tier this prompt should enter the ladder at: the deepest tier
+    /// whose every preceding boundary predicts escalation with probability
+    /// at or above the configured margin. Cold boundaries stop the walk, so
+    /// an untrained router always answers tier 0 (always-cheapest-first).
+    pub fn entry_tier(&self, prompt: &Prompt) -> usize {
+        let mut tier = 0;
+        for boundary in 0..self.boundaries() {
+            match self.escalation_prob(boundary, prompt) {
+                Some(p) if p >= self.config.margin => tier = boundary + 1,
+                _ => break,
+            }
+        }
+        tier
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
 /// Outcome of evaluating predictive routing over a dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PredictiveEval {
@@ -320,6 +443,62 @@ mod tests {
             "predictive {} should be cheaper than the cascade's structural cost {}",
             pred.mean_latency,
             cascade_cost_at_same_fraction
+        );
+    }
+
+    #[test]
+    fn online_router_learns_escalation_outcomes() {
+        let f = fx();
+        let mut router = OnlinePredictiveRouter::new(
+            1,
+            OnlineRouterConfig {
+                min_observations: 64,
+                ..Default::default()
+            },
+        );
+        let prompts = f.dataset.prompts();
+        assert_eq!(
+            router.entry_tier(&prompts[0]),
+            0,
+            "cold router stays at tier 0"
+        );
+        // Ground truth proxy: hard prompts escalate.
+        for _pass in 0..4 {
+            for p in &prompts[..600] {
+                router.observe(0, p, p.difficulty > 0.5);
+            }
+        }
+        let held_out = &prompts[600..];
+        let mean_prob = |filter: &dyn Fn(&Prompt) -> bool| {
+            let probs: Vec<f64> = held_out
+                .iter()
+                .filter(|p| filter(p))
+                .map(|p| router.escalation_prob(0, p).expect("warmed up"))
+                .collect();
+            probs.iter().sum::<f64>() / probs.len() as f64
+        };
+        let hard = mean_prob(&|p: &Prompt| p.difficulty > 0.7);
+        let easy = mean_prob(&|p: &Prompt| p.difficulty < 0.3);
+        assert!(
+            hard > easy + 0.2,
+            "router should separate hard ({hard}) from easy ({easy}) prompts"
+        );
+        // Determinism: replaying the same observations yields the same model.
+        let mut replay = OnlinePredictiveRouter::new(
+            1,
+            OnlineRouterConfig {
+                min_observations: 64,
+                ..Default::default()
+            },
+        );
+        for _pass in 0..4 {
+            for p in &prompts[..600] {
+                replay.observe(0, p, p.difficulty > 0.5);
+            }
+        }
+        assert_eq!(
+            router.escalation_prob(0, &held_out[3]),
+            replay.escalation_prob(0, &held_out[3])
         );
     }
 
